@@ -1,0 +1,151 @@
+(* The benchmark harness.
+
+   With no argument, runs every experiment E1-E10 (one per architectural
+   claim / figure of the paper — see DESIGN.md §5 and EXPERIMENTS.md) and
+   prints its result table, then the bechamel microbenchmarks.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe e5 e8      # selected experiments
+     dune exec bench/main.exe micro      # microbenchmarks only *)
+
+module L = Braid_logic
+module T = L.Term
+module R = Braid_relalg
+module V = R.Value
+module A = Braid_caql.Ast
+module Sub = Braid_subsume.Subsumption
+
+(* --- bechamel microbenchmarks: the hot primitives --- *)
+
+let v x = T.Var x
+let s x = T.Const (V.Str x)
+let atom p args = L.Atom.make p args
+
+let bench_unify =
+  let a = atom "p" [ v "X"; s "c"; v "Y"; v "Z" ] in
+  let b = atom "p" [ s "a"; s "c"; v "W"; s "d" ] in
+  Bechamel.Test.make ~name:"unify_atoms"
+    (Bechamel.Staged.stage (fun () -> ignore (L.Unify.atoms L.Subst.empty a b)))
+
+let bench_match =
+  let general = atom "p" [ v "X"; v "Y"; v "Z"; v "W" ] in
+  let specific = atom "p" [ s "a"; v "Q"; s "b"; v "R" ] in
+  Bechamel.Test.make ~name:"one_way_match"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (L.Unify.match_atoms L.Subst.empty ~general ~specific)))
+
+let bench_subsumption =
+  let element =
+    {
+      Sub.id = "e";
+      def =
+        A.conj [ v "X"; v "Z" ]
+          [ atom "b" [ v "X"; v "Y" ]; atom "c" [ v "Y"; v "Z" ] ];
+    }
+  in
+  let query =
+    A.conj [ v "U" ] [ atom "b" [ v "U"; v "V" ]; atom "c" [ v "V"; s "k" ] ]
+  in
+  Bechamel.Test.make ~name:"subsumption_covers"
+    (Bechamel.Staged.stage (fun () -> ignore (Sub.covers element query)))
+
+let bench_hash_join =
+  let schema = R.Schema.make [ ("x", V.Tint); ("y", V.Tint) ] in
+  let rel n seed =
+    R.Relation.of_tuples ~name:"r" schema
+      (List.init n (fun i -> [| V.Int ((i * seed) mod 97); V.Int i |]))
+  in
+  let a = rel 1000 7 and b = rel 1000 13 in
+  Bechamel.Test.make ~name:"hash_join_1k_x_1k"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (R.Ops.hash_join ~left_cols:[ 0 ] ~right_cols:[ 0 ] a b)))
+
+let bench_stream_pull =
+  let schema = R.Schema.make [ ("n", V.Tint) ] in
+  Bechamel.Test.make ~name:"stream_pull_1k"
+    (Bechamel.Staged.stage (fun () ->
+         let stream =
+           Braid_stream.Tuple_stream.of_list schema
+             (List.init 1000 (fun i -> [| V.Int i |]))
+         in
+         let c = Braid_stream.Tuple_stream.cursor stream in
+         let rec drain () =
+           match Braid_stream.Tuple_stream.next c with Some _ -> drain () | None -> ()
+         in
+         drain ()))
+
+let bench_parser =
+  let text = "eligible(S, C) :- prereq(C, R) & completed(S, R) & S <> C." in
+  Bechamel.Test.make ~name:"caql_parse"
+    (Bechamel.Staged.stage (fun () -> ignore (Braid_caql.Parser.parse_clause text)))
+
+let bench_tracker =
+  let path =
+    Braid_advice.Ast.Seq
+      ( [
+          Braid_advice.Ast.Pattern ("d1", []);
+          Braid_advice.Ast.Alt
+            ([ Braid_advice.Ast.Pattern ("d2", []); Braid_advice.Ast.Pattern ("d3", []) ], Some 1);
+        ],
+        { Braid_advice.Ast.lo = 0; hi = Braid_advice.Ast.Inf } )
+  in
+  let nfa = Braid_advice.Tracker.compile path in
+  Bechamel.Test.make ~name:"path_tracking_step"
+    (Bechamel.Staged.stage (fun () ->
+         let tr = Braid_advice.Tracker.start nfa in
+         ignore (Braid_advice.Tracker.advance tr "d1");
+         ignore (Braid_advice.Tracker.advance tr "d2");
+         ignore (Braid_advice.Tracker.next_possible tr)))
+
+let micro_tests =
+  [
+    bench_unify;
+    bench_match;
+    bench_subsumption;
+    bench_hash_join;
+    bench_stream_pull;
+    bench_parser;
+    bench_tracker;
+  ]
+
+let run_micro () =
+  print_endline "== microbenchmarks (bechamel) ==";
+  let benchmark test =
+    let open Bechamel in
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+    let raw = Benchmark.all cfg instances test in
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+    Analyze.all ols (Toolkit.Instance.monotonic_clock) raw
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-24s %12.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "%-24s (no estimate)\n" name)
+        results)
+    micro_tests
+
+(* --- entry point --- *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+    Braid_experiments.All.run_all ();
+    run_micro ()
+  | args ->
+    List.iter
+      (fun arg ->
+        match String.lowercase_ascii arg with
+        | "micro" -> run_micro ()
+        | id ->
+          if not (Braid_experiments.All.run_one id) then begin
+            Printf.eprintf
+              "unknown experiment %S (expected e1..e10 or micro)\n" arg;
+            exit 1
+          end)
+      args

@@ -1,0 +1,1 @@
+examples/expert_system.ml: Braid Braid_caql Braid_ie Braid_logic Braid_planner Braid_relalg Braid_workload Format List

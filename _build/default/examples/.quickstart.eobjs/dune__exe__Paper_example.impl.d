@@ -1,0 +1,1 @@
+examples/paper_example.ml: Braid Braid_advice Braid_ie Braid_logic Braid_relalg Braid_workload Format

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Braid Braid_logic Braid_relalg Braid_remote Braid_workload Format List

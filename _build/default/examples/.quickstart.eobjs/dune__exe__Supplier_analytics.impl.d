@@ -1,0 +1,1 @@
+examples/supplier_analytics.ml: Braid Braid_caql Braid_logic Braid_planner Braid_relalg Braid_remote Braid_workload Format List String

@@ -1,0 +1,1 @@
+examples/university_advisor.ml: Braid Braid_relalg Braid_remote Braid_workload Format List Printf

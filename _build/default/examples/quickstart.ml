@@ -1,0 +1,51 @@
+(* Quickstart: build a BrAID system over a small genealogy database and ask
+   it recursive questions.
+
+     dune exec examples/quickstart.exe *)
+
+module L = Braid_logic
+module T = L.Term
+module V = Braid_relalg.Value
+module R = Braid_relalg
+
+let () =
+  (* 1. A knowledge base: rules over the base relations [parent] and
+     [person]. Kbgen.ancestor defines ancestor/2 (recursive), grandparent/2
+     and adult_ancestor/2. *)
+  let kb = Braid_workload.Kbgen.ancestor () in
+
+  (* 2. A database, loaded into the (simulated) remote DBMS. *)
+  let data = Braid_workload.Datagen.family ~persons:40 ~fanout:3 () in
+
+  (* 3. The assembled system: inference engine + cache management system +
+     remote server, with the full BrAID configuration. *)
+  let sys = Braid.System.build ~kb ~data () in
+
+  (* 4. Ask an AI query: all descendants of p0 (ancestor(p0, Y)). *)
+  let query = L.Atom.make "ancestor" [ T.Const (V.Str "p0"); T.Var "Y" ] in
+  let answers = Braid.System.solve_all sys query in
+  Format.printf "ancestor(p0, Y) has %d answers; first few:@."
+    (R.Relation.cardinality answers);
+  List.iteri
+    (fun i t -> if i < 5 then Format.printf "  Y = %a@." V.pp (R.Tuple.get t 0))
+    (R.Relation.to_list answers);
+
+  (* 5. Queries can also be given as text. *)
+  let grandchildren = Braid.System.solve_text sys "grandparent(p0, Y)" in
+  Format.printf "grandparent(p0, Y) has %d answers@."
+    (R.Relation.cardinality grandchildren);
+
+  (* 6. The interpretive engine streams solutions on demand: asking for one
+     answer does only the inference needed for it. *)
+  (match Braid.System.solve_first sys (L.Atom.make "adult_ancestor" [ T.Var "X"; T.Var "Y" ]) with
+   | [ t ] -> Format.printf "one adult_ancestor solution: %a@." Braid_relalg.Tuple.pp t
+   | _ -> Format.printf "no adult_ancestor solutions@.");
+
+  (* 7. Accounting: how often did we actually go to the remote DBMS? *)
+  Format.printf "@.%a@." Braid.System.pp_metrics (Braid.System.metrics sys);
+
+  (* 8. Re-running the first query is now answered from the cache. *)
+  let before = (Braid.System.metrics sys).Braid.System.remote.Braid_remote.Server.requests in
+  let _ = Braid.System.solve_all sys query in
+  let after = (Braid.System.metrics sys).Braid.System.remote.Braid_remote.Server.requests in
+  Format.printf "@.re-running the query issued %d new remote requests@." (after - before)

@@ -1,0 +1,1 @@
+lib/advice/advisor.ml: Ast Braid_caql Braid_subsume List Option Tracker

@@ -1,0 +1,1 @@
+lib/advice/advisor.mli: Ast Braid_caql

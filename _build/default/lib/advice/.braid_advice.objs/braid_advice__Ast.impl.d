@@ -1,0 +1,1 @@
+lib/advice/ast.ml: Braid_caql Braid_logic Braid_relalg Format List Printf String

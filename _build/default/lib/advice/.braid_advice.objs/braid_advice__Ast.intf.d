@@ -1,0 +1,1 @@
+lib/advice/ast.mli: Braid_caql Braid_logic Format

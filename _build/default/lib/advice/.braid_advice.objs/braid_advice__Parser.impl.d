@@ -1,0 +1,1 @@
+lib/advice/parser.ml: Ast Braid_caql Braid_logic Braid_relalg Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/advice/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/advice/tracker.ml: Ast Hashtbl Int List Set String

@@ -1,0 +1,1 @@
+lib/advice/tracker.mli: Ast

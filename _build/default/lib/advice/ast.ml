@@ -1,0 +1,103 @@
+module A = Braid_caql.Ast
+module L = Braid_logic
+
+type binding =
+  | Producer
+  | Consumer
+
+type view_spec = {
+  id : string;
+  def : A.conj;
+  bindings : binding list;
+  rule_ids : string list;
+}
+
+type repetition = { lo : int; hi : bound }
+
+and bound =
+  | Fin of int
+  | Cardinality of string
+  | Inf
+
+type path =
+  | Pattern of string * L.Term.t list
+  | Seq of path list * repetition
+  | Alt of path list * int option
+
+type t = { specs : view_spec list; path : path option }
+
+let spec ?(rule_ids = []) ~id ~bindings def =
+  if List.length bindings <> List.length def.A.head then
+    invalid_arg "Advice.Ast.spec: one binding annotation per head position required";
+  { id; def; bindings; rule_ids }
+
+let find_spec t id = List.find_opt (fun s -> String.equal s.id id) t.specs
+
+let consumer_positions s =
+  List.concat (List.mapi (fun i b -> if b = Consumer then [ i ] else []) s.bindings)
+
+let producer_only s = List.for_all (fun b -> b = Producer) s.bindings
+
+let once p = Seq ([ p ], { lo = 1; hi = Fin 1 })
+
+let pattern_ids p =
+  let rec collect acc = function
+    | Pattern (id, _) -> if List.mem id acc then acc else id :: acc
+    | Seq (ps, _) | Alt (ps, _) -> List.fold_left collect acc ps
+  in
+  List.rev (collect [] p)
+
+let binding_mark = function Producer -> "^" | Consumer -> "?"
+
+let pp_sep s ppf () = Format.fprintf ppf "%s" s
+
+let pp_view_spec ppf s =
+  let heads =
+    List.map2
+      (fun t b ->
+        match t with
+        | L.Term.Var x -> x ^ binding_mark b
+        | L.Term.Const v -> Braid_relalg.Value.to_string v)
+      s.def.A.head s.bindings
+  in
+  Format.fprintf ppf "%s(%a) =def %a" s.id
+    (Format.pp_print_list ~pp_sep:(pp_sep ", ") Format.pp_print_string)
+    heads
+    (Format.pp_print_list ~pp_sep:(pp_sep " & ") (fun ppf x -> x ppf))
+    (List.map (fun a ppf -> L.Atom.pp ppf a) s.def.A.atoms
+    @ List.map
+        (fun (op, a, b) ppf -> L.Literal.pp ppf (L.Literal.Cmp (op, a, b)))
+        s.def.A.cmps);
+  match s.rule_ids with
+  | [] -> ()
+  | ids ->
+    Format.fprintf ppf " (%a)"
+      (Format.pp_print_list ~pp_sep:(pp_sep ",") Format.pp_print_string)
+      ids
+
+let pp_bound ppf = function
+  | Fin n -> Format.pp_print_int ppf n
+  | Cardinality x -> Format.fprintf ppf "|%s|" x
+  | Inf -> Format.pp_print_string ppf "*"
+
+let rec pp_path ppf = function
+  | Pattern (id, args) ->
+    Format.fprintf ppf "%s(%a)" id (Format.pp_print_list ~pp_sep:(pp_sep ", ") L.Term.pp) args
+  | Seq (ps, { lo; hi }) ->
+    Format.fprintf ppf "(%a)<%d,%a>"
+      (Format.pp_print_list ~pp_sep:(pp_sep ", ") pp_path)
+      ps lo pp_bound hi
+  | Alt (ps, sel) ->
+    Format.fprintf ppf "[%a]%s"
+      (Format.pp_print_list ~pp_sep:(pp_sep ", ") pp_path)
+      ps
+      (match sel with Some k -> Printf.sprintf "^%d" k | None -> "")
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,") pp_view_spec)
+    t.specs
+    (fun ppf -> function
+      | Some p -> Format.fprintf ppf "@,path: %a" pp_path p
+      | None -> ())
+    t.path

@@ -1,0 +1,26 @@
+(** Concrete syntax for the advice language, matching the paper's notation:
+
+    {v
+    d1(Y^) =def b1(c1, Y).
+    d2(X^, Y?) =def b2(X, Z) & b3(Z, c2, Y).
+    path (d1(Y), (d2(X, Y), d3(X, Y))<0,|Y|>)<1,1>.
+    v}
+
+    - Spec parameters are variables annotated [^] (producer) or [?]
+      (consumer); constants may appear directly in the defining conjuncts.
+    - Bodies are conjunctions of atoms and simple comparisons
+      ([X < 5], [Y <> c2]).
+    - A sequence [( ... )] takes an optional repetition count [<lo,hi>]
+      (default [<1,1>]) whose upper bound is an integer, [*] (unbounded) or
+      [|Y|] (the cardinality of Y's bindings); an alternation [[ ... ]]
+      takes an optional selection term [^k].
+    - Clauses end with [.]; [%] starts a comment; at most one [path]
+      clause. *)
+
+exception Error of string
+
+val parse : string -> Ast.t
+(** Parses a whole advice set (spec clauses + optional path clause). *)
+
+val parse_path : string -> Ast.path
+(** Parses a bare path expression (no [path] keyword, no final dot). *)

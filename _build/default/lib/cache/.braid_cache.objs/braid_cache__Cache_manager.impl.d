@@ -1,0 +1,1 @@
+lib/cache/cache_manager.ml: Braid_caql Braid_logic Braid_relalg Braid_subsume Cache_model Element List Query_processor Replacement String

@@ -1,0 +1,1 @@
+lib/cache/cache_manager.mli: Braid_caql Braid_relalg Braid_stream Braid_subsume Cache_model Element

@@ -1,0 +1,1 @@
+lib/cache/cache_model.ml: Braid_caql Braid_logic Element Hashtbl List Printf String

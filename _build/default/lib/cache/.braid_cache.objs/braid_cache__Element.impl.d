@@ -1,0 +1,1 @@
+lib/cache/element.ml: Braid_caql Braid_relalg Braid_stream Format List

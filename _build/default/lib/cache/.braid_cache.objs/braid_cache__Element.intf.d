@@ -1,0 +1,1 @@
+lib/cache/element.mli: Braid_caql Braid_relalg Braid_stream Format

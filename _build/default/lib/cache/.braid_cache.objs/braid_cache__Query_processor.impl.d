@@ -1,0 +1,1 @@
+lib/cache/query_processor.ml: Braid_caql Braid_logic Braid_relalg Braid_stream Cache_model Element List Option

@@ -1,0 +1,1 @@
+lib/cache/query_processor.mli: Braid_caql Braid_relalg Braid_stream Cache_model

@@ -1,0 +1,1 @@
+lib/cache/replacement.ml: Cache_model Element List Stdlib

@@ -1,0 +1,1 @@
+lib/cache/replacement.mli: Cache_model Element

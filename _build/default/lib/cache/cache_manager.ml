@@ -1,0 +1,116 @@
+module R = Braid_relalg
+module A = Braid_caql.Ast
+module Sub = Braid_subsume.Subsumption
+
+type stats = {
+  insertions : int;
+  evictions : int;
+  tuples_touched : int;
+  indexes_built : int;
+}
+
+type t = {
+  model : Cache_model.t;
+  mutable insertions : int;
+  mutable evictions : int;
+  mutable tuples_touched : int;
+  mutable indexes_built : int;
+}
+
+let create ~capacity_bytes =
+  {
+    model = Cache_model.create ~capacity_bytes;
+    insertions = 0;
+    evictions = 0;
+    tuples_touched = 0;
+    indexes_built = 0;
+  }
+
+let model t = t.model
+
+let insert t ?id ~def repr =
+  let id = match id with Some id -> id | None -> Cache_model.fresh_id t.model in
+  let e = Element.make ~id ~def ~now:(Cache_model.tick t.model) repr in
+  let bytes = Element.bytes_estimate e in
+  if bytes > Cache_model.capacity_bytes t.model then None
+  else begin
+    let evicted = Replacement.evict t.model ~needed_bytes:bytes () in
+    t.evictions <- t.evictions + List.length evicted;
+    (* Even after evicting everything evictable the element may not fit
+       (e.g. only pinned elements remain). *)
+    if
+      Cache_model.used_bytes t.model + bytes > Cache_model.capacity_bytes t.model
+    then None
+    else begin
+      Cache_model.add t.model e;
+      t.insertions <- t.insertions + 1;
+      Some e
+    end
+  end
+
+let find t id = Cache_model.find t.model id
+
+let find_exact t def =
+  List.find_opt
+    (fun (e : Element.t) -> A.variant_equal e.Element.def def)
+    (Cache_model.elements t.model)
+
+let relevant_covers t (q : A.conj) =
+  let preds =
+    List.sort_uniq String.compare
+      (List.map (fun a -> a.Braid_logic.Atom.pred) q.A.atoms)
+  in
+  let candidates =
+    List.concat_map (Cache_model.candidates_for_pred t.model) preds
+    |> List.fold_left
+         (fun acc (e : Element.t) ->
+           if List.exists (fun (e' : Element.t) -> String.equal e'.Element.id e.Element.id) acc
+           then acc
+           else e :: acc)
+         []
+    |> List.rev
+  in
+  List.concat_map
+    (fun (e : Element.t) ->
+      let sub_elem = { Sub.id = e.Element.id; def = e.Element.def } in
+      List.map (fun cover -> (e, cover)) (Sub.covers sub_elem q))
+    candidates
+
+let eval t ?extra q =
+  let result, touched = Query_processor.eval t.model ?extra q in
+  t.tuples_touched <- t.tuples_touched + touched;
+  result
+
+let eval_conj_lazy t ?extra c = Query_processor.eval_conj_lazy t.model ?extra c
+
+let ensure_index t e cols =
+  if Element.index_on e cols = None then begin
+    ignore (Element.ensure_index e cols);
+    t.indexes_built <- t.indexes_built + 1
+  end
+
+let pin t id flag =
+  match Cache_model.find t.model id with
+  | Some e -> e.Element.pinned <- flag
+  | None -> ()
+
+let invalidate_pred t pred =
+  let victims =
+    List.map (fun (e : Element.t) -> e.Element.id) (Cache_model.candidates_for_pred t.model pred)
+  in
+  List.iter (Cache_model.remove t.model) victims;
+  victims
+
+let stats t =
+  {
+    insertions = t.insertions;
+    evictions = t.evictions;
+    tuples_touched = t.tuples_touched;
+    indexes_built = t.indexes_built;
+  }
+
+let reset_stats t =
+  t.insertions <- 0;
+  t.evictions <- 0;
+  t.tuples_touched <- 0;
+  t.indexes_built <- 0

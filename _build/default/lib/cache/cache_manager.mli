@@ -1,0 +1,54 @@
+(** The Cache Manager (paper §5.4): maintains the cache and the cache
+    model, stores and replaces cache elements, executes queries on cached
+    data, and tracks the statistics replacement and experiments need. *)
+
+type t
+
+val create : capacity_bytes:int -> t
+
+val model : t -> Cache_model.t
+
+val insert :
+  t -> ?id:string -> def:Braid_caql.Ast.conj -> Element.representation -> Element.t option
+(** Stores a new element, evicting by (advice-modified) LRU to make room.
+    Returns [None] — and caches nothing — when the element alone exceeds
+    capacity. A generated [id] is used when none is given. *)
+
+val find : t -> string -> Element.t option
+
+val find_exact : t -> Braid_caql.Ast.conj -> Element.t option
+(** An element whose definition is a variant of the query (exact-match
+    reuse). *)
+
+val relevant_covers :
+  t -> Braid_caql.Ast.conj -> (Element.t * Braid_subsume.Subsumption.cover) list
+(** Step 2 of §5.3.2: all (element, cover) pairs usable to derive part of
+    the query, found via the predicate-name index. *)
+
+val eval : t -> ?extra:(string * Braid_relalg.Relation.t) list -> Braid_caql.Ast.t ->
+  Braid_relalg.Relation.t
+(** Evaluate over cache element ids; accumulates touched-tuple counts. *)
+
+val eval_conj_lazy :
+  t -> ?extra:(string * Braid_relalg.Relation.t) list -> Braid_caql.Ast.conj ->
+  Braid_stream.Tuple_stream.t
+
+val ensure_index : t -> Element.t -> int list -> unit
+val pin : t -> string -> bool -> unit
+(** Sets/clears the pinned flag of an element, if present. *)
+
+val invalidate_pred : t -> string -> string list
+(** Drops every element whose definition mentions the given base relation —
+    the consistency action when the remote table changes. Returns the
+    removed element ids. (The paper treats the DBMS as read-mostly during a
+    session; this is the maintenance hook a production deployment needs.) *)
+
+type stats = {
+  insertions : int;
+  evictions : int;
+  tuples_touched : int;  (** workstation tuples processed by the QP *)
+  indexes_built : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

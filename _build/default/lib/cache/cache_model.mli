@@ -1,0 +1,46 @@
+(** The cache model (paper §3/§5.3.2): meta-information about the cache —
+    which elements exist, their definitions, state and statistics. The IE
+    may query it through the CMS.
+
+    Keeps the paper's [(predicate name, cache element)] index used to
+    expedite subsumption candidate lookup. *)
+
+type t
+
+val create : capacity_bytes:int -> t
+
+val capacity_bytes : t -> int
+val used_bytes : t -> int
+
+val tick : t -> int
+(** Advances and returns the logical clock. *)
+
+val now : t -> int
+
+val add : t -> Element.t -> unit
+(** Raises [Invalid_argument] on duplicate element id. *)
+
+val remove : t -> string -> unit
+val find : t -> string -> Element.t option
+val elements : t -> Element.t list
+(** In insertion order. *)
+
+val candidates_for_pred : t -> string -> Element.t list
+(** Elements whose definition mentions the given predicate — step 1 of the
+    §5.3.2 algorithm. *)
+
+val touch : t -> Element.t -> unit
+(** Records a use (hit count + LRU clock). *)
+
+val fresh_id : t -> string
+(** A cache-unique element identifier (["e1"], ["e2"], ...). *)
+
+type summary = {
+  element_count : int;
+  materialized : int;
+  generators : int;
+  total_bytes : int;
+  total_hits : int;
+}
+
+val summary : t -> summary

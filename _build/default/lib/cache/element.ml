@@ -1,0 +1,94 @@
+module R = Braid_relalg
+module TS = Braid_stream.Tuple_stream
+
+type representation =
+  | Extension of R.Relation.t
+  | Generator of TS.t
+
+type t = {
+  id : string;
+  def : Braid_caql.Ast.conj;
+  mutable repr : representation;
+  mutable indexes : (int list * R.Index.t) list;
+  mutable sorted : (int list * R.Relation.t) list;
+  mutable hits : int;
+  mutable last_used : int;
+  mutable pinned : bool;
+  created_at : int;
+}
+
+let make ~id ~def ~now repr =
+  {
+    id;
+    def;
+    repr;
+    indexes = [];
+    sorted = [];
+    hits = 0;
+    last_used = now;
+    pinned = false;
+    created_at = now;
+  }
+
+let schema e =
+  match e.repr with
+  | Extension r -> R.Relation.schema r
+  | Generator s -> TS.schema s
+
+let is_materialized e = match e.repr with Extension _ -> true | Generator _ -> false
+
+let extension e =
+  match e.repr with
+  | Extension r -> r
+  | Generator s ->
+    let r = TS.to_relation ~name:e.id s in
+    e.repr <- Extension r;
+    r
+
+let stream e =
+  match e.repr with
+  | Extension r -> TS.of_relation r
+  | Generator s -> s
+
+let index_on e cols = List.assoc_opt cols e.indexes
+
+let ensure_index e cols =
+  match index_on e cols with
+  | Some ix -> ix
+  | None ->
+    let ix = R.Index.build (extension e) cols in
+    e.indexes <- (cols, ix) :: e.indexes;
+    ix
+
+let sorted_on e cols =
+  match List.assoc_opt cols e.sorted with
+  | Some r -> r
+  | None ->
+    let r = R.Ops.order_by cols (extension e) in
+    e.sorted <- (cols, r) :: e.sorted;
+    r
+
+let sorted_representations e = List.map fst e.sorted
+
+let bytes_estimate e =
+  let data =
+    match e.repr with
+    | Extension r -> R.Relation.bytes_estimate r
+    | Generator s ->
+      (* Only the memoized prefix occupies memory so far. *)
+      64 + (TS.produced s * 48)
+  in
+  data
+  + List.fold_left (fun acc (_, ix) -> acc + R.Index.bytes_estimate ix) 0 e.indexes
+  + List.fold_left (fun acc (_, r) -> acc + R.Relation.bytes_estimate r) 0 e.sorted
+
+let cardinality_estimate e =
+  match e.repr with
+  | Extension r -> R.Relation.cardinality r
+  | Generator s -> TS.produced s
+
+let pp ppf e =
+  Format.fprintf ppf "%s := %a [%s, %d tuples, hits=%d%s]" e.id Braid_caql.Ast.pp_conj e.def
+    (if is_materialized e then "extension" else "generator")
+    (cardinality_estimate e) e.hits
+    (if e.pinned then ", pinned" else "")

@@ -1,0 +1,59 @@
+(** Cache elements (paper §5: "a cache element is a relation defined by a
+    CAQL expression").
+
+    An element carries its view definition (for subsumption), one of two
+    co-existing representations — a materialized {b extension} or a
+    {b generator} for lazy evaluation (§5.1) — plus hash indexes and the
+    usage metadata the Cache Manager needs for replacement (§5.4). *)
+
+type representation =
+  | Extension of Braid_relalg.Relation.t
+  | Generator of Braid_stream.Tuple_stream.t
+      (** memoizing stream: pulled tuples are retained, so a generator can
+          serve several cursors and later be forced into an extension *)
+
+type t = {
+  id : string;
+  def : Braid_caql.Ast.conj;  (** [def.head] describes the stored columns *)
+  mutable repr : representation;
+  mutable indexes : (int list * Braid_relalg.Index.t) list;
+  mutable sorted : (int list * Braid_relalg.Relation.t) list;
+      (** co-existing sorted representations (§5.2) *)
+  mutable hits : int;
+  mutable last_used : int;  (** logical clock of last use *)
+  mutable pinned : bool;  (** advice predicts imminent reuse; spare it *)
+  created_at : int;
+}
+
+val make : id:string -> def:Braid_caql.Ast.conj -> now:int -> representation -> t
+
+val schema : t -> Braid_relalg.Schema.t
+
+val is_materialized : t -> bool
+
+val extension : t -> Braid_relalg.Relation.t
+(** Forces a generator (converting the representation) if necessary. *)
+
+val stream : t -> Braid_stream.Tuple_stream.t
+(** A lazy view of the element without forcing it. *)
+
+val ensure_index : t -> int list -> Braid_relalg.Index.t
+(** Builds (and remembers) a hash index on the given columns; forces the
+    element. Returns the existing index when one is already present. *)
+
+val index_on : t -> int list -> Braid_relalg.Index.t option
+
+val sorted_on : t -> int list -> Braid_relalg.Relation.t
+(** A representation of the element sorted ascending on the given columns —
+    the paper's "co-existing, alternative representations of the same
+    relation ... the case where alternative sortings are required" (§5.2).
+    Built (by forcing if necessary) on first request, then remembered; the
+    copies share the element's identity and are dropped with it. *)
+
+val sorted_representations : t -> int list list
+
+val bytes_estimate : t -> int
+(** Extension size, or the memoized prefix size for a generator. *)
+
+val cardinality_estimate : t -> int
+val pp : Format.formatter -> t -> unit

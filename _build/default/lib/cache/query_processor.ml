@@ -1,0 +1,64 @@
+module R = Braid_relalg
+module L = Braid_logic
+module A = Braid_caql.Ast
+module TS = Braid_stream.Tuple_stream
+
+exception Unknown_relation of string
+
+(* Columns of the atom holding constants, with their values — candidate
+   index probe. *)
+let const_cols (a : L.Atom.t) =
+  List.filter_map
+    (function i, L.Term.Const v -> Some (i, v) | _, L.Term.Var _ -> None)
+    (List.mapi (fun i t -> (i, t)) a.L.Atom.args)
+
+let resolve_extension model extra touched (a : L.Atom.t) =
+  match List.assoc_opt a.L.Atom.pred extra with
+  | Some r ->
+    touched := !touched + R.Relation.cardinality r;
+    r
+  | None ->
+    (match Cache_model.find model a.L.Atom.pred with
+     | None -> raise (Unknown_relation a.L.Atom.pred)
+     | Some e ->
+       Cache_model.touch model e;
+       let consts = const_cols a in
+       let cols = List.map fst consts in
+       (match (if cols = [] then None else Element.index_on e cols) with
+        | Some ix ->
+          (* Index probe: only matching tuples are touched. *)
+          let r = R.Ops.select_indexed ix (List.map snd consts) (Element.extension e) in
+          touched := !touched + R.Relation.cardinality r;
+          r
+        | None ->
+          let r = Element.extension e in
+          touched := !touched + R.Relation.cardinality r;
+          r))
+
+let schema_resolver model extra name =
+  match List.assoc_opt name extra with
+  | Some r -> Some (R.Relation.schema r)
+  | None -> Option.map Element.schema (Cache_model.find model name)
+
+let eval model ?(extra = []) q =
+  let touched = ref 0 in
+  let source = resolve_extension model extra touched in
+  let result =
+    Braid_caql.Eval.query ~source ~schema_of:(schema_resolver model extra) q
+  in
+  (result, !touched)
+
+let eval_conj_lazy model ?(extra = []) c =
+  (* Resolve to streams without forcing generator elements: laziness must
+     propagate all the way down. *)
+  let source (a : L.Atom.t) =
+    match List.assoc_opt a.L.Atom.pred extra with
+    | Some r -> TS.of_relation r
+    | None ->
+      (match Cache_model.find model a.L.Atom.pred with
+       | None -> raise (Unknown_relation a.L.Atom.pred)
+       | Some e ->
+         Cache_model.touch model e;
+         Element.stream e)
+  in
+  Braid_caql.Eval.lazy_conj ~source ~schema_of:(schema_resolver model extra) c

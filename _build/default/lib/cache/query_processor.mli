@@ -1,0 +1,27 @@
+(** The Cache Manager's Query Processor (paper §5/Figure 5): performs the
+    DBMS-like operations — joins, selections, projection, aggregation — on
+    cache elements, using hash indexes when available.
+
+    Queries given to this module are CAQL expressions whose relation
+    occurrences name {e cache element ids} (the Query Planner/Optimizer
+    rewrites user queries into this form); [extra] supplies scratch
+    relations such as buffers just received from the remote DBMS. *)
+
+exception Unknown_relation of string
+
+val eval :
+  Cache_model.t ->
+  ?extra:(string * Braid_relalg.Relation.t) list ->
+  Braid_caql.Ast.t ->
+  Braid_relalg.Relation.t * int
+(** Eager evaluation; the second component counts tuples touched in the
+    cache (for workstation-cost accounting). Elements used are touched for
+    LRU/hit statistics. *)
+
+val eval_conj_lazy :
+  Cache_model.t ->
+  ?extra:(string * Braid_relalg.Relation.t) list ->
+  Braid_caql.Ast.conj ->
+  Braid_stream.Tuple_stream.t
+(** Lazy generator over cached data only (possible exactly when all
+    required data is in the cache, §5.1). *)

@@ -1,0 +1,31 @@
+let victims model ~needed_bytes ?(protect = fun _ -> false) () =
+  let capacity = Cache_model.capacity_bytes model in
+  let used = Cache_model.used_bytes model in
+  let to_free = used + needed_bytes - capacity in
+  if to_free <= 0 then []
+  else begin
+    let all = Cache_model.elements model in
+    let unpinned, pinned =
+      List.partition (fun e -> not (e.Element.pinned || protect e)) all
+    in
+    let by_lru l =
+      List.sort (fun a b -> Stdlib.compare a.Element.last_used b.Element.last_used) l
+    in
+    (* Evict unpinned LRU-first; fall back to pinned only if still short. *)
+    let rec take freed acc = function
+      | [] -> (freed, List.rev acc)
+      | e :: rest ->
+        if freed >= to_free then (freed, List.rev acc)
+        else take (freed + Element.bytes_estimate e) (e :: acc) rest
+    in
+    let freed, chosen = take 0 [] (by_lru unpinned) in
+    if freed >= to_free then chosen
+    else
+      let _, more = take freed [] (by_lru pinned) in
+      chosen @ more
+  end
+
+let evict model ~needed_bytes ?protect () =
+  let vs = victims model ~needed_bytes ?protect () in
+  List.iter (fun e -> Cache_model.remove model e.Element.id) vs;
+  List.map (fun e -> e.Element.id) vs

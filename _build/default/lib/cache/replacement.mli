@@ -1,0 +1,17 @@
+(** Cache replacement: LRU modified by advice (paper §5.4: "using an LRU
+    scheme which may be modified due to advice").
+
+    Pinned elements (those the Advice Manager predicts will be needed for
+    one of the next queries, cf. the path-expression tracking example in
+    §4.2.2) are spared unless nothing else can free enough space. *)
+
+val victims :
+  Cache_model.t -> needed_bytes:int -> ?protect:(Element.t -> bool) -> unit -> Element.t list
+(** Elements to evict, least-recently-used first, so that [needed_bytes]
+    fits within capacity. Pinned and [protect]ed elements are considered
+    only after all unpinned ones. The returned list may still be
+    insufficient when the cache cannot free enough (oversized requests). *)
+
+val evict :
+  Cache_model.t -> needed_bytes:int -> ?protect:(Element.t -> bool) -> unit -> string list
+(** Applies [victims] and removes them; returns the evicted ids. *)

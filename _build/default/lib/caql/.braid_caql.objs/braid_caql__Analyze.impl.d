@@ -1,0 +1,1 @@
+lib/caql/analyze.ml: Ast Braid_logic Braid_relalg List Option Printf String

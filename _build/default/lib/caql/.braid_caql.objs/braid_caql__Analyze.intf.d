@@ -1,0 +1,1 @@
+lib/caql/analyze.mli: Ast Braid_relalg

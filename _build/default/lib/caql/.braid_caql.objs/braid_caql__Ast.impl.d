@@ -1,0 +1,1 @@
+lib/caql/ast.ml: Braid_logic Braid_relalg Format Hashtbl List Printf String

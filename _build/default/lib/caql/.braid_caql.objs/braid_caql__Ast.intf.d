@@ -1,0 +1,1 @@
+lib/caql/ast.mli: Braid_logic Braid_relalg Format

@@ -1,0 +1,1 @@
+lib/caql/eval.ml: Analyze Array Ast Braid_logic Braid_relalg Braid_stream Format Hashtbl List String

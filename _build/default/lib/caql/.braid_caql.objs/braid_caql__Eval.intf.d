@@ -1,0 +1,1 @@
+lib/caql/eval.mli: Ast Braid_logic Braid_relalg Braid_stream

@@ -1,0 +1,1 @@
+lib/caql/parser.ml: Ast Braid_logic Braid_relalg Buffer List Printf String

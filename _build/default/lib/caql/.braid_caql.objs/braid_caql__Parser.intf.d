@@ -1,0 +1,1 @@
+lib/caql/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/caql/to_sql.ml: Ast Braid_logic Braid_relalg Braid_remote Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/caql/to_sql.mli: Ast Braid_relalg Braid_remote

@@ -1,0 +1,107 @@
+module L = Braid_logic
+module R = Braid_relalg
+
+let is_safe_conj (c : Ast.conj) =
+  let atom_vars = List.concat_map L.Atom.vars c.Ast.atoms in
+  let covered x = List.mem x atom_vars in
+  List.for_all (function L.Term.Var x -> covered x | L.Term.Const _ -> true) c.Ast.head
+  && List.for_all
+       (fun (_, a, b) ->
+         List.for_all covered (L.Literal.expr_vars a @ L.Literal.expr_vars b))
+       c.Ast.cmps
+
+let rec is_safe = function
+  | Ast.Conj c -> is_safe_conj c
+  | Ast.Union [] -> false
+  | Ast.Union (q :: qs) ->
+    let n = Ast.head_arity q in
+    is_safe q && List.for_all (fun q' -> Ast.head_arity q' = n && is_safe q') qs
+  | Ast.Diff (a, b) -> Ast.head_arity a = Ast.head_arity b && is_safe a && is_safe b
+  | Ast.Distinct q -> is_safe q
+  | Ast.Division (dividend, divisor) ->
+    Ast.head_arity dividend > Ast.head_arity divisor
+    && Ast.head_arity divisor > 0
+    && is_safe dividend && is_safe divisor
+  | Ast.Fixpoint f ->
+    Ast.head_arity f.Ast.base = Ast.head_arity f.Ast.step
+    && is_safe f.Ast.base && is_safe f.Ast.step
+  | Ast.Agg a ->
+    is_safe a.Ast.source
+    &&
+    let n = Ast.head_arity a.Ast.source in
+    List.for_all (fun k -> k >= 0 && k < n) a.Ast.keys
+
+let binding_pattern (c : Ast.conj) =
+  List.map (function L.Term.Const _ -> `Bound | L.Term.Var _ -> `Free) c.Ast.head
+
+let var_type schema_of (c : Ast.conj) x =
+  let rec in_atoms = function
+    | [] -> None
+    | a :: rest ->
+      let rec scan i = function
+        | [] -> in_atoms rest
+        | L.Term.Var y :: _ when String.equal x y ->
+          (match schema_of a.L.Atom.pred with
+           | Some s when i < R.Schema.arity s -> Some (R.Schema.ty_at s i)
+           | Some _ | None -> in_atoms rest)
+        | _ :: args -> scan (i + 1) args
+      in
+      scan 0 a.L.Atom.args
+  in
+  in_atoms c.Ast.atoms
+
+let rec fresh_name taken n = if List.mem n taken then fresh_name taken (n ^ "'") else n
+
+let schema_of_conj schema_of (c : Ast.conj) =
+  let attrs, _ =
+    List.fold_left
+      (fun (acc, taken) (i, t) ->
+        let name, ty =
+          match t with
+          | L.Term.Var x ->
+            let ty = Option.value ~default:R.Value.Tstr (var_type schema_of c x) in
+            (x, ty)
+          | L.Term.Const v ->
+            let ty = Option.value ~default:R.Value.Tstr (R.Value.type_of v) in
+            (Printf.sprintf "k%d" i, ty)
+        in
+        let name = fresh_name taken name in
+        ((name, ty) :: acc, name :: taken))
+      ([], [])
+      (List.mapi (fun i t -> (i, t)) c.Ast.head)
+  in
+  R.Schema.make (List.rev attrs)
+
+let rec schema_of sof = function
+  | Ast.Conj c -> schema_of_conj sof c
+  | Ast.Union [] -> invalid_arg "Analyze.schema_of: empty union"
+  | Ast.Union (q :: _) -> schema_of sof q
+  | Ast.Diff (a, _) -> schema_of sof a
+  | Ast.Distinct q -> schema_of sof q
+  | Ast.Division (dividend, divisor) ->
+    let d = schema_of sof dividend in
+    let keys = Ast.head_arity dividend - Ast.head_arity divisor in
+    R.Schema.project d (List.init (max 0 keys) (fun i -> i))
+  | Ast.Fixpoint f -> schema_of sof f.Ast.base
+  | Ast.Agg a ->
+    let src = schema_of sof a.Ast.source in
+    let key_attrs = List.map (fun k -> (R.Schema.name_at src k, R.Schema.ty_at src k)) a.Ast.keys in
+    let agg_attrs =
+      List.map
+        (fun sp ->
+          let ty =
+            match sp with
+            | R.Aggregate.Count -> R.Value.Tint
+            | R.Aggregate.Avg _ -> R.Value.Tfloat
+            | R.Aggregate.Sum i | R.Aggregate.Min i | R.Aggregate.Max i -> R.Schema.ty_at src i
+          in
+          (R.Aggregate.name_of_spec sp, ty))
+        a.Ast.specs
+    in
+    let rec uniq taken = function
+      | [] -> []
+      | (n, ty) :: rest ->
+        let n = fresh_name taken n in
+        (n, ty) :: uniq (n :: taken) rest
+    in
+    R.Schema.make (uniq [] (key_attrs @ agg_attrs))

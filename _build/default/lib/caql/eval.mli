@@ -1,0 +1,38 @@
+(** CAQL evaluation.
+
+    Two evaluation modes, matching the CMS's two data representations
+    (§5.1): {b eager} evaluation producing a full extension, and {b lazy}
+    evaluation producing a generator that computes one solution tuple on
+    demand (depth-first with chronological backtracking over the atom
+    list).
+
+    Both are parameterized by [source], the function that resolves a
+    relation occurrence to data — the caller (Cache Manager, remote engine
+    wrapper, or test harness) decides where the extension comes from. *)
+
+exception Unsafe of string
+(** Raised when a head or comparison variable is not range-restricted. *)
+
+val conj :
+  source:(Braid_logic.Atom.t -> Braid_relalg.Relation.t) ->
+  schema_of:(string -> Braid_relalg.Schema.t option) ->
+  Ast.conj ->
+  Braid_relalg.Relation.t
+(** Eager bottom-up evaluation: left-to-right hash-join pipeline with
+    pushed-down constant selections and comparisons. *)
+
+val query :
+  source:(Braid_logic.Atom.t -> Braid_relalg.Relation.t) ->
+  schema_of:(string -> Braid_relalg.Schema.t option) ->
+  Ast.t ->
+  Braid_relalg.Relation.t
+(** Full CAQL: union (set semantics), difference, aggregation. *)
+
+val lazy_conj :
+  source:(Braid_logic.Atom.t -> Braid_stream.Tuple_stream.t) ->
+  schema_of:(string -> Braid_relalg.Schema.t option) ->
+  Ast.conj ->
+  Braid_stream.Tuple_stream.t
+(** Lazy generator: tuples are produced on demand; the amount of work done
+    (visible through the sources' [produced] counters) is proportional to
+    how far the consumer pulls. *)

@@ -1,0 +1,82 @@
+module L = Braid_logic
+module R = Braid_relalg
+module Sql = Braid_remote.Sql
+
+type failure =
+  | No_relations
+  | Unknown_relation of string
+  | Arithmetic_comparison
+  | Constant_in_head
+  | Unbound_column of string
+
+let failure_to_string = function
+  | No_relations -> "no relation occurrence to ship"
+  | Unknown_relation r -> "unknown relation " ^ r
+  | Arithmetic_comparison -> "arithmetic comparison not supported by the remote DML"
+  | Constant_in_head -> "constant in head not supported by the remote DML"
+  | Unbound_column x -> "variable not bound by any relation occurrence: " ^ x
+
+exception Fail of failure
+
+let translate ~schema_of (c : Ast.conj) =
+  try
+    if c.Ast.atoms = [] then raise (Fail No_relations);
+    (* One FROM-source per atom occurrence. *)
+    let sources =
+      List.mapi
+        (fun i (a : L.Atom.t) ->
+          match schema_of a.L.Atom.pred with
+          | None -> raise (Fail (Unknown_relation a.L.Atom.pred))
+          | Some schema -> (a, Printf.sprintf "t%d" i, schema))
+        c.Ast.atoms
+    in
+    (* First column binding each variable, plus equality conditions for
+       further occurrences and for constants. *)
+    let var_col : (string, Sql.col) Hashtbl.t = Hashtbl.create 16 in
+    let conds = ref [] in
+    List.iter
+      (fun ((a : L.Atom.t), alias, schema) ->
+        List.iteri
+          (fun i t ->
+            let col = { Sql.src = alias; attr = R.Schema.name_at schema i } in
+            match t with
+            | L.Term.Const v ->
+              conds := (R.Row_pred.Eq, Sql.Col col, Sql.Const v) :: !conds
+            | L.Term.Var x ->
+              (match Hashtbl.find_opt var_col x with
+               | Some first ->
+                 conds := (R.Row_pred.Eq, Sql.Col first, Sql.Col col) :: !conds
+               | None -> Hashtbl.add var_col x col))
+          a.L.Atom.args)
+      sources;
+    (* Comparisons: only variable/constant operands can be shipped. *)
+    let scalar_of_expr = function
+      | L.Literal.Term (L.Term.Const v) -> Sql.Const v
+      | L.Literal.Term (L.Term.Var x) ->
+        (match Hashtbl.find_opt var_col x with
+         | Some col -> Sql.Col col
+         | None -> raise (Fail (Unbound_column x)))
+      | L.Literal.Add _ | L.Literal.Sub _ | L.Literal.Mul _ | L.Literal.Div _ ->
+        raise (Fail Arithmetic_comparison)
+    in
+    List.iter
+      (fun (op, a, b) -> conds := (op, scalar_of_expr a, scalar_of_expr b) :: !conds)
+      c.Ast.cmps;
+    let columns =
+      List.map
+        (function
+          | L.Term.Const _ -> raise (Fail Constant_in_head)
+          | L.Term.Var x ->
+            (match Hashtbl.find_opt var_col x with
+             | Some col -> Sql.Col col
+             | None -> raise (Fail (Unbound_column x))))
+        c.Ast.head
+    in
+    Ok
+      {
+        Sql.distinct = false;
+        columns;
+        from = List.map (fun ((a : L.Atom.t), alias, _) -> { Sql.table = a.L.Atom.pred; alias }) sources;
+        where = List.rev !conds;
+      }
+  with Fail f -> Error f

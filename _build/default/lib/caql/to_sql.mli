@@ -1,0 +1,24 @@
+(** Translation of the remote-executable fragment of CAQL to the remote
+    DBMS's DML (the Remote DBMS Interface's "query translation", §3/§5.5).
+
+    Only conjunctive queries whose atoms are all base relations, whose
+    comparisons are arithmetic-free, and whose head is variable-only can be
+    shipped; everything else (arithmetic, aggregation, generators,
+    second-order operations) must stay in the CMS — this asymmetry is
+    exactly the paper's "the remote DBMS does not support all CAQL
+    operations, but the CMS does" (§5.3.3). *)
+
+type failure =
+  | No_relations  (** an atom-less conjunct has nothing to ship *)
+  | Unknown_relation of string
+  | Arithmetic_comparison
+  | Constant_in_head
+  | Unbound_column of string
+
+val translate :
+  schema_of:(string -> Braid_relalg.Schema.t option) ->
+  Ast.conj ->
+  (Braid_remote.Sql.select, failure) result
+(** The result's SELECT list is the head variables in head order. *)
+
+val failure_to_string : failure -> string

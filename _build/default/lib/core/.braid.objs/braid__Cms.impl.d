@@ -1,0 +1,1 @@
+lib/core/cms.ml: Braid_cache Braid_caql Braid_planner Braid_remote

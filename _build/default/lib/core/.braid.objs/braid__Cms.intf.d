@@ -1,0 +1,1 @@
+lib/core/cms.mli: Braid_advice Braid_cache Braid_caql Braid_planner Braid_relalg Braid_remote

@@ -1,0 +1,1 @@
+lib/core/loader.ml: Array Braid_caql Braid_logic Braid_relalg Filename In_channel List Printf String

@@ -1,0 +1,1 @@
+lib/core/system.ml: Braid_cache Braid_caql Braid_ie Braid_logic Braid_planner Braid_relalg Braid_remote Cms Format List String

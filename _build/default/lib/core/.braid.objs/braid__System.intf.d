@@ -1,0 +1,1 @@
+lib/core/system.mli: Braid_cache Braid_ie Braid_logic Braid_planner Braid_relalg Braid_remote Braid_stream Cms Format

@@ -1,0 +1,43 @@
+module Qpo = Braid_planner.Qpo
+module CMgr = Braid_cache.Cache_manager
+module Server = Braid_remote.Server
+
+type t = {
+  qpo : Qpo.t;
+  cache : CMgr.t;
+  server : Server.t;
+}
+
+let create ?(config = Qpo.braid_config) ?(capacity_bytes = 8 * 1024 * 1024) server =
+  let cache = CMgr.create ~capacity_bytes in
+  { qpo = Qpo.create config ~cache ~server; cache; server }
+
+let qpo t = t.qpo
+let cache t = t.cache
+let server t = t.server
+
+let begin_session t advice = Qpo.set_advice t.qpo advice
+
+let query t ?spec_id ?prefer_lazy q = Qpo.answer_conj t.qpo ?spec_id ?prefer_lazy q
+
+let query_full t q = Qpo.answer_query t.qpo q
+
+let query_text t text =
+  match Braid_caql.Parser.parse_program text with
+  | [ (_, q) ] -> query_full t q
+  | [] -> raise (Braid_caql.Parser.Error "empty CAQL input")
+  | _ -> raise (Braid_caql.Parser.Error "expected a single query definition")
+
+let invalidate_table t name = CMgr.invalidate_pred t.cache name
+
+let cache_summary t = Braid_cache.Cache_model.summary (CMgr.model t.cache)
+let metrics t = Qpo.metrics t.qpo
+let remote_stats t = Server.stats t.server
+
+let set_trace t enabled = Qpo.set_trace t.qpo enabled
+let trace t = Qpo.trace t.qpo
+
+let reset_metrics t =
+  Qpo.reset_metrics t.qpo;
+  Server.reset_stats t.server;
+  CMgr.reset_stats t.cache

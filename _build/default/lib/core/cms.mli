@@ -1,0 +1,59 @@
+(** The Cache Management System, as a component (paper §3/§5).
+
+    Wires the Query Planner/Optimizer, Advice Manager, Cache Manager and
+    Remote DBMS Interface together and exposes the IE–CMS interface: a
+    session begins with a set of advice and is followed by a sequence of
+    CAQL queries whose results are returned as streams.
+
+    "The CMS may be used by systems other than the one described here"
+    (§3) — nothing in this interface assumes the caller is the IE. *)
+
+type t
+
+val create :
+  ?config:Braid_planner.Qpo.config ->
+  ?capacity_bytes:int ->
+  Braid_remote.Server.t ->
+  t
+(** [config] defaults to {!Braid_planner.Qpo.braid_config};
+    [capacity_bytes] defaults to 8 MiB of cache. *)
+
+val qpo : t -> Braid_planner.Qpo.t
+val cache : t -> Braid_cache.Cache_manager.t
+val server : t -> Braid_remote.Server.t
+
+val begin_session : t -> Braid_advice.Ast.t -> unit
+(** Submit the session's advice (view specifications + path expression). *)
+
+val query :
+  t ->
+  ?spec_id:string ->
+  ?prefer_lazy:bool ->
+  Braid_caql.Ast.conj ->
+  Braid_planner.Qpo.answer
+(** One CAQL query; the result is a stream (lazy when possible and
+    requested). *)
+
+val query_full :
+  t -> Braid_caql.Ast.t -> Braid_relalg.Relation.t * Braid_planner.Plan.t
+(** Full CAQL including union, difference and aggregation — operations the
+    remote DBMS does not support and the CMS evaluates itself. *)
+
+val query_text : t -> string -> Braid_relalg.Relation.t * Braid_planner.Plan.t
+(** Parses concrete CAQL syntax (see {!Braid_caql.Parser}) and evaluates. *)
+
+val invalidate_table : t -> string -> string list
+(** Drops every cache element that depends on the named remote table;
+    returns the dropped element ids. Call after the table changes. *)
+
+val cache_summary : t -> Braid_cache.Cache_model.summary
+val metrics : t -> Braid_planner.Qpo.metrics
+val remote_stats : t -> Braid_remote.Server.stats
+val reset_metrics : t -> unit
+(** Resets planner and remote accounting; cache contents are kept. *)
+
+val set_trace : t -> bool -> unit
+val trace : t -> (Braid_caql.Ast.conj * Braid_planner.Plan.t) list
+(** Session trace: every conjunctive query answered since tracing was
+    enabled, with its executed plan — the observable record of the QPO's
+    decisions (used for debugging and by the examples). *)

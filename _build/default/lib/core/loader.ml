@@ -1,0 +1,99 @@
+module L = Braid_logic
+module R = Braid_relalg
+module V = R.Value
+module A = Braid_caql.Ast
+
+let kb_of_rules_text text =
+  let clauses = Braid_caql.Parser.parse_program text in
+  let kb = L.Kb.create () in
+  let counter = ref 0 in
+  let add_conj name (c : A.conj) =
+    incr counter;
+    let body =
+      List.map (fun a -> L.Literal.Rel a) c.A.atoms
+      @ List.map (fun (op, a, b) -> L.Literal.Cmp (op, a, b)) c.A.cmps
+    in
+    L.Kb.add_rule kb
+      (L.Rule.make ~id:(Printf.sprintf "R%d" !counter) (L.Atom.make name c.A.head) body)
+  in
+  let rec add name = function
+    | A.Conj c -> add_conj name c
+    | A.Union qs -> List.iter (add name) qs
+    | A.Diff _ | A.Agg _ | A.Distinct _ | A.Division _ | A.Fixpoint _ ->
+      invalid_arg "Loader: rules files cannot contain negation or aggregation"
+  in
+  List.iter (fun (name, q) -> add name q) clauses;
+  kb
+
+let kb_of_rules_file path =
+  kb_of_rules_text (In_channel.with_open_text path In_channel.input_all)
+
+let split_csv line = String.split_on_char ',' line |> List.map String.trim
+
+let parse_value s =
+  match int_of_string_opt s with
+  | Some n -> V.Int n
+  | None ->
+    (match float_of_string_opt s with
+     | Some f -> V.Float f
+     | None ->
+       (match s with
+        | "true" -> V.Bool true
+        | "false" -> V.Bool false
+        | "" -> V.Null
+        | _ -> V.Str s))
+
+let relation_of_csv_text ~name text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> invalid_arg "Loader: empty CSV input"
+  | header :: rows ->
+    let attrs = split_csv header in
+    let width = List.length attrs in
+    let parsed =
+      List.map
+        (fun row ->
+          let vals = List.map parse_value (split_csv row) in
+          if List.length vals <> width then
+            invalid_arg
+              (Printf.sprintf "Loader: CSV row has %d fields, expected %d"
+                 (List.length vals) width);
+          vals)
+        rows
+    in
+    let col_ty i =
+      let vals = List.map (fun row -> List.nth row i) parsed in
+      if List.for_all (function V.Int _ | V.Null -> true | _ -> false) vals then V.Tint
+      else if List.for_all (function V.Int _ | V.Float _ | V.Null -> true | _ -> false) vals
+      then V.Tfloat
+      else if List.for_all (function V.Bool _ | V.Null -> true | _ -> false) vals then V.Tbool
+      else V.Tstr
+    in
+    let schema = R.Schema.make (List.mapi (fun i a -> (a, col_ty i)) attrs) in
+    (* In a string-typed column, re-read numeric-looking values as text so
+       that "1" and 1 don't silently coexist. *)
+    let coerce i v =
+      match R.Schema.ty_at schema i, v with
+      | V.Tstr, V.Int n -> V.Str (string_of_int n)
+      | V.Tstr, V.Float f -> V.Str (string_of_float f)
+      | V.Tstr, V.Bool b -> V.Str (string_of_bool b)
+      | V.Tfloat, V.Int n -> V.Float (float_of_int n)
+      | _, v -> v
+    in
+    R.Relation.of_tuples ~name schema
+      (List.map (fun row -> Array.of_list (List.mapi coerce row)) parsed)
+
+let relation_of_csv_file path =
+  let name = Filename.remove_extension (Filename.basename path) in
+  relation_of_csv_text ~name (In_channel.with_open_text path In_channel.input_all)
+
+let parse_atomic_query text =
+  match Braid_caql.Parser.parse_clause (String.trim text ^ " .") with
+  | name, A.Conj c when c.A.atoms = [] && c.A.cmps = [] -> L.Atom.make name c.A.head
+  | _ -> invalid_arg "Loader: the AI query must be atomic, e.g. \"ancestor(p0, Y)\""
+  | exception Braid_caql.Parser.Error m ->
+    invalid_arg ("Loader: cannot parse query: " ^ m)

@@ -1,0 +1,28 @@
+(** Loading knowledge bases and databases from files.
+
+    Rules use CAQL clause syntax (see {!Braid_caql.Parser}); relations use
+    CSV with a header row. This is what `braid solve` consumes, exposed as
+    a library so applications can do the same. *)
+
+val kb_of_rules_text : string -> Braid_logic.Kb.t
+(** Each clause [head(...) :- body.] becomes a Horn rule (clauses sharing a
+    head predicate are alternative rules); facts are bodyless ground
+    clauses. Raises [Braid_caql.Parser.Error] on syntax errors and
+    [Invalid_argument] if a clause uses negation or aggregation. Predicates
+    that never appear as a head are left undeclared — {!System.build}
+    declares them as base relations when the data is loaded. *)
+
+val kb_of_rules_file : string -> Braid_logic.Kb.t
+
+val relation_of_csv_text : name:string -> string -> Braid_relalg.Relation.t
+(** First line: comma-separated attribute names. Values: int, float,
+    [true]/[false], empty (null) or string; a column's type is the most
+    specific one covering all its values. Raises [Invalid_argument] on
+    empty input or ragged rows. *)
+
+val relation_of_csv_file : string -> Braid_relalg.Relation.t
+(** The relation is named after the file's basename without extension. *)
+
+val parse_atomic_query : string -> Braid_logic.Atom.t
+(** ["ancestor(p0, Y)"] — an atomic AI query (§3). Raises
+    [Invalid_argument] when the text is not a single atom. *)

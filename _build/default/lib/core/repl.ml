@@ -1,0 +1,333 @@
+module L = Braid_logic
+module R = Braid_relalg
+module V = R.Value
+module Qpo = Braid_planner.Qpo
+
+type t = {
+  mutable config : Qpo.config;
+  mutable strategy : Braid_ie.Strategy.kind;
+  mutable clauses : string list; (* rule clauses, oldest first *)
+  facts : (string, R.Relation.t) Hashtbl.t; (* base relations typed in or loaded *)
+  mutable sys : System.t option; (* rebuilt lazily after changes *)
+  mutable last_advice : Braid_advice.Ast.t option;
+  mutable tracing : bool;
+}
+
+let create ?(config = Qpo.braid_config) () =
+  {
+    config;
+    strategy = Braid_ie.Strategy.Interpretive;
+    clauses = [];
+    facts = Hashtbl.create 16;
+    sys = None;
+    last_advice = None;
+    tracing = false;
+  }
+
+let banner =
+  "BrAID interactive session — facts and rules in CAQL clause syntax,\n\
+   queries as \"?- atom.\"; :help lists commands."
+
+let commands_help =
+  "input:\n\
+  \  parent(tom, bob).                  add a ground fact (a remote-DB tuple)\n\
+  \  anc(X,Y) :- parent(X,Y).           add a rule (several clauses = union)\n\
+  \  ?- anc(tom, Y).                    solve an AI query\n\
+   commands:\n\
+  \  :caql <clause>                     run a CAQL query directly on the CMS\n\
+  \  :explain <atom>                    justify the first solutions (proof trees)\n\
+  \  :load rules <file> | :load data <file.csv>\n\
+  \  :system loose|bermuda|ceri|braid-sub|braid\n\
+  \  :strategy interpretive|conjunction-N|compiled|adaptive\n\
+  \  :trace on|off                      record (CAQL query, plan) pairs; :trace shows them\n\
+  \  :rules | :cache | :advice | :metrics | :lint | :help | :quit"
+
+let invalidate t = t.sys <- None
+
+(* --- building the system --- *)
+
+let kb_of t =
+  let kb =
+    if t.clauses = [] then L.Kb.create ()
+    else Loader.kb_of_rules_text (String.concat "\n" t.clauses)
+  in
+  Hashtbl.iter
+    (fun name rel ->
+      if not (L.Kb.is_base kb name || L.Kb.is_derived kb name) then
+        L.Kb.declare_base kb name ~arity:(R.Schema.arity (R.Relation.schema rel)))
+    t.facts;
+  kb
+
+let system t =
+  match t.sys with
+  | Some sys -> sys
+  | None ->
+    let data = Hashtbl.fold (fun _ rel acc -> rel :: acc) t.facts [] in
+    let sys =
+      System.build ~config:t.config ~strategy:t.strategy ~kb:(kb_of t) ~data ()
+    in
+    Cms.set_trace (System.cms sys) t.tracing;
+    t.sys <- Some sys;
+    sys
+
+(* --- fact handling --- *)
+
+let default_schema values =
+  R.Schema.make
+    (List.mapi
+       (fun i v ->
+         ( Printf.sprintf "a%d" i,
+           match V.type_of v with Some ty -> ty | None -> V.Tstr ))
+       values)
+
+let add_fact t name (values : V.t list) =
+  match Hashtbl.find_opt t.facts name with
+  | Some rel ->
+    if R.Schema.arity (R.Relation.schema rel) <> List.length values then
+      Printf.sprintf "error: %s expects %d arguments" name
+        (R.Schema.arity (R.Relation.schema rel))
+    else begin
+      (match t.sys with
+       | Some sys ->
+         (* Live insert: the remote table shares this relation object, so
+            insert_remote both stores the tuple and invalidates the cache. *)
+         (try System.insert_remote sys name (Array.of_list values)
+          with Invalid_argument _ | Not_found ->
+            R.Relation.add rel (Array.of_list values);
+            invalidate t)
+       | None -> R.Relation.add rel (Array.of_list values));
+      Printf.sprintf "%s now has %d tuples" name (R.Relation.cardinality rel)
+    end
+  | None ->
+    let rel = R.Relation.create ~name (default_schema values) in
+    R.Relation.add rel (Array.of_list values);
+    Hashtbl.replace t.facts name rel;
+    invalidate t;
+    Printf.sprintf "new base relation %s/%d" name (List.length values)
+
+(* --- rendering --- *)
+
+let render_solutions ?(limit = 20) rel =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%d solutions" (R.Relation.cardinality rel));
+  List.iteri
+    (fun i tuple ->
+      if i < limit then
+        Buffer.add_string buf (Format.asprintf "@.  %a" R.Tuple.pp tuple)
+      else if i = limit then Buffer.add_string buf "\n  ...")
+    (R.Relation.to_list rel);
+  Buffer.contents buf
+
+let strip_prefix p s =
+  if String.length s >= String.length p && String.sub s 0 (String.length p) = p then
+    Some (String.trim (String.sub s (String.length p) (String.length s - String.length p)))
+  else None
+
+(* --- command handling --- *)
+
+let handle_query t text =
+  let text = String.trim text in
+  let text = if String.length text > 0 && text.[String.length text - 1] = '.' then String.sub text 0 (String.length text - 1) else text in
+  let query = Loader.parse_atomic_query text in
+  let sys = system t in
+  let stream, report = System.solve sys query in
+  t.last_advice <- Some report.Braid_ie.Engine.advice;
+  render_solutions (Braid_stream.Tuple_stream.to_relation stream)
+
+let handle_caql t text =
+  let sys = system t in
+  let result, plan = Cms.query_text (System.cms sys) text in
+  render_solutions result ^ Format.asprintf "@.plan:@.%a" Braid_planner.Plan.pp plan
+
+let handle_explain t text =
+  let text = String.trim text in
+  let text =
+    if String.length text > 0 && text.[String.length text - 1] = '.' then
+      String.sub text 0 (String.length text - 1)
+    else text
+  in
+  let query = Loader.parse_atomic_query text in
+  let sys = system t in
+  let proofs =
+    Braid_ie.Justify.explain (System.kb sys) (Cms.qpo (System.cms sys)) ~max_proofs:3 query
+  in
+  if proofs = [] then "no solutions"
+  else
+    String.concat "\n"
+      (List.map
+         (fun (tuple, proof) ->
+           Format.asprintf "%a@.%a" R.Tuple.pp tuple Braid_ie.Justify.pp_proof proof)
+         proofs)
+
+let handle_load t what =
+  match String.index_opt what ' ' with
+  | None -> "usage: :load rules <file> | :load data <file.csv>"
+  | Some i ->
+    let kind = String.sub what 0 i in
+    let path = String.trim (String.sub what (i + 1) (String.length what - i - 1)) in
+    (match kind with
+     | "rules" ->
+       let text = In_channel.with_open_text path In_channel.input_all in
+       (* validate before accepting *)
+       ignore (Loader.kb_of_rules_text text);
+       t.clauses <- t.clauses @ [ text ];
+       invalidate t;
+       Printf.sprintf "loaded rules from %s" path
+     | "data" ->
+       let rel = Loader.relation_of_csv_file path in
+       Hashtbl.replace t.facts (R.Relation.name rel) rel;
+       invalidate t;
+       Printf.sprintf "loaded %s (%d tuples)" (R.Relation.name rel)
+         (R.Relation.cardinality rel)
+     | _ -> "usage: :load rules <file> | :load data <file.csv>")
+
+let handle_system t label =
+  match List.find_opt (fun b -> b.Baselines.label = label) Baselines.all with
+  | Some b ->
+    t.config <- b.Baselines.config;
+    invalidate t;
+    Printf.sprintf "system = %s (%s)" b.Baselines.label b.Baselines.description
+  | None ->
+    Printf.sprintf "unknown system %S; expected %s" label
+      (String.concat ", " (List.map (fun b -> b.Baselines.label) Baselines.all))
+
+let handle_strategy t label =
+  let set k =
+    t.strategy <- k;
+    invalidate t;
+    "strategy = " ^ label
+  in
+  match label with
+  | "interpretive" -> set Braid_ie.Strategy.Interpretive
+  | "compiled" -> set Braid_ie.Strategy.Fully_compiled
+  | "adaptive" -> set Braid_ie.Strategy.Adaptive
+  | _ ->
+    (match strip_prefix "conjunction-" label with
+     | Some n ->
+       (match int_of_string_opt n with
+        | Some k when k >= 1 -> set (Braid_ie.Strategy.Conjunction_compiled k)
+        | _ -> "error: conjunction-N needs N >= 1")
+     | None -> "unknown strategy; expected interpretive, conjunction-N, compiled or adaptive")
+
+let handle_cache t =
+  match t.sys with
+  | None -> "no session yet"
+  | Some sys ->
+    let model = Braid_cache.Cache_manager.model (Cms.cache (System.cms sys)) in
+    let summary = Braid_cache.Cache_model.summary model in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "%d elements (%d extensions, %d generators), %d bytes"
+         summary.Braid_cache.Cache_model.element_count
+         summary.Braid_cache.Cache_model.materialized
+         summary.Braid_cache.Cache_model.generators
+         summary.Braid_cache.Cache_model.total_bytes);
+    List.iteri
+      (fun i e ->
+        if i < 15 then
+          Buffer.add_string buf (Format.asprintf "@.  %a" Braid_cache.Element.pp e)
+        else if i = 15 then Buffer.add_string buf "\n  ...")
+      (Braid_cache.Cache_model.elements model);
+    Buffer.contents buf
+
+let handle_rules t =
+  let kb = kb_of t in
+  Format.asprintf "%a" L.Kb.pp kb
+
+let handle_lint t =
+  match L.Kb.lint (kb_of t) with
+  | [] -> "knowledge base is clean"
+  | findings ->
+    String.concat "\n"
+      (List.map (fun f -> Format.asprintf "%a" L.Kb.pp_lint f) findings)
+
+let exec_line t line =
+  let line = String.trim line in
+  try
+    if line = "" then ""
+    else if line = ":help" then commands_help
+    else if line = ":quit" || line = ":q" then "bye"
+    else if line = ":cache" then handle_cache t
+    else if line = ":rules" then handle_rules t
+    else if line = ":lint" then handle_lint t
+    else if line = ":trace" then
+      match t.sys with
+      | None -> "no session yet"
+      | Some sys ->
+        let entries = Cms.trace (System.cms sys) in
+        if entries = [] then "trace is empty (enable with :trace on)"
+        else
+          String.concat "\n"
+            (List.map
+               (fun (q, plan) ->
+                 Format.asprintf "%s@.  %s" (Braid_caql.Ast.conj_to_string q)
+                   (String.concat "; "
+                      (List.map
+                         (fun step -> Format.asprintf "%a" Braid_planner.Plan.pp_step step)
+                         plan)))
+               entries)
+    else if line = ":trace on" then begin
+      t.tracing <- true;
+      (match t.sys with Some sys -> Cms.set_trace (System.cms sys) true | None -> ());
+      "tracing on"
+    end
+    else if line = ":trace off" then begin
+      t.tracing <- false;
+      (match t.sys with Some sys -> Cms.set_trace (System.cms sys) false | None -> ());
+      "tracing off"
+    end
+    else if line = ":metrics" then
+      match t.sys with
+      | None -> "no session yet"
+      | Some sys -> Format.asprintf "%a" System.pp_metrics (System.metrics sys)
+    else if line = ":advice" then
+      match t.last_advice with
+      | None -> "no query answered yet"
+      | Some a -> Format.asprintf "%a" Braid_advice.Ast.pp a
+    else
+      match strip_prefix "?-" line with
+      | Some q -> handle_query t q
+      | None ->
+        (match strip_prefix ":caql" line with
+         | Some q -> handle_caql t q
+         | None ->
+           (match strip_prefix ":explain" line with
+            | Some q -> handle_explain t q
+            | None ->
+              (match strip_prefix ":load" line with
+               | Some w -> handle_load t w
+               | None ->
+                 (match strip_prefix ":system" line with
+                  | Some l -> handle_system t l
+                  | None ->
+                    (match strip_prefix ":strategy" line with
+                     | Some l -> handle_strategy t l
+                     | None ->
+                       if String.length line > 0 && line.[0] = ':' then
+                         "unknown command; :help lists them"
+                       else begin
+                         (* a clause: ground bodyless fact -> remote tuple;
+                            otherwise a rule *)
+                         match Braid_caql.Parser.parse_clause line with
+                         | name, Braid_caql.Ast.Conj c
+                           when c.Braid_caql.Ast.atoms = []
+                                && c.Braid_caql.Ast.cmps = []
+                                && List.for_all L.Term.is_const c.Braid_caql.Ast.head ->
+                           add_fact t name
+                             (List.filter_map
+                                (function L.Term.Const v -> Some v | L.Term.Var _ -> None)
+                                c.Braid_caql.Ast.head)
+                         | _ ->
+                           (* validate through the loader for better errors *)
+                           ignore (Loader.kb_of_rules_text line);
+                           t.clauses <- t.clauses @ [ line ];
+                           invalidate t;
+                           "rule added"
+                       end)))))
+  with
+  | Braid_caql.Parser.Error m -> "error: " ^ m
+  | Braid_advice.Parser.Error m -> "error: " ^ m
+  | Invalid_argument m -> "error: " ^ m
+  | Not_found -> "error: not found"
+  | Sys_error m -> "error: " ^ m
+  | Braid_cache.Query_processor.Unknown_relation r -> "error: unknown relation " ^ r

@@ -1,0 +1,28 @@
+(** An interactive BrAID session: build a knowledge base incrementally,
+    load data, pose AI queries and CAQL queries, inspect the cache, the
+    advice and the metrics, and ask for justifications.
+
+    The engine is line-oriented and pure-ish ([exec_line] returns the text
+    to display), so the same code drives both `braid repl` and the tests.
+
+    {v
+    braid> parent(tom, bob).
+    braid> ancestor(X, Y) :- parent(X, Y).
+    braid> ancestor(X, Y) :- parent(X, Z) & ancestor(Z, Y).
+    braid> ?- ancestor(tom, Y).
+    braid> :explain ancestor(tom, Y)
+    braid> :cache
+    v} *)
+
+type t
+
+val create : ?config:Braid_planner.Qpo.config -> unit -> t
+
+val exec_line : t -> string -> string
+(** Executes one input line and returns the text to print (possibly
+    empty). Never raises: errors come back as ["error: ..."] text. *)
+
+val banner : string
+
+val commands_help : string
+(** The text behind [:help]. *)

@@ -1,0 +1,91 @@
+module L = Braid_logic
+module R = Braid_relalg
+module Qpo = Braid_planner.Qpo
+module Server = Braid_remote.Server
+module Engine = Braid_ie.Engine
+
+type t = {
+  kb : L.Kb.t;
+  cms : Cms.t;
+  engine : Engine.t;
+  server : Server.t;
+}
+
+let build ?cost ?config ?capacity_bytes ?strategy ?send_advice ~kb ~data () =
+  let server = Server.create ?cost () in
+  List.iter
+    (fun rel ->
+      Braid_remote.Engine.load (Server.engine server) rel;
+      let name = R.Relation.name rel in
+      if not (L.Kb.is_base kb name || L.Kb.is_derived kb name) then
+        L.Kb.declare_base kb name ~arity:(R.Schema.arity (R.Relation.schema rel)))
+    data;
+  let cms = Cms.create ?config ?capacity_bytes server in
+  let engine = Engine.create ?strategy ?send_advice kb (Cms.qpo cms) in
+  { kb; cms; engine; server }
+
+let kb t = t.kb
+let cms t = t.cms
+let engine t = t.engine
+let server t = t.server
+
+let solve t query = Engine.solve t.engine query
+
+let solve_all t query = fst (Engine.solve_all t.engine query)
+
+let solve_first t ?n query = fst (Engine.solve_first t.engine ?n query)
+
+let solve_text t text =
+  match Braid_caql.Parser.parse_clause (String.trim text ^ " .") with
+  | name, Braid_caql.Ast.Conj c when c.Braid_caql.Ast.atoms = [] && c.Braid_caql.Ast.cmps = []
+    ->
+    solve_all t (L.Atom.make name c.Braid_caql.Ast.head)
+  | _ -> invalid_arg "System.solve_text: expected an atomic AI query like p(a, X)"
+
+let insert_remote t name tuple =
+  let engine = Server.engine t.server in
+  Braid_remote.Engine.insert engine name tuple;
+  Braid_remote.Catalog.refresh_stats (Server.catalog t.server) name
+    (Braid_remote.Engine.table engine name);
+  ignore (Cms.invalidate_table t.cms name)
+
+type metrics = {
+  remote : Server.stats;
+  planner : Qpo.metrics;
+  cache : Braid_cache.Cache_manager.stats;
+  cache_summary : Braid_cache.Cache_model.summary;
+  ie_ms : float;
+  total_ms : float;
+}
+
+let metrics t =
+  let planner = Cms.metrics t.cms in
+  let ie_ms = Engine.ie_ms t.engine in
+  {
+    remote = Cms.remote_stats t.cms;
+    planner;
+    cache = Braid_cache.Cache_manager.stats (Cms.cache t.cms);
+    cache_summary = Cms.cache_summary t.cms;
+    ie_ms;
+    total_ms = planner.Qpo.elapsed_ms +. ie_ms;
+  }
+
+let reset_metrics t = Cms.reset_metrics t.cms
+
+let pp_metrics ppf m =
+  Format.fprintf ppf
+    "@[<v>remote: %d requests, %d tuples returned, %d scanned (server %.1fms, comm %.1fms)@,\
+     planner: %d queries — %d exact, %d full, %d partial hits, %d misses; %d generalizations, \
+     %d prefetches, %d lazy@,\
+     cache: %d elements (%d ext / %d gen), %d bytes, %d insertions, %d evictions@,\
+     time: ie %.1fms, local %.1fms, total %.1fms@]"
+    m.remote.Server.requests m.remote.Server.tuples_returned m.remote.Server.tuples_scanned
+    m.remote.Server.server_ms m.remote.Server.comm_ms m.planner.Qpo.queries
+    m.planner.Qpo.exact_hits m.planner.Qpo.full_hits m.planner.Qpo.partial_hits
+    m.planner.Qpo.misses m.planner.Qpo.generalizations m.planner.Qpo.prefetches
+    m.planner.Qpo.lazy_answers m.cache_summary.Braid_cache.Cache_model.element_count
+    m.cache_summary.Braid_cache.Cache_model.materialized
+    m.cache_summary.Braid_cache.Cache_model.generators
+    m.cache_summary.Braid_cache.Cache_model.total_bytes
+    m.cache.Braid_cache.Cache_manager.insertions m.cache.Braid_cache.Cache_manager.evictions
+    m.ie_ms m.planner.Qpo.local_ms m.total_ms

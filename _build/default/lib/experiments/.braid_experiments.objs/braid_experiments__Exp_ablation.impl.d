@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Braid_planner Braid_workload List Printf Runner Table

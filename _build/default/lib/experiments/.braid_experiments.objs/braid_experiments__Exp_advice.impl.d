@@ -1,0 +1,1 @@
+lib/experiments/exp_advice.ml: Braid_logic Braid_planner Braid_workload List Runner Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_application.ml: Braid Braid_workload List Printf Runner Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_cost_split.ml: Braid Braid_workload List Printf Runner Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_cost_split.mli: Runner Table

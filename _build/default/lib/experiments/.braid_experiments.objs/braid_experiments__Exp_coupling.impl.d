@@ -1,0 +1,1 @@
+lib/experiments/exp_coupling.ml: Braid Braid_workload List Printf Runner Table

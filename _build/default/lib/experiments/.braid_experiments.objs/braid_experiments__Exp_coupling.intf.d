@@ -1,0 +1,1 @@
+lib/experiments/exp_coupling.mli: Runner Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_fixpoint.ml: Braid Braid_caql Braid_ie Braid_logic Braid_planner Braid_relalg Braid_remote Braid_workload List Printf Runner Table

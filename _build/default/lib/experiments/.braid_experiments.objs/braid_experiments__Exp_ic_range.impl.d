@@ -1,0 +1,1 @@
+lib/experiments/exp_ic_range.ml: Braid_ie Braid_planner Braid_workload List Printf Runner Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_ic_range.mli: Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_ie_pipeline.ml: Braid Braid_ie Braid_logic Braid_relalg Braid_remote List Printf Table

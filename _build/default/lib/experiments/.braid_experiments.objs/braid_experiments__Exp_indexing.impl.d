@@ -1,0 +1,1 @@
+lib/experiments/exp_indexing.ml: Braid Braid_advice Braid_cache Braid_caql Braid_logic Braid_planner Braid_relalg Braid_remote Braid_stream Braid_workload List Printf Table

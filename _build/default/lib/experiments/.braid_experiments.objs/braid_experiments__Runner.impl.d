@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Braid Braid_cache Braid_planner Braid_relalg Braid_remote List

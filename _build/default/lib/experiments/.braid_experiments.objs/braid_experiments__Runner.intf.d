@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Braid_ie Braid_logic Braid_planner Braid_relalg

@@ -1,0 +1,29 @@
+let experiments =
+  [
+    ("e1", fun () -> snd (Exp_coupling.run ()));
+    ("e2", fun () -> snd (Exp_ablation.run ()));
+    ("e3", fun () -> snd (Exp_cost_split.run ()));
+    ("e4", fun () -> snd (Exp_ie_pipeline.run ()));
+    ("e5", fun () -> snd (Exp_reuse.run ()));
+    ("e6", fun () -> snd (Exp_ic_range.run ()));
+    ("e7", fun () -> snd (Exp_lazy.run ()));
+    ("e8", fun () -> snd (Exp_advice.run ()));
+    ("e9", fun () -> snd (Exp_replacement.run ()));
+    ("e10", fun () -> snd (Exp_indexing.run ()));
+    ("e11", fun () -> snd (Exp_fixpoint.run ()));
+    ("e12", fun () -> snd (Exp_application.run ()));
+  ]
+
+let run_all () =
+  List.iter
+    (fun (_, run) ->
+      Table.print (run ());
+      print_newline ())
+    experiments
+
+let run_one id =
+  match List.assoc_opt (String.lowercase_ascii id) experiments with
+  | Some run ->
+    Table.print (run ());
+    true
+  | None -> false

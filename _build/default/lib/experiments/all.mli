@@ -1,0 +1,11 @@
+(** The complete experiment suite (see DESIGN.md §5 and EXPERIMENTS.md). *)
+
+val experiments : (string * (unit -> Table.t)) list
+(** [(id, run)] pairs, E1–E12, at full benchmark scale. *)
+
+val run_all : unit -> unit
+(** Runs every experiment and prints its table. *)
+
+val run_one : string -> bool
+(** Runs the experiment with the given id (e.g. ["e5"]); false if the id is
+    unknown. *)

@@ -1,0 +1,10 @@
+(** E2 — Figure 2 / §2: per-technique relief of the impedance mismatch.
+
+    Each row disables one of BrAID's techniques (subsumption caching,
+    advice, generalization, prefetching, indexing, lazy evaluation,
+    parallel overlap) and reruns the same workload; the deltas attribute
+    the end-to-end win to individual techniques. *)
+
+val run :
+  ?students:int -> ?queries:int -> unit -> (string * Runner.result) list * Table.t
+(** The first row is the full system. *)

@@ -1,0 +1,68 @@
+module L = Braid_logic
+module T = L.Term
+module Qpo = Braid_planner.Qpo
+
+type row = {
+  label : string;
+  size : int;
+  requests : int;
+  tuples_moved : int;
+  generalizations : int;
+  prefetches : int;
+  total_ms : float;
+}
+
+let configs =
+  [ ("subsumption only", Qpo.no_advice_config); ("with advice", Qpo.braid_config) ]
+
+let run ?(sizes = [ 10; 20; 40 ]) () =
+  let query = L.Atom.make "k1" [ T.Var "X"; T.Var "Y" ] in
+  let rows_data =
+    List.concat_map
+      (fun size ->
+        List.map
+          (fun (label, config) ->
+            let r =
+              Runner.run_batch ~label ~config
+                ~kb:(fun () -> Braid_workload.Kbgen.example1 ())
+                ~data:(fun () -> Braid_workload.Datagen.paper_example ~size ())
+                [ query ]
+            in
+            {
+              label;
+              size;
+              requests = r.Runner.requests;
+              tuples_moved = r.Runner.tuples_returned;
+              generalizations = r.Runner.generalizations;
+              prefetches = r.Runner.prefetches;
+              total_ms = r.Runner.total_ms;
+            })
+          configs)
+      sizes
+  in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          Table.Int r.size;
+          Table.Text r.label;
+          Table.Int r.requests;
+          Table.Int r.tuples_moved;
+          Table.Int r.generalizations;
+          Table.Int r.prefetches;
+          Table.Float r.total_ms;
+        ])
+      rows_data
+  in
+  let table =
+    Table.make ~title:"E8  advice: generalization + prefetch — paper Example 1 (k1 query)"
+      ~columns:
+        [ "data size"; "configuration"; "remote req"; "tuples moved"; "generalized"; "prefetched"; "total ms" ]
+      ~notes:
+        [
+          "paper §5.3.1: with advice the CMS evaluates a generalization once \
+           instead of one remote request per constant";
+        ]
+      rows
+  in
+  (rows_data, table)

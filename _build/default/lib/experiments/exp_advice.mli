@@ -1,0 +1,20 @@
+(** E8 — §4.2/§5.3.1: advice-driven prefetching and query generalization.
+
+    The paper's running Example 1 (rules R1–R3): solving [k1(X,Y)?] makes
+    the IE emit [d1(Y)] once and then [d2(X,c)] / [d3(X,c)] once per
+    binding of Y. Without advice the CMS answers each instance separately;
+    with the path expression it generalizes to the whole [d2]/[d3] families
+    after the first instance (and prefetches the predicted-next family), so
+    remote requests stop growing with |Y|. *)
+
+type row = {
+  label : string;
+  size : int;  (** data scale: |Y| grows with it *)
+  requests : int;
+  tuples_moved : int;
+  generalizations : int;
+  prefetches : int;
+  total_ms : float;
+}
+
+val run : ?sizes:int list -> unit -> row list * Table.t

@@ -1,0 +1,14 @@
+(** E12 (extension) — a whole-application benchmark: the Bellcore-flavoured
+    provisioning workload (the setting BrAID was built for).
+
+    A mixed expert-system session — ground provisionability checks,
+    servability lookups, backbone-reachability sweeps over a recursive,
+    comparison-filtered network — runs under every coupling discipline.
+    This exercises the entire stack at once (recursion, comparisons, FD
+    SOAs, advice, subsumption, lazy streams) and shows the end-to-end
+    ordering: loose ≫ exact-match ≈ single-relation ≫ subsumption ≥ full
+    BrAID. *)
+
+val run :
+  ?offices:int -> ?customers:int -> ?orders:int -> ?queries:int -> unit ->
+  Runner.result list * Table.t

@@ -1,0 +1,38 @@
+let run ?(parts = 80) ?(queries = 20) () =
+  let kb () = Braid_workload.Kbgen.bill_of_materials () in
+  let data () = Braid_workload.Datagen.bill_of_materials ~parts ~max_children:3 () in
+  let batch = Braid_workload.Queries.bom_batch ~parts ~n:queries ~skew:1.0 () in
+  let results =
+    List.map
+      (fun (b : Braid.Baselines.named) ->
+        Runner.run_batch ~label:b.Braid.Baselines.label ~config:b.Braid.Baselines.config ~kb
+          ~data batch)
+      [ Braid.Baselines.loose_coupling; Braid.Baselines.bermuda; Braid.Baselines.braid ]
+  in
+  let rows =
+    List.map
+      (fun (r : Runner.result) ->
+        let workstation = r.Runner.local_ms +. r.Runner.ie_ms in
+        [
+          Table.Text r.Runner.label;
+          Table.Float r.Runner.comm_ms;
+          Table.Float r.Runner.server_ms;
+          Table.Float workstation;
+          Table.Float r.Runner.total_ms;
+        ])
+      results
+  in
+  let table =
+    Table.make
+      ~title:
+        (Printf.sprintf "E3  cost split — bill-of-materials (%d parts, %d queries)" parts
+           queries)
+      ~columns:[ "system"; "comm ms"; "server ms"; "workstation ms"; "total ms" ]
+      ~notes:
+        [
+          "paper Figure 3 / §3: cost = communication + server demand + workstation \
+           computation; bridging shifts cost onto the (cheap) workstation";
+        ]
+      rows
+  in
+  (results, table)

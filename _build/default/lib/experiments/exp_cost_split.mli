@@ -1,0 +1,9 @@
+(** E3 — Figure 3 / §3: where the cost goes.
+
+    The paper defines the cost of a session as communication volume, server
+    computation and workstation computation. This experiment reports the
+    three components per coupling discipline on the bill-of-materials
+    workload: the bridging architecture trades remote/communication cost
+    for (cheaper) workstation work. *)
+
+val run : ?parts:int -> ?queries:int -> unit -> Runner.result list * Table.t

@@ -1,0 +1,39 @@
+let run ?(persons = 120) ?(queries = 30) ?(skew = 1.1) () =
+  let kb () = Braid_workload.Kbgen.ancestor () in
+  let data () = Braid_workload.Datagen.family ~persons ~fanout:3 () in
+  let batch = Braid_workload.Queries.ancestor_batch ~persons ~n:queries ~skew () in
+  let results =
+    List.map
+      (fun (b : Braid.Baselines.named) ->
+        Runner.run_batch ~label:b.Braid.Baselines.label ~config:b.Braid.Baselines.config ~kb
+          ~data batch)
+      Braid.Baselines.all
+  in
+  let rows =
+    List.map
+      (fun (r : Runner.result) ->
+        [
+          Table.Text r.Runner.label;
+          Table.Int r.Runner.requests;
+          Table.Int r.Runner.tuples_returned;
+          Table.Float r.Runner.comm_ms;
+          Table.Float r.Runner.total_ms;
+          Table.Int r.Runner.solutions;
+        ])
+      results
+  in
+  let table =
+    Table.make
+      ~title:
+        (Printf.sprintf
+           "E1  coupling disciplines — ancestor workload (%d persons, %d queries, zipf %.1f)"
+           persons queries skew)
+      ~columns:[ "system"; "remote req"; "tuples moved"; "comm ms"; "total ms"; "solutions" ]
+      ~notes:
+        [
+          "paper Figure 1 / §1: bridging strictly improves on loose coupling; \
+           subsumption beats exact-match reuse";
+        ]
+      rows
+  in
+  (results, table)

@@ -1,0 +1,10 @@
+(** E1 — Figure 1 / §1: integration approaches compared.
+
+    Claim reproduced: bridging (BrAID) needs far fewer remote requests and
+    less simulated time than loose coupling on a recursive workload with
+    query locality; the intermediate caching disciplines (BERMUDA exact
+    match, CERI86 single relations) fall in between. *)
+
+val run :
+  ?persons:int -> ?queries:int -> ?skew:float -> unit -> Runner.result list * Table.t
+(** One row per coupling discipline, ordered weakest first. *)

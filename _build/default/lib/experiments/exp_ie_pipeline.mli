@@ -1,0 +1,18 @@
+(** E4 — Figure 4 / §4: the IE pipeline's eager constraining.
+
+    Knowledge bases with increasing numbers of unsatisfiable rule branches
+    (each requiring two mutually exclusive predicates on the same
+    arguments) are solved with and without the mutual-exclusion SOA
+    declared. With the SOA, the problem graph shaper culls the branches
+    before any DBMS access; without it, every branch costs CAQL queries and
+    remote requests at inference time. *)
+
+type row = {
+  branches : int;
+  with_soa : bool;
+  and_nodes_after : int;
+  caql_queries : int;
+  requests : int;
+}
+
+val run : ?sizes:int list -> unit -> row list * Table.t

@@ -1,0 +1,15 @@
+(** E10 — §4.2.1/§5.3.3: consumer-annotation-driven attribute indexing.
+
+    A generalized view is cached once, then probed repeatedly with bound
+    arguments (the [d(X?, ...)] pattern). With advice indexing the CMS
+    builds a hash index on the consumer-annotated column; probes then touch
+    only the matching tuples instead of scanning the extension. *)
+
+type row = {
+  label : string;
+  probes : int;
+  tuples_touched : int;
+  local_ms : float;
+}
+
+val run : ?probes:int -> ?size:int -> unit -> row list * Table.t

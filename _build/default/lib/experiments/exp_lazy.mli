@@ -1,0 +1,16 @@
+(** E7 — §5.1: lazy vs eager evaluation when only a prefix of the result is
+    consumed.
+
+    A join over fully cached data is evaluated as a generator (lazy) and as
+    an extension (eager); the consumer takes k of the solutions. Lazy work
+    is proportional to k; eager work is constant at the full result size
+    ("only those tuples that are required by the AI system will be
+    produced rather than eagerly computing the entire result relation"). *)
+
+type row = {
+  consumed : int;
+  lazy_produced : int;  (** tuples the generator actually computed *)
+  eager_produced : int;  (** tuples the extension evaluation computed *)
+}
+
+val run : ?shipments:int -> ?take_points:int list -> unit -> row list * Table.t

@@ -1,0 +1,17 @@
+(** E9 — §5.4: LRU modified by advice.
+
+    A cyclic query sequence over three view families under a cache that
+    holds only two of the three elements. Plain LRU always evicts the
+    element that is needed next (the classic cyclic-thrash case); with the
+    path expression the Advice Manager pins the predicted-next element, so
+    part of the cycle hits. *)
+
+type row = {
+  label : string;
+  queries : int;
+  full_hits : int;
+  requests : int;
+  evictions : int;
+}
+
+val run : ?rounds:int -> unit -> row list * Table.t

@@ -1,0 +1,19 @@
+(** E5 — Figure 5 / §5.3.2: subsumption-based reuse vs exact-match reuse.
+
+    A CMS-level batch of overlapping PSJ queries over the supplier-parts
+    database: full-relation scans, constant selections, range selections of
+    increasing tightness, and joins. Exact-match caching reuses a result
+    only on a repeated identical query; BrAID's subsumption also derives
+    selections from broader cached views, tighter ranges from looser ones,
+    and joins from per-relation elements. *)
+
+type row = {
+  label : string;
+  queries : int;
+  full_hits : int;
+  partial_hits : int;
+  requests : int;
+  tuples_moved : int;
+}
+
+val run : ?queries:int -> ?seed:int -> unit -> row list * Table.t

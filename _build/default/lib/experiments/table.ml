@@ -1,0 +1,42 @@
+type cell =
+  | Text of string
+  | Int of int
+  | Float of float
+
+type t = {
+  title : string;
+  columns : string list;
+  rows : cell list list;
+  notes : string list;
+}
+
+let make ~title ~columns ?(notes = []) rows = { title; columns; rows; notes }
+
+let cell_to_string = function
+  | Text s -> s
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%.1f" f
+
+let pp ppf t =
+  let rows = List.map (List.map cell_to_string) t.rows in
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length col) rows)
+      t.columns
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let line = String.concat "-+-" (List.map (fun w -> String.make w '-') widths) in
+  Format.fprintf ppf "@[<v>== %s ==@," t.title;
+  Format.fprintf ppf "%s@,"
+    (String.concat " | " (List.map2 pad t.columns widths));
+  Format.fprintf ppf "%s@," line;
+  List.iter
+    (fun row -> Format.fprintf ppf "%s@," (String.concat " | " (List.map2 pad row widths)))
+    rows;
+  List.iter (fun n -> Format.fprintf ppf "note: %s@," n) t.notes;
+  Format.fprintf ppf "@]"
+
+let print t = Format.printf "%a@." pp t

@@ -1,0 +1,18 @@
+(** Plain-text result tables shared by the benchmark harness and the
+    experiment tests. *)
+
+type cell =
+  | Text of string
+  | Int of int
+  | Float of float  (** printed with one decimal *)
+
+type t = {
+  title : string;
+  columns : string list;
+  rows : cell list list;
+  notes : string list;
+}
+
+val make : title:string -> columns:string list -> ?notes:string list -> cell list list -> t
+val pp : Format.formatter -> t -> unit
+val print : t -> unit

@@ -1,0 +1,1 @@
+lib/ie/advice_gen.ml: Braid_advice Braid_caql Braid_logic List Printf Problem_graph String

@@ -1,0 +1,1 @@
+lib/ie/advice_gen.mli: Braid_advice Braid_logic Problem_graph

@@ -1,0 +1,1 @@
+lib/ie/datalog.ml: Braid_caql Braid_logic Braid_relalg Hashtbl List Option Printf String

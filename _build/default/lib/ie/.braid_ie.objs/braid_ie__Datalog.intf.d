@@ -1,0 +1,1 @@
+lib/ie/datalog.mli: Braid_logic Braid_relalg

@@ -1,0 +1,1 @@
+lib/ie/engine.ml: Advice_gen Braid_advice Braid_logic Braid_planner Braid_relalg Braid_remote Braid_stream List Problem_graph Shaper Strategy

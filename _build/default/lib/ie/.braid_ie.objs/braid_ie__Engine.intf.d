@@ -1,0 +1,1 @@
+lib/ie/engine.mli: Braid_advice Braid_logic Braid_planner Braid_relalg Braid_stream Problem_graph Shaper Strategy

@@ -1,0 +1,1 @@
+lib/ie/justify.ml: Array Braid_caql Braid_logic Braid_planner Braid_relalg Braid_stream Format List Seq Strategy

@@ -1,0 +1,1 @@
+lib/ie/justify.mli: Braid_logic Braid_planner Braid_relalg Format

@@ -1,0 +1,1 @@
+lib/ie/problem_graph.ml: Braid_logic Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/ie/problem_graph.mli: Braid_logic Format

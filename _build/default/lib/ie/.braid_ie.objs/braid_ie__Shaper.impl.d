@@ -1,0 +1,1 @@
+lib/ie/shaper.ml: Array Braid_logic List Problem_graph String

@@ -1,0 +1,1 @@
+lib/ie/shaper.mli: Braid_logic Problem_graph

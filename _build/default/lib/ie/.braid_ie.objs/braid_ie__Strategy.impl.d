@@ -1,0 +1,1 @@
+lib/ie/strategy.ml: Array Braid_caql Braid_logic Braid_planner Braid_relalg Braid_remote Braid_stream Datalog List Option Printf Seq

@@ -1,0 +1,1 @@
+lib/ie/strategy.mli: Braid_logic Braid_planner Braid_stream

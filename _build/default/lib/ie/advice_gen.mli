@@ -1,0 +1,41 @@
+(** The view specifier and the path expression creator (paper §4.1/§4.2) —
+    the two Figure-4 modules that turn a shaped problem graph into advice.
+
+    {b View specifications}: under each AND node, maximal runs of base and
+    evaluable conjuncts become view specifications (a parameter bounds the
+    run length — "a parameter controls the maximum size of the conjunctions
+    that can be transformed into view specifications, with 1 being the
+    smallest possible value"). A specification's parameter list is the
+    minimal argument set [A = (H ∪ B) ∩ D] (H: head variables, B: body
+    variables outside the run, D: run variables); parameters bound at run
+    entry (per the depth-first, left-to-right execution the shaper fixed)
+    are annotated as consumers [?], the rest as producers [^].
+
+    {b Path expression}: the graph traversal order is abstracted into
+    sequences (rule bodies; the tail of a body repeats once per binding of
+    the first producer, [<0,|Y|>]), alternations (OR branches whose
+    selection cannot be predicted, with selection term 1 when the branch
+    guards are mutually exclusive SOAs), and [<1,∞>] loops around recursive
+    relation instances.
+
+    Structurally identical specifications are shared ("the CMS makes the
+    decision whether common representation for separate uses is feasible";
+    here the IE already merges them). *)
+
+val generate :
+  ?max_conj_size:int ->
+  Braid_logic.Kb.t ->
+  Problem_graph.t ->
+  Braid_advice.Ast.t
+(** [max_conj_size] defaults to [max_int] (full conjunction compilation);
+    the interpretive strategy uses [1]. *)
+
+(**/**)
+
+(* Exposed for unit tests. *)
+
+val minimal_args :
+  head_vars:string list ->
+  body_vars_outside:string list ->
+  run_vars:string list ->
+  string list

@@ -1,0 +1,200 @@
+module L = Braid_logic
+module R = Braid_relalg
+module A = Braid_caql.Ast
+
+type outcome = {
+  result : R.Relation.t;
+  iterations : int;
+  tuples_produced : int;
+}
+
+let body_atoms (r : L.Rule.t) =
+  List.filter_map
+    (function L.Literal.Rel a -> Some a | L.Literal.Cmp _ -> None)
+    r.L.Rule.body
+
+let body_cmps (r : L.Rule.t) =
+  List.filter_map
+    (function L.Literal.Cmp (op, a, b) -> Some (op, a, b) | L.Literal.Rel _ -> None)
+    r.L.Rule.body
+
+(* Derived predicates reachable from the query through rules. *)
+let reachable kb query =
+  let visited = Hashtbl.create 16 in
+  let rec go p =
+    if (not (Hashtbl.mem visited p)) && L.Kb.is_derived kb p then begin
+      Hashtbl.add visited p ();
+      List.iter
+        (fun r -> List.iter (fun a -> go a.L.Atom.pred) (body_atoms r))
+        (L.Kb.rules_for kb p)
+    end
+  in
+  go query.L.Atom.pred;
+  Hashtbl.fold (fun p () acc -> p :: acc) visited [] |> List.sort String.compare
+
+let rule_query (r : L.Rule.t) =
+  A.conj ~cmps:(body_cmps r) r.L.Rule.head.L.Atom.args (body_atoms r)
+
+(* [rule_query] with the [j]-th relation occurrence renamed to the delta
+   marker, for semi-naive occurrence-restricted joins. *)
+let delta_marker p = "\xce\x94" ^ p (* Δp *)
+
+let rule_query_with_delta (r : L.Rule.t) j =
+  let q = rule_query r in
+  let atoms =
+    List.mapi
+      (fun i (a : L.Atom.t) ->
+        if i = j then { a with L.Atom.pred = delta_marker a.L.Atom.pred } else a)
+      q.A.atoms
+  in
+  { q with A.atoms }
+
+let empty_for (a : L.Atom.t) =
+  let attrs = List.mapi (fun i _ -> (Printf.sprintf "a%d" i, R.Value.Tstr)) a.L.Atom.args in
+  R.Relation.create ~name:a.L.Atom.pred (R.Schema.make attrs)
+
+let solve kb ?(skip_rules = []) ?(algorithm = `Semi_naive) ~base query =
+  let rules_for p =
+    List.filter
+      (fun (r : L.Rule.t) -> not (List.mem r.L.Rule.id skip_rules))
+      (L.Kb.rules_for kb p)
+  in
+  let derived = reachable kb query in
+  let is_derived p = List.mem p derived in
+  let total : (string, R.Relation.t) Hashtbl.t = Hashtbl.create 16 in
+  let delta : (string, R.Relation.t) Hashtbl.t = Hashtbl.create 16 in
+  let schema_of name =
+    match Hashtbl.find_opt total name with
+    | Some r -> Some (R.Relation.schema r)
+    | None -> Option.map R.Relation.schema (base name)
+  in
+  (* sources: [source] resolves derived predicates to their running totals;
+     delta markers to the previous round's delta. *)
+  let source (a : L.Atom.t) =
+    let p = a.L.Atom.pred in
+    match Hashtbl.find_opt total p with
+    | Some r -> r
+    | None ->
+      (match Hashtbl.find_opt delta p with
+       | Some r -> r
+       | None -> (match base p with Some r -> r | None -> empty_for a))
+  in
+  (* Pre-create empty extensions so recursive references resolve in round
+     one; schema inferred from the first defining rule. *)
+  List.iter
+    (fun p ->
+      match rules_for p with
+      | [] -> Hashtbl.replace total p (R.Relation.create ~name:p (R.Schema.make []))
+      | r :: _ ->
+        let schema = Braid_caql.Analyze.schema_of_conj schema_of (rule_query r) in
+        Hashtbl.replace total p (R.Relation.create ~name:p schema))
+    derived;
+  let tuples_produced = ref 0 in
+  let iterations = ref 0 in
+  let eval q =
+    let rel = Braid_caql.Eval.conj ~source ~schema_of q in
+    tuples_produced := !tuples_produced + R.Relation.cardinality rel;
+    rel
+  in
+  let union_distinct rels =
+    match rels with
+    | [] -> None
+    | first :: rest -> Some (R.Relation.distinct (List.fold_left R.Ops.union_all first rest))
+  in
+  (match algorithm with
+   | `Naive ->
+     let changed = ref true in
+     while !changed do
+       incr iterations;
+       changed := false;
+       List.iter
+         (fun p ->
+           match union_distinct (List.map (fun r -> eval (rule_query r)) (rules_for p)) with
+           | None -> ()
+           | Some combined ->
+             let previous = Hashtbl.find total p in
+             if R.Relation.cardinality combined <> R.Relation.cardinality previous then begin
+               Hashtbl.replace total p (R.Relation.with_name p combined);
+               changed := true
+             end)
+         derived
+     done
+   | `Semi_naive ->
+     (* round 0: full evaluation (recursive occurrences see empty totals) *)
+     incr iterations;
+     List.iter
+       (fun p ->
+         match union_distinct (List.map (fun r -> eval (rule_query r)) (rules_for p)) with
+         | None -> ()
+         | Some combined ->
+           Hashtbl.replace total p (R.Relation.with_name p combined);
+           Hashtbl.replace delta p combined)
+       derived;
+     let any_delta () =
+       List.exists
+         (fun p ->
+           match Hashtbl.find_opt delta p with
+           | Some d -> R.Relation.cardinality d > 0
+           | None -> false)
+         derived
+     in
+     while any_delta () do
+       incr iterations;
+       let next_delta = Hashtbl.create 16 in
+       List.iter
+         (fun p ->
+           let contributions =
+             List.concat_map
+               (fun (r : L.Rule.t) ->
+                 let atoms = body_atoms r in
+                 List.concat
+                   (List.mapi
+                      (fun j (a : L.Atom.t) ->
+                        if
+                          is_derived a.L.Atom.pred
+                          &&
+                          match Hashtbl.find_opt delta a.L.Atom.pred with
+                          | Some d -> R.Relation.cardinality d > 0
+                          | None -> false
+                        then begin
+                          (* resolve occurrence j through the delta *)
+                          let q = rule_query_with_delta r j in
+                          let source' (at : L.Atom.t) =
+                            let p' = at.L.Atom.pred in
+                            if String.length p' > 2 && String.sub p' 0 2 = "\xce\x94" then
+                              Hashtbl.find delta (String.sub p' 2 (String.length p' - 2))
+                            else source at
+                          in
+                          let schema_of' n =
+                            if String.length n > 2 && String.sub n 0 2 = "\xce\x94" then
+                              Option.map R.Relation.schema
+                                (Hashtbl.find_opt delta (String.sub n 2 (String.length n - 2)))
+                            else schema_of n
+                          in
+                          let rel = Braid_caql.Eval.conj ~source:source' ~schema_of:schema_of' q in
+                          tuples_produced := !tuples_produced + R.Relation.cardinality rel;
+                          [ rel ]
+                        end
+                        else [])
+                      atoms))
+               (rules_for p)
+           in
+           match union_distinct contributions with
+           | None -> ()
+           | Some combined ->
+             let previous = Hashtbl.find total p in
+             let fresh = R.Ops.diff combined previous in
+             if R.Relation.cardinality fresh > 0 then begin
+               Hashtbl.replace total p
+                 (R.Relation.with_name p (R.Relation.distinct (R.Ops.union_all previous fresh)));
+               Hashtbl.replace next_delta p fresh
+             end)
+         derived;
+       Hashtbl.reset delta;
+       Hashtbl.iter (fun p d -> Hashtbl.replace delta p d) next_delta
+     done);
+  let answer =
+    Braid_caql.Eval.conj ~source ~schema_of
+      (A.conj (List.map (fun v -> L.Term.Var v) (L.Atom.vars query)) [ query ])
+  in
+  { result = answer; iterations = !iterations; tuples_produced = !tuples_produced }

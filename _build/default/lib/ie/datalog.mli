@@ -1,0 +1,38 @@
+(** A local bottom-up datalog evaluator.
+
+    The compiled end of the I-C range needs "a fixed point operator" for
+    recursively defined relations (paper §2: second-order templates with
+    specialized operators), because the remote DBMS of the paper's era
+    cannot evaluate recursion. The fully compiled strategy fetches base
+    extensions set-at-a-time through the CMS and runs this fixpoint on the
+    workstation.
+
+    Two algorithms, with set semantics (results are identical):
+
+    - [`Naive]: every round re-derives every derived relation from scratch
+      until nothing grows.
+    - [`Semi_naive] (default): rounds after the first join each rule once
+      per recursive body occurrence with that occurrence restricted to the
+      previous round's {e delta}, so settled tuples are not re-derived.
+
+    The [tuples_produced] counter measures the work difference. *)
+
+type outcome = {
+  result : Braid_relalg.Relation.t;  (** bindings for the query's variables *)
+  iterations : int;
+  tuples_produced : int;  (** total tuples materialized across rounds *)
+}
+
+val solve :
+  Braid_logic.Kb.t ->
+  ?skip_rules:string list ->
+  ?algorithm:[ `Naive | `Semi_naive ] ->
+  base:(string -> Braid_relalg.Relation.t option) ->
+  Braid_logic.Atom.t ->
+  outcome
+(** Evaluates all derived predicates reachable from the query to a fixpoint
+    over the supplied base extensions, then answers the query atom. The
+    result schema names the query's distinct variables in order; constants
+    in the query act as selections. Raises [Braid_caql.Eval.Unsafe] on
+    non-range-restricted rules. Predicates that are neither derived nor
+    supplied by [base] fail (empty), as in Prolog. *)

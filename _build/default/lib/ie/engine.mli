@@ -1,0 +1,48 @@
+(** The Inference Engine (paper §4, Figure 4), end to end.
+
+    A call to {!solve} runs one IE–CMS {e session} (§3): the AI query is
+    translated, the problem graph is extracted and shaped, advice (view
+    specifications and a path expression) is generated and submitted to the
+    CMS, and then the strategy controller walks the graph issuing CAQL
+    queries. The report captures what each pipeline stage did. *)
+
+type t
+
+val create :
+  ?strategy:Strategy.kind ->
+  ?max_depth:int ->
+  ?send_advice:bool ->
+  Braid_logic.Kb.t ->
+  Braid_planner.Qpo.t ->
+  t
+(** [strategy] defaults to {!Strategy.Interpretive}; [send_advice] (default
+    true) controls whether the generated advice is transmitted to the CMS —
+    advice is never {e required} by the CMS (§3). *)
+
+val kb : t -> Braid_logic.Kb.t
+val qpo : t -> Braid_planner.Qpo.t
+val strategy : t -> Strategy.kind
+
+type report = {
+  graph_size : Problem_graph.size;
+  shaper_stats : Shaper.stats;
+  advice : Braid_advice.Ast.t;
+  counters : Strategy.counters;
+}
+
+val solve : t -> Braid_logic.Atom.t -> Braid_stream.Tuple_stream.t * report
+(** Solutions as a stream of tuples over the query's distinct variables.
+    With an interpretive strategy the stream is demand-driven: inference
+    (and hence CMS/DBMS work) happens as the consumer pulls. *)
+
+val solve_all : t -> Braid_logic.Atom.t -> Braid_relalg.Relation.t * report
+(** Forces all solutions. *)
+
+val solve_first : t -> ?n:int -> Braid_logic.Atom.t ->
+  Braid_relalg.Tuple.t list * report
+(** Pulls at most [n] (default 1) solutions — the single-solution,
+    tuple-at-a-time usage pattern of §2. *)
+
+val ie_ms : t -> float
+(** Simulated workstation inference time accumulated so far (resolution
+    steps times the cost model's per-step charge). *)

@@ -1,0 +1,114 @@
+module L = Braid_logic
+module R = Braid_relalg
+module A = Braid_caql.Ast
+module TS = Braid_stream.Tuple_stream
+module Qpo = Braid_planner.Qpo
+
+type proof =
+  | Database_fact of L.Atom.t
+  | Builtin_holds of L.Literal.t
+  | By_rule of {
+      goal : L.Atom.t;
+      rule_id : string;
+      premises : proof list;
+    }
+
+let explain kb qpo ?(max_proofs = 10) ?(max_depth = 10_000) query =
+  let rename_counter = ref 0 in
+  let rec prove env (lit : L.Literal.t) depth : (L.Subst.t * proof) Seq.t =
+    if depth > max_depth then raise (Strategy.Depth_limit depth);
+    match lit with
+    | L.Literal.Cmp _ ->
+      (match L.Literal.eval_cmp (L.Literal.apply env lit) with
+       | Some true -> Seq.return (env, Builtin_holds (L.Literal.apply env lit))
+       | Some false -> Seq.empty
+       | None ->
+         raise (Strategy.Unbound_builtin (L.Literal.to_string (L.Literal.apply env lit))))
+    | L.Literal.Rel a when L.Kb.is_base kb a.L.Atom.pred ->
+      let a' = L.Subst.apply_atom env a in
+      let head_vars = L.Atom.vars a' in
+      let q = A.conj (List.map (fun v -> L.Term.Var v) head_vars) [ a' ] in
+      let answer = Qpo.answer_conj qpo ~prefer_lazy:true q in
+      let cursor = TS.cursor answer.Qpo.stream in
+      Seq.of_dispenser (fun () -> TS.next cursor)
+      |> Seq.map (fun tuple ->
+             let env' =
+               List.fold_left2
+                 (fun e v value -> L.Subst.bind v (L.Term.Const value) e)
+                 env head_vars (Array.to_list tuple)
+             in
+             (env', Database_fact (L.Subst.apply_atom env' a')))
+    | L.Literal.Rel a ->
+      if not (L.Kb.is_derived kb a.L.Atom.pred) then Seq.empty
+      else
+        Seq.concat_map
+          (fun rule ->
+            incr rename_counter;
+            let r = L.Rule.rename_apart !rename_counter rule in
+            match L.Unify.atoms env a r.L.Rule.head with
+            | None -> Seq.empty
+            | Some env' ->
+              prove_all env' r.L.Rule.body (depth + 1)
+              |> Seq.map (fun (env'', premises) ->
+                     ( env'',
+                       By_rule
+                         {
+                           goal = L.Subst.apply_atom env'' a;
+                           rule_id = r.L.Rule.id;
+                           premises;
+                         } )))
+          (List.to_seq (L.Kb.rules_for kb a.L.Atom.pred))
+
+  and prove_all env goals depth : (L.Subst.t * proof list) Seq.t =
+    match goals with
+    | [] -> Seq.return (env, [])
+    | g :: rest ->
+      Seq.concat_map
+        (fun (env', p) ->
+          Seq.map (fun (env'', ps) -> (env'', p :: ps)) (prove_all env' rest depth))
+        (prove env g depth)
+  in
+  let qvars = L.Atom.vars query in
+  prove L.Subst.empty (L.Literal.Rel query) 0
+  |> Seq.take max_proofs
+  |> Seq.map (fun (env, proof) ->
+         let tuple =
+           Array.of_list
+             (List.map
+                (fun v ->
+                  match L.Subst.resolve env (L.Term.Var v) with
+                  | L.Term.Const c -> c
+                  | L.Term.Var _ -> R.Value.Null)
+                qvars)
+         in
+         (tuple, proof))
+  |> List.of_seq
+
+let rec pp_proof_indent indent ppf = function
+  | Database_fact a -> Format.fprintf ppf "%s%a   [database]@," indent L.Atom.pp a
+  | Builtin_holds l -> Format.fprintf ppf "%s%a   [builtin]@," indent L.Literal.pp l
+  | By_rule { goal; rule_id; premises } ->
+    Format.fprintf ppf "%s%a   [rule %s]@," indent L.Atom.pp goal rule_id;
+    List.iter (pp_proof_indent (indent ^ "  ") ppf) premises
+
+let pp_proof ppf p =
+  Format.fprintf ppf "@[<v>";
+  pp_proof_indent "" ppf p;
+  Format.fprintf ppf "@]"
+
+let proof_rules p =
+  let rec go acc = function
+    | Database_fact _ | Builtin_holds _ -> acc
+    | By_rule { rule_id; premises; _ } ->
+      let acc = if List.mem rule_id acc then acc else acc @ [ rule_id ] in
+      List.fold_left go acc premises
+  in
+  go [] p
+
+let proof_facts p =
+  let rec go acc = function
+    | Database_fact a -> acc @ [ a ]
+    | Builtin_holds _ -> acc
+    | By_rule { premises; _ } -> List.fold_left go acc premises
+  in
+  go [] p

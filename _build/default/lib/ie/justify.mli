@@ -1,0 +1,38 @@
+(** Answer justification (paper §4.2.1: the rule identifiers recorded in
+    view specifications are "of use within the system when the problems of
+    debugging and answer justification are addressed").
+
+    [explain] enumerates solutions together with proof trees: which rules
+    fired (by id), which database facts were used (resolved through the
+    CMS, so explanation benefits from the cache like any other inference),
+    and which built-in conditions held. This is the expert-system "why?"
+    facility the paper's applications need. *)
+
+type proof =
+  | Database_fact of Braid_logic.Atom.t  (** a ground tuple of a base relation *)
+  | Builtin_holds of Braid_logic.Literal.t
+  | By_rule of {
+      goal : Braid_logic.Atom.t;  (** the (instantiated) goal proved *)
+      rule_id : string;
+      premises : proof list;
+    }
+
+val explain :
+  Braid_logic.Kb.t ->
+  Braid_planner.Qpo.t ->
+  ?max_proofs:int ->
+  ?max_depth:int ->
+  Braid_logic.Atom.t ->
+  (Braid_relalg.Tuple.t * proof) list
+(** Up to [max_proofs] (default 10) proofs, depth-first in rule order; the
+    tuple carries the bindings of the query's distinct variables. The same
+    solution may appear once per distinct proof. *)
+
+val pp_proof : Format.formatter -> proof -> unit
+(** Indented proof-tree rendering. *)
+
+val proof_rules : proof -> string list
+(** The rule ids used, outermost first, without duplicates. *)
+
+val proof_facts : proof -> Braid_logic.Atom.t list
+(** The database facts used, left to right. *)

@@ -1,0 +1,57 @@
+(** Problem graphs (paper §4.1): the and/or graph extracted from the
+    predicate connection graph for a given AI query.
+
+    OR nodes carry a single relation occurrence (subgoal); their successors
+    are the AND nodes for the rules defining that relation. AND nodes carry
+    a (renamed-apart, partially evaluated) rule instance; their successors
+    are the body conjuncts in order. Leaves are database relations or
+    built-in relations. A recursively defined relation is expanded only
+    once per occurrence chain; deeper occurrences become unexpanded
+    [recursive_ref] nodes. *)
+
+type goal_kind =
+  | Base  (** a database relation, resolved through the CMS *)
+  | Derived  (** defined by rules; expanded in the graph *)
+  | Undefined  (** no rules and not declared base: fails *)
+
+type or_node = {
+  goal : Braid_logic.Atom.t;
+  kind : goal_kind;
+  recursive_ref : bool;
+      (** an occurrence of a recursive predicate already expanded above *)
+  mutable branches : and_node list;
+}
+
+and and_node = {
+  rule : Braid_logic.Rule.t;  (** instance after renaming and unification *)
+  mutable children : child list;
+}
+
+and child =
+  | Subgoal of or_node
+  | Condition of Braid_logic.Literal.t  (** a built-in (evaluable) conjunct *)
+
+type t = {
+  root : or_node;
+  query : Braid_logic.Atom.t;
+}
+
+val extract : Braid_logic.Kb.t -> Braid_logic.Atom.t -> t
+(** Partial evaluation of the AI query against the knowledge base: derived
+    relations are expanded (with unifiers pushed into rule instances, which
+    performs the first round of constant propagation), base and built-in
+    relations are left as leaves. *)
+
+type size = { or_nodes : int; and_nodes : int; conditions : int }
+
+val size : t -> size
+
+val rule_ids : t -> string list
+(** Ids of the rules with at least one surviving AND-node instance, sorted.
+    Comparing before and after shaping identifies fully culled rules. *)
+
+val base_goals : t -> Braid_logic.Atom.t list
+(** The base-relation fringe, in left-to-right order (with duplicates
+    removed) — the paper's "simplest kind of advice" (§4.2). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+(** The inference strategy controller (paper §4.1/Figure 4).
+
+    BrAID's IE "does not use a built-in inferencing strategy. Rather, it
+    makes available a set of component functions that can be combined into
+    various tailored function suites ... to effect several different
+    strategies along the I-C range". The suites provided:
+
+    - {!Interpretive}: depth-first with chronological backtracking (the
+      "well-known ... strategy of Prolog"), one CAQL query per database
+      goal, results consumed tuple-at-a-time from lazy streams,
+      single-solution on demand.
+    - {!Conjunction_compiled}[ k]: the same search, but maximal runs of up
+      to [k] consecutive database conjuncts are compiled into one CAQL
+      query (partial compilation / conjunction compilation, §2).
+    - {!Fully_compiled}: set-at-a-time, all-solutions. Base extensions are
+      fetched through the CMS and a local fixpoint (see {!Datalog})
+      evaluates the relevant rules bottom-up — the compiled end of the
+      range, including recursion via the fixpoint operator. *)
+
+type kind =
+  | Interpretive
+  | Conjunction_compiled of int
+  | Fully_compiled
+  | Adaptive
+      (** the paper's long-run goal ("a step toward ... an inference system
+          capable of adapting its choice of inference search strategy to
+          the problem at hand", §4): chooses per query between the
+          interpretive and the fully compiled suite by comparing their
+          estimated costs from catalog statistics — selective (constant-
+          bound) queries run interpretively; broad recursive queries run
+          compiled. *)
+
+type counters = {
+  mutable resolutions : int;  (** SLD steps / fixpoint tuples: workstation inference work *)
+  mutable db_goal_queries : int;  (** CAQL queries issued to the CMS *)
+}
+
+exception Depth_limit of int
+exception Unbound_builtin of string
+
+val solve :
+  kind ->
+  Braid_logic.Kb.t ->
+  Braid_planner.Qpo.t ->
+  orderings:(string * int list) list ->
+  counters:counters ->
+  ?max_depth:int ->
+  ?skip_rules:string list ->
+  Braid_logic.Atom.t ->
+  Braid_stream.Tuple_stream.t
+(** Solutions as tuples over the query's distinct variables (in order of
+    first occurrence). Interpretive/conjunction strategies produce the
+    stream lazily — pulling one solution performs only the inference needed
+    for it; the fully compiled strategy computes everything up front
+    (all-solutions semantics). Duplicate solutions are preserved for the
+    interpretive strategies (as in Prolog) and absent for the compiled one
+    (set semantics). [skip_rules] are rules the problem graph shaper proved
+    useless for this query (culled by a false condition or a
+    mutual-exclusion SOA); the controller never expands them. *)

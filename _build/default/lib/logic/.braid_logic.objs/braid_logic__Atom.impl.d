@@ -1,0 +1,1 @@
+lib/logic/atom.ml: Format List String Term

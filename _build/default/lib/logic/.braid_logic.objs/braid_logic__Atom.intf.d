@@ -1,0 +1,1 @@
+lib/logic/atom.mli: Braid_relalg Format Term

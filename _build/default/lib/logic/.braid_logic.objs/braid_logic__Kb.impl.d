@@ -1,0 +1,1 @@
+lib/logic/kb.ml: Atom Format Hashtbl List Literal Printf Rule Soa String

@@ -1,0 +1,1 @@
+lib/logic/kb.mli: Atom Format Rule Soa

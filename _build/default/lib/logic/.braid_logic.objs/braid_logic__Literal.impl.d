@@ -1,0 +1,1 @@
+lib/logic/literal.ml: Atom Braid_relalg Format List Subst Term

@@ -1,0 +1,1 @@
+lib/logic/literal.mli: Atom Braid_relalg Format Subst Term

@@ -1,0 +1,1 @@
+lib/logic/rule.ml: Atom Format List Literal Printf

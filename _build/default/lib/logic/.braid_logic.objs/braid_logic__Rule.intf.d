@@ -1,0 +1,1 @@
+lib/logic/rule.mli: Atom Format Literal

@@ -1,0 +1,1 @@
+lib/logic/soa.mli: Format

@@ -1,0 +1,1 @@
+lib/logic/subst.ml: Atom Format List Map String Term

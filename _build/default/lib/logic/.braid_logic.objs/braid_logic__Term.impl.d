@@ -1,0 +1,1 @@
+lib/logic/term.ml: Braid_relalg Format String

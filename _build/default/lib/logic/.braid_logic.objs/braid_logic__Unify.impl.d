@@ -1,0 +1,1 @@
+lib/logic/unify.ml: Atom Braid_relalg List Option String Subst Term

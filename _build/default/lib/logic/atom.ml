@@ -1,0 +1,32 @@
+type t = { pred : string; args : Term.t list }
+
+let make pred args = { pred; args }
+let arity a = List.length a.args
+
+let vars a =
+  let rec loop seen = function
+    | [] -> List.rev seen
+    | Term.Var x :: rest -> loop (if List.mem x seen then seen else x :: seen) rest
+    | Term.Const _ :: rest -> loop seen rest
+  in
+  loop [] a.args
+
+let constants a =
+  List.filter_map (function Term.Const v -> Some v | Term.Var _ -> None) a.args
+
+let is_ground a = List.for_all Term.is_const a.args
+
+let equal a b =
+  String.equal a.pred b.pred
+  && List.length a.args = List.length b.args
+  && List.for_all2 Term.equal a.args b.args
+
+let rename f a =
+  { a with args = List.map (function Term.Var x -> Term.Var (f x) | Term.Const _ as c -> c) a.args }
+
+let pp ppf a =
+  Format.fprintf ppf "%s(%a)" a.pred
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Term.pp)
+    a.args
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,20 @@
+(** Atomic formulas: a predicate symbol applied to terms.
+
+    An AI query is an atom (§3); database goals and rule heads/antecedents
+    are atoms. *)
+
+type t = { pred : string; args : Term.t list }
+
+val make : string -> Term.t list -> t
+val arity : t -> int
+val vars : t -> string list
+(** Distinct variables in argument order of first occurrence. *)
+
+val constants : t -> Braid_relalg.Value.t list
+val is_ground : t -> bool
+val equal : t -> t -> bool
+val rename : (string -> string) -> t -> t
+(** Applies a variable renaming to every variable occurrence. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,16 @@
+type t =
+  | Mutual_exclusion of string * string
+  | Functional_dependency of { pred : string; determinant : int list; dependent : int list }
+  | Recursive_structure of { pred : string; base_pred : string }
+
+let pp_positions ppf l =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
+    l
+
+let pp ppf = function
+  | Mutual_exclusion (p, q) -> Format.fprintf ppf "mutex(%s, %s)" p q
+  | Functional_dependency { pred; determinant; dependent } ->
+    Format.fprintf ppf "fd(%s: %a -> %a)" pred pp_positions determinant pp_positions dependent
+  | Recursive_structure { pred; base_pred } ->
+    Format.fprintf ppf "recursive(%s over %s)" pred base_pred

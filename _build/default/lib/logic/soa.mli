@@ -1,0 +1,21 @@
+(** Second-order assertions (paper §4: "we include in our knowledge base
+    limited kinds of second-order assertions").
+
+    - {b Mutual exclusion}: two predicates are disjoint on identical
+      argument tuples. Used by the problem graph shaper for culling and by
+      the path expression creator to set an alternation's selection term to
+      one (§4.2.2).
+    - {b Functional dependency}: within a predicate, the determinant
+      argument positions functionally determine the dependent positions.
+      Used for producer/consumer ordering and cardinality estimation (§4.1).
+    - {b Recursive structure}: marks a relation as a recursive structure of
+      another relation (cf. [OHAR87]); the compiled strategy realizes it
+      with a fixpoint operator (§2's second-order templates). *)
+
+type t =
+  | Mutual_exclusion of string * string
+      (** predicate names, same arity, disjoint extensions *)
+  | Functional_dependency of { pred : string; determinant : int list; dependent : int list }
+  | Recursive_structure of { pred : string; base_pred : string }
+
+val pp : Format.formatter -> t -> unit

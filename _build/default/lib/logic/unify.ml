@@ -1,0 +1,52 @@
+let terms s a b =
+  let a = Subst.resolve s a and b = Subst.resolve s b in
+  match a, b with
+  | Term.Const u, Term.Const v -> if Braid_relalg.Value.equal u v then Some s else None
+  | Term.Var x, Term.Var y -> if String.equal x y then Some s else Some (Subst.bind x b s)
+  | Term.Var x, Term.Const _ -> Some (Subst.bind x b s)
+  | Term.Const _, Term.Var y -> Some (Subst.bind y a s)
+
+let rec unify_lists s la lb =
+  match la, lb with
+  | [], [] -> Some s
+  | a :: ra, b :: rb -> (match terms s a b with Some s' -> unify_lists s' ra rb | None -> None)
+  | [], _ :: _ | _ :: _, [] -> None
+
+let atoms s a b =
+  if String.equal a.Atom.pred b.Atom.pred && Atom.arity a = Atom.arity b then
+    unify_lists s a.Atom.args b.Atom.args
+  else None
+
+let match_terms s ~general ~specific =
+  (* One-shot mapping: a bound general variable must map to the identical
+     specific term; chains are never followed (the specific side's
+     variables are opaque here). *)
+  match general, specific with
+  | Term.Const u, Term.Const v -> if Braid_relalg.Value.equal u v then Some s else None
+  | Term.Const _, Term.Var _ -> None
+  | Term.Var x, t ->
+    (match Subst.find x s with
+     | Some t' -> if Term.equal t t' then Some s else None
+     | None -> Some (Subst.bind x t s))
+
+let match_atoms s ~general ~specific =
+  if
+    String.equal general.Atom.pred specific.Atom.pred
+    && Atom.arity general = Atom.arity specific
+  then
+    List.fold_left2
+      (fun acc g sp ->
+        match acc with None -> None | Some s -> match_terms s ~general:g ~specific:sp)
+      (Some s) general.Atom.args specific.Atom.args
+  else None
+
+let variant a b =
+  match match_atoms Subst.empty ~general:a ~specific:b with
+  | None -> false
+  | Some s ->
+    (* The matcher binds a-vars to b-terms; a variant needs the binding to
+       be a bijection onto variables. *)
+    let images = List.map snd (Subst.bindings s) in
+    List.for_all Term.is_var images
+    && List.length (List.sort_uniq Term.compare images) = List.length images
+    && Option.is_some (match_atoms Subst.empty ~general:b ~specific:a)

@@ -1,0 +1,1 @@
+lib/planner/cost.ml: Array Braid_caql Braid_logic Braid_remote Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/planner/cost.mli: Braid_caql Braid_logic Braid_remote

@@ -1,0 +1,1 @@
+lib/planner/plan.ml: Format List

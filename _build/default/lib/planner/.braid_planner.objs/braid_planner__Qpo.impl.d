@@ -1,0 +1,1 @@
+lib/planner/qpo.ml: Braid_advice Braid_cache Braid_caql Braid_logic Braid_relalg Braid_remote Braid_stream Braid_subsume Cost Float Hashtbl List Logs Option Plan Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/planner/qpo.mli: Braid_advice Braid_cache Braid_caql Braid_relalg Braid_remote Braid_stream Plan

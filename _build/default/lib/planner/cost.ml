@@ -1,0 +1,92 @@
+module L = Braid_logic
+module A = Braid_caql.Ast
+module Catalog = Braid_remote.Catalog
+module CM = Braid_remote.Cost_model
+
+let unknown_card = 32
+
+let est_atom catalog (a : L.Atom.t) =
+  match Catalog.stats_of catalog a.L.Atom.pred with
+  | None -> unknown_card
+  | Some stats ->
+    let sel =
+      List.fold_left ( *. ) 1.0
+        (List.mapi
+           (fun i t ->
+             match t with
+             | L.Term.Const _ -> Catalog.eq_selectivity catalog a.L.Atom.pred i
+             | L.Term.Var _ -> 1.0)
+           a.L.Atom.args)
+    in
+    max 1 (int_of_float (ceil (float_of_int stats.Catalog.cardinality *. sel)))
+
+let distinct_at catalog (a : L.Atom.t) i =
+  match Catalog.stats_of catalog a.L.Atom.pred with
+  | Some stats when i < Array.length stats.Catalog.distinct_per_column ->
+    max 1 stats.Catalog.distinct_per_column.(i)
+  | Some _ | None -> 10
+
+let est_conj catalog (c : A.conj) =
+  (* Cross product of per-atom estimates, divided per shared variable by the
+     largest distinct count among its columns, once per extra occurrence. *)
+  let product =
+    List.fold_left (fun acc a -> acc *. float_of_int (est_atom catalog a)) 1.0 c.A.atoms
+  in
+  let occurrences = Hashtbl.create 16 in
+  List.iter
+    (fun (a : L.Atom.t) ->
+      List.iteri
+        (fun i t ->
+          match t with
+          | L.Term.Var x ->
+            let d = distinct_at catalog a i in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt occurrences x) in
+            Hashtbl.replace occurrences x (d :: prev)
+          | L.Term.Const _ -> ())
+        a.L.Atom.args)
+    c.A.atoms;
+  let divided =
+    Hashtbl.fold
+      (fun _ ds acc ->
+        match ds with
+        | [] | [ _ ] -> acc
+        | ds ->
+          let dmax = float_of_int (List.fold_left max 1 ds) in
+          acc /. (dmax ** float_of_int (List.length ds - 1)))
+      occurrences product
+  in
+  (* Range comparisons filter further. *)
+  let with_ranges =
+    divided *. (Catalog.range_selectivity ** float_of_int (List.length c.A.cmps))
+  in
+  max 1 (int_of_float (ceil with_ranges))
+
+let scan_volume catalog (c : A.conj) =
+  List.fold_left
+    (fun acc (a : L.Atom.t) ->
+      acc
+      + match Catalog.stats_of catalog a.L.Atom.pred with
+        | Some s -> s.Catalog.cardinality
+        | None -> unknown_card)
+    0 c.A.atoms
+
+let ship_cost model catalog (c : A.conj) =
+  CM.remote_query_cost model ~scanned:(scan_volume catalog c) ~returned:(est_conj catalog c)
+
+let per_atom_cost model catalog (c : A.conj) =
+  let fetches =
+    List.fold_left
+      (fun acc (a : L.Atom.t) ->
+        let scanned =
+          match Catalog.stats_of catalog a.L.Atom.pred with
+          | Some s -> s.Catalog.cardinality
+          | None -> unknown_card
+        in
+        acc +. CM.remote_query_cost model ~scanned ~returned:(est_atom catalog a))
+      0.0 c.A.atoms
+  in
+  let local_join =
+    model.CM.cache_tuple_ms
+    *. float_of_int (List.fold_left (fun acc a -> acc + est_atom catalog a) 0 c.A.atoms)
+  in
+  fetches +. local_join

@@ -1,0 +1,24 @@
+(** Cardinality and cost estimation for QPO step 3 (paper §5.3.3).
+
+    Estimates use the remote catalog's cardinality and distinct-value
+    statistics with the textbook selectivity rules (equality = 1/V(R,a),
+    ranges = 1/3, join = product over max distinct). The point is not
+    precision but ranking the alternatives the paper lists: executing in
+    the cache vs shipping to the DBMS, and one shipped join vs per-relation
+    fetches. *)
+
+val est_atom : Braid_remote.Catalog.t -> Braid_logic.Atom.t -> int
+(** Estimated result cardinality of one selection on a base relation;
+    [fallback] 32 when the relation is unknown to the catalog. *)
+
+val est_conj : Braid_remote.Catalog.t -> Braid_caql.Ast.conj -> int
+(** Estimated result cardinality of a conjunctive query over base
+    relations. *)
+
+val ship_cost : Braid_remote.Cost_model.t -> Braid_remote.Catalog.t -> Braid_caql.Ast.conj -> float
+(** Cost of shipping the whole conjunction as one remote request. *)
+
+val per_atom_cost :
+  Braid_remote.Cost_model.t -> Braid_remote.Catalog.t -> Braid_caql.Ast.conj -> float
+(** Cost of fetching each relation occurrence separately and joining in the
+    cache (includes the workstation join work). *)

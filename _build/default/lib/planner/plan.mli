@@ -1,0 +1,37 @@
+(** Plans: the partially ordered set of subqueries the QPO produces
+    (paper §5: "a program consisting of a partially ordered set of
+    subqueries where each subquery is designated for execution by either
+    the Cache Manager or by the remote DBMS").
+
+    The executed plan is reported alongside every answer so examples,
+    tests and experiments can observe {e how} a query was satisfied. *)
+
+type step =
+  | Exact_hit of { element : string }
+      (** answered by a cached result with a variant-equal definition *)
+  | Use_element of { element : string; covered_atoms : int list }
+      (** subsumption-derived reuse of a cached view *)
+  | Ship_subquery of { sql : string; cached_as : string option }
+      (** a multi-relation subquery executed by the remote DBMS *)
+  | Remote_fetch of { sql : string; cached_as : string option }
+      (** a single-relation fetch from the remote DBMS *)
+  | Local_eval of { touched : int }
+      (** Cache Manager / Query Processor work on the rewritten query *)
+  | Lazy_answer
+      (** the result is a generator; tuples are produced on demand *)
+  | Generalized of { spec : string; element : string }
+      (** QPO step 1 chose to evaluate a generalization of the IE-query *)
+  | Prefetch of { spec : string; element : string }
+      (** a predicted-next query was materialized ahead of its arrival *)
+  | Index_built of { element : string; columns : int list }
+
+type t = step list
+
+val pp_step : Format.formatter -> step -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val used_remote : t -> bool
+val fully_from_cache : t -> bool
+(** No remote interaction was needed for the query itself (prefetches and
+    generalizations are counted separately). *)

@@ -1,0 +1,901 @@
+module R = Braid_relalg
+module L = Braid_logic
+module A = Braid_caql.Ast
+module TS = Braid_stream.Tuple_stream
+module CMgr = Braid_cache.Cache_manager
+module Elem = Braid_cache.Element
+module Server = Braid_remote.Server
+module Catalog = Braid_remote.Catalog
+module CModel = Braid_remote.Cost_model
+module Sub = Braid_subsume.Subsumption
+module Adv = Braid_advice.Advisor
+module To_sql = Braid_caql.To_sql
+module Analyze = Braid_caql.Analyze
+
+let log_src = Logs.Src.create "braid.qpo" ~doc:"Query Planner/Optimizer decisions"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type caching_mode =
+  | No_cache
+  | Exact_match
+  | Single_relation
+  | Subsumption
+
+type config = {
+  caching : caching_mode;
+  use_advice : bool;
+  allow_lazy : bool;
+  allow_generalization : bool;
+  allow_prefetch : bool;
+  allow_parallel : bool;
+  advice_indexing : bool;
+  prefetch_max_tuples : int;
+  recompute_cache_threshold : int;
+}
+
+let braid_config =
+  {
+    caching = Subsumption;
+    use_advice = true;
+    allow_lazy = true;
+    allow_generalization = true;
+    allow_prefetch = true;
+    allow_parallel = true;
+    advice_indexing = true;
+    prefetch_max_tuples = 20_000;
+    recompute_cache_threshold = 100;
+  }
+
+let loose_coupling_config =
+  {
+    braid_config with
+    caching = No_cache;
+    use_advice = false;
+    allow_lazy = false;
+    allow_generalization = false;
+    allow_prefetch = false;
+    allow_parallel = false;
+    advice_indexing = false;
+  }
+
+let bermuda_config =
+  {
+    loose_coupling_config with
+    caching = Exact_match;
+  }
+
+let ceri_config = { loose_coupling_config with caching = Single_relation }
+
+let no_advice_config =
+  {
+    braid_config with
+    use_advice = false;
+    allow_generalization = false;
+    allow_prefetch = false;
+    advice_indexing = false;
+  }
+
+type metrics = {
+  queries : int;
+  exact_hits : int;
+  full_hits : int;
+  partial_hits : int;
+  misses : int;
+  generalizations : int;
+  prefetches : int;
+  lazy_answers : int;
+  indexes_built : int;
+  local_ms : float;
+  elapsed_ms : float;
+}
+
+type stats = {
+  mutable queries : int;
+  mutable exact_hits : int;
+  mutable full_hits : int;
+  mutable partial_hits : int;
+  mutable misses : int;
+  mutable generalizations : int;
+  mutable prefetches : int;
+  mutable lazy_answers : int;
+  mutable indexes_built : int;
+  mutable local_ms : float;
+  mutable elapsed_ms : float;
+}
+
+let fresh_stats () =
+  {
+    queries = 0;
+    exact_hits = 0;
+    full_hits = 0;
+    partial_hits = 0;
+    misses = 0;
+    generalizations = 0;
+    prefetches = 0;
+    lazy_answers = 0;
+    indexes_built = 0;
+    local_ms = 0.0;
+    elapsed_ms = 0.0;
+  }
+
+type t = {
+  config : config;
+  cache : CMgr.t;
+  server : Server.t;
+  mutable advisor : Adv.t;
+  elem_spec : (string, string) Hashtbl.t; (* element id -> originating spec id *)
+  prefetched : (string, unit) Hashtbl.t; (* spec ids prefetched this epoch *)
+  stats : stats;
+  mutable fetch_counter : int;
+  mutable trace : (A.conj * Plan.t) list option; (* newest first when on *)
+}
+
+exception Unknown_relation = Braid_cache.Query_processor.Unknown_relation
+
+let create config ~cache ~server =
+  {
+    config;
+    cache;
+    server;
+    advisor = Adv.no_advice ();
+    elem_spec = Hashtbl.create 32;
+    prefetched = Hashtbl.create 16;
+    stats = fresh_stats ();
+    fetch_counter = 0;
+    trace = None;
+  }
+
+let config t = t.config
+let cache t = t.cache
+let server t = t.server
+let advisor t = t.advisor
+
+let set_trace t enabled = t.trace <- (if enabled then Some [] else None)
+
+let trace t = match t.trace with Some entries -> List.rev entries | None -> []
+
+let set_advice t advice =
+  t.advisor <- Adv.create advice;
+  Hashtbl.reset t.prefetched
+
+let catalog t = Server.catalog t.server
+let remote_schema t name = Catalog.schema_of (catalog t) name
+
+let schema_resolver t extras name =
+  match List.assoc_opt name extras with
+  | Some rel -> Some (R.Relation.schema rel)
+  | None ->
+    (match CMgr.find t.cache name with
+     | Some e -> Some (Elem.schema e)
+     | None -> remote_schema t name)
+
+let fresh_extra t =
+  t.fetch_counter <- t.fetch_counter + 1;
+  Printf.sprintf "__r%d" t.fetch_counter
+
+(* Rebuild a fetched relation with the schema its definition describes, so
+   cached elements carry meaningful attribute names and types. *)
+let retyped t (def : A.conj) rel =
+  let schema = Analyze.schema_of_conj (schema_resolver t []) def in
+  if R.Schema.arity schema <> R.Schema.arity (R.Relation.schema rel) then rel
+  else R.Relation.of_tuples ~name:(R.Relation.name rel) schema (R.Relation.to_list rel)
+
+let single_atom_def (a : L.Atom.t) =
+  A.conj (List.map (fun x -> L.Term.Var x) (L.Atom.vars a)) [ a ]
+
+(* --- solving: produce a rewritten query over cache elements / extras --- *)
+
+type solved = {
+  s_rewritten : A.conj;
+  s_extras : (string * R.Relation.t) list;
+  s_steps : Plan.step list;
+  s_used_cache : bool;
+  s_used_remote : bool;
+  s_covered_cards : int; (* cached tuples available for overlap with remote work *)
+}
+
+let no_arith_cmp (_, a, b) =
+  let simple = function L.Literal.Term _ -> true | _ -> false in
+  simple a && simple b
+
+let cmp_vars (_, a, b) = L.Literal.expr_vars a @ L.Literal.expr_vars b
+
+let uniq xs =
+  let rec loop seen = function
+    | [] -> List.rev seen
+    | x :: rest -> loop (if List.mem x seen then seen else x :: seen) rest
+  in
+  loop [] xs
+
+(* Fetch a single relation occurrence from the remote DBMS. *)
+let fetch_atom t (a : L.Atom.t) =
+  let def = single_atom_def a in
+  match To_sql.translate ~schema_of:(remote_schema t) def with
+  | Ok sql ->
+    let rel = Server.exec t.server sql in
+    (def, retyped t def rel, Braid_remote.Sql.to_string sql)
+  | Error (To_sql.Unknown_relation r) -> raise (Unknown_relation r)
+  | Error f -> invalid_arg ("Qpo.fetch_atom: " ^ To_sql.failure_to_string f)
+
+(* Try to ship a conjunction as one remote request. *)
+let ship_conj t (sc : A.conj) =
+  match To_sql.translate ~schema_of:(remote_schema t) sc with
+  | Ok sql ->
+    let rel = Server.exec t.server sql in
+    Some (retyped t sc rel, Braid_remote.Sql.to_string sql)
+  | Error (To_sql.Unknown_relation r) -> raise (Unknown_relation r)
+  | Error _ -> None
+
+(* Cache a fetched extension under its definition; fall back to an extra
+   relation when it does not fit. Returns the replacement predicate name
+   plus the extras/steps contributions. *)
+let stash t ~cacheable (def : A.conj) rel sql ~ship =
+  let mk_step cached_as =
+    if ship then Plan.Ship_subquery { sql; cached_as } else Plan.Remote_fetch { sql; cached_as }
+  in
+  if not cacheable then
+    let name = fresh_extra t in
+    (name, [ (name, rel) ], [ mk_step None ])
+  else
+    match CMgr.insert t.cache ~def (Elem.Extension rel) with
+    | Some e -> (e.Elem.id, [], [ mk_step (Some e.Elem.id) ])
+    | None ->
+      let name = fresh_extra t in
+      (name, [ (name, rel) ], [ mk_step None ])
+
+(* Replace the atoms at the given indices by replacement atoms; atoms not
+   mentioned are kept in order. *)
+let apply_replacements (q : A.conj) replacements =
+  (* replacements : (indices, replacement atom) list, indices disjoint *)
+  let at_index = Hashtbl.create 16 in
+  List.iter
+    (fun (indices, repl) ->
+      match indices with
+      | [] -> ()
+      | first :: _ ->
+        Hashtbl.replace at_index first (`Replace repl);
+        List.iter (fun i -> if i <> first then Hashtbl.replace at_index i `Drop) indices)
+    replacements;
+  let atoms =
+    List.concat
+      (List.mapi
+         (fun i a ->
+           match Hashtbl.find_opt at_index i with
+           | Some (`Replace repl) -> [ repl ]
+           | Some `Drop -> []
+           | None -> [ a ])
+         q.A.atoms)
+  in
+  { q with A.atoms }
+
+(* Fetch the uncovered part of a query, either as one shipped join or one
+   request per relation occurrence, choosing by estimated cost. *)
+let fetch_uncovered t ~cacheable (q : A.conj) uncovered_idx external_vars =
+  let uncovered =
+    List.filteri (fun i _ -> List.mem i uncovered_idx) q.A.atoms
+  in
+  let ship_replacement () =
+    if List.length uncovered < 2 then None
+    else begin
+      let atom_vars = uniq (List.concat_map L.Atom.vars uncovered) in
+      let head_vars =
+        match List.filter (fun v -> List.mem v external_vars) atom_vars with
+        | [] -> atom_vars
+        | vs -> vs
+      in
+      if head_vars = [] then None
+      else begin
+        let shippable_cmps =
+          List.filter
+            (fun c -> no_arith_cmp c && List.for_all (fun v -> List.mem v atom_vars) (cmp_vars c))
+            q.A.cmps
+        in
+        let sc =
+          A.conj ~cmps:shippable_cmps (List.map (fun v -> L.Term.Var v) head_vars) uncovered
+        in
+        let model = Server.cost_model t.server in
+        let ship_c = Cost.ship_cost model (catalog t) sc in
+        let atoms_c = Cost.per_atom_cost model (catalog t) sc in
+        Log.debug (fun m ->
+            m "cache-vs-DBMS split: ship=%.1fms per-atom=%.1fms for %s" ship_c atoms_c
+              (A.conj_to_string sc));
+        if ship_c > atoms_c then None
+        else
+          match ship_conj t sc with
+          | Some (rel, sql) ->
+            let name, extras, steps = stash t ~cacheable sc rel sql ~ship:true in
+            let repl = L.Atom.make name (List.map (fun v -> L.Term.Var v) head_vars) in
+            Some ([ (uncovered_idx, repl) ], extras, steps)
+          | None -> None
+      end
+    end
+  in
+  match ship_replacement () with
+  | Some r -> r
+  | None ->
+    (* one fetch per occurrence *)
+    List.fold_left
+      (fun (repls, extras, steps) i ->
+        let a = List.nth q.A.atoms i in
+        let def, rel, sql = fetch_atom t a in
+        let name, extras', steps' = stash t ~cacheable def rel sql ~ship:false in
+        let repl = L.Atom.make name def.A.head in
+        (repls @ [ ([ i ], repl) ], extras @ extras', steps @ steps'))
+      ([], [], []) uncovered_idx
+
+let all_indices (q : A.conj) = List.init (List.length q.A.atoms) (fun i -> i)
+
+(* --- per-mode solvers --- *)
+
+let solve_no_cache t (q : A.conj) =
+  let external_vars =
+    uniq (List.concat_map (function L.Term.Var x -> [ x ] | L.Term.Const _ -> []) q.A.head
+         @ List.concat_map cmp_vars q.A.cmps)
+  in
+  let repls, extras, steps =
+    fetch_uncovered t ~cacheable:false q (all_indices q) external_vars
+  in
+  {
+    s_rewritten = apply_replacements q repls;
+    s_extras = extras;
+    s_steps = steps;
+    s_used_cache = false;
+    s_used_remote = true;
+    s_covered_cards = 0;
+  }
+
+let element_cover_replacement e (q : A.conj) =
+  Sub.full_cover { Sub.id = e.Elem.id; def = e.Elem.def } q
+
+let solve_exact t (q : A.conj) =
+  match CMgr.find_exact t.cache q with
+  | Some e ->
+    (match element_cover_replacement e q with
+     | Some cover ->
+       let model = CMgr.model t.cache in
+       Braid_cache.Cache_model.touch model e;
+       {
+         s_rewritten = Sub.rewrite q cover;
+         s_extras = [];
+         s_steps = [ Plan.Exact_hit { element = e.Elem.id } ];
+         s_used_cache = true;
+         s_used_remote = false;
+         s_covered_cards = Elem.cardinality_estimate e;
+       }
+     | None ->
+       (* A variant-equal definition always yields a full cover; defensive
+          fallback to a miss if it ever does not. *)
+       solve_no_cache t q)
+  | None -> solve_no_cache t q
+
+let solve_single t (q : A.conj) =
+  let model = CMgr.model t.cache in
+  let repls, extras, steps, used_cache, used_remote, cards =
+    List.fold_left
+      (fun (repls, extras, steps, uc, ur, cards) i ->
+        let a = List.nth q.A.atoms i in
+        let def_a = single_atom_def a in
+        match CMgr.find_exact t.cache def_a with
+        | Some e ->
+          (match element_cover_replacement e def_a with
+           | Some cover ->
+             Braid_cache.Cache_model.touch model e;
+             ( repls @ [ ([ i ], cover.Sub.replacement) ],
+               extras,
+               steps @ [ Plan.Use_element { element = e.Elem.id; covered_atoms = [ i ] } ],
+               true,
+               ur,
+               cards + Elem.cardinality_estimate e )
+           | None ->
+             let def, rel, sql = fetch_atom t a in
+             let name, extras', steps' = stash t ~cacheable:true def rel sql ~ship:false in
+             ( repls @ [ ([ i ], L.Atom.make name def.A.head) ],
+               extras @ extras',
+               steps @ steps',
+               uc,
+               true,
+               cards ))
+        | None ->
+          let def, rel, sql = fetch_atom t a in
+          let name, extras', steps' = stash t ~cacheable:true def rel sql ~ship:false in
+          ( repls @ [ ([ i ], L.Atom.make name def.A.head) ],
+            extras @ extras',
+            steps @ steps',
+            uc,
+            true,
+            cards ))
+      ([], [], [], false, false, 0)
+      (all_indices q)
+  in
+  {
+    s_rewritten = apply_replacements q repls;
+    s_extras = extras;
+    s_steps = steps;
+    s_used_cache = used_cache;
+    s_used_remote = used_remote;
+    s_covered_cards = cards;
+  }
+
+(* Greedy disjoint cover selection: larger covers first, preferring
+   materialized elements and smaller extensions. *)
+let choose_covers covers =
+  let score ((e : Elem.t), (c : Sub.cover)) =
+    ( -List.length c.Sub.covered,
+      (if Elem.is_materialized e then 0 else 1),
+      Elem.cardinality_estimate e )
+  in
+  let sorted = List.sort (fun a b -> Stdlib.compare (score a) (score b)) covers in
+  let chosen, _ =
+    List.fold_left
+      (fun (chosen, taken) ((_, c) as ec) ->
+        if List.exists (fun i -> List.mem i taken) c.Sub.covered then (chosen, taken)
+        else (ec :: chosen, c.Sub.covered @ taken))
+      ([], []) sorted
+  in
+  List.rev chosen
+
+let solve_subsume t (q : A.conj) =
+  let model = CMgr.model t.cache in
+  let covers = CMgr.relevant_covers t.cache q in
+  let chosen = choose_covers covers in
+  let covered_idx = List.concat_map (fun (_, c) -> c.Sub.covered) chosen in
+  let uncovered_idx = List.filter (fun i -> not (List.mem i covered_idx)) (all_indices q) in
+  let cover_repls =
+    List.map (fun (_, (c : Sub.cover)) -> (c.Sub.covered, c.Sub.replacement)) chosen
+  in
+  let cover_steps =
+    List.map
+      (fun ((e : Elem.t), (c : Sub.cover)) ->
+        Braid_cache.Cache_model.touch model e;
+        if uncovered_idx = [] && List.length chosen = 1 && A.variant_equal e.Elem.def q then
+          Plan.Exact_hit { element = e.Elem.id }
+        else Plan.Use_element { element = e.Elem.id; covered_atoms = c.Sub.covered })
+      chosen
+  in
+  let covered_cards =
+    List.fold_left (fun acc (e, _) -> acc + Elem.cardinality_estimate e) 0 chosen
+  in
+  if uncovered_idx = [] then
+    {
+      s_rewritten = apply_replacements q cover_repls;
+      s_extras = [];
+      s_steps = cover_steps;
+      s_used_cache = chosen <> [];
+      s_used_remote = false;
+      s_covered_cards = covered_cards;
+    }
+  else begin
+    let external_vars =
+      uniq
+        (List.concat_map (function L.Term.Var x -> [ x ] | L.Term.Const _ -> []) q.A.head
+        @ List.concat_map cmp_vars q.A.cmps
+        @ List.concat_map (fun (_, repl) -> L.Atom.vars repl) cover_repls)
+    in
+    let fetch_repls, extras, fetch_steps =
+      fetch_uncovered t ~cacheable:true q uncovered_idx external_vars
+    in
+    {
+      s_rewritten = apply_replacements q (cover_repls @ fetch_repls);
+      s_extras = extras;
+      s_steps = cover_steps @ fetch_steps;
+      s_used_cache = chosen <> [];
+      s_used_remote = true;
+      s_covered_cards = covered_cards;
+    }
+  end
+
+let solve t (q : A.conj) =
+  match t.config.caching with
+  | No_cache -> solve_no_cache t q
+  | Exact_match -> solve_exact t q
+  | Single_relation -> solve_single t q
+  | Subsumption -> solve_subsume t q
+
+(* --- advice-driven extras: generalization, prefetch, indexing, pinning --- *)
+
+let index_for_spec t (spec : Braid_advice.Ast.view_spec) (e : Elem.t) =
+  if t.config.advice_indexing then begin
+    let cols =
+      List.filter
+        (fun i -> i < List.length e.Elem.def.A.head)
+        (Adv.index_recommendation spec)
+    in
+    if cols <> [] then begin
+      CMgr.ensure_index t.cache e cols;
+      t.stats.indexes_built <- t.stats.indexes_built + 1;
+      [ Plan.Index_built { element = e.Elem.id; columns = cols } ]
+    end
+    else []
+  end
+  else []
+
+(* Materialize a definition as a cache element (used by generalization and
+   prefetching). Returns the element if it was (or already is) cached. *)
+let materialize_def t (def : A.conj) =
+  match CMgr.find_exact t.cache def with
+  | Some e -> Some (e, [])
+  | None ->
+    let solved = solve t def in
+    (* Solving may itself have cached an element with this very definition
+       (a shipped subquery equal to [def]); do not duplicate it. *)
+    (match CMgr.find_exact t.cache def with
+     | Some e -> Some (e, solved.s_steps)
+     | None ->
+       let rel = CMgr.eval t.cache ~extra:solved.s_extras (A.Conj solved.s_rewritten) in
+       let rel = retyped t def rel in
+       (match CMgr.insert t.cache ~def (Elem.Extension rel) with
+        | Some e -> Some (e, solved.s_steps)
+        | None -> None))
+
+let generalization_steps t spec (q : A.conj) =
+  if
+    not
+      (t.config.allow_generalization && t.config.caching = Subsumption
+     && t.config.use_advice)
+  then []
+  else begin
+    (* QPO step 1 (§5.3.1): the query — or a part of it — may be subsumed
+       by (the definition of) ANY view specification, not only its own;
+       e.g. the paper generalizes b1(c1,Y) because d3's definition contains
+       the subsuming b1(Z,Y). Prefer the query's own spec, then scan the
+       rest for a strictly more general definition worth materializing. *)
+    let candidates =
+      (match spec with Some s -> [ s ] | None -> [])
+      @ List.filter
+          (fun (s : Braid_advice.Ast.view_spec) ->
+            match spec with
+            | Some s0 -> not (String.equal s0.Braid_advice.Ast.id s.Braid_advice.Ast.id)
+            | None -> true)
+          (Adv.specs t.advisor)
+    in
+    let usable (s : Braid_advice.Ast.view_spec) =
+      let general = Adv.generalized s in
+      (not (A.variant_equal general q))
+      && Adv.expects_repetition t.advisor s.Braid_advice.Ast.id
+      && Cost.est_conj (catalog t) general <= t.config.prefetch_max_tuples
+      && CMgr.find_exact t.cache general = None
+      && Sub.generalizes general q
+    in
+    match List.find_opt usable candidates with
+    | None -> []
+    | Some s ->
+      let general = Adv.generalized s in
+      Log.debug (fun m ->
+          m "generalizing %s to spec %s (%s)" (A.conj_to_string q) s.Braid_advice.Ast.id
+            (A.conj_to_string general));
+      (match materialize_def t general with
+       | Some (e, steps) ->
+         Hashtbl.replace t.elem_spec e.Elem.id s.Braid_advice.Ast.id;
+         t.stats.generalizations <- t.stats.generalizations + 1;
+         steps
+         @ [ Plan.Generalized { spec = s.Braid_advice.Ast.id; element = e.Elem.id } ]
+         @ index_for_spec t s e
+       | None -> [])
+  end
+
+let prefetch_steps t current_spec_id =
+  if not (t.config.allow_prefetch && t.config.use_advice && t.config.caching = Subsumption)
+  then []
+  else
+    List.concat_map
+      (fun (spec : Braid_advice.Ast.view_spec) ->
+        let id = spec.Braid_advice.Ast.id in
+        if
+          Some id <> current_spec_id
+          && (not (Hashtbl.mem t.prefetched id))
+          && Cost.est_conj (catalog t) spec.Braid_advice.Ast.def
+             <= t.config.prefetch_max_tuples
+          && CMgr.find_exact t.cache spec.Braid_advice.Ast.def = None
+        then begin
+          Hashtbl.replace t.prefetched id ();
+          Log.debug (fun m -> m "prefetching predicted-next spec %s" id);
+          match materialize_def t spec.Braid_advice.Ast.def with
+          | Some (e, steps) ->
+            Hashtbl.replace t.elem_spec e.Elem.id id;
+            t.stats.prefetches <- t.stats.prefetches + 1;
+            steps
+            @ [ Plan.Prefetch { spec = id; element = e.Elem.id } ]
+            @ index_for_spec t spec e
+          | None -> []
+        end
+        else [])
+      (Adv.predicted_next t.advisor)
+
+let update_pins t =
+  (* Pin the elements backing specs predicted for the next queries — the
+     paper's replacement example (§4.2.2): after d1, d2 the tracker knows
+     d1 "will be required for one of the next two queries", so d1's element
+     "is not the best candidate" for eviction. Elements whose spec can no
+     longer occur are unpinned (plain LRU applies to them). *)
+  let imminent =
+    List.map (fun s -> s.Braid_advice.Ast.id) (Adv.predicted_next t.advisor)
+  in
+  Hashtbl.iter
+    (fun elem_id spec_id ->
+      let keep = List.mem spec_id imminent && Adv.may_occur_later t.advisor spec_id in
+      CMgr.pin t.cache elem_id keep)
+    t.elem_spec
+
+(* --- the public entry points --- *)
+
+type answer = {
+  stream : TS.t;
+  plan : Plan.t;
+  spec_id : string option;
+}
+
+let classify t solved =
+  if not solved.s_used_remote then
+    if solved.s_used_cache then t.stats.full_hits <- t.stats.full_hits + 1
+    else t.stats.misses <- t.stats.misses + 1
+  else if solved.s_used_cache then t.stats.partial_hits <- t.stats.partial_hits + 1
+  else t.stats.misses <- t.stats.misses + 1;
+  if
+    List.exists
+      (function
+        | Plan.Exact_hit _ -> true
+        | Plan.Use_element _ | Plan.Ship_subquery _ | Plan.Remote_fetch _ | Plan.Local_eval _
+        | Plan.Lazy_answer | Plan.Generalized _ | Plan.Prefetch _ | Plan.Index_built _ -> false)
+      solved.s_steps
+  then t.stats.exact_hits <- t.stats.exact_hits + 1
+
+let should_cache_eager_result t spec solved touched =
+  match t.config.caching with
+  | No_cache -> false
+  | Exact_match -> solved.s_used_remote
+  | Single_relation -> false
+  | Subsumption ->
+    let advice_ok =
+      match spec with Some s -> Adv.should_cache_result t.advisor s | None -> true
+    in
+    advice_ok
+    && (solved.s_used_remote || touched >= t.config.recompute_cache_threshold)
+
+let answer_conj t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
+  t.stats.queries <- t.stats.queries + 1;
+  let spec =
+    if not t.config.use_advice then None
+    else
+      match spec_id with
+      | Some id -> Adv.find_spec t.advisor id
+      | None -> Adv.identify t.advisor q
+  in
+  (match spec with
+   | Some s when t.config.use_advice -> Adv.observe t.advisor s.Braid_advice.Ast.id
+   | Some _ | None -> ());
+  (* Pin predicted-next elements *before* this query's insertions can evict
+     them (the replacement decision of §5.4 uses the tracker's position). *)
+  update_pins t;
+  let before = Server.stats t.server in
+  let touched_before = (CMgr.stats t.cache).CMgr.tuples_touched in
+  (* QPO step 1: possibly evaluate a generalization first. *)
+  let gen_steps = generalization_steps t spec q in
+  (* Steps 2 and 3: rewrite over the cache and fetch what is missing. *)
+  let solved = solve t q in
+  classify t solved;
+  let model = Server.cost_model t.server in
+  let lazy_ok =
+    t.config.allow_lazy
+    && (not solved.s_used_remote)
+    && solved.s_extras = []
+    && (prefer_lazy
+       || match spec with Some s -> Adv.recommend_lazy s | None -> false)
+  in
+  let result_steps = ref [] in
+  let stream =
+    if lazy_ok then begin
+      Log.debug (fun m -> m "answering lazily: %s" (A.conj_to_string q));
+      t.stats.lazy_answers <- t.stats.lazy_answers + 1;
+      let s = CMgr.eval_conj_lazy t.cache solved.s_rewritten in
+      result_steps := [ Plan.Lazy_answer ];
+      (* A generator is itself cacheable (§5.1); it shares its memoized
+         spine with the consumer's stream. *)
+      (match t.config.caching with
+       | Subsumption when CMgr.find_exact t.cache q = None ->
+         ignore (CMgr.insert t.cache ~def:q (Elem.Generator s))
+       | Subsumption | No_cache | Exact_match | Single_relation -> ());
+      s
+    end
+    else begin
+      let rel = CMgr.eval t.cache ~extra:solved.s_extras (A.Conj solved.s_rewritten) in
+      let touched = (CMgr.stats t.cache).CMgr.tuples_touched - touched_before in
+      result_steps := [ Plan.Local_eval { touched } ];
+      if should_cache_eager_result t spec solved touched && CMgr.find_exact t.cache q = None
+      then begin
+        match CMgr.insert t.cache ~def:q (Elem.Extension (retyped t q rel)) with
+        | Some e ->
+          (match spec with
+           | Some s ->
+             Hashtbl.replace t.elem_spec e.Elem.id s.Braid_advice.Ast.id;
+             result_steps := !result_steps @ index_for_spec t s e
+           | None -> ())
+        | None -> ()
+      end;
+      TS.of_relation rel
+    end
+  in
+  (* Associate this spec with whichever cache element now answers it, so
+     path-expression pinning can protect it (§5.4). *)
+  (match spec with
+   | Some s ->
+     (match CMgr.find_exact t.cache (Adv.generalized s) with
+      | Some e -> Hashtbl.replace t.elem_spec e.Elem.id s.Braid_advice.Ast.id
+      | None ->
+        (match CMgr.find_exact t.cache q with
+         | Some e -> Hashtbl.replace t.elem_spec e.Elem.id s.Braid_advice.Ast.id
+         | None -> ()))
+   | None -> ());
+  update_pins t;
+  let pf_steps = prefetch_steps t (Option.map (fun s -> s.Braid_advice.Ast.id) spec) in
+  (* Simulated timing with optional cache/remote overlap. *)
+  let after = Server.stats t.server in
+  let touched_total = (CMgr.stats t.cache).CMgr.tuples_touched - touched_before in
+  let remote_ms =
+    after.Server.server_ms -. before.Server.server_ms
+    +. (after.Server.comm_ms -. before.Server.comm_ms)
+  in
+  let local_ms = model.CModel.cache_tuple_ms *. float_of_int touched_total in
+  let elapsed =
+    if t.config.allow_parallel && solved.s_used_remote && solved.s_used_cache then begin
+      let pre = Float.min local_ms (model.CModel.cache_tuple_ms *. float_of_int solved.s_covered_cards) in
+      Float.max remote_ms pre +. (local_ms -. pre)
+    end
+    else remote_ms +. local_ms
+  in
+  t.stats.local_ms <- t.stats.local_ms +. local_ms;
+  t.stats.elapsed_ms <- t.stats.elapsed_ms +. elapsed;
+  let plan = gen_steps @ solved.s_steps @ !result_steps @ pf_steps in
+  (match t.trace with
+   | Some entries -> t.trace <- Some ((q, plan) :: entries)
+   | None -> ());
+  {
+    stream;
+    plan;
+    spec_id = Option.map (fun s -> s.Braid_advice.Ast.id) spec;
+  }
+
+(* Answer a conjunctive query in which [extras] names resolve to local
+   scratch relations (used by the fixpoint operator); atoms over extras are
+   replaced so the solver does not look for them remotely. *)
+let answer_conj_with_extra t extras (c : A.conj) =
+  let extra_names = List.map fst extras in
+  let mentions_extra =
+    List.exists (fun (a : L.Atom.t) -> List.mem a.L.Atom.pred extra_names) c.A.atoms
+  in
+  if not mentions_extra then
+    let a = answer_conj t c in
+    (TS.to_relation a.stream, a.plan)
+  else begin
+    (* Fetch each non-extra base occurrence through the planner (so caching
+       and subsumption apply), then evaluate the whole conjunct locally. *)
+    let fetched = ref [] in
+    let atoms =
+      List.map
+        (fun (a : L.Atom.t) ->
+          if
+            List.mem a.L.Atom.pred extra_names
+            || CMgr.find t.cache a.L.Atom.pred <> None
+          then a
+          else begin
+            let def = single_atom_def a in
+            let ans = answer_conj t def in
+            let name = fresh_extra t in
+            fetched := (name, TS.to_relation ans.stream) :: !fetched;
+            (* the fetched extension's columns are the occurrence's
+               distinct variables; constants were applied remotely *)
+            L.Atom.make name def.A.head
+          end)
+        c.A.atoms
+    in
+    let rewritten = { c with A.atoms } in
+    let extra = extras @ !fetched in
+    (CMgr.eval t.cache ~extra (A.Conj rewritten), [])
+  end
+
+let rec answer_query_with_extra t extras (q : A.t) =
+  match q with
+  | A.Conj c -> answer_conj_with_extra t extras c
+  | A.Union [] -> invalid_arg "Qpo.answer_query: empty union"
+  | A.Union (first :: rest) ->
+    let r0, p0 = answer_query_with_extra t extras first in
+    List.fold_left
+      (fun (acc, plan) q' ->
+        let r, p = answer_query_with_extra t extras q' in
+        (R.Ops.union_all acc r, plan @ p))
+      (r0, p0) rest
+    |> fun (rel, plan) -> (R.Relation.distinct rel, plan)
+  | A.Diff (a, b) ->
+    let ra, pa = answer_query_with_extra t extras a in
+    let rb, pb = answer_query_with_extra t extras b in
+    (R.Ops.diff ra rb, pa @ pb)
+  | (A.Distinct _ | A.Division _ | A.Fixpoint _ | A.Agg _) as q ->
+    (* no extras expected below these in fixpoint steps we generate *)
+    ignore extras;
+    answer_query t q
+
+and answer_query t (q : A.t) =
+  match q with
+  | A.Conj c ->
+    let a = answer_conj t c in
+    (TS.to_relation a.stream, a.plan)
+  | A.Union [] -> invalid_arg "Qpo.answer_query: empty union"
+  | A.Union (first :: rest) ->
+    let r0, p0 = answer_query t first in
+    List.fold_left
+      (fun (acc, plan) q' ->
+        let r, p = answer_query t q' in
+        (R.Ops.union_all acc r, plan @ p))
+      (r0, p0) rest
+    |> fun (rel, plan) -> (R.Relation.distinct rel, plan)
+  | A.Diff (a, b) ->
+    let ra, pa = answer_query t a in
+    let rb, pb = answer_query t b in
+    (R.Ops.diff ra rb, pa @ pb)
+  | A.Distinct q' ->
+    let r, p = answer_query t q' in
+    (R.Relation.distinct r, p)
+  | A.Division (dividend, divisor) ->
+    let rd, pd = answer_query t dividend in
+    let rs, ps = answer_query t divisor in
+    let total = R.Schema.arity (R.Relation.schema rd) in
+    let k_arity = total - R.Schema.arity (R.Relation.schema rs) in
+    if k_arity < 0 then invalid_arg "Qpo.answer_query: invalid division arities";
+    let key_cols = List.init k_arity (fun i -> i) in
+    let candidates = R.Relation.distinct (R.Ops.project key_cols rd) in
+    let missing = R.Ops.diff (R.Ops.product candidates rs) (R.Relation.distinct rd) in
+    let bad = R.Relation.distinct (R.Ops.project key_cols missing) in
+    (R.Ops.diff candidates bad, pd @ ps)
+  | A.Fixpoint f ->
+    (* Evaluate the recursion in the CMS: the base case goes through the
+       planner normally; each step round resolves the recursive name to
+       the accumulated result and every other relation through the cache. *)
+    let base, plan = answer_query t f.A.base in
+    let current = ref (R.Relation.distinct base) in
+    let steps = ref plan in
+    let rec iterate guard =
+      if guard > 10_000 then invalid_arg "Qpo.answer_query: fixpoint did not converge";
+      let stepped, plan' =
+        answer_query_with_extra t [ (f.A.name, !current) ] f.A.step
+      in
+      steps := !steps @ plan';
+      let next = R.Relation.distinct (R.Ops.union_all !current stepped) in
+      if R.Relation.cardinality next > R.Relation.cardinality !current then begin
+        current := next;
+        iterate (guard + 1)
+      end
+    in
+    iterate 0;
+    (R.Relation.with_name f.A.name !current, !steps)
+  | A.Agg ag ->
+    let src, plan = answer_query t ag.A.source in
+    (R.Aggregate.group_by ag.A.keys ag.A.specs src, plan)
+
+let metrics t : metrics =
+  {
+    queries = t.stats.queries;
+    exact_hits = t.stats.exact_hits;
+    full_hits = t.stats.full_hits;
+    partial_hits = t.stats.partial_hits;
+    misses = t.stats.misses;
+    generalizations = t.stats.generalizations;
+    prefetches = t.stats.prefetches;
+    lazy_answers = t.stats.lazy_answers;
+    indexes_built = t.stats.indexes_built;
+    local_ms = t.stats.local_ms;
+    elapsed_ms = t.stats.elapsed_ms;
+  }
+
+let reset_metrics t =
+  let s = t.stats in
+  s.queries <- 0;
+  s.exact_hits <- 0;
+  s.full_hits <- 0;
+  s.partial_hits <- 0;
+  s.misses <- 0;
+  s.generalizations <- 0;
+  s.prefetches <- 0;
+  s.lazy_answers <- 0;
+  s.indexes_built <- 0;
+  s.local_ms <- 0.0;
+  s.elapsed_ms <- 0.0

@@ -1,0 +1,105 @@
+(** The Query Planner/Optimizer and Execution Monitor (paper Figure 5,
+    §5.3): plans each CAQL query in three steps and executes the plan.
+
+    - {b Step 1 — determine the query to be evaluated}: with advice, the
+      IE-query may be replaced by a {e generalization} (its view
+      specification with parameters freed) when path tracking predicts
+      repetition, so one remote request serves the whole family (§5.3.1).
+    - {b Step 2 — determine relevant cache elements}: subsumption over the
+      cache model's predicate index (§5.3.2); the configured
+      {!caching_mode} selects between BrAID's subsumption and the baseline
+      disciplines of earlier systems.
+    - {b Step 3 — generate and execute the plan}: choose, per remaining
+      subquery, cache vs remote execution by estimated cost (one shipped
+      join vs per-relation fetches), build advice-recommended indexes,
+      decide lazy vs eager representation, cache results, and update
+      replacement pins from path tracking (§5.3.3, §5.4).
+
+    The simulated elapsed time overlaps cache-side work with the remote
+    request when [allow_parallel] is set (feature (e) of §5). *)
+
+type caching_mode =
+  | No_cache  (** loose coupling: every DB goal is a remote request *)
+  | Exact_match  (** BERMUDA-style result caching [IOAN88] *)
+  | Single_relation  (** CERI86-style single-relation extensions *)
+  | Subsumption  (** BrAID: PSJ-view subsumption *)
+
+type config = {
+  caching : caching_mode;
+  use_advice : bool;
+  allow_lazy : bool;
+  allow_generalization : bool;
+  allow_prefetch : bool;
+  allow_parallel : bool;
+  advice_indexing : bool;
+  prefetch_max_tuples : int;
+      (** do not prefetch/generalize families estimated above this size *)
+  recompute_cache_threshold : int;
+      (** cache a locally computed result when it touched at least this
+          many tuples (recomputation would be expensive) *)
+}
+
+val braid_config : config
+(** Everything on: BrAID as described in the paper. *)
+
+val loose_coupling_config : config
+val bermuda_config : config
+val ceri_config : config
+val no_advice_config : config
+(** Subsumption caching but no advice-driven features — isolates the
+    contribution of subsumption itself. *)
+
+type t
+
+val create : config -> cache:Braid_cache.Cache_manager.t -> server:Braid_remote.Server.t -> t
+
+val config : t -> config
+val cache : t -> Braid_cache.Cache_manager.t
+val server : t -> Braid_remote.Server.t
+val advisor : t -> Braid_advice.Advisor.t
+
+val set_advice : t -> Braid_advice.Ast.t -> unit
+(** Starts a new advice epoch (a session's advice set, §3). *)
+
+type answer = {
+  stream : Braid_stream.Tuple_stream.t;  (** results are always streamed to the IE (§3) *)
+  plan : Plan.t;
+  spec_id : string option;  (** the view specification the query matched *)
+}
+
+exception Unknown_relation of string
+
+val answer_conj : t -> ?spec_id:string -> ?prefer_lazy:bool -> Braid_caql.Ast.conj -> answer
+(** [prefer_lazy] is the interpretive IE's hint that it will consume the
+    stream tuple-at-a-time; a lazy generator is used whenever the query is
+    answerable from the cache alone (§5.1). *)
+
+val answer_query : t -> Braid_caql.Ast.t -> Braid_relalg.Relation.t * Plan.t
+(** Full CAQL (union / difference / aggregation), evaluated eagerly by
+    answering each conjunctive leaf through the planner. *)
+
+type metrics = {
+  queries : int;
+  exact_hits : int;
+  full_hits : int;  (** answered without any remote interaction *)
+  partial_hits : int;  (** some cached data reused, some fetched *)
+  misses : int;
+  generalizations : int;
+  prefetches : int;
+  lazy_answers : int;
+  indexes_built : int;
+  local_ms : float;  (** simulated workstation time *)
+  elapsed_ms : float;  (** simulated wall-clock incl. overlap *)
+}
+
+val metrics : t -> metrics
+val reset_metrics : t -> unit
+
+val set_trace : t -> bool -> unit
+(** Enable/disable session tracing: every answered conjunctive query is
+    recorded with the plan that satisfied it. Enabling clears any previous
+    trace. *)
+
+val trace : t -> (Braid_caql.Ast.conj * Plan.t) list
+(** The recorded (query, plan) pairs, oldest first; empty when tracing is
+    off. *)

@@ -1,0 +1,1 @@
+lib/relalg/index.ml: Hashtbl List Relation Tuple Value

@@ -1,0 +1,1 @@
+lib/relalg/index.mli: Relation Tuple Value

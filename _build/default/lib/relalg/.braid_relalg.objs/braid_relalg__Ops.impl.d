@@ -1,0 +1,1 @@
+lib/relalg/ops.ml: Index List Relation Row_pred Schema Tuple Value

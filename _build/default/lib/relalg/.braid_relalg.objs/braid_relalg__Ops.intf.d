@@ -1,0 +1,1 @@
+lib/relalg/ops.mli: Index Relation Row_pred Value

@@ -1,0 +1,1 @@
+lib/relalg/row_pred.ml: Format List Tuple Value

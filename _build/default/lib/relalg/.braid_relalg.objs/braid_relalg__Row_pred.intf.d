@@ -1,0 +1,1 @@
+lib/relalg/row_pred.mli: Format Tuple Value

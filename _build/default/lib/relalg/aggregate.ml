@@ -1,0 +1,111 @@
+type spec =
+  | Count
+  | Sum of int
+  | Avg of int
+  | Min of int
+  | Max of int
+
+let name_of_spec = function
+  | Count -> "count"
+  | Sum i -> Printf.sprintf "sum_%d" i
+  | Avg i -> Printf.sprintf "avg_%d" i
+  | Min i -> Printf.sprintf "min_%d" i
+  | Max i -> Printf.sprintf "max_%d" i
+
+module Key = struct
+  type t = Value.t list
+
+  let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
+  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 k
+end
+
+module Key_tbl = Hashtbl.Make (Key)
+
+(* Running state of one aggregate within one group. *)
+type state = { mutable count : int; mutable sum : Value.t; mutable min : Value.t option; mutable max : Value.t option }
+
+let new_state () = { count = 0; sum = Value.Int 0; min = None; max = None }
+
+let feed st v =
+  st.count <- st.count + 1;
+  st.sum <- Value.add st.sum v;
+  (match st.min with
+   | None -> st.min <- Some v
+   | Some m -> if Value.compare v m < 0 then st.min <- Some v);
+  match st.max with
+  | None -> st.max <- Some v
+  | Some m -> if Value.compare v m > 0 then st.max <- Some v
+
+let finish spec st =
+  match spec with
+  | Count -> Value.Int st.count
+  | Sum _ -> if st.count = 0 then Value.Int 0 else st.sum
+  | Avg _ ->
+    if st.count = 0 then Value.Null
+    else Value.div st.sum (Value.Int st.count)
+  | Min _ -> (match st.min with Some v -> v | None -> Value.Null)
+  | Max _ -> (match st.max with Some v -> v | None -> Value.Null)
+
+let spec_col = function Count -> None | Sum i | Avg i | Min i | Max i -> Some i
+
+let out_schema keys specs in_schema =
+  let key_attrs = List.map (fun i -> (Schema.name_at in_schema i, Schema.ty_at in_schema i)) keys in
+  let agg_attrs =
+    List.map
+      (fun sp ->
+        let ty =
+          match sp with
+          | Count -> Value.Tint
+          | Avg _ -> Value.Tfloat
+          | Sum i | Min i | Max i -> Schema.ty_at in_schema i
+        in
+        (name_of_spec sp, ty))
+      specs
+  in
+  (* Aggregate names may clash with key names; disambiguate with a prime. *)
+  let rec uniq seen = function
+    | [] -> []
+    | (n, ty) :: rest ->
+      let n = if List.mem n seen then n ^ "'" else n in
+      (n, ty) :: uniq (n :: seen) rest
+  in
+  Schema.make (uniq [] (key_attrs @ agg_attrs))
+
+let group_by keys specs r =
+  let in_schema = Relation.schema r in
+  let schema = out_schema keys specs in_schema in
+  let groups = Key_tbl.create 64 in
+  let order = ref [] in
+  Relation.iter
+    (fun t ->
+      let k = Tuple.key t keys in
+      let states =
+        match Key_tbl.find_opt groups k with
+        | Some s -> s
+        | None ->
+          let s = List.map (fun _ -> new_state ()) specs in
+          Key_tbl.add groups k s;
+          order := k :: !order;
+          s
+      in
+      List.iter2
+        (fun sp st ->
+          match spec_col sp with
+          | None -> feed st (Value.Int 1)
+          | Some c -> feed st (Tuple.get t c))
+        specs states)
+    r;
+  let out = Relation.create ~name:(Relation.name r) schema in
+  let emit k =
+    let states = Key_tbl.find groups k in
+    let aggs = List.map2 finish specs states in
+    Relation.add out (Tuple.make (k @ aggs))
+  in
+  (match (keys, !order) with
+   | [], [] ->
+     (* Whole-relation aggregation of an empty input still yields one row. *)
+     let states = List.map (fun _ -> new_state ()) specs in
+     let aggs = List.map2 finish specs states in
+     Relation.add out (Tuple.make aggs)
+   | _, order -> List.iter emit (List.rev order));
+  out

@@ -1,0 +1,19 @@
+(** Grouping and aggregation (CAQL's AGG/SETOF-style second-order
+    operations, which the remote DBMS of the paper's era did not support and
+    the CMS therefore evaluates itself). *)
+
+type spec =
+  | Count
+  | Sum of int
+  | Avg of int
+  | Min of int
+  | Max of int
+
+val name_of_spec : spec -> string
+
+val group_by : int list -> spec list -> Relation.t -> Relation.t
+(** [group_by keys specs r] groups on the key columns and appends one column
+    per aggregate. The output schema is the key attributes followed by one
+    attribute per spec (named e.g. [count], [sum_price]). Groups appear in
+    first-occurrence order. With [keys = []] the result is a single row
+    (aggregation over the whole relation), even when [r] is empty. *)

@@ -1,0 +1,36 @@
+module Key = struct
+  type t = Value.t list
+
+  let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
+  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 k
+end
+
+module Key_tbl = Hashtbl.Make (Key)
+
+type t = {
+  columns : int list;
+  table : Tuple.t list ref Key_tbl.t;
+  mutable probes : int;
+  entries : int;
+}
+
+let build r cols =
+  if cols = [] then invalid_arg "Index.build: empty column list";
+  let table = Key_tbl.create (max 16 (Relation.cardinality r)) in
+  Relation.iter
+    (fun t ->
+      let k = Tuple.key t cols in
+      match Key_tbl.find_opt table k with
+      | Some cell -> cell := t :: !cell
+      | None -> Key_tbl.add table k (ref [ t ]))
+    r;
+  { columns = cols; table; probes = 0; entries = Relation.cardinality r }
+
+let columns ix = ix.columns
+
+let lookup ix key =
+  ix.probes <- ix.probes + 1;
+  match Key_tbl.find_opt ix.table key with Some cell -> List.rev !cell | None -> []
+
+let probes ix = ix.probes
+let bytes_estimate ix = 64 + (ix.entries * 24)

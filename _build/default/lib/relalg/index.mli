@@ -1,0 +1,20 @@
+(** Hash indexes on relation columns.
+
+    The CMS builds these on attributes the advice flags with a consumer
+    annotation ([?]); the Query Processor uses them for join and selection
+    probes (paper §5.4: "uses hash indices when available"). *)
+
+type t
+
+val build : Relation.t -> int list -> t
+(** [build r cols] indexes [r] on the (non-empty) column list [cols]. *)
+
+val columns : t -> int list
+
+val lookup : t -> Value.t list -> Tuple.t list
+(** Tuples whose key columns equal the given values. *)
+
+val probes : t -> int
+(** Number of lookups served so far (for experiment accounting). *)
+
+val bytes_estimate : t -> int

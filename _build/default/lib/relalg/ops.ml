@@ -1,0 +1,154 @@
+let select pred r =
+  let out = Relation.create ~name:(Relation.name r) (Relation.schema r) in
+  Relation.iter (fun t -> if Row_pred.eval pred t then Relation.add out t) r;
+  out
+
+let select_indexed ix key ?(residual = Row_pred.True) r =
+  let out = Relation.create ~name:(Relation.name r) (Relation.schema r) in
+  List.iter
+    (fun t -> if Row_pred.eval residual t then Relation.add out t)
+    (Index.lookup ix key);
+  out
+
+let project cols r =
+  let schema = Schema.project (Relation.schema r) cols in
+  let out = Relation.create ~name:(Relation.name r) schema in
+  Relation.iter (fun t -> Relation.add out (Tuple.project t cols)) r;
+  out
+
+let project_names names r =
+  let s = Relation.schema r in
+  project (List.map (Schema.position s) names) r
+
+let product a b =
+  let schema = Schema.concat (Relation.schema a) (Relation.schema b) in
+  let out = Relation.create schema in
+  Relation.iter
+    (fun ta -> Relation.iter (fun tb -> Relation.add out (Tuple.concat ta tb)) b)
+    a;
+  out
+
+let hash_join ~left_cols ~right_cols ?(residual = Row_pred.True) a b =
+  let schema = Schema.concat (Relation.schema a) (Relation.schema b) in
+  let out = Relation.create schema in
+  let ix = Index.build b right_cols in
+  Relation.iter
+    (fun ta ->
+      let key = Tuple.key ta left_cols in
+      List.iter
+        (fun tb ->
+          let t = Tuple.concat ta tb in
+          if Row_pred.eval residual t then Relation.add out t)
+        (Index.lookup ix key))
+    a;
+  out
+
+let nested_join pred a b =
+  let schema = Schema.concat (Relation.schema a) (Relation.schema b) in
+  let out = Relation.create schema in
+  Relation.iter
+    (fun ta ->
+      Relation.iter
+        (fun tb ->
+          let t = Tuple.concat ta tb in
+          if Row_pred.eval pred t then Relation.add out t)
+        b)
+    a;
+  out
+
+let merge_join ~left_cols ~right_cols ?(residual = Row_pred.True) a b =
+  let schema = Schema.concat (Relation.schema a) (Relation.schema b) in
+  let out = Relation.create schema in
+  let key_cmp ta tb =
+    let rec loop ls rs =
+      match ls, rs with
+      | [], [] -> 0
+      | l :: ls, r :: rs ->
+        let c = Value.compare (Tuple.get ta l) (Tuple.get tb r) in
+        if c <> 0 then c else loop ls rs
+      | _, _ -> invalid_arg "Ops.merge_join: join column lists differ in length"
+    in
+    loop left_cols right_cols
+  in
+  let na = Relation.cardinality a and nb = Relation.cardinality b in
+  let i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    let ta = Relation.get a !i and tb = Relation.get b !j in
+    let c = key_cmp ta tb in
+    if c < 0 then incr i
+    else if c > 0 then incr j
+    else begin
+      (* find the extent of the equal-key group on each side *)
+      let i_end = ref (!i + 1) in
+      while !i_end < na && key_cmp (Relation.get a !i_end) tb = 0 do
+        incr i_end
+      done;
+      let j_end = ref (!j + 1) in
+      while !j_end < nb && key_cmp ta (Relation.get b !j_end) = 0 do
+        incr j_end
+      done;
+      for x = !i to !i_end - 1 do
+        for y = !j to !j_end - 1 do
+          let t = Tuple.concat (Relation.get a x) (Relation.get b y) in
+          if Row_pred.eval residual t then Relation.add out t
+        done
+      done;
+      i := !i_end;
+      j := !j_end
+    end
+  done;
+  out
+
+let check_compatible a b =
+  if Schema.arity (Relation.schema a) <> Schema.arity (Relation.schema b) then
+    invalid_arg "Ops: arity mismatch in set operation"
+
+let union_all a b =
+  check_compatible a b;
+  let out = Relation.create ~name:(Relation.name a) (Relation.schema a) in
+  Relation.iter (Relation.add out) a;
+  Relation.iter (Relation.add out) b;
+  out
+
+let union a b = Relation.distinct (union_all a b)
+
+let inter a b =
+  check_compatible a b;
+  let out = Relation.create ~name:(Relation.name a) (Relation.schema a) in
+  Relation.iter (fun t -> if Relation.mem b t then Relation.add out t) (Relation.distinct a);
+  out
+
+let diff a b =
+  check_compatible a b;
+  let out = Relation.create ~name:(Relation.name a) (Relation.schema a) in
+  Relation.iter
+    (fun t -> if not (Relation.mem b t) then Relation.add out t)
+    (Relation.distinct a);
+  out
+
+let rename name r = Relation.with_name name r
+
+let order_by cols r =
+  let cmp a b =
+    let rec loop = function
+      | [] -> 0
+      | c :: rest ->
+        let k = Value.compare (Tuple.get a c) (Tuple.get b c) in
+        if k <> 0 then k else loop rest
+    in
+    loop cols
+  in
+  Relation.sort_by cmp r
+
+let limit n r =
+  let out = Relation.create ~name:(Relation.name r) (Relation.schema r) in
+  (try
+     Relation.fold
+       (fun k t ->
+         if k >= n then raise Exit;
+         Relation.add out t;
+         k + 1)
+       0 r
+     |> ignore
+   with Exit -> ());
+  out

@@ -1,0 +1,49 @@
+(** Relational algebra operators over extensions.
+
+    These are the DBMS-like operations of the Cache Manager's Query
+    Processor and of the simulated remote engine. All operators are
+    bag-semantics unless stated otherwise. *)
+
+val select : Row_pred.t -> Relation.t -> Relation.t
+
+val select_indexed : Index.t -> Value.t list -> ?residual:Row_pred.t -> Relation.t -> Relation.t
+(** Index-backed equality selection; [residual] filters the probe result. *)
+
+val project : int list -> Relation.t -> Relation.t
+(** Bag projection onto the listed positions. *)
+
+val project_names : string list -> Relation.t -> Relation.t
+
+val product : Relation.t -> Relation.t -> Relation.t
+
+val hash_join :
+  left_cols:int list -> right_cols:int list -> ?residual:Row_pred.t ->
+  Relation.t -> Relation.t -> Relation.t
+(** Equi-join building a hash table on the right input; the residual
+    predicate sees the concatenated tuple. *)
+
+val nested_join : Row_pred.t -> Relation.t -> Relation.t -> Relation.t
+(** Theta join by nested loops; the predicate sees the concatenated tuple. *)
+
+val merge_join :
+  left_cols:int list -> right_cols:int list -> ?residual:Row_pred.t ->
+  Relation.t -> Relation.t -> Relation.t
+(** Sort-merge equi-join. Both inputs MUST already be sorted ascending on
+    their join columns (e.g. via [order_by] or a cache element's sorted
+    representation); equal-key groups are cross-producted. Equivalent to
+    [hash_join] on sorted inputs, but preserves the join-key order in the
+    output and needs no hash table. *)
+
+val union : Relation.t -> Relation.t -> Relation.t
+(** Set union (distinct). Schemas must have equal arity. *)
+
+val union_all : Relation.t -> Relation.t -> Relation.t
+val inter : Relation.t -> Relation.t -> Relation.t
+val diff : Relation.t -> Relation.t -> Relation.t
+
+val rename : string -> Relation.t -> Relation.t
+
+val order_by : int list -> Relation.t -> Relation.t
+(** Ascending lexicographic sort on the listed columns. *)
+
+val limit : int -> Relation.t -> Relation.t

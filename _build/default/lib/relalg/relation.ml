@@ -1,0 +1,69 @@
+type t = { name : string; schema : Schema.t; rows : Tuple.t Vec.t }
+
+let create ?(name = "") schema = { name; schema; rows = Vec.create () }
+
+let name r = r.name
+let schema r = r.schema
+let cardinality r = Vec.length r.rows
+
+let add r t =
+  if Tuple.arity t <> Schema.arity r.schema then
+    invalid_arg
+      (Printf.sprintf "Relation.add %s: arity %d, expected %d" r.name (Tuple.arity t)
+         (Schema.arity r.schema));
+  Vec.push r.rows t
+
+let of_tuples ?name schema tuples =
+  let r = create ?name schema in
+  List.iter (add r) tuples;
+  r
+
+let get r i = Vec.get r.rows i
+let iter f r = Vec.iter f r.rows
+let fold f acc r = Vec.fold f acc r.rows
+let to_list r = Vec.to_list r.rows
+let mem r t = Vec.exists (Tuple.equal t) r.rows
+
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let distinct r =
+  let seen = Tuple_tbl.create (cardinality r) in
+  let out = create ~name:r.name r.schema in
+  iter
+    (fun t ->
+      if not (Tuple_tbl.mem seen t) then begin
+        Tuple_tbl.add seen t ();
+        add out t
+      end)
+    r;
+  out
+
+let copy ?name r =
+  let name = match name with Some n -> n | None -> r.name in
+  { name; schema = r.schema; rows = Vec.copy r.rows }
+
+let with_name name r = { r with name }
+
+let sort_by cmp r =
+  let r' = copy r in
+  Vec.sort cmp r'.rows;
+  r'
+
+let value_bytes = function
+  | Value.Str s -> 16 + String.length s
+  | Value.Int _ | Value.Float _ | Value.Bool _ | Value.Null -> 16
+
+let bytes_estimate r =
+  fold (fun acc t -> acc + 16 + Array.fold_left (fun a v -> a + value_bytes v) 0 t) 64 r
+
+let pp ppf r =
+  let header = Schema.names r.schema in
+  Format.fprintf ppf "@[<v>%s%a@," r.name Schema.pp r.schema;
+  ignore header;
+  iter (fun t -> Format.fprintf ppf "%a@," Tuple.pp t) r;
+  Format.fprintf ppf "(%d rows)@]" (cardinality r)

@@ -1,0 +1,38 @@
+(** Named relation extensions: a schema plus a bag of tuples.
+
+    Relations are bags; [distinct] converts to set semantics. The remote
+    engine, the cache manager and the CAQL evaluator all operate on this
+    representation. *)
+
+type t
+
+val create : ?name:string -> Schema.t -> t
+val of_tuples : ?name:string -> Schema.t -> Tuple.t list -> t
+
+val name : t -> string
+val schema : t -> Schema.t
+val cardinality : t -> int
+
+val add : t -> Tuple.t -> unit
+(** Raises [Invalid_argument] on arity mismatch. *)
+
+val get : t -> int -> Tuple.t
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : ('acc -> Tuple.t -> 'acc) -> 'acc -> t -> 'acc
+val to_list : t -> Tuple.t list
+val mem : t -> Tuple.t -> bool
+
+val distinct : t -> t
+(** Set-semantics copy, preserving first-occurrence order. *)
+
+val copy : ?name:string -> t -> t
+val with_name : string -> t -> t
+(** Shares the underlying tuple storage. *)
+
+val sort_by : (Tuple.t -> Tuple.t -> int) -> t -> t
+
+val bytes_estimate : t -> int
+(** Rough in-memory footprint used for cache space accounting. *)
+
+val pp : Format.formatter -> t -> unit
+(** Tabular rendering (for examples and debugging). *)

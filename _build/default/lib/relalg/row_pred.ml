@@ -1,0 +1,94 @@
+type operand =
+  | Col of int
+  | Lit of Value.t
+  | Add of operand * operand
+  | Sub of operand * operand
+  | Mul of operand * operand
+  | Div of operand * operand
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of cmp * operand * operand
+  | And of t list
+  | Or of t list
+  | Not of t
+
+let rec eval_operand op t =
+  match op with
+  | Col i -> Tuple.get t i
+  | Lit v -> v
+  | Add (a, b) -> Value.add (eval_operand a t) (eval_operand b t)
+  | Sub (a, b) -> Value.sub (eval_operand a t) (eval_operand b t)
+  | Mul (a, b) -> Value.mul (eval_operand a t) (eval_operand b t)
+  | Div (a, b) -> Value.div (eval_operand a t) (eval_operand b t)
+
+let cmp_holds c a b =
+  let k = Value.compare a b in
+  match c with
+  | Eq -> k = 0
+  | Ne -> k <> 0
+  | Lt -> k < 0
+  | Le -> k <= 0
+  | Gt -> k > 0
+  | Ge -> k >= 0
+
+let negate_cmp = function Eq -> Ne | Ne -> Eq | Lt -> Ge | Le -> Gt | Gt -> Le | Ge -> Lt
+
+let rec eval p t =
+  match p with
+  | True -> true
+  | False -> false
+  | Cmp (c, a, b) -> cmp_holds c (eval_operand a t) (eval_operand b t)
+  | And ps -> List.for_all (fun p -> eval p t) ps
+  | Or ps -> List.exists (fun p -> eval p t) ps
+  | Not p -> not (eval p t)
+
+let conj ps =
+  let ps = List.filter (fun p -> p <> True) ps in
+  if List.exists (fun p -> p = False) ps then False
+  else match ps with [] -> True | [ p ] -> p | ps -> And ps
+
+let rec shift_operand k = function
+  | Col i -> Col (i + k)
+  | Lit v -> Lit v
+  | Add (a, b) -> Add (shift_operand k a, shift_operand k b)
+  | Sub (a, b) -> Sub (shift_operand k a, shift_operand k b)
+  | Mul (a, b) -> Mul (shift_operand k a, shift_operand k b)
+  | Div (a, b) -> Div (shift_operand k a, shift_operand k b)
+
+let rec shift k = function
+  | True -> True
+  | False -> False
+  | Cmp (c, a, b) -> Cmp (c, shift_operand k a, shift_operand k b)
+  | And ps -> And (List.map (shift k) ps)
+  | Or ps -> Or (List.map (shift k) ps)
+  | Not p -> Not (shift k p)
+
+let pp_cmp ppf c =
+  Format.pp_print_string ppf
+    (match c with Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")
+
+let rec pp_operand ppf = function
+  | Col i -> Format.fprintf ppf "#%d" i
+  | Lit v -> Value.pp ppf v
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp_operand a pp_operand b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_operand a pp_operand b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_operand a pp_operand b
+  | Div (a, b) -> Format.fprintf ppf "(%a / %a)" pp_operand a pp_operand b
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Cmp (c, a, b) -> Format.fprintf ppf "%a %a %a" pp_operand a pp_cmp c pp_operand b
+  | And ps ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " and ") pp)
+      ps
+  | Or ps ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " or ") pp)
+      ps
+  | Not p -> Format.fprintf ppf "not %a" pp p

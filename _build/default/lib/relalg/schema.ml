@@ -1,0 +1,57 @@
+type t = { attrs : (string * Value.ty) array; pos : (string, int) Hashtbl.t }
+
+let build attrs =
+  let pos = Hashtbl.create (Array.length attrs * 2) in
+  Array.iteri
+    (fun i (n, _) ->
+      if Hashtbl.mem pos n then invalid_arg ("Schema.make: duplicate attribute " ^ n);
+      Hashtbl.add pos n i)
+    attrs;
+  { attrs; pos }
+
+let make l = build (Array.of_list l)
+
+let arity s = Array.length s.attrs
+let attrs s = Array.to_list s.attrs
+let names s = List.map fst (attrs s)
+let name_at s i = fst s.attrs.(i)
+let ty_at s i = snd s.attrs.(i)
+let position s n = Hashtbl.find s.pos n
+let position_opt s n = Hashtbl.find_opt s.pos n
+let mem s n = Hashtbl.mem s.pos n
+
+let project s cols = build (Array.of_list (List.map (fun i -> s.attrs.(i)) cols))
+
+(* Fresh name for a right-hand attribute clashing with the left schema. *)
+let rec fresh taken n = if Hashtbl.mem taken n then fresh taken (n ^ "'") else n
+
+let concat a b =
+  let taken = Hashtbl.create 16 in
+  Array.iter (fun (n, _) -> Hashtbl.replace taken n ()) a.attrs;
+  let right =
+    Array.map
+      (fun (n, ty) ->
+        let n' = fresh taken n in
+        Hashtbl.replace taken n' ();
+        (n', ty))
+      b.attrs
+  in
+  build (Array.append a.attrs right)
+
+let rename s mapping =
+  build
+    (Array.map
+       (fun (n, ty) ->
+         match List.assoc_opt n mapping with Some n' -> (n', ty) | None -> (n, ty))
+       s.attrs)
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2 (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && t1 = t2) a.attrs b.attrs
+
+let pp ppf s =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (n, ty) -> Format.fprintf ppf "%s:%a" n Value.pp_ty ty))
+    (attrs s)

@@ -1,0 +1,31 @@
+type t = Value.t array
+
+let arity = Array.length
+let get t i = t.(i)
+let make = Array.of_list
+let to_list = Array.to_list
+let project t cols = Array.of_list (List.map (fun i -> t.(i)) cols)
+let concat = Array.append
+
+let compare a b =
+  let n = Array.length a and m = Array.length b in
+  if n <> m then Stdlib.compare n m
+  else
+    let rec loop i =
+      if i = n then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let equal a b = compare a b = 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let key t cols = List.map (fun i -> t.(i)) cols
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Value.pp)
+    (to_list t)

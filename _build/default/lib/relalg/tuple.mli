@@ -1,0 +1,18 @@
+(** Tuples: immutable-by-convention arrays of values. *)
+
+type t = Value.t array
+
+val arity : t -> int
+val get : t -> int -> Value.t
+val make : Value.t list -> t
+val to_list : t -> Value.t list
+val project : t -> int list -> t
+val concat : t -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val key : t -> int list -> Value.t list
+(** [key t cols] extracts the listed columns, for use as a hash key. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Null
+
+type ty = Tint | Tfloat | Tstr | Tbool
+
+let type_of = function
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | Str _ -> Some Tstr
+  | Bool _ -> Some Tbool
+  | Null -> None
+
+(* Rank used only to order values of distinct kinds. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Str _ -> 3
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Null, Null -> 0
+  | (Int _ | Float _ | Str _ | Bool _ | Null), _ -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int x -> Hashtbl.hash (0, x)
+  | Float x ->
+    (* Hash integral floats like the equal integer so that 2 and 2.0,
+       which compare equal, also hash equal. *)
+    if Float.is_integer x && Float.abs x < 1e18 then Hashtbl.hash (0, int_of_float x)
+    else Hashtbl.hash (1, x)
+  | Str s -> Hashtbl.hash (2, s)
+  | Bool b -> Hashtbl.hash (3, b)
+  | Null -> Hashtbl.hash 4
+
+let pp ppf = function
+  | Int x -> Format.pp_print_int ppf x
+  | Float x -> Format.fprintf ppf "%g" x
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.pp_print_bool ppf b
+  | Null -> Format.pp_print_string ppf "null"
+
+let to_string v = Format.asprintf "%a" pp v
+
+let pp_ty ppf ty =
+  Format.pp_print_string ppf
+    (match ty with Tint -> "int" | Tfloat -> "float" | Tstr -> "str" | Tbool -> "bool")
+
+let ty_to_string ty = Format.asprintf "%a" pp_ty ty
+
+let as_int = function Int x -> Some x | Float _ | Str _ | Bool _ | Null -> None
+
+let as_float = function
+  | Int x -> Some (float_of_int x)
+  | Float x -> Some x
+  | Str _ | Bool _ | Null -> None
+
+let as_string = function Str s -> Some s | Int _ | Float _ | Bool _ | Null -> None
+let as_bool = function Bool b -> Some b | Int _ | Float _ | Str _ | Null -> None
+
+let arith f_int f_float a b =
+  match a, b with
+  | Int x, Int y -> (match f_int x y with Some z -> Int z | None -> Null)
+  | (Int _ | Float _), (Int _ | Float _) ->
+    (match as_float a, as_float b with
+     | Some x, Some y -> (match f_float x y with Some z -> Float z | None -> Null)
+     | _, _ -> Null)
+  | (Str _ | Bool _ | Null), _ | _, (Str _ | Bool _ | Null) -> Null
+
+let add = arith (fun x y -> Some (x + y)) (fun x y -> Some (x +. y))
+let sub = arith (fun x y -> Some (x - y)) (fun x y -> Some (x -. y))
+let mul = arith (fun x y -> Some (x * y)) (fun x y -> Some (x *. y))
+
+let div =
+  arith
+    (fun x y -> if y = 0 then None else Some (x / y))
+    (fun x y -> if y = 0.0 then None else Some (x /. y))

@@ -1,0 +1,43 @@
+(** Typed atomic values stored in relations.
+
+    This is the common currency of the whole system: the remote DBMS, the
+    cache, the CAQL layer and the logic layer all exchange values of this
+    type. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Null  (** SQL-style missing value; compares less than everything. *)
+
+type ty = Tint | Tfloat | Tstr | Tbool
+
+val type_of : t -> ty option
+(** [type_of v] is [None] for [Null]. *)
+
+val compare : t -> t -> int
+(** Total order: [Null] < [Bool] < [Int]/[Float] (numerically) < [Str]. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val pp_ty : Format.formatter -> ty -> unit
+val ty_to_string : ty -> string
+
+val as_int : t -> int option
+val as_float : t -> float option
+(** [as_float] also converts [Int]. *)
+
+val as_string : t -> string option
+val as_bool : t -> bool option
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Arithmetic; numeric promotion Int->Float; non-numeric operands or
+    division by zero yield [Null]. *)

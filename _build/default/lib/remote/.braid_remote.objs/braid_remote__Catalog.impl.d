@@ -1,0 +1,1 @@
+lib/remote/catalog.ml: Array Braid_relalg Hashtbl List Option Set String

@@ -1,0 +1,1 @@
+lib/remote/catalog.mli: Braid_relalg

@@ -1,0 +1,1 @@
+lib/remote/cost_model.mli: Format

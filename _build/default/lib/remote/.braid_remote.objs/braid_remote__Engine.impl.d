@@ -1,0 +1,1 @@
+lib/remote/engine.ml: Braid_relalg Catalog Hashtbl List Option Printf Sql

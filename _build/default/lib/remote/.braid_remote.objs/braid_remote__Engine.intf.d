@@ -1,0 +1,1 @@
+lib/remote/engine.mli: Braid_relalg Catalog Sql

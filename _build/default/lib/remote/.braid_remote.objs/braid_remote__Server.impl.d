@@ -1,0 +1,1 @@
+lib/remote/server.ml: Braid_relalg Braid_stream Cost_model Engine List Sql

@@ -1,0 +1,1 @@
+lib/remote/server.mli: Braid_relalg Braid_stream Catalog Cost_model Engine Sql

@@ -1,0 +1,1 @@
+lib/remote/sql.ml: Braid_relalg Format String

@@ -1,0 +1,1 @@
+lib/remote/sql.mli: Braid_relalg Format

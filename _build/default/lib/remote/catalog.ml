@@ -1,0 +1,50 @@
+module R = Braid_relalg
+
+type table_stats = { cardinality : int; distinct_per_column : int array }
+
+type entry = { schema : R.Schema.t; mutable stats : table_stats }
+
+type t = (string, entry) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let register t name schema =
+  Hashtbl.replace t name
+    { schema; stats = { cardinality = 0; distinct_per_column = Array.make (R.Schema.arity schema) 0 } }
+
+module V_set = Set.Make (struct
+  type t = R.Value.t
+
+  let compare = R.Value.compare
+end)
+
+let refresh_stats t name rel =
+  match Hashtbl.find_opt t name with
+  | None -> ()
+  | Some entry ->
+    let arity = R.Schema.arity entry.schema in
+    let sets = Array.make arity V_set.empty in
+    R.Relation.iter
+      (fun tup ->
+        for i = 0 to arity - 1 do
+          sets.(i) <- V_set.add (R.Tuple.get tup i) sets.(i)
+        done)
+      rel;
+    entry.stats <-
+      { cardinality = R.Relation.cardinality rel;
+        distinct_per_column = Array.map V_set.cardinal sets }
+
+let schema_of t name = Option.map (fun e -> e.schema) (Hashtbl.find_opt t name)
+let stats_of t name = Option.map (fun e -> e.stats) (Hashtbl.find_opt t name)
+let tables t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+let cardinality t name =
+  match stats_of t name with Some s -> s.cardinality | None -> 0
+
+let eq_selectivity t name col =
+  match stats_of t name with
+  | Some s when col >= 0 && col < Array.length s.distinct_per_column && s.distinct_per_column.(col) > 0 ->
+    1.0 /. float_of_int s.distinct_per_column.(col)
+  | Some _ | None -> 0.1
+
+let range_selectivity = 1.0 /. 3.0

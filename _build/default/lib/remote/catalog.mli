@@ -1,0 +1,31 @@
+(** The remote database schema and its statistics.
+
+    The IE "can access the schema information from the DBMS (via the CMS)"
+    (§3) and the problem graph shaper uses "cardinality and selectivity
+    information from the DBMS schema" (§4.1); this module is that source. *)
+
+type table_stats = {
+  cardinality : int;
+  distinct_per_column : int array;  (** number of distinct values per column *)
+}
+
+type t
+
+val create : unit -> t
+
+val register : t -> string -> Braid_relalg.Schema.t -> unit
+val refresh_stats : t -> string -> Braid_relalg.Relation.t -> unit
+
+val schema_of : t -> string -> Braid_relalg.Schema.t option
+val stats_of : t -> string -> table_stats option
+val tables : t -> string list
+
+val cardinality : t -> string -> int
+(** 0 for unknown tables. *)
+
+val eq_selectivity : t -> string -> int -> float
+(** Estimated fraction of rows matching an equality predicate on the given
+    column: [1 / distinct], defaulting to 0.1 when unknown. *)
+
+val range_selectivity : float
+(** Fixed textbook estimate for inequality predicates. *)

@@ -1,0 +1,36 @@
+type t = {
+  request_overhead_ms : float;
+  server_scan_ms : float;
+  transfer_tuple_ms : float;
+  cache_tuple_ms : float;
+  ie_resolution_ms : float;
+}
+
+let default =
+  {
+    request_overhead_ms = 50.0;
+    server_scan_ms = 0.05;
+    transfer_tuple_ms = 0.5;
+    cache_tuple_ms = 0.01;
+    ie_resolution_ms = 0.005;
+  }
+
+let local_only =
+  {
+    request_overhead_ms = 0.0;
+    server_scan_ms = 0.0;
+    transfer_tuple_ms = 0.0;
+    cache_tuple_ms = 0.0;
+    ie_resolution_ms = 0.0;
+  }
+
+let remote_query_cost m ~scanned ~returned =
+  m.request_overhead_ms
+  +. (m.server_scan_ms *. float_of_int scanned)
+  +. (m.transfer_tuple_ms *. float_of_int returned)
+
+let pp ppf m =
+  Format.fprintf ppf
+    "{request=%.2fms scan=%.3fms/t transfer=%.3fms/t cache=%.3fms/t ie=%.3fms/step}"
+    m.request_overhead_ms m.server_scan_ms m.transfer_tuple_ms m.cache_tuple_ms
+    m.ie_resolution_ms

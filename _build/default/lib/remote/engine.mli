@@ -1,0 +1,25 @@
+(** The remote DBMS's storage and query executor.
+
+    Executes the SQL subset over stored relations with a left-deep
+    hash-join pipeline, and reports how many tuples it touched so that the
+    server can charge simulated cost for the work. *)
+
+type t
+
+val create : unit -> t
+
+val catalog : t -> Catalog.t
+
+val create_table : t -> string -> Braid_relalg.Schema.t -> unit
+val insert : t -> string -> Braid_relalg.Tuple.t -> unit
+val load : t -> Braid_relalg.Relation.t -> unit
+(** Creates (or replaces) a table named after the relation and refreshes
+    catalog statistics. *)
+
+val table : t -> string -> Braid_relalg.Relation.t
+(** Raises [Not_found]. *)
+
+val execute : t -> Sql.select -> Braid_relalg.Relation.t * int
+(** [execute t q] is [(result, tuples_scanned)]. The result schema names
+    attributes [alias.attr]. Raises [Invalid_argument] on unknown tables or
+    columns. *)

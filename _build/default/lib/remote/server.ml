@@ -1,0 +1,90 @@
+module R = Braid_relalg
+module TS = Braid_stream.Tuple_stream
+
+type stats = {
+  requests : int;
+  tuples_returned : int;
+  tuples_scanned : int;
+  server_ms : float;
+  comm_ms : float;
+}
+
+type t = {
+  engine : Engine.t;
+  cost : Cost_model.t;
+  mutable requests : int;
+  mutable tuples_returned : int;
+  mutable tuples_scanned : int;
+  mutable server_ms : float;
+  mutable comm_ms : float;
+  mutable log : string list; (* newest first *)
+}
+
+let create ?(cost = Cost_model.default) () =
+  {
+    engine = Engine.create ();
+    cost;
+    requests = 0;
+    tuples_returned = 0;
+    tuples_scanned = 0;
+    server_ms = 0.0;
+    comm_ms = 0.0;
+    log = [];
+  }
+
+let engine t = t.engine
+let catalog t = Engine.catalog t.engine
+let cost_model t = t.cost
+
+let charge_request t q ~scanned =
+  t.requests <- t.requests + 1;
+  t.tuples_scanned <- t.tuples_scanned + scanned;
+  t.server_ms <- t.server_ms +. (t.cost.Cost_model.server_scan_ms *. float_of_int scanned);
+  t.comm_ms <- t.comm_ms +. t.cost.Cost_model.request_overhead_ms;
+  t.log <- Sql.to_string q :: t.log
+
+let charge_transfer t n =
+  t.tuples_returned <- t.tuples_returned + n;
+  t.comm_ms <- t.comm_ms +. (t.cost.Cost_model.transfer_tuple_ms *. float_of_int n)
+
+let exec t q =
+  let result, scanned = Engine.execute t.engine q in
+  charge_request t q ~scanned;
+  charge_transfer t (R.Relation.cardinality result);
+  result
+
+let open_cursor t ?(block_size = 32) q =
+  let result, scanned = Engine.execute t.engine q in
+  charge_request t q ~scanned;
+  let base = TS.of_relation result in
+  (* Wrap the raw result so every pulled tuple is charged to transfer;
+     buffering then makes the charge advance block-wise. *)
+  let c = TS.cursor base in
+  let charged =
+    TS.from (R.Relation.schema result) (fun () ->
+        match TS.next c with
+        | Some tup ->
+          charge_transfer t 1;
+          Some tup
+        | None -> None)
+  in
+  TS.buffered block_size charged
+
+let stats t =
+  {
+    requests = t.requests;
+    tuples_returned = t.tuples_returned;
+    tuples_scanned = t.tuples_scanned;
+    server_ms = t.server_ms;
+    comm_ms = t.comm_ms;
+  }
+
+let reset_stats t =
+  t.requests <- 0;
+  t.tuples_returned <- 0;
+  t.tuples_scanned <- 0;
+  t.server_ms <- 0.0;
+  t.comm_ms <- 0.0;
+  t.log <- []
+
+let log t = List.rev t.log

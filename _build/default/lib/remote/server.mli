@@ -1,0 +1,39 @@
+(** The remote DBMS as BrAID sees it: an independent server reached over a
+    (simulated) network, with per-request accounting.
+
+    Results can be fetched eagerly or through a buffered cursor; the cursor
+    models the RDI's buffering/pipelining (§5.5) — the server fills a buffer
+    of [block_size] tuples per exchange, and the CMS can keep working while
+    a block is in flight. *)
+
+type t
+
+type stats = {
+  requests : int;
+  tuples_returned : int;
+  tuples_scanned : int;
+  server_ms : float;  (** simulated server computation *)
+  comm_ms : float;  (** simulated communication (overhead + transfer) *)
+}
+
+val create : ?cost:Cost_model.t -> unit -> t
+
+val engine : t -> Engine.t
+(** Direct access for loading data; bulk loads are not charged as queries
+    (the database pre-exists in the paper's setting). *)
+
+val catalog : t -> Catalog.t
+val cost_model : t -> Cost_model.t
+
+val exec : t -> Sql.select -> Braid_relalg.Relation.t
+(** One remote request, fully materialized, charged to the accounting. *)
+
+val open_cursor : t -> ?block_size:int -> Sql.select -> Braid_stream.Tuple_stream.t
+(** The request is executed on the server (charged as one request plus its
+    scan cost), but transfer cost is charged per block as the client pulls;
+    an abandoned cursor therefore transfers less. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val log : t -> string list
+(** SQL texts of the requests issued since the last reset (oldest first). *)

@@ -1,0 +1,50 @@
+module RP = Braid_relalg.Row_pred
+module V = Braid_relalg.Value
+
+type col = { src : string; attr : string }
+
+type scalar =
+  | Col of col
+  | Const of V.t
+
+type cond = RP.cmp * scalar * scalar
+
+type source = { table : string; alias : string }
+
+type select = {
+  distinct : bool;
+  columns : scalar list;
+  from : source list;
+  where : cond list;
+}
+
+let select_all t = { distinct = false; columns = []; from = [ { table = t; alias = t } ]; where = [] }
+
+let pp_scalar ppf = function
+  | Col { src; attr } -> Format.fprintf ppf "%s.%s" src attr
+  | Const (V.Str s) -> Format.fprintf ppf "'%s'" s
+  | Const v -> V.pp ppf v
+
+let cmp_str (c : RP.cmp) =
+  match c with RP.Eq -> "=" | RP.Ne -> "<>" | RP.Lt -> "<" | RP.Le -> "<=" | RP.Gt -> ">" | RP.Ge -> ">="
+
+let pp_cond ppf (c, a, b) =
+  Format.fprintf ppf "%a %s %a" pp_scalar a (cmp_str c) pp_scalar b
+
+let pp_sep s ppf () = Format.fprintf ppf "%s" s
+
+let pp ppf q =
+  Format.fprintf ppf "SELECT %s" (if q.distinct then "DISTINCT " else "");
+  (match q.columns with
+   | [] -> Format.fprintf ppf "*"
+   | cols -> Format.pp_print_list ~pp_sep:(pp_sep ", ") pp_scalar ppf cols);
+  Format.fprintf ppf " FROM %a"
+    (Format.pp_print_list ~pp_sep:(pp_sep ", ") (fun ppf s ->
+         if String.equal s.table s.alias then Format.pp_print_string ppf s.table
+         else Format.fprintf ppf "%s %s" s.table s.alias))
+    q.from;
+  match q.where with
+  | [] -> ()
+  | conds -> Format.fprintf ppf " WHERE %a" (Format.pp_print_list ~pp_sep:(pp_sep " AND ") pp_cond) conds
+
+let to_string q = Format.asprintf "%a" pp q

@@ -1,0 +1,33 @@
+(** The remote DBMS's data manipulation language: a conventional SQL subset.
+
+    This is deliberately {e weaker} than CAQL (the paper's point in §2/§5:
+    the remote DBMS "does not support all CAQL operations"): conjunctive
+    select-project-join blocks only — no recursion, no second-order
+    predicates, no generators. The CMS's Remote DBMS Interface translates
+    the remote-executable parts of CAQL queries into this language. *)
+
+type col = { src : string; attr : string }
+(** [src] is a FROM-clause alias. *)
+
+type scalar =
+  | Col of col
+  | Const of Braid_relalg.Value.t
+
+type cond = Braid_relalg.Row_pred.cmp * scalar * scalar
+
+type source = { table : string; alias : string }
+
+type select = {
+  distinct : bool;
+  columns : scalar list;  (** empty means [SELECT *] *)
+  from : source list;
+  where : cond list;
+}
+
+val select_all : string -> select
+(** [SELECT * FROM t t]. *)
+
+val to_string : select -> string
+(** SQL text, e.g. for logging what would go over the wire. *)
+
+val pp : Format.formatter -> select -> unit

@@ -1,0 +1,1 @@
+lib/subsume/range.ml: Braid_logic Braid_relalg List String

@@ -1,0 +1,1 @@
+lib/subsume/range.mli: Braid_caql Braid_relalg

@@ -1,0 +1,1 @@
+lib/subsume/subsumption.ml: Array Braid_caql Braid_logic Braid_relalg Hashtbl List Map Option Range Stdlib String

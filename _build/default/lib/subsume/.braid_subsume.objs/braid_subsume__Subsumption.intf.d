@@ -1,0 +1,1 @@
+lib/subsume/subsumption.mli: Braid_caql Braid_logic

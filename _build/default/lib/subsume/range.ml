@@ -1,0 +1,109 @@
+module V = Braid_relalg.Value
+module RP = Braid_relalg.Row_pred
+module L = Braid_logic
+
+type bound =
+  | Unbounded
+  | At of V.t * bool (* value, inclusive *)
+
+type t = { lo : bound; hi : bound; ne : V.t list }
+
+let unconstrained = { lo = Unbounded; hi = Unbounded; ne = [] }
+
+(* Tighten the lower bound. *)
+let raise_lo r v inclusive =
+  match r.lo with
+  | Unbounded -> { r with lo = At (v, inclusive) }
+  | At (u, incl) ->
+    let c = V.compare v u in
+    if c > 0 then { r with lo = At (v, inclusive) }
+    else if c = 0 && incl && not inclusive then { r with lo = At (v, false) }
+    else r
+
+let lower_hi r v inclusive =
+  match r.hi with
+  | Unbounded -> { r with hi = At (v, inclusive) }
+  | At (u, incl) ->
+    let c = V.compare v u in
+    if c < 0 then { r with hi = At (v, inclusive) }
+    else if c = 0 && incl && not inclusive then { r with hi = At (v, false) }
+    else r
+
+let add r (op : RP.cmp) v =
+  match op with
+  | RP.Eq -> lower_hi (raise_lo r v true) v true
+  | RP.Ne -> { r with ne = if List.exists (V.equal v) r.ne then r.ne else v :: r.ne }
+  | RP.Lt -> lower_hi r v false
+  | RP.Le -> lower_hi r v true
+  | RP.Gt -> raise_lo r v false
+  | RP.Ge -> raise_lo r v true
+
+let of_cmps var cmps =
+  List.fold_left
+    (fun r (op, a, b) ->
+      match a, b with
+      | L.Literal.Term (L.Term.Var x), L.Literal.Term (L.Term.Const v) when String.equal x var
+        -> add r op v
+      | L.Literal.Term (L.Term.Const v), L.Literal.Term (L.Term.Var x) when String.equal x var
+        ->
+        (* mirror: c op x  ==  x (flip op) c *)
+        let flip : RP.cmp -> RP.cmp = function
+          | RP.Eq -> RP.Eq
+          | RP.Ne -> RP.Ne
+          | RP.Lt -> RP.Gt
+          | RP.Le -> RP.Ge
+          | RP.Gt -> RP.Lt
+          | RP.Ge -> RP.Le
+        in
+        add r (flip op) v
+      | _, _ -> r)
+    unconstrained cmps
+
+let is_empty r =
+  match r.lo, r.hi with
+  | At (l, li), At (h, hi_inc) ->
+    let c = V.compare l h in
+    c > 0 || (c = 0 && not (li && hi_inc))
+    || (c = 0 && li && hi_inc && List.exists (V.equal l) r.ne)
+  | _, _ -> false
+
+let equal_to r =
+  match r.lo, r.hi with
+  | At (l, true), At (h, true) when V.compare l h = 0 && not (List.exists (V.equal l) r.ne)
+    -> Some l
+  | _, _ -> None
+
+(* Is every x in the range strictly below / at-or-below v? *)
+let hi_implies_lt r v =
+  match r.hi with
+  | Unbounded -> false
+  | At (h, incl) ->
+    let c = V.compare h v in
+    c < 0 || (c = 0 && not incl)
+
+let hi_implies_le r v =
+  match r.hi with Unbounded -> false | At (h, _) -> V.compare h v <= 0
+
+let lo_implies_gt r v =
+  match r.lo with
+  | Unbounded -> false
+  | At (l, incl) ->
+    let c = V.compare l v in
+    c > 0 || (c = 0 && not incl)
+
+let lo_implies_ge r v =
+  match r.lo with Unbounded -> false | At (l, _) -> V.compare l v >= 0
+
+let implies r (op : RP.cmp) v =
+  if is_empty r then true
+  else
+    match op with
+    | RP.Eq -> (match equal_to r with Some u -> V.equal u v | None -> false)
+    | RP.Ne ->
+      List.exists (V.equal v) r.ne
+      || hi_implies_lt r v || lo_implies_gt r v
+      || (match equal_to r with Some u -> not (V.equal u v) | None -> false)
+    | RP.Lt -> hi_implies_lt r v
+    | RP.Le -> hi_implies_le r v
+    | RP.Gt -> lo_implies_gt r v
+    | RP.Ge -> lo_implies_ge r v

@@ -1,0 +1,28 @@
+(** Interval reasoning over a single variable's comparison constraints.
+
+    Used by the subsumption checker to decide whether the constraints a
+    query places on a variable imply a cache element's constraint (e.g.
+    [X > 7] implies [X > 5]), and by query generalization to replace
+    constants "with a more general form such as variables or ranges of
+    values" (§4.2). *)
+
+type t
+
+val unconstrained : t
+
+val of_cmps : string -> Braid_caql.Ast.comparison list -> t
+(** Constraints on the named variable collected from variable-vs-constant
+    comparisons (either orientation). Comparisons not mentioning the
+    variable, or mentioning two variables, are ignored. *)
+
+val add : t -> Braid_relalg.Row_pred.cmp -> Braid_relalg.Value.t -> t
+(** Conjoin [var op const]. *)
+
+val implies : t -> Braid_relalg.Row_pred.cmp -> Braid_relalg.Value.t -> bool
+(** Does every value satisfying the range satisfy [var op const]? *)
+
+val is_empty : t -> bool
+(** The range is unsatisfiable (e.g. [X > 5 & X < 3]). *)
+
+val equal_to : t -> Braid_relalg.Value.t option
+(** The single value the range forces, if any. *)

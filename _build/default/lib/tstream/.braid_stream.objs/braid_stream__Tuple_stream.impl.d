@@ -1,0 +1,1 @@
+lib/tstream/tuple_stream.ml: Braid_relalg Hashtbl Option Queue

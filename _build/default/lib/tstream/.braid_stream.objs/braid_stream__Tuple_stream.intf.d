@@ -1,0 +1,1 @@
+lib/tstream/tuple_stream.mli: Braid_relalg

@@ -1,0 +1,166 @@
+module R = Braid_relalg
+
+type t = {
+  schema : R.Schema.t;
+  spine : R.Tuple.t R.Vec.t; (* memoized prefix *)
+  mutable pull : (unit -> R.Tuple.t option) option; (* None once exhausted *)
+  mutable produced : int;
+}
+
+type cursor = { stream : t; mutable pos : int }
+
+let from schema pull =
+  { schema; spine = R.Vec.create (); pull = Some pull; produced = 0 }
+
+let of_list schema tuples =
+  let rest = ref tuples in
+  from schema (fun () ->
+      match !rest with
+      | [] -> None
+      | t :: tl ->
+        rest := tl;
+        Some t)
+
+let of_relation r = of_list (R.Relation.schema r) (R.Relation.to_list r)
+let empty schema = of_list schema []
+let schema s = s.schema
+let cursor s = { stream = s; pos = 0 }
+
+(* Pump the producer until the spine holds at least [n] tuples or the
+   producer is exhausted. *)
+let rec fill s n =
+  if R.Vec.length s.spine >= n then true
+  else
+    match s.pull with
+    | None -> false
+    | Some pull ->
+      (match pull () with
+       | Some t ->
+         s.produced <- s.produced + 1;
+         R.Vec.push s.spine t;
+         fill s n
+       | None ->
+         s.pull <- None;
+         false)
+
+let next c =
+  if fill c.stream (c.pos + 1) then begin
+    let t = R.Vec.get c.stream.spine c.pos in
+    c.pos <- c.pos + 1;
+    Some t
+  end
+  else if c.pos < R.Vec.length c.stream.spine then begin
+    let t = R.Vec.get c.stream.spine c.pos in
+    c.pos <- c.pos + 1;
+    Some t
+  end
+  else None
+
+let produced s = s.produced
+let exhausted s = s.pull = None
+
+let to_relation ?name s =
+  let out = R.Relation.create ?name s.schema in
+  let c = cursor s in
+  let rec loop () =
+    match next c with
+    | Some t ->
+      R.Relation.add out t;
+      loop ()
+    | None -> ()
+  in
+  loop ();
+  out
+
+let to_list s = R.Relation.to_list (to_relation s)
+
+let map schema f s =
+  let c = cursor s in
+  from schema (fun () -> Option.map f (next c))
+
+let filter p s =
+  let c = cursor s in
+  let rec pull () =
+    match next c with
+    | None -> None
+    | Some t -> if p t then Some t else pull ()
+  in
+  from s.schema pull
+
+let take n s =
+  let c = cursor s in
+  let remaining = ref n in
+  from s.schema (fun () ->
+      if !remaining <= 0 then None
+      else
+        match next c with
+        | None -> None
+        | Some t ->
+          decr remaining;
+          Some t)
+
+let append a b =
+  if R.Schema.arity a.schema <> R.Schema.arity b.schema then
+    invalid_arg "Tuple_stream.append: arity mismatch";
+  let ca = cursor a and cb = cursor b in
+  from a.schema (fun () -> match next ca with Some t -> Some t | None -> next cb)
+
+let concat_map schema f s =
+  let c = cursor s in
+  let pending = ref [] in
+  let rec pull () =
+    match !pending with
+    | t :: rest ->
+      pending := rest;
+      Some t
+    | [] ->
+      (match next c with
+       | None -> None
+       | Some t ->
+         pending := f t;
+         pull ())
+  in
+  from schema pull
+
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = R.Tuple.t
+
+  let equal = R.Tuple.equal
+  let hash = R.Tuple.hash
+end)
+
+let distinct s =
+  let c = cursor s in
+  let seen = Tuple_tbl.create 64 in
+  let rec pull () =
+    match next c with
+    | None -> None
+    | Some t ->
+      if Tuple_tbl.mem seen t then pull ()
+      else begin
+        Tuple_tbl.add seen t ();
+        Some t
+      end
+  in
+  from s.schema pull
+
+let buffered n s =
+  if n <= 0 then invalid_arg "Tuple_stream.buffered: block size must be positive";
+  let c = cursor s in
+  let buffer = Queue.create () in
+  let pull () =
+    if Queue.is_empty buffer then begin
+      (* Fetch a whole block, as the RDI does when talking to the server. *)
+      let rec fetch k =
+        if k > 0 then
+          match next c with
+          | Some t ->
+            Queue.add t buffer;
+            fetch (k - 1)
+          | None -> ()
+      in
+      fetch n
+    end;
+    Queue.take_opt buffer
+  in
+  from s.schema pull

@@ -1,0 +1,58 @@
+(** Pull-based tuple streams (the paper's generators, §5.1 and §5.5).
+
+    A stream produces one tuple on demand; this is the CMS's [lazy
+    evaluation] representation and also the IE–CMS result-transfer channel
+    ("the CMS returns the result for the query using a stream", §3).
+
+    Streams are memoizing: tuples already pulled are retained in a spine so
+    that a second cursor over the same stream re-reads them without
+    recomputation. This matters for the IE's chronological backtracking,
+    which re-enumerates earlier DB subgoals. *)
+
+type t
+type cursor
+
+val from : Braid_relalg.Schema.t -> (unit -> Braid_relalg.Tuple.t option) -> t
+(** [from schema pull] wraps a producer function; [pull] returning [None]
+    marks exhaustion (it is not called again afterwards). *)
+
+val of_relation : Braid_relalg.Relation.t -> t
+val of_list : Braid_relalg.Schema.t -> Braid_relalg.Tuple.t list -> t
+val empty : Braid_relalg.Schema.t -> t
+
+val schema : t -> Braid_relalg.Schema.t
+
+val cursor : t -> cursor
+(** A fresh cursor positioned at the first tuple. Cursors over the same
+    stream share the memoized spine and the underlying producer. *)
+
+val next : cursor -> Braid_relalg.Tuple.t option
+
+val produced : t -> int
+(** How many tuples the underlying producer has been asked for so far —
+    the "work actually performed" measure used by the lazy-evaluation
+    experiments. *)
+
+val exhausted : t -> bool
+(** Whether the producer has reported end-of-stream. *)
+
+val to_relation : ?name:string -> t -> Braid_relalg.Relation.t
+(** Forces the stream (eager evaluation of a generator). *)
+
+val to_list : t -> Braid_relalg.Tuple.t list
+
+val map : Braid_relalg.Schema.t -> (Braid_relalg.Tuple.t -> Braid_relalg.Tuple.t) -> t -> t
+val filter : (Braid_relalg.Tuple.t -> bool) -> t -> t
+val take : int -> t -> t
+val append : t -> t -> t
+(** Schemas must have equal arity; the left schema is kept. *)
+
+val concat_map : Braid_relalg.Schema.t -> (Braid_relalg.Tuple.t -> Braid_relalg.Tuple.t list) -> t -> t
+
+val distinct : t -> t
+(** Lazily deduplicates while preserving order. *)
+
+val buffered : int -> t -> t
+(** [buffered n s] models the RDI's buffering (§5.5): the producer is pumped
+    in blocks of [n] tuples, so [produced s] advances in steps of up to [n]
+    even when the consumer pulls one tuple at a time. *)

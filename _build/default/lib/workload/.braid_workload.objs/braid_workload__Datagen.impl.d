@@ -1,0 +1,1 @@
+lib/workload/datagen.ml: Array Braid_relalg Hashtbl List Printf Prng

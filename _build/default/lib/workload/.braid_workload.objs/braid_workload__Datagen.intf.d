@@ -1,0 +1,1 @@
+lib/workload/datagen.mli: Braid_relalg

@@ -1,0 +1,1 @@
+lib/workload/kbgen.ml: Braid_logic Braid_relalg List Printf

@@ -1,0 +1,1 @@
+lib/workload/kbgen.mli: Braid_logic

@@ -1,0 +1,1 @@
+lib/workload/queries.ml: Array Braid_logic Braid_relalg List Printf Prng

@@ -1,0 +1,198 @@
+module R = Braid_relalg
+module V = Braid_relalg.Value
+
+let rel name attrs rows =
+  R.Relation.of_tuples ~name (R.Schema.make attrs) (List.map Array.of_list rows)
+
+let family ?(seed = 42) ~persons ~fanout () =
+  let prng = Prng.create seed in
+  let name i = V.Str (Printf.sprintf "p%d" i) in
+  (* Person i>0 gets a parent among the earlier people, biased to recent
+     ones so the forest is deep as well as wide. *)
+  let parent_rows = ref [] in
+  for i = 1 to persons - 1 do
+    let lo = max 0 ((i - 1) / fanout * fanout / 2) in
+    let parent = lo + Prng.int prng (max 1 (i - lo)) in
+    parent_rows := [ name (min parent (i - 1)); name i ] :: !parent_rows
+  done;
+  let person_rows =
+    List.init persons (fun i -> [ name i; V.Int (18 + Prng.int prng 60) ])
+  in
+  [
+    rel "parent" [ ("parent", V.Tstr); ("child", V.Tstr) ] (List.rev !parent_rows);
+    rel "person" [ ("name", V.Tstr); ("age", V.Tint) ] person_rows;
+  ]
+
+let bill_of_materials ?(seed = 43) ~parts ~max_children () =
+  let prng = Prng.create seed in
+  let pid i = V.Str (Printf.sprintf "part%d" i) in
+  let subpart_rows = ref [] in
+  for i = 0 to parts - 1 do
+    let n_children = 1 + Prng.int prng max_children in
+    for _ = 1 to n_children do
+      if i < parts - 1 then begin
+        let child = i + 1 + Prng.int prng (max 1 (parts - i - 1)) in
+        if child < parts then
+          subpart_rows := [ pid i; pid child; V.Int (1 + Prng.int prng 9) ] :: !subpart_rows
+      end
+    done
+  done;
+  let part_rows = List.init parts (fun i -> [ pid i; V.Int (1 + Prng.int prng 500) ]) in
+  [
+    rel "subpart"
+      [ ("assembly", V.Tstr); ("component", V.Tstr); ("qty", V.Tint) ]
+      (List.rev !subpart_rows);
+    rel "part" [ ("id", V.Tstr); ("price", V.Tint) ] part_rows;
+  ]
+
+let university ?(seed = 44) ~students ~courses ~enrollments () =
+  let prng = Prng.create seed in
+  let sid i = V.Str (Printf.sprintf "s%d" i) in
+  let cid i = V.Str (Printf.sprintf "c%d" i) in
+  let depts = [ "cs"; "math"; "bio"; "hist" ] in
+  let student_rows =
+    List.init students (fun i ->
+        [ sid i; V.Str (Printf.sprintf "student_%d" i); V.Int (1 + Prng.int prng 4) ])
+  in
+  let course_rows =
+    List.init courses (fun i ->
+        [ cid i; V.Str (List.nth depts (Prng.int prng (List.length depts)));
+          V.Int (100 + (100 * Prng.int prng 4)) ])
+  in
+  let seen = Hashtbl.create enrollments in
+  let enrolled_rows = ref [] in
+  let attempts = ref 0 in
+  while List.length !enrolled_rows < enrollments && !attempts < enrollments * 10 do
+    incr attempts;
+    let s = Prng.int prng students and c = Prng.int prng courses in
+    if not (Hashtbl.mem seen (s, c)) then begin
+      Hashtbl.add seen (s, c) ();
+      enrolled_rows := [ sid s; cid c; V.Int (Prng.int prng 5) ] :: !enrolled_rows
+    end
+  done;
+  (* prereq: each non-introductory course requires 1-2 earlier courses *)
+  let prereq_rows = ref [] in
+  for i = 1 to courses - 1 do
+    let n = 1 + Prng.int prng 2 in
+    for _ = 1 to n do
+      let req = Prng.int prng i in
+      !prereq_rows
+      |> List.exists (fun row -> row = [ cid i; cid req ])
+      |> fun dup -> if not dup then prereq_rows := [ cid i; cid req ] :: !prereq_rows
+    done
+  done;
+  [
+    rel "student" [ ("id", V.Tstr); ("name", V.Tstr); ("year", V.Tint) ] student_rows;
+    rel "course" [ ("id", V.Tstr); ("dept", V.Tstr); ("level", V.Tint) ] course_rows;
+    rel "enrolled"
+      [ ("student", V.Tstr); ("course", V.Tstr); ("grade", V.Tint) ]
+      (List.rev !enrolled_rows);
+    rel "prereq" [ ("course", V.Tstr); ("required", V.Tstr) ] (List.rev !prereq_rows);
+  ]
+
+let supplier_parts ?(seed = 45) ~suppliers ~parts ~shipments () =
+  let prng = Prng.create seed in
+  let sid i = V.Str (Printf.sprintf "sup%d" i) in
+  let pid i = V.Str (Printf.sprintf "prt%d" i) in
+  let cities = [ "athens"; "paris"; "london"; "oslo"; "rome" ] in
+  let colors = [ "red"; "green"; "blue"; "black" ] in
+  let supplier_rows =
+    List.init suppliers (fun i -> [ sid i; V.Str (List.nth cities (Prng.int prng 5)) ])
+  in
+  let part_rows =
+    List.init parts (fun i ->
+        [ pid i; V.Str (List.nth colors (Prng.int prng 4)); V.Int (1 + Prng.int prng 99) ])
+  in
+  let supplies_rows =
+    List.init shipments (fun _ ->
+        [ sid (Prng.int prng suppliers); pid (Prng.int prng parts); V.Int (1 + Prng.int prng 400) ])
+  in
+  [
+    rel "supplier" [ ("id", V.Tstr); ("city", V.Tstr) ] supplier_rows;
+    rel "part" [ ("id", V.Tstr); ("color", V.Tstr); ("weight", V.Tint) ] part_rows;
+    rel "supplies" [ ("supplier", V.Tstr); ("part", V.Tstr); ("qty", V.Tint) ] supplies_rows;
+  ]
+
+let telecom ?(seed = 47) ~offices ~customers ~orders () =
+  let prng = Prng.create seed in
+  let co i = V.Str (Printf.sprintf "co%d" i) in
+  let cust i = V.Str (Printf.sprintf "cust%d" i) in
+  let regions = [ "north"; "south"; "east"; "west" ] in
+  let kinds = [ "dslam"; "olt"; "switch" ] in
+  let services = [ "pots"; "dsl"; "fiber" ] in
+  let co_rows = List.init offices (fun i -> [ co i; V.Str (List.nth regions (i mod 4)) ]) in
+  (* acyclic network: each office links to 1-2 later offices *)
+  let span_rows = ref [] in
+  for i = 0 to offices - 2 do
+    let n = 1 + Prng.int prng 2 in
+    for _ = 1 to n do
+      let dst = i + 1 + Prng.int prng (max 1 (offices - i - 1)) in
+      if dst < offices then
+        span_rows := [ co i; co dst; V.Int (100 + (100 * Prng.int prng 8)) ] :: !span_rows
+    done
+  done;
+  let equipment_rows =
+    List.concat
+      (List.init offices (fun i ->
+           List.filter_map
+             (fun kind ->
+               if Prng.bool prng 0.6 then Some [ co i; V.Str kind; V.Int (Prng.int prng 20) ]
+               else None)
+             kinds))
+  in
+  let customer_rows =
+    List.init customers (fun i ->
+        [ cust i; co (Prng.int prng offices); V.Str (if Prng.bool prng 0.7 then "res" else "biz") ])
+  in
+  let order_rows =
+    List.init orders (fun i ->
+        [
+          V.Str (Printf.sprintf "ord%d" i);
+          cust (Prng.int prng customers);
+          V.Str (List.nth services (Prng.int prng 3));
+        ])
+  in
+  let service_rows =
+    [
+      [ V.Str "pots"; V.Str "switch"; V.Int 100 ];
+      [ V.Str "dsl"; V.Str "dslam"; V.Int 200 ];
+      [ V.Str "fiber"; V.Str "olt"; V.Int 400 ];
+    ]
+  in
+  [
+    rel "co" [ ("id", V.Tstr); ("region", V.Tstr) ] co_rows;
+    rel "span" [ ("src", V.Tstr); ("dst", V.Tstr); ("capacity", V.Tint) ] (List.rev !span_rows);
+    rel "equipment" [ ("co", V.Tstr); ("kind", V.Tstr); ("free_slots", V.Tint) ] equipment_rows;
+    rel "customer" [ ("id", V.Tstr); ("co", V.Tstr); ("tier", V.Tstr) ] customer_rows;
+    rel "order_req" [ ("id", V.Tstr); ("customer", V.Tstr); ("service", V.Tstr) ] order_rows;
+    rel "service_def"
+      [ ("service", V.Tstr); ("needs_kind", V.Tstr); ("min_capacity", V.Tint) ]
+      service_rows;
+  ]
+
+let paper_example ?(seed = 46) ~size () =
+  let prng = Prng.create seed in
+  let sym prefix i = V.Str (Printf.sprintf "%s%d" prefix i) in
+  let c k = V.Str (Printf.sprintf "c%d" k) in
+  (* b1(a, b): some rows anchored at c1 so that b1(c1, Y) succeeds; also
+     rows whose first column comes from b3's third column (for R3). *)
+  let b1_rows =
+    List.init size (fun i ->
+        if i mod 3 = 0 then [ c 1; sym "y" (i / 3) ]
+        else [ sym "z" (Prng.int prng size); sym "y" (Prng.int prng size) ])
+  in
+  (* b2(x, z) *)
+  let b2_rows =
+    List.init size (fun i -> [ sym "x" (i mod (max 1 (size / 2))); sym "z" (Prng.int prng size) ])
+  in
+  (* b3(z, c, y): second column frequently c2 (for R2) or c3 (for R3). *)
+  let b3_rows =
+    List.init (2 * size) (fun i ->
+        let tag = if i mod 2 = 0 then c 2 else c 3 in
+        [ sym "z" (Prng.int prng size); tag; sym "y" (Prng.int prng size) ])
+  in
+  [
+    rel "b1" [ ("a", V.Tstr); ("b", V.Tstr) ] b1_rows;
+    rel "b2" [ ("a", V.Tstr); ("b", V.Tstr) ] b2_rows;
+    rel "b3" [ ("a", V.Tstr); ("b", V.Tstr); ("c", V.Tstr) ] b3_rows;
+  ]

@@ -1,0 +1,45 @@
+(** Synthetic databases for examples, tests and experiments.
+
+    Every generator is deterministic in its seed. Relation and attribute
+    names are what the corresponding {!Kbgen} rule sets expect. *)
+
+val family :
+  ?seed:int -> persons:int -> fanout:int -> unit -> Braid_relalg.Relation.t list
+(** A forest of people: [parent(parent, child)] (each non-root person has
+    exactly one parent; a node has up to [fanout] children) and
+    [person(name, age)]. Person names are [p0 .. p<n-1>]; [p0] and other
+    low-numbered people are roots/ancestors. *)
+
+val bill_of_materials :
+  ?seed:int -> parts:int -> max_children:int -> unit -> Braid_relalg.Relation.t list
+(** [subpart(assembly, component, qty)] (a DAG: component index > assembly
+    index) and [part(id, price)]. *)
+
+val university :
+  ?seed:int -> students:int -> courses:int -> enrollments:int -> unit ->
+  Braid_relalg.Relation.t list
+(** [student(id, name, year)], [course(id, dept, level)],
+    [enrolled(student, course, grade)] (grades 0–4) and
+    [prereq(course, required)]. *)
+
+val supplier_parts :
+  ?seed:int -> suppliers:int -> parts:int -> shipments:int -> unit ->
+  Braid_relalg.Relation.t list
+(** [supplier(id, city)], [part(id, color, weight)],
+    [supplies(supplier, part, qty)]. *)
+
+val telecom :
+  ?seed:int -> offices:int -> customers:int -> orders:int -> unit ->
+  Braid_relalg.Relation.t list
+(** A service-provisioning database (the Bellcore setting the paper grew
+    out of): [co(id, region)], [span(src, dst, capacity)] (an acyclic
+    inter-office network), [equipment(co, kind, free_slots)],
+    [customer(id, co, tier)], [order_req(id, customer, service)] and
+    [service_def(service, needs_kind, min_capacity)]. *)
+
+val paper_example :
+  ?seed:int -> size:int -> unit -> Braid_relalg.Relation.t list
+(** Base relations [b1(a,b)], [b2(a,b)], [b3(a,b,c)] populated so that the
+    paper's Example 1/2 rules (see {!Kbgen.example1}) produce non-trivial
+    answers: the constants [c1], [c2], [c3] appear in the expected
+    positions. *)

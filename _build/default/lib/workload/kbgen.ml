@@ -1,0 +1,171 @@
+module L = Braid_logic
+module T = L.Term
+module RP = Braid_relalg.Row_pred
+
+let atom p args = L.Atom.make p args
+let rel p args = L.Literal.Rel (atom p args)
+let v x = T.Var x
+let s c = T.Const (Braid_relalg.Value.Str c)
+let i n = T.Const (Braid_relalg.Value.Int n)
+let cmp op a b = L.Literal.cmp op a b
+
+let rule kb id head body = L.Kb.add_rule kb (L.Rule.make ~id head body)
+
+let ancestor () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "parent" ~arity:2;
+  L.Kb.declare_base kb "person" ~arity:2;
+  rule kb "A1" (atom "ancestor" [ v "X"; v "Y" ]) [ rel "parent" [ v "X"; v "Y" ] ];
+  rule kb "A2"
+    (atom "ancestor" [ v "X"; v "Y" ])
+    [ rel "parent" [ v "X"; v "Z" ]; rel "ancestor" [ v "Z"; v "Y" ] ];
+  rule kb "G1"
+    (atom "grandparent" [ v "X"; v "Y" ])
+    [ rel "parent" [ v "X"; v "Z" ]; rel "parent" [ v "Z"; v "Y" ] ];
+  rule kb "AA1"
+    (atom "adult_ancestor" [ v "X"; v "Y" ])
+    [ rel "ancestor" [ v "X"; v "Y" ]; rel "person" [ v "X"; v "A" ]; cmp RP.Ge (v "A") (i 40) ];
+  L.Kb.add_soa kb
+    (L.Soa.Functional_dependency { pred = "parent"; determinant = [ 1 ]; dependent = [ 0 ] });
+  L.Kb.add_soa kb (L.Soa.Recursive_structure { pred = "ancestor"; base_pred = "parent" });
+  kb
+
+let same_generation () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "parent" ~arity:2;
+  rule kb "SG1"
+    (atom "sg" [ v "X"; v "Y" ])
+    [ rel "parent" [ v "P"; v "X" ]; rel "parent" [ v "P"; v "Y" ] ];
+  rule kb "SG2"
+    (atom "sg" [ v "X"; v "Y" ])
+    [
+      rel "parent" [ v "PX"; v "X" ];
+      rel "sg" [ v "PX"; v "PY" ];
+      rel "parent" [ v "PY"; v "Y" ];
+    ];
+  L.Kb.add_soa kb (L.Soa.Recursive_structure { pred = "sg"; base_pred = "parent" });
+  kb
+
+let bill_of_materials () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "subpart" ~arity:3;
+  L.Kb.declare_base kb "part" ~arity:2;
+  rule kb "U1" (atom "uses" [ v "X"; v "Y" ]) [ rel "subpart" [ v "X"; v "Y"; v "Q" ] ];
+  rule kb "U2"
+    (atom "uses" [ v "X"; v "Y" ])
+    [ rel "subpart" [ v "X"; v "Z"; v "Q" ]; rel "uses" [ v "Z"; v "Y" ] ];
+  rule kb "P1"
+    (atom "pricey_component" [ v "X"; v "Y"; v "P" ])
+    [ rel "uses" [ v "X"; v "Y" ]; rel "part" [ v "Y"; v "P" ] ];
+  rule kb "NE1"
+    (atom "needs_expensive" [ v "X" ])
+    [ rel "uses" [ v "X"; v "Y" ]; rel "part" [ v "Y"; v "P" ]; cmp RP.Gt (v "P") (i 400) ];
+  L.Kb.add_soa kb (L.Soa.Recursive_structure { pred = "uses"; base_pred = "subpart" });
+  kb
+
+let university () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "student" ~arity:3;
+  L.Kb.declare_base kb "course" ~arity:3;
+  L.Kb.declare_base kb "enrolled" ~arity:3;
+  L.Kb.declare_base kb "prereq" ~arity:2;
+  rule kb "C1"
+    (atom "completed" [ v "S"; v "C" ])
+    [ rel "enrolled" [ v "S"; v "C"; v "G" ]; cmp RP.Ge (v "G") (i 2) ];
+  rule kb "E1"
+    (atom "eligible" [ v "S"; v "C" ])
+    [ rel "prereq" [ v "C"; v "R" ]; rel "completed" [ v "S"; v "R" ] ];
+  rule kb "AS1"
+    (atom "advanced_student" [ v "S" ])
+    [
+      rel "student" [ v "S"; v "N"; v "Y" ];
+      cmp RP.Ge (v "Y") (i 3);
+      rel "enrolled" [ v "S"; v "C"; v "G" ];
+      rel "course" [ v "C"; v "D"; v "L" ];
+      cmp RP.Ge (v "L") (i 300);
+    ];
+  rule kb "DP1"
+    (atom "dept_peer" [ v "S1"; v "S2" ])
+    [
+      rel "enrolled" [ v "S1"; v "C"; v "G1" ];
+      rel "enrolled" [ v "S2"; v "C"; v "G2" ];
+    ];
+  kb
+
+let telecom () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "co" ~arity:2;
+  L.Kb.declare_base kb "span" ~arity:3;
+  L.Kb.declare_base kb "equipment" ~arity:3;
+  L.Kb.declare_base kb "customer" ~arity:3;
+  L.Kb.declare_base kb "order_req" ~arity:3;
+  L.Kb.declare_base kb "service_def" ~arity:3;
+  rule kb "C1" (atom "connected" [ v "A"; v "B" ]) [ rel "span" [ v "A"; v "B"; v "Cap" ] ];
+  rule kb "C2"
+    (atom "connected" [ v "A"; v "B" ])
+    [ rel "span" [ v "A"; v "M"; v "Cap" ]; rel "connected" [ v "M"; v "B" ] ];
+  rule kb "F1"
+    (atom "fat_link" [ v "A"; v "B" ])
+    [ rel "span" [ v "A"; v "B"; v "Cap" ]; cmp RP.Ge (v "Cap") (i 400) ];
+  rule kb "B1" (atom "backbone" [ v "A"; v "B" ]) [ rel "fat_link" [ v "A"; v "B" ] ];
+  rule kb "B2"
+    (atom "backbone" [ v "A"; v "B" ])
+    [ rel "fat_link" [ v "A"; v "M" ]; rel "backbone" [ v "M"; v "B" ] ];
+  rule kb "S1"
+    (atom "servable" [ v "CO"; v "Srv" ])
+    [
+      rel "service_def" [ v "Srv"; v "Kind"; v "MinCap" ];
+      rel "equipment" [ v "CO"; v "Kind"; v "Free" ];
+      cmp RP.Gt (v "Free") (i 0);
+    ];
+  rule kb "P1"
+    (atom "provisionable" [ v "Ord" ])
+    [
+      rel "order_req" [ v "Ord"; v "Cust"; v "Srv" ];
+      rel "customer" [ v "Cust"; v "CO"; v "Tier" ];
+      rel "servable" [ v "CO"; v "Srv" ];
+    ];
+  rule kb "RB1"
+    (atom "reachable_backbone" [ v "CO" ])
+    [ rel "backbone" [ s "co0"; v "CO" ] ];
+  L.Kb.add_soa kb
+    (L.Soa.Functional_dependency { pred = "customer"; determinant = [ 0 ]; dependent = [ 1; 2 ] });
+  L.Kb.add_soa kb (L.Soa.Recursive_structure { pred = "connected"; base_pred = "span" });
+  L.Kb.add_soa kb (L.Soa.Recursive_structure { pred = "backbone"; base_pred = "span" });
+  kb
+
+let example1 () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "b1" ~arity:2;
+  L.Kb.declare_base kb "b2" ~arity:2;
+  L.Kb.declare_base kb "b3" ~arity:3;
+  rule kb "R1"
+    (atom "k1" [ v "X"; v "Y" ])
+    [ rel "b1" [ s "c1"; v "Y" ]; rel "k2" [ v "X"; v "Y" ] ];
+  rule kb "R2"
+    (atom "k2" [ v "X"; v "Y" ])
+    [ rel "b2" [ v "X"; v "Z" ]; rel "b3" [ v "Z"; s "c2"; v "Y" ] ];
+  rule kb "R3"
+    (atom "k2" [ v "X"; v "Y" ])
+    [ rel "b3" [ v "X"; s "c3"; v "Z" ]; rel "b1" [ v "Z"; v "Y" ] ];
+  kb
+
+let example2 () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "b1" ~arity:2;
+  L.Kb.declare_base kb "b2" ~arity:2;
+  L.Kb.declare_base kb "b3" ~arity:3;
+  rule kb "R1"
+    (atom "k1" [ v "X"; v "Y" ])
+    [ rel "b1" [ s "c1"; v "Y" ]; rel "k2" [ v "X"; v "Y" ] ];
+  rule kb "R2"
+    (atom "k2" [ v "X"; v "Y" ])
+    [ rel "k3" [ v "X" ]; rel "b2" [ v "X"; v "Z" ]; rel "b3" [ v "Z"; s "c2"; v "Y" ] ];
+  rule kb "R3"
+    (atom "k2" [ v "X"; v "Y" ])
+    [ rel "k4" [ v "X" ]; rel "b3" [ v "X"; s "c3"; v "Z" ]; rel "b1" [ v "Z"; v "Y" ] ];
+  (* IE-only guard predicates: small fact sets. *)
+  List.iteri (fun j c -> rule kb (Printf.sprintf "K3_%d" j) (atom "k3" [ c ]) []) [ s "x0"; s "x1" ];
+  List.iteri (fun j c -> rule kb (Printf.sprintf "K4_%d" j) (atom "k4" [ c ]) []) [ s "z0"; s "z1" ];
+  L.Kb.add_soa kb (L.Soa.Mutual_exclusion ("k3", "k4"));
+  kb

@@ -1,0 +1,35 @@
+(** Knowledge bases (rule sets + SOAs) matching {!Datagen}'s databases. *)
+
+val ancestor : unit -> Braid_logic.Kb.t
+(** Over [parent]/[person]: [ancestor(X,Y)] (transitive closure),
+    [grandparent(X,Y)], [adult_ancestor(X,Y)] (ancestor whose age >= 40). *)
+
+val same_generation : unit -> Braid_logic.Kb.t
+(** The classic recursive same-generation program over [parent]. *)
+
+val bill_of_materials : unit -> Braid_logic.Kb.t
+(** Over [subpart]/[part]: [uses(X,Y)] (transitive), [pricey_component(X,Y,P)]
+    (component of X priced above P is impossible to express with a variable
+    threshold; P is a price produced for filtering by the caller),
+    [needs_expensive(X)] (uses a component priced above 400). *)
+
+val university : unit -> Braid_logic.Kb.t
+(** Over the university schema: [completed(S,C)] (grade >= 2),
+    [eligible(S,C)] (completed every direct prerequisite — approximated as
+    at least one, with [missing_prereq] as the exact complement via
+    negation at the CAQL level), [advanced_student(S)] and
+    [dept_peer(S1,S2)]. *)
+
+val telecom : unit -> Braid_logic.Kb.t
+(** Over {!Datagen.telecom}: [connected(A,B)] (span closure),
+    [fat_link(A,B)] / [backbone(A,B)] (capacity-filtered closure),
+    [servable(CO, Service)] (equipment matches the service definition with
+    free slots), [provisionable(Order)] and [reachable_backbone(CO)]. With
+    an FD SOA on [customer] (id determines office and tier). *)
+
+val example1 : unit -> Braid_logic.Kb.t
+(** The paper's Example 1 (§4.2.2): rules R1–R3 over [b1], [b2], [b3]. *)
+
+val example2 : unit -> Braid_logic.Kb.t
+(** The paper's Example 2: R2/R3 guarded by IE-only predicates [k3], [k4]
+    (defined by small fact rules), with a mutual-exclusion SOA on them. *)

@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All workload randomness flows through this module so that data sets,
+    query batches and therefore experiment outputs are reproducible
+    bit-for-bit from a seed, independent of the OCaml stdlib Random
+    implementation. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [[0, n)]. Raises [Invalid_argument] when
+    [n <= 0]. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice; raises [Invalid_argument] on empty list. *)
+
+val zipf : t -> n:int -> skew:float -> int
+(** Zipf-distributed rank in [[0, n)]; [skew = 0.] is uniform. Used for
+    query batches with locality. *)
+
+val shuffle : t -> 'a list -> 'a list

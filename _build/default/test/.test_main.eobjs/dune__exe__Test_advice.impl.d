@@ -1,0 +1,1 @@
+test/test_advice.ml: Alcotest Braid_advice Braid_caql Braid_logic Braid_relalg Format List Option Printf String

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Braid_cache Braid_caql Braid_logic Braid_relalg Braid_stream List String

@@ -1,0 +1,1 @@
+test/test_caql.ml: Alcotest Braid_caql Braid_logic Braid_relalg Braid_remote Braid_stream List String

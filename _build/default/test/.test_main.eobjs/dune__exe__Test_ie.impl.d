@@ -1,0 +1,1 @@
+test/test_ie.ml: Alcotest Braid Braid_advice Braid_cache Braid_caql Braid_ie Braid_logic Braid_planner Braid_relalg Braid_stream Braid_workload Format List Option String

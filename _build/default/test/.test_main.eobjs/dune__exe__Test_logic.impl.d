@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Braid_logic Braid_relalg Braid_workload Format List String

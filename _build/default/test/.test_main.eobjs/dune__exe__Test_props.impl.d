@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Braid_advice Braid_caql Braid_logic Braid_relalg Braid_stream Braid_subsume Braid_workload Format Fun Hashtbl List QCheck QCheck_alcotest

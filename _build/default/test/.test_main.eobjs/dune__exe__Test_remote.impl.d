@@ -1,0 +1,1 @@
+test/test_remote.ml: Alcotest Array Braid_relalg Braid_remote Braid_stream List

@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Array Braid_relalg Braid_stream List Option

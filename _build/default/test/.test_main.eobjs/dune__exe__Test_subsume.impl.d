@@ -1,0 +1,1 @@
+test/test_subsume.ml: Alcotest Braid_caql Braid_logic Braid_relalg Braid_subsume List String

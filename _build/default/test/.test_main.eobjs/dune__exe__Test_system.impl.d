@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Braid Braid_advice Braid_cache Braid_ie Braid_logic Braid_planner Braid_relalg Braid_remote Braid_workload List

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Braid Braid_experiments Braid_logic Braid_relalg Braid_workload Format List String

@@ -1,0 +1,688 @@
+(* The inference engine pipeline: problem graph extraction, shaping,
+   advice generation (view specifier + path creator), datalog fixpoint,
+   strategies. *)
+
+module L = Braid_logic
+module T = L.Term
+module R = Braid_relalg
+module V = R.Value
+module A = Braid_caql.Ast
+module PG = Braid_ie.Problem_graph
+module Shaper = Braid_ie.Shaper
+module Gen = Braid_ie.Advice_gen
+module Adv = Braid_advice.Ast
+module Strategy = Braid_ie.Strategy
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let v x = T.Var x
+let s x = T.Const (V.Str x)
+let i n = T.Const (V.Int n)
+let atom p args = L.Atom.make p args
+let k1_query = atom "k1" [ v "X"; v "Y" ]
+
+(* --- problem graph --- *)
+
+let test_extraction_example1 () =
+  let kb = Braid_workload.Kbgen.example1 () in
+  let g = PG.extract kb k1_query in
+  let size = PG.size g in
+  (* k1 (1 or) -> R1 (and) -> b1 (or) + k2 (or) -> R2, R3 (and) -> 4 base or *)
+  check_int "or nodes" 7 size.PG.or_nodes;
+  check_int "and nodes" 3 size.PG.and_nodes;
+  check_bool "fringe is b1,b2,b3" true
+    (List.sort_uniq compare (List.map (fun a -> a.L.Atom.pred) (PG.base_goals g))
+    = [ "b1"; "b2"; "b3" ])
+
+let test_extraction_pushes_constants () =
+  let kb = Braid_workload.Kbgen.example1 () in
+  let g = PG.extract kb (atom "k2" [ s "x5"; v "Y" ]) in
+  (* the constant x5 must appear inside the rule instances *)
+  let found = ref false in
+  List.iter
+    (fun (b : PG.and_node) ->
+      List.iter
+        (function
+          | PG.Subgoal n ->
+            if List.exists (T.equal (s "x5")) n.PG.goal.L.Atom.args then found := true
+          | PG.Condition _ -> ())
+        b.PG.children)
+    g.PG.root.PG.branches;
+  check_bool "constant propagated into bodies" true !found
+
+let test_extraction_recursion_single_instance () =
+  let kb = Braid_workload.Kbgen.ancestor () in
+  let g = PG.extract kb (atom "ancestor" [ s "p0"; v "Y" ]) in
+  (* the recursive reference is not expanded *)
+  let rec count_rec (n : PG.or_node) =
+    (if n.PG.recursive_ref then 1 else 0)
+    + List.fold_left
+        (fun acc (b : PG.and_node) ->
+          acc
+          + List.fold_left
+              (fun acc -> function PG.Subgoal m -> acc + count_rec m | PG.Condition _ -> acc)
+              0 b.PG.children)
+        0 n.PG.branches
+  in
+  check_int "one unexpanded recursive ref" 1 (count_rec g.PG.root);
+  check_bool "graph is finite" true ((PG.size g).PG.or_nodes < 10)
+
+let test_extraction_failing_unification_culled () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "b" ~arity:1;
+  L.Kb.add_rule kb (L.Rule.make ~id:"r1" (atom "p" [ s "only" ]) [ L.Literal.rel (atom "b" [ v "X" ]) ]);
+  let g = PG.extract kb (atom "p" [ s "other" ]) in
+  check_int "no branches" 0 (List.length g.PG.root.PG.branches)
+
+(* --- shaper --- *)
+
+let test_shaper_culls_false_condition () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "b" ~arity:1;
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"r1" (atom "p" [ v "X" ])
+       [ L.Literal.rel (atom "b" [ v "X" ]); L.Literal.cmp Braid_relalg.Row_pred.Lt (i 2) (i 1) ]);
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"r2" (atom "p" [ v "X" ])
+       [ L.Literal.rel (atom "b" [ v "X" ]); L.Literal.cmp Braid_relalg.Row_pred.Lt (i 1) (i 2) ]);
+  let g = PG.extract kb (atom "p" [ v "X" ]) in
+  let stats = Shaper.shape kb ~cardinality:(fun _ -> 10) g in
+  check_int "one branch culled" 1 stats.Shaper.culled_by_condition;
+  check_int "one branch left" 1 (List.length g.PG.root.PG.branches)
+
+let test_shaper_culls_mutex () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "hot" ~arity:1;
+  L.Kb.declare_base kb "cold" ~arity:1;
+  L.Kb.add_soa kb (L.Soa.Mutual_exclusion ("hot", "cold"));
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"r1" (atom "weird" [ v "X" ])
+       [ L.Literal.rel (atom "hot" [ v "X" ]); L.Literal.rel (atom "cold" [ v "X" ]) ]);
+  let g = PG.extract kb (atom "weird" [ v "X" ]) in
+  let stats = Shaper.shape kb ~cardinality:(fun _ -> 10) g in
+  check_int "mutex culled" 1 stats.Shaper.culled_by_mutex;
+  check_int "unsatisfiable query has empty graph" 0 (List.length g.PG.root.PG.branches)
+
+let test_shaper_mutex_needs_same_args () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "hot" ~arity:1;
+  L.Kb.declare_base kb "cold" ~arity:1;
+  L.Kb.add_soa kb (L.Soa.Mutual_exclusion ("hot", "cold"));
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"r1" (atom "ok" [ v "X"; v "Y" ])
+       [ L.Literal.rel (atom "hot" [ v "X" ]); L.Literal.rel (atom "cold" [ v "Y" ]) ]);
+  let g = PG.extract kb (atom "ok" [ v "X"; v "Y" ]) in
+  let stats = Shaper.shape kb ~cardinality:(fun _ -> 10) g in
+  check_int "different arguments: no cull" 0 stats.Shaper.culled_by_mutex
+
+let test_shaper_ordering_selective_first () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "big" ~arity:2;
+  L.Kb.declare_base kb "small" ~arity:2;
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"r" (atom "q" [ v "X"; v "Z" ])
+       [ L.Literal.rel (atom "big" [ v "X"; v "Y" ]); L.Literal.rel (atom "small" [ v "Y"; v "Z" ]) ]);
+  let g = PG.extract kb (atom "q" [ v "X"; v "Z" ]) in
+  let card = function "big" -> 100_000 | _ -> 10 in
+  let _ = Shaper.shape kb ~cardinality:card g in
+  (match g.PG.root.PG.branches with
+   | [ b ] ->
+     (match b.PG.children with
+      | PG.Subgoal first :: _ ->
+        Alcotest.(check string) "small relation first" "small" first.PG.goal.L.Atom.pred
+      | _ -> Alcotest.fail "expected subgoal")
+   | _ -> Alcotest.fail "expected one branch");
+  let orderings = Shaper.rule_orderings g in
+  check_bool "ordering recorded as permutation" true (List.assoc "r" orderings = [ 1; 0 ])
+
+(* --- advice generation --- *)
+
+let gen_advice ?(max_conj_size = 1) kb query =
+  let g = PG.extract kb query in
+  let _ = Shaper.shape kb ~cardinality:(fun _ -> 100) g in
+  Gen.generate ~max_conj_size kb g
+
+let test_minimal_args () =
+  (* paper §4.2.1's worked example: d(Z,V) from H={X,Y}, B={X,Z,V,Y},
+     D={Z,W,U,V} *)
+  check_bool "A = (H∪B)∩D" true
+    (Gen.minimal_args ~head_vars:[ "X"; "Y" ]
+       ~body_vars_outside:[ "X"; "Z"; "V"; "Y" ]
+       ~run_vars:[ "Z"; "W"; "U"; "V" ]
+    = [ "Z"; "V" ])
+
+let test_view_specs_example1_conj2 () =
+  (* with conjunction size >= 2, R2's whole body is one spec, like the
+     paper's d2 *)
+  let kb = Braid_workload.Kbgen.example1 () in
+  let advice = gen_advice ~max_conj_size:2 kb k1_query in
+  let has_paper_d2 =
+    List.exists
+      (fun (sp : Adv.view_spec) ->
+        List.length sp.Adv.def.A.atoms = 2
+        && List.exists (fun a -> a.L.Atom.pred = "b2") sp.Adv.def.A.atoms
+        && List.exists (fun a -> a.L.Atom.pred = "b3") sp.Adv.def.A.atoms)
+      advice.Adv.specs
+  in
+  check_bool "two-atom view spec for R2" true has_paper_d2
+
+let test_view_specs_consumer_annotation () =
+  let kb = Braid_workload.Kbgen.example1 () in
+  let advice = gen_advice ~max_conj_size:2 kb k1_query in
+  (* the R2 spec must have Y as a consumer (bound by d1) and X as producer *)
+  let r2_spec =
+    List.find
+      (fun (sp : Adv.view_spec) ->
+        List.exists (fun a -> a.L.Atom.pred = "b2") sp.Adv.def.A.atoms)
+      advice.Adv.specs
+  in
+  check_bool "has a consumer" true (List.mem Adv.Consumer r2_spec.Adv.bindings);
+  check_bool "has a producer" true (List.mem Adv.Producer r2_spec.Adv.bindings)
+
+let test_specs_shared_across_occurrences () =
+  (* two rules with identical base runs share one spec *)
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "b" ~arity:2;
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"r1" (atom "p" [ v "X" ]) [ L.Literal.rel (atom "b" [ v "X"; v "Y" ]) ]);
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"r2" (atom "p" [ v "X" ]) [ L.Literal.rel (atom "b" [ v "X"; v "Z" ]) ]);
+  let advice = gen_advice kb (atom "p" [ v "X" ]) in
+  check_int "one shared spec" 1 (List.length advice.Adv.specs)
+
+let test_path_recursive_loop () =
+  let kb = Braid_workload.Kbgen.ancestor () in
+  let advice = gen_advice kb (atom "ancestor" [ s "p0"; v "Y" ]) in
+  let rec has_inf = function
+    | Adv.Seq (_, { Adv.hi = Adv.Inf; _ }) -> true
+    | Adv.Seq (ps, _) | Adv.Alt (ps, _) -> List.exists has_inf ps
+    | Adv.Pattern _ -> false
+  in
+  (match advice.Adv.path with
+   | Some p -> check_bool "recursion marked with unbounded repetition" true (has_inf p)
+   | None -> Alcotest.fail "expected a path")
+
+let test_base_root_query () =
+  let kb = Braid_workload.Kbgen.example1 () in
+  let advice = gen_advice kb (atom "b1" [ s "c1"; v "Y" ]) in
+  check_int "one spec for the base query" 1 (List.length advice.Adv.specs);
+  check_bool "path present" true (advice.Adv.path <> None)
+
+(* --- datalog --- *)
+
+let family_base () =
+  let rels = Braid_workload.Datagen.family ~persons:40 ~fanout:3 () in
+  fun name -> List.find_opt (fun r -> R.Relation.name r = name) rels
+
+let test_datalog_transitive_closure () =
+  let kb = Braid_workload.Kbgen.ancestor () in
+  let base = family_base () in
+  let out = Braid_ie.Datalog.solve kb ~base (atom "ancestor" [ v "X"; v "Y" ]) in
+  let parent = Option.get (base "parent") in
+  check_bool "closure at least as large as parent" true
+    (R.Relation.cardinality out.Braid_ie.Datalog.result >= R.Relation.cardinality parent);
+  check_bool "iterated" true (out.Braid_ie.Datalog.iterations > 1);
+  (* sanity: ancestor ⊇ parent *)
+  R.Relation.iter
+    (fun t ->
+      check_bool "parent pair in closure" true
+        (R.Relation.mem out.Braid_ie.Datalog.result t))
+    parent
+
+let test_datalog_query_constants () =
+  let kb = Braid_workload.Kbgen.ancestor () in
+  let base = family_base () in
+  let all = Braid_ie.Datalog.solve kb ~base (atom "ancestor" [ v "X"; v "Y" ]) in
+  let just_p0 = Braid_ie.Datalog.solve kb ~base (atom "ancestor" [ s "p0"; v "Y" ]) in
+  check_bool "selection smaller" true
+    (R.Relation.cardinality just_p0.Braid_ie.Datalog.result
+    < R.Relation.cardinality all.Braid_ie.Datalog.result);
+  check_int "one column" 1
+    (R.Schema.arity (R.Relation.schema just_p0.Braid_ie.Datalog.result))
+
+let test_datalog_undefined_pred_fails () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "b" ~arity:1;
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"r" (atom "p" [ v "X" ])
+       [ L.Literal.rel (atom "b" [ v "X" ]); L.Literal.rel (atom "ghost" [ v "X" ]) ]);
+  let base name =
+    if name = "b" then
+      Some
+        (R.Relation.of_tuples ~name (R.Schema.make [ ("x", V.Tint) ]) [ [| V.Int 1 |] ])
+    else None
+  in
+  let out = Braid_ie.Datalog.solve kb ~base (atom "p" [ v "X" ]) in
+  check_int "no solutions" 0 (R.Relation.cardinality out.Braid_ie.Datalog.result)
+
+(* --- strategies (lower-level than the system tests) --- *)
+
+let make_system config strategy =
+  Braid.System.build ~config ~strategy ~kb:(Braid_workload.Kbgen.ancestor ())
+    ~data:(Braid_workload.Datagen.family ~persons:50 ~fanout:3 ())
+    ()
+
+let test_interpretive_streams_lazily () =
+  let sys = make_system Braid_planner.Qpo.braid_config Strategy.Interpretive in
+  let stream, report = Braid.System.solve sys (atom "ancestor" [ s "p0"; v "Y" ]) in
+  let c = Braid_stream.Tuple_stream.cursor stream in
+  ignore (Braid_stream.Tuple_stream.next c);
+  let after_one = report.Braid_ie.Engine.counters.Strategy.resolutions in
+  ignore (Braid_stream.Tuple_stream.to_relation stream);
+  let after_all = report.Braid_ie.Engine.counters.Strategy.resolutions in
+  check_bool "work proportional to demand" true (after_one < after_all)
+
+let test_compiled_does_all_work_upfront () =
+  let sys = make_system Braid_planner.Qpo.braid_config Strategy.Fully_compiled in
+  let stream, report = Braid.System.solve sys (atom "ancestor" [ s "p0"; v "Y" ]) in
+  let before = report.Braid_ie.Engine.counters.Strategy.resolutions in
+  ignore (Braid_stream.Tuple_stream.to_relation stream);
+  let after = report.Braid_ie.Engine.counters.Strategy.resolutions in
+  check_int "no additional inference during consumption" before after
+
+let test_conjunction_compilation_reduces_queries () =
+  let kb () = Braid_workload.Kbgen.example1 () in
+  let data () = Braid_workload.Datagen.paper_example ~size:25 () in
+  let run strategy =
+    let sys =
+      Braid.System.build ~config:Braid_planner.Qpo.loose_coupling_config ~strategy
+        ~kb:(kb ()) ~data:(data ()) ()
+    in
+    let _, report = Braid_ie.Engine.solve_all (Braid.System.engine sys) k1_query in
+    report.Braid_ie.Engine.counters.Strategy.db_goal_queries
+  in
+  let q1 = run Strategy.Interpretive in
+  let q2 = run (Strategy.Conjunction_compiled 2) in
+  check_bool "conjunction compilation issues fewer CAQL queries" true (q2 < q1)
+
+let test_depth_limit () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "b" ~arity:1;
+  (* left recursion never terminates in SLD *)
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"loop" (atom "p" [ v "X" ]) [ L.Literal.rel (atom "p" [ v "X" ]) ]);
+  let sys =
+    Braid.System.build ~kb
+      ~data:
+        [ R.Relation.of_tuples ~name:"b" (R.Schema.make [ ("x", V.Tint) ]) [ [| V.Int 1 |] ] ]
+      ()
+  in
+  let engine =
+    Braid_ie.Engine.create ~max_depth:100 (Braid.System.kb sys)
+      (Braid.Cms.qpo (Braid.System.cms sys))
+  in
+  check_bool "depth limit raised" true
+    (try
+       ignore (Braid_ie.Engine.solve_all engine (atom "p" [ v "X" ]));
+       false
+     with Strategy.Depth_limit _ -> true)
+
+let suites : unit Alcotest.test list =
+  [
+    ( "ie",
+      [
+        Alcotest.test_case "extraction of example 1" `Quick test_extraction_example1;
+        Alcotest.test_case "extraction pushes constants" `Quick
+          test_extraction_pushes_constants;
+        Alcotest.test_case "recursion expanded once" `Quick
+          test_extraction_recursion_single_instance;
+        Alcotest.test_case "failing unification culled" `Quick
+          test_extraction_failing_unification_culled;
+        Alcotest.test_case "shaper culls false conditions" `Quick
+          test_shaper_culls_false_condition;
+        Alcotest.test_case "shaper culls mutex branches" `Quick test_shaper_culls_mutex;
+        Alcotest.test_case "mutex needs same arguments" `Quick
+          test_shaper_mutex_needs_same_args;
+        Alcotest.test_case "selective relations ordered first" `Quick
+          test_shaper_ordering_selective_first;
+        Alcotest.test_case "minimal argument set" `Quick test_minimal_args;
+        Alcotest.test_case "example-1 view specs (conjunction 2)" `Quick
+          test_view_specs_example1_conj2;
+        Alcotest.test_case "consumer annotations" `Quick test_view_specs_consumer_annotation;
+        Alcotest.test_case "specs shared across occurrences" `Quick
+          test_specs_shared_across_occurrences;
+        Alcotest.test_case "recursive path loop" `Quick test_path_recursive_loop;
+        Alcotest.test_case "base-root query" `Quick test_base_root_query;
+        Alcotest.test_case "datalog transitive closure" `Quick
+          test_datalog_transitive_closure;
+        Alcotest.test_case "datalog query constants" `Quick test_datalog_query_constants;
+        Alcotest.test_case "datalog undefined predicate" `Quick
+          test_datalog_undefined_pred_fails;
+        Alcotest.test_case "interpretive streams lazily" `Quick
+          test_interpretive_streams_lazily;
+        Alcotest.test_case "compiled works upfront" `Quick test_compiled_does_all_work_upfront;
+        Alcotest.test_case "conjunction compilation reduces queries" `Quick
+          test_conjunction_compilation_reduces_queries;
+        Alcotest.test_case "depth limit" `Quick test_depth_limit;
+      ] );
+  ]
+
+(* --- semi-naive vs naive datalog --- *)
+
+let test_semi_naive_equals_naive () =
+  let kb = Braid_workload.Kbgen.ancestor () in
+  let base = family_base () in
+  let norm rel =
+    List.sort_uniq compare (List.map R.Tuple.to_list (R.Relation.to_list rel))
+  in
+  let q = atom "ancestor" [ v "X"; v "Y" ] in
+  let naive = Braid_ie.Datalog.solve kb ~algorithm:`Naive ~base q in
+  let semi = Braid_ie.Datalog.solve kb ~algorithm:`Semi_naive ~base q in
+  check_bool "same closure" true
+    (norm naive.Braid_ie.Datalog.result = norm semi.Braid_ie.Datalog.result);
+  check_bool "semi-naive produces fewer tuples" true
+    (semi.Braid_ie.Datalog.tuples_produced < naive.Braid_ie.Datalog.tuples_produced)
+
+let test_semi_naive_same_generation () =
+  (* sg has two recursive occurrences per rule body position structure *)
+  let kb = Braid_workload.Kbgen.same_generation () in
+  let base = family_base () in
+  let norm rel =
+    List.sort_uniq compare (List.map R.Tuple.to_list (R.Relation.to_list rel))
+  in
+  let q = atom "sg" [ s "p5"; v "Y" ] in
+  let naive = Braid_ie.Datalog.solve kb ~algorithm:`Naive ~base q in
+  let semi = Braid_ie.Datalog.solve kb ~algorithm:`Semi_naive ~base q in
+  check_bool "same result" true
+    (norm naive.Braid_ie.Datalog.result = norm semi.Braid_ie.Datalog.result);
+  check_bool "nonempty" true (R.Relation.cardinality semi.Braid_ie.Datalog.result > 0)
+
+let test_merge_join_support () =
+  (* element sorted representations + relalg merge join *)
+  let schema = R.Schema.make [ ("x", V.Tint); ("y", V.Tint) ] in
+  let mk l = R.Relation.of_tuples ~name:"r" schema (List.map (fun (a, b) -> [| V.Int a; V.Int b |]) l) in
+  let a = R.Ops.order_by [ 1 ] (mk [ (1, 5); (2, 3); (3, 5); (4, 4) ]) in
+  let b = R.Ops.order_by [ 0 ] (mk [ (5, 9); (3, 8); (5, 7) ]) in
+  let merged = R.Ops.merge_join ~left_cols:[ 1 ] ~right_cols:[ 0 ] a b in
+  let hashed = R.Ops.hash_join ~left_cols:[ 1 ] ~right_cols:[ 0 ] a b in
+  let norm rel = List.sort compare (List.map R.Tuple.to_list (R.Relation.to_list rel)) in
+  check_bool "merge = hash on sorted inputs" true (norm merged = norm hashed);
+  check_int "three matches" 5 (R.Relation.cardinality merged)
+
+let test_sorted_representations_coexist () =
+  let schema = R.Schema.make [ ("x", V.Tint); ("y", V.Tint) ] in
+  let rel =
+    R.Relation.of_tuples ~name:"r" schema
+      (List.map (fun (a, b) -> [| V.Int a; V.Int b |]) [ (3, 1); (1, 3); (2, 2) ])
+  in
+  let e =
+    Braid_cache.Element.make ~id:"e" ~now:0
+      ~def:(Braid_caql.Ast.conj [ v "X"; v "Y" ] [ atom "r" [ v "X"; v "Y" ] ])
+      (Braid_cache.Element.Extension rel)
+  in
+  let by_x = Braid_cache.Element.sorted_on e [ 0 ] in
+  let by_y = Braid_cache.Element.sorted_on e [ 1 ] in
+  check_bool "sorted by x" true (V.equal (R.Tuple.get (R.Relation.get by_x 0) 0) (V.Int 1));
+  check_bool "sorted by y" true (V.equal (R.Tuple.get (R.Relation.get by_y 0) 1) (V.Int 1));
+  check_bool "both remembered" true
+    (List.length (Braid_cache.Element.sorted_representations e) = 2);
+  let by_x2 = Braid_cache.Element.sorted_on e [ 0 ] in
+  check_bool "representation reused" true (by_x == by_x2);
+  check_bool "bytes grow with copies" true
+    (Braid_cache.Element.bytes_estimate e > R.Relation.bytes_estimate rel)
+
+let extra_cases =
+  [
+    Alcotest.test_case "semi-naive = naive (ancestor)" `Quick test_semi_naive_equals_naive;
+    Alcotest.test_case "semi-naive = naive (same generation)" `Quick
+      test_semi_naive_same_generation;
+    Alcotest.test_case "merge join on sorted inputs" `Quick test_merge_join_support;
+    Alcotest.test_case "co-existing sorted representations" `Quick
+      test_sorted_representations_coexist;
+  ]
+
+let suites = match suites with
+  | [ (name, cases) ] -> [ (name, cases @ extra_cases) ]
+  | other -> other
+
+(* --- answer justification --- *)
+
+let test_justify_grandparent () =
+  let sys = make_system Braid_planner.Qpo.braid_config Strategy.Interpretive in
+  let proofs =
+    Braid_ie.Justify.explain (Braid.System.kb sys)
+      (Braid.Cms.qpo (Braid.System.cms sys))
+      ~max_proofs:3
+      (atom "grandparent" [ s "p0"; v "Y" ])
+  in
+  check_bool "some proofs" true (proofs <> []);
+  List.iter
+    (fun (tuple, proof) ->
+      check_bool "solution bound" true (R.Tuple.get tuple 0 <> V.Null);
+      check_bool "uses rule G1" true (Braid_ie.Justify.proof_rules proof = [ "G1" ]);
+      (* a grandparent proof rests on exactly two parent facts *)
+      let facts = Braid_ie.Justify.proof_facts proof in
+      check_int "two database facts" 2 (List.length facts);
+      List.iter
+        (fun (a : L.Atom.t) ->
+          check_bool "facts are parent tuples" true (a.L.Atom.pred = "parent");
+          check_bool "facts are ground" true (L.Atom.is_ground a))
+        facts)
+    proofs
+
+let test_justify_recursive_chain () =
+  let sys = make_system Braid_planner.Qpo.braid_config Strategy.Interpretive in
+  let proofs =
+    Braid_ie.Justify.explain (Braid.System.kb sys)
+      (Braid.Cms.qpo (Braid.System.cms sys))
+      ~max_proofs:10
+      (atom "ancestor" [ s "p0"; v "Y" ])
+  in
+  check_bool "proofs found" true (List.length proofs > 1);
+  (* at least one proof must go through the recursive rule A2 *)
+  check_bool "recursion justified" true
+    (List.exists (fun (_, p) -> List.mem "A2" (Braid_ie.Justify.proof_rules p)) proofs);
+  (* rendering smoke test *)
+  let _, p = List.hd proofs in
+  let text = Format.asprintf "%a" Braid_ie.Justify.pp_proof p in
+  check_bool "rendering mentions a rule" true (String.length text > 10)
+
+let test_justify_no_solutions () =
+  let sys = make_system Braid_planner.Qpo.braid_config Strategy.Interpretive in
+  let proofs =
+    Braid_ie.Justify.explain (Braid.System.kb sys)
+      (Braid.Cms.qpo (Braid.System.cms sys))
+      (atom "ancestor" [ s "nobody"; v "Y" ])
+  in
+  check_bool "no proofs" true (proofs = [])
+
+let justify_cases =
+  [
+    Alcotest.test_case "justify grandparent" `Quick test_justify_grandparent;
+    Alcotest.test_case "justify recursive chain" `Quick test_justify_recursive_chain;
+    Alcotest.test_case "justify without solutions" `Quick test_justify_no_solutions;
+  ]
+
+let suites = match suites with
+  | [ (name, cases) ] -> [ (name, cases @ justify_cases) ]
+  | other -> other
+
+(* --- FD SOAs drive ordering --- *)
+
+let test_fd_ordering () =
+  (* lookup(K,V) has an FD K -> V; with K bound it should be ordered before
+     a huge scan even though the scan has a constant. *)
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "lookup" ~arity:2;
+  L.Kb.declare_base kb "huge" ~arity:2;
+  L.Kb.add_soa kb
+    (L.Soa.Functional_dependency { pred = "lookup"; determinant = [ 0 ]; dependent = [ 1 ] });
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"r" (atom "q" [ v "K"; v "W" ])
+       [ L.Literal.rel (atom "huge" [ v "V"; v "W" ]); L.Literal.rel (atom "lookup" [ v "K"; v "V" ]) ]);
+  let g = PG.extract kb (atom "q" [ s "key1"; v "W" ]) in
+  let card = function "huge" -> 1_000_000 | _ -> 1_000 in
+  let _ = Shaper.shape kb ~cardinality:card g in
+  match g.PG.root.PG.branches with
+  | [ b ] ->
+    (match b.PG.children with
+     | PG.Subgoal first :: _ ->
+       Alcotest.(check string) "fd lookup ordered first" "lookup" first.PG.goal.L.Atom.pred
+     | _ -> Alcotest.fail "expected subgoal")
+  | _ -> Alcotest.fail "expected one branch"
+
+let fd_cases = [ Alcotest.test_case "FD SOA drives ordering" `Quick test_fd_ordering ]
+
+let suites = match suites with
+  | [ (name, cases) ] -> [ (name, cases @ fd_cases) ]
+  | other -> other
+
+(* --- engine-level knobs --- *)
+
+let test_send_advice_off () =
+  let sys =
+    Braid.System.build ~send_advice:false ~kb:(Braid_workload.Kbgen.example1 ())
+      ~data:(Braid_workload.Datagen.paper_example ~size:15 ())
+      ()
+  in
+  let _, report = Braid_ie.Engine.solve_all (Braid.System.engine sys) k1_query in
+  (* advice is still generated and reported, just not transmitted *)
+  check_bool "advice generated" true (report.Braid_ie.Engine.advice.Adv.specs <> []);
+  let m = Braid.System.metrics sys in
+  check_int "no generalizations without transmitted advice" 0
+    m.Braid.System.planner.Braid_planner.Qpo.generalizations
+
+let test_conj_size_changes_specs () =
+  let kb = Braid_workload.Kbgen.example1 () in
+  let spec_count k =
+    let advice = gen_advice ~max_conj_size:k kb k1_query in
+    List.length advice.Adv.specs
+  in
+  (* size 1: one spec per base occurrence pattern; size 2 merges runs *)
+  check_bool "larger conjunctions, fewer specs" true (spec_count 2 < spec_count 1)
+
+let test_report_structure () =
+  let sys =
+    Braid.System.build ~kb:(Braid_workload.Kbgen.example1 ())
+      ~data:(Braid_workload.Datagen.paper_example ~size:15 ())
+      ()
+  in
+  let answers, report = Braid_ie.Engine.solve_all (Braid.System.engine sys) k1_query in
+  check_bool "graph measured" true (report.Braid_ie.Engine.graph_size.PG.or_nodes > 0);
+  check_bool "resolutions counted" true
+    (report.Braid_ie.Engine.counters.Strategy.resolutions > 0);
+  check_bool "db queries counted" true
+    (report.Braid_ie.Engine.counters.Strategy.db_goal_queries > 0);
+  check_bool "ie time accrues" true (Braid_ie.Engine.ie_ms (Braid.System.engine sys) > 0.0);
+  ignore answers
+
+let engine_cases =
+  [
+    Alcotest.test_case "send_advice:false" `Quick test_send_advice_off;
+    Alcotest.test_case "conjunction size changes specs" `Quick test_conj_size_changes_specs;
+    Alcotest.test_case "report structure" `Quick test_report_structure;
+  ]
+
+let suites = match suites with
+  | [ (name, cases) ] -> [ (name, cases @ engine_cases) ]
+  | other -> other
+
+(* --- the adaptive suite --- *)
+
+let test_adaptive_matches_better_choice () =
+  let persons = 300 in
+  let run strategy query first_only =
+    let sys =
+      Braid.System.build ~config:Braid_planner.Qpo.no_advice_config ~strategy
+        ~kb:(Braid_workload.Kbgen.ancestor ())
+        ~data:(Braid_workload.Datagen.family ~persons ~fanout:3 ())
+        ()
+    in
+    (match first_only with
+     | Some n -> ignore (Braid.System.solve_first sys ~n query)
+     | None -> ignore (Braid.System.solve_all sys query));
+    (Braid.System.metrics sys).Braid.System.total_ms
+  in
+  let bound = atom "ancestor" [ s "p7"; v "Y" ] in
+  let free = atom "ancestor" [ v "X"; v "Y" ] in
+  (* selective query: adaptive must behave like interpretive, beating
+     compiled by a wide margin *)
+  let a_sel = run Strategy.Adaptive bound (Some 1) in
+  let c_sel = run Strategy.Fully_compiled bound (Some 1) in
+  check_bool "adaptive ~ interpretive on selective demand" true (a_sel < c_sel);
+  (* broad recursive all-solutions: adaptive must behave like compiled *)
+  let a_all = run Strategy.Adaptive free None in
+  let i_all = run Strategy.Interpretive free None in
+  check_bool "adaptive ~ compiled on broad demand" true (a_all < i_all)
+
+let test_adaptive_correctness () =
+  let sys config strategy =
+    Braid.System.build ~config ~strategy ~kb:(Braid_workload.Kbgen.ancestor ())
+      ~data:(Braid_workload.Datagen.family ~persons:50 ~fanout:3 ())
+      ()
+  in
+  let q = atom "ancestor" [ s "p0"; v "Y" ] in
+  let norm rel =
+    List.sort_uniq compare (List.map R.Tuple.to_list (R.Relation.to_list rel))
+  in
+  let reference =
+    norm (Braid.System.solve_all (sys Braid_planner.Qpo.loose_coupling_config Strategy.Interpretive) q)
+  in
+  check_bool "adaptive answers correctly" true
+    (norm (Braid.System.solve_all (sys Braid_planner.Qpo.braid_config Strategy.Adaptive) q)
+    = reference)
+
+let adaptive_cases =
+  [
+    Alcotest.test_case "adaptive picks the better suite" `Quick
+      test_adaptive_matches_better_choice;
+    Alcotest.test_case "adaptive correctness" `Quick test_adaptive_correctness;
+  ]
+
+let suites = match suites with
+  | [ (name, cases) ] -> [ (name, cases @ adaptive_cases) ]
+  | other -> other
+
+(* --- conjunction runs with interleaved comparisons --- *)
+
+let test_conjunction_run_with_comparison () =
+  (* needs_expensive: uses(X,Y) & part(Y,P) & P > 400 — with conjunction
+     size 2 the run part(Y,P) & P>400 ships as one filtered query *)
+  let build strategy =
+    Braid.System.build ~config:Braid_planner.Qpo.loose_coupling_config ~strategy
+      ~kb:(Braid_workload.Kbgen.bill_of_materials ())
+      ~data:(Braid_workload.Datagen.bill_of_materials ~parts:30 ~max_children:2 ())
+      ()
+  in
+  let q = atom "needs_expensive" [ s "part0" ] in
+  let norm rel =
+    List.sort_uniq compare (List.map R.Tuple.to_list (R.Relation.to_list rel))
+  in
+  let reference = norm (Braid.System.solve_all (build Strategy.Interpretive) q) in
+  List.iter
+    (fun k ->
+      check_bool "conjunction strategies agree with interpretive" true
+        (norm (Braid.System.solve_all (build (Strategy.Conjunction_compiled k)) q)
+        = reference))
+    [ 2; 3 ]
+
+let test_unbound_builtin_raises () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "b" ~arity:1;
+  (* Q is never bound: the comparison cannot be evaluated *)
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"bad" (atom "p" [ v "X" ])
+       [ L.Literal.cmp Braid_relalg.Row_pred.Lt (v "Q") (i 3); L.Literal.rel (atom "b" [ v "X" ]) ]);
+  let sys =
+    Braid.System.build ~kb
+      ~data:
+        [ R.Relation.of_tuples ~name:"b" (R.Schema.make [ ("x", V.Tint) ]) [ [| V.Int 1 |] ] ]
+      ()
+  in
+  check_bool "unbound builtin raises" true
+    (try
+       ignore (Braid.System.solve_all sys (atom "p" [ v "X" ]));
+       false
+     with Strategy.Unbound_builtin _ -> true)
+
+let run_cases =
+  [
+    Alcotest.test_case "conjunction runs with comparisons" `Quick
+      test_conjunction_run_with_comparison;
+    Alcotest.test_case "unbound builtin raises" `Quick test_unbound_builtin_raises;
+  ]
+
+let suites = match suites with
+  | [ (name, cases) ] -> [ (name, cases @ run_cases) ]
+  | other -> other

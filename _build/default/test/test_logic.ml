@@ -1,0 +1,246 @@
+(* Terms, substitutions, unification, rules, SOAs, knowledge base. *)
+
+module L = Braid_logic
+module T = L.Term
+module V = Braid_relalg.Value
+module RP = Braid_relalg.Row_pred
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let v x = T.Var x
+let c s = T.Const (V.Str s)
+let i n = T.Const (V.Int n)
+let atom p args = L.Atom.make p args
+
+(* --- substitutions --- *)
+
+let test_subst_chains () =
+  let s = L.Subst.empty |> L.Subst.bind "X" (v "Y") |> L.Subst.bind "Y" (c "a") in
+  check_bool "chain resolves" true (T.equal (L.Subst.resolve s (v "X")) (c "a"));
+  check_bool "const untouched" true (T.equal (L.Subst.resolve s (i 3)) (i 3));
+  check_bool "unbound var" true (T.equal (L.Subst.resolve s (v "Z")) (v "Z"))
+
+let test_subst_restrict () =
+  let s = L.Subst.empty |> L.Subst.bind "X" (c "a") |> L.Subst.bind "Y" (c "b") in
+  let s' = L.Subst.restrict [ "X" ] s in
+  check_bool "kept" true (L.Subst.find "X" s' <> None);
+  check_bool "dropped" true (L.Subst.find "Y" s' = None)
+
+(* --- unification --- *)
+
+let test_unify_atoms () =
+  let a = atom "p" [ v "X"; c "b" ] and b = atom "p" [ c "a"; v "Y" ] in
+  match L.Unify.atoms L.Subst.empty a b with
+  | None -> Alcotest.fail "should unify"
+  | Some s ->
+    check_bool "X=a" true (T.equal (L.Subst.resolve s (v "X")) (c "a"));
+    check_bool "Y=b" true (T.equal (L.Subst.resolve s (v "Y")) (c "b"))
+
+let test_unify_failures () =
+  check_bool "pred mismatch" true
+    (L.Unify.atoms L.Subst.empty (atom "p" [ v "X" ]) (atom "q" [ v "X" ]) = None);
+  check_bool "arity mismatch" true
+    (L.Unify.atoms L.Subst.empty (atom "p" [ v "X" ]) (atom "p" [ v "X"; v "Y" ]) = None);
+  check_bool "const clash" true
+    (L.Unify.atoms L.Subst.empty (atom "p" [ c "a" ]) (atom "p" [ c "b" ]) = None);
+  check_bool "inconsistent shared var" true
+    (L.Unify.atoms L.Subst.empty (atom "p" [ v "X"; v "X" ]) (atom "p" [ c "a"; c "b" ]) = None)
+
+let test_unify_shared_var () =
+  match L.Unify.atoms L.Subst.empty (atom "p" [ v "X"; v "X" ]) (atom "p" [ c "a"; v "Y" ]) with
+  | None -> Alcotest.fail "should unify"
+  | Some s -> check_bool "Y forced to a" true (T.equal (L.Subst.resolve s (v "Y")) (c "a"))
+
+let test_one_way_match () =
+  (* general b(X, Y) matches specific b(a, Z)? X->a, Y->Z: yes *)
+  check_bool "general covers const+var" true
+    (L.Unify.match_atoms L.Subst.empty ~general:(atom "b" [ v "X"; v "Y" ])
+       ~specific:(atom "b" [ c "a"; v "Z" ])
+    <> None);
+  (* but a constant in the general side cannot match a specific variable *)
+  check_bool "const in general vs var in specific fails" true
+    (L.Unify.match_atoms L.Subst.empty ~general:(atom "b" [ c "a" ])
+       ~specific:(atom "b" [ v "X" ])
+    = None);
+  (* consistency: same general var must map to the same specific term *)
+  check_bool "inconsistent mapping fails" true
+    (L.Unify.match_atoms L.Subst.empty ~general:(atom "b" [ v "X"; v "X" ])
+       ~specific:(atom "b" [ c "a"; c "b" ])
+    = None)
+
+let test_variant () =
+  check_bool "renaming is a variant" true
+    (L.Unify.variant (atom "p" [ v "X"; v "Y"; c "k" ]) (atom "p" [ v "A"; v "B"; c "k" ]));
+  check_bool "collapsing vars is not" false
+    (L.Unify.variant (atom "p" [ v "X"; v "Y" ]) (atom "p" [ v "A"; v "A" ]));
+  check_bool "instance is not a variant" false
+    (L.Unify.variant (atom "p" [ v "X" ]) (atom "p" [ c "a" ]))
+
+(* --- literals --- *)
+
+let test_builtin_eval () =
+  let lit = L.Literal.cmp RP.Lt (i 2) (i 5) in
+  check_bool "2<5" true (L.Literal.eval_cmp lit = Some true);
+  let lit = L.Literal.cmp RP.Ge (v "X") (i 5) in
+  check_bool "unbound" true (L.Literal.eval_cmp lit = None);
+  let s = L.Subst.bind "X" (i 7) L.Subst.empty in
+  check_bool "bound after subst" true (L.Literal.eval_cmp (L.Literal.apply s lit) = Some true)
+
+let test_arith_expr () =
+  let open L.Literal in
+  let e = Add (Term (i 2), Mul (Term (i 3), Term (i 4))) in
+  check_bool "2+3*4=14" true (eval_expr e = Some (V.Int 14));
+  let e = Div (Term (i 1), Term (i 0)) in
+  check_bool "div0 null" true (eval_expr e = Some V.Null)
+
+(* --- rules & kb --- *)
+
+let test_rename_apart () =
+  let r =
+    L.Rule.make ~id:"r" (atom "p" [ v "X" ]) [ L.Literal.rel (atom "q" [ v "X"; v "Y" ]) ]
+  in
+  let r' = L.Rule.rename_apart 7 r in
+  check_bool "head renamed" true (L.Rule.head_vars r' = [ "X_7" ]);
+  check_bool "body renamed" true (L.Rule.body_vars r' = [ "X_7"; "Y_7" ]);
+  check_str "id preserved" "r" r'.L.Rule.id
+
+let test_kb_basics () =
+  let kb = Braid_workload.Kbgen.ancestor () in
+  check_bool "parent is base" true (L.Kb.is_base kb "parent");
+  check_bool "ancestor derived" true (L.Kb.is_derived kb "ancestor");
+  check_int "ancestor rules" 2 (List.length (L.Kb.rules_for kb "ancestor"));
+  check_bool "rule by id" true (L.Kb.rule_by_id kb "A1" <> None);
+  check_bool "arity recorded" true (L.Kb.base_arity kb "parent" = Some 2)
+
+let test_kb_guards () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "b" ~arity:2;
+  check_bool "base rule head rejected" true
+    (try
+       L.Kb.add_rule kb (L.Rule.make ~id:"x" (atom "b" [ v "X"; v "Y" ]) []);
+       false
+     with Invalid_argument _ -> true);
+  L.Kb.add_rule kb (L.Rule.make ~id:"r1" (atom "p" [ v "X" ]) []);
+  check_bool "duplicate id rejected" true
+    (try
+       L.Kb.add_rule kb (L.Rule.make ~id:"r1" (atom "q" [ v "X" ]) []);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "declaring derived as base rejected" true
+    (try
+       L.Kb.declare_base kb "p" ~arity:1;
+       false
+     with Invalid_argument _ -> true)
+
+let test_recursive_preds () =
+  let kb = Braid_workload.Kbgen.ancestor () in
+  check_bool "ancestor recursive" true (List.mem "ancestor" (L.Kb.recursive_preds kb));
+  check_bool "grandparent not" false (List.mem "grandparent" (L.Kb.recursive_preds kb));
+  let kb2 = Braid_workload.Kbgen.same_generation () in
+  check_bool "sg recursive" true (List.mem "sg" (L.Kb.recursive_preds kb2))
+
+let test_mutex_lookup () =
+  let kb = Braid_workload.Kbgen.example2 () in
+  check_bool "k3/k4 mutex" true (L.Kb.mutually_exclusive kb "k3" "k4");
+  check_bool "symmetric" true (L.Kb.mutually_exclusive kb "k4" "k3");
+  check_bool "unrelated" false (L.Kb.mutually_exclusive kb "k3" "b1")
+
+let test_base_preds_reachable () =
+  let kb = Braid_workload.Kbgen.example1 () in
+  let bases = L.Kb.base_preds_reachable kb (atom "k1" [ v "X"; v "Y" ]) in
+  check_bool "all three bases" true (bases = [ "b1"; "b2"; "b3" ]);
+  let bases2 = L.Kb.base_preds_reachable kb (atom "k2" [ v "X"; v "Y" ]) in
+  check_bool "k2 reaches all three too" true (bases2 = [ "b1"; "b2"; "b3" ])
+
+let suites : unit Alcotest.test list =
+  [
+    ( "logic",
+      [
+        Alcotest.test_case "substitution chains" `Quick test_subst_chains;
+        Alcotest.test_case "substitution restrict" `Quick test_subst_restrict;
+        Alcotest.test_case "unify atoms" `Quick test_unify_atoms;
+        Alcotest.test_case "unification failures" `Quick test_unify_failures;
+        Alcotest.test_case "unify shared variable" `Quick test_unify_shared_var;
+        Alcotest.test_case "one-way matching" `Quick test_one_way_match;
+        Alcotest.test_case "variants" `Quick test_variant;
+        Alcotest.test_case "builtin evaluation" `Quick test_builtin_eval;
+        Alcotest.test_case "arithmetic expressions" `Quick test_arith_expr;
+        Alcotest.test_case "rename apart" `Quick test_rename_apart;
+        Alcotest.test_case "kb basics" `Quick test_kb_basics;
+        Alcotest.test_case "kb guards" `Quick test_kb_guards;
+        Alcotest.test_case "recursive predicate detection" `Quick test_recursive_preds;
+        Alcotest.test_case "mutual exclusion lookup" `Quick test_mutex_lookup;
+        Alcotest.test_case "base predicates reachable" `Quick test_base_preds_reachable;
+      ] );
+  ]
+
+(* --- knowledge-base linting --- *)
+
+let test_lint_clean_kbs () =
+  List.iter
+    (fun kb -> check_bool "clean" true (L.Kb.lint kb = []))
+    [
+      Braid_workload.Kbgen.ancestor ();
+      Braid_workload.Kbgen.same_generation ();
+      Braid_workload.Kbgen.bill_of_materials ();
+      Braid_workload.Kbgen.university ();
+      Braid_workload.Kbgen.example1 ();
+      Braid_workload.Kbgen.example2 ();
+    ]
+
+let test_lint_unsafe_rule () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "b" ~arity:1;
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"bad" (atom "p" [ v "X"; v "Unbound" ]) [ L.Literal.rel (atom "b" [ v "X" ]) ]);
+  check_bool "unsafe head variable detected" true
+    (List.exists
+       (function L.Kb.Unsafe_rule { variable = "Unbound"; _ } -> true | _ -> false)
+       (L.Kb.lint kb))
+
+let test_lint_undefined_pred () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "b" ~arity:1;
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"typo" (atom "p" [ v "X" ])
+       [ L.Literal.rel (atom "b" [ v "X" ]); L.Literal.rel (atom "bb" [ v "X" ]) ]);
+  check_bool "typo predicate flagged" true
+    (List.exists
+       (function L.Kb.Undefined_predicate { pred = "bb"; _ } -> true | _ -> false)
+       (L.Kb.lint kb))
+
+let test_lint_unsafe_cmp () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "b" ~arity:1;
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"c" (atom "p" [ v "X" ])
+       [ L.Literal.rel (atom "b" [ v "X" ]); L.Literal.cmp Braid_relalg.Row_pred.Lt (v "Q") (i 3) ]);
+  check_bool "unbound comparison variable flagged" true
+    (List.exists
+       (function L.Kb.Unsafe_rule { variable = "Q"; _ } -> true | _ -> false)
+       (L.Kb.lint kb))
+
+let test_lint_mutex_self () =
+  let kb = L.Kb.create () in
+  L.Kb.add_soa kb (L.Soa.Mutual_exclusion ("p", "p"));
+  check_bool "self-mutex flagged" true
+    (List.exists (function L.Kb.Mutex_same_pred "p" -> true | _ -> false) (L.Kb.lint kb));
+  (* rendering smoke *)
+  List.iter
+    (fun l -> check_bool "prints" true (String.length (Format.asprintf "%a" L.Kb.pp_lint l) > 0))
+    (L.Kb.lint kb)
+
+let lint_cases =
+  [
+    Alcotest.test_case "lint: shipped KBs are clean" `Quick test_lint_clean_kbs;
+    Alcotest.test_case "lint: unsafe rule" `Quick test_lint_unsafe_rule;
+    Alcotest.test_case "lint: undefined predicate" `Quick test_lint_undefined_pred;
+    Alcotest.test_case "lint: unsafe comparison" `Quick test_lint_unsafe_cmp;
+    Alcotest.test_case "lint: self mutual-exclusion" `Quick test_lint_mutex_self;
+  ]
+
+let suites = match suites with
+  | [ (name, cases) ] -> [ (name, cases @ lint_cases) ]
+  | other -> other

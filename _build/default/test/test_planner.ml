@@ -1,0 +1,454 @@
+(* The QPO: per-mode solving, generalization, prefetching, lazy answers,
+   plan reporting, cost estimation. *)
+
+module L = Braid_logic
+module T = L.Term
+module R = Braid_relalg
+module V = R.Value
+module A = Braid_caql.Ast
+module TS = Braid_stream.Tuple_stream
+module Qpo = Braid_planner.Qpo
+module Plan = Braid_planner.Plan
+module Cost = Braid_planner.Cost
+module Server = Braid_remote.Server
+module CMgr = Braid_cache.Cache_manager
+module Adv = Braid_advice.Ast
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let v x = T.Var x
+let s x = T.Const (V.Str x)
+let atom p args = L.Atom.make p args
+
+(* --- shared fixture: the paper-example database --- *)
+
+let make_qpo ?(config = Qpo.braid_config) ?(capacity = 4 * 1024 * 1024) () =
+  let server = Server.create () in
+  List.iter
+    (Braid_remote.Engine.load (Server.engine server))
+    (Braid_workload.Datagen.paper_example ~size:25 ());
+  let cache = CMgr.create ~capacity_bytes:capacity in
+  Qpo.create config ~cache ~server
+
+let d2_def =
+  A.conj [ v "X"; v "Y" ] [ atom "b2" [ v "X"; v "Z" ]; atom "b3" [ v "Z"; s "c2"; v "Y" ] ]
+
+let d2_instance y =
+  A.conj [ v "X" ] [ atom "b2" [ v "X"; v "Z" ]; atom "b3" [ v "Z"; s "c2"; s y ] ]
+
+let requests q = (Server.stats (Qpo.server q)).Server.requests
+
+(* --- solving modes --- *)
+
+let test_loose_always_remote () =
+  let q = make_qpo ~config:Qpo.loose_coupling_config () in
+  let a1 = Qpo.answer_conj q (d2_instance "y1") in
+  let _ = TS.to_relation a1.Qpo.stream in
+  let a2 = Qpo.answer_conj q (d2_instance "y1") in
+  let _ = TS.to_relation a2.Qpo.stream in
+  check_bool "both used remote" true
+    (Plan.used_remote a1.Qpo.plan && Plan.used_remote a2.Qpo.plan);
+  check_int "no cache" 0 (Braid_cache.Cache_model.summary (CMgr.model (Qpo.cache q))).Braid_cache.Cache_model.element_count
+
+let test_exact_match_hit () =
+  let q = make_qpo ~config:Qpo.bermuda_config () in
+  let a1 = Qpo.answer_conj q (d2_instance "y1") in
+  let r1 = TS.to_relation a1.Qpo.stream in
+  let before = requests q in
+  let a2 = Qpo.answer_conj q (d2_instance "y1") in
+  let r2 = TS.to_relation a2.Qpo.stream in
+  check_int "no new remote requests" before (requests q);
+  check_bool "exact hit step" true
+    (List.exists (function Plan.Exact_hit _ -> true | _ -> false) a2.Qpo.plan);
+  check_bool "same answers" true
+    (List.sort compare (R.Relation.to_list r1) = List.sort compare (R.Relation.to_list r2));
+  (* a merely overlapping query gets no reuse in exact-match mode *)
+  let a3 = Qpo.answer_conj q (d2_instance "y2") in
+  let _ = TS.to_relation a3.Qpo.stream in
+  check_bool "different constant misses" true (Plan.used_remote a3.Qpo.plan)
+
+let test_subsumption_generalizes_reuse () =
+  let q = make_qpo ~config:Qpo.no_advice_config () in
+  (* prime the cache with the full d2 family *)
+  let a0 = Qpo.answer_conj q d2_def in
+  let _ = TS.to_relation a0.Qpo.stream in
+  let before = requests q in
+  (* now any instance is answerable from the cache *)
+  let a1 = Qpo.answer_conj q (d2_instance "y3") in
+  let r = TS.to_relation a1.Qpo.stream in
+  check_int "no remote traffic" before (requests q);
+  check_bool "cache-only plan" true (Plan.fully_from_cache a1.Qpo.plan);
+  ignore r
+
+let test_subsumption_partial_cover () =
+  let q = make_qpo ~config:Qpo.no_advice_config () in
+  (* cache only b2's extension *)
+  let a0 = Qpo.answer_conj q (A.conj [ v "X"; v "Z" ] [ atom "b2" [ v "X"; v "Z" ] ]) in
+  let _ = TS.to_relation a0.Qpo.stream in
+  let a1 = Qpo.answer_conj q (d2_instance "y1") in
+  let _ = TS.to_relation a1.Qpo.stream in
+  check_bool "uses cached element" true
+    (List.exists (function Plan.Use_element _ -> true | _ -> false) a1.Qpo.plan);
+  check_bool "still needs remote for b3" true (Plan.used_remote a1.Qpo.plan);
+  check_int "classified as partial hit" 1 (Qpo.metrics q).Qpo.partial_hits
+
+let test_ship_vs_per_atom_cost () =
+  let server = Server.create () in
+  List.iter
+    (Braid_remote.Engine.load (Server.engine server))
+    (Braid_workload.Datagen.paper_example ~size:25 ());
+  let catalog = Server.catalog server in
+  let model = Braid_remote.Cost_model.default in
+  (* joining two big relations: shipping should beat per-atom fetches with
+     the default cost model because transfer dominates *)
+  let ship = Cost.ship_cost model catalog d2_def in
+  let per_atom = Cost.per_atom_cost model catalog d2_def in
+  check_bool "estimates positive" true (ship > 0.0 && per_atom > 0.0);
+  check_bool "selective join cheaper shipped" true (ship < per_atom)
+
+let test_cost_estimates_sane () =
+  let server = Server.create () in
+  List.iter
+    (Braid_remote.Engine.load (Server.engine server))
+    (Braid_workload.Datagen.paper_example ~size:25 ());
+  let catalog = Server.catalog server in
+  let all = Cost.est_atom catalog (atom "b2" [ v "X"; v "Z" ]) in
+  let sel = Cost.est_atom catalog (atom "b2" [ s "x1"; v "Z" ]) in
+  check_bool "selection reduces estimate" true (sel < all);
+  check_bool "join estimate bounded by product" true
+    (Cost.est_conj catalog d2_def <= all * Cost.est_atom catalog (atom "b3" [ v "Z"; s "c2"; v "Y" ]))
+
+(* --- advice-driven behaviour --- *)
+
+let advice_for_d2 =
+  {
+    Adv.specs =
+      [
+        Adv.spec ~id:"d2" ~bindings:[ Adv.Producer; Adv.Consumer ] d2_def;
+      ];
+    path =
+      Some
+        (Adv.Seq
+           ( [ Adv.Pattern ("d2", [ v "X"; v "Y" ]) ],
+             { Adv.lo = 0; hi = Adv.Cardinality "Y" } ));
+  }
+
+let test_generalization () =
+  let q = make_qpo ~config:Qpo.braid_config () in
+  Qpo.set_advice q advice_for_d2;
+  let a1 = Qpo.answer_conj q (d2_instance "y1") in
+  let _ = TS.to_relation a1.Qpo.stream in
+  check_bool "generalization step present" true
+    (List.exists (function Plan.Generalized _ -> true | _ -> false) a1.Qpo.plan);
+  let before = requests q in
+  (* further instances come from the generalized element *)
+  let a2 = Qpo.answer_conj q (d2_instance "y7") in
+  let _ = TS.to_relation a2.Qpo.stream in
+  check_int "no more remote requests" before (requests q);
+  check_int "one generalization" 1 (Qpo.metrics q).Qpo.generalizations
+
+let test_generalization_disabled_without_advice () =
+  let q = make_qpo ~config:Qpo.no_advice_config () in
+  Qpo.set_advice q advice_for_d2;
+  let a1 = Qpo.answer_conj q (d2_instance "y1") in
+  let _ = TS.to_relation a1.Qpo.stream in
+  check_int "no generalization" 0 (Qpo.metrics q).Qpo.generalizations
+
+let test_prefetch () =
+  let d1_def = A.conj [ v "Y" ] [ atom "b1" [ s "c1"; v "Y" ] ] in
+  let advice =
+    {
+      Adv.specs =
+        [
+          Adv.spec ~id:"d1" ~bindings:[ Adv.Producer ] d1_def;
+          Adv.spec ~id:"d2" ~bindings:[ Adv.Producer; Adv.Consumer ] d2_def;
+        ];
+      path =
+        Some
+          (Adv.Seq
+             ( [
+                 Adv.Pattern ("d1", [ v "Y" ]);
+                 Adv.Seq
+                   ( [ Adv.Pattern ("d2", [ v "X"; v "Y" ]) ],
+                     { Adv.lo = 0; hi = Adv.Cardinality "Y" } );
+               ],
+               { Adv.lo = 1; hi = Adv.Fin 1 } ));
+    }
+  in
+  let q = make_qpo ~config:Qpo.braid_config () in
+  Qpo.set_advice q advice;
+  let a1 = Qpo.answer_conj q d1_def in
+  let _ = TS.to_relation a1.Qpo.stream in
+  (* d2 was predicted next and should have been prefetched *)
+  check_bool "prefetch step" true
+    (List.exists (function Plan.Prefetch { spec = "d2"; _ } -> true | _ -> false) a1.Qpo.plan);
+  let before = requests q in
+  let a2 = Qpo.answer_conj q (d2_instance "y1") in
+  let _ = TS.to_relation a2.Qpo.stream in
+  check_int "d2 instance served from prefetched element" before (requests q)
+
+let test_index_built_from_annotations () =
+  let q = make_qpo ~config:Qpo.braid_config () in
+  Qpo.set_advice q advice_for_d2;
+  let a1 = Qpo.answer_conj q (d2_instance "y1") in
+  let _ = TS.to_relation a1.Qpo.stream in
+  check_bool "index built on consumer column" true
+    (List.exists (function Plan.Index_built _ -> true | _ -> false) a1.Qpo.plan)
+
+let test_lazy_answer_from_cache () =
+  let q = make_qpo ~config:Qpo.braid_config () in
+  (* prime the cache *)
+  let a0 = Qpo.answer_conj q d2_def in
+  let _ = TS.to_relation a0.Qpo.stream in
+  let a1 = Qpo.answer_conj q ~prefer_lazy:true (d2_instance "y1") in
+  check_bool "lazy step" true
+    (List.exists (function Plan.Lazy_answer -> true | _ -> false) a1.Qpo.plan);
+  check_int "lazy counted" 1 (Qpo.metrics q).Qpo.lazy_answers;
+  (* remote-needing queries are never lazy *)
+  let q2 = make_qpo ~config:Qpo.braid_config () in
+  let a2 = Qpo.answer_conj q2 ~prefer_lazy:true (d2_instance "y1") in
+  check_bool "no lazy on miss" false
+    (List.exists (function Plan.Lazy_answer -> true | _ -> false) a2.Qpo.plan)
+
+let test_answer_query_union_agg () =
+  let q = make_qpo () in
+  let union =
+    A.Union
+      [
+        A.Conj (A.conj [ v "Y" ] [ atom "b1" [ s "c1"; v "Y" ] ]);
+        A.Conj (A.conj [ v "Y" ] [ atom "b3" [ v "X"; s "c2"; v "Y" ] ]);
+      ]
+  in
+  let r, _ = Qpo.answer_query q union in
+  check_bool "union nonempty" true (R.Relation.cardinality r > 0);
+  check_int "union distinct" (R.Relation.cardinality (R.Relation.distinct r))
+    (R.Relation.cardinality r);
+  let agg =
+    A.Agg
+      {
+        A.keys = [];
+        specs = [ R.Aggregate.Count ];
+        source = A.Conj (A.conj [ v "Y" ] [ atom "b1" [ s "c1"; v "Y" ] ]);
+      }
+  in
+  let r2, _ = Qpo.answer_query q agg in
+  check_int "one count row" 1 (R.Relation.cardinality r2)
+
+let test_unknown_relation () =
+  let q = make_qpo () in
+  check_bool "unknown raises" true
+    (try
+       ignore (Qpo.answer_conj q (A.conj [ v "X" ] [ atom "ghost" [ v "X" ] ]));
+       false
+     with Qpo.Unknown_relation _ -> true)
+
+let test_metrics_reset () =
+  let q = make_qpo () in
+  let a = Qpo.answer_conj q (d2_instance "y1") in
+  let _ = TS.to_relation a.Qpo.stream in
+  check_bool "queries counted" true ((Qpo.metrics q).Qpo.queries > 0);
+  Qpo.reset_metrics q;
+  check_int "reset" 0 (Qpo.metrics q).Qpo.queries
+
+let test_parallel_overlap_reduces_elapsed () =
+  (* identical work with and without overlap: elapsed must not increase *)
+  let run parallel =
+    let config = { Qpo.no_advice_config with Qpo.allow_parallel = parallel } in
+    let q = make_qpo ~config () in
+    let a0 = Qpo.answer_conj q (A.conj [ v "X"; v "Z" ] [ atom "b2" [ v "X"; v "Z" ] ]) in
+    let _ = TS.to_relation a0.Qpo.stream in
+    let a1 = Qpo.answer_conj q (d2_instance "y1") in
+    let _ = TS.to_relation a1.Qpo.stream in
+    (Qpo.metrics q).Qpo.elapsed_ms
+  in
+  check_bool "overlap helps" true (run true <= run false)
+
+let suites : unit Alcotest.test list =
+  [
+    ( "planner",
+      [
+        Alcotest.test_case "loose coupling always remote" `Quick test_loose_always_remote;
+        Alcotest.test_case "exact-match hit and miss" `Quick test_exact_match_hit;
+        Alcotest.test_case "subsumption covers instances" `Quick
+          test_subsumption_generalizes_reuse;
+        Alcotest.test_case "subsumption partial cover" `Quick test_subsumption_partial_cover;
+        Alcotest.test_case "ship vs per-atom cost" `Quick test_ship_vs_per_atom_cost;
+        Alcotest.test_case "cost estimates sane" `Quick test_cost_estimates_sane;
+        Alcotest.test_case "generalization" `Quick test_generalization;
+        Alcotest.test_case "generalization off without advice" `Quick
+          test_generalization_disabled_without_advice;
+        Alcotest.test_case "prefetch" `Quick test_prefetch;
+        Alcotest.test_case "advice-driven indexing" `Quick test_index_built_from_annotations;
+        Alcotest.test_case "lazy answer from cache" `Quick test_lazy_answer_from_cache;
+        Alcotest.test_case "union and aggregation" `Quick test_answer_query_union_agg;
+        Alcotest.test_case "unknown relation" `Quick test_unknown_relation;
+        Alcotest.test_case "metrics reset" `Quick test_metrics_reset;
+        Alcotest.test_case "parallel overlap" `Quick test_parallel_overlap_reduces_elapsed;
+      ] );
+  ]
+
+(* --- the fixpoint operator through the CMS --- *)
+
+let test_fixpoint_via_cms () =
+  let q = make_qpo () in
+  let base = A.Conj (A.conj [ v "X"; v "Z" ] [ atom "b2" [ v "X"; v "Z" ] ]) in
+  let step =
+    A.Conj
+      (A.conj [ v "X"; v "W" ] [ atom "reach" [ v "X"; v "Z" ]; atom "b2" [ v "Z"; v "W" ] ])
+  in
+  let r, _plan = Qpo.answer_query q (A.Fixpoint { A.name = "reach"; base; step }) in
+  let direct, _ = Qpo.answer_query q base in
+  check_bool "closure at least the base" true
+    (R.Relation.cardinality r >= R.Relation.cardinality (R.Relation.distinct direct));
+  (* base tuples are contained *)
+  R.Relation.iter
+    (fun t -> check_bool "base tuple in closure" true (R.Relation.mem r t))
+    (R.Relation.distinct direct)
+
+let fixpoint_cases =
+  [ Alcotest.test_case "fixpoint via the CMS" `Quick test_fixpoint_via_cms ]
+
+let suites = match suites with
+  | [ (name, cases) ] -> [ (name, cases @ fixpoint_cases) ]
+  | other -> other
+
+(* --- the paper's §5.3.3 overlap example (E101/E102 vs E103) --- *)
+
+let test_prefer_join_view_over_two_relations () =
+  let q = make_qpo ~config:Qpo.no_advice_config () in
+  (* cache three elements as in the paper: single relations b2, b3 and the
+     join view over both *)
+  let e_b2 = A.conj [ v "X"; v "Y" ] [ atom "b2" [ v "X"; v "Y" ] ] in
+  let e_b3 = A.conj [ v "X"; v "Y"; v "Z" ] [ atom "b3" [ v "X"; v "Y"; v "Z" ] ] in
+  (* the join view first (so it is fetched remotely and cached), then the
+     single relations *)
+  List.iter
+    (fun def -> ignore (TS.to_relation (Qpo.answer_conj q def).Qpo.stream))
+    [ d2_def; e_b2; e_b3 ];
+  (* the instance query overlaps all three; the QPO must pick the join view
+     (one element covering both atoms), as the paper argues for E103 *)
+  let a = Qpo.answer_conj q (d2_instance "y1") in
+  let _ = TS.to_relation a.Qpo.stream in
+  let used =
+    List.filter_map
+      (function Plan.Use_element { element; covered_atoms } -> Some (element, covered_atoms) | _ -> None)
+      a.Qpo.plan
+  in
+  (match used with
+   | [ (_, covered) ] -> check_int "single element covers both atoms" 2 (List.length covered)
+   | _ -> Alcotest.failf "expected exactly one covering element, got %d" (List.length used));
+  check_bool "fully from cache" true (Plan.fully_from_cache a.Qpo.plan)
+
+(* --- queries the remote DML cannot evaluate --- *)
+
+let test_arithmetic_falls_back_to_local () =
+  (* an arithmetic comparison cannot be shipped to the remote DML; every
+     configuration must fetch the relation and evaluate it locally *)
+  let arith_q =
+    A.conj
+      ~cmps:
+        [
+          ( Braid_relalg.Row_pred.Ge,
+            L.Literal.Mul (L.Literal.Term (v "Q"), L.Literal.Term (T.Const (V.Int 2))),
+            L.Literal.Term (T.Const (V.Int 400)) );
+        ]
+      [ v "S"; v "P"; v "Q" ]
+      [ atom "supplies" [ v "S"; v "P"; v "Q" ] ]
+  in
+  let reference = ref (-1) in
+  List.iter
+    (fun config ->
+      let server = Server.create () in
+      List.iter
+        (Braid_remote.Engine.load (Server.engine server))
+        (Braid_workload.Datagen.supplier_parts ~suppliers:5 ~parts:10 ~shipments:80 ());
+      let q = Qpo.create config ~cache:(CMgr.create ~capacity_bytes:(1 lsl 20)) ~server in
+      let a = Qpo.answer_conj q arith_q in
+      let r = TS.to_relation a.Qpo.stream in
+      check_bool "some rows pass Q*2 >= 400" true (R.Relation.cardinality r > 0);
+      check_bool "not all rows pass" true (R.Relation.cardinality r < 80);
+      R.Relation.iter
+        (fun t ->
+          match R.Tuple.get t 2 with
+          | V.Int qv -> check_bool "filter applied" true (qv * 2 >= 400)
+          | _ -> Alcotest.fail "expected int qty")
+        r;
+      if !reference < 0 then reference := R.Relation.cardinality r
+      else check_int "all configs agree" !reference (R.Relation.cardinality r))
+    [ Qpo.loose_coupling_config; Qpo.bermuda_config; Qpo.braid_config ]
+
+let test_generator_element_reused () =
+  let q = make_qpo ~config:Qpo.braid_config () in
+  (* prime so the instance is answerable from cache, then ask lazily *)
+  let _ = TS.to_relation (Qpo.answer_conj q d2_def).Qpo.stream in
+  let lazy_a = Qpo.answer_conj q ~prefer_lazy:true (d2_instance "y1") in
+  check_bool "lazy answer" true
+    (List.exists (function Plan.Lazy_answer -> true | _ -> false) lazy_a.Qpo.plan);
+  (* pull only one tuple, leaving a partially-evaluated generator element *)
+  let cursor = TS.cursor lazy_a.Qpo.stream in
+  ignore (TS.next cursor);
+  (* the same query again: the generator element must serve it (forced as
+     needed), with answers equal to a fresh eager evaluation *)
+  let again = Qpo.answer_conj q (d2_instance "y1") in
+  let r_again = TS.to_relation again.Qpo.stream in
+  let fresh = make_qpo ~config:Qpo.loose_coupling_config () in
+  let r_ref = TS.to_relation (Qpo.answer_conj fresh (d2_instance "y1")).Qpo.stream in
+  let norm rel =
+    List.sort_uniq compare (List.map R.Tuple.to_list (R.Relation.to_list rel))
+  in
+  check_bool "generator-backed answers correct" true (norm r_again = norm r_ref)
+
+let test_single_relation_mode_reuses_selections () =
+  let q = make_qpo ~config:Qpo.ceri_config () in
+  let one = A.conj [ v "Y" ] [ atom "b1" [ s "c1"; v "Y" ] ] in
+  let _ = TS.to_relation (Qpo.answer_conj q one).Qpo.stream in
+  let before = requests q in
+  (* the same single-relation selection: reused *)
+  let _ = TS.to_relation (Qpo.answer_conj q one).Qpo.stream in
+  check_int "selection cached per atom" before (requests q);
+  (* a join query whose atoms include that selection reuses the element *)
+  let join =
+    A.conj [ v "Y"; v "Z" ] [ atom "b1" [ s "c1"; v "Y" ]; atom "b2" [ v "Y"; v "Z" ] ]
+  in
+  let a = Qpo.answer_conj q join in
+  let _ = TS.to_relation a.Qpo.stream in
+  check_bool "per-atom reuse inside a join" true
+    (List.exists (function Plan.Use_element _ -> true | _ -> false) a.Qpo.plan)
+
+let deeper_cases =
+  [
+    Alcotest.test_case "§5.3.3: join view preferred over two relations" `Quick
+      test_prefer_join_view_over_two_relations;
+    Alcotest.test_case "arithmetic comparisons evaluated locally" `Quick
+      test_arithmetic_falls_back_to_local;
+    Alcotest.test_case "partially-pulled generator element reused" `Quick
+      test_generator_element_reused;
+    Alcotest.test_case "single-relation mode reuse" `Quick
+      test_single_relation_mode_reuses_selections;
+  ]
+
+let suites = match suites with
+  | [ (name, cases) ] -> [ (name, cases @ deeper_cases) ]
+  | other -> other
+
+(* --- session tracing --- *)
+
+let test_trace () =
+  let q = make_qpo () in
+  check_bool "trace off by default" true (Qpo.trace q = []);
+  Qpo.set_trace q true;
+  let _ = TS.to_relation (Qpo.answer_conj q (d2_instance "y1")).Qpo.stream in
+  let _ = TS.to_relation (Qpo.answer_conj q (d2_instance "y2")).Qpo.stream in
+  let entries = Qpo.trace q in
+  check_int "two entries" 2 (List.length entries);
+  let q1, p1 = List.hd entries in
+  check_bool "query recorded" true (A.variant_equal q1 (d2_instance "y1"));
+  check_bool "plan recorded" true (p1 <> []);
+  Qpo.set_trace q false;
+  check_bool "disabled clears" true (Qpo.trace q = [])
+
+let suites = match suites with
+  | [ (name, cases) ] ->
+    [ (name, cases @ [ Alcotest.test_case "session trace" `Quick test_trace ]) ]
+  | other -> other

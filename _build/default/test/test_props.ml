@@ -1,0 +1,447 @@
+(* Property-based tests (qcheck) on the core data structures and
+   invariants: unification, ranges, relational algebra laws, streams,
+   lazy-vs-eager evaluation, subsumption soundness, path tracking. *)
+
+module L = Braid_logic
+module T = L.Term
+module R = Braid_relalg
+module V = R.Value
+module RP = R.Row_pred
+module A = Braid_caql.Ast
+module TS = Braid_stream.Tuple_stream
+module Sub = Braid_subsume.Subsumption
+module Range = Braid_subsume.Range
+module Adv = Braid_advice.Ast
+module Tracker = Braid_advice.Tracker
+
+let ( >|= ) = QCheck.Gen.( >|= )
+let ( >>= ) = QCheck.Gen.( >>= )
+
+(* --- generators --- *)
+
+let gen_value : V.t QCheck.Gen.t =
+  QCheck.Gen.oneof
+    [
+      (QCheck.Gen.int_range (-20) 20 >|= fun n -> V.Int n);
+      (QCheck.Gen.oneofl [ "a"; "b"; "c"; "d" ] >|= fun s -> V.Str s);
+    ]
+
+let gen_var = QCheck.Gen.oneofl [ "X"; "Y"; "Z"; "U"; "W" ]
+
+let gen_term : T.t QCheck.Gen.t =
+  QCheck.Gen.oneof
+    [ (gen_var >|= fun x -> T.Var x); (gen_value >|= fun v -> T.Const v) ]
+
+let gen_atom pred arity : L.Atom.t QCheck.Gen.t =
+  QCheck.Gen.list_repeat arity gen_term >|= L.Atom.make pred
+
+let arb_of gen print = QCheck.make ~print gen
+
+(* --- unification properties --- *)
+
+let prop_unify_is_unifier =
+  QCheck.Test.make ~count:500 ~name:"unifier really unifies"
+    (arb_of
+       (QCheck.Gen.pair (gen_atom "p" 3) (gen_atom "p" 3))
+       (fun (a, b) -> L.Atom.to_string a ^ " ~ " ^ L.Atom.to_string b))
+    (fun (a, b) ->
+      match L.Unify.atoms L.Subst.empty a b with
+      | None -> QCheck.assume_fail ()
+      | Some s -> L.Atom.equal (L.Subst.apply_atom s a) (L.Subst.apply_atom s b))
+
+let prop_match_produces_instance =
+  QCheck.Test.make ~count:500 ~name:"one-way match maps general onto specific"
+    (arb_of
+       (QCheck.Gen.pair (gen_atom "p" 3) (gen_atom "p" 3))
+       (fun (a, b) -> L.Atom.to_string a ^ " >= " ^ L.Atom.to_string b))
+    (fun (general, specific) ->
+      (* match_atoms requires the two sides to be standardized apart *)
+      let specific = L.Atom.rename (fun x -> x ^ "_s") specific in
+      match L.Unify.match_atoms L.Subst.empty ~general ~specific with
+      | None -> QCheck.assume_fail ()
+      | Some s -> L.Atom.equal (L.Subst.apply_atom s general) specific)
+
+let prop_variant_reflexive =
+  QCheck.Test.make ~count:200 ~name:"variant is reflexive"
+    (arb_of (gen_atom "p" 3) L.Atom.to_string)
+    (fun a -> L.Unify.variant a a)
+
+(* --- range properties --- *)
+
+let gen_cmp_op = QCheck.Gen.oneofl [ RP.Eq; RP.Ne; RP.Lt; RP.Le; RP.Gt; RP.Ge ]
+
+let gen_int_cmp : (RP.cmp * int) QCheck.Gen.t = QCheck.Gen.pair gen_cmp_op (QCheck.Gen.int_range (-10) 10)
+
+let satisfies x (op, c) = RP.cmp_holds op (V.Int x) (V.Int c)
+
+let prop_range_implication_sound =
+  QCheck.Test.make ~count:1000 ~name:"range implication is sound"
+    (arb_of
+       (QCheck.Gen.pair (QCheck.Gen.list_size (QCheck.Gen.int_range 0 4) gen_int_cmp) gen_int_cmp)
+       (fun _ -> "cmps"))
+    (fun (constraints, (op, c)) ->
+      let r =
+        List.fold_left (fun r (o, k) -> Range.add r o (V.Int k)) Range.unconstrained constraints
+      in
+      if not (Range.implies r op (V.Int c)) then true
+      else
+        (* every integer satisfying all constraints must satisfy (op, c) *)
+        List.for_all
+          (fun x ->
+            if List.for_all (satisfies x) constraints then satisfies x (op, c) else true)
+          (List.init 41 (fun i -> i - 20)))
+
+(* --- relational algebra laws --- *)
+
+let schema2 = R.Schema.make [ ("x", V.Tint); ("y", V.Tint) ]
+
+let gen_relation : R.Relation.t QCheck.Gen.t =
+  QCheck.Gen.list_size (QCheck.Gen.int_range 0 20)
+    (QCheck.Gen.pair (QCheck.Gen.int_range 0 5) (QCheck.Gen.int_range 0 5))
+  >|= fun pairs ->
+  R.Relation.of_tuples ~name:"r" schema2
+    (List.map (fun (a, b) -> [| V.Int a; V.Int b |]) pairs)
+
+let arb_rel = arb_of gen_relation (fun r -> Format.asprintf "%a" R.Relation.pp r)
+let arb_rel2 = arb_of (QCheck.Gen.pair gen_relation gen_relation) (fun _ -> "rels")
+
+let norm rel = List.sort compare (List.map R.Tuple.to_list (R.Relation.to_list rel))
+
+let prop_distinct_idempotent =
+  QCheck.Test.make ~count:300 ~name:"distinct is idempotent" arb_rel (fun r ->
+      norm (R.Relation.distinct (R.Relation.distinct r)) = norm (R.Relation.distinct r))
+
+let prop_union_commutes =
+  QCheck.Test.make ~count:300 ~name:"set union commutes" arb_rel2 (fun (a, b) ->
+      norm (R.Ops.union a b) = norm (R.Ops.union b a))
+
+let prop_diff_disjoint =
+  QCheck.Test.make ~count:300 ~name:"A - B is disjoint from B" arb_rel2 (fun (a, b) ->
+      R.Relation.cardinality (R.Ops.inter (R.Ops.diff a b) b) = 0)
+
+let prop_inter_subset =
+  QCheck.Test.make ~count:300 ~name:"A ∩ B ⊆ A" arb_rel2 (fun (a, b) ->
+      R.Relation.fold (fun ok t -> ok && R.Relation.mem a t) true (R.Ops.inter a b))
+
+let prop_hash_join_equals_nested =
+  QCheck.Test.make ~count:300 ~name:"hash join = nested loop join" arb_rel2 (fun (a, b) ->
+      let h = R.Ops.hash_join ~left_cols:[ 1 ] ~right_cols:[ 0 ] a b in
+      let n = R.Ops.nested_join (RP.Cmp (RP.Eq, Col 1, Col 2)) a b in
+      norm h = norm n)
+
+let prop_select_conj_commutes =
+  QCheck.Test.make ~count:300 ~name:"cascaded selections commute" arb_rel (fun r ->
+      let p1 = RP.Cmp (RP.Ge, RP.Col 0, RP.Lit (V.Int 2)) in
+      let p2 = RP.Cmp (RP.Le, RP.Col 1, RP.Lit (V.Int 4)) in
+      norm (R.Ops.select p1 (R.Ops.select p2 r)) = norm (R.Ops.select p2 (R.Ops.select p1 r)))
+
+let prop_index_complete =
+  QCheck.Test.make ~count:300 ~name:"index lookup finds exactly the matching tuples" arb_rel
+    (fun r ->
+      let ix = R.Index.build r [ 0 ] in
+      List.for_all
+        (fun k ->
+          let via_index = List.sort compare (List.map R.Tuple.to_list (R.Index.lookup ix [ V.Int k ])) in
+          let via_scan =
+            norm (R.Ops.select (RP.Cmp (RP.Eq, Col 0, Lit (V.Int k))) r)
+          in
+          via_index = via_scan)
+        [ 0; 1; 2; 3; 4; 5; 99 ])
+
+let prop_merge_join_equals_hash =
+  QCheck.Test.make ~count:300 ~name:"merge join = hash join on sorted inputs" arb_rel2
+    (fun (a, b) ->
+      let a = R.Ops.order_by [ 1 ] a and b = R.Ops.order_by [ 0 ] b in
+      let m = R.Ops.merge_join ~left_cols:[ 1 ] ~right_cols:[ 0 ] a b in
+      let h = R.Ops.hash_join ~left_cols:[ 1 ] ~right_cols:[ 0 ] a b in
+      norm m = norm h)
+
+(* --- streams --- *)
+
+let prop_stream_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"stream roundtrip preserves tuples" arb_rel (fun r ->
+      norm (TS.to_relation (TS.of_relation r)) = norm r)
+
+let prop_stream_take_prefix =
+  QCheck.Test.make ~count:300 ~name:"take yields a prefix" arb_rel (fun r ->
+      let l = List.map R.Tuple.to_list (R.Relation.to_list r) in
+      let t = List.map R.Tuple.to_list (TS.to_list (TS.take 3 (TS.of_relation r))) in
+      let rec is_prefix p l =
+        match p, l with
+        | [], _ -> true
+        | x :: p', y :: l' -> x = y && is_prefix p' l'
+        | _ :: _, [] -> false
+      in
+      is_prefix t l && List.length t = min 3 (List.length l))
+
+let prop_stream_buffered_same =
+  QCheck.Test.make ~count:300 ~name:"buffering does not change contents" arb_rel (fun r ->
+      List.map R.Tuple.to_list (TS.to_list (TS.buffered 4 (TS.of_relation r)))
+      = List.map R.Tuple.to_list (R.Relation.to_list r))
+
+(* --- lazy vs eager CAQL evaluation --- *)
+
+let gen_conj_query : A.conj QCheck.Gen.t =
+  (* q(X, Z) :- r(X, Y) & r(Y, Z) [& optional comparison] with random
+     constants substituted *)
+  let base = A.conj [ T.Var "X"; T.Var "Z" ] [ L.Atom.make "r" [ T.Var "X"; T.Var "Y" ]; L.Atom.make "r" [ T.Var "Y"; T.Var "Z" ] ] in
+  QCheck.Gen.int_range 0 6 >>= fun c ->
+  QCheck.Gen.oneofl
+    [
+      base;
+      A.apply_subst (L.Subst.bind "X" (T.Const (V.Int c)) L.Subst.empty) base;
+      A.apply_subst (L.Subst.bind "Z" (T.Const (V.Int c)) L.Subst.empty) base;
+      {
+        base with
+        A.cmps = [ (RP.Le, L.Literal.Term (T.Var "X"), L.Literal.Term (T.Const (V.Int c))) ];
+      };
+    ]
+
+let prop_lazy_equals_eager =
+  QCheck.Test.make ~count:300 ~name:"lazy conj evaluation = eager"
+    (arb_of (QCheck.Gen.pair gen_relation gen_conj_query) (fun (_, q) -> A.conj_to_string q))
+    (fun (r, q) ->
+      let source _ = r in
+      let schema_of _ = Some schema2 in
+      let eager = Braid_caql.Eval.conj ~source ~schema_of q in
+      let lazy_ =
+        Braid_caql.Eval.lazy_conj ~source:(fun _ -> TS.of_relation r) ~schema_of q
+      in
+      norm eager = norm (TS.to_relation lazy_))
+
+(* --- subsumption soundness --- *)
+
+let prop_subsumption_sound =
+  (* an element built as the generalization of a query must fully cover it,
+     and the rewrite must evaluate to the same answers *)
+  QCheck.Test.make ~count:300 ~name:"cover rewrite preserves answers"
+    (arb_of (QCheck.Gen.pair gen_relation gen_conj_query) (fun (_, q) -> A.conj_to_string q))
+    (fun (r, q) ->
+      let general =
+        A.conj
+          [ T.Var "X"; T.Var "Y"; T.Var "Z" ]
+          [ L.Atom.make "r" [ T.Var "X"; T.Var "Y" ]; L.Atom.make "r" [ T.Var "Y"; T.Var "Z" ] ]
+      in
+      let e = { Sub.id = "elem"; def = general } in
+      match Sub.full_cover e q with
+      | None -> QCheck.assume_fail ()
+      | Some cover ->
+        let source _ = r in
+        let schema_of _ = Some schema2 in
+        let stored = Braid_caql.Eval.conj ~source ~schema_of general in
+        let direct = Braid_caql.Eval.conj ~source ~schema_of q in
+        let rewritten = Sub.rewrite q cover in
+        let source' (a : L.Atom.t) = if a.L.Atom.pred = "elem" then stored else r in
+        let schema_of' n =
+          if n = "elem" then Some (R.Relation.schema stored) else Some schema2
+        in
+        let via = Braid_caql.Eval.conj ~source:source' ~schema_of:schema_of' rewritten in
+        List.sort_uniq compare (List.map R.Tuple.to_list (R.Relation.to_list via))
+        = List.sort_uniq compare (List.map R.Tuple.to_list (R.Relation.to_list direct)))
+
+let prop_instance_always_covered =
+  (* completeness on instances: a query built by instantiating a view
+     definition's head variables is always fully covered by that view *)
+  QCheck.Test.make ~count:300 ~name:"instances are always covered"
+    (arb_of
+       (QCheck.Gen.pair (QCheck.Gen.int_range 0 6) (QCheck.Gen.int_range 0 6))
+       (fun _ -> "consts"))
+    (fun (a, b) ->
+      let def =
+        A.conj
+          [ T.Var "X"; T.Var "Z" ]
+          [ L.Atom.make "r" [ T.Var "X"; T.Var "Y" ]; L.Atom.make "r" [ T.Var "Y"; T.Var "Z" ] ]
+      in
+      let subst =
+        L.Subst.empty
+        |> L.Subst.bind "X" (T.Const (V.Int a))
+        |> L.Subst.bind "Z" (T.Const (V.Int b))
+      in
+      let q = A.apply_subst subst def in
+      Sub.full_cover { Sub.id = "e"; def } q <> None)
+
+(* --- path expression tracking --- *)
+
+let rec gen_path depth : Adv.path QCheck.Gen.t =
+  let pattern = QCheck.Gen.oneofl [ "a"; "b"; "c"; "d" ] >|= fun id -> Adv.Pattern (id, []) in
+  if depth = 0 then pattern
+  else
+    QCheck.Gen.frequency
+      [
+        (2, pattern);
+        ( 2,
+          QCheck.Gen.list_size (QCheck.Gen.int_range 1 3) (gen_path (depth - 1))
+          >>= fun ps ->
+          QCheck.Gen.oneofl [ { Adv.lo = 1; hi = Adv.Fin 1 }; { Adv.lo = 0; hi = Adv.Inf } ]
+          >|= fun rep -> Adv.Seq (ps, rep) );
+        ( 1,
+          QCheck.Gen.list_size (QCheck.Gen.int_range 1 3) (gen_path (depth - 1))
+          >|= fun ps -> Adv.Alt (ps, None) );
+      ]
+
+(* Sample one legal query sequence from a path expression. *)
+let rec sample_path prng p =
+  match p with
+  | Adv.Pattern (id, _) -> [ id ]
+  | Adv.Seq (ps, { Adv.lo; hi }) ->
+    let reps =
+      match hi with
+      | Adv.Fin k -> max lo (min k (lo + Braid_workload.Prng.int prng 2))
+      | Adv.Cardinality _ | Adv.Inf -> lo + Braid_workload.Prng.int prng 3
+    in
+    List.concat (List.init reps (fun _ -> List.concat_map (sample_path prng) ps))
+  | Adv.Alt (ps, _) -> sample_path prng (Braid_workload.Prng.pick prng ps)
+
+let prop_tracker_accepts_legal_sequences =
+  QCheck.Test.make ~count:300 ~name:"tracker accepts every legal sequence"
+    (arb_of
+       (QCheck.Gen.pair (gen_path 2) (QCheck.Gen.int_range 0 10_000))
+       (fun (p, _) -> Format.asprintf "%a" Adv.pp_path p))
+    (fun (p, seed) ->
+      let tr = Tracker.start (Tracker.compile p) in
+      let prng = Braid_workload.Prng.create seed in
+      List.for_all (Tracker.advance tr) (sample_path prng p))
+
+(* --- second-order operations --- *)
+
+let prop_division_is_forall =
+  QCheck.Test.make ~count:300 ~name:"division = brute-force for-all" arb_rel2
+    (fun (d, s) ->
+      (* dividend: (x, y) pairs of d; divisor: distinct y of s *)
+      let divisor = R.Relation.distinct (R.Ops.project [ 1 ] s) in
+      let q =
+        Braid_caql.Eval.query
+          ~source:(fun (a : L.Atom.t) -> if a.L.Atom.pred = "d" then d else divisor)
+          ~schema_of:(fun n ->
+            if n = "d" then Some schema2 else Some (R.Relation.schema divisor))
+          (A.Division
+             ( A.Conj (A.conj [ T.Var "X"; T.Var "Y" ] [ L.Atom.make "d" [ T.Var "X"; T.Var "Y" ] ]),
+               A.Conj (A.conj [ T.Var "Y" ] [ L.Atom.make "s" [ T.Var "Y" ] ]) ))
+      in
+      (* brute force: candidates are distinct first columns of d *)
+      let xs =
+        List.sort_uniq compare
+          (List.map (fun t -> R.Tuple.get t 0) (R.Relation.to_list d))
+      in
+      let ys = List.map (fun t -> R.Tuple.get t 0) (R.Relation.to_list divisor) in
+      let expected =
+        List.filter
+          (fun x -> List.for_all (fun y -> R.Relation.mem d [| x; y |]) ys)
+          xs
+      in
+      List.sort compare (List.map (fun t -> R.Tuple.get t 0) (R.Relation.to_list q))
+      = List.sort compare expected)
+
+let prop_count_sums_to_cardinality =
+  QCheck.Test.make ~count:300 ~name:"group counts sum to cardinality" arb_rel (fun r ->
+      let g = R.Aggregate.group_by [ 0 ] [ R.Aggregate.Count ] r in
+      let total =
+        R.Relation.fold
+          (fun acc t -> match R.Tuple.get t 1 with V.Int n -> acc + n | _ -> acc)
+          0 g
+      in
+      total = R.Relation.cardinality r)
+
+let prop_fixpoint_is_closure =
+  QCheck.Test.make ~count:150 ~name:"fixpoint computes reachability" arb_rel (fun edges ->
+      let edges = R.Relation.distinct edges in
+      let source (_ : L.Atom.t) = edges in
+      let schema_of _ = Some schema2 in
+      let q =
+        A.Fixpoint
+          {
+            A.name = "tc";
+            base = A.Conj (A.conj [ T.Var "X"; T.Var "Y" ] [ L.Atom.make "e" [ T.Var "X"; T.Var "Y" ] ]);
+            step =
+              A.Conj
+                (A.conj [ T.Var "X"; T.Var "Z" ]
+                   [ L.Atom.make "tc" [ T.Var "X"; T.Var "Y" ]; L.Atom.make "e" [ T.Var "Y"; T.Var "Z" ] ]);
+          }
+      in
+      let got = norm (Braid_caql.Eval.query ~source ~schema_of q) in
+      (* brute-force closure *)
+      let pairs = List.map (fun t -> (R.Tuple.get t 0, R.Tuple.get t 1)) (R.Relation.to_list edges) in
+      let closure = Hashtbl.create 64 in
+      List.iter (fun p -> Hashtbl.replace closure p ()) pairs;
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        Hashtbl.iter
+          (fun (x, y) () ->
+            List.iter
+              (fun (y', z) ->
+                if y = y' && not (Hashtbl.mem closure (x, z)) then begin
+                  Hashtbl.replace closure (x, z) ();
+                  changed := true
+                end)
+              pairs)
+          (Hashtbl.copy closure)
+      done;
+      let expected =
+        Hashtbl.fold (fun (x, y) () acc -> [ x; y ] :: acc) closure [] |> List.sort compare
+      in
+      got = expected)
+
+let prop_path_pp_parse_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"path expression pp/parse roundtrip"
+    (arb_of (gen_path 2) (fun p -> Format.asprintf "%a" Adv.pp_path p))
+    (fun p ->
+      let printed = Format.asprintf "%a" Adv.pp_path p in
+      let reparsed = Braid_advice.Parser.parse_path printed in
+      Format.asprintf "%a" Adv.pp_path reparsed = printed)
+
+(* --- prng --- *)
+
+let prop_prng_deterministic =
+  QCheck.Test.make ~count:100 ~name:"prng deterministic in seed"
+    (arb_of QCheck.Gen.int string_of_int)
+    (fun seed ->
+      let a = Braid_workload.Prng.create seed and b = Braid_workload.Prng.create seed in
+      List.init 20 (fun _ -> Braid_workload.Prng.int a 1000)
+      = List.init 20 (fun _ -> Braid_workload.Prng.int b 1000))
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~count:100 ~name:"zipf stays in range"
+    (arb_of (QCheck.Gen.pair QCheck.Gen.int (QCheck.Gen.int_range 1 50)) (fun _ -> "zipf"))
+    (fun (seed, n) ->
+      let prng = Braid_workload.Prng.create seed in
+      List.for_all
+        (fun _ ->
+          let k = Braid_workload.Prng.zipf prng ~n ~skew:1.1 in
+          k >= 0 && k < n)
+        (List.init 50 Fun.id))
+
+let to_alcotest = List.map (QCheck_alcotest.to_alcotest ~verbose:false)
+
+let suites : unit Alcotest.test list =
+  [
+    ( "properties",
+      to_alcotest
+        [
+          prop_unify_is_unifier;
+          prop_match_produces_instance;
+          prop_variant_reflexive;
+          prop_range_implication_sound;
+          prop_distinct_idempotent;
+          prop_union_commutes;
+          prop_diff_disjoint;
+          prop_inter_subset;
+          prop_hash_join_equals_nested;
+          prop_merge_join_equals_hash;
+          prop_select_conj_commutes;
+          prop_index_complete;
+          prop_stream_roundtrip;
+          prop_stream_take_prefix;
+          prop_stream_buffered_same;
+          prop_lazy_equals_eager;
+          prop_subsumption_sound;
+          prop_instance_always_covered;
+          prop_tracker_accepts_legal_sequences;
+          prop_division_is_forall;
+          prop_count_sums_to_cardinality;
+          prop_fixpoint_is_closure;
+          prop_path_pp_parse_roundtrip;
+          prop_prng_deterministic;
+          prop_zipf_in_range;
+        ] );
+  ]

@@ -1,0 +1,264 @@
+(* The simulated remote DBMS: SQL executor, catalog statistics, cost
+   accounting, cursors. *)
+
+module R = Braid_relalg
+module V = R.Value
+module Sql = Braid_remote.Sql
+module Engine = Braid_remote.Engine
+module Server = Braid_remote.Server
+module Catalog = Braid_remote.Catalog
+module CM = Braid_remote.Cost_model
+module TS = Braid_stream.Tuple_stream
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let emp_rows =
+  [ ("alice", "sales", 50); ("bob", "sales", 40); ("carol", "eng", 70); ("dave", "eng", 60) ]
+
+let load_server () =
+  let server = Server.create () in
+  let eng = Server.engine server in
+  Engine.load eng
+    (R.Relation.of_tuples ~name:"emp"
+       (R.Schema.make [ ("name", V.Tstr); ("dept", V.Tstr); ("sal", V.Tint) ])
+       (List.map (fun (n, d, s) -> [| V.Str n; V.Str d; V.Int s |]) emp_rows));
+  Engine.load eng
+    (R.Relation.of_tuples ~name:"dept"
+       (R.Schema.make [ ("id", V.Tstr); ("city", V.Tstr) ])
+       [ [| V.Str "sales"; V.Str "nyc" |]; [| V.Str "eng"; V.Str "sf" |] ]);
+  server
+
+let col src attr = Sql.Col { Sql.src; attr }
+
+let test_select_star () =
+  let server = load_server () in
+  let r = Server.exec server (Sql.select_all "emp") in
+  check_int "all rows" 4 (R.Relation.cardinality r)
+
+let test_where_and_projection () =
+  let server = load_server () in
+  let q =
+    {
+      Sql.distinct = false;
+      columns = [ col "e" "name" ];
+      from = [ { Sql.table = "emp"; alias = "e" } ];
+      where = [ (R.Row_pred.Gt, col "e" "sal", Sql.Const (V.Int 45)) ];
+    }
+  in
+  let r = Server.exec server q in
+  check_int "three above 45" 3 (R.Relation.cardinality r);
+  check_int "one column" 1 (R.Schema.arity (R.Relation.schema r))
+
+let test_join () =
+  let server = load_server () in
+  let q =
+    {
+      Sql.distinct = false;
+      columns = [ col "e" "name"; col "d" "city" ];
+      from = [ { Sql.table = "emp"; alias = "e" }; { Sql.table = "dept"; alias = "d" } ];
+      where = [ (R.Row_pred.Eq, col "e" "dept", col "d" "id") ];
+    }
+  in
+  let r = Server.exec server q in
+  check_int "all emps matched" 4 (R.Relation.cardinality r)
+
+let test_self_join () =
+  let server = load_server () in
+  let q =
+    {
+      Sql.distinct = false;
+      columns = [ col "a" "name"; col "b" "name" ];
+      from = [ { Sql.table = "emp"; alias = "a" }; { Sql.table = "emp"; alias = "b" } ];
+      where =
+        [
+          (R.Row_pred.Eq, col "a" "dept", col "b" "dept");
+          (R.Row_pred.Lt, col "a" "name", col "b" "name");
+        ];
+    }
+  in
+  let r = Server.exec server q in
+  (* same-dept unordered pairs: (alice,bob), (carol,dave) *)
+  check_int "pairs" 2 (R.Relation.cardinality r)
+
+let test_distinct () =
+  let server = load_server () in
+  let q =
+    {
+      Sql.distinct = true;
+      columns = [ col "e" "dept" ];
+      from = [ { Sql.table = "emp"; alias = "e" } ];
+      where = [];
+    }
+  in
+  check_int "two departments" 2 (R.Relation.cardinality (Server.exec server q))
+
+let test_errors () =
+  let server = load_server () in
+  check_bool "unknown table" true
+    (try
+       ignore (Server.exec server (Sql.select_all "nope"));
+       false
+     with Invalid_argument _ -> true);
+  let q =
+    {
+      Sql.distinct = false;
+      columns = [ col "e" "nocol" ];
+      from = [ { Sql.table = "emp"; alias = "e" } ];
+      where = [];
+    }
+  in
+  check_bool "unknown column" true
+    (try
+       ignore (Server.exec server q);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sql_printing () =
+  let q =
+    {
+      Sql.distinct = false;
+      columns = [ col "e" "name" ];
+      from = [ { Sql.table = "emp"; alias = "e" } ];
+      where = [ (R.Row_pred.Eq, col "e" "dept", Sql.Const (V.Str "sales")) ];
+    }
+  in
+  Alcotest.(check string)
+    "sql text" "SELECT e.name FROM emp e WHERE e.dept = 'sales'" (Sql.to_string q)
+
+let test_catalog_stats () =
+  let server = load_server () in
+  let cat = Server.catalog server in
+  check_int "emp cardinality" 4 (Catalog.cardinality cat "emp");
+  check_bool "dept column has 2 distinct" true
+    (match Catalog.stats_of cat "emp" with
+     | Some s -> s.Catalog.distinct_per_column.(1) = 2
+     | None -> false);
+  check_bool "selectivity" true (abs_float (Catalog.eq_selectivity cat "emp" 1 -. 0.5) < 1e-9);
+  check_bool "unknown defaults" true (abs_float (Catalog.eq_selectivity cat "zz" 0 -. 0.1) < 1e-9)
+
+let test_accounting () =
+  let server = load_server () in
+  let _ = Server.exec server (Sql.select_all "emp") in
+  let st = Server.stats server in
+  check_int "one request" 1 st.Server.requests;
+  check_int "four returned" 4 st.Server.tuples_returned;
+  check_bool "comm charged" true
+    (st.Server.comm_ms >= (Server.cost_model server).CM.request_overhead_ms);
+  check_bool "log records sql" true (Server.log server = [ "SELECT * FROM emp" ]);
+  Server.reset_stats server;
+  check_int "reset" 0 (Server.stats server).Server.requests
+
+let test_cursor_partial_transfer () =
+  let server = load_server () in
+  let stream = Server.open_cursor server ~block_size:2 (Sql.select_all "emp") in
+  let c = TS.cursor stream in
+  ignore (TS.next c);
+  let st = Server.stats server in
+  check_int "only one block transferred" 2 st.Server.tuples_returned;
+  ignore (TS.next c);
+  ignore (TS.next c);
+  check_int "second block" 4 (Server.stats server).Server.tuples_returned
+
+let test_cost_model () =
+  let m = CM.default in
+  let c1 = CM.remote_query_cost m ~scanned:0 ~returned:0 in
+  let c2 = CM.remote_query_cost m ~scanned:100 ~returned:10 in
+  check_bool "overhead only" true (abs_float (c1 -. m.CM.request_overhead_ms) < 1e-9);
+  check_bool "monotone" true (c2 > c1);
+  check_bool "local only is free" true
+    (CM.remote_query_cost CM.local_only ~scanned:1000 ~returned:1000 = 0.0)
+
+let suites : unit Alcotest.test list =
+  [
+    ( "remote",
+      [
+        Alcotest.test_case "select star" `Quick test_select_star;
+        Alcotest.test_case "where and projection" `Quick test_where_and_projection;
+        Alcotest.test_case "join" `Quick test_join;
+        Alcotest.test_case "self join with aliases" `Quick test_self_join;
+        Alcotest.test_case "distinct" `Quick test_distinct;
+        Alcotest.test_case "error reporting" `Quick test_errors;
+        Alcotest.test_case "sql printing" `Quick test_sql_printing;
+        Alcotest.test_case "catalog statistics" `Quick test_catalog_stats;
+        Alcotest.test_case "request accounting" `Quick test_accounting;
+        Alcotest.test_case "cursor transfers per block" `Quick test_cursor_partial_transfer;
+        Alcotest.test_case "cost model" `Quick test_cost_model;
+      ] );
+  ]
+
+(* --- cursor abandonment and pushdown --- *)
+
+let test_cursor_abandonment_saves_transfer () =
+  let server = load_server () in
+  let stream = Server.open_cursor server ~block_size:1 (Sql.select_all "emp") in
+  let c = TS.cursor stream in
+  ignore (TS.next c);
+  (* abandoning after one tuple: only one block transferred *)
+  let st = Server.stats server in
+  check_int "one tuple transferred" 1 st.Server.tuples_returned;
+  check_bool "but scanned fully server-side" true (st.Server.tuples_scanned >= 4)
+
+let test_condition_classes () =
+  let server = load_server () in
+  (* constant condition pushed into the source + join + post-join filter *)
+  let q =
+    {
+      Sql.distinct = false;
+      columns = [ col "e" "name" ];
+      from = [ { Sql.table = "emp"; alias = "e" }; { Sql.table = "dept"; alias = "d" } ];
+      where =
+        [
+          (R.Row_pred.Eq, col "e" "dept", col "d" "id");
+          (R.Row_pred.Eq, col "d" "city", Sql.Const (V.Str "sf"));
+          (R.Row_pred.Gt, col "e" "sal", Sql.Const (V.Int 65));
+        ];
+    }
+  in
+  let r = Server.exec server q in
+  (* sf = eng; eng with sal > 65 = carol *)
+  check_int "one row" 1 (R.Relation.cardinality r);
+  check_bool "it is carol" true
+    (V.equal (R.Tuple.get (R.Relation.get r 0) 0) (V.Str "carol"))
+
+let test_product_when_no_join_condition () =
+  let server = load_server () in
+  let q =
+    {
+      Sql.distinct = false;
+      columns = [];
+      from = [ { Sql.table = "emp"; alias = "e" }; { Sql.table = "dept"; alias = "d" } ];
+      where = [];
+    }
+  in
+  check_int "cartesian product" 8 (R.Relation.cardinality (Server.exec server q))
+
+let test_unresolvable_condition_rejected () =
+  let server = load_server () in
+  let q =
+    {
+      Sql.distinct = false;
+      columns = [];
+      from = [ { Sql.table = "emp"; alias = "e" } ];
+      where = [ (R.Row_pred.Eq, col "zz" "col", Sql.Const (V.Int 1)) ];
+    }
+  in
+  check_bool "unknown alias rejected" true
+    (try
+       ignore (Server.exec server q);
+       false
+     with Invalid_argument _ -> true)
+
+let extra_cases =
+  [
+    Alcotest.test_case "cursor abandonment saves transfer" `Quick
+      test_cursor_abandonment_saves_transfer;
+    Alcotest.test_case "condition classes" `Quick test_condition_classes;
+    Alcotest.test_case "product without join condition" `Quick
+      test_product_when_no_join_condition;
+    Alcotest.test_case "unresolvable condition" `Quick test_unresolvable_condition_rejected;
+  ]
+
+let suites = match suites with
+  | [ (name, cases) ] -> [ (name, cases @ extra_cases) ]
+  | other -> other

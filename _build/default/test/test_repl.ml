@@ -1,0 +1,143 @@
+(* The interactive session engine (drives Braid.Repl.exec_line directly). *)
+
+let check_bool = Alcotest.(check bool)
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let feed session lines = List.map (Braid.Repl.exec_line session) lines
+
+let family_session () =
+  let s = Braid.Repl.create () in
+  let _ =
+    feed s
+      [
+        "parent(tom, bob).";
+        "parent(bob, carol).";
+        "parent(bob, dave).";
+        "anc(X, Y) :- parent(X, Y).";
+        "anc(X, Y) :- parent(X, Z) & anc(Z, Y).";
+      ]
+  in
+  s
+
+let test_facts_and_rules () =
+  let s = Braid.Repl.create () in
+  check_bool "new relation" true
+    (contains "new base relation parent/2" (Braid.Repl.exec_line s "parent(tom, bob)."));
+  check_bool "second tuple" true
+    (contains "2 tuples" (Braid.Repl.exec_line s "parent(tom, ann)."));
+  check_bool "rule added" true
+    (contains "rule added" (Braid.Repl.exec_line s "anc(X, Y) :- parent(X, Y)."))
+
+let test_query () =
+  let s = family_session () in
+  let out = Braid.Repl.exec_line s "?- anc(tom, Y)." in
+  check_bool "three descendants" true (contains "3 solutions" out);
+  check_bool "finds carol" true (contains "carol" out)
+
+let test_live_fact_insertion () =
+  let s = family_session () in
+  let _ = Braid.Repl.exec_line s "?- anc(tom, Y)." in
+  (* the system is built; a new fact must invalidate the cache *)
+  let _ = Braid.Repl.exec_line s "parent(carol, emil)." in
+  let out = Braid.Repl.exec_line s "?- anc(tom, Y)." in
+  check_bool "sees the new descendant" true (contains "4 solutions" out)
+
+let test_explain () =
+  let s = family_session () in
+  let out = Braid.Repl.exec_line s ":explain anc(tom, carol)" in
+  check_bool "mentions a rule" true (contains "[rule" out);
+  check_bool "mentions a database fact" true (contains "[database]" out)
+
+let test_caql_and_plan () =
+  let s = family_session () in
+  let out = Braid.Repl.exec_line s ":caql gp(X, Y) :- parent(X, Z) & parent(Z, Y)." in
+  check_bool "grandparents found" true (contains "2 solutions" out);
+  check_bool "plan shown" true (contains "plan:" out)
+
+let test_inspection_commands () =
+  let s = family_session () in
+  check_bool "no session yet" true (contains "no session" (Braid.Repl.exec_line s ":cache"));
+  let _ = Braid.Repl.exec_line s "?- anc(tom, Y)." in
+  check_bool "cache listing" true (contains "elements" (Braid.Repl.exec_line s ":cache"));
+  check_bool "metrics" true (contains "remote:" (Braid.Repl.exec_line s ":metrics"));
+  check_bool "advice" true (contains "path:" (Braid.Repl.exec_line s ":advice"));
+  check_bool "rules listing" true (contains "anc(X, Y)" (Braid.Repl.exec_line s ":rules"));
+  check_bool "lint clean" true (contains "clean" (Braid.Repl.exec_line s ":lint"))
+
+let test_lint_flags_typo () =
+  let s = family_session () in
+  let _ = Braid.Repl.exec_line s "bad(X) :- paren(X, Y)." in
+  check_bool "typo flagged" true (contains "paren" (Braid.Repl.exec_line s ":lint"))
+
+let test_system_and_strategy_switch () =
+  let s = family_session () in
+  check_bool "system switch" true
+    (contains "bermuda" (Braid.Repl.exec_line s ":system bermuda"));
+  check_bool "bad system" true
+    (contains "unknown system" (Braid.Repl.exec_line s ":system nope"));
+  check_bool "strategy switch" true
+    (contains "strategy = compiled" (Braid.Repl.exec_line s ":strategy compiled"));
+  check_bool "conjunction-k" true
+    (contains "conjunction-3" (Braid.Repl.exec_line s ":strategy conjunction-3"));
+  (* queries still work after switching *)
+  check_bool "query after switch" true
+    (contains "3 solutions" (Braid.Repl.exec_line s "?- anc(tom, Y)."))
+
+let test_errors_do_not_raise () =
+  let s = Braid.Repl.create () in
+  check_bool "parse error" true (contains "error" (Braid.Repl.exec_line s "p(X :- q(X)."));
+  check_bool "unknown command" true
+    (contains "unknown command" (Braid.Repl.exec_line s ":frobnicate"));
+  check_bool "arity clash" true
+    (let _ = Braid.Repl.exec_line s "t(a)." in
+     contains "error" (Braid.Repl.exec_line s "t(a, b)."));
+  check_bool "empty line ok" true (Braid.Repl.exec_line s "   " = "");
+  check_bool "quit" true (Braid.Repl.exec_line s ":quit" = "bye")
+
+let suites : unit Alcotest.test list =
+  [
+    ( "repl",
+      [
+        Alcotest.test_case "facts and rules" `Quick test_facts_and_rules;
+        Alcotest.test_case "query" `Quick test_query;
+        Alcotest.test_case "live fact insertion invalidates" `Quick test_live_fact_insertion;
+        Alcotest.test_case "explain" `Quick test_explain;
+        Alcotest.test_case "caql with plan" `Quick test_caql_and_plan;
+        Alcotest.test_case "inspection commands" `Quick test_inspection_commands;
+        Alcotest.test_case "lint flags typo" `Quick test_lint_flags_typo;
+        Alcotest.test_case "system/strategy switch" `Quick test_system_and_strategy_switch;
+        Alcotest.test_case "errors do not raise" `Quick test_errors_do_not_raise;
+      ] );
+  ]
+
+let test_trace_command () =
+  let s = family_session () in
+  check_bool "no session yet" true (contains "no session" (Braid.Repl.exec_line s ":trace"));
+  let _ = Braid.Repl.exec_line s ":trace on" in
+  let _ = Braid.Repl.exec_line s "?- anc(tom, Y)." in
+  let out = Braid.Repl.exec_line s ":trace" in
+  check_bool "trace shows queries" true (contains "parent" out);
+  let _ = Braid.Repl.exec_line s ":trace off" in
+  check_bool "off clears" true
+    (contains "empty" (Braid.Repl.exec_line s ":trace"))
+
+let test_base_query_directly () =
+  (* an AI query against a base relation itself (no rules at all) *)
+  let s = Braid.Repl.create () in
+  let _ = feed s [ "edge(a, b)."; "edge(b, c)." ] in
+  let out = Braid.Repl.exec_line s "?- edge(a, Y)." in
+  check_bool "base query answered" true (contains "1 solutions" out)
+
+let trace_cases =
+  [
+    Alcotest.test_case "trace command" `Quick test_trace_command;
+    Alcotest.test_case "base-relation query" `Quick test_base_query_directly;
+  ]
+
+let suites = match suites with
+  | [ (name, cases) ] -> [ (name, cases @ trace_cases) ]
+  | other -> other

@@ -1,0 +1,228 @@
+(* Workload generators, the loader, and the experiment table printer. *)
+
+module R = Braid_relalg
+module V = R.Value
+module L = Braid_logic
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- generators --- *)
+
+let test_family_shape () =
+  let rels = Braid_workload.Datagen.family ~persons:50 ~fanout:3 () in
+  let parent = List.find (fun r -> R.Relation.name r = "parent") rels in
+  let person = List.find (fun r -> R.Relation.name r = "person") rels in
+  check_int "one parent per non-root" 49 (R.Relation.cardinality parent);
+  check_int "all persons" 50 (R.Relation.cardinality person);
+  (* acyclicity: a child's index always exceeds its parent's *)
+  R.Relation.iter
+    (fun t ->
+      let idx v =
+        match v with
+        | V.Str s -> int_of_string (String.sub s 1 (String.length s - 1))
+        | _ -> Alcotest.fail "person name"
+      in
+      check_bool "parent precedes child" true (idx (R.Tuple.get t 0) < idx (R.Tuple.get t 1)))
+    parent
+
+let test_family_deterministic () =
+  let dump rels =
+    String.concat "|"
+      (List.map (fun r -> Format.asprintf "%a" R.Relation.pp r) rels)
+  in
+  check_bool "same seed, same data" true
+    (dump (Braid_workload.Datagen.family ~persons:30 ~fanout:2 ())
+    = dump (Braid_workload.Datagen.family ~persons:30 ~fanout:2 ()));
+  check_bool "different seed, different data" true
+    (dump (Braid_workload.Datagen.family ~seed:1 ~persons:30 ~fanout:2 ())
+    <> dump (Braid_workload.Datagen.family ~seed:2 ~persons:30 ~fanout:2 ()))
+
+let test_bom_acyclic () =
+  let rels = Braid_workload.Datagen.bill_of_materials ~parts:40 ~max_children:3 () in
+  let subpart = List.find (fun r -> R.Relation.name r = "subpart") rels in
+  R.Relation.iter
+    (fun t ->
+      let idx v =
+        match v with
+        | V.Str s -> int_of_string (String.sub s 4 (String.length s - 4))
+        | _ -> Alcotest.fail "part id"
+      in
+      check_bool "component index above assembly" true
+        (idx (R.Tuple.get t 0) < idx (R.Tuple.get t 1)))
+    subpart
+
+let test_university_integrity () =
+  let rels = Braid_workload.Datagen.university ~students:20 ~courses:10 ~enrollments:50 () in
+  let get n = List.find (fun r -> R.Relation.name r = n) rels in
+  let enrolled = get "enrolled" and student = get "student" and course = get "course" in
+  let student_ids =
+    R.Relation.fold (fun acc t -> R.Tuple.get t 0 :: acc) [] student
+  in
+  let course_ids = R.Relation.fold (fun acc t -> R.Tuple.get t 0 :: acc) [] course in
+  R.Relation.iter
+    (fun t ->
+      check_bool "enrollment references a student" true
+        (List.mem (R.Tuple.get t 0) student_ids);
+      check_bool "enrollment references a course" true
+        (List.mem (R.Tuple.get t 1) course_ids))
+    enrolled;
+  (* no duplicate (student, course) pairs *)
+  let pairs =
+    R.Relation.fold (fun acc t -> (R.Tuple.get t 0, R.Tuple.get t 1) :: acc) [] enrolled
+  in
+  check_int "enrollments unique" (List.length pairs)
+    (List.length (List.sort_uniq compare pairs))
+
+let test_zipf_locality () =
+  let prng = Braid_workload.Prng.create 3 in
+  let skewed =
+    Braid_workload.Queries.constants_with_locality prng
+      ~pool:(List.init 50 string_of_int) ~skew:1.5 ~n:200
+  in
+  let distinct = List.length (List.sort_uniq compare skewed) in
+  check_bool "locality: few distinct constants" true (distinct < 40);
+  let prng = Braid_workload.Prng.create 3 in
+  let uniform =
+    Braid_workload.Queries.constants_with_locality prng
+      ~pool:(List.init 50 string_of_int) ~skew:0.0 ~n:200
+  in
+  check_bool "uniform spreads wider" true
+    (List.length (List.sort_uniq compare uniform) >= distinct)
+
+(* --- loader --- *)
+
+let test_loader_csv () =
+  let rel =
+    Braid.Loader.relation_of_csv_text ~name:"emp"
+      "name,dept,salary\nalice,sales,50\nbob,eng,60\ncarol,eng,70\n"
+  in
+  check_int "three rows" 3 (R.Relation.cardinality rel);
+  let schema = R.Relation.schema rel in
+  check_bool "salary typed int" true (R.Schema.ty_at schema 2 = V.Tint);
+  check_bool "name typed str" true (R.Schema.ty_at schema 0 = V.Tstr)
+
+let test_loader_csv_mixed_column () =
+  (* a column with "1" and "x" must fall back to strings coherently *)
+  let rel = Braid.Loader.relation_of_csv_text ~name:"m" "k\n1\nx\n" in
+  check_bool "both rows are strings" true
+    (List.for_all
+       (fun t -> match R.Tuple.get t 0 with V.Str _ -> true | _ -> false)
+       (R.Relation.to_list rel))
+
+let test_loader_csv_errors () =
+  check_bool "empty rejected" true
+    (try ignore (Braid.Loader.relation_of_csv_text ~name:"x" "  \n \n"); false
+     with Invalid_argument _ -> true);
+  check_bool "ragged rejected" true
+    (try ignore (Braid.Loader.relation_of_csv_text ~name:"x" "a,b\n1\n"); false
+     with Invalid_argument _ -> true)
+
+let test_loader_rules () =
+  let kb =
+    Braid.Loader.kb_of_rules_text
+      "path(X, Y) :- edge(X, Y). path(X, Y) :- edge(X, Z) & path(Z, Y). big(X) :- node(X, W) & W > 5."
+  in
+  check_int "two path rules" 2 (List.length (L.Kb.rules_for kb "path"));
+  check_int "one big rule" 1 (List.length (L.Kb.rules_for kb "big"));
+  check_bool "path recursive" true (List.mem "path" (L.Kb.recursive_preds kb));
+  check_bool "negation rejected" true
+    (try ignore (Braid.Loader.kb_of_rules_text "p(X) :- a(X) & ~b(X)."); false
+     with Invalid_argument _ -> true)
+
+let test_loader_query () =
+  let q = Braid.Loader.parse_atomic_query "ancestor(p0, Y)" in
+  check_bool "pred" true (q.L.Atom.pred = "ancestor");
+  check_int "arity" 2 (L.Atom.arity q);
+  check_bool "non-atomic rejected" true
+    (try ignore (Braid.Loader.parse_atomic_query "p(X) :- q(X)"); false
+     with Invalid_argument _ -> true)
+
+(* --- the table printer --- *)
+
+let test_table_render () =
+  let t =
+    Braid_experiments.Table.make ~title:"demo" ~columns:[ "name"; "n"; "f" ]
+      ~notes:[ "a note" ]
+      [
+        [ Braid_experiments.Table.Text "row1"; Int 12; Float 3.25 ];
+        [ Braid_experiments.Table.Text "longer-row"; Int 5; Float 0.0 ];
+      ]
+  in
+  let text = Format.asprintf "%a" Braid_experiments.Table.pp t in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "has title" true (contains "demo" text);
+  check_bool "has note" true (contains "note: a note" text);
+  check_bool "columns padded consistently" true (contains "longer-row | 5" text);
+  check_bool "float formatting" true (contains "3.2" text)
+
+let suites : unit Alcotest.test list =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "family shape" `Quick test_family_shape;
+        Alcotest.test_case "family determinism" `Quick test_family_deterministic;
+        Alcotest.test_case "bom acyclic" `Quick test_bom_acyclic;
+        Alcotest.test_case "university integrity" `Quick test_university_integrity;
+        Alcotest.test_case "zipf locality" `Quick test_zipf_locality;
+        Alcotest.test_case "loader: csv" `Quick test_loader_csv;
+        Alcotest.test_case "loader: mixed column" `Quick test_loader_csv_mixed_column;
+        Alcotest.test_case "loader: csv errors" `Quick test_loader_csv_errors;
+        Alcotest.test_case "loader: rules" `Quick test_loader_rules;
+        Alcotest.test_case "loader: query" `Quick test_loader_query;
+        Alcotest.test_case "table rendering" `Quick test_table_render;
+      ] );
+  ]
+
+(* --- telecom workload --- *)
+
+let test_telecom_integrity () =
+  let rels = Braid_workload.Datagen.telecom ~offices:15 ~customers:30 ~orders:20 () in
+  let get n = List.find (fun r -> R.Relation.name r = n) rels in
+  let span = get "span" and customer = get "customer" and orders = get "order_req" in
+  (* network acyclic: dst index above src index *)
+  R.Relation.iter
+    (fun t ->
+      let idx v =
+        match v with
+        | V.Str s -> int_of_string (String.sub s 2 (String.length s - 2))
+        | _ -> Alcotest.fail "co id"
+      in
+      check_bool "acyclic span" true (idx (R.Tuple.get t 0) < idx (R.Tuple.get t 1)))
+    span;
+  (* customers reference existing offices *)
+  let co_ids = R.Relation.fold (fun acc t -> R.Tuple.get t 0 :: acc) [] (get "co") in
+  R.Relation.iter
+    (fun t -> check_bool "customer office exists" true (List.mem (R.Tuple.get t 1) co_ids))
+    customer;
+  (* orders reference existing customers *)
+  let cust_ids = R.Relation.fold (fun acc t -> R.Tuple.get t 0 :: acc) [] customer in
+  R.Relation.iter
+    (fun t -> check_bool "order customer exists" true (List.mem (R.Tuple.get t 1) cust_ids))
+    orders;
+  check_bool "telecom kb is lint-clean" true (L.Kb.lint (Braid_workload.Kbgen.telecom ()) = [])
+
+let test_telecom_end_to_end () =
+  let sys =
+    Braid.System.build ~kb:(Braid_workload.Kbgen.telecom ())
+      ~data:(Braid_workload.Datagen.telecom ~offices:15 ~customers:30 ~orders:20 ())
+      ()
+  in
+  let servable = Braid.System.solve_text sys "servable(co1, S)" in
+  check_bool "servability computable" true (R.Relation.cardinality servable >= 0);
+  let reach = Braid.System.solve_text sys "connected(co0, B)" in
+  check_bool "network closure nonempty" true (R.Relation.cardinality reach > 0)
+
+let telecom_cases =
+  [
+    Alcotest.test_case "telecom integrity" `Quick test_telecom_integrity;
+    Alcotest.test_case "telecom end to end" `Quick test_telecom_end_to_end;
+  ]
+
+let suites = match suites with
+  | [ (name, cases) ] -> [ (name, cases @ telecom_cases) ]
+  | other -> other
