@@ -4,9 +4,14 @@
    claim / figure of the paper — see DESIGN.md §5 and EXPERIMENTS.md) and
    prints its result table, then the bechamel microbenchmarks.
 
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe e5 e8      # selected experiments
-     dune exec bench/main.exe micro      # microbenchmarks only *)
+     dune exec bench/main.exe                       # everything
+     dune exec bench/main.exe e5 e8                 # selected experiments
+     dune exec bench/main.exe micro                 # microbenchmarks only
+     dune exec bench/main.exe -- --json PATH        # perf trajectory JSON
+
+   The --json mode writes the bechamel estimates plus hardware-independent
+   experiment counters to PATH (schema documented in EXPERIMENTS.md); the
+   committed BENCH_relalg.json is a snapshot of that output. *)
 
 module L = Braid_logic
 module T = L.Term
@@ -60,6 +65,24 @@ let bench_hash_join =
     (Bechamel.Staged.stage (fun () ->
          ignore (R.Ops.hash_join ~left_cols:[ 0 ] ~right_cols:[ 0 ] a b)))
 
+let sel_schema = R.Schema.make [ ("k", V.Tint); ("v", V.Tint) ]
+
+(* 10k rows, 100 distinct keys: an equality selection matches 100 rows. *)
+let sel_relation =
+  R.Relation.of_tuples ~name:"s" sel_schema
+    (List.init 10_000 (fun i -> [| V.Int (i mod 100); V.Int i |]))
+
+let bench_select_scan =
+  let pred = R.Row_pred.Cmp (R.Row_pred.Eq, R.Row_pred.Col 0, R.Row_pred.Lit (V.Int 42)) in
+  Bechamel.Test.make ~name:"select_scan_10k"
+    (Bechamel.Staged.stage (fun () -> ignore (R.Ops.select pred sel_relation)))
+
+let bench_select_indexed =
+  let ix = R.Index.build sel_relation [ 0 ] in
+  Bechamel.Test.make ~name:"select_indexed_10k"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (R.Ops.select_indexed ix [ V.Int 42 ] sel_relation)))
+
 let bench_stream_pull =
   let schema = R.Schema.make [ ("n", V.Tint) ] in
   Bechamel.Test.make ~name:"stream_pull_1k"
@@ -103,13 +126,16 @@ let micro_tests =
     bench_match;
     bench_subsumption;
     bench_hash_join;
+    bench_select_scan;
+    bench_select_indexed;
     bench_stream_pull;
     bench_parser;
     bench_tracker;
   ]
 
-let run_micro () =
-  print_endline "== microbenchmarks (bechamel) ==";
+(* Run every microbenchmark and return [(name, ns_per_run)] in declaration
+   order; a test bechamel could not estimate reports [nan]. *)
+let micro_estimates () =
   let benchmark test =
     let open Bechamel in
     let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -118,26 +144,122 @@ let run_micro () =
     let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
     Analyze.all ols (Toolkit.Instance.monotonic_clock) raw
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let results = benchmark test in
-      Hashtbl.iter
-        (fun name ols ->
-          match Bechamel.Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "%-24s %12.1f ns/run\n" name est
-          | Some _ | None -> Printf.printf "%-24s (no estimate)\n" name)
-        results)
+      Hashtbl.fold
+        (fun name ols acc ->
+          let est =
+            match Bechamel.Analyze.OLS.estimates ols with
+            | Some [ est ] -> est
+            | Some _ | None -> Float.nan
+          in
+          (name, est) :: acc)
+        results [])
     micro_tests
+
+let run_micro () =
+  print_endline "== microbenchmarks (bechamel) ==";
+  List.iter
+    (fun (name, est) ->
+      if Float.is_nan est then Printf.printf "%-24s (no estimate)\n" name
+      else Printf.printf "%-24s %12.1f ns/run\n" name est)
+    (micro_estimates ())
+
+(* --- perf trajectory (--json) --- *)
+
+(* Hardware-independent counters demonstrating the index-accelerated remote
+   scan path: the same equality query answered with and against a full
+   scan must agree on the result while scanning far fewer rows. *)
+let remote_scan_counters () =
+  let server = Braid_remote.Server.create () in
+  let eng = Braid_remote.Server.engine server in
+  let n = 10_000 in
+  Braid_remote.Engine.load eng
+    (R.Relation.of_tuples ~name:"t" sel_schema
+       (List.init n (fun i -> [| V.Int (i mod 100); V.Int i |])));
+  let q =
+    {
+      Braid_remote.Sql.distinct = false;
+      columns = [];
+      from = [ { Braid_remote.Sql.table = "t"; alias = "t" } ];
+      where =
+        [ (R.Row_pred.Eq, Braid_remote.Sql.Col { Braid_remote.Sql.src = "t"; attr = "k" },
+           Braid_remote.Sql.Const (V.Int 42)) ];
+    }
+  in
+  let result, scanned = Braid_remote.Engine.execute eng q in
+  (n, R.Relation.cardinality result, scanned)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path =
+  let micro = micro_estimates () in
+  let e10_rows, _ = Braid_experiments.Exp_indexing.run ~probes:60 ~size:120 () in
+  let table_card, result_rows, scanned = remote_scan_counters () in
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema_version\": 1,\n";
+  out "  \"suite\": \"relalg\",\n";
+  out "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, est) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n" (json_escape name)
+        (if Float.is_nan est then "null" else Printf.sprintf "%.1f" est)
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  out "  ],\n";
+  out "  \"experiments\": {\n";
+  out "    \"remote_indexed_scan\": {\"table_cardinality\": %d, \"result_rows\": %d, \"rows_scanned\": %d},\n"
+    table_card result_rows scanned;
+  out "    \"e10_indexing\": [\n";
+  List.iteri
+    (fun i (r : Braid_experiments.Exp_indexing.row) ->
+      out
+        "      {\"label\": \"%s\", \"probes\": %d, \"tuples_touched\": %d, \"local_ms\": %.1f}%s\n"
+        (json_escape r.Braid_experiments.Exp_indexing.label)
+        r.Braid_experiments.Exp_indexing.probes
+        r.Braid_experiments.Exp_indexing.tuples_touched
+        r.Braid_experiments.Exp_indexing.local_ms
+        (if i = 1 then "" else ","))
+    e10_rows;
+  out "    ]\n";
+  out "  }\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 (* --- entry point --- *)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [] ->
-    Braid_experiments.All.run_all ();
-    run_micro ()
-  | args ->
+  let rec split_json json rest = function
+    | [] -> (json, List.rev rest)
+    | "--json" :: path :: tl -> split_json (Some path) rest tl
+    | "--json" :: [] ->
+      prerr_endline "--json requires a path argument";
+      exit 1
+    | arg :: tl -> split_json json (arg :: rest) tl
+  in
+  let json, args = split_json None [] (List.tl (Array.to_list Sys.argv)) in
+  (match json, args with
+   | Some path, _ -> write_json path
+   | None, [] ->
+     Braid_experiments.All.run_all ();
+     run_micro ()
+   | None, _ -> ());
+  if json = None then
     List.iter
       (fun arg ->
         match String.lowercase_ascii arg with
@@ -145,7 +267,7 @@ let () =
         | id ->
           if not (Braid_experiments.All.run_one id) then begin
             Printf.eprintf
-              "unknown experiment %S (expected e1..e10 or micro)\n" arg;
+              "unknown experiment %S (expected e1..e12, micro, or --json PATH)\n" arg;
             exit 1
           end)
       args

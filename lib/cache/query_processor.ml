@@ -12,6 +12,32 @@ let const_cols (a : L.Atom.t) =
     (function i, L.Term.Const v -> Some (i, v) | _, L.Term.Var _ -> None)
     (List.mapi (fun i t -> (i, t)) a.L.Atom.args)
 
+(* Pick the element index covering the largest subset of the probe's
+   constant columns; constants the index does not cover become a residual
+   predicate on the probe result. An exact-columns index (the only case the
+   QP used to handle) is the residual-free special case. *)
+let best_index (e : Element.t) consts =
+  if consts = [] then None
+  else begin
+    let usable (cols, _) = List.for_all (fun c -> List.mem_assoc c consts) cols in
+    match
+      List.filter usable e.Element.indexes
+      |> List.sort (fun (a, _) (b, _) -> Int.compare (List.length b) (List.length a))
+    with
+    | [] -> None
+    | (cols, ix) :: _ ->
+      let key = List.map (fun c -> List.assoc c consts) cols in
+      let residual =
+        R.Row_pred.conj
+          (List.filter_map
+             (fun (c, v) ->
+               if List.mem c cols then None
+               else Some (R.Row_pred.Cmp (R.Row_pred.Eq, R.Row_pred.Col c, R.Row_pred.Lit v)))
+             consts)
+      in
+      Some (ix, key, residual)
+  end
+
 let resolve_extension model extra touched (a : L.Atom.t) =
   match List.assoc_opt a.L.Atom.pred extra with
   | Some r ->
@@ -23,12 +49,13 @@ let resolve_extension model extra touched (a : L.Atom.t) =
      | Some e ->
        Cache_model.touch model e;
        let consts = const_cols a in
-       let cols = List.map fst consts in
-       (match (if cols = [] then None else Element.index_on e cols) with
-        | Some ix ->
+       (match best_index e consts with
+        | Some (ix, key, residual) ->
           (* Index probe: only matching tuples are touched. *)
-          let r = R.Ops.select_indexed ix (List.map snd consts) (Element.extension e) in
-          touched := !touched + R.Relation.cardinality r;
+          let r, matched =
+            R.Ops.select_indexed_count ix key ~residual (Element.extension e)
+          in
+          touched := !touched + matched;
           r
         | None ->
           let r = Element.extension e in

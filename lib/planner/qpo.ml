@@ -174,12 +174,13 @@ let fresh_extra t =
   t.fetch_counter <- t.fetch_counter + 1;
   Printf.sprintf "__r%d" t.fetch_counter
 
-(* Rebuild a fetched relation with the schema its definition describes, so
-   cached elements carry meaningful attribute names and types. *)
+(* Reinterpret a fetched relation under the schema its definition
+   describes, so cached elements carry meaningful attribute names and
+   types. A zero-copy schema view: the rows are shared, not rebuilt. *)
 let retyped t (def : A.conj) rel =
   let schema = Analyze.schema_of_conj (schema_resolver t []) def in
   if R.Schema.arity schema <> R.Schema.arity (R.Relation.schema rel) then rel
-  else R.Relation.of_tuples ~name:(R.Relation.name rel) schema (R.Relation.to_list rel)
+  else R.Relation.with_schema schema rel
 
 let single_atom_def (a : L.Atom.t) =
   A.conj (List.map (fun x -> L.Term.Var x) (L.Atom.vars a)) [ a ]

@@ -3,11 +3,36 @@ let select pred r =
   Relation.iter (fun t -> if Row_pred.eval pred t then Relation.add out t) r;
   out
 
-let select_indexed ix key ?(residual = Row_pred.True) r =
+let select_indexed_count ix key ?(residual = Row_pred.True) r =
   let out = Relation.create ~name:(Relation.name r) (Relation.schema r) in
+  let matched = ref 0 in
   List.iter
-    (fun t -> if Row_pred.eval residual t then Relation.add out t)
+    (fun t ->
+      incr matched;
+      if Row_pred.eval residual t then Relation.add out t)
     (Index.lookup ix key);
+  (out, !matched)
+
+let select_indexed ix key ?residual r = fst (select_indexed_count ix key ?residual r)
+
+(* Selection vectors: a selection is represented as the array of qualifying
+   row indices and materialized only on demand ([Relation.of_selection] /
+   [project_sv]), so select→project chains never build the intermediate. *)
+
+let select_sv pred r =
+  let sel = Vec.create () in
+  let n = Relation.cardinality r in
+  for i = 0 to n - 1 do
+    if Row_pred.eval pred (Relation.get r i) then Vec.push sel i
+  done;
+  Vec.to_array sel
+
+let materialize_sv ?name r sel = Relation.of_selection ?name r sel
+
+let project_sv cols r sel =
+  let schema = Schema.project (Relation.schema r) cols in
+  let out = Relation.create ~name:(Relation.name r) schema in
+  Array.iter (fun i -> Relation.add out (Tuple.project (Relation.get r i) cols)) sel;
   out
 
 let project cols r =
@@ -112,17 +137,28 @@ let union_all a b =
 
 let union a b = Relation.distinct (union_all a b)
 
+(* Hash-set membership of [b] shared by [inter]/[diff]; the former
+   [Relation.mem] scans made both operators O(|a|·|b|). *)
+let tuple_set b =
+  let set = Relation.Tuple_tbl.create (max 16 (Relation.cardinality b)) in
+  Relation.iter (fun t -> Relation.Tuple_tbl.replace set t ()) b;
+  set
+
 let inter a b =
   check_compatible a b;
+  let bs = tuple_set b in
   let out = Relation.create ~name:(Relation.name a) (Relation.schema a) in
-  Relation.iter (fun t -> if Relation.mem b t then Relation.add out t) (Relation.distinct a);
+  Relation.iter
+    (fun t -> if Relation.Tuple_tbl.mem bs t then Relation.add out t)
+    (Relation.distinct a);
   out
 
 let diff a b =
   check_compatible a b;
+  let bs = tuple_set b in
   let out = Relation.create ~name:(Relation.name a) (Relation.schema a) in
   Relation.iter
-    (fun t -> if not (Relation.mem b t) then Relation.add out t)
+    (fun t -> if not (Relation.Tuple_tbl.mem bs t) then Relation.add out t)
     (Relation.distinct a);
   out
 

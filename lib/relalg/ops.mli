@@ -9,6 +9,23 @@ val select : Row_pred.t -> Relation.t -> Relation.t
 val select_indexed : Index.t -> Value.t list -> ?residual:Row_pred.t -> Relation.t -> Relation.t
 (** Index-backed equality selection; [residual] filters the probe result. *)
 
+val select_indexed_count :
+  Index.t -> Value.t list -> ?residual:Row_pred.t -> Relation.t -> Relation.t * int
+(** Like [select_indexed] but also reports how many tuples the probe
+    touched (the bucket size, before the residual filter) — the honest
+    "rows scanned" figure for cost accounting. *)
+
+val select_sv : Row_pred.t -> Relation.t -> int array
+(** Selection as a selection vector: the indices of the qualifying rows,
+    in order. Nothing is copied until the vector is materialized. *)
+
+val materialize_sv : ?name:string -> Relation.t -> int array -> Relation.t
+(** Materialize a selection vector (shares the tuples themselves). *)
+
+val project_sv : int list -> Relation.t -> int array -> Relation.t
+(** Fused select+project: project only the rows a selection vector kept,
+    never materializing the intermediate selection. *)
+
 val project : int list -> Relation.t -> Relation.t
 (** Bag projection onto the listed positions. *)
 
@@ -38,8 +55,12 @@ val union : Relation.t -> Relation.t -> Relation.t
 (** Set union (distinct). Schemas must have equal arity. *)
 
 val union_all : Relation.t -> Relation.t -> Relation.t
+
 val inter : Relation.t -> Relation.t -> Relation.t
+(** Set intersection via a hash set of the right input: O(|a| + |b|). *)
+
 val diff : Relation.t -> Relation.t -> Relation.t
+(** Set difference via a hash set of the right input: O(|a| + |b|). *)
 
 val rename : string -> Relation.t -> Relation.t
 

@@ -49,6 +49,21 @@ let copy ?name r =
 
 let with_name name r = { r with name }
 
+let with_schema schema r =
+  if Schema.arity schema <> Schema.arity r.schema then
+    invalid_arg
+      (Printf.sprintf "Relation.with_schema %s: arity %d, expected %d" r.name
+         (Schema.arity schema) (Schema.arity r.schema));
+  { r with schema }
+
+let qualify alias r = { r with name = alias; schema = Schema.qualify alias r.schema }
+
+let of_selection ?name r sel =
+  let name = match name with Some n -> n | None -> r.name in
+  let rows = Vec.create () in
+  Array.iter (fun i -> Vec.push rows (Vec.get r.rows i)) sel;
+  { name; schema = r.schema; rows }
+
 let sort_by cmp r =
   let r' = copy r in
   Vec.sort cmp r'.rows;

@@ -29,6 +29,25 @@ val copy : ?name:string -> t -> t
 val with_name : string -> t -> t
 (** Shares the underlying tuple storage. *)
 
+val with_schema : Schema.t -> t -> t
+(** Schema view: reinterpret the same rows under a different (equal-arity)
+    schema without copying them. Raises [Invalid_argument] on arity
+    mismatch. The view aliases the original storage: rows added through
+    either handle are visible through both. *)
+
+val qualify : string -> t -> t
+(** [qualify a r] is the zero-copy view of [r] named [a] whose attributes
+    are renamed [a.attr] — what the remote executor needs for an aliased
+    source. *)
+
+val of_selection : ?name:string -> t -> int array -> t
+(** Materialize a selection vector: the relation holding the rows of [r]
+    at the listed indices, in order. Tuples themselves are shared. *)
+
+module Tuple_tbl : Hashtbl.S with type key = Tuple.t
+(** Hash table keyed by whole tuples ([Tuple.equal]/[Tuple.hash]); the
+    backing store for [distinct] and the hash-set operators in [Ops]. *)
+
 val sort_by : (Tuple.t -> Tuple.t -> int) -> t -> t
 
 val bytes_estimate : t -> int

@@ -38,6 +38,9 @@ let concat a b =
   in
   build (Array.append a.attrs right)
 
+let qualify alias s =
+  build (Array.map (fun (n, ty) -> (alias ^ "." ^ n, ty)) s.attrs)
+
 let rename s mapping =
   build
     (Array.map

@@ -23,6 +23,10 @@ val project : t -> int list -> t
 val concat : t -> t -> t
 (** Schema of a product; clashing names on the right are suffixed with ['].*)
 
+val qualify : string -> t -> t
+(** [qualify a s] prefixes every attribute name with ["a."], as the remote
+    executor names the attributes of an aliased source. *)
+
 val rename : t -> (string * string) list -> t
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -2,7 +2,11 @@ module R = Braid_relalg
 
 type table_stats = { cardinality : int; distinct_per_column : int array }
 
-type entry = { schema : R.Schema.t; mutable stats : table_stats }
+type entry = {
+  schema : R.Schema.t;
+  mutable stats : table_stats;
+  mutable indexes : (int list * R.Index.t) list;
+}
 
 type t = (string, entry) Hashtbl.t
 
@@ -10,7 +14,11 @@ let create () = Hashtbl.create 16
 
 let register t name schema =
   Hashtbl.replace t name
-    { schema; stats = { cardinality = 0; distinct_per_column = Array.make (R.Schema.arity schema) 0 } }
+    {
+      schema;
+      stats = { cardinality = 0; distinct_per_column = Array.make (R.Schema.arity schema) 0 };
+      indexes = [];
+    }
 
 module V_set = Set.Make (struct
   type t = R.Value.t
@@ -32,7 +40,33 @@ let refresh_stats t name rel =
       rel;
     entry.stats <-
       { cardinality = R.Relation.cardinality rel;
-        distinct_per_column = Array.map V_set.cardinal sets }
+        distinct_per_column = Array.map V_set.cardinal sets };
+    (* The bulk load already scanned every column; build the per-column
+       secondary indexes in the same breath so later equality probes never
+       pay a full scan. *)
+    entry.indexes <-
+      List.init arity (fun i -> ([ i ], R.Index.build rel [ i ]))
+
+let invalidate_indexes t name =
+  match Hashtbl.find_opt t name with
+  | None -> ()
+  | Some entry -> entry.indexes <- []
+
+let index_on t name cols =
+  match Hashtbl.find_opt t name with
+  | None -> None
+  | Some entry -> List.assoc_opt cols entry.indexes
+
+let ensure_index t name rel cols =
+  match Hashtbl.find_opt t name with
+  | None -> R.Index.build rel cols
+  | Some entry ->
+    (match List.assoc_opt cols entry.indexes with
+     | Some ix -> ix
+     | None ->
+       let ix = R.Index.build rel cols in
+       entry.indexes <- (cols, ix) :: entry.indexes;
+       ix)
 
 let schema_of t name = Option.map (fun e -> e.schema) (Hashtbl.find_opt t name)
 let stats_of t name = Option.map (fun e -> e.stats) (Hashtbl.find_opt t name)

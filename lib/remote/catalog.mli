@@ -14,7 +14,23 @@ type t
 val create : unit -> t
 
 val register : t -> string -> Braid_relalg.Schema.t -> unit
+
 val refresh_stats : t -> string -> Braid_relalg.Relation.t -> unit
+(** Rescans the relation for cardinality/distinct counts and (re)builds the
+    per-column secondary indexes in the same pass. *)
+
+val index_on : t -> string -> int list -> Braid_relalg.Index.t option
+(** A persisted secondary index on exactly the given column list, if one is
+    currently valid. *)
+
+val ensure_index :
+  t -> string -> Braid_relalg.Relation.t -> int list -> Braid_relalg.Index.t
+(** Returns the persisted index on the column list, building it from [rel]
+    and persisting it first if missing (e.g. after [invalidate_indexes]). *)
+
+val invalidate_indexes : t -> string -> unit
+(** Drops every index on the table; called on single-tuple inserts, which
+    would otherwise leave the indexes stale. The next probe rebuilds. *)
 
 val schema_of : t -> string -> Braid_relalg.Schema.t option
 val stats_of : t -> string -> table_stats option

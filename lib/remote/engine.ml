@@ -12,7 +12,9 @@ let create_table t name schema =
 
 let insert t name tup =
   match Hashtbl.find_opt t.tables name with
-  | Some rel -> R.Relation.add rel tup
+  | Some rel ->
+    R.Relation.add rel tup;
+    Catalog.invalidate_indexes t.catalog name
   | None -> invalid_arg ("Engine.insert: unknown table " ^ name)
 
 let load t rel =
@@ -25,10 +27,6 @@ let table t name =
   match Hashtbl.find_opt t.tables name with Some r -> r | None -> raise Not_found
 
 (* --- executor --- *)
-
-let qualified alias schema =
-  R.Schema.make
-    (List.map (fun (n, ty) -> (alias ^ "." ^ n, ty)) (R.Schema.attrs schema))
 
 let col_name (c : Sql.col) = c.Sql.src ^ "." ^ c.Sql.attr
 
@@ -71,20 +69,59 @@ let join_cols left right ((cmp, a, b) : Sql.cond) =
 let execute t (q : Sql.select) =
   if q.Sql.from = [] then invalid_arg "Engine.execute: empty FROM";
   let scanned = ref 0 in
-  (* Load and qualify each source, pushing down conditions local to it. *)
+  (* Load and qualify each source, pushing down conditions local to it.
+     Qualification is a zero-copy schema view, and equality-with-constant
+     conditions are routed through the catalog's persisted secondary
+     indexes, so [scanned] charges only the tuples actually touched. *)
   let load_source (src : Sql.source) remaining =
-    let rel =
+    let base =
       match Hashtbl.find_opt t.tables src.Sql.table with
       | Some r -> r
       | None -> invalid_arg ("Engine.execute: unknown table " ^ src.Sql.table)
     in
-    let schema = qualified src.Sql.alias (R.Relation.schema rel) in
-    let rel = R.Relation.of_tuples ~name:src.Sql.alias schema (R.Relation.to_list rel) in
-    scanned := !scanned + R.Relation.cardinality rel;
+    let rel = R.Relation.qualify src.Sql.alias base in
+    let schema = R.Relation.schema rel in
     let local, rest = List.partition (cond_local schema) remaining in
-    let preds = List.filter_map (cond_pred schema) local in
-    let rel = if preds = [] then rel else R.Ops.select (R.Row_pred.conj preds) rel in
-    (rel, rest)
+    (* Split the local conditions into indexable [col = const] probes and a
+       residual predicate. A column probed twice keeps one probe; the other
+       condition joins the residual. *)
+    let probes, residual_conds =
+      List.partition_map
+        (fun ((cmp, a, b) as c) ->
+          if cmp <> R.Row_pred.Eq then Either.Right c
+          else
+            match a, b with
+            | Sql.Col col, Sql.Const v | Sql.Const v, Sql.Col col ->
+              (match R.Schema.position_opt schema (col_name col) with
+               | Some i -> Either.Left (i, v)
+               | None -> Either.Right c)
+            | Sql.Col _, Sql.Col _ | Sql.Const _, Sql.Const _ -> Either.Right c)
+        local
+    in
+    let probes = List.sort (fun (i, _) (j, _) -> Int.compare i j) probes in
+    let probes, dup_preds =
+      List.fold_left
+        (fun (kept, dups) (i, v) ->
+          if List.mem_assoc i kept then (kept, R.Row_pred.Cmp (R.Row_pred.Eq, Col i, Lit v) :: dups)
+          else (kept @ [ (i, v) ], dups))
+        ([], []) probes
+    in
+    let residual_preds = List.filter_map (cond_pred schema) residual_conds @ dup_preds in
+    match probes with
+    | [] ->
+      scanned := !scanned + R.Relation.cardinality rel;
+      let rel =
+        if residual_preds = [] then rel else R.Ops.select (R.Row_pred.conj residual_preds) rel
+      in
+      (rel, rest)
+    | _ ->
+      let cols = List.map fst probes and key = List.map snd probes in
+      let ix = Catalog.ensure_index t.catalog src.Sql.table base cols in
+      let out, matched =
+        R.Ops.select_indexed_count ix key ~residual:(R.Row_pred.conj residual_preds) rel
+      in
+      scanned := !scanned + matched;
+      (out, rest)
   in
   match q.Sql.from with
   | [] -> assert false

@@ -123,6 +123,74 @@ let prop_inter_subset =
   QCheck.Test.make ~count:300 ~name:"A ∩ B ⊆ A" arb_rel2 (fun (a, b) ->
       R.Relation.fold (fun ok t -> ok && R.Relation.mem a t) true (R.Ops.inter a b))
 
+(* Reference quadratic set operations (the pre-hash-set implementations),
+   used as oracles for the Tuple_tbl-backed [Ops.inter]/[Ops.diff]. *)
+let ref_inter a b =
+  let out = R.Relation.create ~name:(R.Relation.name a) (R.Relation.schema a) in
+  R.Relation.iter
+    (fun t -> if R.Relation.mem b t then R.Relation.add out t)
+    (R.Relation.distinct a);
+  out
+
+let ref_diff a b =
+  let out = R.Relation.create ~name:(R.Relation.name a) (R.Relation.schema a) in
+  R.Relation.iter
+    (fun t -> if not (R.Relation.mem b t) then R.Relation.add out t)
+    (R.Relation.distinct a);
+  out
+
+let prop_inter_matches_reference =
+  QCheck.Test.make ~count:300 ~name:"hash-set inter = quadratic reference" arb_rel2
+    (fun (a, b) ->
+      List.map R.Tuple.to_list (R.Relation.to_list (R.Ops.inter a b))
+      = List.map R.Tuple.to_list (R.Relation.to_list (ref_inter a b)))
+
+let prop_diff_matches_reference =
+  QCheck.Test.make ~count:300 ~name:"hash-set diff = quadratic reference" arb_rel2
+    (fun (a, b) ->
+      List.map R.Tuple.to_list (R.Relation.to_list (R.Ops.diff a b))
+      = List.map R.Tuple.to_list (R.Relation.to_list (ref_diff a b)))
+
+let prop_indexed_select_equals_scan =
+  (* indexed equality selection ≡ full-scan selection, on every key value
+     the relation can contain (plus one it cannot) and for single- and
+     two-column probes *)
+  QCheck.Test.make ~count:300 ~name:"indexed selection = full-scan selection" arb_rel
+    (fun r ->
+      let ix0 = R.Index.build r [ 0 ] in
+      let ix01 = R.Index.build r [ 0; 1 ] in
+      List.for_all
+        (fun k ->
+          let single_ok =
+            norm (R.Ops.select_indexed ix0 [ V.Int k ] r)
+            = norm (R.Ops.select (RP.Cmp (RP.Eq, Col 0, Lit (V.Int k))) r)
+          in
+          let pair_ok =
+            List.for_all
+              (fun k2 ->
+                norm (R.Ops.select_indexed ix01 [ V.Int k; V.Int k2 ] r)
+                = norm
+                    (R.Ops.select
+                       (RP.And
+                          [
+                            RP.Cmp (RP.Eq, Col 0, Lit (V.Int k));
+                            RP.Cmp (RP.Eq, Col 1, Lit (V.Int k2));
+                          ])
+                       r))
+              [ 0; 3; 99 ]
+          in
+          single_ok && pair_ok)
+        [ 0; 1; 2; 3; 4; 5; 99 ])
+
+let prop_schema_view_preserves_rows =
+  QCheck.Test.make ~count:300 ~name:"qualify is a zero-copy row-preserving view" arb_rel
+    (fun r ->
+      let q = R.Relation.qualify "t" r in
+      List.map R.Tuple.to_list (R.Relation.to_list q)
+      = List.map R.Tuple.to_list (R.Relation.to_list r)
+      && R.Schema.names (R.Relation.schema q)
+         = List.map (fun n -> "t." ^ n) (R.Schema.names (R.Relation.schema r)))
+
 let prop_hash_join_equals_nested =
   QCheck.Test.make ~count:300 ~name:"hash join = nested loop join" arb_rel2 (fun (a, b) ->
       let h = R.Ops.hash_join ~left_cols:[ 1 ] ~right_cols:[ 0 ] a b in
@@ -426,6 +494,10 @@ let suites : unit Alcotest.test list =
           prop_union_commutes;
           prop_diff_disjoint;
           prop_inter_subset;
+          prop_inter_matches_reference;
+          prop_diff_matches_reference;
+          prop_indexed_select_equals_scan;
+          prop_schema_view_preserves_rows;
           prop_hash_join_equals_nested;
           prop_merge_join_equals_hash;
           prop_select_conj_commutes;

@@ -103,6 +103,69 @@ let test_set_ops () =
        false
      with Invalid_argument _ -> true)
 
+let test_merge_join_duplicate_keys () =
+  (* equal-key groups on both sides must cross-product: keys 1 (2x2) and
+     2 (1x3) plus unmatched keys on either side *)
+  let schema = R.Schema.make [ ("k", V.Tint); ("v", V.Tstr) ] in
+  let mk rows = R.Relation.of_tuples ~name:"m" schema rows in
+  let a =
+    mk
+      [
+        tup [ V.Int 0; V.Str "a0" ];
+        tup [ V.Int 1; V.Str "a1" ];
+        tup [ V.Int 1; V.Str "a1'" ];
+        tup [ V.Int 2; V.Str "a2" ];
+      ]
+  in
+  let b =
+    mk
+      [
+        tup [ V.Int 1; V.Str "b1" ];
+        tup [ V.Int 1; V.Str "b1'" ];
+        tup [ V.Int 2; V.Str "b2" ];
+        tup [ V.Int 2; V.Str "b2'" ];
+        tup [ V.Int 2; V.Str "b2''" ];
+        tup [ V.Int 3; V.Str "b3" ];
+      ]
+  in
+  let m = R.Ops.merge_join ~left_cols:[ 0 ] ~right_cols:[ 0 ] a b in
+  check_int "2*2 + 1*3 pairs" 7 (R.Relation.cardinality m);
+  let h = R.Ops.hash_join ~left_cols:[ 0 ] ~right_cols:[ 0 ] a b in
+  check_int "agrees with hash join" (R.Relation.cardinality h) (R.Relation.cardinality m);
+  R.Relation.iter
+    (fun t -> check_bool "keys equal in output" true (V.equal (R.Tuple.get t 0) (R.Tuple.get t 2)))
+    m
+
+let test_schema_view_shares_rows () =
+  let r = sample_rel () in
+  let q = R.Relation.qualify "e" r in
+  check_str "qualified attr" "e.a" (R.Schema.name_at (R.Relation.schema q) 0);
+  check_str "view named by alias" "e" (R.Relation.name q);
+  check_int "same cardinality" 4 (R.Relation.cardinality q);
+  (* the view aliases the storage: a row added to the base is visible *)
+  R.Relation.add r (tup [ V.Int 9; V.Str "w"; V.Int 90 ]);
+  check_int "view sees the new row" 5 (R.Relation.cardinality q);
+  check_bool "arity mismatch rejected" true
+    (try
+       ignore (R.Relation.with_schema (R.Schema.make [ ("a", V.Tint) ]) r);
+       false
+     with Invalid_argument _ -> true)
+
+let test_selection_vectors () =
+  let r = sample_rel () in
+  let pred = RP.Cmp (RP.Eq, RP.Col 1, RP.Lit (V.Str "x")) in
+  let sv = R.Ops.select_sv pred r in
+  check_int "two matches" 2 (Array.length sv);
+  let materialized = R.Ops.materialize_sv r sv in
+  check_int "materializes both" 2 (R.Relation.cardinality materialized);
+  check_bool "same tuples as eager select" true
+    (R.Relation.to_list materialized = R.Relation.to_list (R.Ops.select pred r));
+  let projected = R.Ops.project_sv [ 2 ] r sv in
+  check_int "fused select+project" 2 (R.Relation.cardinality projected);
+  check_bool "same as select then project" true
+    (R.Relation.to_list projected
+    = R.Relation.to_list (R.Ops.project [ 2 ] (R.Ops.select pred r)))
+
 let test_order_limit () =
   let r = R.Ops.order_by [ 2 ] (sample_rel ()) in
   check_bool "sorted" true (V.equal (R.Tuple.get (R.Relation.get r 0) 2) (V.Int 10));
@@ -203,6 +266,9 @@ let suites : unit Alcotest.test list =
         Alcotest.test_case "hash join = nested join" `Quick test_hash_join_matches_nested;
         Alcotest.test_case "join residual" `Quick test_join_residual;
         Alcotest.test_case "set operations" `Quick test_set_ops;
+        Alcotest.test_case "merge join duplicate keys" `Quick test_merge_join_duplicate_keys;
+        Alcotest.test_case "schema views share rows" `Quick test_schema_view_shares_rows;
+        Alcotest.test_case "selection vectors" `Quick test_selection_vectors;
         Alcotest.test_case "order_by and limit" `Quick test_order_limit;
         Alcotest.test_case "index lookup" `Quick test_index_lookup;
         Alcotest.test_case "multi-column index" `Quick test_index_multi_column;

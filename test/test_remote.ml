@@ -249,6 +249,48 @@ let test_unresolvable_condition_rejected () =
        false
      with Invalid_argument _ -> true)
 
+let test_indexed_equality_scans_less () =
+  let server = load_server () in
+  let eng = Server.engine server in
+  let q =
+    {
+      Sql.distinct = false;
+      columns = [];
+      from = [ { Sql.table = "emp"; alias = "e" } ];
+      where = [ (R.Row_pred.Eq, col "e" "dept", Sql.Const (V.Str "eng")) ];
+    }
+  in
+  let r, scanned = Engine.execute eng q in
+  check_int "two eng rows" 2 (R.Relation.cardinality r);
+  check_bool "scanned below full cardinality" true
+    (scanned < Catalog.cardinality (Server.catalog server) "emp");
+  check_int "scanned exactly the bucket" 2 scanned;
+  (* residual on top of the probe: dept = eng AND sal > 65 *)
+  let q' = { q with Sql.where = (R.Row_pred.Gt, col "e" "sal", Sql.Const (V.Int 65)) :: q.Sql.where } in
+  let r', scanned' = Engine.execute eng q' in
+  check_int "carol only" 1 (R.Relation.cardinality r');
+  check_int "residual does not change rows scanned" 2 scanned'
+
+let test_insert_invalidates_indexes () =
+  let server = load_server () in
+  let eng = Server.engine server in
+  let q =
+    {
+      Sql.distinct = false;
+      columns = [];
+      from = [ { Sql.table = "emp"; alias = "e" } ];
+      where = [ (R.Row_pred.Eq, col "e" "dept", Sql.Const (V.Str "eng")) ];
+    }
+  in
+  let r, _ = Engine.execute eng q in
+  check_int "two eng rows before insert" 2 (R.Relation.cardinality r);
+  Engine.insert eng "emp" [| V.Str "erin"; V.Str "eng"; V.Int 55 |];
+  check_bool "indexes dropped" true
+    (Catalog.index_on (Server.catalog server) "emp" [ 1 ] = None);
+  let r', scanned' = Engine.execute eng q in
+  check_int "rebuilt index sees the new row" 3 (R.Relation.cardinality r');
+  check_int "and scans only the bucket" 3 scanned'
+
 let extra_cases =
   [
     Alcotest.test_case "cursor abandonment saves transfer" `Quick
@@ -257,6 +299,10 @@ let extra_cases =
     Alcotest.test_case "product without join condition" `Quick
       test_product_when_no_join_condition;
     Alcotest.test_case "unresolvable condition" `Quick test_unresolvable_condition_rejected;
+    Alcotest.test_case "indexed equality scans only the bucket" `Quick
+      test_indexed_equality_scans_less;
+    Alcotest.test_case "insert invalidates catalog indexes" `Quick
+      test_insert_invalidates_indexes;
   ]
 
 let suites = match suites with
