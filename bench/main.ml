@@ -1,6 +1,6 @@
 (* The benchmark harness.
 
-   With no argument, runs every experiment E1-E10 (one per architectural
+   With no argument, runs every experiment E1-E13 (one per architectural
    claim / figure of the paper — see DESIGN.md §5 and EXPERIMENTS.md) and
    prints its result table, then the bechamel microbenchmarks.
 
@@ -8,10 +8,16 @@
      dune exec bench/main.exe e5 e8                 # selected experiments
      dune exec bench/main.exe micro                 # microbenchmarks only
      dune exec bench/main.exe -- --json PATH        # perf trajectory JSON
+     dune exec bench/main.exe -- --check PATH       # CI gate (see below)
+     dune exec bench/main.exe -- --seed 5 --json p  # explicit PRNG seed
 
    The --json mode writes the bechamel estimates plus hardware-independent
    experiment counters to PATH (schema documented in EXPERIMENTS.md); the
-   committed BENCH_relalg.json is a snapshot of that output. *)
+   committed BENCH_relalg.json is a snapshot of that output. --check
+   regenerates only the deterministic counters and fails (exit 1) if the
+   snapshot at PATH disagrees — the CI bench-smoke job runs this; timings
+   are uploaded as artifacts but never gated on. --seed overrides the
+   experiments' default PRNG seeds (the snapshot uses the defaults). *)
 
 module L = Braid_logic
 module T = L.Term
@@ -204,10 +210,52 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json path =
-  let micro = micro_estimates () in
-  let e10_rows, _ = Braid_experiments.Exp_indexing.run ~probes:60 ~size:120 () in
+(* The deterministic "experiments" member of the JSON: hardware-independent
+   counters only. Every number here derives from fixed (or --seed-supplied)
+   PRNG seeds and the simulated cost model, so the emitted text is
+   byte-identical across runs and machines — which is what lets CI gate on
+   it (--check) while the bechamel timings above it are reported but never
+   compared. *)
+let experiments_json ?seed () =
+  let e10_rows, _ = Braid_experiments.Exp_indexing.run ?seed ~probes:60 ~size:120 () in
+  let e13_rows, _ = Braid_experiments.Exp_faults.run ?seed () in
   let table_card, result_rows, scanned = remote_scan_counters () in
+  let b = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  out "  \"experiments\": {\n";
+  out "    \"remote_indexed_scan\": {\"table_cardinality\": %d, \"result_rows\": %d, \"rows_scanned\": %d},\n"
+    table_card result_rows scanned;
+  out "    \"e10_indexing\": [\n";
+  List.iteri
+    (fun i (r : Braid_experiments.Exp_indexing.row) ->
+      out
+        "      {\"label\": \"%s\", \"probes\": %d, \"tuples_touched\": %d, \"local_ms\": %.1f}%s\n"
+        (json_escape r.Braid_experiments.Exp_indexing.label)
+        r.Braid_experiments.Exp_indexing.probes
+        r.Braid_experiments.Exp_indexing.tuples_touched
+        r.Braid_experiments.Exp_indexing.local_ms
+        (if i = List.length e10_rows - 1 then "" else ","))
+    e10_rows;
+  out "    ],\n";
+  out "    \"e13_faults\": [\n";
+  List.iteri
+    (fun i (r : Braid_experiments.Exp_faults.row) ->
+      let open Braid_experiments.Exp_faults in
+      out
+        "      {\"error_rate\": %.2f, \"queries\": %d, \"answered\": %d, \"fresh\": %d, \
+         \"degraded\": %d, \"requests\": %d, \"retries\": %d, \"trips\": %d, \
+         \"deadline_misses\": %d, \"stale_serves\": %d, \"fast_fails\": %d}%s\n"
+        r.error_rate r.queries r.answered r.fresh r.degraded r.requests r.retries
+        r.trips r.deadline_misses r.stale_serves r.fast_fails
+        (if i = List.length e13_rows - 1 then "" else ","))
+    e13_rows;
+  out "    ]\n";
+  out "  }\n";
+  Buffer.contents b
+
+let write_json ?seed path =
+  let micro = micro_estimates () in
+  let experiments = experiments_json ?seed () in
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -221,53 +269,80 @@ let write_json path =
         (if i = List.length micro - 1 then "" else ","))
     micro;
   out "  ],\n";
-  out "  \"experiments\": {\n";
-  out "    \"remote_indexed_scan\": {\"table_cardinality\": %d, \"result_rows\": %d, \"rows_scanned\": %d},\n"
-    table_card result_rows scanned;
-  out "    \"e10_indexing\": [\n";
-  List.iteri
-    (fun i (r : Braid_experiments.Exp_indexing.row) ->
-      out
-        "      {\"label\": \"%s\", \"probes\": %d, \"tuples_touched\": %d, \"local_ms\": %.1f}%s\n"
-        (json_escape r.Braid_experiments.Exp_indexing.label)
-        r.Braid_experiments.Exp_indexing.probes
-        r.Braid_experiments.Exp_indexing.tuples_touched
-        r.Braid_experiments.Exp_indexing.local_ms
-        (if i = 1 then "" else ","))
-    e10_rows;
-  out "    ]\n";
-  out "  }\n";
+  out "%s" experiments;
   out "}\n";
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* CI gate: regenerate the deterministic experiment counters and require
+   the committed snapshot to contain exactly that text. Timing estimates
+   drift with hardware and are deliberately not compared. *)
+let check_json ?seed path =
+  let committed =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let expected = experiments_json ?seed () in
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  if contains committed expected then begin
+    Printf.printf "check ok: %s matches the deterministic experiment counters\n" path;
+    true
+  end
+  else begin
+    Printf.eprintf
+      "check FAILED: %s does not contain the regenerated experiment counters.\n\
+       Expected this fragment (regenerate the snapshot with --json if the \
+       change is intended):\n%s"
+      path expected;
+    false
+  end
+
 (* --- entry point --- *)
 
 let () =
-  let rec split_json json rest = function
-    | [] -> (json, List.rev rest)
-    | "--json" :: path :: tl -> split_json (Some path) rest tl
-    | "--json" :: [] ->
-      prerr_endline "--json requires a path argument";
+  let rec split_flags json check seed rest = function
+    | [] -> (json, check, seed, List.rev rest)
+    | "--json" :: path :: tl -> split_flags (Some path) check seed rest tl
+    | "--check" :: path :: tl -> split_flags json (Some path) seed rest tl
+    | "--seed" :: n :: tl ->
+      (match int_of_string_opt n with
+       | Some s -> split_flags json check (Some s) rest tl
+       | None ->
+         Printf.eprintf "--seed requires an integer, got %S\n" n;
+         exit 1)
+    | [ ("--json" | "--check" | "--seed") ] ->
+      prerr_endline "--json/--check require a path argument, --seed an integer";
       exit 1
-    | arg :: tl -> split_json json (arg :: rest) tl
+    | arg :: tl -> split_flags json check seed (arg :: rest) tl
   in
-  let json, args = split_json None [] (List.tl (Array.to_list Sys.argv)) in
-  (match json, args with
-   | Some path, _ -> write_json path
-   | None, [] ->
-     Braid_experiments.All.run_all ();
+  let json, check, seed, args =
+    split_flags None None None [] (List.tl (Array.to_list Sys.argv))
+  in
+  (match json, check, args with
+   | Some path, _, _ -> write_json ?seed path
+   | None, Some path, _ -> if not (check_json ?seed path) then exit 1
+   | None, None, [] ->
+     Braid_experiments.All.run_all ?seed ();
      run_micro ()
-   | None, _ -> ());
-  if json = None then
+   | None, None, _ -> ());
+  if json = None && check = None then
     List.iter
       (fun arg ->
         match String.lowercase_ascii arg with
         | "micro" -> run_micro ()
         | id ->
-          if not (Braid_experiments.All.run_one id) then begin
+          if not (Braid_experiments.All.run_one ?seed id) then begin
             Printf.eprintf
-              "unknown experiment %S (expected e1..e12, micro, or --json PATH)\n" arg;
+              "unknown experiment %S (expected e1..e13, micro, --seed N, --json PATH \
+               or --check PATH)\n"
+              arg;
             exit 1
           end)
       args

@@ -7,6 +7,7 @@ type stats = {
   evictions : int;
   tuples_touched : int;
   indexes_built : int;
+  stale_touches : int;
 }
 
 type t = {
@@ -15,6 +16,7 @@ type t = {
   mutable evictions : int;
   mutable tuples_touched : int;
   mutable indexes_built : int;
+  mutable stale_touches : int;
 }
 
 let create ~capacity_bytes =
@@ -24,6 +26,7 @@ let create ~capacity_bytes =
     evictions = 0;
     tuples_touched = 0;
     indexes_built = 0;
+    stale_touches = 0;
   }
 
 let model t = t.model
@@ -76,12 +79,17 @@ let relevant_covers t (q : A.conj) =
       List.map (fun cover -> (e, cover)) (Sub.covers sub_elem q))
     candidates
 
+let stale_hook t n = t.stale_touches <- t.stale_touches + n
+
 let eval t ?extra q =
-  let result, touched = Query_processor.eval t.model ?extra q in
+  let result, touched =
+    Query_processor.eval t.model ?extra ~stale_hook:(stale_hook t) q
+  in
   t.tuples_touched <- t.tuples_touched + touched;
   result
 
-let eval_conj_lazy t ?extra c = Query_processor.eval_conj_lazy t.model ?extra c
+let eval_conj_lazy t ?extra c =
+  Query_processor.eval_conj_lazy t.model ?extra ~stale_hook:(stale_hook t) c
 
 let ensure_index t e cols =
   if Element.index_on e cols = None then begin
@@ -101,16 +109,31 @@ let invalidate_pred t pred =
   List.iter (Cache_model.remove t.model) victims;
   victims
 
+(* Degraded-mode invalidation: when the remote cannot be reached to refetch,
+   dropping dependents would turn every later query into a hard miss against
+   a down server. Keep them, marked stale, so they remain servable. *)
+let mark_stale_pred t pred =
+  List.filter_map
+    (fun (e : Element.t) ->
+      if e.Element.stale then None
+      else begin
+        e.Element.stale <- true;
+        Some e.Element.id
+      end)
+    (Cache_model.candidates_for_pred t.model pred)
+
 let stats t =
   {
     insertions = t.insertions;
     evictions = t.evictions;
     tuples_touched = t.tuples_touched;
     indexes_built = t.indexes_built;
+    stale_touches = t.stale_touches;
   }
 
 let reset_stats t =
   t.insertions <- 0;
   t.evictions <- 0;
   t.tuples_touched <- 0;
-  t.indexes_built <- 0
+  t.indexes_built <- 0;
+  t.stale_touches <- 0

@@ -43,11 +43,18 @@ val invalidate_pred : t -> string -> string list
     removed element ids. (The paper treats the DBMS as read-mostly during a
     session; this is the maintenance hook a production deployment needs.) *)
 
+val mark_stale_pred : t -> string -> string list
+(** Degraded-mode alternative to {!invalidate_pred}: keeps the dependent
+    elements but marks them stale, so they stay servable while the remote
+    is unreachable. Answers touching them are flagged degraded. Returns
+    the ids newly marked. *)
+
 type stats = {
   insertions : int;
   evictions : int;
   tuples_touched : int;  (** workstation tuples processed by the QP *)
   indexes_built : int;
+  stale_touches : int;  (** tuples read from stale elements (degraded) *)
 }
 
 val stats : t -> stats

@@ -14,6 +14,7 @@ type t = {
   mutable hits : int;
   mutable last_used : int;
   mutable pinned : bool;
+  mutable stale : bool;
   created_at : int;
 }
 
@@ -27,6 +28,7 @@ let make ~id ~def ~now repr =
     hits = 0;
     last_used = now;
     pinned = false;
+    stale = false;
     created_at = now;
   }
 
@@ -91,4 +93,4 @@ let pp ppf e =
   Format.fprintf ppf "%s := %a [%s, %d tuples, hits=%d%s]" e.id Braid_caql.Ast.pp_conj e.def
     (if is_materialized e then "extension" else "generator")
     (cardinality_estimate e) e.hits
-    (if e.pinned then ", pinned" else "")
+    ((if e.pinned then ", pinned" else "") ^ if e.stale then ", stale" else "")

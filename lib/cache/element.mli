@@ -22,6 +22,10 @@ type t = {
   mutable hits : int;
   mutable last_used : int;  (** logical clock of last use *)
   mutable pinned : bool;  (** advice predicts imminent reuse; spare it *)
+  mutable stale : bool;
+      (** the backing remote table changed (or could not be revalidated)
+          since this extension was fetched; still servable, but answers
+          built from it are flagged {e degraded} *)
   created_at : int;
 }
 

@@ -38,7 +38,7 @@ let best_index (e : Element.t) consts =
       Some (ix, key, residual)
   end
 
-let resolve_extension model extra touched (a : L.Atom.t) =
+let resolve_extension model extra touched stale_hook (a : L.Atom.t) =
   match List.assoc_opt a.L.Atom.pred extra with
   | Some r ->
     touched := !touched + R.Relation.cardinality r;
@@ -48,6 +48,12 @@ let resolve_extension model extra touched (a : L.Atom.t) =
      | None -> raise (Unknown_relation a.L.Atom.pred)
      | Some e ->
        Cache_model.touch model e;
+       let count n =
+         touched := !touched + n;
+         (* Degraded operation: reading a stale element is still an answer,
+            but the caller must know to flag the result. *)
+         if e.Element.stale then stale_hook n
+       in
        let consts = const_cols a in
        (match best_index e consts with
         | Some (ix, key, residual) ->
@@ -55,11 +61,11 @@ let resolve_extension model extra touched (a : L.Atom.t) =
           let r, matched =
             R.Ops.select_indexed_count ix key ~residual (Element.extension e)
           in
-          touched := !touched + matched;
+          count matched;
           r
         | None ->
           let r = Element.extension e in
-          touched := !touched + R.Relation.cardinality r;
+          count (R.Relation.cardinality r);
           r))
 
 let schema_resolver model extra name =
@@ -67,15 +73,15 @@ let schema_resolver model extra name =
   | Some r -> Some (R.Relation.schema r)
   | None -> Option.map Element.schema (Cache_model.find model name)
 
-let eval model ?(extra = []) q =
+let eval model ?(extra = []) ?(stale_hook = fun _ -> ()) q =
   let touched = ref 0 in
-  let source = resolve_extension model extra touched in
+  let source = resolve_extension model extra touched stale_hook in
   let result =
     Braid_caql.Eval.query ~source ~schema_of:(schema_resolver model extra) q
   in
   (result, !touched)
 
-let eval_conj_lazy model ?(extra = []) c =
+let eval_conj_lazy model ?(extra = []) ?(stale_hook = fun _ -> ()) c =
   (* Resolve to streams without forcing generator elements: laziness must
      propagate all the way down. *)
   let source (a : L.Atom.t) =
@@ -86,6 +92,7 @@ let eval_conj_lazy model ?(extra = []) c =
        | None -> raise (Unknown_relation a.L.Atom.pred)
        | Some e ->
          Cache_model.touch model e;
+         if e.Element.stale then stale_hook (Element.cardinality_estimate e);
          Element.stream e)
   in
   Braid_caql.Eval.lazy_conj ~source ~schema_of:(schema_resolver model extra) c

@@ -12,16 +12,21 @@ exception Unknown_relation of string
 val eval :
   Cache_model.t ->
   ?extra:(string * Braid_relalg.Relation.t) list ->
+  ?stale_hook:(int -> unit) ->
   Braid_caql.Ast.t ->
   Braid_relalg.Relation.t * int
 (** Eager evaluation; the second component counts tuples touched in the
     cache (for workstation-cost accounting). Elements used are touched for
-    LRU/hit statistics. *)
+    LRU/hit statistics. [stale_hook] fires with the touched-tuple count
+    each time a {e stale} element contributes (degraded operation): the
+    planner uses it to tag answers built from stale data. *)
 
 val eval_conj_lazy :
   Cache_model.t ->
   ?extra:(string * Braid_relalg.Relation.t) list ->
+  ?stale_hook:(int -> unit) ->
   Braid_caql.Ast.conj ->
   Braid_stream.Tuple_stream.t
 (** Lazy generator over cached data only (possible exactly when all
-    required data is in the cache, §5.1). *)
+    required data is in the cache, §5.1). [stale_hook] fires at stream
+    construction when a stale element is a source. *)

@@ -1,6 +1,7 @@
 module Qpo = Braid_planner.Qpo
 module CMgr = Braid_cache.Cache_manager
 module Server = Braid_remote.Server
+module Rdi = Braid_remote.Rdi
 
 type t = {
   qpo : Qpo.t;
@@ -8,13 +9,17 @@ type t = {
   server : Server.t;
 }
 
-let create ?(config = Qpo.braid_config) ?(capacity_bytes = 8 * 1024 * 1024) server =
+let create ?(config = Qpo.braid_config) ?(capacity_bytes = 8 * 1024 * 1024) ?rdi_policy
+    server =
   let cache = CMgr.create ~capacity_bytes in
-  { qpo = Qpo.create config ~cache ~server; cache; server }
+  { qpo = Qpo.create ?rdi_policy config ~cache ~server; cache; server }
 
 let qpo t = t.qpo
 let cache t = t.cache
 let server t = t.server
+let rdi t = Qpo.rdi t.qpo
+let rdi_stats t = Rdi.stats (rdi t)
+let set_rdi_policy t policy = Rdi.set_policy (rdi t) policy
 
 let begin_session t advice = Qpo.set_advice t.qpo advice
 
@@ -28,7 +33,10 @@ let query_text t text =
   | [] -> raise (Braid_caql.Parser.Error "empty CAQL input")
   | _ -> raise (Braid_caql.Parser.Error "expected a single query definition")
 
-let invalidate_table t name = CMgr.invalidate_pred t.cache name
+let invalidate_table t ?(mode = `Drop) name =
+  match mode with
+  | `Drop -> CMgr.invalidate_pred t.cache name
+  | `Mark_stale -> CMgr.mark_stale_pred t.cache name
 
 let cache_summary t = Braid_cache.Cache_model.summary (CMgr.model t.cache)
 let metrics t = Qpo.metrics t.qpo
@@ -40,4 +48,5 @@ let trace t = Qpo.trace t.qpo
 let reset_metrics t =
   Qpo.reset_metrics t.qpo;
   Server.reset_stats t.server;
+  Rdi.reset_stats (rdi t);
   CMgr.reset_stats t.cache

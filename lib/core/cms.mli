@@ -13,14 +13,25 @@ type t
 val create :
   ?config:Braid_planner.Qpo.config ->
   ?capacity_bytes:int ->
+  ?rdi_policy:Braid_remote.Rdi.policy ->
   Braid_remote.Server.t ->
   t
 (** [config] defaults to {!Braid_planner.Qpo.braid_config};
-    [capacity_bytes] defaults to 8 MiB of cache. *)
+    [capacity_bytes] defaults to 8 MiB of cache; [rdi_policy] configures
+    the resilient Remote DBMS Interface (retries, backoff, breaker,
+    degrade-to-cache). *)
 
 val qpo : t -> Braid_planner.Qpo.t
 val cache : t -> Braid_cache.Cache_manager.t
 val server : t -> Braid_remote.Server.t
+
+val rdi : t -> Braid_remote.Rdi.t
+(** The fault-tolerant interface all remote requests go through. *)
+
+val rdi_stats : t -> Braid_remote.Rdi.stats
+val set_rdi_policy : t -> Braid_remote.Rdi.policy -> unit
+(** Replaces the RDI policy; resets the breaker and the RDI's PRNG (so a
+    run under a new policy is reproducible from its seed). *)
 
 val begin_session : t -> Braid_advice.Ast.t -> unit
 (** Submit the session's advice (view specifications + path expression). *)
@@ -42,9 +53,12 @@ val query_full :
 val query_text : t -> string -> Braid_relalg.Relation.t * Braid_planner.Plan.t
 (** Parses concrete CAQL syntax (see {!Braid_caql.Parser}) and evaluates. *)
 
-val invalidate_table : t -> string -> string list
-(** Drops every cache element that depends on the named remote table;
-    returns the dropped element ids. Call after the table changes. *)
+val invalidate_table : t -> ?mode:[ `Drop | `Mark_stale ] -> string -> string list
+(** Invalidate every cache element that depends on the named remote table;
+    returns the affected element ids. Call after the table changes.
+    [`Drop] (the default) removes the elements; [`Mark_stale] keeps them
+    but flags them, so queries can still be answered — degraded — while
+    the remote is unreachable. *)
 
 val cache_summary : t -> Braid_cache.Cache_model.summary
 val metrics : t -> Braid_planner.Qpo.metrics

@@ -51,6 +51,7 @@ let insert_remote t name tuple =
 
 type metrics = {
   remote : Server.stats;
+  rdi : Braid_remote.Rdi.stats;
   planner : Qpo.metrics;
   cache : Braid_cache.Cache_manager.stats;
   cache_summary : Braid_cache.Cache_model.summary;
@@ -63,6 +64,7 @@ let metrics t =
   let ie_ms = Engine.ie_ms t.engine in
   {
     remote = Cms.remote_stats t.cms;
+    rdi = Cms.rdi_stats t.cms;
     planner;
     cache = Braid_cache.Cache_manager.stats (Cms.cache t.cms);
     cache_summary = Cms.cache_summary t.cms;
@@ -77,13 +79,18 @@ let pp_metrics ppf m =
     "@[<v>remote: %d requests, %d tuples returned, %d scanned (server %.1fms, comm %.1fms)@,\
      planner: %d queries — %d exact, %d full, %d partial hits, %d misses; %d generalizations, \
      %d prefetches, %d lazy@,\
+     rdi: %d requests, %d retries, %d trips, %d deadline misses, %d stale serves, \
+     %d degraded answers@,\
      cache: %d elements (%d ext / %d gen), %d bytes, %d insertions, %d evictions@,\
      time: ie %.1fms, local %.1fms, total %.1fms@]"
     m.remote.Server.requests m.remote.Server.tuples_returned m.remote.Server.tuples_scanned
     m.remote.Server.server_ms m.remote.Server.comm_ms m.planner.Qpo.queries
     m.planner.Qpo.exact_hits m.planner.Qpo.full_hits m.planner.Qpo.partial_hits
     m.planner.Qpo.misses m.planner.Qpo.generalizations m.planner.Qpo.prefetches
-    m.planner.Qpo.lazy_answers m.cache_summary.Braid_cache.Cache_model.element_count
+    m.planner.Qpo.lazy_answers m.rdi.Braid_remote.Rdi.requests
+    m.rdi.Braid_remote.Rdi.retries m.rdi.Braid_remote.Rdi.trips
+    m.rdi.Braid_remote.Rdi.deadline_misses m.rdi.Braid_remote.Rdi.stale_serves
+    m.planner.Qpo.degraded m.cache_summary.Braid_cache.Cache_model.element_count
     m.cache_summary.Braid_cache.Cache_model.materialized
     m.cache_summary.Braid_cache.Cache_model.generators
     m.cache_summary.Braid_cache.Cache_model.total_bytes

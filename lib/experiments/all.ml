@@ -1,29 +1,30 @@
-let experiments =
+let experiments : (string * (?seed:int -> unit -> Table.t)) list =
   [
-    ("e1", fun () -> snd (Exp_coupling.run ()));
-    ("e2", fun () -> snd (Exp_ablation.run ()));
-    ("e3", fun () -> snd (Exp_cost_split.run ()));
-    ("e4", fun () -> snd (Exp_ie_pipeline.run ()));
-    ("e5", fun () -> snd (Exp_reuse.run ()));
-    ("e6", fun () -> snd (Exp_ic_range.run ()));
-    ("e7", fun () -> snd (Exp_lazy.run ()));
-    ("e8", fun () -> snd (Exp_advice.run ()));
-    ("e9", fun () -> snd (Exp_replacement.run ()));
-    ("e10", fun () -> snd (Exp_indexing.run ()));
-    ("e11", fun () -> snd (Exp_fixpoint.run ()));
-    ("e12", fun () -> snd (Exp_application.run ()));
+    ("e1", fun ?seed:_ () -> snd (Exp_coupling.run ()));
+    ("e2", fun ?seed:_ () -> snd (Exp_ablation.run ()));
+    ("e3", fun ?seed:_ () -> snd (Exp_cost_split.run ()));
+    ("e4", fun ?seed:_ () -> snd (Exp_ie_pipeline.run ()));
+    ("e5", fun ?seed:_ () -> snd (Exp_reuse.run ()));
+    ("e6", fun ?seed:_ () -> snd (Exp_ic_range.run ()));
+    ("e7", fun ?seed:_ () -> snd (Exp_lazy.run ()));
+    ("e8", fun ?seed:_ () -> snd (Exp_advice.run ()));
+    ("e9", fun ?seed:_ () -> snd (Exp_replacement.run ()));
+    ("e10", fun ?seed () -> snd (Exp_indexing.run ?seed ()));
+    ("e11", fun ?seed:_ () -> snd (Exp_fixpoint.run ()));
+    ("e12", fun ?seed:_ () -> snd (Exp_application.run ()));
+    ("e13", fun ?seed () -> snd (Exp_faults.run ?seed ()));
   ]
 
-let run_all () =
+let run_all ?seed () =
   List.iter
     (fun (_, run) ->
-      Table.print (run ());
+      Table.print (run ?seed ());
       print_newline ())
     experiments
 
-let run_one id =
+let run_one ?seed id =
   match List.assoc_opt (String.lowercase_ascii id) experiments with
   | Some run ->
-    Table.print (run ());
+    Table.print (run ?seed ());
     true
   | None -> false

@@ -1,11 +1,13 @@
 (** The complete experiment suite (see DESIGN.md §5 and EXPERIMENTS.md). *)
 
-val experiments : (string * (unit -> Table.t)) list
-(** [(id, run)] pairs, E1–E12, at full benchmark scale. *)
+val experiments : (string * (?seed:int -> unit -> Table.t)) list
+(** [(id, run)] pairs, E1–E13, at full benchmark scale. [seed] overrides
+    the default PRNG seed for the experiments that take one (E10, E13);
+    the others ignore it. *)
 
-val run_all : unit -> unit
+val run_all : ?seed:int -> unit -> unit
 (** Runs every experiment and prints its table. *)
 
-val run_one : string -> bool
+val run_one : ?seed:int -> string -> bool
 (** Runs the experiment with the given id (e.g. ["e5"]); false if the id is
     unknown. *)

@@ -32,7 +32,7 @@ let advice =
            ([ Adv.Pattern ("d2", [ v "X"; v "Y" ]) ], { Adv.lo = 0; hi = Adv.Inf }));
   }
 
-let run_one ~label ~indexing ~probes ~size =
+let run_one ~label ~indexing ~seed ~probes ~size =
   let server = Braid_remote.Server.create () in
   List.iter
     (Braid_remote.Engine.load (Braid_remote.Server.engine server))
@@ -42,7 +42,7 @@ let run_one ~label ~indexing ~probes ~size =
   in
   let cms = Braid.Cms.create ~config server in
   Braid.Cms.begin_session cms advice;
-  let prng = Braid_workload.Prng.create 5 in
+  let prng = Braid_workload.Prng.create seed in
   for _ = 1 to probes do
     let y = Printf.sprintf "y%d" (Braid_workload.Prng.int prng size) in
     ignore (TS.to_relation (Braid.Cms.query cms (d2_instance y)).Qpo.stream)
@@ -56,11 +56,11 @@ let run_one ~label ~indexing ~probes ~size =
     local_ms = m.Qpo.local_ms;
   }
 
-let run ?(probes = 60) ?(size = 120) () =
+let run ?(seed = 5) ?(probes = 60) ?(size = 120) () =
   let rows_data =
     [
-      run_one ~label:"no indexing" ~indexing:false ~probes ~size;
-      run_one ~label:"advice indexing (? column)" ~indexing:true ~probes ~size;
+      run_one ~label:"no indexing" ~indexing:false ~seed ~probes ~size;
+      run_one ~label:"advice indexing (? column)" ~indexing:true ~seed ~probes ~size;
     ]
   in
   let rows =

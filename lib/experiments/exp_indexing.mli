@@ -12,4 +12,5 @@ type row = {
   local_ms : float;
 }
 
-val run : ?probes:int -> ?size:int -> unit -> row list * Table.t
+val run : ?seed:int -> ?probes:int -> ?size:int -> unit -> row list * Table.t
+(** [seed] drives the probe-constant choice (deterministic per seed). *)

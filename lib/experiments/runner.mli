@@ -21,6 +21,10 @@ type result = {
   generalizations : int;
   prefetches : int;
   lazy_answers : int;
+  degraded : int;  (** answers served with stale or incomplete data *)
+  retries : int;  (** RDI retry attempts *)
+  trips : int;  (** circuit-breaker trips *)
+  stale_serves : int;  (** last-good responses served in place of a fetch *)
   evictions : int;
   cache_bytes : int;
 }

@@ -1,3 +1,7 @@
+type degraded_source =
+  | Stale_response  (** the RDI's last good response for the same request *)
+  | Unavailable  (** nothing cached: an explicitly empty answer *)
+
 type step =
   | Exact_hit of { element : string }
   | Use_element of { element : string; covered_atoms : int list }
@@ -8,8 +12,14 @@ type step =
   | Generalized of { spec : string; element : string }
   | Prefetch of { spec : string; element : string }
   | Index_built of { element : string; columns : int list }
+  | Degraded_serve of { sql : string; source : degraded_source }
+  | Stale_elements of { touched : int }
 
 type t = step list
+
+type provenance = Fresh | Degraded
+
+let provenance_to_string = function Fresh -> "fresh" | Degraded -> "degraded"
 
 let pp_cached ppf = function
   | Some id -> Format.fprintf ppf " -> cached as %s" id
@@ -38,6 +48,13 @@ let pp_step ppf = function
          ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
          Format.pp_print_int)
       columns
+  | Degraded_serve { sql; source } ->
+    Format.fprintf ppf "degraded [%s] (%s)" sql
+      (match source with
+       | Stale_response -> "stale last-good response"
+       | Unavailable -> "unavailable, empty answer")
+  | Stale_elements { touched } ->
+    Format.fprintf ppf "read %d stale cache tuples" touched
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%a@]"
@@ -51,7 +68,17 @@ let used_remote t =
     (function
       | Ship_subquery _ | Remote_fetch _ -> true
       | Exact_hit _ | Use_element _ | Local_eval _ | Lazy_answer | Generalized _ | Prefetch _
-      | Index_built _ -> false)
+      | Index_built _ | Degraded_serve _ | Stale_elements _ -> false)
     t
 
 let fully_from_cache t = not (used_remote t)
+
+let is_degraded t =
+  List.exists
+    (function
+      | Degraded_serve _ | Stale_elements _ -> true
+      | Exact_hit _ | Use_element _ | Ship_subquery _ | Remote_fetch _ | Local_eval _
+      | Lazy_answer | Generalized _ | Prefetch _ | Index_built _ -> false)
+    t
+
+let provenance t = if is_degraded t then Degraded else Fresh

@@ -6,6 +6,13 @@
     The executed plan is reported alongside every answer so examples,
     tests and experiments can observe {e how} a query was satisfied. *)
 
+type degraded_source =
+  | Stale_response
+      (** the RDI's most recent good response for the same request text *)
+  | Unavailable
+      (** the remote failed and nothing was cached: the answer for this
+          part is explicitly empty *)
+
 type step =
   | Exact_hit of { element : string }
       (** answered by a cached result with a variant-equal definition *)
@@ -24,8 +31,19 @@ type step =
   | Prefetch of { spec : string; element : string }
       (** a predicted-next query was materialized ahead of its arrival *)
   | Index_built of { element : string; columns : int list }
+  | Degraded_serve of { sql : string; source : degraded_source }
+      (** the remote could not answer in time; a degraded substitute was
+          used for this subquery (paper §4: the cache shields the IE from
+          the remote link) *)
+  | Stale_elements of { touched : int }
+      (** the local evaluation read cache elements marked stale (kept
+          through an invalidation instead of dropped) *)
 
 type t = step list
+
+type provenance = Fresh | Degraded
+
+val provenance_to_string : provenance -> string
 
 val pp_step : Format.formatter -> step -> unit
 val pp : Format.formatter -> t -> unit
@@ -35,3 +53,9 @@ val used_remote : t -> bool
 val fully_from_cache : t -> bool
 (** No remote interaction was needed for the query itself (prefetches and
     generalizations are counted separately). *)
+
+val is_degraded : t -> bool
+(** Some step served stale or unavailable data; the answer may be
+    incomplete or out of date. *)
+
+val provenance : t -> provenance

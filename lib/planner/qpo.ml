@@ -5,6 +5,7 @@ module TS = Braid_stream.Tuple_stream
 module CMgr = Braid_cache.Cache_manager
 module Elem = Braid_cache.Element
 module Server = Braid_remote.Server
+module Rdi = Braid_remote.Rdi
 module Catalog = Braid_remote.Catalog
 module CModel = Braid_remote.Cost_model
 module Sub = Braid_subsume.Subsumption
@@ -86,6 +87,7 @@ type metrics = {
   prefetches : int;
   lazy_answers : int;
   indexes_built : int;
+  degraded : int;
   local_ms : float;
   elapsed_ms : float;
 }
@@ -100,6 +102,7 @@ type stats = {
   mutable prefetches : int;
   mutable lazy_answers : int;
   mutable indexes_built : int;
+  mutable degraded : int;
   mutable local_ms : float;
   mutable elapsed_ms : float;
 }
@@ -115,6 +118,7 @@ let fresh_stats () =
     prefetches = 0;
     lazy_answers = 0;
     indexes_built = 0;
+    degraded = 0;
     local_ms = 0.0;
     elapsed_ms = 0.0;
   }
@@ -123,6 +127,7 @@ type t = {
   config : config;
   cache : CMgr.t;
   server : Server.t;
+  rdi : Rdi.t;
   mutable advisor : Adv.t;
   elem_spec : (string, string) Hashtbl.t; (* element id -> originating spec id *)
   prefetched : (string, unit) Hashtbl.t; (* spec ids prefetched this epoch *)
@@ -133,11 +138,12 @@ type t = {
 
 exception Unknown_relation = Braid_cache.Query_processor.Unknown_relation
 
-let create config ~cache ~server =
+let create ?rdi_policy config ~cache ~server =
   {
     config;
     cache;
     server;
+    rdi = Rdi.create ?policy:rdi_policy server;
     advisor = Adv.no_advice ();
     elem_spec = Hashtbl.create 32;
     prefetched = Hashtbl.create 16;
@@ -149,6 +155,7 @@ let create config ~cache ~server =
 let config t = t.config
 let cache t = t.cache
 let server t = t.server
+let rdi t = t.rdi
 let advisor t = t.advisor
 
 let set_trace t enabled = t.trace <- (if enabled then Some [] else None)
@@ -194,6 +201,7 @@ type solved = {
   s_used_cache : bool;
   s_used_remote : bool;
   s_covered_cards : int; (* cached tuples available for overlap with remote work *)
+  s_degraded : bool; (* some remote part was served stale or not at all *)
 }
 
 let no_arith_cmp (_, a, b) =
@@ -209,41 +217,67 @@ let uniq xs =
   in
   loop [] xs
 
+(* One resilient remote request through the RDI. Always produces a
+   relation: fresh, the RDI's last good response (stale), or — when the
+   remote is unavailable and nothing was ever fetched for this request —
+   an explicitly empty extension under the definition's schema. *)
+let remote_fetch t (def : A.conj) sql =
+  let text = Braid_remote.Sql.to_string sql in
+  match Rdi.exec (rdi t) sql with
+  | Rdi.Fresh rel -> (retyped t def rel, text, `Fresh)
+  | Rdi.Stale (rel, _) -> (retyped t def rel, text, `Stale)
+  | Rdi.Failed _ ->
+    Log.debug (fun m -> m "remote unavailable, empty degraded answer for [%s]" text);
+    let schema = Analyze.schema_of_conj (schema_resolver t []) def in
+    (R.Relation.create schema, text, `Unavailable)
+
 (* Fetch a single relation occurrence from the remote DBMS. *)
 let fetch_atom t (a : L.Atom.t) =
   let def = single_atom_def a in
   match To_sql.translate ~schema_of:(remote_schema t) def with
   | Ok sql ->
-    let rel = Server.exec t.server sql in
-    (def, retyped t def rel, Braid_remote.Sql.to_string sql)
+    let rel, text, freshness = remote_fetch t def sql in
+    (def, rel, text, freshness)
   | Error (To_sql.Unknown_relation r) -> raise (Unknown_relation r)
   | Error f -> invalid_arg ("Qpo.fetch_atom: " ^ To_sql.failure_to_string f)
 
-(* Try to ship a conjunction as one remote request. *)
+(* Try to ship a conjunction as one remote request. [None] also covers the
+   remote being unavailable with nothing cached for this request — the
+   caller then degrades per relation occurrence, where the RDI's response
+   cache has a better chance of a last-good hit. *)
 let ship_conj t (sc : A.conj) =
   match To_sql.translate ~schema_of:(remote_schema t) sc with
   | Ok sql ->
-    let rel = Server.exec t.server sql in
-    Some (retyped t sc rel, Braid_remote.Sql.to_string sql)
+    (match Rdi.exec (rdi t) sql with
+     | Rdi.Fresh rel -> Some (retyped t sc rel, Braid_remote.Sql.to_string sql, `Fresh)
+     | Rdi.Stale (rel, _) -> Some (retyped t sc rel, Braid_remote.Sql.to_string sql, `Stale)
+     | Rdi.Failed _ -> None)
   | Error (To_sql.Unknown_relation r) -> raise (Unknown_relation r)
   | Error _ -> None
 
 (* Cache a fetched extension under its definition; fall back to an extra
    relation when it does not fit. Returns the replacement predicate name
-   plus the extras/steps contributions. *)
-let stash t ~cacheable (def : A.conj) rel sql ~ship =
+   plus the extras/steps contributions. Degraded (stale/unavailable) data
+   is NEVER cached — a later fresh fetch must not find a poisoned hit —
+   and is reported as a [Degraded_serve] step instead. *)
+let stash t ~cacheable ~freshness (def : A.conj) rel sql ~ship =
   let mk_step cached_as =
-    if ship then Plan.Ship_subquery { sql; cached_as } else Plan.Remote_fetch { sql; cached_as }
+    match freshness with
+    | `Fresh ->
+      if ship then Plan.Ship_subquery { sql; cached_as }
+      else Plan.Remote_fetch { sql; cached_as }
+    | `Stale -> Plan.Degraded_serve { sql; source = Plan.Stale_response }
+    | `Unavailable -> Plan.Degraded_serve { sql; source = Plan.Unavailable }
   in
-  if not cacheable then
+  let as_extra () =
     let name = fresh_extra t in
     (name, [ (name, rel) ], [ mk_step None ])
+  in
+  if not (cacheable && freshness = `Fresh) then as_extra ()
   else
     match CMgr.insert t.cache ~def (Elem.Extension rel) with
     | Some e -> (e.Elem.id, [], [ mk_step (Some e.Elem.id) ])
-    | None ->
-      let name = fresh_extra t in
-      (name, [ (name, rel) ], [ mk_step None ])
+    | None -> as_extra ()
 
 (* Replace the atoms at the given indices by replacement atoms; atoms not
    mentioned are kept in order. *)
@@ -304,10 +338,10 @@ let fetch_uncovered t ~cacheable (q : A.conj) uncovered_idx external_vars =
         if ship_c > atoms_c then None
         else
           match ship_conj t sc with
-          | Some (rel, sql) ->
-            let name, extras, steps = stash t ~cacheable sc rel sql ~ship:true in
+          | Some (rel, sql, freshness) ->
+            let name, extras, steps = stash t ~cacheable ~freshness sc rel sql ~ship:true in
             let repl = L.Atom.make name (List.map (fun v -> L.Term.Var v) head_vars) in
-            Some ([ (uncovered_idx, repl) ], extras, steps)
+            Some ([ (uncovered_idx, repl) ], extras, steps, freshness <> `Fresh)
           | None -> None
       end
     end
@@ -317,13 +351,16 @@ let fetch_uncovered t ~cacheable (q : A.conj) uncovered_idx external_vars =
   | None ->
     (* one fetch per occurrence *)
     List.fold_left
-      (fun (repls, extras, steps) i ->
+      (fun (repls, extras, steps, degraded) i ->
         let a = List.nth q.A.atoms i in
-        let def, rel, sql = fetch_atom t a in
-        let name, extras', steps' = stash t ~cacheable def rel sql ~ship:false in
+        let def, rel, sql, freshness = fetch_atom t a in
+        let name, extras', steps' = stash t ~cacheable ~freshness def rel sql ~ship:false in
         let repl = L.Atom.make name def.A.head in
-        (repls @ [ ([ i ], repl) ], extras @ extras', steps @ steps'))
-      ([], [], []) uncovered_idx
+        ( repls @ [ ([ i ], repl) ],
+          extras @ extras',
+          steps @ steps',
+          degraded || freshness <> `Fresh ))
+      ([], [], [], false) uncovered_idx
 
 let all_indices (q : A.conj) = List.init (List.length q.A.atoms) (fun i -> i)
 
@@ -334,7 +371,7 @@ let solve_no_cache t (q : A.conj) =
     uniq (List.concat_map (function L.Term.Var x -> [ x ] | L.Term.Const _ -> []) q.A.head
          @ List.concat_map cmp_vars q.A.cmps)
   in
-  let repls, extras, steps =
+  let repls, extras, steps, degraded =
     fetch_uncovered t ~cacheable:false q (all_indices q) external_vars
   in
   {
@@ -344,6 +381,7 @@ let solve_no_cache t (q : A.conj) =
     s_used_cache = false;
     s_used_remote = true;
     s_covered_cards = 0;
+    s_degraded = degraded;
   }
 
 let element_cover_replacement e (q : A.conj) =
@@ -363,6 +401,7 @@ let solve_exact t (q : A.conj) =
          s_used_cache = true;
          s_used_remote = false;
          s_covered_cards = Elem.cardinality_estimate e;
+         s_degraded = false;
        }
      | None ->
        (* A variant-equal definition always yields a full cover; defensive
@@ -372,11 +411,27 @@ let solve_exact t (q : A.conj) =
 
 let solve_single t (q : A.conj) =
   let model = CMgr.model t.cache in
-  let repls, extras, steps, used_cache, used_remote, cards =
+  let fetch_arm (repls, extras, steps, uc, cards, degraded) i a =
+    let def, rel, sql, freshness = fetch_atom t a in
+    let name, extras', steps' = stash t ~cacheable:true ~freshness def rel sql ~ship:false in
+    ( repls @ [ ([ i ], L.Atom.make name def.A.head) ],
+      extras @ extras',
+      steps @ steps',
+      uc,
+      cards,
+      degraded || freshness <> `Fresh )
+  in
+  let repls, extras, steps, used_cache, used_remote, cards, degraded =
     List.fold_left
-      (fun (repls, extras, steps, uc, ur, cards) i ->
+      (fun (repls, extras, steps, uc, ur, cards, degraded) i ->
         let a = List.nth q.A.atoms i in
         let def_a = single_atom_def a in
+        let fetched () =
+          let repls, extras, steps, uc, cards, degraded =
+            fetch_arm (repls, extras, steps, uc, cards, degraded) i a
+          in
+          (repls, extras, steps, uc, true, cards, degraded)
+        in
         match CMgr.find_exact t.cache def_a with
         | Some e ->
           (match element_cover_replacement e def_a with
@@ -387,26 +442,11 @@ let solve_single t (q : A.conj) =
                steps @ [ Plan.Use_element { element = e.Elem.id; covered_atoms = [ i ] } ],
                true,
                ur,
-               cards + Elem.cardinality_estimate e )
-           | None ->
-             let def, rel, sql = fetch_atom t a in
-             let name, extras', steps' = stash t ~cacheable:true def rel sql ~ship:false in
-             ( repls @ [ ([ i ], L.Atom.make name def.A.head) ],
-               extras @ extras',
-               steps @ steps',
-               uc,
-               true,
-               cards ))
-        | None ->
-          let def, rel, sql = fetch_atom t a in
-          let name, extras', steps' = stash t ~cacheable:true def rel sql ~ship:false in
-          ( repls @ [ ([ i ], L.Atom.make name def.A.head) ],
-            extras @ extras',
-            steps @ steps',
-            uc,
-            true,
-            cards ))
-      ([], [], [], false, false, 0)
+               cards + Elem.cardinality_estimate e,
+               degraded )
+           | None -> fetched ())
+        | None -> fetched ())
+      ([], [], [], false, false, 0, false)
       (all_indices q)
   in
   {
@@ -416,6 +456,7 @@ let solve_single t (q : A.conj) =
     s_used_cache = used_cache;
     s_used_remote = used_remote;
     s_covered_cards = cards;
+    s_degraded = degraded;
   }
 
 (* Greedy disjoint cover selection: larger covers first, preferring
@@ -465,6 +506,7 @@ let solve_subsume t (q : A.conj) =
       s_used_cache = chosen <> [];
       s_used_remote = false;
       s_covered_cards = covered_cards;
+      s_degraded = false;
     }
   else begin
     let external_vars =
@@ -473,7 +515,7 @@ let solve_subsume t (q : A.conj) =
         @ List.concat_map cmp_vars q.A.cmps
         @ List.concat_map (fun (_, repl) -> L.Atom.vars repl) cover_repls)
     in
-    let fetch_repls, extras, fetch_steps =
+    let fetch_repls, extras, fetch_steps, degraded =
       fetch_uncovered t ~cacheable:true q uncovered_idx external_vars
     in
     {
@@ -483,6 +525,7 @@ let solve_subsume t (q : A.conj) =
       s_used_cache = chosen <> [];
       s_used_remote = true;
       s_covered_cards = covered_cards;
+      s_degraded = degraded;
     }
   end
 
@@ -518,16 +561,24 @@ let materialize_def t (def : A.conj) =
   | Some e -> Some (e, [])
   | None ->
     let solved = solve t def in
-    (* Solving may itself have cached an element with this very definition
-       (a shipped subquery equal to [def]); do not duplicate it. *)
-    (match CMgr.find_exact t.cache def with
-     | Some e -> Some (e, solved.s_steps)
-     | None ->
-       let rel = CMgr.eval t.cache ~extra:solved.s_extras (A.Conj solved.s_rewritten) in
-       let rel = retyped t def rel in
-       (match CMgr.insert t.cache ~def (Elem.Extension rel) with
-        | Some e -> Some (e, solved.s_steps)
-        | None -> None))
+    (* A degraded fetch must not be materialized: generalizations and
+       prefetches cached now would keep serving stale or empty data after
+       the remote recovers. *)
+    if solved.s_degraded then None
+    else
+      (* Solving may itself have cached an element with this very definition
+         (a shipped subquery equal to [def]); do not duplicate it. *)
+      (match CMgr.find_exact t.cache def with
+       | Some e -> Some (e, solved.s_steps)
+       | None ->
+         let stale_before = (CMgr.stats t.cache).CMgr.stale_touches in
+         let rel = CMgr.eval t.cache ~extra:solved.s_extras (A.Conj solved.s_rewritten) in
+         if (CMgr.stats t.cache).CMgr.stale_touches > stale_before then None
+         else
+           let rel = retyped t def rel in
+           (match CMgr.insert t.cache ~def (Elem.Extension rel) with
+            | Some e -> Some (e, solved.s_steps)
+            | None -> None))
 
 let generalization_steps t spec (q : A.conj) =
   if
@@ -623,6 +674,7 @@ let update_pins t =
 type answer = {
   stream : TS.t;
   plan : Plan.t;
+  provenance : Plan.provenance;
   spec_id : string option;
 }
 
@@ -637,7 +689,8 @@ let classify t solved =
       (function
         | Plan.Exact_hit _ -> true
         | Plan.Use_element _ | Plan.Ship_subquery _ | Plan.Remote_fetch _ | Plan.Local_eval _
-        | Plan.Lazy_answer | Plan.Generalized _ | Plan.Prefetch _ | Plan.Index_built _ -> false)
+        | Plan.Lazy_answer | Plan.Generalized _ | Plan.Prefetch _ | Plan.Index_built _
+        | Plan.Degraded_serve _ | Plan.Stale_elements _ -> false)
       solved.s_steps
   then t.stats.exact_hits <- t.stats.exact_hits + 1
 
@@ -670,6 +723,7 @@ let answer_conj t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
   update_pins t;
   let before = Server.stats t.server in
   let touched_before = (CMgr.stats t.cache).CMgr.tuples_touched in
+  let stale_before = (CMgr.stats t.cache).CMgr.stale_touches in
   (* QPO step 1: possibly evaluate a generalization first. *)
   let gen_steps = generalization_steps t spec q in
   (* Steps 2 and 3: rewrite over the cache and fetch what is missing. *)
@@ -691,9 +745,12 @@ let answer_conj t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
       let s = CMgr.eval_conj_lazy t.cache solved.s_rewritten in
       result_steps := [ Plan.Lazy_answer ];
       (* A generator is itself cacheable (§5.1); it shares its memoized
-         spine with the consumer's stream. *)
+         spine with the consumer's stream. Generators built over stale
+         elements are not cached: they would outlive the staleness. *)
       (match t.config.caching with
-       | Subsumption when CMgr.find_exact t.cache q = None ->
+       | Subsumption
+         when CMgr.find_exact t.cache q = None
+              && (CMgr.stats t.cache).CMgr.stale_touches = stale_before ->
          ignore (CMgr.insert t.cache ~def:q (Elem.Generator s))
        | Subsumption | No_cache | Exact_match | Single_relation -> ());
       s
@@ -702,7 +759,13 @@ let answer_conj t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
       let rel = CMgr.eval t.cache ~extra:solved.s_extras (A.Conj solved.s_rewritten) in
       let touched = (CMgr.stats t.cache).CMgr.tuples_touched - touched_before in
       result_steps := [ Plan.Local_eval { touched } ];
-      if should_cache_eager_result t spec solved touched && CMgr.find_exact t.cache q = None
+      let degraded_eval =
+        solved.s_degraded || (CMgr.stats t.cache).CMgr.stale_touches > stale_before
+      in
+      if
+        should_cache_eager_result t spec solved touched
+        && (not degraded_eval)
+        && CMgr.find_exact t.cache q = None
       then begin
         match CMgr.insert t.cache ~def:q (Elem.Extension (retyped t q rel)) with
         | Some e ->
@@ -746,13 +809,22 @@ let answer_conj t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
   in
   t.stats.local_ms <- t.stats.local_ms +. local_ms;
   t.stats.elapsed_ms <- t.stats.elapsed_ms +. elapsed;
-  let plan = gen_steps @ solved.s_steps @ !result_steps @ pf_steps in
+  let stale_delta = (CMgr.stats t.cache).CMgr.stale_touches - stale_before in
+  let stale_steps =
+    if stale_delta > 0 then [ Plan.Stale_elements { touched = stale_delta } ] else []
+  in
+  let plan = gen_steps @ solved.s_steps @ !result_steps @ stale_steps @ pf_steps in
+  let provenance =
+    if solved.s_degraded || stale_delta > 0 then Plan.Degraded else Plan.Fresh
+  in
+  if provenance = Plan.Degraded then t.stats.degraded <- t.stats.degraded + 1;
   (match t.trace with
    | Some entries -> t.trace <- Some ((q, plan) :: entries)
    | None -> ());
   {
     stream;
     plan;
+    provenance;
     spec_id = Option.map (fun s -> s.Braid_advice.Ast.id) spec;
   }
 
@@ -883,6 +955,7 @@ let metrics t : metrics =
     prefetches = t.stats.prefetches;
     lazy_answers = t.stats.lazy_answers;
     indexes_built = t.stats.indexes_built;
+    degraded = t.stats.degraded;
     local_ms = t.stats.local_ms;
     elapsed_ms = t.stats.elapsed_ms;
   }
@@ -898,5 +971,6 @@ let reset_metrics t =
   s.prefetches <- 0;
   s.lazy_answers <- 0;
   s.indexes_built <- 0;
+  s.degraded <- 0;
   s.local_ms <- 0.0;
   s.elapsed_ms <- 0.0

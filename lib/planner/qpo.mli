@@ -51,11 +51,23 @@ val no_advice_config : config
 
 type t
 
-val create : config -> cache:Braid_cache.Cache_manager.t -> server:Braid_remote.Server.t -> t
+val create :
+  ?rdi_policy:Braid_remote.Rdi.policy ->
+  config ->
+  cache:Braid_cache.Cache_manager.t ->
+  server:Braid_remote.Server.t ->
+  t
+(** [rdi_policy] configures the resilient Remote DBMS Interface the planner
+    routes every remote request through (retries, backoff, breaker,
+    degrade-to-cache); defaults to {!Braid_remote.Rdi.default_policy}. *)
 
 val config : t -> config
 val cache : t -> Braid_cache.Cache_manager.t
 val server : t -> Braid_remote.Server.t
+
+val rdi : t -> Braid_remote.Rdi.t
+(** The fault-tolerant remote interface all planner fetches go through. *)
+
 val advisor : t -> Braid_advice.Advisor.t
 
 val set_advice : t -> Braid_advice.Ast.t -> unit
@@ -64,6 +76,9 @@ val set_advice : t -> Braid_advice.Ast.t -> unit
 type answer = {
   stream : Braid_stream.Tuple_stream.t;  (** results are always streamed to the IE (§3) *)
   plan : Plan.t;
+  provenance : Plan.provenance;
+      (** [Degraded] when any part of the answer came from a stale response,
+          a stale cache element, or an unavailable remote *)
   spec_id : string option;  (** the view specification the query matched *)
 }
 
@@ -88,6 +103,7 @@ type metrics = {
   prefetches : int;
   lazy_answers : int;
   indexes_built : int;
+  degraded : int;  (** answers served with stale or incomplete data *)
   local_ms : float;  (** simulated workstation time *)
   elapsed_ms : float;  (** simulated wall-clock incl. overlap *)
 }

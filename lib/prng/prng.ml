@@ -1,0 +1,58 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* splitmix64 *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+let float t =
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t < p
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let zipf t ~n ~skew =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  if skew <= 0.0 then int t n
+  else begin
+    (* inverse-CDF sampling over the finite harmonic weights *)
+    let weights = Array.init n (fun i -> 1.0 /. ((float_of_int (i + 1)) ** skew)) in
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    let target = float t *. total in
+    let acc = ref 0.0 in
+    let result = ref (n - 1) in
+    (try
+       Array.iteri
+         (fun i w ->
+           acc := !acc +. w;
+           if !acc >= target then begin
+             result := i;
+             raise Exit
+           end)
+         weights
+     with Exit -> ());
+    !result
+  end
+
+let shuffle t l =
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr

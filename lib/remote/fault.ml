@@ -1,0 +1,77 @@
+module Prng = Braid_prng.Prng
+
+type kind = Transient | Disconnect | Timeout
+
+let kind_to_string = function
+  | Transient -> "transient"
+  | Disconnect -> "disconnect"
+  | Timeout -> "timeout"
+
+exception Injected of kind
+
+type config = {
+  seed : int;
+  error_rate : float;
+  disconnect_rate : float;
+  latency_base_ms : float;
+  latency_jitter_ms : float;
+  spike_rate : float;
+  spike_ms : float;
+  slow_tables : (string * float) list;
+}
+
+let none =
+  {
+    seed = 0;
+    error_rate = 0.0;
+    disconnect_rate = 0.0;
+    latency_base_ms = 0.0;
+    latency_jitter_ms = 0.0;
+    spike_rate = 0.0;
+    spike_ms = 0.0;
+    slow_tables = [];
+  }
+
+let flaky ?(seed = 1) ~error_rate () =
+  {
+    seed;
+    error_rate;
+    disconnect_rate = error_rate /. 10.0;
+    latency_base_ms = 5.0;
+    latency_jitter_ms = 10.0;
+    spike_rate = 0.02;
+    spike_ms = 120.0;
+    slow_tables = [];
+  }
+
+type t = { config : config; prng : Prng.t }
+
+let create config = { config; prng = Prng.create config.seed }
+
+let config t = t.config
+
+let roll t ~tables =
+  let c = t.config in
+  (* Fixed draw order and count: the schedule depends only on (seed, call
+     index), never on which branch a draw selects. *)
+  let u_err = Prng.float t.prng in
+  let u_disc = Prng.float t.prng in
+  let u_jitter = Prng.float t.prng in
+  let u_spike = Prng.float t.prng in
+  if u_err < c.error_rate then Error Transient
+  else if u_disc < c.disconnect_rate then Error Disconnect
+  else begin
+    let hotspot =
+      List.fold_left
+        (fun acc table ->
+          match List.assoc_opt table c.slow_tables with
+          | Some ms -> acc +. ms
+          | None -> acc)
+        0.0 tables
+    in
+    Ok
+      (c.latency_base_ms
+      +. (u_jitter *. c.latency_jitter_ms)
+      +. (if u_spike < c.spike_rate then c.spike_ms else 0.0)
+      +. hotspot)
+  end

@@ -1,0 +1,52 @@
+(** Deterministic fault injection for the simulated remote DBMS.
+
+    The paper's setting (§4, Figure 5) is an {e autonomous, remote} DBMS
+    reached over a network: latency varies, links drop, servers shed load.
+    This module decides — pseudo-randomly but reproducibly from a seed —
+    the fate of each request: extra latency (base + jitter + occasional
+    spike + per-table "slow table" hotspots) or an injected failure.
+
+    All randomness flows through {!Braid_prng.Prng} (splitmix64), so a
+    given [(config, request sequence)] produces bit-identical schedules on
+    every run — the property the resilience tests and the CI bench gate
+    rely on. *)
+
+type kind =
+  | Transient  (** the server refused the request; retrying may succeed *)
+  | Disconnect  (** the connection dropped mid-request *)
+  | Timeout  (** the caller's deadline elapsed before the reply *)
+
+val kind_to_string : kind -> string
+
+exception Injected of kind
+(** Raised by {!Server.exec} when a fault fires. *)
+
+type config = {
+  seed : int;
+  error_rate : float;  (** probability of a transient error per request *)
+  disconnect_rate : float;  (** probability of a dropped connection *)
+  latency_base_ms : float;  (** extra latency added to every request *)
+  latency_jitter_ms : float;  (** uniform extra in [\[0, jitter)] *)
+  spike_rate : float;  (** probability of a latency spike *)
+  spike_ms : float;  (** spike magnitude when one fires *)
+  slow_tables : (string * float) list;
+      (** per-table extra latency — hotspots a real server develops *)
+}
+
+val none : config
+(** No faults, no latency: the seed-state behavior. *)
+
+val flaky : ?seed:int -> error_rate:float -> unit -> config
+(** A plausible unreliable link: the given transient error rate, a tenth
+    of it as disconnects, 5 ms +- 10 ms latency and 2% spikes of 120 ms. *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val roll : t -> tables:string list -> (float, kind) result
+(** Decide one request's fate: [Ok latency_ms] or [Error kind]. Exactly
+    four PRNG draws per call regardless of outcome, so fault schedules
+    stay aligned across configurations sharing a seed. [tables] are the
+    FROM-clause tables, matched against [slow_tables]. *)

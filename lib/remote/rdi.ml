@@ -1,0 +1,240 @@
+module R = Braid_relalg
+module Prng = Braid_prng.Prng
+
+type policy = {
+  deadline_ms : float option;
+  max_retries : int;
+  backoff_base_ms : float;
+  backoff_multiplier : float;
+  backoff_jitter : float;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+  seed : int;
+}
+
+let default_policy =
+  {
+    deadline_ms = None;
+    max_retries = 3;
+    backoff_base_ms = 25.0;
+    backoff_multiplier = 2.0;
+    backoff_jitter = 0.25;
+    breaker_threshold = 5;
+    breaker_cooldown = 8;
+    seed = 7;
+  }
+
+type breaker_state = Closed | Open | Half_open
+
+type failure =
+  | Remote_fault of Fault.kind
+  | Breaker_open
+
+let failure_to_string = function
+  | Remote_fault k -> Fault.kind_to_string k
+  | Breaker_open -> "breaker-open"
+
+type outcome =
+  | Fresh of R.Relation.t
+  | Stale of R.Relation.t * failure
+  | Failed of failure
+
+type stats = {
+  requests : int;
+  attempts : int;
+  retries : int;
+  failures : int;
+  deadline_misses : int;
+  trips : int;
+  fast_fails : int;
+  half_open_probes : int;
+  stale_serves : int;
+  backoff_ms : float;
+}
+
+type t = {
+  server : Server.t;
+  mutable policy : policy;
+  mutable prng : Prng.t;
+  mutable state : breaker_state;
+  mutable consecutive_failures : int;
+  mutable cooldown_left : int;
+  last_good : (string, R.Relation.t) Hashtbl.t;
+  mutable requests : int;
+  mutable attempts : int;
+  mutable retries : int;
+  mutable failures : int;
+  mutable deadline_misses : int;
+  mutable trips : int;
+  mutable fast_fails : int;
+  mutable half_open_probes : int;
+  mutable stale_serves : int;
+  mutable backoff_ms : float;
+  mutable events : string list; (* newest first *)
+}
+
+let create ?(policy = default_policy) server =
+  {
+    server;
+    policy;
+    prng = Prng.create policy.seed;
+    state = Closed;
+    consecutive_failures = 0;
+    cooldown_left = 0;
+    last_good = Hashtbl.create 64;
+    requests = 0;
+    attempts = 0;
+    retries = 0;
+    failures = 0;
+    deadline_misses = 0;
+    trips = 0;
+    fast_fails = 0;
+    half_open_probes = 0;
+    stale_serves = 0;
+    backoff_ms = 0.0;
+    events = [];
+  }
+
+let server t = t.server
+let policy t = t.policy
+
+let set_policy t policy =
+  t.policy <- policy;
+  t.prng <- Prng.create policy.seed;
+  t.state <- Closed;
+  t.consecutive_failures <- 0;
+  t.cooldown_left <- 0
+
+let breaker t = t.state
+
+let event t fmt = Printf.ksprintf (fun s -> t.events <- s :: t.events) fmt
+
+let backoff_delay t ~attempt =
+  let p = t.policy in
+  let base = p.backoff_base_ms *. (p.backoff_multiplier ** float_of_int attempt) in
+  base *. (1.0 +. (Prng.float t.prng *. p.backoff_jitter))
+
+let trip t =
+  t.state <- Open;
+  t.consecutive_failures <- 0;
+  t.cooldown_left <- t.policy.breaker_cooldown;
+  t.trips <- t.trips + 1;
+  event t "trip cooldown=%d" t.policy.breaker_cooldown
+
+let note_failure t =
+  t.consecutive_failures <- t.consecutive_failures + 1;
+  if t.consecutive_failures >= t.policy.breaker_threshold then begin
+    trip t;
+    true (* tripped: stop retrying *)
+  end
+  else false
+
+let note_success t =
+  t.consecutive_failures <- 0;
+  match t.state with
+  | Half_open ->
+    t.state <- Closed;
+    event t "close"
+  | Closed | Open -> ()
+
+(* Serve the last good response for this request text, if any. *)
+let degrade t sql_text failure =
+  match Hashtbl.find_opt t.last_good sql_text with
+  | Some rel ->
+    t.stale_serves <- t.stale_serves + 1;
+    event t "stale-serve [%s]" sql_text;
+    Stale (rel, failure)
+  | None ->
+    event t "fail %s [%s]" (failure_to_string failure) sql_text;
+    Failed failure
+
+(* One server round trip; classifies the fault and updates the breaker. *)
+let attempt t sql ~try_ =
+  t.attempts <- t.attempts + 1;
+  let sql_text = Sql.to_string sql in
+  match Server.exec t.server ?deadline_ms:t.policy.deadline_ms sql with
+  | rel ->
+    note_success t;
+    Hashtbl.replace t.last_good sql_text rel;
+    event t "ok try=%d [%s]" try_ sql_text;
+    Ok rel
+  | exception Fault.Injected kind ->
+    if kind = Fault.Timeout then t.deadline_misses <- t.deadline_misses + 1;
+    event t "fault %s try=%d [%s]" (Fault.kind_to_string kind) try_ sql_text;
+    let tripped = note_failure t in
+    Error (kind, tripped)
+
+let exec t sql =
+  t.requests <- t.requests + 1;
+  let sql_text = Sql.to_string sql in
+  let run_attempts () =
+    let max_tries =
+      match t.state with Half_open -> 1 | Closed | Open -> 1 + t.policy.max_retries
+    in
+    let rec go try_ =
+      match attempt t sql ~try_ with
+      | Ok rel -> Fresh rel
+      | Error (kind, tripped) ->
+        if tripped || try_ >= max_tries - 1 then begin
+          t.failures <- t.failures + 1;
+          (match t.state with
+           | Half_open ->
+             (* The probe failed: reopen without counting more failures. *)
+             t.state <- Open;
+             t.cooldown_left <- t.policy.breaker_cooldown;
+             event t "reopen cooldown=%d" t.policy.breaker_cooldown
+           | Closed | Open -> ());
+          degrade t sql_text (Remote_fault kind)
+        end
+        else begin
+          let delay = backoff_delay t ~attempt:try_ in
+          t.retries <- t.retries + 1;
+          t.backoff_ms <- t.backoff_ms +. delay;
+          event t "backoff %.1fms try=%d" delay try_;
+          go (try_ + 1)
+        end
+    in
+    go 0
+  in
+  match t.state with
+  | Open when t.cooldown_left > 0 ->
+    t.cooldown_left <- t.cooldown_left - 1;
+    t.fast_fails <- t.fast_fails + 1;
+    event t "fast-fail left=%d [%s]" t.cooldown_left sql_text;
+    degrade t sql_text Breaker_open
+  | Open ->
+    (* Cooldown over: this request is the half-open probe. *)
+    t.state <- Half_open;
+    t.half_open_probes <- t.half_open_probes + 1;
+    event t "half-open probe [%s]" sql_text;
+    run_attempts ()
+  | Closed | Half_open -> run_attempts ()
+
+let stats t =
+  {
+    requests = t.requests;
+    attempts = t.attempts;
+    retries = t.retries;
+    failures = t.failures;
+    deadline_misses = t.deadline_misses;
+    trips = t.trips;
+    fast_fails = t.fast_fails;
+    half_open_probes = t.half_open_probes;
+    stale_serves = t.stale_serves;
+    backoff_ms = t.backoff_ms;
+  }
+
+let reset_stats t =
+  t.requests <- 0;
+  t.attempts <- 0;
+  t.retries <- 0;
+  t.failures <- 0;
+  t.deadline_misses <- 0;
+  t.trips <- 0;
+  t.fast_fails <- 0;
+  t.half_open_probes <- 0;
+  t.stale_serves <- 0;
+  t.backoff_ms <- 0.0;
+  t.events <- []
+
+let trace t = List.rev t.events

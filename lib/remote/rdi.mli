@@ -1,0 +1,83 @@
+(** The Remote DBMS Interface's resilience policy (paper §4, Figure 5).
+
+    The RDI is the one component that talks to the autonomous remote
+    server, so it is where unreliability must be absorbed: per-request
+    deadlines, bounded retries with exponential backoff + jitter, a
+    circuit breaker that stops hammering a down server, and — the bridge's
+    last line of defense — degrade-to-cache: the most recent good response
+    for the same request text is served, explicitly flagged stale, when
+    the remote cannot answer in time.
+
+    Everything is simulated and deterministic: backoff "waits" charge
+    simulated milliseconds, the breaker cooldown counts requests, and
+    jitter comes from a seeded {!Braid_prng.Prng} — the same seed replays
+    the same retry/trip trace byte for byte. *)
+
+type policy = {
+  deadline_ms : float option;  (** per-attempt deadline, [None] = wait forever *)
+  max_retries : int;  (** retries after the first attempt *)
+  backoff_base_ms : float;  (** delay before the first retry *)
+  backoff_multiplier : float;  (** delay growth per retry *)
+  backoff_jitter : float;
+      (** each delay is multiplied by [1 + u * jitter], [u] uniform in
+          [\[0,1)] — decorrelates retry storms *)
+  breaker_threshold : int;  (** consecutive failures that trip the breaker *)
+  breaker_cooldown : int;  (** fast-failed requests before a half-open probe *)
+  seed : int;  (** jitter PRNG seed *)
+}
+
+val default_policy : policy
+(** Deadline off, 3 retries, 25 ms base doubling with 25% jitter, trip
+    after 5 consecutive failures, half-open probe after 8 fast-fails. *)
+
+type breaker_state = Closed | Open | Half_open
+
+type failure =
+  | Remote_fault of Fault.kind  (** the attempt(s) failed with this fault *)
+  | Breaker_open  (** fast-failed without touching the server *)
+
+val failure_to_string : failure -> string
+
+type outcome =
+  | Fresh of Braid_relalg.Relation.t
+  | Stale of Braid_relalg.Relation.t * failure
+      (** degraded: the last good response for this request text *)
+  | Failed of failure  (** no answer available at all *)
+
+type stats = {
+  requests : int;  (** calls to {!exec} *)
+  attempts : int;  (** server round trips actually tried *)
+  retries : int;
+  failures : int;  (** requests that exhausted their retries *)
+  deadline_misses : int;
+  trips : int;  (** Closed/Half_open -> Open transitions *)
+  fast_fails : int;  (** requests rejected by an open breaker *)
+  half_open_probes : int;
+  stale_serves : int;  (** degraded answers served from the response cache *)
+  backoff_ms : float;  (** total simulated backoff waiting *)
+}
+
+type t
+
+val create : ?policy:policy -> Server.t -> t
+val server : t -> Server.t
+val policy : t -> policy
+val set_policy : t -> policy -> unit
+(** Also resets the breaker and the jitter PRNG (a new policy epoch). *)
+
+val breaker : t -> breaker_state
+
+val exec : t -> Sql.select -> outcome
+(** One resilient request: breaker check, up to [1 + max_retries]
+    attempts under the deadline with backoff between them, then
+    degrade-to-cache. Never raises on injected faults. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+(** Clears counters and the event trace; breaker state and the response
+    cache survive (they are connection state, not accounting). *)
+
+val trace : t -> string list
+(** Human-readable event log (attempts, faults, backoffs, trips, probes,
+    stale serves), oldest first. Deterministic given the seeds — asserted
+    byte-identical across runs by the resilience tests. *)

@@ -7,6 +7,8 @@ type stats = {
   tuples_scanned : int;
   server_ms : float;
   comm_ms : float;
+  faults_injected : int;
+  injected_ms : float;
 }
 
 type t = {
@@ -17,6 +19,9 @@ type t = {
   mutable tuples_scanned : int;
   mutable server_ms : float;
   mutable comm_ms : float;
+  mutable faults_injected : int;
+  mutable injected_ms : float;
+  mutable faults : Fault.t option;
   mutable log : string list; (* newest first *)
 }
 
@@ -29,12 +34,21 @@ let create ?(cost = Cost_model.default) () =
     tuples_scanned = 0;
     server_ms = 0.0;
     comm_ms = 0.0;
+    faults_injected = 0;
+    injected_ms = 0.0;
+    faults = None;
     log = [];
   }
 
 let engine t = t.engine
 let catalog t = Engine.catalog t.engine
 let cost_model t = t.cost
+
+let set_faults t = function
+  | None -> t.faults <- None
+  | Some config -> t.faults <- Some (Fault.create config)
+
+let fault_config t = Option.map Fault.config t.faults
 
 let charge_request t q ~scanned =
   t.requests <- t.requests + 1;
@@ -47,15 +61,55 @@ let charge_transfer t n =
   t.tuples_returned <- t.tuples_returned + n;
   t.comm_ms <- t.comm_ms +. (t.cost.Cost_model.transfer_tuple_ms *. float_of_int n)
 
-let exec t q =
+(* A failed request still costs the caller a round trip: charge the request
+   overhead plus the time wasted waiting, log it, and raise. *)
+let fail_request t q kind ~wasted_ms =
+  t.requests <- t.requests + 1;
+  t.faults_injected <- t.faults_injected + 1;
+  t.comm_ms <- t.comm_ms +. t.cost.Cost_model.request_overhead_ms +. wasted_ms;
+  t.injected_ms <- t.injected_ms +. wasted_ms;
+  t.log <- Printf.sprintf "-- %s: %s" (Fault.kind_to_string kind) (Sql.to_string q) :: t.log;
+  raise (Fault.Injected kind)
+
+(* Roll the injector for one request; the extra network latency to charge,
+   or an injected error. *)
+let injected_latency t q =
+  match t.faults with
+  | None -> 0.0
+  | Some inj ->
+    let tables = List.map (fun (s : Sql.source) -> s.Sql.table) q.Sql.from in
+    (match Fault.roll inj ~tables with
+     | Error kind -> fail_request t q kind ~wasted_ms:0.0
+     | Ok latency_ms ->
+       t.injected_ms <- t.injected_ms +. latency_ms;
+       latency_ms)
+
+let exec t ?deadline_ms q =
+  let latency_ms = injected_latency t q in
   let result, scanned = Engine.execute t.engine q in
+  let returned = R.Relation.cardinality result in
+  (match deadline_ms with
+   | Some d
+     when latency_ms
+          +. Cost_model.remote_query_cost t.cost ~scanned ~returned
+          > d ->
+     (* The reply cannot arrive in time: the caller waits out the deadline
+        and gives up. The already-charged latency stays; the wasted wait is
+        the deadline minus the overhead charged by [fail_request]. *)
+     t.injected_ms <- t.injected_ms -. latency_ms;
+     fail_request t q Fault.Timeout
+       ~wasted_ms:(Float.max 0.0 (d -. t.cost.Cost_model.request_overhead_ms))
+   | Some _ | None -> ());
   charge_request t q ~scanned;
-  charge_transfer t (R.Relation.cardinality result);
+  t.comm_ms <- t.comm_ms +. latency_ms;
+  charge_transfer t returned;
   result
 
 let open_cursor t ?(block_size = 32) q =
+  let latency_ms = injected_latency t q in
   let result, scanned = Engine.execute t.engine q in
   charge_request t q ~scanned;
+  t.comm_ms <- t.comm_ms +. latency_ms;
   let base = TS.of_relation result in
   (* Wrap the raw result so every pulled tuple is charged to transfer;
      buffering then makes the charge advance block-wise. *)
@@ -77,6 +131,8 @@ let stats t =
     tuples_scanned = t.tuples_scanned;
     server_ms = t.server_ms;
     comm_ms = t.comm_ms;
+    faults_injected = t.faults_injected;
+    injected_ms = t.injected_ms;
   }
 
 let reset_stats t =
@@ -85,6 +141,8 @@ let reset_stats t =
   t.tuples_scanned <- 0;
   t.server_ms <- 0.0;
   t.comm_ms <- 0.0;
+  t.faults_injected <- 0;
+  t.injected_ms <- 0.0;
   t.log <- []
 
 let log t = List.rev t.log

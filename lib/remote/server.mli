@@ -14,9 +14,17 @@ type stats = {
   tuples_scanned : int;
   server_ms : float;  (** simulated server computation *)
   comm_ms : float;  (** simulated communication (overhead + transfer) *)
+  faults_injected : int;  (** requests that failed with an injected fault *)
+  injected_ms : float;  (** injected latency plus time wasted on faults *)
 }
 
 val create : ?cost:Cost_model.t -> unit -> t
+
+val set_faults : t -> Fault.config option -> unit
+(** Enable (or disable, with [None]) deterministic fault injection on every
+    subsequent request. *)
+
+val fault_config : t -> Fault.config option
 
 val engine : t -> Engine.t
 (** Direct access for loading data; bulk loads are not charged as queries
@@ -25,8 +33,15 @@ val engine : t -> Engine.t
 val catalog : t -> Catalog.t
 val cost_model : t -> Cost_model.t
 
-val exec : t -> Sql.select -> Braid_relalg.Relation.t
-(** One remote request, fully materialized, charged to the accounting. *)
+val exec : t -> ?deadline_ms:float -> Sql.select -> Braid_relalg.Relation.t
+(** One remote request, fully materialized, charged to the accounting.
+
+    With fault injection enabled the request may raise [Fault.Injected]:
+    a transient error or disconnect decided by the injector, or — when
+    [deadline_ms] is given — a timeout because the request's simulated
+    total (injected latency + request cost) exceeds the deadline. A failed
+    request still charges the round-trip overhead plus the time wasted
+    waiting. *)
 
 val open_cursor : t -> ?block_size:int -> Sql.select -> Braid_stream.Tuple_stream.t
 (** The request is executed on the server (charged as one request plus its

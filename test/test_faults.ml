@@ -1,0 +1,321 @@
+(* Fault injection and the resilient Remote DBMS Interface: determinism,
+   backoff bounds, breaker transitions, degrade-to-cache, and the
+   availability guarantee the CI bench gate relies on. *)
+
+module R = Braid_relalg
+module V = R.Value
+module L = Braid_logic
+module T = L.Term
+module A = Braid_caql.Ast
+module TS = Braid_stream.Tuple_stream
+module Sql = Braid_remote.Sql
+module Server = Braid_remote.Server
+module Fault = Braid_remote.Fault
+module Rdi = Braid_remote.Rdi
+module Qpo = Braid_planner.Qpo
+module Plan = Braid_planner.Plan
+module CMgr = Braid_cache.Cache_manager
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let v x = T.Var x
+let s x = T.Const (V.Str x)
+let atom p args = L.Atom.make p args
+
+let load_server () =
+  let server = Server.create () in
+  List.iter
+    (Braid_remote.Engine.load (Server.engine server))
+    (Braid_workload.Datagen.paper_example ~size:60 ());
+  server
+
+let all_b2 = Sql.select_all "b2"
+let all_b3 = Sql.select_all "b3"
+
+let always_fail = { Fault.none with Fault.error_rate = 1.0; seed = 3 }
+
+(* --- the injector: bit-identical schedules from a seed --- *)
+
+let test_injector_determinism () =
+  let cfg = Fault.flaky ~seed:17 ~error_rate:0.4 () in
+  let a = Fault.create cfg and b = Fault.create cfg in
+  for i = 1 to 50 do
+    let ra = Fault.roll a ~tables:[ "b2" ] and rb = Fault.roll b ~tables:[ "b2" ] in
+    check_bool (Printf.sprintf "roll %d identical" i) true (ra = rb)
+  done
+
+let test_injector_aligned_draws () =
+  (* Exactly four draws per roll: after any prefix, two injectors sharing a
+     seed stay in lockstep even if one saw different table lists. *)
+  let cfg = Fault.flaky ~seed:23 ~error_rate:0.3 () in
+  let a = Fault.create cfg and b = Fault.create cfg in
+  for _ = 1 to 10 do
+    ignore (Fault.roll a ~tables:[ "b2" ]);
+    ignore (Fault.roll b ~tables:[ "b3"; "b2" ])
+  done;
+  check_bool "still aligned" true
+    (Fault.roll a ~tables:[ "b1" ] = Fault.roll b ~tables:[ "b1" ])
+
+(* --- RDI determinism: same seeds => byte-identical retry/trip trace --- *)
+
+let run_sequence () =
+  let server = load_server () in
+  Server.set_faults server (Some (Fault.flaky ~seed:11 ~error_rate:0.5 ()));
+  let rdi = Rdi.create ~policy:{ Rdi.default_policy with Rdi.seed = 7 } server in
+  for i = 0 to 19 do
+    ignore (Rdi.exec rdi (if i mod 2 = 0 then all_b2 else all_b3))
+  done;
+  (Rdi.trace rdi, Rdi.stats rdi)
+
+let test_rdi_determinism () =
+  let trace1, stats1 = run_sequence () in
+  let trace2, stats2 = run_sequence () in
+  check_int "same trace length" (List.length trace1) (List.length trace2);
+  List.iter2 (fun a b -> check_string "trace line" a b) trace1 trace2;
+  check_bool "identical stats" true (stats1 = stats2);
+  check_bool "trace is non-trivial" true (List.length trace1 > 20)
+
+(* --- backoff: each delay within [base*mult^k, base*mult^k*(1+jitter)] --- *)
+
+let test_backoff_bounds () =
+  let server = load_server () in
+  Server.set_faults server (Some always_fail);
+  let policy =
+    {
+      Rdi.default_policy with
+      Rdi.max_retries = 3;
+      backoff_base_ms = 25.0;
+      backoff_multiplier = 2.0;
+      backoff_jitter = 0.25;
+      breaker_threshold = 100;
+      seed = 9;
+    }
+  in
+  let rdi = Rdi.create ~policy server in
+  (match Rdi.exec rdi all_b2 with
+   | Rdi.Failed (Rdi.Remote_fault _) -> ()
+   | Rdi.Failed Rdi.Breaker_open | Rdi.Fresh _ | Rdi.Stale _ ->
+     Alcotest.fail "expected the request to fail through its retries");
+  let backoffs =
+    List.filter_map
+      (fun line ->
+        try Scanf.sscanf line "backoff %fms try=%d" (fun d k -> Some (d, k))
+        with Scanf.Scan_failure _ | End_of_file -> None)
+      (Rdi.trace rdi)
+  in
+  check_int "one backoff per retry" 3 (List.length backoffs);
+  List.iter
+    (fun (d, k) ->
+      let base = 25.0 *. (2.0 ** float_of_int k) in
+      check_bool (Printf.sprintf "delay %.1f >= %.1f" d base) true (d >= base -. 0.05);
+      check_bool
+        (Printf.sprintf "delay %.1f <= %.1f" d (base *. 1.25))
+        true
+        (d <= (base *. 1.25) +. 0.05))
+    backoffs;
+  let st = Rdi.stats rdi in
+  check_int "retries counted" 3 st.Rdi.retries;
+  check_bool "backoff charged" true (st.Rdi.backoff_ms > 0.0)
+
+(* --- breaker: closed -> open -> fast-fail -> half-open -> close --- *)
+
+let test_breaker_transitions () =
+  let server = load_server () in
+  Server.set_faults server (Some always_fail);
+  let policy =
+    {
+      Rdi.default_policy with
+      Rdi.max_retries = 0;
+      breaker_threshold = 3;
+      breaker_cooldown = 2;
+      seed = 5;
+    }
+  in
+  let rdi = Rdi.create ~policy server in
+  let fail_req () = ignore (Rdi.exec rdi all_b2) in
+  fail_req ();
+  fail_req ();
+  check_bool "still closed below threshold" true (Rdi.breaker rdi = Rdi.Closed);
+  fail_req ();
+  check_bool "tripped at threshold" true (Rdi.breaker rdi = Rdi.Open);
+  check_int "one trip" 1 (Rdi.stats rdi).Rdi.trips;
+  (* cooldown: the next two requests never touch the server *)
+  let attempts_before = (Rdi.stats rdi).Rdi.attempts in
+  fail_req ();
+  fail_req ();
+  check_int "fast-failed without attempts" attempts_before (Rdi.stats rdi).Rdi.attempts;
+  check_int "two fast fails" 2 (Rdi.stats rdi).Rdi.fast_fails;
+  (* cooldown over: a half-open probe that fails reopens the breaker *)
+  fail_req ();
+  check_int "one probe" 1 (Rdi.stats rdi).Rdi.half_open_probes;
+  check_bool "reopened after failed probe" true (Rdi.breaker rdi = Rdi.Open);
+  (* drain the new cooldown, heal the server, probe again: closes *)
+  fail_req ();
+  fail_req ();
+  Server.set_faults server None;
+  (match Rdi.exec rdi all_b2 with
+   | Rdi.Fresh _ -> ()
+   | Rdi.Stale _ | Rdi.Failed _ -> Alcotest.fail "healed probe should answer fresh");
+  check_bool "closed after successful probe" true (Rdi.breaker rdi = Rdi.Closed);
+  check_int "two probes total" 2 (Rdi.stats rdi).Rdi.half_open_probes
+
+(* --- degrade-to-cache: last good response, flagged stale --- *)
+
+let test_stale_serve () =
+  let server = load_server () in
+  let rdi = Rdi.create server in
+  let fresh =
+    match Rdi.exec rdi all_b2 with
+    | Rdi.Fresh rel -> rel
+    | Rdi.Stale _ | Rdi.Failed _ -> Alcotest.fail "healthy fetch must be fresh"
+  in
+  Server.set_faults server (Some always_fail);
+  (match Rdi.exec rdi all_b2 with
+   | Rdi.Stale (rel, Rdi.Remote_fault _) ->
+     check_int "same cardinality as last good" (R.Relation.cardinality fresh)
+       (R.Relation.cardinality rel);
+     check_bool "same tuples" true
+       (List.for_all (R.Relation.mem fresh) (R.Relation.to_list rel))
+   | Rdi.Stale (_, Rdi.Breaker_open) | Rdi.Fresh _ | Rdi.Failed _ ->
+     Alcotest.fail "expected a stale serve from the response cache");
+  (* nothing ever fetched for b3: no degraded substitute exists *)
+  (match Rdi.exec rdi all_b3 with
+   | Rdi.Failed _ -> ()
+   | Rdi.Fresh _ | Rdi.Stale _ -> Alcotest.fail "unknown request text cannot degrade");
+  check_int "one stale serve" 1 (Rdi.stats rdi).Rdi.stale_serves
+
+(* --- planner integration: stale cache elements flag the answer --- *)
+
+let b2_query = A.conj [ v "X"; v "Z" ] [ atom "b2" [ v "X"; v "Z" ] ]
+
+let test_stale_elements_degrade () =
+  let server = load_server () in
+  let config = { Qpo.braid_config with Qpo.allow_lazy = false } in
+  let cms = Braid.Cms.create ~config server in
+  let a1 = Braid.Cms.query cms b2_query in
+  ignore (TS.to_relation a1.Qpo.stream);
+  check_bool "first answer fresh" true (a1.Qpo.provenance = Plan.Fresh);
+  let marked = Braid.Cms.invalidate_table cms ~mode:`Mark_stale "b2" in
+  check_bool "some element marked stale" true (marked <> []);
+  let a2 = Braid.Cms.query cms b2_query in
+  let rel = TS.to_relation a2.Qpo.stream in
+  check_bool "answer still produced" true (R.Relation.cardinality rel > 0);
+  check_bool "flagged degraded" true (a2.Qpo.provenance = Plan.Degraded);
+  check_bool "plan reports stale reads" true
+    (List.exists (function Plan.Stale_elements _ -> true | _ -> false) a2.Qpo.plan);
+  check_bool "cache stats count stale touches" true
+    ((CMgr.stats (Braid.Cms.cache cms)).CMgr.stale_touches > 0);
+  (* a drop-invalidation then refetches fresh *)
+  ignore (Braid.Cms.invalidate_table cms "b2");
+  let a3 = Braid.Cms.query cms b2_query in
+  ignore (TS.to_relation a3.Qpo.stream);
+  check_bool "fresh after refetch" true (a3.Qpo.provenance = Plan.Fresh)
+
+(* --- degraded answers are never cached --- *)
+
+let test_degraded_not_cached () =
+  let server = load_server () in
+  let config = { Qpo.braid_config with Qpo.allow_lazy = false } in
+  let cms = Braid.Cms.create ~config server in
+  (* populate the RDI's last-good cache, then drop the cache element so the
+     next request must go remote again *)
+  ignore (TS.to_relation (Braid.Cms.query cms b2_query).Qpo.stream);
+  ignore (Braid.Cms.invalidate_table cms "b2");
+  Server.set_faults server (Some always_fail);
+  let a = Braid.Cms.query cms b2_query in
+  ignore (TS.to_relation a.Qpo.stream);
+  check_bool "degraded answer" true (a.Qpo.provenance = Plan.Degraded);
+  check_bool "stale response not inserted into the cache" true
+    (CMgr.find_exact (Braid.Cms.cache cms) b2_query = None)
+
+(* --- availability: with faults on, every query still answers --- *)
+
+let d2_instance y =
+  A.conj [ v "X" ] [ atom "b2" [ v "X"; v "Z" ]; atom "b3" [ v "Z"; s "c2"; s y ] ]
+
+let acceptance_run () =
+  let server = load_server () in
+  Server.set_faults server (Some (Fault.flaky ~seed:13 ~error_rate:0.2 ()));
+  let config = { Qpo.braid_config with Qpo.allow_lazy = false } in
+  let cms = Braid.Cms.create ~config server in
+  let provenances = ref [] in
+  for i = 0 to 39 do
+    let y = Printf.sprintf "y%d" (i mod 10) in
+    let a = Braid.Cms.query cms (d2_instance y) in
+    ignore (TS.to_relation a.Qpo.stream);
+    provenances := a.Qpo.provenance :: !provenances
+  done;
+  (List.rev !provenances, Rdi.trace (Braid.Cms.rdi cms))
+
+let test_acceptance_availability () =
+  let provenances, trace = acceptance_run () in
+  check_int "every query answered" 40 (List.length provenances);
+  let provenances2, trace2 = acceptance_run () in
+  check_bool "identical provenance sequence" true (provenances = provenances2);
+  check_int "identical trace length" (List.length trace) (List.length trace2);
+  List.iter2 (fun a b -> check_string "trace line" a b) trace trace2
+
+(* --- property: a degraded answer never invents tuples --- *)
+
+let prop_degraded_subset =
+  QCheck.Test.make ~name:"degraded answers are a subset of fresh answers" ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let queries = List.init 12 (fun i -> d2_instance (Printf.sprintf "y%d" (i mod 4))) in
+      let fresh_answers =
+        let cms = Braid.Cms.create ~config:Qpo.loose_coupling_config (load_server ()) in
+        List.map
+          (fun q -> TS.to_relation (Braid.Cms.query cms q).Qpo.stream)
+          queries
+      in
+      let server = load_server () in
+      Server.set_faults server (Some (Fault.flaky ~seed ~error_rate:0.6 ()));
+      let cms = Braid.Cms.create ~config:Qpo.loose_coupling_config server in
+      List.for_all2
+        (fun q fresh ->
+          let rel = TS.to_relation (Braid.Cms.query cms q).Qpo.stream in
+          List.for_all (R.Relation.mem fresh) (R.Relation.to_list rel))
+        queries fresh_answers)
+
+(* --- E13 at reduced scale: availability holds across the sweep --- *)
+
+let test_e13_shape () =
+  let rows, _ = Braid_experiments.Exp_faults.run ~queries:24 ~size:60 ~distinct:6 () in
+  List.iter
+    (fun (r : Braid_experiments.Exp_faults.row) ->
+      check_int
+        (Printf.sprintf "all answered at rate %.2f" r.Braid_experiments.Exp_faults.error_rate)
+        r.Braid_experiments.Exp_faults.queries r.Braid_experiments.Exp_faults.answered;
+      check_int "fresh + degraded = answered" r.Braid_experiments.Exp_faults.answered
+        (r.Braid_experiments.Exp_faults.fresh + r.Braid_experiments.Exp_faults.degraded))
+    rows;
+  let at rate =
+    List.find
+      (fun (r : Braid_experiments.Exp_faults.row) ->
+        r.Braid_experiments.Exp_faults.error_rate = rate)
+      rows
+  in
+  check_bool "faults cause retries" true ((at 0.5).Braid_experiments.Exp_faults.retries > 0);
+  check_bool "high rate degrades more" true
+    ((at 0.8).Braid_experiments.Exp_faults.degraded
+    >= (at 0.1).Braid_experiments.Exp_faults.degraded)
+
+let suites =
+  [
+    ( "faults",
+      [
+        Alcotest.test_case "injector determinism" `Quick test_injector_determinism;
+        Alcotest.test_case "injector draw alignment" `Quick test_injector_aligned_draws;
+        Alcotest.test_case "rdi determinism" `Quick test_rdi_determinism;
+        Alcotest.test_case "backoff bounds" `Quick test_backoff_bounds;
+        Alcotest.test_case "breaker transitions" `Quick test_breaker_transitions;
+        Alcotest.test_case "stale serve" `Quick test_stale_serve;
+        Alcotest.test_case "stale elements degrade" `Quick test_stale_elements_degrade;
+        Alcotest.test_case "degraded not cached" `Quick test_degraded_not_cached;
+        Alcotest.test_case "acceptance availability" `Quick test_acceptance_availability;
+        QCheck_alcotest.to_alcotest prop_degraded_subset;
+        Alcotest.test_case "e13 shape" `Quick test_e13_shape;
+      ] );
+  ]

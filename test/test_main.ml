@@ -6,4 +6,5 @@ let () =
     (Test_relalg.suites @ Test_stream.suites @ Test_logic.suites @ Test_caql.suites
    @ Test_remote.suites @ Test_subsume.suites @ Test_cache.suites @ Test_advice.suites
    @ Test_planner.suites @ Test_ie.suites @ Test_system.suites @ Test_props.suites
-   @ Test_workload.suites @ Test_repl.suites @ Test_experiments.suites)
+   @ Test_workload.suites @ Test_repl.suites @ Test_faults.suites
+   @ Test_experiments.suites)
