@@ -10,6 +10,8 @@
      dune exec bench/main.exe -- --json PATH        # perf trajectory JSON
      dune exec bench/main.exe -- --check PATH       # CI gate (see below)
      dune exec bench/main.exe -- --seed 5 --json p  # explicit PRNG seed
+     dune exec bench/main.exe -- --soak --seed 1 --steps 2000 --check
+                                                    # consistency soak gate
 
    The --json mode writes the bechamel estimates plus hardware-independent
    experiment counters to PATH (schema documented in EXPERIMENTS.md); the
@@ -304,9 +306,74 @@ let check_json ?seed path =
     false
   end
 
+(* --- soak mode (--soak) --- *)
+
+(* Randomized consistency soak (see Braid_check.Soak): seeded interleaving
+   of queries, inserts, invalidations, faults and one crash+recovery, with
+   every answer diffed against ground truth. In this mode --check takes no
+   argument: it gates (exit 1) on any oracle divergence or recovery
+   invariant violation. The report and the surviving cache journal are
+   written as files for CI to upload on failure. *)
+let run_soak argv =
+  let seed = ref 1
+  and steps = ref 2000
+  and gate = ref false
+  and report_path = ref "soak-report.txt"
+  and journal_path = ref "soak-journal.txt" in
+  let int_arg flag n tl k =
+    match int_of_string_opt n with
+    | Some v -> k v tl
+    | None ->
+      Printf.eprintf "%s requires an integer, got %S\n" flag n;
+      exit 1
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--seed" :: n :: tl -> int_arg "--seed" n tl (fun v tl -> seed := v; parse tl)
+    | "--steps" :: n :: tl -> int_arg "--steps" n tl (fun v tl -> steps := v; parse tl)
+    | "--check" :: tl ->
+      gate := true;
+      parse tl
+    | "--report" :: p :: tl ->
+      report_path := p;
+      parse tl
+    | "--journal" :: p :: tl ->
+      journal_path := p;
+      parse tl
+    | [ ("--seed" | "--steps" | "--report" | "--journal") ] ->
+      prerr_endline "--seed/--steps require an integer, --report/--journal a path";
+      exit 1
+    | arg :: _ ->
+      Printf.eprintf
+        "unknown soak argument %S (expected --seed N, --steps N, --check, --report \
+         PATH, --journal PATH)\n"
+        arg;
+      exit 1
+  in
+  parse argv;
+  let report = Braid_check.Soak.run ~seed:!seed ~steps:!steps () in
+  let text = Braid_check.Soak.report_to_string report in
+  print_string text;
+  let write path lines =
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc
+  in
+  write !report_path (String.split_on_char '\n' text);
+  write !journal_path report.Braid_check.Soak.journal_dump;
+  Printf.printf "wrote %s, %s\n" !report_path !journal_path;
+  if !gate && not (Braid_check.Soak.ok report) then exit 1
+
 (* --- entry point --- *)
 
 let () =
+  (* --soak has its own flag grammar (its --check is a boolean gate, not a
+     path), so it is dispatched before the generic parser. *)
+  (match Array.to_list Sys.argv with
+   | _ :: rest when List.mem "--soak" rest ->
+     run_soak (List.filter (fun a -> a <> "--soak") rest);
+     exit 0
+   | _ -> ());
   let rec split_flags json check seed rest = function
     | [] -> (json, check, seed, List.rev rest)
     | "--json" :: path :: tl -> split_flags (Some path) check seed rest tl

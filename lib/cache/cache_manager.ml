@@ -12,6 +12,7 @@ type stats = {
 
 type t = {
   model : Cache_model.t;
+  journal : Journal.t;
   mutable insertions : int;
   mutable evictions : int;
   mutable tuples_touched : int;
@@ -19,9 +20,14 @@ type t = {
   mutable stale_touches : int;
 }
 
-let create ~capacity_bytes =
+let create ?journal ?model ~capacity_bytes () =
+  let journal = match journal with Some j -> j | None -> Journal.create () in
+  let model =
+    match model with Some m -> m | None -> Cache_model.create ~capacity_bytes
+  in
   {
-    model = Cache_model.create ~capacity_bytes;
+    model;
+    journal;
     insertions = 0;
     evictions = 0;
     tuples_touched = 0;
@@ -30,14 +36,30 @@ let create ~capacity_bytes =
   }
 
 let model t = t.model
+let journal t = t.journal
+
+let snapshot_of = function
+  | Element.Extension r -> Journal.Extension r
+  | Element.Generator _ -> Journal.Generator_def
+
+let journal_admit t (e : Element.t) =
+  Journal.log_admit t.journal ~id:e.Element.id ~def:e.Element.def
+    ~snap:(snapshot_of e.Element.repr) ~stale:e.Element.stale
+    ~pinned:e.Element.pinned ~at:e.Element.created_at
 
 let insert t ?id ~def repr =
   let id = match id with Some id -> id | None -> Cache_model.fresh_id t.model in
   let e = Element.make ~id ~def ~now:(Cache_model.tick t.model) repr in
+  e.Element.on_materialize <-
+    (fun id rel -> Journal.log_materialize t.journal ~id ~rel);
   let bytes = Element.bytes_estimate e in
   if bytes > Cache_model.capacity_bytes t.model then None
   else begin
     let evicted = Replacement.evict t.model ~needed_bytes:bytes () in
+    List.iter
+      (fun (vid, pinned_fallback) ->
+        Journal.log_evict t.journal ~id:vid ~pinned_fallback)
+      evicted;
     t.evictions <- t.evictions + List.length evicted;
     (* Even after evicting everything evictable the element may not fit
        (e.g. only pinned elements remain). *)
@@ -46,6 +68,7 @@ let insert t ?id ~def repr =
     then None
     else begin
       Cache_model.add t.model e;
+      journal_admit t e;
       t.insertions <- t.insertions + 1;
       Some e
     end
@@ -99,14 +122,24 @@ let ensure_index t e cols =
 
 let pin t id flag =
   match Cache_model.find t.model id with
-  | Some e -> e.Element.pinned <- flag
+  | Some e ->
+    (* Journal only actual transitions: the advisor re-pins its tracked
+       elements on every query, which would otherwise flood the log. *)
+    if e.Element.pinned <> flag then begin
+      e.Element.pinned <- flag;
+      Journal.log_pin t.journal ~id ~flag
+    end
   | None -> ()
 
 let invalidate_pred t pred =
   let victims =
     List.map (fun (e : Element.t) -> e.Element.id) (Cache_model.candidates_for_pred t.model pred)
   in
-  List.iter (Cache_model.remove t.model) victims;
+  List.iter
+    (fun id ->
+      Journal.log_remove t.journal ~id ~pred;
+      Cache_model.remove t.model id)
+    victims;
   victims
 
 (* Degraded-mode invalidation: when the remote cannot be reached to refetch,
@@ -118,9 +151,20 @@ let mark_stale_pred t pred =
       if e.Element.stale then None
       else begin
         e.Element.stale <- true;
+        Journal.log_mark_stale t.journal ~id:e.Element.id ~pred;
         Some e.Element.id
       end)
     (Cache_model.candidates_for_pred t.model pred)
+
+(* A checkpoint is the marker followed by a full re-admission of the live
+   state in insertion order: replay can then start from the marker instead
+   of the beginning of the log. Representations are journaled as they are
+   NOW — an element admitted lazy but since forced checkpoints as an
+   extension. *)
+let checkpoint t =
+  let epoch = Journal.log_checkpoint t.journal in
+  List.iter (journal_admit t) (Cache_model.elements t.model);
+  epoch
 
 let stats t =
   {

@@ -4,9 +4,21 @@
 
 type t
 
-val create : capacity_bytes:int -> t
+val create : ?journal:Journal.t -> ?model:Cache_model.t -> capacity_bytes:int -> unit -> t
+(** [journal] adopts an existing journal (recovery: the log survives the
+    crash and keeps growing); a fresh one is created otherwise. [model]
+    adopts a replayed cache model ({!Journal.replay}); an empty one is
+    created otherwise. *)
 
 val model : t -> Cache_model.t
+
+val journal : t -> Journal.t
+(** The write-ahead log of every cache state change. *)
+
+val checkpoint : t -> int
+(** Writes a checkpoint — the epoch marker followed by re-admissions of
+    every live element with its current representation and flags — and
+    returns the new epoch. Replay restarts from the latest checkpoint. *)
 
 val insert :
   t -> ?id:string -> def:Braid_caql.Ast.conj -> Element.representation -> Element.t option

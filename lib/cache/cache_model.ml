@@ -76,6 +76,10 @@ let fresh_id t =
   t.counter <- t.counter + 1;
   Printf.sprintf "e%d" t.counter
 
+let restore t ~counter ~clock =
+  t.counter <- max t.counter counter;
+  t.clock <- max t.clock clock
+
 type summary = {
   element_count : int;
   materialized : int;

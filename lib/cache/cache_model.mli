@@ -35,6 +35,11 @@ val touch : t -> Element.t -> unit
 val fresh_id : t -> string
 (** A cache-unique element identifier (["e1"], ["e2"], ...). *)
 
+val restore : t -> counter:int -> clock:int -> unit
+(** Advances the id counter and logical clock to at least the given values
+    (never backwards) — used by journal replay so recovered models mint
+    fresh ids and timestamps past everything already journaled. *)
+
 type summary = {
   element_count : int;
   materialized : int;

@@ -16,6 +16,7 @@ type t = {
   mutable pinned : bool;
   mutable stale : bool;
   created_at : int;
+  mutable on_materialize : string -> R.Relation.t -> unit;
 }
 
 let make ~id ~def ~now repr =
@@ -30,6 +31,7 @@ let make ~id ~def ~now repr =
     pinned = false;
     stale = false;
     created_at = now;
+    on_materialize = (fun _ _ -> ());
   }
 
 let schema e =
@@ -45,6 +47,7 @@ let extension e =
   | Generator s ->
     let r = TS.to_relation ~name:e.id s in
     e.repr <- Extension r;
+    e.on_materialize e.id r;
     r
 
 let stream e =

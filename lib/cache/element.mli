@@ -27,6 +27,11 @@ type t = {
           since this extension was fetched; still servable, but answers
           built from it are flagged {e degraded} *)
   created_at : int;
+  mutable on_materialize : string -> Braid_relalg.Relation.t -> unit;
+      (** invoked when a generator is forced into an extension, with the
+          element id and the materialized relation; the Cache Manager
+          installs a journal hook here so recovery can restore the forced
+          representation byte-identically. Defaults to a no-op. *)
 }
 
 val make : id:string -> def:Braid_caql.Ast.conj -> now:int -> representation -> t

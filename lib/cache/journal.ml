@@ -1,0 +1,155 @@
+module R = Braid_relalg
+module A = Braid_caql.Ast
+
+type snapshot =
+  | Extension of R.Relation.t
+  | Generator_def
+
+type entry =
+  | Admit of {
+      seq : int;
+      id : string;
+      def : A.conj;
+      snap : snapshot;
+      stale : bool;
+      pinned : bool;
+      at : int;
+    }
+  | Materialize of { seq : int; id : string; rel : R.Relation.t }
+  | Evict of { seq : int; id : string; pinned_fallback : bool }
+  | Remove of { seq : int; id : string; pred : string }
+  | Mark_stale of { seq : int; id : string; pred : string }
+  | Pin of { seq : int; id : string; flag : bool }
+  | Checkpoint of { seq : int; epoch : int }
+
+type t = {
+  mutable log : entry list; (* newest first *)
+  mutable seq : int;
+  mutable epoch : int;
+  mutable count : int;
+}
+
+let create () = { log = []; seq = 0; epoch = 0; count = 0 }
+
+let push t entry =
+  t.log <- entry :: t.log;
+  t.count <- t.count + 1
+
+let next_seq t =
+  t.seq <- t.seq + 1;
+  t.seq
+
+let log_admit t ~id ~def ~snap ~stale ~pinned ~at =
+  push t (Admit { seq = next_seq t; id; def; snap; stale; pinned; at })
+
+let log_materialize t ~id ~rel = push t (Materialize { seq = next_seq t; id; rel })
+
+let log_evict t ~id ~pinned_fallback =
+  push t (Evict { seq = next_seq t; id; pinned_fallback })
+
+let log_remove t ~id ~pred = push t (Remove { seq = next_seq t; id; pred })
+let log_mark_stale t ~id ~pred = push t (Mark_stale { seq = next_seq t; id; pred })
+let log_pin t ~id ~flag = push t (Pin { seq = next_seq t; id; flag })
+
+let log_checkpoint t =
+  t.epoch <- t.epoch + 1;
+  push t (Checkpoint { seq = next_seq t; epoch = t.epoch });
+  t.epoch
+
+let entries t = List.rev t.log
+let tail t n = if n <= 0 then [] else List.rev (List.filteri (fun i _ -> i < n) t.log)
+let length t = t.count
+let epoch t = t.epoch
+
+let entry_seq = function
+  | Admit { seq; _ }
+  | Materialize { seq; _ }
+  | Evict { seq; _ }
+  | Remove { seq; _ }
+  | Mark_stale { seq; _ }
+  | Pin { seq; _ }
+  | Checkpoint { seq; _ } -> seq
+
+let entry_to_string = function
+  | Admit { seq; id; def; snap; stale; pinned; at } ->
+    Printf.sprintf "#%d admit %s := %s [%s%s%s, at=%d]" seq id (A.conj_to_string def)
+      (match snap with
+       | Extension r -> Printf.sprintf "extension, %d tuples" (R.Relation.cardinality r)
+       | Generator_def -> "generator")
+      (if stale then ", stale" else "")
+      (if pinned then ", pinned" else "")
+      at
+  | Materialize { seq; id; rel } ->
+    Printf.sprintf "#%d materialize %s (%d tuples)" seq id (R.Relation.cardinality rel)
+  | Evict { seq; id; pinned_fallback } ->
+    Printf.sprintf "#%d evict %s%s" seq id
+      (if pinned_fallback then " (pinned fallback)" else "")
+  | Remove { seq; id; pred } -> Printf.sprintf "#%d drop %s on %s" seq id pred
+  | Mark_stale { seq; id; pred } -> Printf.sprintf "#%d stale %s on %s" seq id pred
+  | Pin { seq; id; flag } ->
+    Printf.sprintf "#%d pin %s %s" seq id (if flag then "on" else "off")
+  | Checkpoint { seq; epoch } -> Printf.sprintf "#%d checkpoint epoch=%d" seq epoch
+
+let pp_entry ppf e = Format.pp_print_string ppf (entry_to_string e)
+
+(* The element ids the cache will mint next must not collide with any id
+   the journal has ever seen: recover the counter from the largest numeric
+   suffix over all admissions. *)
+let max_id_counter t =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Admit { id; _ } ->
+        (try Scanf.sscanf id "e%d%!" (fun n -> max acc n) with
+         | Scanf.Scan_failure _ | Failure _ | End_of_file -> acc)
+      | Materialize _ | Evict _ | Remove _ | Mark_stale _ | Pin _ | Checkpoint _ -> acc)
+    0 t.log
+
+let max_clock t =
+  List.fold_left
+    (fun acc e -> match e with Admit { at; _ } -> max acc at | _ -> acc)
+    0 t.log
+
+(* Entries to replay: everything from the most recent checkpoint marker on
+   (the marker is followed by re-admissions of all elements live at that
+   point), or the whole log if no checkpoint was ever taken. *)
+let replay_suffix t =
+  let rec cut acc = function
+    | [] -> acc
+    | (Checkpoint _ as c) :: _ -> c :: acc
+    | e :: rest -> cut (e :: acc) rest
+  in
+  cut [] t.log
+
+let replay ~capacity_bytes ~rebuild_generator t =
+  let model = Cache_model.create ~capacity_bytes in
+  let apply = function
+    | Admit { id; def; snap; stale; pinned; at; _ } ->
+      let repr =
+        match snap with
+        | Extension r -> Element.Extension r
+        | Generator_def -> Element.Generator (rebuild_generator def)
+      in
+      let e = Element.make ~id ~def ~now:at repr in
+      e.Element.stale <- stale;
+      e.Element.pinned <- pinned;
+      e.Element.on_materialize <- (fun id rel -> log_materialize t ~id ~rel);
+      Cache_model.add model e
+    | Materialize { id; rel; _ } ->
+      (match Cache_model.find model id with
+       | Some e -> e.Element.repr <- Element.Extension rel
+       | None -> ())
+    | Evict { id; _ } | Remove { id; _ } -> Cache_model.remove model id
+    | Mark_stale { id; _ } ->
+      (match Cache_model.find model id with
+       | Some e -> e.Element.stale <- true
+       | None -> ())
+    | Pin { id; flag; _ } ->
+      (match Cache_model.find model id with
+       | Some e -> e.Element.pinned <- flag
+       | None -> ())
+    | Checkpoint _ -> ()
+  in
+  List.iter apply (replay_suffix t);
+  Cache_model.restore model ~counter:(max_id_counter t) ~clock:(max_clock t + 1);
+  model

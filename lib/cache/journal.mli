@@ -1,0 +1,96 @@
+(** Crash-consistent cache journal: a write-ahead log of every operation
+    that changes the cache model — admissions, forced materializations,
+    evictions, invalidations ([`Drop`]), stale-marks ([`Mark_stale`]) and
+    pin changes — plus periodic checkpoints.
+
+    The journal is the durable artifact of the simulated CMS process: when
+    a {!Braid_remote.Fault.Crash} kills the CMS mid-run, {!replay} rebuilds
+    the cache model from the last checkpoint so the recovered CMS resumes
+    with byte-identical element ids, representations and stale flags.
+    Extension snapshots share the admitted relation (extensions are
+    immutable after admission); generator content is volatile — only the
+    definition is durable, and recovery re-binds it to a fresh stream over
+    ground truth (see docs/ARCHITECTURE.md, "Consistency model &
+    recovery"). *)
+
+type snapshot =
+  | Extension of Braid_relalg.Relation.t
+      (** shared reference to the admitted extension *)
+  | Generator_def  (** lazy element: only the definition is durable *)
+
+type entry =
+  | Admit of {
+      seq : int;
+      id : string;
+      def : Braid_caql.Ast.conj;
+      snap : snapshot;
+      stale : bool;
+      pinned : bool;
+      at : int;  (** logical-clock admission time *)
+    }
+  | Materialize of { seq : int; id : string; rel : Braid_relalg.Relation.t }
+      (** a generator was forced into this extension *)
+  | Evict of { seq : int; id : string; pinned_fallback : bool }
+      (** replacement eviction; [pinned_fallback] marks the last-resort
+          eviction of a pinned element *)
+  | Remove of { seq : int; id : string; pred : string }
+      (** [`Drop] invalidation triggered by a change to [pred] *)
+  | Mark_stale of { seq : int; id : string; pred : string }
+  | Pin of { seq : int; id : string; flag : bool }
+  | Checkpoint of { seq : int; epoch : int }
+      (** marker; immediately followed by re-admissions of every element
+          live at the checkpoint, carrying current flags and
+          representations *)
+
+type t
+
+val create : unit -> t
+
+val log_admit :
+  t ->
+  id:string ->
+  def:Braid_caql.Ast.conj ->
+  snap:snapshot ->
+  stale:bool ->
+  pinned:bool ->
+  at:int ->
+  unit
+
+val log_materialize : t -> id:string -> rel:Braid_relalg.Relation.t -> unit
+val log_evict : t -> id:string -> pinned_fallback:bool -> unit
+val log_remove : t -> id:string -> pred:string -> unit
+val log_mark_stale : t -> id:string -> pred:string -> unit
+val log_pin : t -> id:string -> flag:bool -> unit
+
+val log_checkpoint : t -> int
+(** Writes the checkpoint marker and returns the new epoch. The caller
+    (the Cache Manager) must follow it with [log_admit] for every live
+    element — see {!Cache_manager.checkpoint}. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val tail : t -> int -> entry list
+(** The last [n] entries, oldest first. *)
+
+val length : t -> int
+val epoch : t -> int
+
+val entry_seq : entry -> int
+val entry_to_string : entry -> string
+val pp_entry : Format.formatter -> entry -> unit
+
+val replay :
+  capacity_bytes:int ->
+  rebuild_generator:(Braid_caql.Ast.conj -> Braid_stream.Tuple_stream.t) ->
+  t ->
+  Cache_model.t
+(** Rebuilds the cache model from the most recent checkpoint (or from the
+    beginning when none was taken): admissions restore elements with their
+    journaled representation, flags and admission time; materializations
+    restore forced extensions by shared reference; evictions and removals
+    delete; stale-marks and pins update flags. [rebuild_generator] supplies
+    a fresh stream for elements journaled as generators (their memoized
+    content is not durable). The model's id counter and logical clock are
+    restored past every journaled value, so post-recovery admissions cannot
+    collide. *)

@@ -4,9 +4,13 @@ let victims model ~needed_bytes ?(protect = fun _ -> false) () =
   let to_free = used + needed_bytes - capacity in
   if to_free <= 0 then []
   else begin
-    let all = Cache_model.elements model in
+    (* Protected elements are exempt unconditionally — they must never
+       reach the pinned fallback. Pinned elements are only deferred. *)
+    let evictable =
+      List.filter (fun e -> not (protect e)) (Cache_model.elements model)
+    in
     let unpinned, pinned =
-      List.partition (fun e -> not (e.Element.pinned || protect e)) all
+      List.partition (fun e -> not e.Element.pinned) evictable
     in
     let by_lru l =
       List.sort (fun a b -> Stdlib.compare a.Element.last_used b.Element.last_used) l
@@ -19,13 +23,14 @@ let victims model ~needed_bytes ?(protect = fun _ -> false) () =
         else take (freed + Element.bytes_estimate e) (e :: acc) rest
     in
     let freed, chosen = take 0 [] (by_lru unpinned) in
+    let chosen = List.map (fun e -> (e, false)) chosen in
     if freed >= to_free then chosen
     else
       let _, more = take freed [] (by_lru pinned) in
-      chosen @ more
+      chosen @ List.map (fun e -> (e, true)) more
   end
 
 let evict model ~needed_bytes ?protect () =
   let vs = victims model ~needed_bytes ?protect () in
-  List.iter (fun e -> Cache_model.remove model e.Element.id) vs;
-  List.map (fun e -> e.Element.id) vs
+  List.iter (fun (e, _) -> Cache_model.remove model e.Element.id) vs;
+  List.map (fun (e, pinned_fallback) -> (e.Element.id, pinned_fallback)) vs

@@ -1,0 +1,250 @@
+module R = Braid_relalg
+module V = R.Value
+module A = Braid_caql.Ast
+module L = Braid_logic
+module T = L.Term
+module Server = Braid_remote.Server
+module Engine = Braid_remote.Engine
+module Fault = Braid_remote.Fault
+module Qpo = Braid_planner.Qpo
+module Plan = Braid_planner.Plan
+module Prng = Braid_prng.Prng
+module Cms = Braid.Cms
+module CMgr = Braid_cache.Cache_manager
+module Journal = Braid_cache.Journal
+
+type divergence = { step : int; detail : string }
+
+type report = {
+  seed : int;
+  steps : int;
+  queries : int;
+  fresh : int;
+  degraded : int;
+  lazy_requested : int;
+  inserts : int;
+  drops : int;
+  stale_marks : int;
+  checkpoints : int;
+  crash_step : int option;
+  elements_at_crash : int;
+  recovered_elements : int;
+  dropped_on_recovery : int;
+  revalidation_failures : int;
+  recovery_mismatch : string option;
+  divergences : divergence list;
+  journal_entries : int;
+  journal_epoch : int;
+  journal_dump : string list;
+}
+
+let ok r =
+  r.divergences = [] && r.recovery_mismatch = None && r.revalidation_failures = 0
+  && r.dropped_on_recovery = 0
+
+let report_to_string r =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "soak seed=%d steps=%d: %s" r.seed r.steps (if ok r then "OK" else "FAILED");
+  line "  queries:     %d (%d fresh, %d degraded, %d lazy-requested)" r.queries r.fresh
+    r.degraded r.lazy_requested;
+  line "  mutations:   %d inserts (%d drop-invalidations, %d stale-marks)" r.inserts
+    r.drops r.stale_marks;
+  line "  checkpoints: %d (journal: %d entries, epoch %d)" r.checkpoints
+    r.journal_entries r.journal_epoch;
+  (match r.crash_step with
+   | None -> line "  crash:       none"
+   | Some s ->
+     line "  crash:       step %d (%d live elements); recovered %d, dropped %d" s
+       r.elements_at_crash r.recovered_elements r.dropped_on_recovery;
+     (match r.recovery_mismatch with
+      | None -> line "  recovery:    byte-identical cache model, all elements re-validated"
+      | Some m -> line "  recovery:    MISMATCH %s" m);
+     if r.revalidation_failures > 0 then
+       line "  recovery:    %d elements FAILED re-validation" r.revalidation_failures);
+  (match r.divergences with
+   | [] -> line "  oracle:      0 divergences"
+   | ds ->
+     line "  oracle:      %d divergence(s):" (List.length ds);
+     List.iter (fun d -> line "    step %d: %s" d.step d.detail) ds);
+  Buffer.contents b
+
+(* --- the workload ------------------------------------------------------ *)
+
+let size = 40
+
+let v x = T.Var x
+let s x = T.Const (V.Str x)
+let atom p args = L.Atom.make p args
+
+(* Six query shapes over the paper-example tables: selections, joins and a
+   three-way chain, parameterized by seeded constants so the cache sees a
+   mix of repeats (subsumption hits) and near-misses. *)
+let gen_query prng =
+  let yk = Printf.sprintf "y%d" (Prng.int prng size) in
+  let xk = Printf.sprintf "x%d" (Prng.int prng (max 1 (size / 2))) in
+  match Prng.int prng 6 with
+  | 0 -> A.conj [ v "Y" ] [ atom "b1" [ s "c1"; v "Y" ] ]
+  | 1 -> A.conj [ v "X"; v "Z" ] [ atom "b2" [ v "X"; v "Z" ] ]
+  | 2 ->
+    A.conj [ v "X" ] [ atom "b2" [ v "X"; v "Z" ]; atom "b3" [ v "Z"; s "c2"; s yk ] ]
+  | 3 -> A.conj [ v "Z" ] [ atom "b3" [ v "Z"; s "c2"; s yk ] ]
+  | 4 -> A.conj [ v "Z" ] [ atom "b2" [ s xk; v "Z" ] ]
+  | _ ->
+    A.conj
+      [ v "X"; v "W" ]
+      [
+        atom "b2" [ v "X"; v "Z" ];
+        atom "b3" [ v "Z"; s "c3"; v "Y" ];
+        atom "b1" [ v "W"; v "Y" ];
+      ]
+
+(* A single-tuple insert into one of the base tables (same value universe as
+   Datagen.paper_example, so new rows join with old ones), followed by the
+   matching cache invalidation — randomly dropping or stale-marking. *)
+let gen_insert prng server cms =
+  let zi = Printf.sprintf "z%d" (Prng.int prng size) in
+  let yi = Printf.sprintf "y%d" (Prng.int prng size) in
+  let table, tup =
+    match Prng.int prng 3 with
+    | 0 -> ("b1", [| V.Str zi; V.Str yi |])
+    | 1 ->
+      ("b2", [| V.Str (Printf.sprintf "x%d" (Prng.int prng (max 1 (size / 2)))); V.Str zi |])
+    | _ -> ("b3", [| V.Str zi; V.Str (if Prng.bool prng 0.5 then "c2" else "c3"); V.Str yi |])
+  in
+  Engine.insert (Server.engine server) table tup;
+  let mode = if Prng.bool prng 0.5 then `Drop else `Mark_stale in
+  ignore (Cms.invalidate_table cms ~mode table);
+  mode
+
+exception Stop
+
+let run ?(error_rate = 0.12) ?(crash = true) ~seed ~steps () =
+  let prng = Prng.create seed in
+  let server = Server.create () in
+  List.iter (Engine.load (Server.engine server)) (Braid_workload.Datagen.paper_example ~size ());
+  let base = Fault.flaky ~seed:(seed + 7919) ~error_rate () in
+  Server.set_faults server (Some base);
+  (* Small cache so the replacement policy (and its journaled evictions) is
+     exercised, not just admissions. *)
+  let capacity_bytes = 48_000 in
+  let cms = ref (Cms.create ~capacity_bytes server) in
+  let oracle = Oracle.create server in
+  let queries = ref 0
+  and fresh = ref 0
+  and degraded = ref 0
+  and lazy_requested = ref 0
+  and inserts = ref 0
+  and drops = ref 0
+  and stale_marks = ref 0
+  and checkpoints = ref 0 in
+  let divergences = ref [] in
+  let crash_step = ref None
+  and elements_at_crash = ref 0
+  and recovered_elements = ref 0
+  and dropped_on_recovery = ref 0
+  and revalidation_failures = ref 0
+  and recovery_mismatch = ref None in
+  let cur_step = ref 0 in
+  (* Every answer the CMS produces — through any path: cache hit,
+     subsumption, lazy generator, degraded serve — is diffed against
+     fault-free ground truth the moment it is produced. *)
+  let install_observer c =
+    Cms.set_observer c
+      (Some
+         (fun q prov rel ->
+           match Oracle.check_answer oracle q prov rel with
+           | None -> ()
+           | Some d ->
+             divergences :=
+               { step = !cur_step; detail = Oracle.divergence_to_string d } :: !divergences))
+  in
+  install_observer !cms;
+  (* One crash, armed at a seeded step in the middle third of the run —
+     deferred until the cache is non-trivially populated, so the recovery
+     byte-identity check has something to bite on. Once armed, the next
+     server round trip kills the CMS. *)
+  let crash_plan =
+    if crash && steps >= 3 then Some (steps / 3 + 1 + Prng.int prng (max 1 (steps / 3)))
+    else None
+  in
+  let live () =
+    List.length (Braid_cache.Cache_model.elements (CMgr.model (Cms.cache !cms)))
+  in
+  (try
+     for step = 1 to steps do
+       cur_step := step;
+       if !divergences <> [] then raise Stop;
+       if step mod 250 = 0 then begin
+         incr checkpoints;
+         ignore (Cms.checkpoint !cms)
+       end;
+       (match crash_plan with
+        | Some plan when !crash_step = None && step >= plan && live () >= 3 ->
+          Server.set_faults server (Some { base with Fault.crash_at = Some 1 })
+        | _ -> ());
+       try
+         if Prng.int prng 100 < 70 then begin
+           let q = gen_query prng in
+           let prefer_lazy = Prng.bool prng 0.25 in
+           if prefer_lazy then incr lazy_requested;
+           let a = Cms.query !cms ~prefer_lazy q in
+           incr queries;
+           match a.Qpo.provenance with
+           | Plan.Fresh -> incr fresh
+           | Plan.Degraded -> incr degraded
+         end
+         else begin
+           incr inserts;
+           match gen_insert prng server !cms with
+           | `Drop -> incr drops
+           | `Mark_stale -> incr stale_marks
+         end
+       with Fault.Injected Fault.Crash ->
+         (* The CMS process died mid-request. All that survives is the
+            journal (and, for the invariant check, the dead model we still
+            hold a reference to). *)
+         crash_step := Some step;
+         let dead_model = CMgr.model (Cms.cache !cms) in
+         elements_at_crash :=
+           List.length (Braid_cache.Cache_model.elements dead_model);
+         let journal = Cms.journal !cms in
+         Server.set_faults server (Some base);
+         let validate e =
+           let okv = Oracle.revalidate oracle e in
+           if not okv then incr revalidation_failures;
+           okv
+         in
+         let recovered, rep = Cms.recover ~capacity_bytes ~validate ~journal server in
+         recovered_elements := rep.Cms.replayed;
+         dropped_on_recovery := List.length rep.Cms.dropped;
+         (match Oracle.same_state dead_model (CMgr.model (Cms.cache recovered)) with
+          | Ok () -> ()
+          | Error msg -> recovery_mismatch := Some msg);
+         cms := recovered;
+         install_observer !cms
+     done
+   with Stop -> ());
+  let journal = Cms.journal !cms in
+  {
+    seed;
+    steps;
+    queries = !queries;
+    fresh = !fresh;
+    degraded = !degraded;
+    lazy_requested = !lazy_requested;
+    inserts = !inserts;
+    drops = !drops;
+    stale_marks = !stale_marks;
+    checkpoints = !checkpoints;
+    crash_step = !crash_step;
+    elements_at_crash = !elements_at_crash;
+    recovered_elements = !recovered_elements;
+    dropped_on_recovery = !dropped_on_recovery;
+    revalidation_failures = !revalidation_failures;
+    recovery_mismatch = !recovery_mismatch;
+    divergences = List.rev !divergences;
+    journal_entries = Journal.length journal;
+    journal_epoch = Journal.epoch journal;
+    journal_dump = List.map Journal.entry_to_string (Journal.entries journal);
+  }

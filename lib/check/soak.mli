@@ -1,0 +1,49 @@
+(** Randomized soak harness: thousands of seeded steps interleaving CAQL
+    queries (eager and lazy), single-tuple inserts with cache
+    invalidations (drop and stale-mark), periodic checkpoints, a flaky
+    fault schedule and one mid-run crash — with the {!Oracle} diffing
+    every answer against fault-free ground truth as it is produced, and
+    the crash recovery checked for byte-identity against the model that
+    died. Fully deterministic from [seed]. *)
+
+type divergence = { step : int; detail : string }
+
+type report = {
+  seed : int;
+  steps : int;
+  queries : int;
+  fresh : int;
+  degraded : int;
+  lazy_requested : int;
+  inserts : int;
+  drops : int;  (** invalidations in [`Drop] mode *)
+  stale_marks : int;  (** invalidations in [`Mark_stale] mode *)
+  checkpoints : int;
+  crash_step : int option;  (** the step at which the CMS was killed *)
+  elements_at_crash : int;  (** live cache elements when it died *)
+  recovered_elements : int;  (** elements the journal replay restored *)
+  dropped_on_recovery : int;  (** recovered elements failing re-validation *)
+  revalidation_failures : int;
+  recovery_mismatch : string option;
+      (** first difference between the dead and the recovered cache model,
+          if any — [None] means byte-identical *)
+  divergences : divergence list;  (** oracle violations, oldest first *)
+  journal_entries : int;
+  journal_epoch : int;
+  journal_dump : string list;
+      (** the surviving journal, pretty-printed oldest first — the
+          artifact CI uploads on failure *)
+}
+
+val ok : report -> bool
+(** No oracle divergences, no recovery mismatch, no re-validation
+    failures. *)
+
+val report_to_string : report -> string
+
+val run : ?error_rate:float -> ?crash:bool -> seed:int -> steps:int -> unit -> report
+(** [error_rate] is the flaky link's transient-error probability (default
+    0.12); [crash] (default [true]) kills and recovers the CMS once — at
+    the first step past a seeded point in the middle third of the run
+    where the cache holds at least 3 elements, so the recovery check is
+    never vacuous. The harness stops at the first oracle divergence. *)

@@ -1,7 +1,9 @@
 module Qpo = Braid_planner.Qpo
 module CMgr = Braid_cache.Cache_manager
+module Journal = Braid_cache.Journal
 module Server = Braid_remote.Server
 module Rdi = Braid_remote.Rdi
+module TS = Braid_stream.Tuple_stream
 
 type t = {
   qpo : Qpo.t;
@@ -11,7 +13,7 @@ type t = {
 
 let create ?(config = Qpo.braid_config) ?(capacity_bytes = 8 * 1024 * 1024) ?rdi_policy
     server =
-  let cache = CMgr.create ~capacity_bytes in
+  let cache = CMgr.create ~capacity_bytes () in
   { qpo = Qpo.create ?rdi_policy config ~cache ~server; cache; server }
 
 let qpo t = t.qpo
@@ -38,12 +40,67 @@ let invalidate_table t ?(mode = `Drop) name =
   | `Drop -> CMgr.invalidate_pred t.cache name
   | `Mark_stale -> CMgr.mark_stale_pred t.cache name
 
+(* --- crash consistency --- *)
+
+let journal t = CMgr.journal t.cache
+let checkpoint t = CMgr.checkpoint t.cache
+
+type recovery_report = {
+  recovered : string list;
+  dropped : string list;
+  epoch : int;
+  replayed : int;
+}
+
+let recover ?(config = Qpo.braid_config) ?(capacity_bytes = 8 * 1024 * 1024) ?rdi_policy
+    ?(validate = fun _ -> true) ~journal:jnl server =
+  let engine = Server.engine server in
+  (* Generator content is volatile (only the memoized prefix ever existed in
+     memory): recovered generators re-bind to ground-truth evaluation of
+     their definition, read directly off the engine's tables — no server
+     round trips, no fault injector draws. *)
+  let rebuild_generator def =
+    Braid_caql.Eval.lazy_conj
+      ~source:(fun (a : Braid_logic.Atom.t) ->
+        TS.of_relation (Braid_remote.Engine.table engine a.Braid_logic.Atom.pred))
+      ~schema_of:(Braid_remote.Catalog.schema_of (Server.catalog server))
+      def
+  in
+  let model = Journal.replay ~capacity_bytes ~rebuild_generator jnl in
+  let recovered =
+    List.map (fun (e : Braid_cache.Element.t) -> e.Braid_cache.Element.id)
+      (Braid_cache.Cache_model.elements model)
+  in
+  (* Re-validate every recovered element before reuse; failures are dropped
+     and the drop is journaled so a second replay stays consistent. *)
+  let dropped =
+    List.filter_map
+      (fun (e : Braid_cache.Element.t) ->
+        if validate e then None else Some e.Braid_cache.Element.id)
+      (Braid_cache.Cache_model.elements model)
+  in
+  List.iter
+    (fun id ->
+      Journal.log_remove jnl ~id ~pred:"(recovery-validation)";
+      Braid_cache.Cache_model.remove model id)
+    dropped;
+  let cache = CMgr.create ~journal:jnl ~model ~capacity_bytes () in
+  let t = { qpo = Qpo.create ?rdi_policy config ~cache ~server; cache; server } in
+  ( t,
+    {
+      recovered;
+      dropped;
+      epoch = Journal.epoch jnl;
+      replayed = List.length recovered;
+    } )
+
 let cache_summary t = Braid_cache.Cache_model.summary (CMgr.model t.cache)
 let metrics t = Qpo.metrics t.qpo
 let remote_stats t = Server.stats t.server
 
 let set_trace t enabled = Qpo.set_trace t.qpo enabled
 let trace t = Qpo.trace t.qpo
+let set_observer t f = Qpo.set_observer t.qpo f
 
 let reset_metrics t =
   Qpo.reset_metrics t.qpo;

@@ -60,11 +60,53 @@ val invalidate_table : t -> ?mode:[ `Drop | `Mark_stale ] -> string -> string li
     but flags them, so queries can still be answered — degraded — while
     the remote is unreachable. *)
 
+val journal : t -> Braid_cache.Journal.t
+(** The cache's write-ahead log — the durable artifact a simulated crash
+    leaves behind. *)
+
+val checkpoint : t -> int
+(** Writes a cache checkpoint to the journal and returns the new epoch;
+    replay after a crash restarts from the latest checkpoint. *)
+
+type recovery_report = {
+  recovered : string list;  (** element ids restored by replay, in order *)
+  dropped : string list;  (** recovered but failed re-validation; removed *)
+  epoch : int;  (** checkpoint epoch the replay started from *)
+  replayed : int;  (** number of elements the replay produced *)
+}
+
+(** Rebuilds a CMS from a surviving journal after a
+    {!Braid_remote.Fault.Crash}: replays the log from the latest
+    checkpoint into a fresh cache model (extensions by shared snapshot,
+    generators re-bound to ground-truth evaluation of their definition),
+    re-validates every recovered element with [validate] (dropping — and
+    journaling the drop of — any failure), and wires a new QPO over the
+    recovered cache. The journal keeps growing in the recovered CMS. *)
+val recover :
+  ?config:Braid_planner.Qpo.config ->
+  ?capacity_bytes:int ->
+  ?rdi_policy:Braid_remote.Rdi.policy ->
+  ?validate:(Braid_cache.Element.t -> bool) ->
+  journal:Braid_cache.Journal.t ->
+  Braid_remote.Server.t ->
+  t * recovery_report
+
 val cache_summary : t -> Braid_cache.Cache_model.summary
 val metrics : t -> Braid_planner.Qpo.metrics
 val remote_stats : t -> Braid_remote.Server.stats
 val reset_metrics : t -> unit
 (** Resets planner and remote accounting; cache contents are kept. *)
+
+val set_observer :
+  t ->
+  (Braid_caql.Ast.conj ->
+  Braid_planner.Plan.provenance ->
+  Braid_relalg.Relation.t ->
+  unit)
+  option ->
+  unit
+(** Answer observer pass-through (see {!Braid_planner.Qpo.set_observer}) —
+    the consistency oracle attaches here. *)
 
 val set_trace : t -> bool -> unit
 val trace : t -> (Braid_caql.Ast.conj * Braid_planner.Plan.t) list

@@ -40,6 +40,7 @@ let commands_help =
   \  :system loose|bermuda|ceri|braid-sub|braid\n\
   \  :strategy interpretive|conjunction-N|compiled|adaptive\n\
   \  :trace on|off                      record (CAQL query, plan) pairs; :trace shows them\n\
+  \  :journal [N]                       last N cache journal entries (default 20) + epoch\n\
   \  :rules | :cache | :advice | :metrics | :lint | :help | :quit"
 
 let invalidate t = t.sys <- None
@@ -230,6 +231,22 @@ let handle_cache t =
       (Braid_cache.Cache_model.elements model);
     Buffer.contents buf
 
+let handle_journal t n =
+  match t.sys with
+  | None -> "no session yet"
+  | Some sys ->
+    let jnl = Cms.journal (System.cms sys) in
+    let entries = Braid_cache.Journal.tail jnl n in
+    let header =
+      Printf.sprintf "journal: %d entries, checkpoint epoch %d"
+        (Braid_cache.Journal.length jnl)
+        (Braid_cache.Journal.epoch jnl)
+    in
+    if entries = [] then header
+    else
+      String.concat "\n"
+        (header :: List.map Braid_cache.Journal.entry_to_string entries)
+
 let handle_rules t =
   let kb = kb_of t in
   Format.asprintf "%a" L.Kb.pp kb
@@ -275,6 +292,15 @@ let exec_line t line =
       t.tracing <- false;
       (match t.sys with Some sys -> Cms.set_trace (System.cms sys) false | None -> ());
       "tracing off"
+    end
+    else if strip_prefix ":journal" line <> None then begin
+      match strip_prefix ":journal" line with
+      | Some "" -> handle_journal t 20
+      | Some n ->
+        (match int_of_string_opt n with
+         | Some n when n > 0 -> handle_journal t n
+         | Some _ | None -> "usage: :journal [N] with N a positive integer")
+      | None -> assert false
     end
     else if line = ":metrics" then
       match t.sys with

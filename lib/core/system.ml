@@ -43,10 +43,9 @@ let solve_text t text =
   | _ -> invalid_arg "System.solve_text: expected an atomic AI query like p(a, X)"
 
 let insert_remote t name tuple =
-  let engine = Server.engine t.server in
-  Braid_remote.Engine.insert engine name tuple;
-  Braid_remote.Catalog.refresh_stats (Server.catalog t.server) name
-    (Braid_remote.Engine.table engine name);
+  (* [Engine.insert] maintains catalog stats and index buckets
+     incrementally ([Catalog.note_insert]); no rescan needed here. *)
+  Braid_remote.Engine.insert (Server.engine t.server) name tuple;
   ignore (Cms.invalidate_table t.cms name)
 
 type metrics = {

@@ -134,6 +134,7 @@ type t = {
   stats : stats;
   mutable fetch_counter : int;
   mutable trace : (A.conj * Plan.t) list option; (* newest first when on *)
+  mutable observer : (A.conj -> Plan.provenance -> R.Relation.t -> unit) option;
 }
 
 exception Unknown_relation = Braid_cache.Query_processor.Unknown_relation
@@ -150,6 +151,7 @@ let create ?rdi_policy config ~cache ~server =
     stats = fresh_stats ();
     fetch_counter = 0;
     trace = None;
+    observer = None;
   }
 
 let config t = t.config
@@ -159,6 +161,8 @@ let rdi t = t.rdi
 let advisor t = t.advisor
 
 let set_trace t enabled = t.trace <- (if enabled then Some [] else None)
+
+let set_observer t f = t.observer <- f
 
 let trace t = match t.trace with Some entries -> List.rev entries | None -> []
 
@@ -820,6 +824,13 @@ let answer_conj t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
   if provenance = Plan.Degraded then t.stats.degraded <- t.stats.degraded + 1;
   (match t.trace with
    | Some entries -> t.trace <- Some ((q, plan) :: entries)
+   | None -> ());
+  (* Consistency-oracle hook: forcing the stream is safe (streams memoize,
+     the consumer's cursors re-read the spine) but does change lazy-work
+     accounting, so the observer is only ever installed by checking
+     harnesses, never in benchmarked runs. *)
+  (match t.observer with
+   | Some f -> f q provenance (TS.to_relation stream)
    | None -> ());
   {
     stream;

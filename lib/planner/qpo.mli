@@ -119,3 +119,14 @@ val set_trace : t -> bool -> unit
 val trace : t -> (Braid_caql.Ast.conj * Plan.t) list
 (** The recorded (query, plan) pairs, oldest first; empty when tracing is
     off. *)
+
+val set_observer :
+  t ->
+  (Braid_caql.Ast.conj -> Plan.provenance -> Braid_relalg.Relation.t -> unit) option ->
+  unit
+(** Installs (or clears) an answer observer: called once per conjunctive
+    query with the query, its provenance, and the materialized answer —
+    the consistency oracle's hook. Materializing forces lazy answers
+    (harmless for consumers — streams memoize — but it perturbs
+    lazy-evaluation work counters, so benchmarked runs must leave the
+    observer unset). *)

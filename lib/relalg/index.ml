@@ -11,7 +11,7 @@ type t = {
   columns : int list;
   table : Tuple.t list ref Key_tbl.t;
   mutable probes : int;
-  entries : int;
+  mutable entries : int;
 }
 
 let build r cols =
@@ -27,6 +27,13 @@ let build r cols =
   { columns = cols; table; probes = 0; entries = Relation.cardinality r }
 
 let columns ix = ix.columns
+
+let add ix t =
+  let k = Tuple.key t ix.columns in
+  (match Key_tbl.find_opt ix.table k with
+   | Some cell -> cell := t :: !cell
+   | None -> Key_tbl.add ix.table k (ref [ t ]));
+  ix.entries <- ix.entries + 1
 
 let lookup ix key =
   ix.probes <- ix.probes + 1;

@@ -11,6 +11,11 @@ val build : Relation.t -> int list -> t
 
 val columns : t -> int list
 
+val add : t -> Tuple.t -> unit
+(** Appends one tuple to its key's bucket — incremental maintenance for a
+    single-row insert into the indexed relation. The caller is responsible
+    for also adding the tuple to the relation itself. *)
+
 val lookup : t -> Value.t list -> Tuple.t list
 (** Tuples whose key columns equal the given values. *)
 

@@ -2,10 +2,19 @@ module R = Braid_relalg
 
 type table_stats = { cardinality : int; distinct_per_column : int array }
 
+module V_set = Set.Make (struct
+  type t = R.Value.t
+
+  let compare = R.Value.compare
+end)
+
 type entry = {
   schema : R.Schema.t;
   mutable stats : table_stats;
   mutable indexes : (int list * R.Index.t) list;
+  mutable value_sets : V_set.t array;
+      (* per-column distinct-value sets backing [distinct_per_column], kept
+         so single-tuple inserts can maintain the counts incrementally *)
 }
 
 type t = (string, entry) Hashtbl.t
@@ -13,18 +22,14 @@ type t = (string, entry) Hashtbl.t
 let create () = Hashtbl.create 16
 
 let register t name schema =
+  let arity = R.Schema.arity schema in
   Hashtbl.replace t name
     {
       schema;
-      stats = { cardinality = 0; distinct_per_column = Array.make (R.Schema.arity schema) 0 };
+      stats = { cardinality = 0; distinct_per_column = Array.make arity 0 };
       indexes = [];
+      value_sets = Array.make arity V_set.empty;
     }
-
-module V_set = Set.Make (struct
-  type t = R.Value.t
-
-  let compare = R.Value.compare
-end)
 
 let refresh_stats t name rel =
   match Hashtbl.find_opt t name with
@@ -41,6 +46,7 @@ let refresh_stats t name rel =
     entry.stats <-
       { cardinality = R.Relation.cardinality rel;
         distinct_per_column = Array.map V_set.cardinal sets };
+    entry.value_sets <- sets;
     (* The bulk load already scanned every column; build the per-column
        secondary indexes in the same breath so later equality probes never
        pay a full scan. *)
@@ -51,6 +57,24 @@ let invalidate_indexes t name =
   match Hashtbl.find_opt t name with
   | None -> ()
   | Some entry -> entry.indexes <- []
+
+(* A single-row insert touches exactly one bucket per index and one value
+   per column: maintain them in place instead of rescanning (or worse,
+   dropping the indexes and repaying a full rebuild on the next probe).
+   The scan-cost accounting stays honest because both the cardinality and
+   the per-column distinct counts advance with the row. *)
+let note_insert t name tup =
+  match Hashtbl.find_opt t name with
+  | None -> ()
+  | Some entry ->
+    let arity = R.Schema.arity entry.schema in
+    for i = 0 to arity - 1 do
+      entry.value_sets.(i) <- V_set.add (R.Tuple.get tup i) entry.value_sets.(i)
+    done;
+    entry.stats <-
+      { cardinality = entry.stats.cardinality + 1;
+        distinct_per_column = Array.map V_set.cardinal entry.value_sets };
+    List.iter (fun (_, ix) -> R.Index.add ix tup) entry.indexes
 
 let index_on t name cols =
   match Hashtbl.find_opt t name with

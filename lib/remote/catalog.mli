@@ -29,8 +29,14 @@ val ensure_index :
     and persisting it first if missing (e.g. after [invalidate_indexes]). *)
 
 val invalidate_indexes : t -> string -> unit
-(** Drops every index on the table; called on single-tuple inserts, which
-    would otherwise leave the indexes stale. The next probe rebuilds. *)
+(** Drops every index on the table. The next probe rebuilds from scratch;
+    prefer [note_insert] for single-row maintenance. *)
+
+val note_insert : t -> string -> Braid_relalg.Tuple.t -> unit
+(** Incremental maintenance for a single-tuple insert: bumps the
+    cardinality, updates the per-column distinct counts, and appends the
+    tuple to the affected bucket of every persisted index — no index is
+    dropped and no rescan is paid. *)
 
 val schema_of : t -> string -> Braid_relalg.Schema.t option
 val stats_of : t -> string -> table_stats option

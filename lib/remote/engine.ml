@@ -14,7 +14,7 @@ let insert t name tup =
   match Hashtbl.find_opt t.tables name with
   | Some rel ->
     R.Relation.add rel tup;
-    Catalog.invalidate_indexes t.catalog name
+    Catalog.note_insert t.catalog name tup
   | None -> invalid_arg ("Engine.insert: unknown table " ^ name)
 
 let load t rel =

@@ -1,11 +1,12 @@
 module Prng = Braid_prng.Prng
 
-type kind = Transient | Disconnect | Timeout
+type kind = Transient | Disconnect | Timeout | Crash
 
 let kind_to_string = function
   | Transient -> "transient"
   | Disconnect -> "disconnect"
   | Timeout -> "timeout"
+  | Crash -> "crash"
 
 exception Injected of kind
 
@@ -18,6 +19,7 @@ type config = {
   spike_rate : float;
   spike_ms : float;
   slow_tables : (string * float) list;
+  crash_at : int option;
 }
 
 let none =
@@ -30,6 +32,7 @@ let none =
     spike_rate = 0.0;
     spike_ms = 0.0;
     slow_tables = [];
+    crash_at = None;
   }
 
 let flaky ?(seed = 1) ~error_rate () =
@@ -42,23 +45,28 @@ let flaky ?(seed = 1) ~error_rate () =
     spike_rate = 0.02;
     spike_ms = 120.0;
     slow_tables = [];
+    crash_at = None;
   }
 
-type t = { config : config; prng : Prng.t }
+type t = { config : config; prng : Prng.t; mutable requests : int }
 
-let create config = { config; prng = Prng.create config.seed }
+let create config = { config; prng = Prng.create config.seed; requests = 0 }
 
 let config t = t.config
 
 let roll t ~tables =
   let c = t.config in
   (* Fixed draw order and count: the schedule depends only on (seed, call
-     index), never on which branch a draw selects. *)
+     index), never on which branch a draw selects. The crash check comes
+     AFTER the four draws so a [crash_at] config shares its pre-crash
+     schedule with the same config minus the crash. *)
   let u_err = Prng.float t.prng in
   let u_disc = Prng.float t.prng in
   let u_jitter = Prng.float t.prng in
   let u_spike = Prng.float t.prng in
-  if u_err < c.error_rate then Error Transient
+  t.requests <- t.requests + 1;
+  if c.crash_at = Some t.requests then Error Crash
+  else if u_err < c.error_rate then Error Transient
   else if u_disc < c.disconnect_rate then Error Disconnect
   else begin
     let hotspot =

@@ -15,6 +15,10 @@ type kind =
   | Transient  (** the server refused the request; retrying may succeed *)
   | Disconnect  (** the connection dropped mid-request *)
   | Timeout  (** the caller's deadline elapsed before the reply *)
+  | Crash
+      (** the CMS process dies at this request — not a remote failure.
+          The RDI re-raises it (no retry, no degrade); recovery is the
+          cache journal's job ({!Braid_cache.Journal}). *)
 
 val kind_to_string : kind -> string
 
@@ -31,6 +35,9 @@ type config = {
   spike_ms : float;  (** spike magnitude when one fires *)
   slow_tables : (string * float) list;
       (** per-table extra latency — hotspots a real server develops *)
+  crash_at : int option;
+      (** kill the CMS on the n-th request (1-based ordinal) after this
+          injector was installed; fires exactly once *)
 }
 
 val none : config

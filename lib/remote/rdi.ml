@@ -158,6 +158,10 @@ let attempt t sql ~try_ =
     Hashtbl.replace t.last_good sql_text rel;
     event t "ok try=%d [%s]" try_ sql_text;
     Ok rel
+  | exception Fault.Injected Fault.Crash ->
+    (* Not a remote failure: the CMS itself dies here. No retry, no
+       degrade, no breaker accounting — recovery replays the journal. *)
+    raise (Fault.Injected Fault.Crash)
   | exception Fault.Injected kind ->
     if kind = Fault.Timeout then t.deadline_misses <- t.deadline_misses + 1;
     event t "fault %s try=%d [%s]" (Fault.kind_to_string kind) try_ sql_text;

@@ -118,7 +118,9 @@ let test_lru_eviction_order () =
   ignore e3;
   let victims = Repl.victims m ~needed_bytes:0 () in
   (match victims with
-   | first :: _ -> Alcotest.(check string) "LRU first" "e2" first.Elem.id
+   | (first, fallback) :: _ ->
+     Alcotest.(check string) "LRU first" "e2" first.Elem.id;
+     check_bool "not a pinned fallback" false fallback
    | [] -> Alcotest.fail "expected victims");
   ignore (Repl.evict m ~needed_bytes:0 ());
   check_bool "cache emptied to fit" true (CModel.used_bytes m <= 1)
@@ -137,7 +139,7 @@ let test_pinned_spared () =
   (* need room for one more element: the unpinned LRU (e2) must go, not e1 *)
   let victims = Repl.victims m ~needed_bytes:800 () in
   check_bool "pinned spared" true
-    (List.for_all (fun (e : Elem.t) -> e.Elem.id <> "e1") victims
+    (List.for_all (fun ((e : Elem.t), _) -> e.Elem.id <> "e1") victims
     || List.length victims > 1)
 
 let test_pinned_evicted_as_last_resort () =
@@ -147,12 +149,28 @@ let test_pinned_evicted_as_last_resort () =
   e.Elem.pinned <- true;
   let victims = Repl.victims m ~needed_bytes:400 () in
   check_bool "pinned evicted when nothing else can free space" true
-    (List.exists (fun (x : Elem.t) -> x.Elem.id = "e1") victims)
+    (List.exists (fun ((x : Elem.t), _) -> x.Elem.id = "e1") victims);
+  check_bool "last-resort eviction tagged as pinned fallback" true
+    (List.for_all (fun ((x : Elem.t), fallback) -> x.Elem.id <> "e1" || fallback) victims)
+
+let test_protected_never_evicted () =
+  let m = CModel.create ~capacity_bytes:500 in
+  let e = Elem.make ~id:"e1" ~def:(def "b") ~now:(CModel.tick m) (Elem.Extension (big_rel "b" 8)) in
+  CModel.add m e;
+  e.Elem.pinned <- true;
+  (* protect must be honored unconditionally: unlike a merely pinned
+     element, a protected one must not land in the fallback bucket even
+     when nothing else can free space. *)
+  let victims =
+    Repl.victims m ~needed_bytes:400 ~protect:(fun (x : Elem.t) -> x.Elem.id = "e1") ()
+  in
+  check_bool "protected spared even as last resort" true
+    (List.for_all (fun ((x : Elem.t), _) -> x.Elem.id <> "e1") victims)
 
 (* --- cache manager --- *)
 
 let test_insert_and_find_exact () =
-  let c = CMgr.create ~capacity_bytes:1_000_000 in
+  let c = CMgr.create ~capacity_bytes:1_000_000 () in
   let d = def "b" in
   (match CMgr.insert c ~def:d (Elem.Extension (rel_of_pairs "b" [ (1, 2) ])) with
    | None -> Alcotest.fail "insert failed"
@@ -163,14 +181,14 @@ let test_insert_and_find_exact () =
     (CMgr.find_exact c (A.conj [ v "B" ] [ atom "b" [ T.Const (V.Int 1); v "B" ] ]) = None)
 
 let test_insert_too_large () =
-  let c = CMgr.create ~capacity_bytes:100 in
+  let c = CMgr.create ~capacity_bytes:100 () in
   check_bool "oversized refused" true
     (CMgr.insert c ~def:(def "b") (Elem.Extension (big_rel "b" 1000)) = None);
   check_int "nothing inserted" 0 (CModel.summary (CMgr.model c)).CModel.element_count
 
 let test_insert_evicts () =
   let one_size = R.Relation.bytes_estimate (big_rel "b" 10) + 64 in
-  let c = CMgr.create ~capacity_bytes:(2 * one_size) in
+  let c = CMgr.create ~capacity_bytes:(2 * one_size) () in
   let i1 = CMgr.insert c ~def:(def "b") (Elem.Extension (big_rel "b" 10)) in
   let i2 = CMgr.insert c ~def:(def "c") (Elem.Extension (big_rel "c" 10)) in
   let i3 = CMgr.insert c ~def:(def "d") (Elem.Extension (big_rel "d" 10)) in
@@ -181,7 +199,7 @@ let test_insert_evicts () =
     (CModel.used_bytes (CMgr.model c) <= 2 * one_size)
 
 let test_relevant_covers () =
-  let c = CMgr.create ~capacity_bytes:1_000_000 in
+  let c = CMgr.create ~capacity_bytes:1_000_000 () in
   ignore (CMgr.insert c ~def:(def "b") (Elem.Extension (rel_of_pairs "b" [ (1, 2); (3, 4) ])));
   ignore
     (CMgr.insert c
@@ -191,7 +209,7 @@ let test_relevant_covers () =
   check_int "one relevant element" 1 (List.length covers)
 
 let test_query_processor_eval () =
-  let c = CMgr.create ~capacity_bytes:1_000_000 in
+  let c = CMgr.create ~capacity_bytes:1_000_000 () in
   ignore (CMgr.insert c ~id:"eb" ~def:(def "b") (Elem.Extension (rel_of_pairs "b" [ (1, 2); (2, 3) ])));
   ignore (CMgr.insert c ~id:"ec" ~def:(def "c") (Elem.Extension (rel_of_pairs "c" [ (2, 9); (3, 9) ])));
   let q =
@@ -202,7 +220,7 @@ let test_query_processor_eval () =
   check_bool "touched counted" true ((CMgr.stats c).CMgr.tuples_touched > 0)
 
 let test_query_processor_unknown () =
-  let c = CMgr.create ~capacity_bytes:1_000_000 in
+  let c = CMgr.create ~capacity_bytes:1_000_000 () in
   check_bool "unknown raises" true
     (try
        ignore (CMgr.eval c (A.Conj (A.conj [ v "X" ] [ atom "ghost" [ v "X"; v "Y" ] ])));
@@ -210,7 +228,7 @@ let test_query_processor_unknown () =
      with Braid_cache.Query_processor.Unknown_relation _ -> true)
 
 let test_lazy_eval_from_cache () =
-  let c = CMgr.create ~capacity_bytes:1_000_000 in
+  let c = CMgr.create ~capacity_bytes:1_000_000 () in
   ignore (CMgr.insert c ~id:"eb" ~def:(def "b") (Elem.Extension (big_rel "b" 50)));
   let stream = CMgr.eval_conj_lazy c (A.conj [ v "X" ] [ atom "eb" [ v "X"; v "Y" ] ]) in
   let cur = TS.cursor stream in
@@ -218,7 +236,7 @@ let test_lazy_eval_from_cache () =
   check_int "one tuple so far" 1 (TS.produced stream)
 
 let test_index_probe_reduces_touched () =
-  let c = CMgr.create ~capacity_bytes:10_000_000 in
+  let c = CMgr.create ~capacity_bytes:10_000_000 () in
   let e =
     match CMgr.insert c ~id:"eb" ~def:(def "b") (Elem.Extension (big_rel "b" 1000)) with
     | Some e -> e
@@ -233,7 +251,7 @@ let test_index_probe_reduces_touched () =
   check_bool "indexed probe touches fewer tuples" true (delta < before)
 
 let test_pin_api () =
-  let c = CMgr.create ~capacity_bytes:1_000_000 in
+  let c = CMgr.create ~capacity_bytes:1_000_000 () in
   (match CMgr.insert c ~id:"eb" ~def:(def "b") (Elem.Extension (rel_of_pairs "b" [])) with
    | Some _ -> ()
    | None -> Alcotest.fail "insert");
@@ -261,6 +279,8 @@ let suites : unit Alcotest.test list =
         Alcotest.test_case "pinned elements spared" `Quick test_pinned_spared;
         Alcotest.test_case "pinned evicted last resort" `Quick
           test_pinned_evicted_as_last_resort;
+        Alcotest.test_case "protected never evicted" `Quick
+          test_protected_never_evicted;
         Alcotest.test_case "insert and exact lookup" `Quick test_insert_and_find_exact;
         Alcotest.test_case "oversized insert refused" `Quick test_insert_too_large;
         Alcotest.test_case "insert evicts to fit" `Quick test_insert_evicts;

@@ -213,6 +213,27 @@ let test_stale_elements_degrade () =
   ignore (TS.to_relation a3.Qpo.stream);
   check_bool "fresh after refetch" true (a3.Qpo.provenance = Plan.Fresh)
 
+(* Same provenance chain through the lazy path: a stale element used as a
+   generator source must bump stale_touches at build time and degrade the
+   answer — which the consistency oracle confirms is still a subset of
+   fault-free ground truth. *)
+let test_stale_lazy_degrade () =
+  let server = load_server () in
+  let cms = Braid.Cms.create server in
+  ignore (TS.to_relation (Braid.Cms.query cms b2_query).Qpo.stream);
+  let before = (CMgr.stats (Braid.Cms.cache cms)).CMgr.stale_touches in
+  let marked = Braid.Cms.invalidate_table cms ~mode:`Mark_stale "b2" in
+  check_bool "element marked stale" true (marked <> []);
+  let a = Braid.Cms.query cms ~prefer_lazy:true b2_query in
+  let rel = TS.to_relation a.Qpo.stream in
+  check_bool "lazy answer produced" true (R.Relation.cardinality rel > 0);
+  check_bool "lazy answer degraded" true (a.Qpo.provenance = Plan.Degraded);
+  check_bool "stale touches counted" true
+    ((CMgr.stats (Braid.Cms.cache cms)).CMgr.stale_touches > before);
+  let oracle = Braid_check.Oracle.create server in
+  check_bool "degraded answer is a subset of ground truth" true
+    (Braid_check.Oracle.check_answer oracle b2_query a.Qpo.provenance rel = None)
+
 (* --- degraded answers are never cached --- *)
 
 let test_degraded_not_cached () =
@@ -313,6 +334,7 @@ let suites =
         Alcotest.test_case "breaker transitions" `Quick test_breaker_transitions;
         Alcotest.test_case "stale serve" `Quick test_stale_serve;
         Alcotest.test_case "stale elements degrade" `Quick test_stale_elements_degrade;
+        Alcotest.test_case "stale lazy answers degrade" `Quick test_stale_lazy_degrade;
         Alcotest.test_case "degraded not cached" `Quick test_degraded_not_cached;
         Alcotest.test_case "acceptance availability" `Quick test_acceptance_availability;
         QCheck_alcotest.to_alcotest prop_degraded_subset;

@@ -28,7 +28,7 @@ let make_qpo ?(config = Qpo.braid_config) ?(capacity = 4 * 1024 * 1024) () =
   List.iter
     (Braid_remote.Engine.load (Server.engine server))
     (Braid_workload.Datagen.paper_example ~size:25 ());
-  let cache = CMgr.create ~capacity_bytes:capacity in
+  let cache = CMgr.create ~capacity_bytes:capacity () in
   Qpo.create config ~cache ~server
 
 let d2_def =
@@ -363,7 +363,7 @@ let test_arithmetic_falls_back_to_local () =
       List.iter
         (Braid_remote.Engine.load (Server.engine server))
         (Braid_workload.Datagen.supplier_parts ~suppliers:5 ~parts:10 ~shipments:80 ());
-      let q = Qpo.create config ~cache:(CMgr.create ~capacity_bytes:(1 lsl 20)) ~server in
+      let q = Qpo.create config ~cache:(CMgr.create ~capacity_bytes:(1 lsl 20) ()) ~server in
       let a = Qpo.answer_conj q arith_q in
       let r = TS.to_relation a.Qpo.stream in
       check_bool "some rows pass Q*2 >= 400" true (R.Relation.cardinality r > 0);

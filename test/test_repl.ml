@@ -132,10 +132,25 @@ let test_base_query_directly () =
   let out = Braid.Repl.exec_line s "?- edge(a, Y)." in
   check_bool "base query answered" true (contains "1 solutions" out)
 
+let test_journal_command () =
+  let s = family_session () in
+  check_bool "no session yet" true
+    (contains "no session" (Braid.Repl.exec_line s ":journal"));
+  let _ = Braid.Repl.exec_line s "?- anc(tom, Y)." in
+  let out = Braid.Repl.exec_line s ":journal" in
+  check_bool "reports epoch" true (contains "checkpoint epoch 0" out);
+  check_bool "shows admissions" true (contains "admit" out);
+  let one = Braid.Repl.exec_line s ":journal 1" in
+  check_bool "tail of one entry" true
+    (List.length (String.split_on_char '\n' one) = 2);
+  check_bool "rejects junk" true
+    (contains "usage" (Braid.Repl.exec_line s ":journal zero"))
+
 let trace_cases =
   [
     Alcotest.test_case "trace command" `Quick test_trace_command;
     Alcotest.test_case "base-relation query" `Quick test_base_query_directly;
+    Alcotest.test_case "journal command" `Quick test_journal_command;
   ]
 
 let suites = match suites with
