@@ -12,6 +12,8 @@
      dune exec bench/main.exe -- --seed 5 --json p  # explicit PRNG seed
      dune exec bench/main.exe -- --soak --seed 1 --steps 2000 --check
                                                     # consistency soak gate
+     dune exec bench/main.exe -- --seed 1 --trace out.json
+                                                    # Chrome-loadable span trace
 
    The --json mode writes the bechamel estimates plus hardware-independent
    experiment counters to PATH (schema documented in EXPERIMENTS.md); the
@@ -19,7 +21,13 @@
    regenerates only the deterministic counters and fails (exit 1) if the
    snapshot at PATH disagrees — the CI bench-smoke job runs this; timings
    are uploaded as artifacts but never gated on. --seed overrides the
-   experiments' default PRNG seeds (the snapshot uses the defaults). *)
+   experiments' default PRNG seeds (the snapshot uses the defaults).
+
+   --trace PATH installs the Braid_obs span tracer for the run and writes
+   every recorded span on exit: Chrome trace_event JSON by default,
+   one-object-per-line JSONL when PATH ends in .jsonl (formats documented
+   in docs/OBSERVABILITY.md). Spans use a logical tick clock, so the span
+   count for a fixed --seed is identical across runs. *)
 
 module L = Braid_logic
 module T = L.Term
@@ -306,6 +314,23 @@ let check_json ?seed path =
     false
   end
 
+(* --- span tracing (--trace) --- *)
+
+(* Install a fresh tracer around [f]; on the way out write every recorded
+   span to [path] (Chrome trace_event, or JSONL for a .jsonl path). *)
+let with_trace trace_path f =
+  match trace_path with
+  | None -> f ()
+  | Some path ->
+    let tracer = Braid_obs.Trace.create () in
+    Braid_obs.Trace.install tracer;
+    Fun.protect
+      ~finally:(fun () ->
+        Braid_obs.Trace.uninstall ();
+        Braid_obs.Trace.write tracer path;
+        Printf.printf "wrote %s (%d spans)\n" path (Braid_obs.Trace.span_count tracer))
+      f
+
 (* --- soak mode (--soak) --- *)
 
 (* Randomized consistency soak (see Braid_check.Soak): seeded interleaving
@@ -319,7 +344,8 @@ let run_soak argv =
   and steps = ref 2000
   and gate = ref false
   and report_path = ref "soak-report.txt"
-  and journal_path = ref "soak-journal.txt" in
+  and journal_path = ref "soak-journal.txt"
+  and trace_path = ref None in
   let int_arg flag n tl k =
     match int_of_string_opt n with
     | Some v -> k v tl
@@ -340,18 +366,24 @@ let run_soak argv =
     | "--journal" :: p :: tl ->
       journal_path := p;
       parse tl
-    | [ ("--seed" | "--steps" | "--report" | "--journal") ] ->
-      prerr_endline "--seed/--steps require an integer, --report/--journal a path";
+    | "--trace" :: p :: tl ->
+      trace_path := Some p;
+      parse tl
+    | [ ("--seed" | "--steps" | "--report" | "--journal" | "--trace") ] ->
+      prerr_endline
+        "--seed/--steps require an integer, --report/--journal/--trace a path";
       exit 1
     | arg :: _ ->
       Printf.eprintf
         "unknown soak argument %S (expected --seed N, --steps N, --check, --report \
-         PATH, --journal PATH)\n"
+         PATH, --journal PATH, --trace PATH)\n"
         arg;
       exit 1
   in
   parse argv;
-  let report = Braid_check.Soak.run ~seed:!seed ~steps:!steps () in
+  let report =
+    with_trace !trace_path (fun () -> Braid_check.Soak.run ~seed:!seed ~steps:!steps ())
+  in
   let text = Braid_check.Soak.report_to_string report in
   print_string text;
   let write path lines =
@@ -374,42 +406,44 @@ let () =
      run_soak (List.filter (fun a -> a <> "--soak") rest);
      exit 0
    | _ -> ());
-  let rec split_flags json check seed rest = function
-    | [] -> (json, check, seed, List.rev rest)
-    | "--json" :: path :: tl -> split_flags (Some path) check seed rest tl
-    | "--check" :: path :: tl -> split_flags json (Some path) seed rest tl
+  let rec split_flags json check seed trace rest = function
+    | [] -> (json, check, seed, trace, List.rev rest)
+    | "--json" :: path :: tl -> split_flags (Some path) check seed trace rest tl
+    | "--check" :: path :: tl -> split_flags json (Some path) seed trace rest tl
+    | "--trace" :: path :: tl -> split_flags json check seed (Some path) rest tl
     | "--seed" :: n :: tl ->
       (match int_of_string_opt n with
-       | Some s -> split_flags json check (Some s) rest tl
+       | Some s -> split_flags json check (Some s) trace rest tl
        | None ->
          Printf.eprintf "--seed requires an integer, got %S\n" n;
          exit 1)
-    | [ ("--json" | "--check" | "--seed") ] ->
-      prerr_endline "--json/--check require a path argument, --seed an integer";
+    | [ ("--json" | "--check" | "--seed" | "--trace") ] ->
+      prerr_endline "--json/--check/--trace require a path argument, --seed an integer";
       exit 1
-    | arg :: tl -> split_flags json check seed (arg :: rest) tl
+    | arg :: tl -> split_flags json check seed trace (arg :: rest) tl
   in
-  let json, check, seed, args =
-    split_flags None None None [] (List.tl (Array.to_list Sys.argv))
+  let json, check, seed, trace, args =
+    split_flags None None None None [] (List.tl (Array.to_list Sys.argv))
   in
-  (match json, check, args with
-   | Some path, _, _ -> write_json ?seed path
-   | None, Some path, _ -> if not (check_json ?seed path) then exit 1
-   | None, None, [] ->
-     Braid_experiments.All.run_all ?seed ();
-     run_micro ()
-   | None, None, _ -> ());
-  if json = None && check = None then
-    List.iter
-      (fun arg ->
-        match String.lowercase_ascii arg with
-        | "micro" -> run_micro ()
-        | id ->
-          if not (Braid_experiments.All.run_one ?seed id) then begin
-            Printf.eprintf
-              "unknown experiment %S (expected e1..e13, micro, --seed N, --json PATH \
-               or --check PATH)\n"
-              arg;
-            exit 1
-          end)
-      args
+  with_trace trace (fun () ->
+      (match json, check, args with
+       | Some path, _, _ -> write_json ?seed path
+       | None, Some path, _ -> if not (check_json ?seed path) then exit 1
+       | None, None, [] ->
+         Braid_experiments.All.run_all ?seed ();
+         run_micro ()
+       | None, None, _ -> ());
+      if json = None && check = None then
+        List.iter
+          (fun arg ->
+            match String.lowercase_ascii arg with
+            | "micro" -> run_micro ()
+            | id ->
+              if not (Braid_experiments.All.run_one ?seed id) then begin
+                Printf.eprintf
+                  "unknown experiment %S (expected e1..e13, micro, --seed N, --json \
+                   PATH, --check PATH or --trace PATH)\n"
+                  arg;
+                exit 1
+              end)
+          args)

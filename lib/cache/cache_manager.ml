@@ -1,6 +1,7 @@
 module R = Braid_relalg
 module A = Braid_caql.Ast
 module Sub = Braid_subsume.Subsumption
+module Obs = Braid_obs
 
 type stats = {
   insertions : int;
@@ -51,13 +52,24 @@ let insert t ?id ~def repr =
   let id = match id with Some id -> id | None -> Cache_model.fresh_id t.model in
   let e = Element.make ~id ~def ~now:(Cache_model.tick t.model) repr in
   e.Element.on_materialize <-
-    (fun id rel -> Journal.log_materialize t.journal ~id ~rel);
+    (fun id rel ->
+      Obs.Metrics.incr "cache.materializations";
+      Obs.Trace.instant ~cat:"cache" "cache.materialize"
+        ~args:[ ("element", Obs.Trace.Str id) ];
+      Journal.log_materialize t.journal ~id ~rel);
   let bytes = Element.bytes_estimate e in
   if bytes > Cache_model.capacity_bytes t.model then None
   else begin
     let evicted = Replacement.evict t.model ~needed_bytes:bytes () in
     List.iter
       (fun (vid, pinned_fallback) ->
+        Obs.Metrics.incr "cache.evictions";
+        Obs.Trace.instant ~cat:"cache" "cache.evict"
+          ~args:
+            [
+              ("element", Obs.Trace.Str vid);
+              ("pinned_fallback", Obs.Trace.Bool pinned_fallback);
+            ];
         Journal.log_evict t.journal ~id:vid ~pinned_fallback)
       evicted;
     t.evictions <- t.evictions + List.length evicted;
@@ -70,6 +82,9 @@ let insert t ?id ~def repr =
       Cache_model.add t.model e;
       journal_admit t e;
       t.insertions <- t.insertions + 1;
+      Obs.Metrics.incr "cache.admissions";
+      Obs.Trace.instant ~cat:"cache" "cache.admit"
+        ~args:[ ("element", Obs.Trace.Str id); ("bytes", Obs.Trace.Int bytes) ];
       Some e
     end
   end
@@ -102,16 +117,22 @@ let relevant_covers t (q : A.conj) =
       List.map (fun cover -> (e, cover)) (Sub.covers sub_elem q))
     candidates
 
-let stale_hook t n = t.stale_touches <- t.stale_touches + n
+let stale_hook t n =
+  t.stale_touches <- t.stale_touches + n;
+  Obs.Metrics.incr ~by:n "cache.stale_touches"
 
 let eval t ?extra q =
-  let result, touched =
-    Query_processor.eval t.model ?extra ~stale_hook:(stale_hook t) q
-  in
-  t.tuples_touched <- t.tuples_touched + touched;
-  result
+  Obs.Trace.with_span ~cat:"cache" "cache.eval" (fun () ->
+      let result, touched =
+        Query_processor.eval t.model ?extra ~stale_hook:(stale_hook t) q
+      in
+      t.tuples_touched <- t.tuples_touched + touched;
+      Obs.Trace.add_arg "touched" (Obs.Trace.Int touched);
+      Obs.Metrics.observe "cache.eval_touched" (float_of_int touched);
+      result)
 
 let eval_conj_lazy t ?extra c =
+  Obs.Trace.instant ~cat:"cache" "cache.eval_lazy";
   Query_processor.eval_conj_lazy t.model ?extra ~stale_hook:(stale_hook t) c
 
 let ensure_index t e cols =
@@ -140,6 +161,15 @@ let invalidate_pred t pred =
       Journal.log_remove t.journal ~id ~pred;
       Cache_model.remove t.model id)
     victims;
+  if victims <> [] then begin
+    Obs.Metrics.incr ~by:(List.length victims) "cache.invalidations";
+    Obs.Trace.instant ~cat:"cache" "cache.invalidate"
+      ~args:
+        [
+          ("pred", Obs.Trace.Str pred);
+          ("elements", Obs.Trace.Int (List.length victims));
+        ]
+  end;
   victims
 
 (* Degraded-mode invalidation: when the remote cannot be reached to refetch,

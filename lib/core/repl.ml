@@ -2,6 +2,7 @@ module L = Braid_logic
 module R = Braid_relalg
 module V = R.Value
 module Qpo = Braid_planner.Qpo
+module Obs = Braid_obs
 
 type t = {
   mutable config : Qpo.config;
@@ -39,9 +40,32 @@ let commands_help =
   \  :load rules <file> | :load data <file.csv>\n\
   \  :system loose|bermuda|ceri|braid-sub|braid\n\
   \  :strategy interpretive|conjunction-N|compiled|adaptive\n\
-  \  :trace on|off                      record (CAQL query, plan) pairs; :trace shows them\n\
+  \  :trace on|off                      record plans and observability spans; :trace shows plans\n\
+  \  :spans [N]                         last N recorded spans (default 15); needs :trace on\n\
   \  :journal [N]                       last N cache journal entries (default 20) + epoch\n\
-  \  :rules | :cache | :advice | :metrics | :lint | :help | :quit"
+  \  :rules | :cache | :advice | :metrics | :lint | :help | :quit (or :q)"
+
+(* Every command the dispatcher accepts, for the :help audit test — keep in
+   sync with [exec_line]. *)
+let command_names =
+  [
+    ":help";
+    ":quit";
+    ":q";
+    ":cache";
+    ":rules";
+    ":lint";
+    ":trace";
+    ":spans";
+    ":journal";
+    ":metrics";
+    ":advice";
+    ":caql";
+    ":explain";
+    ":load";
+    ":system";
+    ":strategy";
+  ]
 
 let invalidate t = t.sys <- None
 
@@ -251,6 +275,46 @@ let handle_rules t =
   let kb = kb_of t in
   Format.asprintf "%a" L.Kb.pp kb
 
+let render_arg = function
+  | Obs.Trace.Str s -> s
+  | Obs.Trace.Int n -> string_of_int n
+  | Obs.Trace.Float f -> Printf.sprintf "%.1f" f
+  | Obs.Trace.Bool b -> string_of_bool b
+
+let render_span (s : Obs.Trace.span) =
+  let args =
+    match s.Obs.Trace.args with
+    | [] -> ""
+    | args ->
+      "  "
+      ^ String.concat " "
+          (List.rev_map (fun (k, v) -> Printf.sprintf "%s=%s" k (render_arg v)) args)
+  in
+  if s.Obs.Trace.instant then
+    Printf.sprintf "#%-4d @%-5d  %s/%s%s" s.Obs.Trace.id s.Obs.Trace.start_ts
+      s.Obs.Trace.cat s.Obs.Trace.name args
+  else
+    Printf.sprintf "#%-4d %d..%-5d %s/%s%s%s" s.Obs.Trace.id s.Obs.Trace.start_ts
+      s.Obs.Trace.end_ts s.Obs.Trace.cat s.Obs.Trace.name
+      (match s.Obs.Trace.parent with
+       | Some p -> Printf.sprintf " (in #%d)" p
+       | None -> "")
+      args
+
+let handle_spans n =
+  match Obs.Trace.installed () with
+  | None -> "span recording is off (enable with :trace on)"
+  | Some tr ->
+    let all = Obs.Trace.spans tr in
+    let total = List.length all in
+    let shown = if total > n then ref (total - n) else ref 0 in
+    let tail = List.filteri (fun i _ -> i >= !shown) all in
+    if tail = [] then "no spans recorded yet"
+    else
+      String.concat "\n"
+        (Printf.sprintf "%d spans (last %d):" total (List.length tail)
+        :: List.map render_span tail)
+
 let handle_lint t =
   match L.Kb.lint (kb_of t) with
   | [] -> "knowledge base is clean"
@@ -286,12 +350,23 @@ let exec_line t line =
     else if line = ":trace on" then begin
       t.tracing <- true;
       (match t.sys with Some sys -> Cms.set_trace (System.cms sys) true | None -> ());
-      "tracing on"
+      if not (Obs.Trace.enabled ()) then Obs.Trace.install (Obs.Trace.create ());
+      "tracing on (plans + spans; :trace shows plans, :spans shows spans)"
     end
     else if line = ":trace off" then begin
       t.tracing <- false;
       (match t.sys with Some sys -> Cms.set_trace (System.cms sys) false | None -> ());
+      Obs.Trace.uninstall ();
       "tracing off"
+    end
+    else if strip_prefix ":spans" line <> None then begin
+      match strip_prefix ":spans" line with
+      | Some "" -> handle_spans 15
+      | Some n ->
+        (match int_of_string_opt n with
+         | Some n when n > 0 -> handle_spans n
+         | Some _ | None -> "usage: :spans [N] with N a positive integer")
+      | None -> assert false
     end
     else if strip_prefix ":journal" line <> None then begin
       match strip_prefix ":journal" line with
@@ -302,10 +377,15 @@ let exec_line t line =
          | Some _ | None -> "usage: :journal [N] with N a positive integer")
       | None -> assert false
     end
-    else if line = ":metrics" then
+    else if line = ":metrics" then begin
       match t.sys with
       | None -> "no session yet"
-      | Some sys -> Format.asprintf "%a" System.pp_metrics (System.metrics sys)
+      | Some sys ->
+        let base = Format.asprintf "%a" System.pp_metrics (System.metrics sys) in
+        (match Obs.Metrics.render () with
+         | "" -> base
+         | obs -> base ^ "\n-- observability --\n" ^ String.trim obs)
+    end
     else if line = ":advice" then
       match t.last_advice with
       | None -> "no query answered yet"

@@ -26,3 +26,8 @@ val banner : string
 
 val commands_help : string
 (** The text behind [:help]. *)
+
+val command_names : string list
+(** Every [:command] the dispatcher accepts (e.g. [":quit"], [":spans"]).
+    The help-audit test checks each one is documented in
+    {!commands_help}. *)

@@ -15,16 +15,30 @@ let experiments : (string * (?seed:int -> unit -> Table.t)) list =
     ("e13", fun ?seed () -> snd (Exp_faults.run ?seed ()));
   ]
 
+(* Bracket each experiment with a metrics-registry reset so the
+   observability table printed under its result attributes counters and
+   simulated-ms histograms to that experiment alone. *)
+let run_with_obs run ?seed () =
+  Braid_obs.Metrics.reset ();
+  let table = run ?seed () in
+  Table.print table;
+  (match Braid_obs.Metrics.render () with
+   | "" -> ()
+   | text ->
+     print_endline "-- observability --";
+     print_string text);
+  Braid_obs.Metrics.reset ()
+
 let run_all ?seed () =
   List.iter
     (fun (_, run) ->
-      Table.print (run ?seed ());
+      run_with_obs run ?seed ();
       print_newline ())
     experiments
 
 let run_one ?seed id =
   match List.assoc_opt (String.lowercase_ascii id) experiments with
   | Some run ->
-    Table.print (run ?seed ());
+    run_with_obs run ?seed ();
     true
   | None -> false

@@ -4,6 +4,7 @@ module TS = Braid_stream.Tuple_stream
 module Qpo = Braid_planner.Qpo
 module Server = Braid_remote.Server
 module Catalog = Braid_remote.Catalog
+module Obs = Braid_obs
 
 type t = {
   kb : L.Kb.t;
@@ -36,42 +37,64 @@ let max_conj_size t =
   | Strategy.Fully_compiled -> max_int
 
 let solve t query =
-  (* Query translator + problem graph extractor. *)
-  let graph = Problem_graph.extract t.kb query in
-  let rules_before = Problem_graph.rule_ids graph in
-  (* Problem graph shaper, fed by catalog statistics via the CMS. *)
-  let catalog = Server.catalog (Qpo.server t.qpo) in
-  let shaper_stats =
-    Shaper.shape t.kb ~cardinality:(Catalog.cardinality catalog) graph
-  in
-  (* Rules the shaper proved useless (every instance culled) are never
-     expanded by the strategy controller. *)
-  let rules_after = Problem_graph.rule_ids graph in
-  let skip_rules = List.filter (fun id -> not (List.mem id rules_after)) rules_before in
-  (* View specifier + path expression creator. *)
-  let advice = Advice_gen.generate ~max_conj_size:(max_conj_size t) t.kb graph in
-  if t.send_advice then Qpo.set_advice t.qpo advice
-  else Qpo.set_advice t.qpo { Braid_advice.Ast.specs = []; path = None };
-  (* Inference strategy controller. *)
-  let counters = { Strategy.resolutions = 0; db_goal_queries = 0 } in
-  let orderings = Shaper.rule_orderings graph in
-  let stream =
-    Strategy.solve t.strategy t.kb t.qpo ~orderings ~counters ~max_depth:t.max_depth
-      ~skip_rules query
-  in
-  (* Account inference work as it happens: wrap the stream so pulls update
-     the engine's running total. *)
-  let counted =
-    TS.from (TS.schema stream)
-      (let cursor = TS.cursor stream in
-       let last = ref 0 in
-       fun () ->
-         let r = TS.next cursor in
-         t.total_resolutions <- t.total_resolutions + (counters.Strategy.resolutions - !last);
-         last := counters.Strategy.resolutions;
-         r)
-  in
-  (counted, { graph_size = Problem_graph.size graph; shaper_stats; advice; counters })
+  Obs.Metrics.incr "ie.queries";
+  Obs.Trace.with_span ~cat:"ie" "ie.solve"
+    ~args:[ ("query", Obs.Trace.Str (L.Atom.to_string query)) ]
+    (fun () ->
+      (* Query translator + problem graph extractor. *)
+      let graph =
+        Obs.Trace.with_span ~cat:"ie" "ie.extract" (fun () ->
+            let graph = Problem_graph.extract t.kb query in
+            let size = Problem_graph.size graph in
+            Obs.Trace.add_arg "and_nodes" (Obs.Trace.Int size.Problem_graph.and_nodes);
+            Obs.Trace.add_arg "or_nodes" (Obs.Trace.Int size.Problem_graph.or_nodes);
+            graph)
+      in
+      let rules_before = Problem_graph.rule_ids graph in
+      (* Problem graph shaper, fed by catalog statistics via the CMS. *)
+      let catalog = Server.catalog (Qpo.server t.qpo) in
+      let shaper_stats =
+        Obs.Trace.with_span ~cat:"ie" "ie.shape" (fun () ->
+            Shaper.shape t.kb ~cardinality:(Catalog.cardinality catalog) graph)
+      in
+      (* Rules the shaper proved useless (every instance culled) are never
+         expanded by the strategy controller. *)
+      let rules_after = Problem_graph.rule_ids graph in
+      let skip_rules =
+        List.filter (fun id -> not (List.mem id rules_after)) rules_before
+      in
+      (* View specifier + path expression creator. *)
+      let advice =
+        Obs.Trace.with_span ~cat:"ie" "ie.advice" (fun () ->
+            let advice = Advice_gen.generate ~max_conj_size:(max_conj_size t) t.kb graph in
+            Obs.Trace.add_arg "specs"
+              (Obs.Trace.Int (List.length advice.Braid_advice.Ast.specs));
+            advice)
+      in
+      if t.send_advice then Qpo.set_advice t.qpo advice
+      else Qpo.set_advice t.qpo { Braid_advice.Ast.specs = []; path = None };
+      (* Inference strategy controller. *)
+      let counters = { Strategy.resolutions = 0; db_goal_queries = 0 } in
+      let orderings = Shaper.rule_orderings graph in
+      let stream =
+        Strategy.solve t.strategy t.kb t.qpo ~orderings ~counters ~max_depth:t.max_depth
+          ~skip_rules query
+      in
+      (* Account inference work as it happens: wrap the stream so pulls update
+         the engine's running total. *)
+      let counted =
+        TS.from (TS.schema stream)
+          (let cursor = TS.cursor stream in
+           let last = ref 0 in
+           fun () ->
+             let r = TS.next cursor in
+             let delta = counters.Strategy.resolutions - !last in
+             t.total_resolutions <- t.total_resolutions + delta;
+             if delta > 0 then Obs.Metrics.incr ~by:delta "ie.resolutions";
+             last := counters.Strategy.resolutions;
+             r)
+      in
+      (counted, { graph_size = Problem_graph.size graph; shaper_stats; advice; counters }))
 
 let solve_all t query =
   let stream, report = solve t query in

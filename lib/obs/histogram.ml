@@ -1,0 +1,76 @@
+(* 42 buckets: bound.(i) = 2^(i-10) for i = 0..40, plus overflow. *)
+
+let n_bounds = 41
+
+let bounds =
+  Array.init n_bounds (fun i -> Float.pow 2.0 (float_of_int (i - 10)))
+
+type t = {
+  counts : int array; (* n_bounds + 1: the last slot is overflow *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  {
+    counts = Array.make (n_bounds + 1) 0;
+    count = 0;
+    sum = 0.0;
+    min_v = Float.nan;
+    max_v = Float.nan;
+  }
+
+(* Smallest i with v <= bounds.(i); n_bounds when v overflows them all. *)
+let bucket_index v =
+  if Float.is_nan v then n_bounds
+  else if v <= bounds.(0) then 0
+  else begin
+    let lo = ref 0 and hi = ref n_bounds in
+    (* invariant: bounds.(!lo) < v, and v <= bounds.(!hi) if !hi < n_bounds *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if mid < n_bounds && v > bounds.(mid) then lo := mid else hi := mid
+    done;
+    !hi
+  end
+
+let observe t v =
+  t.counts.(bucket_index v) <- t.counts.(bucket_index v) + 1;
+  t.count <- t.count + 1;
+  if Float.is_finite v then begin
+    t.sum <- t.sum +. v;
+    if Float.is_nan t.min_v || v < t.min_v then t.min_v <- v;
+    if Float.is_nan t.max_v || v > t.max_v then t.max_v <- v
+  end
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = t.min_v
+let max_value t = t.max_v
+let mean t = if t.count = 0 then Float.nan else t.sum /. float_of_int t.count
+
+let quantile t q =
+  if t.count = 0 then Float.nan
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.count))) in
+    let rec walk i cum =
+      if i > n_bounds then t.max_v
+      else
+        let cum = cum + t.counts.(i) in
+        if cum >= rank then
+          if i = n_bounds then t.max_v else Float.min bounds.(i) t.max_v
+        else walk (i + 1) cum
+    in
+    walk 0 0
+  end
+
+let buckets t =
+  let acc = ref [] in
+  for i = n_bounds downto 0 do
+    if t.counts.(i) > 0 then
+      let bound = if i = n_bounds then Float.infinity else bounds.(i) in
+      acc := (bound, t.counts.(i)) :: !acc
+  done;
+  !acc

@@ -1,0 +1,43 @@
+(** Log-bucketed latency/size histograms.
+
+    Observations are counted into buckets whose upper bounds are the
+    powers of two from [2^-10] (~0.001) to [2^30], plus an overflow
+    bucket — a fixed 42-entry layout that costs O(1) per observation and
+    a few hundred bytes per histogram regardless of how many values it
+    absorbs. Exact [count], [sum], [min] and [max] are kept alongside, so
+    means are exact and only the quantiles are bucket-approximated.
+
+    Everything is deterministic: the same observation sequence produces
+    the same buckets and the same quantiles on every run — histograms can
+    therefore appear in CI-gated output. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** Adds one observation. Non-finite values are counted (in [count] and
+    the extreme buckets) but excluded from [sum]. *)
+
+val count : t -> int
+val sum : t -> float
+
+val min_value : t -> float
+(** Smallest observation; [nan] while empty. *)
+
+val max_value : t -> float
+(** Largest observation; [nan] while empty. *)
+
+val mean : t -> float
+(** [sum / count]; [nan] while empty. *)
+
+val quantile : t -> float -> float
+(** [quantile h q] for [q] in [\[0,1\]]: the least bucket upper bound [b]
+    such that at least [ceil (q * count)] observations are [<= b],
+    clamped to the observed maximum (so [quantile h 1.0 = max_value h]).
+    The bound overestimates the true quantile by at most one bucket —
+    under 2x relative error. [nan] while empty. *)
+
+val buckets : t -> (float * int) list
+(** The non-empty buckets as [(upper_bound, count)] pairs, increasing;
+    the overflow bucket reports [infinity] as its bound. *)

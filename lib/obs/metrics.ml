@@ -1,0 +1,140 @@
+type metric =
+  | M_counter of int ref
+  | M_gauge of float ref
+  | M_hist of Histogram.t
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function
+  | M_counter _ -> "counter"
+  | M_gauge _ -> "gauge"
+  | M_hist _ -> "histogram"
+
+let wrong_kind name m wanted =
+  invalid_arg
+    (Printf.sprintf "Braid_obs.Metrics: %s is a %s, not a %s" name (kind_name m) wanted)
+
+let incr ?(by = 1) name =
+  match Hashtbl.find_opt registry name with
+  | Some (M_counter r) -> r := !r + by
+  | Some m -> wrong_kind name m "counter"
+  | None -> Hashtbl.replace registry name (M_counter (ref by))
+
+let set_gauge name v =
+  match Hashtbl.find_opt registry name with
+  | Some (M_gauge r) -> r := v
+  | Some m -> wrong_kind name m "gauge"
+  | None -> Hashtbl.replace registry name (M_gauge (ref v))
+
+let observe name v =
+  match Hashtbl.find_opt registry name with
+  | Some (M_hist h) -> Histogram.observe h v
+  | Some m -> wrong_kind name m "histogram"
+  | None ->
+    let h = Histogram.create () in
+    Histogram.observe h v;
+    Hashtbl.replace registry name (M_hist h)
+
+let counter_value name =
+  match Hashtbl.find_opt registry name with Some (M_counter r) -> !r | Some _ | None -> 0
+
+let histogram name =
+  match Hashtbl.find_opt registry name with Some (M_hist h) -> Some h | Some _ | None -> None
+
+type row =
+  | Counter of { name : string; value : int }
+  | Gauge of { name : string; value : float }
+  | Histogram of {
+      name : string;
+      count : int;
+      sum : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+      max : float;
+    }
+
+let row_name = function
+  | Counter { name; _ } | Gauge { name; _ } | Histogram { name; _ } -> name
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name m acc ->
+      let row =
+        match m with
+        | M_counter r -> Counter { name; value = !r }
+        | M_gauge r -> Gauge { name; value = !r }
+        | M_hist h ->
+          Histogram
+            {
+              name;
+              count = Histogram.count h;
+              sum = Histogram.sum h;
+              p50 = Histogram.quantile h 0.50;
+              p95 = Histogram.quantile h 0.95;
+              p99 = Histogram.quantile h 0.99;
+              max = Histogram.max_value h;
+            }
+      in
+      row :: acc)
+    registry []
+  |> List.sort (fun a b -> String.compare (row_name a) (row_name b))
+
+let render () =
+  let rows = snapshot () in
+  if rows = [] then ""
+  else begin
+    let scalars =
+      List.filter_map
+        (function
+          | Counter { name; value } -> Some (name, string_of_int value)
+          | Gauge { name; value } -> Some (name, Printf.sprintf "%.1f" value)
+          | Histogram _ -> None)
+        rows
+    and hists =
+      List.filter_map
+        (function
+          | Histogram { name; count; sum; p50; p95; p99; max } ->
+            Some
+              [
+                name;
+                string_of_int count;
+                Printf.sprintf "%.1f" sum;
+                Printf.sprintf "%.3f" p50;
+                Printf.sprintf "%.3f" p95;
+                Printf.sprintf "%.3f" p99;
+                Printf.sprintf "%.3f" max;
+              ]
+          | Counter _ | Gauge _ -> None)
+        rows
+    in
+    let buf = Buffer.create 512 in
+    let name_w =
+      List.fold_left (fun w (n, _) -> max w (String.length n)) 0 scalars
+    in
+    List.iter
+      (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "%-*s %12s\n" name_w n v))
+      scalars;
+    if hists <> [] then begin
+      let header = [ "histogram"; "count"; "sum"; "p50"; "p95"; "p99"; "max" ] in
+      let widths =
+        List.mapi
+          (fun i h ->
+            List.fold_left (fun w row -> max w (String.length (List.nth row i)))
+              (String.length h) hists)
+          header
+      in
+      let line cells =
+        Buffer.add_string buf
+          (String.concat "  "
+             (List.map2 (fun c w -> Printf.sprintf "%-*s" w c) cells widths));
+        Buffer.add_char buf '\n'
+      in
+      if scalars <> [] then Buffer.add_char buf '\n';
+      line header;
+      List.iter line hists
+    end;
+    Buffer.contents buf
+  end
+
+let reset () = Hashtbl.reset registry

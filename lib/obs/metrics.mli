@@ -1,0 +1,61 @@
+(** A process-wide metrics registry: counters, gauges and log-bucketed
+    latency histograms, addressed by dotted name.
+
+    Instrumented components ({!Braid_remote.Server}, {!Braid_remote.Rdi},
+    {!Braid_cache.Cache_manager}, {!Braid_planner.Qpo}, {!Braid_ie.Engine})
+    record into the registry unconditionally — recording is a hashtable
+    lookup plus an integer add, never a behavioral change, so seeded runs
+    stay deterministic whether or not anyone reads the metrics.
+
+    Naming convention: [component.metric[_unit]] — e.g. [qpo.queries],
+    [remote.request_ms], [cache.eval_touched]. [_ms] counts simulated
+    milliseconds (the cost model's clock, not the wall clock); metric
+    names and units are cataloged in docs/OBSERVABILITY.md.
+
+    The registry is global state; harnesses that want per-phase numbers
+    bracket the phase with {!reset} + {!snapshot} (the experiment runner
+    does exactly this per experiment). *)
+
+val incr : ?by:int -> string -> unit
+(** Bumps the named counter, creating it at zero first.
+    @raise Invalid_argument if the name is registered as another kind. *)
+
+val set_gauge : string -> float -> unit
+(** Sets the named gauge (last write wins).
+    @raise Invalid_argument if the name is registered as another kind. *)
+
+val observe : string -> float -> unit
+(** Adds one observation to the named histogram.
+    @raise Invalid_argument if the name is registered as another kind. *)
+
+val counter_value : string -> int
+(** Current value of a counter; [0] when the name is unregistered. *)
+
+val histogram : string -> Histogram.t option
+(** The named histogram, when one exists. *)
+
+(** One registry entry, as captured by {!snapshot}. *)
+type row =
+  | Counter of { name : string; value : int }
+  | Gauge of { name : string; value : float }
+  | Histogram of {
+      name : string;
+      count : int;
+      sum : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+      max : float;
+    }
+
+val row_name : row -> string
+
+val snapshot : unit -> row list
+(** Every registered metric, sorted by name. *)
+
+val render : unit -> string
+(** The snapshot as an aligned two-section text table (counters/gauges,
+    then histograms with p50/p95/p99); [""] when nothing is registered. *)
+
+val reset : unit -> unit
+(** Drops every registered metric. *)

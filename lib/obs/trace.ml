@@ -1,0 +1,206 @@
+type arg =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  cat : string;
+  start_ts : int;
+  mutable end_ts : int;
+  mutable args : (string * arg) list;
+  instant : bool;
+}
+
+type t = {
+  limit : int;
+  mutable completed : span list; (* newest first *)
+  mutable n_completed : int;
+  mutable n_dropped : int;
+  mutable next_id : int;
+  mutable clock : int;
+  mutable stack : span list; (* open spans, innermost first *)
+}
+
+let create ?(limit = 500_000) () =
+  {
+    limit;
+    completed = [];
+    n_completed = 0;
+    n_dropped = 0;
+    next_id = 1;
+    clock = 0;
+    stack = [];
+  }
+
+let current : t option ref = ref None
+
+let install t = current := Some t
+let uninstall () = current := None
+let installed () = !current
+let enabled () = !current <> None
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let begin_span t ?(args = []) ~cat ~instant name =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let ts = tick t in
+  {
+    id;
+    parent = (match t.stack with s :: _ -> Some s.id | [] -> None);
+    name;
+    cat;
+    start_ts = ts;
+    end_ts = ts;
+    args;
+    instant;
+  }
+
+let complete t span =
+  if t.n_completed < t.limit then begin
+    t.completed <- span :: t.completed;
+    t.n_completed <- t.n_completed + 1
+  end
+  else t.n_dropped <- t.n_dropped + 1
+
+let with_span ?args ~cat name f =
+  match !current with
+  | None -> f ()
+  | Some t ->
+    let span = begin_span t ?args ~cat ~instant:false name in
+    t.stack <- span :: t.stack;
+    let finish () =
+      (match t.stack with
+       | s :: rest when s == span -> t.stack <- rest
+       | _ -> t.stack <- List.filter (fun s -> not (s == span)) t.stack);
+      span.end_ts <- tick t;
+      complete t span
+    in
+    (match f () with
+     | result ->
+       finish ();
+       result
+     | exception e ->
+       span.args <- ("raised", Bool true) :: span.args;
+       finish ();
+       raise e)
+
+let instant ?args ~cat name =
+  match !current with
+  | None -> ()
+  | Some t -> complete t (begin_span t ?args ~cat ~instant:true name)
+
+let add_arg key value =
+  match !current with
+  | None -> ()
+  | Some t ->
+    (match t.stack with
+     | s :: _ -> s.args <- (key, value) :: s.args
+     | [] -> ())
+
+let spans t = List.rev t.completed
+let span_count t = t.n_completed + t.n_dropped
+let dropped t = t.n_dropped
+
+(* --- export --- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let arg_to_json = function
+  | Str s -> Printf.sprintf "\"%s\"" (escape s)
+  | Int n -> string_of_int n
+  | Float f ->
+    if Float.is_finite f then Printf.sprintf "%.3f" f
+    else Printf.sprintf "\"%s\"" (escape (Float.to_string f))
+  | Bool b -> if b then "true" else "false"
+
+(* args are consed newest-first; keep the newest binding per key and emit
+   in original (oldest-first) attachment order. *)
+let dedup_args args =
+  let seen = Hashtbl.create 8 in
+  let newest_first =
+    List.filter
+      (fun (k, _) ->
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      args
+  in
+  List.rev newest_first
+
+let args_to_json args =
+  match dedup_args args with
+  | [] -> "{}"
+  | args ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (arg_to_json v)) args)
+    ^ "}"
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"id\":%d,\"parent\":%s,\"name\":\"%s\",\"cat\":\"%s\",\"start\":%d,\"end\":%d,\"instant\":%b,\"args\":%s}\n"
+           s.id
+           (match s.parent with Some p -> string_of_int p | None -> "null")
+           (escape s.name) (escape s.cat) s.start_ts s.end_ts s.instant
+           (args_to_json s.args)))
+    (spans t);
+  Buffer.contents buf
+
+let to_chrome t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  let first = ref true in
+  List.iter
+    (fun s ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      let common =
+        Printf.sprintf
+          "\"name\":\"%s\",\"cat\":\"%s\",\"pid\":1,\"tid\":1,\"ts\":%d,\"args\":%s"
+          (escape s.name) (escape s.cat) s.start_ts (args_to_json s.args)
+      in
+      if s.instant then
+        Buffer.add_string buf (Printf.sprintf "{\"ph\":\"i\",\"s\":\"t\",%s}" common)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "{\"ph\":\"X\",\"dur\":%d,%s}" (s.end_ts - s.start_ts) common))
+    (spans t);
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let write t path =
+  let text = if ends_with ~suffix:".jsonl" path then to_jsonl t else to_chrome t in
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc

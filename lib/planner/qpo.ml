@@ -12,6 +12,7 @@ module Sub = Braid_subsume.Subsumption
 module Adv = Braid_advice.Advisor
 module To_sql = Braid_caql.To_sql
 module Analyze = Braid_caql.Analyze
+module Obs = Braid_obs
 
 let log_src = Logs.Src.create "braid.qpo" ~doc:"Query Planner/Optimizer decisions"
 
@@ -483,8 +484,14 @@ let choose_covers covers =
 
 let solve_subsume t (q : A.conj) =
   let model = CMgr.model t.cache in
-  let covers = CMgr.relevant_covers t.cache q in
-  let chosen = choose_covers covers in
+  let chosen =
+    Obs.Trace.with_span ~cat:"qpo" "qpo.subsume" (fun () ->
+        let covers = CMgr.relevant_covers t.cache q in
+        let chosen = choose_covers covers in
+        Obs.Trace.add_arg "candidates" (Obs.Trace.Int (List.length covers));
+        Obs.Trace.add_arg "chosen" (Obs.Trace.Int (List.length chosen));
+        chosen)
+  in
   let covered_idx = List.concat_map (fun (_, c) -> c.Sub.covered) chosen in
   let uncovered_idx = List.filter (fun i -> not (List.mem i covered_idx)) (all_indices q) in
   let cover_repls =
@@ -533,12 +540,25 @@ let solve_subsume t (q : A.conj) =
     }
   end
 
+let caching_mode_name = function
+  | No_cache -> "no-cache"
+  | Exact_match -> "exact-match"
+  | Single_relation -> "single-relation"
+  | Subsumption -> "subsumption"
+
 let solve t (q : A.conj) =
-  match t.config.caching with
-  | No_cache -> solve_no_cache t q
-  | Exact_match -> solve_exact t q
-  | Single_relation -> solve_single t q
-  | Subsumption -> solve_subsume t q
+  Obs.Trace.with_span ~cat:"qpo" "qpo.solve"
+    ~args:
+      [
+        ("query", Obs.Trace.Str (A.conj_to_string q));
+        ("mode", Obs.Trace.Str (caching_mode_name t.config.caching));
+      ]
+    (fun () ->
+      match t.config.caching with
+      | No_cache -> solve_no_cache t q
+      | Exact_match -> solve_exact t q
+      | Single_relation -> solve_single t q
+      | Subsumption -> solve_subsume t q)
 
 (* --- advice-driven extras: generalization, prefetch, indexing, pinning --- *)
 
@@ -590,7 +610,8 @@ let generalization_steps t spec (q : A.conj) =
       (t.config.allow_generalization && t.config.caching = Subsumption
      && t.config.use_advice)
   then []
-  else begin
+  else
+    Obs.Trace.with_span ~cat:"qpo" "qpo.generalize" (fun () ->
     (* QPO step 1 (§5.3.1): the query — or a part of it — may be subsumed
        by (the definition of) ANY view specification, not only its own;
        e.g. the paper generalizes b1(c1,Y) because d3's definition contains
@@ -624,16 +645,18 @@ let generalization_steps t spec (q : A.conj) =
        | Some (e, steps) ->
          Hashtbl.replace t.elem_spec e.Elem.id s.Braid_advice.Ast.id;
          t.stats.generalizations <- t.stats.generalizations + 1;
+         Obs.Metrics.incr "qpo.generalizations";
+         Obs.Trace.add_arg "spec" (Obs.Trace.Str s.Braid_advice.Ast.id);
          steps
          @ [ Plan.Generalized { spec = s.Braid_advice.Ast.id; element = e.Elem.id } ]
          @ index_for_spec t s e
-       | None -> [])
-  end
+       | None -> []))
 
 let prefetch_steps t current_spec_id =
   if not (t.config.allow_prefetch && t.config.use_advice && t.config.caching = Subsumption)
   then []
   else
+    Obs.Trace.with_span ~cat:"qpo" "qpo.prefetch" (fun () ->
     List.concat_map
       (fun (spec : Braid_advice.Ast.view_spec) ->
         let id = spec.Braid_advice.Ast.id in
@@ -650,13 +673,14 @@ let prefetch_steps t current_spec_id =
           | Some (e, steps) ->
             Hashtbl.replace t.elem_spec e.Elem.id id;
             t.stats.prefetches <- t.stats.prefetches + 1;
+            Obs.Metrics.incr "qpo.prefetches";
             steps
             @ [ Plan.Prefetch { spec = id; element = e.Elem.id } ]
             @ index_for_spec t spec e
           | None -> []
         end
         else [])
-      (Adv.predicted_next t.advisor)
+      (Adv.predicted_next t.advisor))
 
 let update_pins t =
   (* Pin the elements backing specs predicted for the next queries — the
@@ -683,11 +707,30 @@ type answer = {
 }
 
 let classify t solved =
-  if not solved.s_used_remote then
-    if solved.s_used_cache then t.stats.full_hits <- t.stats.full_hits + 1
-    else t.stats.misses <- t.stats.misses + 1
-  else if solved.s_used_cache then t.stats.partial_hits <- t.stats.partial_hits + 1
-  else t.stats.misses <- t.stats.misses + 1;
+  let hit_kind =
+    if not solved.s_used_remote then
+      if solved.s_used_cache then begin
+        t.stats.full_hits <- t.stats.full_hits + 1;
+        Obs.Metrics.incr "qpo.full_hits";
+        "full-hit"
+      end
+      else begin
+        t.stats.misses <- t.stats.misses + 1;
+        Obs.Metrics.incr "qpo.misses";
+        "miss"
+      end
+    else if solved.s_used_cache then begin
+      t.stats.partial_hits <- t.stats.partial_hits + 1;
+      Obs.Metrics.incr "qpo.partial_hits";
+      "partial-hit"
+    end
+    else begin
+      t.stats.misses <- t.stats.misses + 1;
+      Obs.Metrics.incr "qpo.misses";
+      "miss"
+    end
+  in
+  Obs.Trace.add_arg "hit" (Obs.Trace.Str hit_kind);
   if
     List.exists
       (function
@@ -696,7 +739,10 @@ let classify t solved =
         | Plan.Lazy_answer | Plan.Generalized _ | Plan.Prefetch _ | Plan.Index_built _
         | Plan.Degraded_serve _ | Plan.Stale_elements _ -> false)
       solved.s_steps
-  then t.stats.exact_hits <- t.stats.exact_hits + 1
+  then begin
+    t.stats.exact_hits <- t.stats.exact_hits + 1;
+    Obs.Metrics.incr "qpo.exact_hits"
+  end
 
 let should_cache_eager_result t spec solved touched =
   match t.config.caching with
@@ -710,7 +756,7 @@ let should_cache_eager_result t spec solved touched =
     advice_ok
     && (solved.s_used_remote || touched >= t.config.recompute_cache_threshold)
 
-let answer_conj t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
+let answer_conj_untraced t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
   t.stats.queries <- t.stats.queries + 1;
   let spec =
     if not t.config.use_advice then None
@@ -746,6 +792,7 @@ let answer_conj t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
     if lazy_ok then begin
       Log.debug (fun m -> m "answering lazily: %s" (A.conj_to_string q));
       t.stats.lazy_answers <- t.stats.lazy_answers + 1;
+      Obs.Metrics.incr "qpo.lazy_answers";
       let s = CMgr.eval_conj_lazy t.cache solved.s_rewritten in
       result_steps := [ Plan.Lazy_answer ];
       (* A generator is itself cacheable (§5.1); it shares its memoized
@@ -813,6 +860,10 @@ let answer_conj t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
   in
   t.stats.local_ms <- t.stats.local_ms +. local_ms;
   t.stats.elapsed_ms <- t.stats.elapsed_ms +. elapsed;
+  Obs.Metrics.observe "qpo.local_ms" local_ms;
+  Obs.Metrics.observe "qpo.elapsed_ms" elapsed;
+  Obs.Trace.add_arg "elapsed_ms" (Obs.Trace.Float elapsed);
+  Obs.Trace.add_arg "local_ms" (Obs.Trace.Float local_ms);
   let stale_delta = (CMgr.stats t.cache).CMgr.stale_touches - stale_before in
   let stale_steps =
     if stale_delta > 0 then [ Plan.Stale_elements { touched = stale_delta } ] else []
@@ -821,7 +872,10 @@ let answer_conj t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
   let provenance =
     if solved.s_degraded || stale_delta > 0 then Plan.Degraded else Plan.Fresh
   in
-  if provenance = Plan.Degraded then t.stats.degraded <- t.stats.degraded + 1;
+  if provenance = Plan.Degraded then begin
+    t.stats.degraded <- t.stats.degraded + 1;
+    Obs.Metrics.incr "qpo.degraded"
+  end;
   (match t.trace with
    | Some entries -> t.trace <- Some ((q, plan) :: entries)
    | None -> ());
@@ -838,6 +892,20 @@ let answer_conj t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
     provenance;
     spec_id = Option.map (fun s -> s.Braid_advice.Ast.id) spec;
   }
+
+let answer_conj t ?spec_id ?prefer_lazy (q : A.conj) =
+  Obs.Metrics.incr "qpo.queries";
+  Obs.Trace.with_span ~cat:"qpo" "qpo.answer"
+    ~args:[ ("query", Obs.Trace.Str (A.conj_to_string q)) ]
+    (fun () ->
+      let a = answer_conj_untraced t ?spec_id ?prefer_lazy q in
+      Obs.Trace.add_arg "provenance"
+        (Obs.Trace.Str
+           (match a.provenance with Plan.Fresh -> "fresh" | Plan.Degraded -> "degraded"));
+      (match a.spec_id with
+       | Some id -> Obs.Trace.add_arg "spec" (Obs.Trace.Str id)
+       | None -> ());
+      a)
 
 (* Answer a conjunctive query in which [extras] names resolve to local
    scratch relations (used by the fixpoint operator); atoms over extras are

@@ -43,8 +43,14 @@ val braid_config : config
 (** Everything on: BrAID as described in the paper. *)
 
 val loose_coupling_config : config
+(** No caching at all: every database goal becomes a remote request. *)
+
 val bermuda_config : config
+(** Exact-match result caching only, after BERMUDA [IOAN88]. *)
+
 val ceri_config : config
+(** Whole-relation extension caching only, after [CERI86]. *)
+
 val no_advice_config : config
 (** Subsumption caching but no advice-driven features — isolates the
     contribution of subsumption itself. *)
@@ -62,13 +68,19 @@ val create :
     degrade-to-cache); defaults to {!Braid_remote.Rdi.default_policy}. *)
 
 val config : t -> config
+(** The configuration the planner was created with. *)
+
 val cache : t -> Braid_cache.Cache_manager.t
+(** The cache manager all step-2/step-3 decisions operate on. *)
+
 val server : t -> Braid_remote.Server.t
+(** The remote server behind {!rdi}. *)
 
 val rdi : t -> Braid_remote.Rdi.t
 (** The fault-tolerant remote interface all planner fetches go through. *)
 
 val advisor : t -> Braid_advice.Advisor.t
+(** The advice manager tracking the session's path expression. *)
 
 val set_advice : t -> Braid_advice.Ast.t -> unit
 (** Starts a new advice epoch (a session's advice set, §3). *)
@@ -109,6 +121,10 @@ type metrics = {
 }
 
 val metrics : t -> metrics
+(** Per-planner counters since creation or the last {!reset_metrics}.
+    The same events also feed the global [Braid_obs.Metrics] registry
+    (names under [qpo.*]) when richer aggregates are wanted. *)
+
 val reset_metrics : t -> unit
 
 val set_trace : t -> bool -> unit

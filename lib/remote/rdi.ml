@@ -1,5 +1,6 @@
 module R = Braid_relalg
 module Prng = Braid_prng.Prng
+module Obs = Braid_obs
 
 type policy = {
   deadline_ms : float option;
@@ -119,6 +120,9 @@ let trip t =
   t.consecutive_failures <- 0;
   t.cooldown_left <- t.policy.breaker_cooldown;
   t.trips <- t.trips + 1;
+  Obs.Metrics.incr "rdi.trips";
+  Obs.Trace.instant ~cat:"rdi" "rdi.trip"
+    ~args:[ ("cooldown", Obs.Trace.Int t.policy.breaker_cooldown) ];
   event t "trip cooldown=%d" t.policy.breaker_cooldown
 
 let note_failure t =
@@ -134,6 +138,7 @@ let note_success t =
   match t.state with
   | Half_open ->
     t.state <- Closed;
+    Obs.Trace.instant ~cat:"rdi" "rdi.close";
     event t "close"
   | Closed | Open -> ()
 
@@ -142,9 +147,15 @@ let degrade t sql_text failure =
   match Hashtbl.find_opt t.last_good sql_text with
   | Some rel ->
     t.stale_serves <- t.stale_serves + 1;
+    Obs.Metrics.incr "rdi.stale_serves";
+    Obs.Trace.instant ~cat:"rdi" "rdi.stale_serve"
+      ~args:[ ("cause", Obs.Trace.Str (failure_to_string failure)) ];
     event t "stale-serve [%s]" sql_text;
     Stale (rel, failure)
   | None ->
+    Obs.Metrics.incr "rdi.failures";
+    Obs.Trace.instant ~cat:"rdi" "rdi.fail"
+      ~args:[ ("cause", Obs.Trace.Str (failure_to_string failure)) ];
     event t "fail %s [%s]" (failure_to_string failure) sql_text;
     Failed failure
 
@@ -163,14 +174,23 @@ let attempt t sql ~try_ =
        degrade, no breaker accounting — recovery replays the journal. *)
     raise (Fault.Injected Fault.Crash)
   | exception Fault.Injected kind ->
-    if kind = Fault.Timeout then t.deadline_misses <- t.deadline_misses + 1;
+    if kind = Fault.Timeout then begin
+      t.deadline_misses <- t.deadline_misses + 1;
+      Obs.Metrics.incr "rdi.deadline_misses"
+    end;
     event t "fault %s try=%d [%s]" (Fault.kind_to_string kind) try_ sql_text;
     let tripped = note_failure t in
     Error (kind, tripped)
 
-let exec t sql =
+let rec exec t sql =
   t.requests <- t.requests + 1;
+  Obs.Metrics.incr "rdi.requests";
   let sql_text = Sql.to_string sql in
+  Obs.Trace.with_span ~cat:"rdi" "rdi.exec"
+    ~args:[ ("sql", Obs.Trace.Str sql_text) ]
+    (fun () -> exec_traced t sql ~sql_text)
+
+and exec_traced t sql ~sql_text =
   let run_attempts () =
     let max_tries =
       match t.state with Half_open -> 1 | Closed | Open -> 1 + t.policy.max_retries
@@ -186,6 +206,7 @@ let exec t sql =
              (* The probe failed: reopen without counting more failures. *)
              t.state <- Open;
              t.cooldown_left <- t.policy.breaker_cooldown;
+             Obs.Trace.instant ~cat:"rdi" "rdi.reopen";
              event t "reopen cooldown=%d" t.policy.breaker_cooldown
            | Closed | Open -> ());
           degrade t sql_text (Remote_fault kind)
@@ -194,6 +215,15 @@ let exec t sql =
           let delay = backoff_delay t ~attempt:try_ in
           t.retries <- t.retries + 1;
           t.backoff_ms <- t.backoff_ms +. delay;
+          Obs.Metrics.incr "rdi.retries";
+          Obs.Metrics.observe "rdi.backoff_ms" delay;
+          Obs.Trace.instant ~cat:"rdi" "rdi.retry"
+            ~args:
+              [
+                ("try", Obs.Trace.Int try_);
+                ("fault", Obs.Trace.Str (Fault.kind_to_string kind));
+                ("backoff_ms", Obs.Trace.Float delay);
+              ];
           event t "backoff %.1fms try=%d" delay try_;
           go (try_ + 1)
         end
@@ -204,12 +234,16 @@ let exec t sql =
   | Open when t.cooldown_left > 0 ->
     t.cooldown_left <- t.cooldown_left - 1;
     t.fast_fails <- t.fast_fails + 1;
+    Obs.Metrics.incr "rdi.fast_fails";
+    Obs.Trace.instant ~cat:"rdi" "rdi.fast_fail"
+      ~args:[ ("cooldown_left", Obs.Trace.Int t.cooldown_left) ];
     event t "fast-fail left=%d [%s]" t.cooldown_left sql_text;
     degrade t sql_text Breaker_open
   | Open ->
     (* Cooldown over: this request is the half-open probe. *)
     t.state <- Half_open;
     t.half_open_probes <- t.half_open_probes + 1;
+    Obs.Trace.instant ~cat:"rdi" "rdi.probe";
     event t "half-open probe [%s]" sql_text;
     run_attempts ()
   | Closed | Half_open -> run_attempts ()

@@ -60,12 +60,19 @@ type stats = {
 type t
 
 val create : ?policy:policy -> Server.t -> t
+(** A fresh interface to [server]; [policy] defaults to {!default_policy}. *)
+
 val server : t -> Server.t
+(** The server this interface guards. *)
+
 val policy : t -> policy
+(** The resilience policy in effect. *)
+
 val set_policy : t -> policy -> unit
 (** Also resets the breaker and the jitter PRNG (a new policy epoch). *)
 
 val breaker : t -> breaker_state
+(** The circuit breaker's current state. *)
 
 val exec : t -> Sql.select -> outcome
 (** One resilient request: breaker check, up to [1 + max_retries]
@@ -73,6 +80,10 @@ val exec : t -> Sql.select -> outcome
     degrade-to-cache. Never raises on injected faults. *)
 
 val stats : t -> stats
+(** Accounting since creation or the last {!reset_stats}. The same events
+    also feed the global [Braid_obs.Metrics] registry (names under
+    [rdi.*]) and emit [rdi.*] trace instants when a tracer is installed. *)
+
 val reset_stats : t -> unit
 (** Clears counters and the event trace; breaker state and the response
     cache survive (they are connection state, not accounting). *)

@@ -1,5 +1,6 @@
 module R = Braid_relalg
 module TS = Braid_stream.Tuple_stream
+module Obs = Braid_obs
 
 type stats = {
   requests : int;
@@ -69,6 +70,8 @@ let fail_request t q kind ~wasted_ms =
   t.comm_ms <- t.comm_ms +. t.cost.Cost_model.request_overhead_ms +. wasted_ms;
   t.injected_ms <- t.injected_ms +. wasted_ms;
   t.log <- Printf.sprintf "-- %s: %s" (Fault.kind_to_string kind) (Sql.to_string q) :: t.log;
+  Obs.Metrics.incr "remote.faults";
+  Obs.Trace.add_arg "fault" (Obs.Trace.Str (Fault.kind_to_string kind));
   raise (Fault.Injected kind)
 
 (* Roll the injector for one request; the extra network latency to charge,
@@ -85,25 +88,37 @@ let injected_latency t q =
        latency_ms)
 
 let exec t ?deadline_ms q =
-  let latency_ms = injected_latency t q in
-  let result, scanned = Engine.execute t.engine q in
-  let returned = R.Relation.cardinality result in
-  (match deadline_ms with
-   | Some d
-     when latency_ms
-          +. Cost_model.remote_query_cost t.cost ~scanned ~returned
-          > d ->
-     (* The reply cannot arrive in time: the caller waits out the deadline
-        and gives up. The already-charged latency stays; the wasted wait is
-        the deadline minus the overhead charged by [fail_request]. *)
-     t.injected_ms <- t.injected_ms -. latency_ms;
-     fail_request t q Fault.Timeout
-       ~wasted_ms:(Float.max 0.0 (d -. t.cost.Cost_model.request_overhead_ms))
-   | Some _ | None -> ());
-  charge_request t q ~scanned;
-  t.comm_ms <- t.comm_ms +. latency_ms;
-  charge_transfer t returned;
-  result
+  Obs.Trace.with_span ~cat:"remote" "remote.exec"
+    ~args:[ ("sql", Obs.Trace.Str (Sql.to_string q)) ]
+    (fun () ->
+      let sim_before = t.server_ms +. t.comm_ms in
+      Obs.Metrics.incr "remote.requests";
+      let latency_ms = injected_latency t q in
+      let result, scanned = Engine.execute t.engine q in
+      let returned = R.Relation.cardinality result in
+      (match deadline_ms with
+       | Some d
+         when latency_ms
+              +. Cost_model.remote_query_cost t.cost ~scanned ~returned
+              > d ->
+         (* The reply cannot arrive in time: the caller waits out the deadline
+            and gives up. The already-charged latency stays; the wasted wait is
+            the deadline minus the overhead charged by [fail_request]. *)
+         t.injected_ms <- t.injected_ms -. latency_ms;
+         fail_request t q Fault.Timeout
+           ~wasted_ms:(Float.max 0.0 (d -. t.cost.Cost_model.request_overhead_ms))
+       | Some _ | None -> ());
+      charge_request t q ~scanned;
+      t.comm_ms <- t.comm_ms +. latency_ms;
+      charge_transfer t returned;
+      (* Simulated-ms attribution: what this request added to the server and
+         communication clocks, recorded on the span and in the registry. *)
+      let sim_ms = t.server_ms +. t.comm_ms -. sim_before in
+      Obs.Trace.add_arg "scanned" (Obs.Trace.Int scanned);
+      Obs.Trace.add_arg "returned" (Obs.Trace.Int returned);
+      Obs.Trace.add_arg "sim_ms" (Obs.Trace.Float sim_ms);
+      Obs.Metrics.observe "remote.request_ms" sim_ms;
+      result)
 
 let open_cursor t ?(block_size = 32) q =
   let latency_ms = injected_latency t q in

@@ -1,0 +1,151 @@
+(* Doc doctests: every fenced ```caql / ```advice block in the markdown
+   documentation must parse with the real parsers, so examples cannot
+   drift from the implementation; plus the REPL :help audit — every
+   dispatched command must be documented. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Paths are relative to the runtest cwd (_build/default/test); the dune
+   stanza lists these files as deps so edits retrigger the tests. When the
+   cwd differs (`dune exec test/test_main.exe`), fall back to resolving
+   against the executable's own directory, which is always that test dir. *)
+let doc_files = [ "../README.md"; "../docs/CAQL.md"; "../docs/ADVICE.md" ]
+
+let read_file path =
+  let path =
+    if Sys.file_exists path then path
+    else Filename.concat (Filename.dirname Sys.executable_name) path
+  in
+  In_channel.with_open_text path In_channel.input_all
+
+(* Fenced blocks tagged [lang]: returns [(start_line, body)]. *)
+let blocks_of ~lang text =
+  let lines = String.split_on_char '\n' text in
+  let fence = "```" ^ lang in
+  let rec scan acc current = function
+    | [] -> List.rev acc
+    | (lineno, l) :: tl ->
+      let t = String.trim l in
+      (match current with
+       | None ->
+         if t = fence then scan acc (Some (lineno + 1, [])) tl
+         else scan acc None tl
+       | Some (start, body) ->
+         if t = "```" then
+           scan ((start, String.concat "\n" (List.rev body)) :: acc) None tl
+         else scan acc (Some (start, l :: body)) tl)
+  in
+  scan [] None (List.mapi (fun i l -> (i + 1, l)) lines)
+
+let parse_block file lang parse (lineno, body) =
+  try parse body
+  with
+  | Braid_caql.Parser.Error m | Braid_advice.Parser.Error m ->
+    Alcotest.failf "%s: ```%s block at line %d no longer parses: %s" file lang lineno m
+
+let test_caql_blocks () =
+  let total = ref 0 in
+  List.iter
+    (fun file ->
+      List.iter
+        (fun block ->
+          incr total;
+          let clauses =
+            parse_block file "caql"
+              (fun b -> Braid_caql.Parser.parse_program b)
+              block
+          in
+          check_bool
+            (Printf.sprintf "%s line %d: block yields clauses" file (fst block))
+            true (clauses <> []))
+        (blocks_of ~lang:"caql" (read_file file)))
+    doc_files;
+  (* guard against the tags being silently removed *)
+  check_bool "README + docs contain caql examples" true (!total >= 2)
+
+let test_advice_blocks () =
+  let total = ref 0 in
+  List.iter
+    (fun file ->
+      List.iter
+        (fun block ->
+          incr total;
+          let advice =
+            parse_block file "advice" (fun b -> Braid_advice.Parser.parse b) block
+          in
+          check_bool
+            (Printf.sprintf "%s line %d: block yields specs" file (fst block))
+            true
+            (advice.Braid_advice.Ast.specs <> []))
+        (blocks_of ~lang:"advice" (read_file file)))
+    doc_files;
+  check_int "exactly the ADVICE.md example block" 1 !total
+
+(* The specific documented behaviours the blocks rely on, checked
+   directly so a failure pinpoints the drifted construct. *)
+let test_documented_constructs () =
+  let parses s =
+    match Braid_caql.Parser.parse_program s with _ -> true | exception _ -> false
+  in
+  check_bool "negation" true (parses "introductory(C) :- enrolled(s1, C, G) & ~prereq(C, R).");
+  check_bool "aggregates in the head" true
+    (parses "load(S, count(P), max(Q)) :- supplies(S, P, Q).");
+  check_bool "distinct prefix" true (parses "distinct dests(Y) :- edge(X, Y).");
+  check_bool "arithmetic comparisons" true
+    (parses "heavy(S, P) :- supplies(S, P, Q) & part(P, C, W) & Q * W > 1000.")
+
+(* --- REPL :help audit --- *)
+
+let test_help_documents_every_command () =
+  List.iter
+    (fun cmd ->
+      check_bool (cmd ^ " is documented in :help") true
+        (contains cmd Braid.Repl.commands_help))
+    Braid.Repl.command_names
+
+let test_every_command_dispatches () =
+  List.iter
+    (fun cmd ->
+      (* A fresh session per command: ":quit"-style commands must not leak
+         state. Each name must reach a handler — never the unknown-command
+         fallback (handlers may still answer "usage: ..." without args). *)
+      let s = Braid.Repl.create () in
+      let reply = Braid.Repl.exec_line s cmd in
+      check_bool (cmd ^ " reaches a handler") false (contains "unknown command" reply))
+    Braid.Repl.command_names
+
+let test_spans_command () =
+  let s = Braid.Repl.create () in
+  check_bool "off by default" true
+    (contains "span recording is off" (Braid.Repl.exec_line s ":spans"));
+  ignore (Braid.Repl.exec_line s ":trace on");
+  ignore (Braid.Repl.exec_line s "parent(tom, bob).");
+  ignore (Braid.Repl.exec_line s "anc(X, Y) :- parent(X, Y).");
+  ignore (Braid.Repl.exec_line s "?- anc(tom, Y).");
+  let out = Braid.Repl.exec_line s ":spans" in
+  check_bool "spans listed" true (contains "qpo.answer" out);
+  check_bool "metrics include observability" true
+    (contains "-- observability --" (Braid.Repl.exec_line s ":metrics"));
+  ignore (Braid.Repl.exec_line s ":trace off");
+  check_bool "off again" true
+    (contains "span recording is off" (Braid.Repl.exec_line s ":spans"))
+
+let suites =
+  [
+    ( "docs",
+      [
+        Alcotest.test_case "```caql blocks parse" `Quick test_caql_blocks;
+        Alcotest.test_case "```advice blocks parse" `Quick test_advice_blocks;
+        Alcotest.test_case "documented constructs" `Quick test_documented_constructs;
+        Alcotest.test_case ":help documents every command" `Quick
+          test_help_documents_every_command;
+        Alcotest.test_case "every command dispatches" `Quick test_every_command_dispatches;
+        Alcotest.test_case ":spans / :metrics observability" `Quick test_spans_command;
+      ] );
+  ]
