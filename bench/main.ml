@@ -1,6 +1,6 @@
 (* The benchmark harness.
 
-   With no argument, runs every experiment E1-E13 (one per architectural
+   With no argument, runs every experiment E1-E14 (one per architectural
    claim / figure of the paper — see DESIGN.md §5 and EXPERIMENTS.md) and
    prints its result table, then the bechamel microbenchmarks.
 
@@ -12,6 +12,8 @@
      dune exec bench/main.exe -- --seed 5 --json p  # explicit PRNG seed
      dune exec bench/main.exe -- --soak --seed 1 --steps 2000 --check
                                                     # consistency soak gate
+     dune exec bench/main.exe -- --serve --sessions 8 --seed 1 --waves 250 --check
+                                                    # multi-session serving gate
      dune exec bench/main.exe -- --seed 1 --trace out.json
                                                     # Chrome-loadable span trace
 
@@ -229,6 +231,7 @@ let json_escape s =
 let experiments_json ?seed () =
   let e10_rows, _ = Braid_experiments.Exp_indexing.run ?seed ~probes:60 ~size:120 () in
   let e13_rows, _ = Braid_experiments.Exp_faults.run ?seed () in
+  let e14_rows, _ = Braid_experiments.Exp_serve.run ?seed () in
   let table_card, result_rows, scanned = remote_scan_counters () in
   let b = Buffer.create 4096 in
   let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -259,6 +262,19 @@ let experiments_json ?seed () =
         r.trips r.deadline_misses r.stale_serves r.fast_fails
         (if i = List.length e13_rows - 1 then "" else ","))
     e13_rows;
+  out "    ],\n";
+  out "    \"e14_serve\": [\n";
+  List.iteri
+    (fun i (r : Braid_experiments.Exp_serve.row) ->
+      let open Braid_experiments.Exp_serve in
+      out
+        "      {\"sessions\": %d, \"submitted\": %d, \"answered\": %d, \"shed\": %d, \
+         \"coalesce_identical\": %d, \"coalesce_subsumed\": %d, \"remote_requests\": %d, \
+         \"elapsed_ms\": %.1f}%s\n"
+        r.sessions r.submitted r.answered r.shed r.coalesce_identical
+        r.coalesce_subsumed r.remote_requests r.elapsed_ms
+        (if i = List.length e14_rows - 1 then "" else ","))
+    e14_rows;
   out "    ]\n";
   out "  }\n";
   Buffer.contents b
@@ -396,14 +412,112 @@ let run_soak argv =
   Printf.printf "wrote %s, %s\n" !report_path !journal_path;
   if !gate && not (Braid_check.Soak.ok report) then exit 1
 
+(* --- serve mode (--serve) --- *)
+
+(* Multi-session serving soak (see Braid_serve.Soak): N independent IE
+   sessions over one shared CMS, driven by the deterministic cooperative
+   scheduler with admission control and in-flight fetch coalescing, plus
+   one mid-run crash+recovery. As with --soak, --check here is a boolean
+   gate: it re-runs the identical configuration and requires (a) a
+   byte-identical report — the determinism contract, (b) a clean oracle
+   (no divergences, clean recovery), and (c) coalesce hits > 0 — the
+   overlapping-view workload must actually exercise the coalescer. *)
+let run_serve argv =
+  let seed = ref 1
+  and sessions = ref 8
+  and waves = ref 400
+  and gate = ref false
+  and report_path = ref "serve-report.txt"
+  and journal_path = ref "serve-journal.txt"
+  and trace_path = ref None in
+  let int_arg flag n tl k =
+    match int_of_string_opt n with
+    | Some v -> k v tl
+    | None ->
+      Printf.eprintf "%s requires an integer, got %S\n" flag n;
+      exit 1
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--seed" :: n :: tl -> int_arg "--seed" n tl (fun v tl -> seed := v; parse tl)
+    | "--sessions" :: n :: tl ->
+      int_arg "--sessions" n tl (fun v tl -> sessions := v; parse tl)
+    | ("--waves" | "--steps") :: n :: tl ->
+      int_arg "--waves" n tl (fun v tl -> waves := v; parse tl)
+    | "--check" :: tl ->
+      gate := true;
+      parse tl
+    | "--report" :: p :: tl ->
+      report_path := p;
+      parse tl
+    | "--journal" :: p :: tl ->
+      journal_path := p;
+      parse tl
+    | "--trace" :: p :: tl ->
+      trace_path := Some p;
+      parse tl
+    | [ ("--seed" | "--sessions" | "--waves" | "--steps" | "--report" | "--journal"
+        | "--trace") ] ->
+      prerr_endline
+        "--seed/--sessions/--waves require an integer, --report/--journal/--trace a path";
+      exit 1
+    | arg :: _ ->
+      Printf.eprintf
+        "unknown serve argument %S (expected --sessions N, --seed N, --waves N, \
+         --check, --report PATH, --journal PATH, --trace PATH)\n"
+        arg;
+      exit 1
+  in
+  parse argv;
+  let go () = Braid_serve.Soak.run ~sessions:!sessions ~seed:!seed ~waves:!waves () in
+  let report = with_trace !trace_path go in
+  let text = Braid_serve.Soak.report_to_string report in
+  print_string text;
+  let write path lines =
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc
+  in
+  write !report_path (String.split_on_char '\n' text);
+  write !journal_path report.Braid_serve.Soak.journal_dump;
+  Printf.printf "wrote %s, %s\n" !report_path !journal_path;
+  if !gate then begin
+    let text2 = Braid_serve.Soak.report_to_string (go ()) in
+    if text2 <> text then begin
+      prerr_endline
+        "serve check FAILED: a second run of the same configuration produced a \
+         different report (determinism violation)";
+      exit 1
+    end;
+    if not (Braid_serve.Soak.ok report) then begin
+      prerr_endline "serve check FAILED: oracle divergence or recovery violation";
+      exit 1
+    end;
+    let hits =
+      report.Braid_serve.Soak.coalesce_identical
+      + report.Braid_serve.Soak.coalesce_subsumed
+    in
+    if hits = 0 then begin
+      prerr_endline
+        "serve check FAILED: the overlapping-view workload produced no coalesce hits";
+      exit 1
+    end;
+    Printf.printf
+      "serve check ok: deterministic report, clean oracle, %d coalesce hit(s)\n" hits
+  end
+
 (* --- entry point --- *)
 
 let () =
-  (* --soak has its own flag grammar (its --check is a boolean gate, not a
-     path), so it is dispatched before the generic parser. *)
+  (* --soak and --serve have their own flag grammars (their --check is a
+     boolean gate, not a path), so they are dispatched before the generic
+     parser. *)
   (match Array.to_list Sys.argv with
    | _ :: rest when List.mem "--soak" rest ->
      run_soak (List.filter (fun a -> a <> "--soak") rest);
+     exit 0
+   | _ :: rest when List.mem "--serve" rest ->
+     run_serve (List.filter (fun a -> a <> "--serve") rest);
      exit 0
    | _ -> ());
   let rec split_flags json check seed trace rest = function

@@ -126,14 +126,14 @@ let caql data_files advice_file queries show_plan =
   0
 
 let repl () =
-  print_endline Braid.Repl.banner;
-  let session = Braid.Repl.create () in
+  print_endline Braid_serve.Repl.banner;
+  let session = Braid_serve.Repl.create () in
   let rec loop () =
     print_string "braid> ";
     match In_channel.input_line stdin with
     | None -> 0
     | Some line ->
-      let out = Braid.Repl.exec_line session line in
+      let out = Braid_serve.Repl.exec_line session line in
       if out <> "" then print_endline out;
       if String.trim line = ":quit" || String.trim line = ":q" then 0 else loop ()
   in

@@ -14,12 +14,13 @@ type entry =
       stale : bool;
       pinned : bool;
       at : int;
+      by : string;
     }
-  | Materialize of { seq : int; id : string; rel : R.Relation.t }
-  | Evict of { seq : int; id : string; pinned_fallback : bool }
-  | Remove of { seq : int; id : string; pred : string }
-  | Mark_stale of { seq : int; id : string; pred : string }
-  | Pin of { seq : int; id : string; flag : bool }
+  | Materialize of { seq : int; id : string; rel : R.Relation.t; by : string }
+  | Evict of { seq : int; id : string; pinned_fallback : bool; by : string }
+  | Remove of { seq : int; id : string; pred : string; by : string }
+  | Mark_stale of { seq : int; id : string; pred : string; by : string }
+  | Pin of { seq : int; id : string; flag : bool; by : string }
   | Checkpoint of { seq : int; epoch : int }
 
 type t = {
@@ -27,9 +28,13 @@ type t = {
   mutable seq : int;
   mutable epoch : int;
   mutable count : int;
+  mutable context : string; (* session id stamped on new entries; "" = none *)
 }
 
-let create () = { log = []; seq = 0; epoch = 0; count = 0 }
+let create () = { log = []; seq = 0; epoch = 0; count = 0; context = "" }
+
+let set_context t sid = t.context <- sid
+let context t = t.context
 
 let push t entry =
   t.log <- entry :: t.log;
@@ -40,16 +45,20 @@ let next_seq t =
   t.seq
 
 let log_admit t ~id ~def ~snap ~stale ~pinned ~at =
-  push t (Admit { seq = next_seq t; id; def; snap; stale; pinned; at })
+  push t (Admit { seq = next_seq t; id; def; snap; stale; pinned; at; by = t.context })
 
-let log_materialize t ~id ~rel = push t (Materialize { seq = next_seq t; id; rel })
+let log_materialize t ~id ~rel =
+  push t (Materialize { seq = next_seq t; id; rel; by = t.context })
 
 let log_evict t ~id ~pinned_fallback =
-  push t (Evict { seq = next_seq t; id; pinned_fallback })
+  push t (Evict { seq = next_seq t; id; pinned_fallback; by = t.context })
 
-let log_remove t ~id ~pred = push t (Remove { seq = next_seq t; id; pred })
-let log_mark_stale t ~id ~pred = push t (Mark_stale { seq = next_seq t; id; pred })
-let log_pin t ~id ~flag = push t (Pin { seq = next_seq t; id; flag })
+let log_remove t ~id ~pred = push t (Remove { seq = next_seq t; id; pred; by = t.context })
+
+let log_mark_stale t ~id ~pred =
+  push t (Mark_stale { seq = next_seq t; id; pred; by = t.context })
+
+let log_pin t ~id ~flag = push t (Pin { seq = next_seq t; id; flag; by = t.context })
 
 let log_checkpoint t =
   t.epoch <- t.epoch + 1;
@@ -70,24 +79,39 @@ let entry_seq = function
   | Pin { seq; _ }
   | Checkpoint { seq; _ } -> seq
 
+let entry_by = function
+  | Admit { by; _ }
+  | Materialize { by; _ }
+  | Evict { by; _ }
+  | Remove { by; _ }
+  | Mark_stale { by; _ }
+  | Pin { by; _ } -> by
+  | Checkpoint _ -> ""
+
+let by_suffix by = if by = "" then "" else Printf.sprintf " (by %s)" by
+
 let entry_to_string = function
-  | Admit { seq; id; def; snap; stale; pinned; at } ->
-    Printf.sprintf "#%d admit %s := %s [%s%s%s, at=%d]" seq id (A.conj_to_string def)
+  | Admit { seq; id; def; snap; stale; pinned; at; by } ->
+    Printf.sprintf "#%d admit %s := %s [%s%s%s, at=%d]%s" seq id (A.conj_to_string def)
       (match snap with
        | Extension r -> Printf.sprintf "extension, %d tuples" (R.Relation.cardinality r)
        | Generator_def -> "generator")
       (if stale then ", stale" else "")
       (if pinned then ", pinned" else "")
-      at
-  | Materialize { seq; id; rel } ->
-    Printf.sprintf "#%d materialize %s (%d tuples)" seq id (R.Relation.cardinality rel)
-  | Evict { seq; id; pinned_fallback } ->
-    Printf.sprintf "#%d evict %s%s" seq id
+      at (by_suffix by)
+  | Materialize { seq; id; rel; by } ->
+    Printf.sprintf "#%d materialize %s (%d tuples)%s" seq id (R.Relation.cardinality rel)
+      (by_suffix by)
+  | Evict { seq; id; pinned_fallback; by } ->
+    Printf.sprintf "#%d evict %s%s%s" seq id
       (if pinned_fallback then " (pinned fallback)" else "")
-  | Remove { seq; id; pred } -> Printf.sprintf "#%d drop %s on %s" seq id pred
-  | Mark_stale { seq; id; pred } -> Printf.sprintf "#%d stale %s on %s" seq id pred
-  | Pin { seq; id; flag } ->
-    Printf.sprintf "#%d pin %s %s" seq id (if flag then "on" else "off")
+      (by_suffix by)
+  | Remove { seq; id; pred; by } ->
+    Printf.sprintf "#%d drop %s on %s%s" seq id pred (by_suffix by)
+  | Mark_stale { seq; id; pred; by } ->
+    Printf.sprintf "#%d stale %s on %s%s" seq id pred (by_suffix by)
+  | Pin { seq; id; flag; by } ->
+    Printf.sprintf "#%d pin %s %s%s" seq id (if flag then "on" else "off") (by_suffix by)
   | Checkpoint { seq; epoch } -> Printf.sprintf "#%d checkpoint epoch=%d" seq epoch
 
 let pp_entry ppf e = Format.pp_print_string ppf (entry_to_string e)

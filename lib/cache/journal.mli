@@ -27,16 +27,17 @@ type entry =
       stale : bool;
       pinned : bool;
       at : int;  (** logical-clock admission time *)
+      by : string;  (** session context at write time; [""] = unattributed *)
     }
-  | Materialize of { seq : int; id : string; rel : Braid_relalg.Relation.t }
+  | Materialize of { seq : int; id : string; rel : Braid_relalg.Relation.t; by : string }
       (** a generator was forced into this extension *)
-  | Evict of { seq : int; id : string; pinned_fallback : bool }
+  | Evict of { seq : int; id : string; pinned_fallback : bool; by : string }
       (** replacement eviction; [pinned_fallback] marks the last-resort
           eviction of a pinned element *)
-  | Remove of { seq : int; id : string; pred : string }
+  | Remove of { seq : int; id : string; pred : string; by : string }
       (** [`Drop] invalidation triggered by a change to [pred] *)
-  | Mark_stale of { seq : int; id : string; pred : string }
-  | Pin of { seq : int; id : string; flag : bool }
+  | Mark_stale of { seq : int; id : string; pred : string; by : string }
+  | Pin of { seq : int; id : string; flag : bool; by : string }
   | Checkpoint of { seq : int; epoch : int }
       (** marker; immediately followed by re-admissions of every element
           live at the checkpoint, carrying current flags and
@@ -45,6 +46,16 @@ type entry =
 type t
 
 val create : unit -> t
+
+val set_context : t -> string -> unit
+(** Sets the session id stamped (as [by]) on every subsequently written
+    entry — the serving layer brackets each session's execution slot with
+    this so admission/eviction/stale-mark interleavings across concurrent
+    sessions stay attributable after a crash. [""] clears the context
+    (entries revert to unattributed, the single-session default). *)
+
+val context : t -> string
+(** The current session context ([""] when none). *)
 
 val log_admit :
   t ->
@@ -77,6 +88,11 @@ val length : t -> int
 val epoch : t -> int
 
 val entry_seq : entry -> int
+
+val entry_by : entry -> string
+(** The session id the entry was written under ([""] for unattributed
+    entries and checkpoints). *)
+
 val entry_to_string : entry -> string
 val pp_entry : Format.formatter -> entry -> unit
 

@@ -25,9 +25,13 @@ let set_rdi_policy t policy = Rdi.set_policy (rdi t) policy
 
 let begin_session t advice = Qpo.set_advice t.qpo advice
 
-let query t ?spec_id ?prefer_lazy q = Qpo.answer_conj t.qpo ?spec_id ?prefer_lazy q
+let new_session t ?sid advice = Qpo.new_session t.qpo ?sid advice
+let set_fetcher t f = Qpo.set_fetcher t.qpo f
 
-let query_full t q = Qpo.answer_query t.qpo q
+let query t ?session ?spec_id ?prefer_lazy q =
+  Qpo.answer_conj t.qpo ?session ?spec_id ?prefer_lazy q
+
+let query_full t ?session q = Qpo.answer_query t.qpo ?session q
 
 let query_text t text =
   match Braid_caql.Parser.parse_program text with

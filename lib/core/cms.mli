@@ -34,19 +34,38 @@ val set_rdi_policy : t -> Braid_remote.Rdi.policy -> unit
     run under a new policy is reproducible from its seed). *)
 
 val begin_session : t -> Braid_advice.Ast.t -> unit
-(** Submit the session's advice (view specifications + path expression). *)
+(** Submit the session's advice (view specifications + path expression)
+    — single-client shorthand for the planner's default session. *)
+
+val new_session : t -> ?sid:string -> Braid_advice.Ast.t -> Braid_planner.Qpo.session
+(** Opens an independent client session over the shared CMS: its own
+    advice epoch and path tracking, while the cache, journal, and RDI
+    breaker stay shared (see {!Braid_planner.Qpo.new_session}). *)
+
+val set_fetcher :
+  t ->
+  (Braid_caql.Ast.conj -> Braid_remote.Sql.select -> Braid_remote.Rdi.outcome) option ->
+  unit
+(** Remote-fetch interceptor pass-through (see
+    {!Braid_planner.Qpo.set_fetcher}) — the serving layer's coalescer
+    attaches here. *)
 
 val query :
   t ->
+  ?session:Braid_planner.Qpo.session ->
   ?spec_id:string ->
   ?prefer_lazy:bool ->
   Braid_caql.Ast.conj ->
   Braid_planner.Qpo.answer
 (** One CAQL query; the result is a stream (lazy when possible and
-    requested). *)
+    requested). [session] selects the client session the answer's advice
+    tracking is attributed to. *)
 
 val query_full :
-  t -> Braid_caql.Ast.t -> Braid_relalg.Relation.t * Braid_planner.Plan.t
+  t ->
+  ?session:Braid_planner.Qpo.session ->
+  Braid_caql.Ast.t ->
+  Braid_relalg.Relation.t * Braid_planner.Plan.t
 (** Full CAQL including union, difference and aggregation — operations the
     remote DBMS does not support and the CMS evaluates itself. *)
 

@@ -13,6 +13,7 @@ let experiments : (string * (?seed:int -> unit -> Table.t)) list =
     ("e11", fun ?seed:_ () -> snd (Exp_fixpoint.run ()));
     ("e12", fun ?seed:_ () -> snd (Exp_application.run ()));
     ("e13", fun ?seed () -> snd (Exp_faults.run ?seed ()));
+    ("e14", fun ?seed () -> snd (Exp_serve.run ?seed ()));
   ]
 
 (* Bracket each experiment with a metrics-registry reset so the

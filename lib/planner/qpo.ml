@@ -124,18 +124,40 @@ let fresh_stats () =
     elapsed_ms = 0.0;
   }
 
+(* Per-session CMS state (paper §3: "a session begins with a set of
+   advice"): the Advice Manager — and with it the path tracker, the
+   prefetched-this-epoch set and the element→spec association used for
+   replacement pinning — is client state, not cache state. The serving
+   layer (lib/serve) creates one [session] per client and multiplexes them
+   over the one shared planner/cache/RDI; single-session callers never see
+   this and keep using the planner's default session. *)
+type session = {
+  sid : string;
+  mutable advisor : Adv.t;
+  elem_spec : (string, string) Hashtbl.t; (* element id -> originating spec id *)
+  prefetched : (string, unit) Hashtbl.t; (* spec ids prefetched this epoch *)
+}
+
+let fresh_session sid advice =
+  {
+    sid;
+    advisor = Adv.create advice;
+    elem_spec = Hashtbl.create 32;
+    prefetched = Hashtbl.create 16;
+  }
+
 type t = {
   config : config;
   cache : CMgr.t;
   server : Server.t;
   rdi : Rdi.t;
-  mutable advisor : Adv.t;
-  elem_spec : (string, string) Hashtbl.t; (* element id -> originating spec id *)
-  prefetched : (string, unit) Hashtbl.t; (* spec ids prefetched this epoch *)
+  default_session : session;
+  mutable session_counter : int;
   stats : stats;
   mutable fetch_counter : int;
   mutable trace : (A.conj * Plan.t) list option; (* newest first when on *)
   mutable observer : (A.conj -> Plan.provenance -> R.Relation.t -> unit) option;
+  mutable fetcher : (A.conj -> Braid_remote.Sql.select -> Rdi.outcome) option;
 }
 
 exception Unknown_relation = Braid_cache.Query_processor.Unknown_relation
@@ -146,30 +168,45 @@ let create ?rdi_policy config ~cache ~server =
     cache;
     server;
     rdi = Rdi.create ?policy:rdi_policy server;
-    advisor = Adv.no_advice ();
-    elem_spec = Hashtbl.create 32;
-    prefetched = Hashtbl.create 16;
+    default_session = fresh_session "main" { Braid_advice.Ast.specs = []; path = None };
+    session_counter = 0;
     stats = fresh_stats ();
     fetch_counter = 0;
     trace = None;
     observer = None;
+    fetcher = None;
   }
 
 let config t = t.config
 let cache t = t.cache
 let server t = t.server
 let rdi t = t.rdi
-let advisor t = t.advisor
+let advisor t = t.default_session.advisor
+
+let new_session t ?sid advice =
+  let sid =
+    match sid with
+    | Some s -> s
+    | None ->
+      t.session_counter <- t.session_counter + 1;
+      Printf.sprintf "s%d" t.session_counter
+  in
+  fresh_session sid advice
+
+let session_id ses = ses.sid
+let session_advisor ses = ses.advisor
 
 let set_trace t enabled = t.trace <- (if enabled then Some [] else None)
 
 let set_observer t f = t.observer <- f
+let set_fetcher t f = t.fetcher <- f
 
 let trace t = match t.trace with Some entries -> List.rev entries | None -> []
 
 let set_advice t advice =
-  t.advisor <- Adv.create advice;
-  Hashtbl.reset t.prefetched
+  let s = t.default_session in
+  s.advisor <- Adv.create advice;
+  Hashtbl.reset s.prefetched
 
 let catalog t = Server.catalog t.server
 let remote_schema t name = Catalog.schema_of (catalog t) name
@@ -222,13 +259,20 @@ let uniq xs =
   in
   loop [] xs
 
+(* All remote requests leave through here: the RDI directly, or — when the
+   serving layer installed a fetch hook — its coalescer, which dedups
+   identical/subsumed in-flight requests across concurrent sessions before
+   falling back to the same RDI. *)
+let do_fetch t (def : A.conj) sql =
+  match t.fetcher with Some f -> f def sql | None -> Rdi.exec t.rdi sql
+
 (* One resilient remote request through the RDI. Always produces a
    relation: fresh, the RDI's last good response (stale), or — when the
    remote is unavailable and nothing was ever fetched for this request —
    an explicitly empty extension under the definition's schema. *)
 let remote_fetch t (def : A.conj) sql =
   let text = Braid_remote.Sql.to_string sql in
-  match Rdi.exec (rdi t) sql with
+  match do_fetch t def sql with
   | Rdi.Fresh rel -> (retyped t def rel, text, `Fresh)
   | Rdi.Stale (rel, _) -> (retyped t def rel, text, `Stale)
   | Rdi.Failed _ ->
@@ -253,7 +297,7 @@ let fetch_atom t (a : L.Atom.t) =
 let ship_conj t (sc : A.conj) =
   match To_sql.translate ~schema_of:(remote_schema t) sc with
   | Ok sql ->
-    (match Rdi.exec (rdi t) sql with
+    (match do_fetch t sc sql with
      | Rdi.Fresh rel -> Some (retyped t sc rel, Braid_remote.Sql.to_string sql, `Fresh)
      | Rdi.Stale (rel, _) -> Some (retyped t sc rel, Braid_remote.Sql.to_string sql, `Stale)
      | Rdi.Failed _ -> None)
@@ -604,7 +648,7 @@ let materialize_def t (def : A.conj) =
             | Some e -> Some (e, solved.s_steps)
             | None -> None))
 
-let generalization_steps t spec (q : A.conj) =
+let generalization_steps t ses spec (q : A.conj) =
   if
     not
       (t.config.allow_generalization && t.config.caching = Subsumption
@@ -624,12 +668,12 @@ let generalization_steps t spec (q : A.conj) =
             match spec with
             | Some s0 -> not (String.equal s0.Braid_advice.Ast.id s.Braid_advice.Ast.id)
             | None -> true)
-          (Adv.specs t.advisor)
+          (Adv.specs ses.advisor)
     in
     let usable (s : Braid_advice.Ast.view_spec) =
       let general = Adv.generalized s in
       (not (A.variant_equal general q))
-      && Adv.expects_repetition t.advisor s.Braid_advice.Ast.id
+      && Adv.expects_repetition ses.advisor s.Braid_advice.Ast.id
       && Cost.est_conj (catalog t) general <= t.config.prefetch_max_tuples
       && CMgr.find_exact t.cache general = None
       && Sub.generalizes general q
@@ -643,7 +687,7 @@ let generalization_steps t spec (q : A.conj) =
             (A.conj_to_string general));
       (match materialize_def t general with
        | Some (e, steps) ->
-         Hashtbl.replace t.elem_spec e.Elem.id s.Braid_advice.Ast.id;
+         Hashtbl.replace ses.elem_spec e.Elem.id s.Braid_advice.Ast.id;
          t.stats.generalizations <- t.stats.generalizations + 1;
          Obs.Metrics.incr "qpo.generalizations";
          Obs.Trace.add_arg "spec" (Obs.Trace.Str s.Braid_advice.Ast.id);
@@ -652,7 +696,7 @@ let generalization_steps t spec (q : A.conj) =
          @ index_for_spec t s e
        | None -> []))
 
-let prefetch_steps t current_spec_id =
+let prefetch_steps t ses current_spec_id =
   if not (t.config.allow_prefetch && t.config.use_advice && t.config.caching = Subsumption)
   then []
   else
@@ -662,16 +706,16 @@ let prefetch_steps t current_spec_id =
         let id = spec.Braid_advice.Ast.id in
         if
           Some id <> current_spec_id
-          && (not (Hashtbl.mem t.prefetched id))
+          && (not (Hashtbl.mem ses.prefetched id))
           && Cost.est_conj (catalog t) spec.Braid_advice.Ast.def
              <= t.config.prefetch_max_tuples
           && CMgr.find_exact t.cache spec.Braid_advice.Ast.def = None
         then begin
-          Hashtbl.replace t.prefetched id ();
+          Hashtbl.replace ses.prefetched id ();
           Log.debug (fun m -> m "prefetching predicted-next spec %s" id);
           match materialize_def t spec.Braid_advice.Ast.def with
           | Some (e, steps) ->
-            Hashtbl.replace t.elem_spec e.Elem.id id;
+            Hashtbl.replace ses.elem_spec e.Elem.id id;
             t.stats.prefetches <- t.stats.prefetches + 1;
             Obs.Metrics.incr "qpo.prefetches";
             steps
@@ -680,22 +724,22 @@ let prefetch_steps t current_spec_id =
           | None -> []
         end
         else [])
-      (Adv.predicted_next t.advisor))
+      (Adv.predicted_next ses.advisor))
 
-let update_pins t =
+let update_pins t ses =
   (* Pin the elements backing specs predicted for the next queries — the
      paper's replacement example (§4.2.2): after d1, d2 the tracker knows
      d1 "will be required for one of the next two queries", so d1's element
      "is not the best candidate" for eviction. Elements whose spec can no
      longer occur are unpinned (plain LRU applies to them). *)
   let imminent =
-    List.map (fun s -> s.Braid_advice.Ast.id) (Adv.predicted_next t.advisor)
+    List.map (fun s -> s.Braid_advice.Ast.id) (Adv.predicted_next ses.advisor)
   in
   Hashtbl.iter
     (fun elem_id spec_id ->
-      let keep = List.mem spec_id imminent && Adv.may_occur_later t.advisor spec_id in
+      let keep = List.mem spec_id imminent && Adv.may_occur_later ses.advisor spec_id in
       CMgr.pin t.cache elem_id keep)
-    t.elem_spec
+    ses.elem_spec
 
 (* --- the public entry points --- *)
 
@@ -744,38 +788,38 @@ let classify t solved =
     Obs.Metrics.incr "qpo.exact_hits"
   end
 
-let should_cache_eager_result t spec solved touched =
+let should_cache_eager_result t ses spec solved touched =
   match t.config.caching with
   | No_cache -> false
   | Exact_match -> solved.s_used_remote
   | Single_relation -> false
   | Subsumption ->
     let advice_ok =
-      match spec with Some s -> Adv.should_cache_result t.advisor s | None -> true
+      match spec with Some s -> Adv.should_cache_result ses.advisor s | None -> true
     in
     advice_ok
     && (solved.s_used_remote || touched >= t.config.recompute_cache_threshold)
 
-let answer_conj_untraced t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
+let answer_conj_untraced t ses ?spec_id ?(prefer_lazy = false) (q : A.conj) =
   t.stats.queries <- t.stats.queries + 1;
   let spec =
     if not t.config.use_advice then None
     else
       match spec_id with
-      | Some id -> Adv.find_spec t.advisor id
-      | None -> Adv.identify t.advisor q
+      | Some id -> Adv.find_spec ses.advisor id
+      | None -> Adv.identify ses.advisor q
   in
   (match spec with
-   | Some s when t.config.use_advice -> Adv.observe t.advisor s.Braid_advice.Ast.id
+   | Some s when t.config.use_advice -> Adv.observe ses.advisor s.Braid_advice.Ast.id
    | Some _ | None -> ());
   (* Pin predicted-next elements *before* this query's insertions can evict
      them (the replacement decision of §5.4 uses the tracker's position). *)
-  update_pins t;
+  update_pins t ses;
   let before = Server.stats t.server in
   let touched_before = (CMgr.stats t.cache).CMgr.tuples_touched in
   let stale_before = (CMgr.stats t.cache).CMgr.stale_touches in
   (* QPO step 1: possibly evaluate a generalization first. *)
-  let gen_steps = generalization_steps t spec q in
+  let gen_steps = generalization_steps t ses spec q in
   (* Steps 2 and 3: rewrite over the cache and fetch what is missing. *)
   let solved = solve t q in
   classify t solved;
@@ -814,7 +858,7 @@ let answer_conj_untraced t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
         solved.s_degraded || (CMgr.stats t.cache).CMgr.stale_touches > stale_before
       in
       if
-        should_cache_eager_result t spec solved touched
+        should_cache_eager_result t ses spec solved touched
         && (not degraded_eval)
         && CMgr.find_exact t.cache q = None
       then begin
@@ -822,7 +866,7 @@ let answer_conj_untraced t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
         | Some e ->
           (match spec with
            | Some s ->
-             Hashtbl.replace t.elem_spec e.Elem.id s.Braid_advice.Ast.id;
+             Hashtbl.replace ses.elem_spec e.Elem.id s.Braid_advice.Ast.id;
              result_steps := !result_steps @ index_for_spec t s e
            | None -> ())
         | None -> ()
@@ -835,14 +879,14 @@ let answer_conj_untraced t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
   (match spec with
    | Some s ->
      (match CMgr.find_exact t.cache (Adv.generalized s) with
-      | Some e -> Hashtbl.replace t.elem_spec e.Elem.id s.Braid_advice.Ast.id
+      | Some e -> Hashtbl.replace ses.elem_spec e.Elem.id s.Braid_advice.Ast.id
       | None ->
         (match CMgr.find_exact t.cache q with
-         | Some e -> Hashtbl.replace t.elem_spec e.Elem.id s.Braid_advice.Ast.id
+         | Some e -> Hashtbl.replace ses.elem_spec e.Elem.id s.Braid_advice.Ast.id
          | None -> ()))
    | None -> ());
-  update_pins t;
-  let pf_steps = prefetch_steps t (Option.map (fun s -> s.Braid_advice.Ast.id) spec) in
+  update_pins t ses;
+  let pf_steps = prefetch_steps t ses (Option.map (fun s -> s.Braid_advice.Ast.id) spec) in
   (* Simulated timing with optional cache/remote overlap. *)
   let after = Server.stats t.server in
   let touched_total = (CMgr.stats t.cache).CMgr.tuples_touched - touched_before in
@@ -865,12 +909,39 @@ let answer_conj_untraced t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
   Obs.Trace.add_arg "elapsed_ms" (Obs.Trace.Float elapsed);
   Obs.Trace.add_arg "local_ms" (Obs.Trace.Float local_ms);
   let stale_delta = (CMgr.stats t.cache).CMgr.stale_touches - stale_before in
+  (* [stale_delta] counts tuples read from stale elements, which misses one
+     case: a stale element whose selection matches nothing reads zero tuples
+     but may hide rows inserted upstream since it was cached — emptiness from
+     a stale element is itself stale. So additionally consult the stale flag
+     of every element the plan read. *)
+  let read_stale_element =
+    List.exists
+      (fun step ->
+        let id =
+          match step with
+          | Plan.Exact_hit { element }
+          | Plan.Use_element { element; _ }
+          | Plan.Generalized { element; _ } ->
+            Some element
+          | _ -> None
+        in
+        match id with
+        | None -> false
+        | Some id ->
+          (match CMgr.find t.cache id with
+           | Some e -> e.Elem.stale
+           | None -> false))
+      solved.s_steps
+  in
   let stale_steps =
-    if stale_delta > 0 then [ Plan.Stale_elements { touched = stale_delta } ] else []
+    if stale_delta > 0 || read_stale_element then
+      [ Plan.Stale_elements { touched = stale_delta } ]
+    else []
   in
   let plan = gen_steps @ solved.s_steps @ !result_steps @ stale_steps @ pf_steps in
   let provenance =
-    if solved.s_degraded || stale_delta > 0 then Plan.Degraded else Plan.Fresh
+    if solved.s_degraded || stale_delta > 0 || read_stale_element then Plan.Degraded
+    else Plan.Fresh
   in
   if provenance = Plan.Degraded then begin
     t.stats.degraded <- t.stats.degraded + 1;
@@ -893,12 +964,13 @@ let answer_conj_untraced t ?spec_id ?(prefer_lazy = false) (q : A.conj) =
     spec_id = Option.map (fun s -> s.Braid_advice.Ast.id) spec;
   }
 
-let answer_conj t ?spec_id ?prefer_lazy (q : A.conj) =
+let answer_conj t ?session ?spec_id ?prefer_lazy (q : A.conj) =
+  let ses = Option.value session ~default:t.default_session in
   Obs.Metrics.incr "qpo.queries";
   Obs.Trace.with_span ~cat:"qpo" "qpo.answer"
     ~args:[ ("query", Obs.Trace.Str (A.conj_to_string q)) ]
     (fun () ->
-      let a = answer_conj_untraced t ?spec_id ?prefer_lazy q in
+      let a = answer_conj_untraced t ses ?spec_id ?prefer_lazy q in
       Obs.Trace.add_arg "provenance"
         (Obs.Trace.Str
            (match a.provenance with Plan.Fresh -> "fresh" | Plan.Degraded -> "degraded"));
@@ -910,13 +982,13 @@ let answer_conj t ?spec_id ?prefer_lazy (q : A.conj) =
 (* Answer a conjunctive query in which [extras] names resolve to local
    scratch relations (used by the fixpoint operator); atoms over extras are
    replaced so the solver does not look for them remotely. *)
-let answer_conj_with_extra t extras (c : A.conj) =
+let answer_conj_with_extra t ?session extras (c : A.conj) =
   let extra_names = List.map fst extras in
   let mentions_extra =
     List.exists (fun (a : L.Atom.t) -> List.mem a.L.Atom.pred extra_names) c.A.atoms
   in
   if not mentions_extra then
-    let a = answer_conj t c in
+    let a = answer_conj t ?session c in
     (TS.to_relation a.stream, a.plan)
   else begin
     (* Fetch each non-extra base occurrence through the planner (so caching
@@ -931,7 +1003,7 @@ let answer_conj_with_extra t extras (c : A.conj) =
           then a
           else begin
             let def = single_atom_def a in
-            let ans = answer_conj t def in
+            let ans = answer_conj t ?session def in
             let name = fresh_extra t in
             fetched := (name, TS.to_relation ans.stream) :: !fetched;
             (* the fetched extension's columns are the occurrence's
@@ -945,51 +1017,51 @@ let answer_conj_with_extra t extras (c : A.conj) =
     (CMgr.eval t.cache ~extra (A.Conj rewritten), [])
   end
 
-let rec answer_query_with_extra t extras (q : A.t) =
+let rec answer_query_with_extra t ?session extras (q : A.t) =
   match q with
-  | A.Conj c -> answer_conj_with_extra t extras c
+  | A.Conj c -> answer_conj_with_extra t ?session extras c
   | A.Union [] -> invalid_arg "Qpo.answer_query: empty union"
   | A.Union (first :: rest) ->
-    let r0, p0 = answer_query_with_extra t extras first in
+    let r0, p0 = answer_query_with_extra t ?session extras first in
     List.fold_left
       (fun (acc, plan) q' ->
-        let r, p = answer_query_with_extra t extras q' in
+        let r, p = answer_query_with_extra t ?session extras q' in
         (R.Ops.union_all acc r, plan @ p))
       (r0, p0) rest
     |> fun (rel, plan) -> (R.Relation.distinct rel, plan)
   | A.Diff (a, b) ->
-    let ra, pa = answer_query_with_extra t extras a in
-    let rb, pb = answer_query_with_extra t extras b in
+    let ra, pa = answer_query_with_extra t ?session extras a in
+    let rb, pb = answer_query_with_extra t ?session extras b in
     (R.Ops.diff ra rb, pa @ pb)
   | (A.Distinct _ | A.Division _ | A.Fixpoint _ | A.Agg _) as q ->
     (* no extras expected below these in fixpoint steps we generate *)
     ignore extras;
-    answer_query t q
+    answer_query t ?session q
 
-and answer_query t (q : A.t) =
+and answer_query t ?session (q : A.t) =
   match q with
   | A.Conj c ->
-    let a = answer_conj t c in
+    let a = answer_conj t ?session c in
     (TS.to_relation a.stream, a.plan)
   | A.Union [] -> invalid_arg "Qpo.answer_query: empty union"
   | A.Union (first :: rest) ->
-    let r0, p0 = answer_query t first in
+    let r0, p0 = answer_query t ?session first in
     List.fold_left
       (fun (acc, plan) q' ->
-        let r, p = answer_query t q' in
+        let r, p = answer_query t ?session q' in
         (R.Ops.union_all acc r, plan @ p))
       (r0, p0) rest
     |> fun (rel, plan) -> (R.Relation.distinct rel, plan)
   | A.Diff (a, b) ->
-    let ra, pa = answer_query t a in
-    let rb, pb = answer_query t b in
+    let ra, pa = answer_query t ?session a in
+    let rb, pb = answer_query t ?session b in
     (R.Ops.diff ra rb, pa @ pb)
   | A.Distinct q' ->
-    let r, p = answer_query t q' in
+    let r, p = answer_query t ?session q' in
     (R.Relation.distinct r, p)
   | A.Division (dividend, divisor) ->
-    let rd, pd = answer_query t dividend in
-    let rs, ps = answer_query t divisor in
+    let rd, pd = answer_query t ?session dividend in
+    let rs, ps = answer_query t ?session divisor in
     let total = R.Schema.arity (R.Relation.schema rd) in
     let k_arity = total - R.Schema.arity (R.Relation.schema rs) in
     if k_arity < 0 then invalid_arg "Qpo.answer_query: invalid division arities";
@@ -1002,13 +1074,13 @@ and answer_query t (q : A.t) =
     (* Evaluate the recursion in the CMS: the base case goes through the
        planner normally; each step round resolves the recursive name to
        the accumulated result and every other relation through the cache. *)
-    let base, plan = answer_query t f.A.base in
+    let base, plan = answer_query t ?session f.A.base in
     let current = ref (R.Relation.distinct base) in
     let steps = ref plan in
     let rec iterate guard =
       if guard > 10_000 then invalid_arg "Qpo.answer_query: fixpoint did not converge";
       let stepped, plan' =
-        answer_query_with_extra t [ (f.A.name, !current) ] f.A.step
+        answer_query_with_extra t ?session [ (f.A.name, !current) ] f.A.step
       in
       steps := !steps @ plan';
       let next = R.Relation.distinct (R.Ops.union_all !current stepped) in
@@ -1020,7 +1092,7 @@ and answer_query t (q : A.t) =
     iterate 0;
     (R.Relation.with_name f.A.name !current, !steps)
   | A.Agg ag ->
-    let src, plan = answer_query t ag.A.source in
+    let src, plan = answer_query t ?session ag.A.source in
     (R.Aggregate.group_by ag.A.keys ag.A.specs src, plan)
 
 let metrics t : metrics =

@@ -80,10 +80,44 @@ val rdi : t -> Braid_remote.Rdi.t
 (** The fault-tolerant remote interface all planner fetches go through. *)
 
 val advisor : t -> Braid_advice.Advisor.t
-(** The advice manager tracking the session's path expression. *)
+(** The default session's advice manager (see {!new_session} for
+    multi-session serving). *)
 
 val set_advice : t -> Braid_advice.Ast.t -> unit
-(** Starts a new advice epoch (a session's advice set, §3). *)
+(** Starts a new advice epoch on the {e default} session (a session's
+    advice set, §3). *)
+
+(** {1 Sessions}
+
+    The planner's per-client state — the Advice Manager's path tracker,
+    the element→spec association used for pinning, and the prefetched-spec
+    set — lives in a [session], so that N concurrent IE streams can share
+    one planner (and its cache, journal, and RDI breaker) without their
+    advice tracking bleeding into one another. Every planner has a default
+    session named ["main"]; single-client callers never need to mention
+    sessions. *)
+
+type session
+
+val new_session : t -> ?sid:string -> Braid_advice.Ast.t -> session
+(** A fresh session with its own advice epoch. [sid] defaults to ["s<n>"]
+    with a per-planner counter. *)
+
+val session_id : session -> string
+
+val session_advisor : session -> Braid_advice.Advisor.t
+(** The session's own advice manager (path tracking is per-session). *)
+
+val set_fetcher :
+  t -> (Braid_caql.Ast.conj -> Braid_remote.Sql.select -> Braid_remote.Rdi.outcome) option ->
+  unit
+(** Installs (or clears) a remote-fetch interceptor: when set, every
+    planner fetch goes through it instead of calling {!Braid_remote.Rdi.exec}
+    directly. The serving layer's coalescer uses this to deduplicate
+    identical or subsumed in-flight remote queries across sessions; the
+    interceptor receives the definition being fetched alongside the SQL it
+    compiles to, and must return the fetch outcome (typically by calling
+    [Rdi.exec] itself on a miss). *)
 
 type answer = {
   stream : Braid_stream.Tuple_stream.t;  (** results are always streamed to the IE (§3) *)
@@ -96,12 +130,16 @@ type answer = {
 
 exception Unknown_relation of string
 
-val answer_conj : t -> ?spec_id:string -> ?prefer_lazy:bool -> Braid_caql.Ast.conj -> answer
+val answer_conj :
+  t -> ?session:session -> ?spec_id:string -> ?prefer_lazy:bool -> Braid_caql.Ast.conj -> answer
 (** [prefer_lazy] is the interpretive IE's hint that it will consume the
     stream tuple-at-a-time; a lazy generator is used whenever the query is
-    answerable from the cache alone (§5.1). *)
+    answerable from the cache alone (§5.1). [session] selects whose advice
+    tracking and pins the answer updates (default: the planner's default
+    session). *)
 
-val answer_query : t -> Braid_caql.Ast.t -> Braid_relalg.Relation.t * Plan.t
+val answer_query :
+  t -> ?session:session -> Braid_caql.Ast.t -> Braid_relalg.Relation.t * Plan.t
 (** Full CAQL (union / difference / aggregation), evaluated eagerly by
     answering each conjunctive leaf through the planner. *)
 

@@ -1,0 +1,34 @@
+(** Admission control for the serving layer: a bounded run queue with
+    per-session fairness caps, and load-shedding that degrades to
+    cached/stale answers under pressure instead of queuing unboundedly.
+
+    The policy is checked at submit time by the {!Scheduler}; a rejected
+    job is {e shed} — answered immediately from the cache alone when a
+    full cover exists (no remote interaction, no planner state updates),
+    or refused outright when the cache cannot answer it either. *)
+
+type policy = {
+  max_queue : int;  (** total queued jobs across all sessions *)
+  per_session_queue : int;  (** queued jobs any one session may hold *)
+}
+
+val default_policy : policy
+(** 32 total, 4 per session. *)
+
+type decision =
+  | Admit
+  | Shed_queue_full  (** the shared run queue is at [max_queue] *)
+  | Shed_session_cap  (** the submitting session is at [per_session_queue] *)
+
+val decide : policy -> total_queued:int -> session_queued:int -> decision
+
+val decision_to_string : decision -> string
+
+val cached_only :
+  Braid_cache.Cache_manager.t -> Braid_caql.Ast.conj -> Braid_planner.Qpo.answer option
+(** Best-effort cache-only answer for a shed job: an exact-match or
+    subsumption full cover evaluated by the Cache Manager, bypassing the
+    planner (so no remote fetch, no advice tracking, no caching of the
+    result). Answers that read stale elements are flagged [Degraded], as
+    the planner would. [None] when no cached element fully covers the
+    query. *)

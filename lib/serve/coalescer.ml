@@ -1,0 +1,127 @@
+module A = Braid_caql.Ast
+module R = Braid_relalg
+module Sub = Braid_subsume.Subsumption
+module Rdi = Braid_remote.Rdi
+module Sql = Braid_remote.Sql
+module CMgr = Braid_cache.Cache_manager
+module Obs = Braid_obs
+
+type stats = {
+  requests : int;
+  identical_hits : int;
+  subsumed_hits : int;
+  misses : int;
+  rounds : int;
+}
+
+(* One in-flight fetch of the current wave. [outcome] only ever holds
+   [Fresh] or [Stale] — failures are not remembered (the RDI's breaker is
+   the right place to bound repeated failures). *)
+type entry = { def : A.conj; sql_text : string; outcome : Rdi.outcome }
+
+type t = {
+  rdi : Rdi.t;
+  cache : CMgr.t;
+  mutable window : entry list; (* oldest first: reuse prefers the earliest fetch *)
+  mutable active : bool;
+  mutable requests : int;
+  mutable identical_hits : int;
+  mutable subsumed_hits : int;
+  mutable misses : int;
+  mutable rounds : int;
+}
+
+let create rdi cache =
+  {
+    rdi;
+    cache;
+    window = [];
+    active = false;
+    requests = 0;
+    identical_hits = 0;
+    subsumed_hits = 0;
+    misses = 0;
+    rounds = 0;
+  }
+
+let begin_round t =
+  t.window <- [];
+  t.active <- true;
+  t.rounds <- t.rounds + 1
+
+let end_round t =
+  t.window <- [];
+  t.active <- false
+
+(* Derive the subsumed request's answer from an in-flight response: treat
+   the entry as a transient cache element, rewrite the query onto it, and
+   evaluate the compensating selection/projection locally. The entry's
+   relation must carry one column per head term of its definition for the
+   rewrite's occurrence to type-check. *)
+let derive t cover (q : A.conj) rel =
+  let rewritten = Sub.rewrite q cover in
+  CMgr.eval t.cache ~extra:[ (cover.Sub.element_id, rel) ] (A.Conj rewritten)
+
+let try_window t (q : A.conj) text =
+  let subsumes entry =
+    let rel =
+      match entry.outcome with
+      | Rdi.Fresh rel | Rdi.Stale (rel, _) -> Some rel
+      | Rdi.Failed _ -> None
+    in
+    match rel with
+    | Some rel when R.Schema.arity (R.Relation.schema rel) = List.length entry.def.A.head ->
+      (match Sub.full_cover { Sub.id = "__inflight"; def = entry.def } q with
+       | Some cover -> Some (entry, cover, rel)
+       | None -> None)
+    | Some _ | None -> None
+  in
+  match List.find_opt (fun e -> e.sql_text = text) t.window with
+  | Some entry -> Some (`Identical entry.outcome)
+  | None ->
+    (match List.find_map subsumes t.window with
+     | Some (entry, cover, rel) ->
+       let derived = derive t cover q rel in
+       (match entry.outcome with
+        | Rdi.Fresh _ -> Some (`Subsumed (Rdi.Fresh derived))
+        | Rdi.Stale (_, f) -> Some (`Subsumed (Rdi.Stale (derived, f)))
+        | Rdi.Failed _ -> None)
+     | None -> None)
+
+let fetch t (def : A.conj) sql =
+  if not t.active then Rdi.exec t.rdi sql
+  else begin
+    t.requests <- t.requests + 1;
+    let text = Sql.to_string sql in
+    match try_window t def text with
+    | Some (`Identical outcome) ->
+      t.identical_hits <- t.identical_hits + 1;
+      Obs.Metrics.incr "serve.coalesce.identical";
+      Obs.Trace.instant ~cat:"serve" "serve.coalesce"
+        ~args:[ ("kind", Obs.Trace.Str "identical"); ("sql", Obs.Trace.Str text) ];
+      outcome
+    | Some (`Subsumed outcome) ->
+      t.subsumed_hits <- t.subsumed_hits + 1;
+      Obs.Metrics.incr "serve.coalesce.subsumed";
+      Obs.Trace.instant ~cat:"serve" "serve.coalesce"
+        ~args:[ ("kind", Obs.Trace.Str "subsumed"); ("sql", Obs.Trace.Str text) ];
+      outcome
+    | None ->
+      t.misses <- t.misses + 1;
+      Obs.Metrics.incr "serve.coalesce.miss";
+      let outcome = Rdi.exec t.rdi sql in
+      (match outcome with
+       | Rdi.Fresh _ | Rdi.Stale _ ->
+         t.window <- t.window @ [ { def; sql_text = text; outcome } ]
+       | Rdi.Failed _ -> ());
+      outcome
+  end
+
+let stats t =
+  {
+    requests = t.requests;
+    identical_hits = t.identical_hits;
+    subsumed_hits = t.subsumed_hits;
+    misses = t.misses;
+    rounds = t.rounds;
+  }

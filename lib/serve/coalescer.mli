@@ -1,0 +1,55 @@
+(** The remote fetch coalescer: deduplicates in-flight remote requests
+    across the sessions of one scheduling wave.
+
+    The cooperative scheduler linearizes one wave of session slots and
+    treats every remote fetch issued inside the wave as {e concurrent}: K
+    sessions asking for the same — or a subsumed — view cost one remote
+    round trip. Two reuse levels, both deterministic:
+
+    - {b identical}: same SQL text → the first fetch's outcome is shared
+      by reference (the relation is immutable once fetched);
+    - {b subsumed}: an earlier in-flight fetch's definition subsumes the
+      new request ({!Braid_subsume.Subsumption.full_cover}), so the answer
+      is derived locally from the in-flight response by
+      selection/projection — charged as Cache Manager work, not a round
+      trip.
+
+    Only [Fresh] and [Stale] outcomes are reused; failures always go back
+    to the RDI, whose breaker already bounds the retry storm. The window
+    is valid {e only} within one wave: [begin_round]/[end_round] bracket
+    it, and a fetch arriving outside any round bypasses the window
+    entirely (a later single-session query must not read a response that
+    cache inserts may since have superseded). *)
+
+type stats = {
+  requests : int;  (** fetches routed through the coalescer *)
+  identical_hits : int;  (** shared outcome, same SQL text *)
+  subsumed_hits : int;  (** derived locally from an in-flight response *)
+  misses : int;  (** went to the RDI *)
+  rounds : int;  (** waves bracketed so far *)
+}
+
+type t
+
+val create : Braid_remote.Rdi.t -> Braid_cache.Cache_manager.t -> t
+(** [cache] is only used to evaluate the compensating
+    selection/projection of subsumed reuse (its touched-tuple accounting
+    charges the derivation as local work). *)
+
+val begin_round : t -> unit
+(** Opens a wave: clears the window and starts coalescing. *)
+
+val end_round : t -> unit
+(** Closes the wave; subsequent fetches bypass the window until the next
+    {!begin_round}. Idempotent. *)
+
+val fetch : t -> Braid_caql.Ast.conj -> Braid_remote.Sql.select -> Braid_remote.Rdi.outcome
+(** The planner-facing fetch hook (install with
+    {!Braid.Cms.set_fetcher}): answer from the wave's window when
+    possible, otherwise {!Braid_remote.Rdi.exec} and remember the outcome
+    for the rest of the wave. *)
+
+val stats : t -> stats
+(** Counters since creation — deterministic for a fixed seed; the same
+    events also feed the [serve.coalesce.*] counters of
+    {!Braid_obs.Metrics} and emit [serve.coalesce] trace instants. *)

@@ -3,6 +3,10 @@ module R = Braid_relalg
 module V = R.Value
 module Qpo = Braid_planner.Qpo
 module Obs = Braid_obs
+module System = Braid.System
+module Cms = Braid.Cms
+module Loader = Braid.Loader
+module Baselines = Braid.Baselines
 
 type t = {
   mutable config : Qpo.config;
@@ -10,6 +14,7 @@ type t = {
   mutable clauses : string list; (* rule clauses, oldest first *)
   facts : (string, R.Relation.t) Hashtbl.t; (* base relations typed in or loaded *)
   mutable sys : System.t option; (* rebuilt lazily after changes *)
+  mutable serve : Scheduler.t option; (* serving layer over [sys]'s CMS *)
   mutable last_advice : Braid_advice.Ast.t option;
   mutable tracing : bool;
 }
@@ -21,6 +26,7 @@ let create ?(config = Qpo.braid_config) () =
     clauses = [];
     facts = Hashtbl.create 16;
     sys = None;
+    serve = None;
     last_advice = None;
     tracing = false;
   }
@@ -43,6 +49,7 @@ let commands_help =
   \  :trace on|off                      record plans and observability spans; :trace shows plans\n\
   \  :spans [N]                         last N recorded spans (default 15); needs :trace on\n\
   \  :journal [N]                       last N cache journal entries (default 20) + epoch\n\
+  \  :sessions                          serving sessions (queued/running/shed per session)\n\
   \  :rules | :cache | :advice | :metrics | :lint | :help | :quit (or :q)"
 
 (* Every command the dispatcher accepts, for the :help audit test — keep in
@@ -58,6 +65,7 @@ let command_names =
     ":trace";
     ":spans";
     ":journal";
+    ":sessions";
     ":metrics";
     ":advice";
     ":caql";
@@ -67,7 +75,9 @@ let command_names =
     ":strategy";
   ]
 
-let invalidate t = t.sys <- None
+let invalidate t =
+  t.sys <- None;
+  t.serve <- None
 
 (* --- building the system --- *)
 
@@ -94,6 +104,22 @@ let system t =
     Cms.set_trace (System.cms sys) t.tracing;
     t.sys <- Some sys;
     sys
+
+(* The serving layer over the current system's CMS: built lazily, rebuilt
+   whenever the system is (the scheduler holds per-session planner state
+   that would dangle across a rebuild). Conjunctive [:caql] queries are
+   routed through session "repl". *)
+let scheduler t =
+  let sys = system t in
+  match t.serve with
+  | Some sch when Scheduler.cms sch == System.cms sys -> sch
+  | _ ->
+    let sch = Scheduler.create (System.cms sys) in
+    ignore
+      (Scheduler.add_session sch ~sid:"repl"
+         { Braid_advice.Ast.specs = []; path = None });
+    t.serve <- Some sch;
+    sch
 
 (* --- fact handling --- *)
 
@@ -159,10 +185,28 @@ let handle_query t text =
   t.last_advice <- Some report.Braid_ie.Engine.advice;
   render_solutions (Braid_stream.Tuple_stream.to_relation stream)
 
+let render_answer rel plan =
+  render_solutions rel ^ Format.asprintf "@.plan:@.%a" Braid_planner.Plan.pp plan
+
 let handle_caql t text =
   let sys = system t in
-  let result, plan = Cms.query_text (System.cms sys) text in
-  render_solutions result ^ Format.asprintf "@.plan:@.%a" Braid_planner.Plan.pp plan
+  match Braid_caql.Parser.parse_program text with
+  | [ (_, Braid_caql.Ast.Conj c) ] ->
+    (* Single conjunctive query: through the serving layer, so it shows up
+       in :sessions and shares the scheduler's admission/coalescing path. *)
+    let sch = scheduler t in
+    let result = ref None in
+    (match Scheduler.submit sch ~sid:"repl" ~on_reply:(fun o -> result := Some o) c with
+     | `Queued -> ignore (Scheduler.drain sch)
+     | `Shed -> ());
+    (match !result with
+     | Some (Scheduler.Answered a) | Some (Scheduler.Shed (Some a)) ->
+       render_answer (Braid_stream.Tuple_stream.to_relation a.Qpo.stream) a.Qpo.plan
+     | Some (Scheduler.Shed None) -> "shed: the serving layer had no cached cover"
+     | None -> "error: the serving layer returned no reply")
+  | _ ->
+    let result, plan = Cms.query_text (System.cms sys) text in
+    render_answer result plan
 
 let handle_explain t text =
   let text = String.trim text in
@@ -271,6 +315,28 @@ let handle_journal t n =
       String.concat "\n"
         (header :: List.map Braid_cache.Journal.entry_to_string entries)
 
+let handle_sessions t =
+  match t.serve with
+  | None -> "no serving sessions yet (:caql routes conjunctive queries through one)"
+  | Some sch ->
+    let views = Scheduler.session_views sch in
+    let current = Scheduler.current_session sch in
+    let header =
+      Printf.sprintf "%d session(s), %d queued, %d shed total" (List.length views)
+        (Scheduler.queued sch) (Scheduler.shed_total sch)
+    in
+    String.concat "\n"
+      (header
+      :: List.map
+           (fun (v : Scheduler.session_view) ->
+             Printf.sprintf
+               "  %-8s %s queued=%d submitted=%d answered=%d shed=%d p95=%.1fms"
+               v.Scheduler.sid
+               (if current = Some v.Scheduler.sid then "running" else "idle   ")
+               v.Scheduler.queued v.Scheduler.submitted v.Scheduler.answered
+               v.Scheduler.shed v.Scheduler.p95_ms)
+           views)
+
 let handle_rules t =
   let kb = kb_of t in
   Format.asprintf "%a" L.Kb.pp kb
@@ -331,6 +397,7 @@ let exec_line t line =
     else if line = ":cache" then handle_cache t
     else if line = ":rules" then handle_rules t
     else if line = ":lint" then handle_lint t
+    else if line = ":sessions" then handle_sessions t
     else if line = ":trace" then
       match t.sys with
       | None -> "no session yet"

@@ -1,0 +1,348 @@
+module A = Braid_caql.Ast
+module Server = Braid_remote.Server
+module Fault = Braid_remote.Fault
+module Qpo = Braid_planner.Qpo
+module Plan = Braid_planner.Plan
+module Prng = Braid_prng.Prng
+module Cms = Braid.Cms
+module CMgr = Braid_cache.Cache_manager
+module Journal = Braid_cache.Journal
+module Oracle = Braid_check.Oracle
+module Obs = Braid_obs
+
+type divergence = { wave : int; sid : string; detail : string }
+
+type session_report = {
+  sid : string;
+  submitted : int;
+  answered : int;
+  shed : int;
+  fresh : int;
+  degraded : int;
+  p95_ms : float;
+}
+
+type report = {
+  seed : int;
+  sessions : int;
+  waves : int;
+  submitted : int;
+  answered : int;
+  shed : int;
+  lost : int;
+  fresh : int;
+  degraded : int;
+  inserts : int;
+  drops : int;
+  stale_marks : int;
+  checkpoints : int;
+  coalesce_requests : int;
+  coalesce_identical : int;
+  coalesce_subsumed : int;
+  coalesce_misses : int;
+  remote_requests : int;
+  elapsed_ms : float;
+  crash_wave : int option;
+  elements_at_crash : int;
+  recovered_elements : int;
+  dropped_on_recovery : int;
+  revalidation_failures : int;
+  recovery_mismatch : string option;
+  divergences : divergence list;
+  per_session : session_report list;
+  journal_entries : int;
+  journal_epoch : int;
+  journal_dump : string list;
+}
+
+let ok r =
+  r.divergences = [] && r.recovery_mismatch = None && r.revalidation_failures = 0
+  && r.dropped_on_recovery = 0
+
+let report_to_string r =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "serve soak seed=%d sessions=%d waves=%d: %s" r.seed r.sessions r.waves
+    (if ok r then "OK" else "FAILED");
+  line "  submitted:   %d (%d answered, %d shed, %d lost at crash)" r.submitted r.answered
+    r.shed r.lost;
+  line "  answers:     %d fresh, %d degraded" r.fresh r.degraded;
+  line "  coalescer:   %d in-flight requests: %d identical + %d subsumed reused, %d to the RDI"
+    r.coalesce_requests r.coalesce_identical r.coalesce_subsumed r.coalesce_misses;
+  line "  remote:      %d RDI requests, %.1f simulated ms elapsed" r.remote_requests
+    r.elapsed_ms;
+  line "  mutations:   %d inserts (%d drop-invalidations, %d stale-marks)" r.inserts
+    r.drops r.stale_marks;
+  line "  checkpoints: %d (journal: %d entries, epoch %d)" r.checkpoints r.journal_entries
+    r.journal_epoch;
+  (match r.crash_wave with
+   | None -> line "  crash:       none"
+   | Some w ->
+     line "  crash:       wave %d (%d live elements); recovered %d, dropped %d" w
+       r.elements_at_crash r.recovered_elements r.dropped_on_recovery;
+     (match r.recovery_mismatch with
+      | None -> line "  recovery:    byte-identical cache model, all elements re-validated"
+      | Some m -> line "  recovery:    MISMATCH %s" m);
+     if r.revalidation_failures > 0 then
+       line "  recovery:    %d elements FAILED re-validation" r.revalidation_failures);
+  (match r.divergences with
+   | [] -> line "  oracle:      0 divergences"
+   | ds ->
+     line "  oracle:      %d divergence(s):" (List.length ds);
+     List.iter (fun d -> line "    wave %d [%s]: %s" d.wave d.sid d.detail) ds);
+  List.iter
+    (fun s ->
+      line "  %-4s submitted=%d answered=%d shed=%d fresh=%d degraded=%d p95=%.1fms" s.sid
+        s.submitted s.answered s.shed s.fresh s.degraded s.p95_ms)
+    r.per_session;
+  Buffer.contents b
+
+(* Per-session accumulators owned by the soak, not the scheduler: they
+   must survive the scheduler being rebuilt over the recovered CMS. *)
+type acc = {
+  a_sid : string;
+  hist : Obs.Histogram.t;
+  mutable a_submitted : int;
+  mutable a_answered : int;
+  mutable a_shed : int;
+  mutable a_fresh : int;
+  mutable a_degraded : int;
+}
+
+exception Stop
+
+let empty_advice = { Braid_advice.Ast.specs = []; path = None }
+
+let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy)
+    ~sessions:n_sessions ~seed ~waves () =
+  if n_sessions < 1 then invalid_arg "Serve.Soak.run: sessions must be >= 1";
+  let prng = Prng.create seed in
+  let server = Server.create () in
+  Workload.load server;
+  let base = Fault.flaky ~seed:(seed + 7919) ~error_rate () in
+  Server.set_faults server (Some base);
+  (* An impatient RDI profile — no retries, per-attempt deadline — so that
+     under the flaky link a visible fraction of fetches fail outright and
+     come back degraded. Degraded results are never admitted to the cache
+     (Qpo caches only [`Fresh]), so a view whose fetch degrades stays hot:
+     sessions re-fetch it until a fetch succeeds, and same-wave duplicates
+     are exactly what the coalescer window absorbs. *)
+  let rdi_policy =
+    {
+      Braid_remote.Rdi.default_policy with
+      Braid_remote.Rdi.deadline_ms = Some 250.0;
+      max_retries = 0;
+      seed = seed + 13;
+    }
+  in
+  let capacity_bytes = 48_000 in
+  let cms = ref (Cms.create ~capacity_bytes ~rdi_policy server) in
+  let oracle = Oracle.create server in
+  let per =
+    Array.init n_sessions (fun i ->
+        {
+          a_sid = Printf.sprintf "s%d" (i + 1);
+          hist = Obs.Histogram.create ();
+          a_submitted = 0;
+          a_answered = 0;
+          a_shed = 0;
+          a_fresh = 0;
+          a_degraded = 0;
+        })
+  in
+  let new_scheduler c =
+    let sched = Scheduler.create ~policy ~seed:(seed + 31) c in
+    Array.iter
+      (fun a -> ignore (Scheduler.add_session sched ~sid:a.a_sid ~hist:a.hist empty_advice))
+      per;
+    sched
+  in
+  let sched = ref (new_scheduler !cms) in
+  let inserts = ref 0
+  and drops = ref 0
+  and stale_marks = ref 0
+  and checkpoints = ref 0
+  and lost = ref 0 in
+  let divergences = ref [] in
+  let crash_wave = ref None
+  and elements_at_crash = ref 0
+  and recovered_elements = ref 0
+  and dropped_on_recovery = ref 0
+  and revalidation_failures = ref 0
+  and recovery_mismatch = ref None in
+  (* Coalescer / RDI / elapsed totals across CMS incarnations: folded in
+     when the crash discards an incarnation, and again at the end. *)
+  let co_requests = ref 0
+  and co_identical = ref 0
+  and co_subsumed = ref 0
+  and co_misses = ref 0
+  and remote_requests = ref 0
+  and elapsed_ms = ref 0.0 in
+  let fold_incarnation () =
+    let c = Coalescer.stats (Scheduler.coalescer !sched) in
+    co_requests := !co_requests + c.Coalescer.requests;
+    co_identical := !co_identical + c.Coalescer.identical_hits;
+    co_subsumed := !co_subsumed + c.Coalescer.subsumed_hits;
+    co_misses := !co_misses + c.Coalescer.misses;
+    remote_requests := !remote_requests + (Cms.rdi_stats !cms).Braid_remote.Rdi.requests;
+    elapsed_ms := !elapsed_ms +. (Cms.metrics !cms).Qpo.elapsed_ms
+  in
+  let cur_wave = ref 0 in
+  let install_observer () =
+    Scheduler.set_observer !sched
+      (Some
+         (fun ~sid q prov rel ->
+           match Oracle.check_answer oracle q prov rel with
+           | None -> ()
+           | Some d ->
+             divergences :=
+               { wave = !cur_wave; sid; detail = Oracle.divergence_to_string d }
+               :: !divergences))
+  in
+  install_observer ();
+  let acc_of sid = Array.to_list per |> List.find (fun a -> a.a_sid = sid) in
+  let submit sid q =
+    let a = acc_of sid in
+    a.a_submitted <- a.a_submitted + 1;
+    let on_reply = function
+      | Scheduler.Answered ans ->
+        a.a_answered <- a.a_answered + 1;
+        (match ans.Qpo.provenance with
+         | Plan.Fresh -> a.a_fresh <- a.a_fresh + 1
+         | Plan.Degraded -> a.a_degraded <- a.a_degraded + 1)
+      | Scheduler.Shed _ -> a.a_shed <- a.a_shed + 1
+    in
+    ignore (Scheduler.submit !sched ~sid ~on_reply q)
+  in
+  let crash_plan =
+    if crash && waves >= 3 then Some ((waves / 3) + 1 + Prng.int prng (max 1 (waves / 3)))
+    else None
+  in
+  let live () =
+    List.length (Braid_cache.Cache_model.elements (CMgr.model (Cms.cache !cms)))
+  in
+  let handle_crash wave =
+    crash_wave := Some wave;
+    lost := !lost + Scheduler.queued !sched;
+    fold_incarnation ();
+    let dead_model = CMgr.model (Cms.cache !cms) in
+    elements_at_crash := List.length (Braid_cache.Cache_model.elements dead_model);
+    let journal = Cms.journal !cms in
+    Server.set_faults server (Some base);
+    let validate e =
+      let okv = Oracle.revalidate oracle e in
+      if not okv then incr revalidation_failures;
+      okv
+    in
+    let recovered, rep = Cms.recover ~capacity_bytes ~rdi_policy ~validate ~journal server in
+    recovered_elements := rep.Cms.replayed;
+    dropped_on_recovery := List.length rep.Cms.dropped;
+    (match Oracle.same_state dead_model (CMgr.model (Cms.cache recovered)) with
+     | Ok () -> ()
+     | Error msg -> recovery_mismatch := Some msg);
+    cms := recovered;
+    sched := new_scheduler recovered;
+    install_observer ()
+  in
+  (try
+     for wave = 1 to waves do
+       cur_wave := wave;
+       if !divergences <> [] then raise Stop;
+       if wave mod 250 = 0 then begin
+         incr checkpoints;
+         ignore (Cms.checkpoint !cms)
+       end;
+       (match crash_plan with
+        | Some plan when !crash_wave = None && wave >= plan && live () >= 3 ->
+          Server.set_faults server (Some { base with Fault.crash_at = Some 1 })
+        | _ -> ());
+       try
+         (* The wave's hot view: sessions that draw low submit the same
+            query, lighting up the coalescer window; a middle band submits
+            a strictly narrower variant of it when the family has one (the
+            subsumption-reuse pair); the rest mix in independent draws or
+            sit the wave out. *)
+         let hot = Workload.gen_query prng in
+         let special = Workload.specialize prng hot in
+         Array.iter
+           (fun a ->
+             let r = Prng.int prng 100 in
+             if r < 45 then submit a.a_sid hot
+             else if r < 60 then
+               submit a.a_sid
+                 (match special with Some q -> q | None -> Workload.gen_query prng)
+             else if r < 75 then submit a.a_sid (Workload.gen_query prng))
+           per;
+         (* Hot-session burst: the first session occasionally floods past
+            its admission cap, deterministically exercising load-shedding
+            and per-session fairness. *)
+         if Prng.int prng 100 < 15 then
+           for _ = 1 to policy.Admission.per_session_queue + 2 do
+             submit per.(0).a_sid hot
+           done;
+         if Prng.int prng 100 < 20 then begin
+           incr inserts;
+           match Workload.gen_insert prng server !cms with
+           | `Drop -> incr drops
+           | `Mark_stale -> incr stale_marks
+         end;
+         ignore (Scheduler.step !sched)
+       with Fault.Injected Fault.Crash -> handle_crash wave
+     done;
+     (* Drain the backlog (the crash may also land here, on a queued
+        job's remote round trip). *)
+     try ignore (Scheduler.drain !sched)
+     with Fault.Injected Fault.Crash ->
+       handle_crash waves;
+       ignore (Scheduler.drain !sched)
+   with Stop -> ());
+  fold_incarnation ();
+  let journal = Cms.journal !cms in
+  let per_session =
+    Array.to_list per
+    |> List.map (fun a ->
+           {
+             sid = a.a_sid;
+             submitted = a.a_submitted;
+             answered = a.a_answered;
+             shed = a.a_shed;
+             fresh = a.a_fresh;
+             degraded = a.a_degraded;
+             p95_ms =
+               (if Obs.Histogram.count a.hist = 0 then 0.0
+                else Obs.Histogram.quantile a.hist 0.95);
+           })
+  in
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 per_session in
+  {
+    seed;
+    sessions = n_sessions;
+    waves;
+    submitted = sum (fun s -> s.submitted);
+    answered = sum (fun s -> s.answered);
+    shed = sum (fun s -> s.shed);
+    lost = !lost;
+    fresh = sum (fun s -> s.fresh);
+    degraded = sum (fun s -> s.degraded);
+    inserts = !inserts;
+    drops = !drops;
+    stale_marks = !stale_marks;
+    checkpoints = !checkpoints;
+    coalesce_requests = !co_requests;
+    coalesce_identical = !co_identical;
+    coalesce_subsumed = !co_subsumed;
+    coalesce_misses = !co_misses;
+    remote_requests = !remote_requests;
+    elapsed_ms = !elapsed_ms;
+    crash_wave = !crash_wave;
+    elements_at_crash = !elements_at_crash;
+    recovered_elements = !recovered_elements;
+    dropped_on_recovery = !dropped_on_recovery;
+    revalidation_failures = !revalidation_failures;
+    recovery_mismatch = !recovery_mismatch;
+    divergences = List.rev !divergences;
+    per_session;
+    journal_entries = Journal.length journal;
+    journal_epoch = Journal.epoch journal;
+    journal_dump = List.map Journal.entry_to_string (Journal.entries journal);
+  }

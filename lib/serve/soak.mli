@@ -1,0 +1,81 @@
+(** The multi-session serving soak: N sessions over one shared CMS,
+    interleaved by the deterministic {!Scheduler} under flaky faults and a
+    small cache, with hot-session bursts (exercising admission-control
+    shedding), concurrent inserts/invalidations, periodic checkpoints and
+    one mid-run crash + recovery.
+
+    Every answer — planner-executed or load-shed to a cache substitute —
+    is diffed against fault-free ground truth by the
+    {!Braid_check.Oracle}, attributed to the session that received it.
+    Recovery must rebuild a byte-identical cache model from the shared
+    journal (whose entries carry session ids). The whole run is a
+    deterministic function of [seed]: same seed, byte-identical
+    {!report_to_string}. *)
+
+type divergence = { wave : int; sid : string; detail : string }
+
+type session_report = {
+  sid : string;
+  submitted : int;
+  answered : int;
+  shed : int;
+  fresh : int;
+  degraded : int;
+  p95_ms : float;  (** simulated per-query elapsed, surviving the crash *)
+}
+
+type report = {
+  seed : int;
+  sessions : int;
+  waves : int;
+  submitted : int;
+  answered : int;
+  shed : int;
+  lost : int;  (** queued in the dead scheduler when the crash hit *)
+  fresh : int;
+  degraded : int;
+  inserts : int;
+  drops : int;
+  stale_marks : int;
+  checkpoints : int;
+  coalesce_requests : int;
+  coalesce_identical : int;
+  coalesce_subsumed : int;
+  coalesce_misses : int;
+  remote_requests : int;  (** RDI requests across crash incarnations *)
+  elapsed_ms : float;  (** simulated wall-clock across incarnations *)
+  crash_wave : int option;
+  elements_at_crash : int;
+  recovered_elements : int;
+  dropped_on_recovery : int;
+  revalidation_failures : int;
+  recovery_mismatch : string option;
+  divergences : divergence list;
+  per_session : session_report list;
+  journal_entries : int;
+  journal_epoch : int;
+  journal_dump : string list;
+}
+
+val ok : report -> bool
+(** No oracle divergence, byte-identical recovery, every recovered
+    element re-validated. *)
+
+val run :
+  ?error_rate:float ->
+  ?crash:bool ->
+  ?policy:Admission.policy ->
+  sessions:int ->
+  seed:int ->
+  waves:int ->
+  unit ->
+  report
+(** [error_rate] defaults to 0.12 (transients/disconnects/timeouts);
+    [crash] (default true) arms one crash at a seeded wave in the middle
+    third of the run. Each wave: every session may submit from the
+    overlapping {!Workload} family (one hot view shared across sessions),
+    the first session occasionally bursts past its admission cap, a
+    mutation may hit a base table, then one scheduler wave executes. *)
+
+val report_to_string : report -> string
+(** Deterministic rendering — byte-identical across runs for a seed. *)

@@ -1,0 +1,69 @@
+module R = Braid_relalg
+module V = R.Value
+module A = Braid_caql.Ast
+module L = Braid_logic
+module T = L.Term
+module Server = Braid_remote.Server
+module Engine = Braid_remote.Engine
+module Prng = Braid_prng.Prng
+module Cms = Braid.Cms
+
+let size = 40
+
+let v x = T.Var x
+let s x = T.Const (V.Str x)
+let atom p args = L.Atom.make p args
+
+let load server =
+  List.iter
+    (Engine.load (Server.engine server))
+    (Braid_workload.Datagen.paper_example ~size ())
+
+(* Constants come from pools far smaller than the tables' value universe
+   (6 y-keys, 4 x-keys), so two sessions drawing independently in the same
+   wave frequently collide on the exact same view — and shape 1 (all of
+   b2) subsumes every shape-4 selection of b2. *)
+let gen_query prng =
+  let yk = Printf.sprintf "y%d" (Prng.int prng 6) in
+  let xk = Printf.sprintf "x%d" (Prng.int prng 4) in
+  match Prng.int prng 6 with
+  | 0 -> A.conj [ v "Y" ] [ atom "b1" [ s "c1"; v "Y" ] ]
+  | 1 -> A.conj [ v "X"; v "Z" ] [ atom "b2" [ v "X"; v "Z" ] ]
+  | 2 ->
+    A.conj [ v "X" ] [ atom "b2" [ v "X"; v "Z" ]; atom "b3" [ v "Z"; s "c2"; s yk ] ]
+  | 3 -> A.conj [ v "Z" ] [ atom "b3" [ v "Z"; s "c2"; s yk ] ]
+  | 4 -> A.conj [ v "Z" ] [ atom "b2" [ s xk; v "Z" ] ]
+  | _ ->
+    A.conj
+      [ v "X"; v "W" ]
+      [
+        atom "b2" [ v "X"; v "Z" ];
+        atom "b3" [ v "Z"; s "c3"; v "Y" ];
+        atom "b1" [ v "W"; v "Y" ];
+      ]
+
+(* A strictly narrower variant of [q], when the family has one: all of
+   [b2] narrows to a single x-key (shape 1 ⊒ shape 4). When the broad
+   fetch is in the coalescer's in-flight window, the narrow one is
+   answered by subsumption from it instead of reaching the RDI. *)
+let specialize prng (q : A.conj) =
+  match q.A.atoms with
+  | [ { L.Atom.pred = "b2"; args = [ T.Var _; T.Var _ ] } ] ->
+    Some
+      (A.conj [ v "Z" ] [ atom "b2" [ s (Printf.sprintf "x%d" (Prng.int prng 4)); v "Z" ] ])
+  | _ -> None
+
+let gen_insert prng server cms =
+  let zi = Printf.sprintf "z%d" (Prng.int prng size) in
+  let yi = Printf.sprintf "y%d" (Prng.int prng size) in
+  let table, tup =
+    match Prng.int prng 3 with
+    | 0 -> ("b1", [| V.Str zi; V.Str yi |])
+    | 1 -> ("b2", [| V.Str (Printf.sprintf "x%d" (Prng.int prng 4)); V.Str zi |])
+    | _ ->
+      ("b3", [| V.Str zi; V.Str (if Prng.bool prng 0.5 then "c2" else "c3"); V.Str yi |])
+  in
+  Engine.insert (Server.engine server) table tup;
+  let mode = if Prng.bool prng 0.5 then `Drop else `Mark_stale in
+  ignore (Cms.invalidate_table cms ~mode table);
+  mode

@@ -1,0 +1,30 @@
+(** The serving layer's overlapping-view workload: the same paper-example
+    tables as {!Braid_check.Soak}, but a deliberately narrow parameter
+    space, so that within one scheduling wave independent sessions keep
+    asking identical or subsumed variants of the same small view family —
+    the workload shape the fetch coalescer exists for (K sessions,
+    overlapping views, one remote round trip). *)
+
+val size : int
+(** Base-table size knob passed to {!Braid_workload.Datagen.paper_example}. *)
+
+val load : Braid_remote.Server.t -> unit
+(** Loads the paper-example tables ([b1]/[b2]/[b3]) into the server. *)
+
+val gen_query : Braid_prng.Prng.t -> Braid_caql.Ast.conj
+(** One seeded query from the six-shape family (selections, joins, a
+    three-way chain). Constants are drawn from small pools so repeats and
+    subsumed pairs — e.g. all of [b2] vs a selection of [b2] — are
+    frequent across sessions. *)
+
+val specialize :
+  Braid_prng.Prng.t -> Braid_caql.Ast.conj -> Braid_caql.Ast.conj option
+(** [specialize prng q] is a strictly narrower variant of [q] when the
+    shape family has one (all of [b2] narrows to one x-key), [None]
+    otherwise. Waves that pair a broad hot query with its specialization
+    exercise the coalescer's subsumption reuse. *)
+
+val gen_insert :
+  Braid_prng.Prng.t -> Braid_remote.Server.t -> Braid.Cms.t -> [ `Drop | `Mark_stale ]
+(** A single-tuple insert into one base table followed by the matching
+    cache invalidation, randomly dropping or stale-marking dependents. *)

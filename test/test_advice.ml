@@ -121,6 +121,50 @@ let test_recursion_loop () =
   check_bool "step again" true (Tracker.advance tr "step");
   check_bool "and again" true (List.mem "step" (Tracker.next_possible tr))
 
+let test_tracking_lost_permissive () =
+  let tr = Tracker.start (Tracker.compile example1_path) in
+  check_bool "d1" true (Tracker.advance tr "d1");
+  check_bool "unexpected rejected" false (Tracker.advance tr "d9");
+  check_bool "lost" true (Tracker.lost tr);
+  (* permissive recovery: even the already-consumed d1 is possible again *)
+  check_bool "d1 possible again" true (Tracker.may_occur_later tr "d1");
+  check_bool "tracking continues" true (Tracker.advance tr "d3");
+  check_bool "stays lost" true (Tracker.lost tr)
+
+let test_alternation_selection_sticky () =
+  (* selection term 1: committing to one member excludes the others for
+     good, and the alternation is complete afterwards *)
+  let p = Adv.Alt ([ pat "a" []; pat "b" [] ], Some 1) in
+  let tr = Tracker.start (Tracker.compile p) in
+  check_bool "not finished yet" false (Tracker.finished tr);
+  check_bool "a" true (Tracker.advance tr "a");
+  check_bool "b never occurs" false (Tracker.may_occur_later tr "b");
+  check_bool "a does not repeat" false (Tracker.may_occur_later tr "a");
+  check_bool "finished" true (Tracker.finished tr)
+
+let test_alternation_selection_many () =
+  (* selection term > 1 is over-approximated: members may repeat in any
+     order (sound for prediction, see tracker.mli) *)
+  let p = Adv.Alt ([ pat "a" []; pat "b" [] ], Some 2) in
+  let tr = Tracker.start (Tracker.compile p) in
+  check_bool "a" true (Tracker.advance tr "a");
+  check_bool "b may follow" true (List.mem "b" (Tracker.next_possible tr));
+  check_bool "b" true (Tracker.advance tr "b");
+  check_bool "a may come back" true (Tracker.may_occur_later tr "a")
+
+let test_finished_progression () =
+  (* lo=1 sequence: incomplete at the start; once the first member is seen
+     the rest of the tail is abandonable (IE backtracking), so the session
+     may be complete from then on *)
+  let p = seq [ pat "a" []; pat "b" [] ] in
+  let tr = Tracker.start (Tracker.compile p) in
+  check_bool "empty prefix incomplete" false (Tracker.finished tr);
+  check_bool "a" true (Tracker.advance tr "a");
+  check_bool "abandonable tail may finish" true (Tracker.finished tr);
+  check_bool "b" true (Tracker.advance tr "b");
+  check_bool "complete" true (Tracker.finished tr);
+  check_bool "nothing left" true (Tracker.next_possible tr = [])
+
 (* --- advisor --- *)
 
 let advice_ex1 =
@@ -193,9 +237,16 @@ let suites : unit Alcotest.test list =
         Alcotest.test_case "tracking example 1" `Quick test_tracking_example1;
         Alcotest.test_case "tracking §4.2.2 excerpt" `Quick test_tracking_excerpt;
         Alcotest.test_case "tracking unexpected query" `Quick test_tracking_lost;
+        Alcotest.test_case "tracking lost is permissive" `Quick
+          test_tracking_lost_permissive;
         Alcotest.test_case "alternation without selection" `Quick
           test_alternation_without_selection;
         Alcotest.test_case "alternation selection 1" `Quick test_alternation_selection_one;
+        Alcotest.test_case "alternation selection sticky" `Quick
+          test_alternation_selection_sticky;
+        Alcotest.test_case "alternation selection > 1" `Quick
+          test_alternation_selection_many;
+        Alcotest.test_case "finished progression" `Quick test_finished_progression;
         Alcotest.test_case "recursion loop" `Quick test_recursion_loop;
         Alcotest.test_case "advisor identify" `Quick test_advisor_identify;
         Alcotest.test_case "advisor predictions" `Quick test_advisor_predictions;

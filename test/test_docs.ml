@@ -106,8 +106,8 @@ let test_help_documents_every_command () =
   List.iter
     (fun cmd ->
       check_bool (cmd ^ " is documented in :help") true
-        (contains cmd Braid.Repl.commands_help))
-    Braid.Repl.command_names
+        (contains cmd Braid_serve.Repl.commands_help))
+    Braid_serve.Repl.command_names
 
 let test_every_command_dispatches () =
   List.iter
@@ -115,26 +115,26 @@ let test_every_command_dispatches () =
       (* A fresh session per command: ":quit"-style commands must not leak
          state. Each name must reach a handler — never the unknown-command
          fallback (handlers may still answer "usage: ..." without args). *)
-      let s = Braid.Repl.create () in
-      let reply = Braid.Repl.exec_line s cmd in
+      let s = Braid_serve.Repl.create () in
+      let reply = Braid_serve.Repl.exec_line s cmd in
       check_bool (cmd ^ " reaches a handler") false (contains "unknown command" reply))
-    Braid.Repl.command_names
+    Braid_serve.Repl.command_names
 
 let test_spans_command () =
-  let s = Braid.Repl.create () in
+  let s = Braid_serve.Repl.create () in
   check_bool "off by default" true
-    (contains "span recording is off" (Braid.Repl.exec_line s ":spans"));
-  ignore (Braid.Repl.exec_line s ":trace on");
-  ignore (Braid.Repl.exec_line s "parent(tom, bob).");
-  ignore (Braid.Repl.exec_line s "anc(X, Y) :- parent(X, Y).");
-  ignore (Braid.Repl.exec_line s "?- anc(tom, Y).");
-  let out = Braid.Repl.exec_line s ":spans" in
+    (contains "span recording is off" (Braid_serve.Repl.exec_line s ":spans"));
+  ignore (Braid_serve.Repl.exec_line s ":trace on");
+  ignore (Braid_serve.Repl.exec_line s "parent(tom, bob).");
+  ignore (Braid_serve.Repl.exec_line s "anc(X, Y) :- parent(X, Y).");
+  ignore (Braid_serve.Repl.exec_line s "?- anc(tom, Y).");
+  let out = Braid_serve.Repl.exec_line s ":spans" in
   check_bool "spans listed" true (contains "qpo.answer" out);
   check_bool "metrics include observability" true
-    (contains "-- observability --" (Braid.Repl.exec_line s ":metrics"));
-  ignore (Braid.Repl.exec_line s ":trace off");
+    (contains "-- observability --" (Braid_serve.Repl.exec_line s ":metrics"));
+  ignore (Braid_serve.Repl.exec_line s ":trace off");
   check_bool "off again" true
-    (contains "span recording is off" (Braid.Repl.exec_line s ":spans"))
+    (contains "span recording is off" (Braid_serve.Repl.exec_line s ":spans"))
 
 let suites =
   [

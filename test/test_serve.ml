@@ -1,0 +1,263 @@
+(* The serving layer: fetch coalescer, admission control, deterministic
+   scheduler, per-session isolation, and the multi-session soak. *)
+
+module L = Braid_logic
+module T = L.Term
+module R = Braid_relalg
+module V = R.Value
+module A = Braid_caql.Ast
+module Adv = Braid_advice.Ast
+module Advisor = Braid_advice.Advisor
+module Server = Braid_remote.Server
+module Sql = Braid_remote.Sql
+module Rdi = Braid_remote.Rdi
+module Journal = Braid_cache.Journal
+module Qpo = Braid_planner.Qpo
+module Plan = Braid_planner.Plan
+module Cms = Braid.Cms
+module Scheduler = Braid_serve.Scheduler
+module Coalescer = Braid_serve.Coalescer
+module Admission = Braid_serve.Admission
+module Soak = Braid_serve.Soak
+module Workload = Braid_serve.Workload
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let v x = T.Var x
+let s x = T.Const (V.Str x)
+let atom p args = L.Atom.make p args
+
+let no_advice = { Adv.specs = []; path = None }
+
+let mk_cms () =
+  let server = Server.create () in
+  Workload.load server;
+  (server, Cms.create server)
+
+let b2_def = A.conj [ v "X"; v "Z" ] [ atom "b2" [ v "X"; v "Z" ] ]
+let b1_def = A.conj [ v "Z"; v "Y" ] [ atom "b1" [ v "Z"; v "Y" ] ]
+
+(* --- coalescer --- *)
+
+let test_coalescer_identical () =
+  let _, cms = mk_cms () in
+  let co = Coalescer.create (Cms.rdi cms) (Cms.cache cms) in
+  Coalescer.begin_round co;
+  let o1 = Coalescer.fetch co b2_def (Sql.select_all "b2") in
+  let o2 = Coalescer.fetch co b2_def (Sql.select_all "b2") in
+  let st = Coalescer.stats co in
+  check_int "one rdi request" 1 (Cms.rdi_stats cms).Rdi.requests;
+  check_int "identical hit" 1 st.Coalescer.identical_hits;
+  check_int "first was a miss" 1 st.Coalescer.misses;
+  (match (o1, o2) with
+   | Rdi.Fresh r1, Rdi.Fresh r2 ->
+     check_bool "outcome shared by reference" true (r1 == r2)
+   | _ -> Alcotest.fail "expected two fresh outcomes")
+
+let test_coalescer_subsumed () =
+  let _, cms = mk_cms () in
+  let co = Coalescer.create (Cms.rdi cms) (Cms.cache cms) in
+  Coalescer.begin_round co;
+  let broad = Coalescer.fetch co b2_def (Sql.select_all "b2") in
+  let narrow_def = A.conj [ v "Z" ] [ atom "b2" [ s "x1"; v "Z" ] ] in
+  (* Distinct SQL text; on a window hit the SQL is never executed. *)
+  let narrow_sql = { (Sql.select_all "b2") with Sql.distinct = true } in
+  let narrow = Coalescer.fetch co narrow_def narrow_sql in
+  let st = Coalescer.stats co in
+  check_int "subsumed hit" 1 st.Coalescer.subsumed_hits;
+  check_int "still one rdi request" 1 (Cms.rdi_stats cms).Rdi.requests;
+  (match (broad, narrow) with
+   | Rdi.Fresh all, Rdi.Fresh derived ->
+     let expected =
+       R.Relation.to_list all
+       |> List.filter (fun t -> t.(0) = V.Str "x1")
+       |> List.length
+     in
+     check_int "derived by local selection" expected (R.Relation.cardinality derived)
+   | _ -> Alcotest.fail "expected fresh outcomes")
+
+let test_coalescer_disjoint () =
+  let _, cms = mk_cms () in
+  let co = Coalescer.create (Cms.rdi cms) (Cms.cache cms) in
+  Coalescer.begin_round co;
+  ignore (Coalescer.fetch co b2_def (Sql.select_all "b2"));
+  ignore (Coalescer.fetch co b1_def (Sql.select_all "b1"));
+  let st = Coalescer.stats co in
+  check_int "no reuse across disjoint views" 0
+    (st.Coalescer.identical_hits + st.Coalescer.subsumed_hits);
+  check_int "both fetched" 2 (Cms.rdi_stats cms).Rdi.requests
+
+let test_coalescer_window_scope () =
+  let _, cms = mk_cms () in
+  let co = Coalescer.create (Cms.rdi cms) (Cms.cache cms) in
+  (* Outside any round: the window is bypassed entirely. *)
+  ignore (Coalescer.fetch co b2_def (Sql.select_all "b2"));
+  ignore (Coalescer.fetch co b2_def (Sql.select_all "b2"));
+  check_int "bypass is uncounted" 0 (Coalescer.stats co).Coalescer.requests;
+  check_int "both hit the rdi" 2 (Cms.rdi_stats cms).Rdi.requests;
+  (* A new round starts with an empty window: no reuse from before. *)
+  Coalescer.begin_round co;
+  ignore (Coalescer.fetch co b2_def (Sql.select_all "b2"));
+  Coalescer.end_round co;
+  Coalescer.begin_round co;
+  ignore (Coalescer.fetch co b2_def (Sql.select_all "b2"));
+  let st = Coalescer.stats co in
+  check_int "no reuse across rounds" 0 st.Coalescer.identical_hits;
+  check_int "two windowed misses" 2 st.Coalescer.misses
+
+(* --- admission --- *)
+
+let test_admission_decide () =
+  let p = { Admission.max_queue = 3; per_session_queue = 2 } in
+  check_bool "admit" true
+    (Admission.decide p ~total_queued:0 ~session_queued:0 = Admission.Admit);
+  check_bool "session cap" true
+    (Admission.decide p ~total_queued:2 ~session_queued:2 = Admission.Shed_session_cap);
+  check_bool "queue full wins" true
+    (Admission.decide p ~total_queued:3 ~session_queued:0 = Admission.Shed_queue_full)
+
+let test_cached_only_stale_emptiness () =
+  let _, cms = mk_cms () in
+  (* A selection with an empty result, cached fresh. *)
+  let q = A.conj [ v "Z" ] [ atom "b3" [ v "Z"; s "c2"; s "zzz" ] ] in
+  ignore (Cms.query cms q);
+  (match Admission.cached_only (Cms.cache cms) q with
+   | Some a ->
+     check_bool "fresh while current" true (a.Qpo.provenance = Plan.Fresh)
+   | None -> Alcotest.fail "expected a cached cover");
+  ignore (Cms.invalidate_table cms ~mode:`Mark_stale "b3");
+  (* Zero tuples are read from the stale element, but its emptiness is
+     itself stale — the substitute answer must say degraded. *)
+  match Admission.cached_only (Cms.cache cms) q with
+  | Some a -> check_bool "degraded once stale" true (a.Qpo.provenance = Plan.Degraded)
+  | None -> Alcotest.fail "expected a cached cover"
+
+let test_qpo_stale_emptiness_degrades () =
+  let _, cms = mk_cms () in
+  let q = A.conj [ v "Z" ] [ atom "b3" [ v "Z"; s "c2"; s "zzz" ] ] in
+  let a1 = Cms.query cms q in
+  check_bool "fresh first" true (a1.Qpo.provenance = Plan.Fresh);
+  ignore (Cms.invalidate_table cms ~mode:`Mark_stale "b3");
+  let a2 = Cms.query cms q in
+  check_bool "empty answer from a stale element is degraded" true
+    (a2.Qpo.provenance = Plan.Degraded)
+
+(* --- scheduler --- *)
+
+let test_scheduler_fairness_under_hot_session () =
+  let _, cms = mk_cms () in
+  let policy = { Admission.max_queue = 32; per_session_queue = 2 } in
+  let sched = Scheduler.create ~policy ~seed:7 cms in
+  let s1 = Scheduler.add_session sched ~sid:"s1" no_advice in
+  let s2 = Scheduler.add_session sched ~sid:"s2" no_advice in
+  let q = A.conj [ v "X"; v "Z" ] [ atom "b2" [ v "X"; v "Z" ] ] in
+  let outcomes = ref [] in
+  let submit sid =
+    Scheduler.submit sched ~sid ~on_reply:(fun o -> outcomes := o :: !outcomes) q
+  in
+  (* The hot session floods past its cap; the quiet one stays admitted. *)
+  let hot = List.init 6 (fun _ -> submit s1) in
+  check_int "hot session: 2 admitted" 2
+    (List.length (List.filter (fun r -> r = `Queued) hot));
+  check_bool "quiet session admitted" true (submit s2 = `Queued);
+  check_bool "quiet session admitted again" true (submit s2 = `Queued);
+  ignore (Scheduler.drain sched);
+  let view sid =
+    match Scheduler.session_view sched sid with
+    | Some view -> view
+    | None -> Alcotest.fail ("unknown session " ^ sid)
+  in
+  let v1 = view "s1" and v2 = view "s2" in
+  check_int "hot answered its admitted jobs" 2 v1.Scheduler.answered;
+  check_int "hot shed the flood" 4 v1.Scheduler.shed;
+  check_int "quiet session unaffected" 2 v2.Scheduler.answered;
+  check_int "quiet session shed nothing" 0 v2.Scheduler.shed;
+  check_int "every submission got a reply" 8 (List.length !outcomes);
+  check_int "nothing left queued" 0 (Scheduler.queued sched)
+
+let test_scheduler_session_isolation () =
+  let _, cms = mk_cms () in
+  let d1 = A.conj [ v "Y" ] [ atom "b1" [ s "c1"; v "Y" ] ] in
+  let d2 = A.conj [ v "Z" ] [ atom "b2" [ s "x1"; v "Z" ] ] in
+  let advice =
+    {
+      Adv.specs =
+        [
+          Adv.spec ~id:"d1" ~bindings:[ Adv.Consumer ] d1;
+          Adv.spec ~id:"d2" ~bindings:[ Adv.Consumer ] d2;
+        ];
+      path =
+        Some
+          (Adv.Seq
+             ( [ Adv.Pattern ("d1", []); Adv.Pattern ("d2", []) ],
+               { Adv.lo = 1; hi = Adv.Fin 1 } ));
+    }
+  in
+  let sa = Cms.new_session cms ~sid:"sa" advice in
+  let sb = Cms.new_session cms ~sid:"sb" advice in
+  let predicted ses =
+    List.map (fun sp -> sp.Adv.id) (Advisor.predicted_next (Qpo.session_advisor ses))
+  in
+  check_bool "both sessions start at d1" true
+    (predicted sa = [ "d1" ] && predicted sb = [ "d1" ]);
+  ignore (Cms.query cms ~session:sa d1);
+  check_bool "sa advanced to d2" true (List.mem "d2" (predicted sa));
+  check_bool "sb still expects d1 (no cross-session leak)" true
+    (predicted sb = [ "d1" ])
+
+let test_scheduler_journal_attribution () =
+  let _, cms = mk_cms () in
+  let sched = Scheduler.create ~seed:1 cms in
+  let sid = Scheduler.add_session sched ~sid:"s7" no_advice in
+  let q = A.conj [ v "X"; v "Z" ] [ atom "b2" [ v "X"; v "Z" ] ] in
+  ignore (Scheduler.submit sched ~sid q);
+  ignore (Scheduler.drain sched);
+  let entries = Journal.entries (Cms.journal cms) in
+  check_bool "cache admission journaled under the session id" true
+    (List.exists (fun e -> Journal.entry_by e = "s7") entries);
+  check_bool "context cleared between waves" true
+    (Journal.context (Cms.journal cms) = "")
+
+(* --- the multi-session soak --- *)
+
+let test_soak_deterministic () =
+  let r1 = Soak.run ~sessions:4 ~seed:3 ~waves:80 () in
+  let r2 = Soak.run ~sessions:4 ~seed:3 ~waves:80 () in
+  check_bool "byte-identical reports for one seed" true
+    (Soak.report_to_string r1 = Soak.report_to_string r2);
+  check_bool "clean oracle" true (Soak.ok r1)
+
+let test_soak_multi_session () =
+  let r = Soak.run ~sessions:8 ~seed:1 ~waves:250 () in
+  check_bool "no divergences, clean recovery" true (Soak.ok r);
+  check_bool "the crash fired" true (r.Soak.crash_wave <> None);
+  check_bool "coalesce hits on the overlapping-view workload" true
+    (r.Soak.coalesce_identical + r.Soak.coalesce_subsumed > 0);
+  check_bool "admission shed under burst load" true (r.Soak.shed > 0);
+  check_bool "every session answered" true
+    (List.for_all (fun (s : Soak.session_report) -> s.Soak.answered > 0) r.Soak.per_session)
+
+let suites =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "coalescer identical" `Quick test_coalescer_identical;
+        Alcotest.test_case "coalescer subsumed" `Quick test_coalescer_subsumed;
+        Alcotest.test_case "coalescer disjoint" `Quick test_coalescer_disjoint;
+        Alcotest.test_case "coalescer window scope" `Quick test_coalescer_window_scope;
+        Alcotest.test_case "admission decisions" `Quick test_admission_decide;
+        Alcotest.test_case "cached-only stale emptiness" `Quick
+          test_cached_only_stale_emptiness;
+        Alcotest.test_case "qpo stale emptiness degrades" `Quick
+          test_qpo_stale_emptiness_degrades;
+        Alcotest.test_case "fairness under a hot session" `Quick
+          test_scheduler_fairness_under_hot_session;
+        Alcotest.test_case "per-session advice isolation" `Quick
+          test_scheduler_session_isolation;
+        Alcotest.test_case "journal attribution" `Quick
+          test_scheduler_journal_attribution;
+        Alcotest.test_case "soak determinism" `Slow test_soak_deterministic;
+        Alcotest.test_case "soak multi-session" `Slow test_soak_multi_session;
+      ] );
+  ]
