@@ -78,5 +78,6 @@ let translate ~schema_of (c : Ast.conj) =
         columns;
         from = List.map (fun ((a : L.Atom.t), alias, _) -> { Sql.table = a.L.Atom.pred; alias }) sources;
         where = List.rev !conds;
+        semijoins = [];
       }
   with Fail f -> Error f

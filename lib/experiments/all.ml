@@ -14,6 +14,7 @@ let experiments : (string * (?seed:int -> unit -> Table.t)) list =
     ("e12", fun ?seed:_ () -> snd (Exp_application.run ()));
     ("e13", fun ?seed () -> snd (Exp_faults.run ?seed ()));
     ("e14", fun ?seed () -> snd (Exp_serve.run ?seed ()));
+    ("e15", fun ?seed () -> snd (Exp_join_planning.run ?seed ()));
   ]
 
 (* Bracket each experiment with a metrics-registry reset so the

@@ -1,7 +1,7 @@
 (** The complete experiment suite (see DESIGN.md §5 and EXPERIMENTS.md). *)
 
 val experiments : (string * (?seed:int -> unit -> Table.t)) list
-(** [(id, run)] pairs, E1–E13, at full benchmark scale. [seed] overrides
+(** [(id, run)] pairs, E1–E15, at full benchmark scale. [seed] overrides
     the default PRNG seed for the experiments that take one (E10, E13);
     the others ignore it. *)
 

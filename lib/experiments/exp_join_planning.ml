@@ -1,0 +1,155 @@
+module R = Braid_relalg
+module V = R.Value
+module L = Braid_logic
+module T = L.Term
+module A = Braid_caql.Ast
+module Sql = Braid_remote.Sql
+module Engine = Braid_remote.Engine
+module Server = Braid_remote.Server
+module Qplan = Braid_remote.Qplan
+module Qpo = Braid_planner.Qpo
+module CMgr = Braid_cache.Cache_manager
+module TS = Braid_stream.Tuple_stream
+
+type row = {
+  label : string;
+  scanned : int;
+  transferred : int;
+  modeled_ms : float;
+  rows_out : int;
+}
+
+let v x = T.Var x
+let atom p args = L.Atom.make p args
+
+(* --- part 1: the enumerator vs the FROM-order hash pipeline --- *)
+
+let load_star server =
+  let eng = Server.engine server in
+  let load name schema rows = Engine.load eng (R.Relation.of_tuples ~name schema rows) in
+  load "cust"
+    (R.Schema.make [ ("ck", V.Tint); ("region", V.Tint) ])
+    (List.init 800 (fun i -> [| V.Int i; V.Int (i mod 8) |]));
+  load "ord"
+    (R.Schema.make [ ("ck", V.Tint); ("pk", V.Tint) ])
+    (List.init 2000 (fun i -> [| V.Int (i * 7 mod 800); V.Int (i mod 50) |]));
+  load "prod"
+    (R.Schema.make [ ("pk", V.Tint); ("cat", V.Tint) ])
+    (List.init 50 (fun i -> [| V.Int i; V.Int (i mod 5) |]))
+
+(* A 3-way join written in a deliberately bad FROM order (the big fact
+   table first) with a selective predicate on the last source. *)
+let star_sql =
+  let col src attr = Sql.Col { Sql.src; attr } in
+  {
+    Sql.distinct = false;
+    columns = [ col "c" "ck"; col "p" "cat" ];
+    from =
+      [
+        { Sql.table = "ord"; alias = "o" };
+        { Sql.table = "prod"; alias = "p" };
+        { Sql.table = "cust"; alias = "c" };
+      ];
+    where =
+      [
+        (R.Row_pred.Eq, col "o" "ck", col "c" "ck");
+        (R.Row_pred.Eq, col "o" "pk", col "p" "pk");
+        (R.Row_pred.Eq, col "c" "region", Sql.Const (V.Int 3));
+      ];
+    semijoins = [];
+  }
+
+let run_engine_arm () =
+  let server = Server.create () in
+  load_star server;
+  let eng = Server.engine server in
+  let lookup = Engine.table eng in
+  let catalog = Server.catalog server in
+  let naive_plan = Qplan.plan_naive catalog ~lookup star_sql in
+  let naive_rel, naive_scanned = Engine.execute_naive eng star_sql in
+  let plan = Qplan.plan catalog ~lookup star_sql in
+  let rel, scanned = Engine.execute eng star_sql in
+  assert (R.Relation.cardinality rel = R.Relation.cardinality naive_rel);
+  ( {
+      label = "3-way join: FROM-order hash pipeline";
+      scanned = naive_scanned;
+      transferred = 0;
+      modeled_ms = Qplan.modeled_cost naive_plan;
+      rows_out = R.Relation.cardinality naive_rel;
+    },
+    {
+      label = Printf.sprintf "3-way join: enumerator [%s]" (Qplan.plan_signature plan);
+      scanned;
+      transferred = 0;
+      modeled_ms = Qplan.modeled_cost plan;
+      rows_out = R.Relation.cardinality rel;
+    } )
+
+(* --- part 2: semi-join pushdown at the QPO level --- *)
+
+let make_qpo config =
+  let server = Server.create () in
+  let eng = Server.engine server in
+  let load name schema rows = Engine.load eng (R.Relation.of_tuples ~name schema rows) in
+  load "dim"
+    (R.Schema.make [ ("k", V.Tint); ("tag", V.Tint) ])
+    (List.init 8 (fun i -> [| V.Int i; V.Int (i * 10) |]));
+  load "fact"
+    (R.Schema.make [ ("k", V.Tint); ("w", V.Tint) ])
+    (List.init 2000 (fun i -> [| V.Int i; V.Int (i mod 13) |]));
+  let cache = CMgr.create ~capacity_bytes:(4 * 1024 * 1024) () in
+  Qpo.create config ~cache ~server
+
+let run_qpo_arm ~label config =
+  let qpo = make_qpo config in
+  let warm = A.conj [ v "K"; v "T" ] [ atom "dim" [ v "K"; v "T" ] ] in
+  ignore (TS.to_relation (Qpo.answer_conj qpo warm).Qpo.stream);
+  let q =
+    A.conj [ v "K"; v "W" ] [ atom "dim" [ v "K"; v "T" ]; atom "fact" [ v "K"; v "W" ] ]
+  in
+  let rel = TS.to_relation (Qpo.answer_conj qpo q).Qpo.stream in
+  let st = Server.stats (Qpo.server qpo) in
+  {
+    label;
+    scanned = st.Server.tuples_scanned;
+    transferred = st.Server.tuples_returned;
+    modeled_ms = st.Server.comm_ms;
+    rows_out = R.Relation.cardinality rel;
+  }
+
+let run ?seed:_ () =
+  let naive, enum = run_engine_arm () in
+  let without =
+    run_qpo_arm ~label:"cache join fetch: unfiltered"
+      { Qpo.braid_config with Qpo.allow_semijoin = false }
+  in
+  let with_sj = run_qpo_arm ~label:"cache join fetch: semi-join pushdown" Qpo.braid_config in
+  let rows_data = [ naive; enum; without; with_sj ] in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          Table.Text r.label;
+          Table.Int r.scanned;
+          Table.Int r.transferred;
+          Table.Float r.modeled_ms;
+          Table.Int r.rows_out;
+        ])
+      rows_data
+  in
+  let table =
+    Table.make
+      ~title:
+        "E15  cost-based plan enumeration — join ordering, access paths, and \
+         semi-join pushdown"
+      ~columns:[ "variant"; "tuples scanned"; "transferred"; "modeled ms"; "rows" ]
+      ~notes:
+        [
+          "top: the same 3-way join executed by the FROM-order hash pipeline \
+           vs the plan enumerator (identical answers)";
+          "bottom: a cached dimension joined with a remote fact table, with \
+           and without shipping the dimension's join keys as an IN-filter";
+        ]
+      rows
+  in
+  (rows_data, table)

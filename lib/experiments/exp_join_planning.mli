@@ -1,0 +1,21 @@
+(** E15 — cost-based plan enumeration and transfer reduction.
+
+    Part 1 runs one 3-way join through the remote engine twice: the
+    pre-enumerator FROM-order hash pipeline vs the cost-based enumerator
+    (join order, access paths, per-join strategy). Same answers, fewer
+    tuples scanned, lower modeled cost.
+
+    Part 2 answers a cache/remote split join through the QPO with
+    semi-join pushdown off and on: shipping the locally-cached dimension
+    keys as an IN-filter shrinks the transferred fact tuples. *)
+
+type row = {
+  label : string;
+  scanned : int;  (** server-side tuples touched *)
+  transferred : int;  (** tuples shipped to the workstation (part 2) *)
+  modeled_ms : float;  (** plan cost (part 1) / communication ms (part 2) *)
+  rows_out : int;
+}
+
+val run : ?seed:int -> unit -> row list * Table.t
+(** Deterministic; [seed] is ignored. *)

@@ -11,6 +11,10 @@ val est_atom : Braid_remote.Catalog.t -> Braid_logic.Atom.t -> int
 (** Estimated result cardinality of one selection on a base relation;
     [fallback] 32 when the relation is unknown to the catalog. *)
 
+val distinct_at : Braid_remote.Catalog.t -> Braid_logic.Atom.t -> int -> int
+(** Distinct-value count of the relation column at the given argument
+    position; 10 when the relation is unknown to the catalog. *)
+
 val est_conj : Braid_remote.Catalog.t -> Braid_caql.Ast.conj -> int
 (** Estimated result cardinality of a conjunctive query over base
     relations. *)

@@ -32,6 +32,7 @@ type config = {
   allow_prefetch : bool;
   allow_parallel : bool;
   advice_indexing : bool;
+  allow_semijoin : bool;
   prefetch_max_tuples : int;
   recompute_cache_threshold : int;
 }
@@ -45,6 +46,7 @@ let braid_config =
     allow_prefetch = true;
     allow_parallel = true;
     advice_indexing = true;
+    allow_semijoin = true;
     prefetch_max_tuples = 20_000;
     recompute_cache_threshold = 100;
   }
@@ -89,6 +91,8 @@ type metrics = {
   lazy_answers : int;
   indexes_built : int;
   degraded : int;
+  semijoin_pushdowns : int;
+  semijoin_values : int;
   local_ms : float;
   elapsed_ms : float;
 }
@@ -104,6 +108,8 @@ type stats = {
   mutable lazy_answers : int;
   mutable indexes_built : int;
   mutable degraded : int;
+  mutable semijoin_pushdowns : int;
+  mutable semijoin_values : int;
   mutable local_ms : float;
   mutable elapsed_ms : float;
 }
@@ -120,6 +126,8 @@ let fresh_stats () =
     lazy_answers = 0;
     indexes_built = 0;
     degraded = 0;
+    semijoin_pushdowns = 0;
+    semijoin_values = 0;
     local_ms = 0.0;
     elapsed_ms = 0.0;
   }
@@ -280,13 +288,95 @@ let remote_fetch t (def : A.conj) sql =
     let schema = Analyze.schema_of_conj (schema_resolver t []) def in
     (R.Relation.create schema, text, `Unavailable)
 
+(* --- semi-join pushdown (transfer reduction) ---
+
+   When part of the query is already answered from local cache elements,
+   a remote fetch that feeds a join with that local part only needs
+   tuples whose join-key value actually occurs on the local side. We
+   attach an IN-style filter ([Sql.with_semijoins]) to the shipped
+   request whenever the modeled transfer saving beats the modeled cost of
+   shipping the filter values themselves.
+
+   A filtered fetch is a superset of the joinable rows but NOT a complete
+   extension of its definition, so it must never be cached under that
+   definition: both fetch paths report a [filtered] flag that the caller
+   folds into [stash ~cacheable]. *)
+
+let semijoin_max_values = 256
+
+(* Distinct count of the first base column a definition binds [v] to;
+   the denominator of the filter's selectivity estimate. *)
+let distinct_for catalog (def : A.conj) v =
+  let of_atom (a : L.Atom.t) =
+    let rec find i = function
+      | [] -> None
+      | L.Term.Var x :: _ when x = v -> Some (Cost.distinct_at catalog a i)
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 a.L.Atom.args
+  in
+  match List.find_map of_atom def.A.atoms with Some d -> d | None -> 10
+
+(* Attach IN-filters for head variables we hold local value sets for.
+   [To_sql.translate] lists one output column per head term in order, so
+   head position [j] names the column to filter. Returns the (possibly
+   filtered) request plus whether any filter was attached. *)
+let attach_semijoins t (def : A.conj) (sql : Braid_remote.Sql.select) local_values =
+  if (not t.config.allow_semijoin) || local_values = [] then (sql, false)
+  else begin
+    let model = Server.cost_model t.server in
+    let est = float_of_int (Cost.est_conj (catalog t) def) in
+    let filters =
+      List.concat
+        (List.mapi
+           (fun j term ->
+             match term with
+             | L.Term.Const _ -> []
+             | L.Term.Var v ->
+               (match List.assoc_opt v local_values with
+                | None -> []
+                | Some values ->
+                  let n = List.length values in
+                  if n = 0 || n > semijoin_max_values then []
+                  else begin
+                    let distinct = float_of_int (distinct_for (catalog t) def v) in
+                    let sel = Float.min 1.0 (float_of_int n /. distinct) in
+                    let saved =
+                      est *. (1.0 -. sel) *. model.CModel.transfer_tuple_ms
+                    in
+                    let filter_cost =
+                      float_of_int n *. model.CModel.filter_value_ms
+                    in
+                    if saved <= filter_cost then []
+                    else
+                      match List.nth_opt sql.Braid_remote.Sql.columns j with
+                      | Some (Braid_remote.Sql.Col col) -> [ (col, values) ]
+                      | Some (Braid_remote.Sql.Const _) | None -> []
+                  end))
+           def.A.head)
+    in
+    if filters = [] then (sql, false)
+    else begin
+      t.stats.semijoin_pushdowns <- t.stats.semijoin_pushdowns + 1;
+      t.stats.semijoin_values <-
+        t.stats.semijoin_values
+        + List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0 filters;
+      Obs.Metrics.incr "qpo.semijoin_pushdown";
+      Log.debug (fun m ->
+          m "semi-join pushdown: %d filter(s) on [%s]" (List.length filters)
+            (A.conj_to_string def));
+      (Braid_remote.Sql.with_semijoins sql filters, true)
+    end
+  end
+
 (* Fetch a single relation occurrence from the remote DBMS. *)
-let fetch_atom t (a : L.Atom.t) =
+let fetch_atom t ?(local_values = []) (a : L.Atom.t) =
   let def = single_atom_def a in
   match To_sql.translate ~schema_of:(remote_schema t) def with
   | Ok sql ->
+    let sql, filtered = attach_semijoins t def sql local_values in
     let rel, text, freshness = remote_fetch t def sql in
-    (def, rel, text, freshness)
+    (def, rel, text, freshness, filtered)
   | Error (To_sql.Unknown_relation r) -> raise (Unknown_relation r)
   | Error f -> invalid_arg ("Qpo.fetch_atom: " ^ To_sql.failure_to_string f)
 
@@ -294,12 +384,15 @@ let fetch_atom t (a : L.Atom.t) =
    remote being unavailable with nothing cached for this request — the
    caller then degrades per relation occurrence, where the RDI's response
    cache has a better chance of a last-good hit. *)
-let ship_conj t (sc : A.conj) =
+let ship_conj t ?(local_values = []) (sc : A.conj) =
   match To_sql.translate ~schema_of:(remote_schema t) sc with
   | Ok sql ->
+    let sql, filtered = attach_semijoins t sc sql local_values in
     (match do_fetch t sc sql with
-     | Rdi.Fresh rel -> Some (retyped t sc rel, Braid_remote.Sql.to_string sql, `Fresh)
-     | Rdi.Stale (rel, _) -> Some (retyped t sc rel, Braid_remote.Sql.to_string sql, `Stale)
+     | Rdi.Fresh rel ->
+       Some (retyped t sc rel, Braid_remote.Sql.to_string sql, `Fresh, filtered)
+     | Rdi.Stale (rel, _) ->
+       Some (retyped t sc rel, Braid_remote.Sql.to_string sql, `Stale, filtered)
      | Rdi.Failed _ -> None)
   | Error (To_sql.Unknown_relation r) -> raise (Unknown_relation r)
   | Error _ -> None
@@ -354,8 +447,11 @@ let apply_replacements (q : A.conj) replacements =
   { q with A.atoms }
 
 (* Fetch the uncovered part of a query, either as one shipped join or one
-   request per relation occurrence, choosing by estimated cost. *)
-let fetch_uncovered t ~cacheable (q : A.conj) uncovered_idx external_vars =
+   request per relation occurrence, choosing by estimated cost.
+   [local_values] carries join-key value sets already held locally (from
+   chosen cache covers) for semi-join pushdown. *)
+let fetch_uncovered t ~cacheable ?(local_values = []) (q : A.conj) uncovered_idx
+    external_vars =
   let uncovered =
     List.filteri (fun i _ -> List.mem i uncovered_idx) q.A.atoms
   in
@@ -386,9 +482,12 @@ let fetch_uncovered t ~cacheable (q : A.conj) uncovered_idx external_vars =
               (A.conj_to_string sc));
         if ship_c > atoms_c then None
         else
-          match ship_conj t sc with
-          | Some (rel, sql, freshness) ->
-            let name, extras, steps = stash t ~cacheable ~freshness sc rel sql ~ship:true in
+          match ship_conj t ~local_values sc with
+          | Some (rel, sql, freshness, filtered) ->
+            let name, extras, steps =
+              stash t ~cacheable:(cacheable && not filtered) ~freshness sc rel sql
+                ~ship:true
+            in
             let repl = L.Atom.make name (List.map (fun v -> L.Term.Var v) head_vars) in
             Some ([ (uncovered_idx, repl) ], extras, steps, freshness <> `Fresh)
           | None -> None
@@ -402,8 +501,11 @@ let fetch_uncovered t ~cacheable (q : A.conj) uncovered_idx external_vars =
     List.fold_left
       (fun (repls, extras, steps, degraded) i ->
         let a = List.nth q.A.atoms i in
-        let def, rel, sql, freshness = fetch_atom t a in
-        let name, extras', steps' = stash t ~cacheable ~freshness def rel sql ~ship:false in
+        let def, rel, sql, freshness, filtered = fetch_atom t ~local_values a in
+        let name, extras', steps' =
+          stash t ~cacheable:(cacheable && not filtered) ~freshness def rel sql
+            ~ship:false
+        in
         let repl = L.Atom.make name def.A.head in
         ( repls @ [ ([ i ], repl) ],
           extras @ extras',
@@ -461,8 +563,10 @@ let solve_exact t (q : A.conj) =
 let solve_single t (q : A.conj) =
   let model = CMgr.model t.cache in
   let fetch_arm (repls, extras, steps, uc, cards, degraded) i a =
-    let def, rel, sql, freshness = fetch_atom t a in
-    let name, extras', steps' = stash t ~cacheable:true ~freshness def rel sql ~ship:false in
+    let def, rel, sql, freshness, filtered = fetch_atom t a in
+    let name, extras', steps' =
+      stash t ~cacheable:(not filtered) ~freshness def rel sql ~ship:false
+    in
     ( repls @ [ ([ i ], L.Atom.make name def.A.head) ],
       extras @ extras',
       steps @ steps',
@@ -526,6 +630,44 @@ let choose_covers covers =
   in
   List.rev chosen
 
+(* Join-key value sets the chosen covers hold locally: a cover's
+   replacement atom lists one term per element column, so arg position [i]
+   names extension column [i]. Only materialized elements contribute —
+   building a filter must not force a generator. Oversized or colliding
+   sets keep the smallest list; sets beyond [semijoin_max_values] are
+   dropped here rather than shipped and rejected later. *)
+let local_values_of_covers chosen =
+  let distinct_col rel i =
+    let tbl = Hashtbl.create 64 in
+    R.Relation.iter (fun tup -> Hashtbl.replace tbl (R.Tuple.get tup i) ()) rel;
+    if Hashtbl.length tbl > semijoin_max_values then None
+    else Some (Hashtbl.fold (fun v () acc -> v :: acc) tbl [])
+  in
+  List.fold_left
+    (fun acc ((e : Elem.t), (c : Sub.cover)) ->
+      if not (Elem.is_materialized e) then acc
+      else begin
+        let rel = Elem.extension e in
+        let arity = R.Schema.arity (R.Relation.schema rel) in
+        List.fold_left
+          (fun acc (i, v) ->
+            if i >= arity then acc
+            else
+              match distinct_col rel i with
+              | None -> acc
+              | Some values ->
+                (match List.assoc_opt v acc with
+                 | Some prev when List.length prev <= List.length values -> acc
+                 | Some _ | None -> (v, values) :: List.remove_assoc v acc))
+          acc
+          (List.concat
+             (List.mapi
+                (fun i t ->
+                  match t with L.Term.Var v -> [ (i, v) ] | L.Term.Const _ -> [])
+                c.Sub.replacement.L.Atom.args))
+      end)
+    [] chosen
+
 let solve_subsume t (q : A.conj) =
   let model = CMgr.model t.cache in
   let chosen =
@@ -570,8 +712,11 @@ let solve_subsume t (q : A.conj) =
         @ List.concat_map cmp_vars q.A.cmps
         @ List.concat_map (fun (_, repl) -> L.Atom.vars repl) cover_repls)
     in
+    let local_values =
+      if t.config.allow_semijoin then local_values_of_covers chosen else []
+    in
     let fetch_repls, extras, fetch_steps, degraded =
-      fetch_uncovered t ~cacheable:true q uncovered_idx external_vars
+      fetch_uncovered t ~cacheable:true ~local_values q uncovered_idx external_vars
     in
     {
       s_rewritten = apply_replacements q (cover_repls @ fetch_repls);
@@ -1107,6 +1252,8 @@ let metrics t : metrics =
     lazy_answers = t.stats.lazy_answers;
     indexes_built = t.stats.indexes_built;
     degraded = t.stats.degraded;
+    semijoin_pushdowns = t.stats.semijoin_pushdowns;
+    semijoin_values = t.stats.semijoin_values;
     local_ms = t.stats.local_ms;
     elapsed_ms = t.stats.elapsed_ms;
   }
@@ -1123,5 +1270,7 @@ let reset_metrics t =
   s.lazy_answers <- 0;
   s.indexes_built <- 0;
   s.degraded <- 0;
+  s.semijoin_pushdowns <- 0;
+  s.semijoin_values <- 0;
   s.local_ms <- 0.0;
   s.elapsed_ms <- 0.0

@@ -32,6 +32,9 @@ type config = {
   allow_prefetch : bool;
   allow_parallel : bool;
   advice_indexing : bool;
+  allow_semijoin : bool;
+      (** push IN-filters built from already-local join keys into remote
+          requests when the modeled transfer saving beats shipping them *)
   prefetch_max_tuples : int;
       (** do not prefetch/generalize families estimated above this size *)
   recompute_cache_threshold : int;
@@ -154,6 +157,8 @@ type metrics = {
   lazy_answers : int;
   indexes_built : int;
   degraded : int;  (** answers served with stale or incomplete data *)
+  semijoin_pushdowns : int;  (** remote requests shipped with IN-filters *)
+  semijoin_values : int;  (** total filter values shipped *)
   local_ms : float;  (** simulated workstation time *)
   elapsed_ms : float;  (** simulated wall-clock incl. overlap *)
 }

@@ -1,43 +1,257 @@
 module Key = struct
   type t = Value.t list
 
-  let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
+  (* single structural walk — the length guard + [for_all2] pair traverses
+     both lists twice and boxes the lengths; key comparison sits on every
+     hash-table probe, so this is hot *)
+  let rec equal a b =
+    match a, b with
+    | [], [] -> true
+    | x :: xs, y :: ys -> Value.equal x y && equal xs ys
+    | _ -> false
+
   let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 k
 end
 
 module Key_tbl = Hashtbl.Make (Key)
+module Value_tbl = Hashtbl.Make (Value)
+
+(* Open-addressing directory for immediate-int keys: linear probing over an
+   unboxed key array. A probe is a hash, a mask, and int compares against a
+   flat array — no functor indirection, no boxed-key dereference, no
+   allocation. Buckets are the same newest-first ref-cells the generic
+   stores use; the [dummy] sentinel marks an empty slot (its contents are
+   never mutated, so an absent key reads as the empty bucket). Indexes
+   never delete, so plain linear probing is sound. *)
+module Idir = struct
+  let dummy : Tuple.t list ref = ref []
+
+  type t = {
+    mutable keys : int array;
+    mutable cells : Tuple.t list ref array;
+    mutable occupied : int;
+    mutable mask : int;
+  }
+
+  let create n =
+    let rec pow2 c = if c >= n * 2 then c else pow2 (c * 2) in
+    let cap = pow2 16 in
+    { keys = Array.make cap 0; cells = Array.make cap dummy; occupied = 0; mask = cap - 1 }
+
+  (* First slot that is empty or already holds [x]. *)
+  let rec slot_of d x i =
+    if d.cells.(i) == dummy || d.keys.(i) = x then i
+    else slot_of d x ((i + 1) land d.mask)
+
+  (* [x]'s bucket cell, or [dummy] (the empty bucket) when absent. *)
+  let find_cell d x = d.cells.(slot_of d x (Value.hash_int x land d.mask))
+
+  let resize d =
+    let old_keys = d.keys and old_cells = d.cells in
+    let cap = (d.mask + 1) * 2 in
+    d.keys <- Array.make cap 0;
+    d.cells <- Array.make cap dummy;
+    d.mask <- cap - 1;
+    Array.iteri
+      (fun i cell ->
+        if cell != dummy then begin
+          let x = old_keys.(i) in
+          let j = slot_of d x (Value.hash_int x land d.mask) in
+          d.keys.(j) <- x;
+          d.cells.(j) <- cell
+        end)
+      old_cells
+
+  let insert d x t =
+    let i = slot_of d x (Value.hash_int x land d.mask) in
+    let cell = d.cells.(i) in
+    if cell != dummy then cell := t :: !cell
+    else begin
+      d.keys.(i) <- x;
+      d.cells.(i) <- ref [ t ];
+      d.occupied <- d.occupied + 1;
+      (* keep load factor under 1/2 *)
+      if d.occupied * 2 > d.mask + 1 then resize d
+    end
+
+  let fold f d init =
+    let acc = ref init in
+    Array.iteri (fun i cell -> if cell != dummy then acc := f d.keys.(i) cell !acc) d.cells;
+    !acc
+
+  let length d = d.occupied
+end
+
+(* Single-column indexes — every join probe the engine plans and most
+   catalog indexes — key the table on the bare value, skipping the
+   one-element key list (one allocation per probe) and the list-walking
+   hash/equality of the composite directory. When every key seen so far is
+   an integer (the overwhelmingly common join-key shape), the directory is
+   further specialized to immediate-int keys, so a probe compares unboxed
+   ints instead of dereferencing boxed values; the first non-int key
+   demotes the store to the generic form, rehoming the shared bucket
+   cells. *)
+type store =
+  | Ints of Idir.t
+  | Single of Tuple.t list ref Value_tbl.t
+  | Multi of Tuple.t list ref Key_tbl.t
 
 type t = {
   columns : int list;
-  table : Tuple.t list ref Key_tbl.t;
+  mutable store : store;
   mutable probes : int;
   mutable entries : int;
 }
 
+(* The int a value hashes and compares like, if any: [Int x] itself, and
+   integral floats, which [Value.equal]/[Value.hash] treat as the equal
+   integer. *)
+let int_key = function
+  | Value.Int x -> Some x
+  | Value.Float f when Float.is_integer f && Float.abs f < 1e18 ->
+    Some (int_of_float f)
+  | _ -> None
+
+let insert_value table v t =
+  match Value_tbl.find_opt table v with
+  | Some cell -> cell := t :: !cell
+  | None -> Value_tbl.add table v (ref [ t ])
+
+(* Demotion keeps the bucket ref-cells themselves, so bucket contents and
+   their order are untouched. Integral-float keys cannot appear in an
+   [Ints] table (they demote it), so re-keying by [Value.Int] is exact. *)
+let demote d =
+  let table = Value_tbl.create (max 16 (2 * Idir.length d)) in
+  Idir.fold (fun x cell () -> Value_tbl.add table (Value.Int x) cell) d ();
+  table
+
 let build r cols =
   if cols = [] then invalid_arg "Index.build: empty column list";
-  let table = Key_tbl.create (max 16 (Relation.cardinality r)) in
-  Relation.iter
-    (fun t ->
-      let k = Tuple.key t cols in
-      match Key_tbl.find_opt table k with
-      | Some cell -> cell := t :: !cell
-      | None -> Key_tbl.add table k (ref [ t ]))
-    r;
-  { columns = cols; table; probes = 0; entries = Relation.cardinality r }
+  let n = max 16 (Relation.cardinality r) in
+  let store =
+    match cols with
+    | [ c ] ->
+      let d = Idir.create n in
+      let fallback = ref None in
+      Relation.iter
+        (fun t ->
+          let v = Tuple.get t c in
+          match !fallback with
+          | Some table -> insert_value table v t
+          | None ->
+            (match v with
+             | Value.Int x -> Idir.insert d x t
+             | _ ->
+               let table = demote d in
+               insert_value table v t;
+               fallback := Some table))
+        r;
+      (match !fallback with Some table -> Single table | None -> Ints d)
+    | _ ->
+      let table = Key_tbl.create n in
+      Relation.iter
+        (fun t ->
+          let k = Tuple.key t cols in
+          match Key_tbl.find_opt table k with
+          | Some cell -> cell := t :: !cell
+          | None -> Key_tbl.add table k (ref [ t ]))
+        r;
+      Multi table
+  in
+  { columns = cols; store; probes = 0; entries = Relation.cardinality r }
 
 let columns ix = ix.columns
 
 let add ix t =
-  let k = Tuple.key t ix.columns in
-  (match Key_tbl.find_opt ix.table k with
-   | Some cell -> cell := t :: !cell
-   | None -> Key_tbl.add ix.table k (ref [ t ]));
+  (match ix.store, ix.columns with
+   | Ints d, [ c ] ->
+     (match Tuple.get t c with
+      | Value.Int x -> Idir.insert d x t
+      | v ->
+        let table = demote d in
+        insert_value table v t;
+        ix.store <- Single table)
+   | Single table, [ c ] -> insert_value table (Tuple.get t c) t
+   | (Ints _ | Single _), _ -> assert false
+   | Multi table, cols ->
+     let k = Tuple.key t cols in
+     (match Key_tbl.find_opt table k with
+      | Some cell -> cell := t :: !cell
+      | None -> Key_tbl.add table k (ref [ t ])));
   ix.entries <- ix.entries + 1
+
+let bucket_of ix key =
+  match ix.store, key with
+  | Ints d, [ v ] ->
+    (match int_key v with
+     | Some x ->
+       let cell = Idir.find_cell d x in
+       if cell == Idir.dummy then None else Some cell
+     | None -> None)
+  | Single table, [ v ] -> Value_tbl.find_opt table v
+  | (Ints _ | Single _), _ -> None
+  | Multi table, _ -> Key_tbl.find_opt table key
 
 let lookup ix key =
   ix.probes <- ix.probes + 1;
-  match Key_tbl.find_opt ix.table key with Some cell -> List.rev !cell | None -> []
+  match bucket_of ix key with Some cell -> List.rev !cell | None -> []
+
+(* Buckets are stored newest-first; recurse to the tail so callers see
+   insertion order (as [lookup] does) without allocating the reversed copy.
+   Bucket depth is bounded by key multiplicity, so the non-tail recursion
+   is safe. *)
+let rec from_tail f = function
+  | [] -> ()
+  | t :: tl ->
+    from_tail f tl;
+    f t
+
+let iter_probe ix key ~f =
+  ix.probes <- ix.probes + 1;
+  match bucket_of ix key with Some cell -> from_tail f !cell | None -> ()
+
+let bucket1_rev ix v =
+  ix.probes <- ix.probes + 1;
+  match ix.store with
+  | Ints d ->
+    (match v with
+     | Value.Int x -> !(Idir.find_cell d x)
+     | _ -> (match int_key v with Some x -> !(Idir.find_cell d x) | None -> []))
+  | Single table ->
+    (match Value_tbl.find table v with cell -> !cell | exception Not_found -> [])
+  | Multi table ->
+    (match Key_tbl.find table [ v ] with cell -> !cell | exception Not_found -> [])
+
+let iter_probe1 ix v ~f = from_tail f (bucket1_rev ix v)
 
 let probes ix = ix.probes
 let bytes_estimate ix = 64 + (ix.entries * 24)
+
+let n_keys ix =
+  match ix.store with
+  | Ints d -> Idir.length d
+  | Single table -> Value_tbl.length table
+  | Multi table -> Key_tbl.length table
+
+let rec compare_keys a b =
+  match a, b with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys ->
+    let c = Value.compare x y in
+    if c <> 0 then c else compare_keys xs ys
+
+let fold_sorted ix ~init ~f =
+  (* Hashtbl iteration order is unspecified; sort the key directory so every
+     index-only scan visits buckets in the same (lexicographic) order. *)
+  let directory =
+    match ix.store with
+    | Ints d ->
+      Idir.fold (fun x cell acc -> ([ Value.Int x ], List.rev !cell) :: acc) d []
+    | Single table ->
+      Value_tbl.fold (fun v cell acc -> ([ v ], List.rev !cell) :: acc) table []
+    | Multi table -> Key_tbl.fold (fun k cell acc -> (k, List.rev !cell) :: acc) table []
+  in
+  let keys = List.sort (fun (a, _) (b, _) -> compare_keys a b) directory in
+  List.fold_left (fun acc (k, bucket) -> f acc k bucket) init keys

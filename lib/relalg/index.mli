@@ -19,7 +19,31 @@ val add : t -> Tuple.t -> unit
 val lookup : t -> Value.t list -> Tuple.t list
 (** Tuples whose key columns equal the given values. *)
 
+val iter_probe : t -> Value.t list -> f:(Tuple.t -> unit) -> unit
+(** [iter_probe ix key ~f] applies [f] to each tuple in [key]'s bucket, in
+    the same insertion order [lookup] returns — but without materializing
+    the bucket list. The allocation-free probe for inner join loops. *)
+
+val iter_probe1 : t -> Value.t -> f:(Tuple.t -> unit) -> unit
+(** [iter_probe1 ix v ~f] is [iter_probe ix [ v ] ~f] without building the
+    one-element key list — the fast path for single-column join probes. *)
+
+val bucket1_rev : t -> Value.t -> Tuple.t list
+(** [bucket1_rev ix v] is [v]'s bucket in REVERSE insertion order (the
+    internal storage order), shared, with zero allocation. For join inner
+    loops that restore insertion order themselves; callers must not assume
+    [lookup]'s ordering and must not mutate the list. *)
+
 val probes : t -> int
 (** Number of lookups served so far (for experiment accounting). *)
 
 val bytes_estimate : t -> int
+
+val n_keys : t -> int
+(** Number of distinct keys in the directory — the rows an index-only scan
+    touches. *)
+
+val fold_sorted : t -> init:'a -> f:('a -> Value.t list -> Tuple.t list -> 'a) -> 'a
+(** Folds over [(key, bucket)] pairs in ascending key order (buckets keep
+    insertion order), so covering-index scans are deterministic and emit
+    key-sorted output. *)

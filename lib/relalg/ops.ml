@@ -68,6 +68,59 @@ let hash_join ~left_cols ~right_cols ?(residual = Row_pred.True) a b =
     a;
   out
 
+(* Walks a bucket in storage (reverse-insertion) order, emitting from the
+   tail so output keeps insertion order. Top-level on purpose: an inner
+   closure here would capture the outer tuple and be re-allocated per probe,
+   which at bench scale costs as much as the output tuples themselves. *)
+let rec emit_bucket_rev rows ta = function
+  | [] -> ()
+  | tb :: tl ->
+    emit_bucket_rev rows ta tl;
+    Vec.push rows (Tuple.concat ta tb)
+
+let index_nl_join_count ~left_cols ix ?(residual = Row_pred.True) a b =
+  let schema = Schema.concat (Relation.schema a) (Relation.schema b) in
+  let rows = Vec.create () in
+  let probed = ref 0 in
+  (* The probe loop is the enumerator's chosen inner loop for selective
+     joins: no per-probe bucket copy ([Index.lookup]), no key-list or
+     closure allocation for single-column probes, no per-row arity re-check
+     on output (tuples are schema-correct by construction), and no residual
+     dispatch when there is none — in which case matched = emitted, so the
+     counter is read off the output instead of bumped per tuple. *)
+  (match left_cols, residual with
+   | [ c ], Row_pred.True ->
+     Relation.iter
+       (fun ta -> emit_bucket_rev rows ta (Index.bucket1_rev ix (Tuple.get ta c)))
+       a;
+     probed := Vec.length rows
+   | _ ->
+     let probe =
+       match left_cols with
+       | [ c ] -> fun ta f -> Index.iter_probe1 ix (Tuple.get ta c) ~f
+       | _ -> fun ta f -> Index.iter_probe ix (Tuple.key ta left_cols) ~f
+     in
+     Relation.iter
+       (fun ta ->
+         probe ta (fun tb ->
+             incr probed;
+             let t = Tuple.concat ta tb in
+             if Row_pred.eval residual t then Vec.push rows t))
+       a);
+  (Relation.unsafe_of_rows schema rows, !probed)
+
+let index_only_scan ix schema ?(residual = Row_pred.True) ?(distinct = false) () =
+  let out = Relation.create schema in
+  let touched =
+    Index.fold_sorted ix ~init:0 ~f:(fun touched key bucket ->
+        let kt = Tuple.make key in
+        if Row_pred.eval residual kt then
+          if distinct then Relation.add out kt
+          else List.iter (fun _ -> Relation.add out kt) bucket;
+        touched + 1)
+  in
+  (out, touched)
+
 let nested_join pred a b =
   let schema = Schema.concat (Relation.schema a) (Relation.schema b) in
   let out = Relation.create schema in

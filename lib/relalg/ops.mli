@@ -42,6 +42,26 @@ val hash_join :
 val nested_join : Row_pred.t -> Relation.t -> Relation.t -> Relation.t
 (** Theta join by nested loops; the predicate sees the concatenated tuple. *)
 
+val index_nl_join_count :
+  left_cols:int list -> Index.t -> ?residual:Row_pred.t ->
+  Relation.t -> Relation.t -> Relation.t * int
+(** Index-nested-loop equi-join: for each tuple of the left input, probe
+    [ix] (an index on the right relation's join columns) and emit the
+    concatenations passing [residual]. The right relation itself is never
+    scanned. Also returns how many bucket tuples the probes touched — the
+    honest "rows scanned" figure for the right side. *)
+
+val index_only_scan :
+  Index.t -> Schema.t -> ?residual:Row_pred.t -> ?distinct:bool -> unit ->
+  Relation.t * int
+(** Covering-index scan: answers a projection onto the index's key columns
+    from the key directory alone, never touching the base extension. The
+    output schema is [schema] (the base schema projected onto the index
+    columns, in index-column order); [residual] is evaluated against the
+    key tuple (positions are key positions). Each key is emitted once per
+    bucket tuple (bag semantics) unless [distinct]. The count is the number
+    of directory keys visited; output is key-sorted. *)
+
 val merge_join :
   left_cols:int list -> right_cols:int list -> ?residual:Row_pred.t ->
   Relation.t -> Relation.t -> Relation.t

@@ -18,6 +18,8 @@ let of_tuples ?name schema tuples =
   List.iter (add r) tuples;
   r
 
+let unsafe_of_rows ?(name = "") schema rows = { name; schema; rows }
+
 let get r i = Vec.get r.rows i
 let iter f r = Vec.iter f r.rows
 let fold f acc r = Vec.fold f acc r.rows

@@ -9,6 +9,12 @@ type t
 val create : ?name:string -> Schema.t -> t
 val of_tuples : ?name:string -> Schema.t -> Tuple.t list -> t
 
+val unsafe_of_rows : ?name:string -> Schema.t -> Tuple.t Vec.t -> t
+(** Adopts [rows] as the relation's backing store without per-tuple arity
+    checks — for operators whose output tuples are schema-correct by
+    construction (the join inner loops). The vector must not be mutated by
+    the caller afterwards. *)
+
 val name : t -> string
 val schema : t -> Schema.t
 val cardinality : t -> int

@@ -21,29 +21,45 @@ let rank = function
   | Int _ | Float _ -> 2
   | Str _ -> 3
 
+(* Comparison and hashing are on the join-probe hot path, so every arm uses
+   the monomorphic primitive for its payload rather than [Stdlib.compare] /
+   the generic hasher. *)
+
 let compare a b =
   match a, b with
-  | Int x, Int y -> Stdlib.compare x y
-  | Float x, Float y -> Stdlib.compare x y
-  | Int x, Float y -> Stdlib.compare (float_of_int x) y
-  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
   | Str x, Str y -> String.compare x y
-  | Bool x, Bool y -> Stdlib.compare x y
+  | Bool x, Bool y -> Bool.compare x y
   | Null, Null -> 0
-  | (Int _ | Float _ | Str _ | Bool _ | Null), _ -> Stdlib.compare (rank a) (rank b)
+  | (Int _ | Float _ | Str _ | Bool _ | Null), _ -> Int.compare (rank a) (rank b)
 
-let equal a b = compare a b = 0
+let equal a b =
+  match a, b with
+  | Int x, Int y -> Int.equal x y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Null, Null -> true
+  | _ -> compare a b = 0
+
+(* Multiplicative avalanche over the raw int — no tuple boxing, no call into
+   the generic hasher. *)
+let hash_int x =
+  let h = x * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land max_int
 
 let hash = function
-  | Int x -> Hashtbl.hash (0, x)
+  | Int x -> hash_int x
   | Float x ->
     (* Hash integral floats like the equal integer so that 2 and 2.0,
        which compare equal, also hash equal. *)
-    if Float.is_integer x && Float.abs x < 1e18 then Hashtbl.hash (0, int_of_float x)
+    if Float.is_integer x && Float.abs x < 1e18 then hash_int (int_of_float x)
     else Hashtbl.hash (1, x)
-  | Str s -> Hashtbl.hash (2, s)
-  | Bool b -> Hashtbl.hash (3, b)
-  | Null -> Hashtbl.hash 4
+  | Str s -> Hashtbl.hash s
+  | Bool b -> if b then 0x5bd1e995 else 0x2e375619
+  | Null -> 0x11
 
 let pp ppf = function
   | Int x -> Format.pp_print_int ppf x

@@ -22,6 +22,10 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 val hash : t -> int
 
+val hash_int : int -> int
+(** The hash [Int x] (and an integral [Float]) receives — exposed so
+    int-specialized containers stay hash-compatible with [hash]. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

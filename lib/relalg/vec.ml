@@ -38,20 +38,23 @@ let pop v =
 
 let clear v = v.len <- 0
 
+(* Loop indexes below are bounded by [v.len <= Array.length v.data], so the
+   per-element bounds check is redundant; these run under every scan. *)
+
 let iter f v =
   for i = 0 to v.len - 1 do
-    f v.data.(i)
+    f (Array.unsafe_get v.data i)
   done
 
 let iteri f v =
   for i = 0 to v.len - 1 do
-    f i v.data.(i)
+    f i (Array.unsafe_get v.data i)
   done
 
 let fold f acc v =
   let acc = ref acc in
   for i = 0 to v.len - 1 do
-    acc := f !acc v.data.(i)
+    acc := f !acc (Array.unsafe_get v.data i)
   done;
   !acc
 

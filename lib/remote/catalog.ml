@@ -1,6 +1,10 @@
 module R = Braid_relalg
 
-type table_stats = { cardinality : int; distinct_per_column : int array }
+type table_stats = {
+  cardinality : int;
+  distinct_per_column : int array;
+  sorted_prefix : int;
+}
 
 module V_set = Set.Make (struct
   type t = R.Value.t
@@ -12,6 +16,9 @@ type entry = {
   schema : R.Schema.t;
   mutable stats : table_stats;
   mutable indexes : (int list * R.Index.t) list;
+  mutable bitmaps : (int * R.Bitmap.t) list;
+      (* per-column bitmap indexes, built lazily for low-cardinality
+         columns and dropped (not maintained) on insert *)
   mutable value_sets : V_set.t array;
       (* per-column distinct-value sets backing [distinct_per_column], kept
          so single-tuple inserts can maintain the counts incrementally *)
@@ -26,10 +33,31 @@ let register t name schema =
   Hashtbl.replace t name
     {
       schema;
-      stats = { cardinality = 0; distinct_per_column = Array.make arity 0 };
+      stats = { cardinality = 0; distinct_per_column = Array.make arity 0; sorted_prefix = arity };
       indexes = [];
+      bitmaps = [];
       value_sets = Array.make arity V_set.empty;
     }
+
+(* Length of the longest column prefix on which the stored row order is
+   lexicographically non-decreasing. The enumerator uses this to give
+   merge joins on pre-sorted base tables a free ride (no modeled sort). *)
+let sorted_prefix_of rel arity =
+  let n = R.Relation.cardinality rel in
+  let limit = ref arity in
+  for i = 0 to n - 2 do
+    if !limit > 0 then begin
+      let a = R.Relation.get rel i and b = R.Relation.get rel (i + 1) in
+      let rec first_diff j =
+        if j >= !limit then !limit
+        else
+          let c = R.Value.compare (R.Tuple.get a j) (R.Tuple.get b j) in
+          if c = 0 then first_diff (j + 1) else if c < 0 then !limit else j
+      in
+      limit := first_diff 0
+    end
+  done;
+  !limit
 
 let refresh_stats t name rel =
   match Hashtbl.find_opt t name with
@@ -45,24 +73,31 @@ let refresh_stats t name rel =
       rel;
     entry.stats <-
       { cardinality = R.Relation.cardinality rel;
-        distinct_per_column = Array.map V_set.cardinal sets };
+        distinct_per_column = Array.map V_set.cardinal sets;
+        sorted_prefix = sorted_prefix_of rel arity };
     entry.value_sets <- sets;
     (* The bulk load already scanned every column; build the per-column
        secondary indexes in the same breath so later equality probes never
        pay a full scan. *)
     entry.indexes <-
-      List.init arity (fun i -> ([ i ], R.Index.build rel [ i ]))
+      List.init arity (fun i -> ([ i ], R.Index.build rel [ i ]));
+    entry.bitmaps <- []
 
 let invalidate_indexes t name =
   match Hashtbl.find_opt t name with
   | None -> ()
-  | Some entry -> entry.indexes <- []
+  | Some entry ->
+    entry.indexes <- [];
+    entry.bitmaps <- []
 
 (* A single-row insert touches exactly one bucket per index and one value
    per column: maintain them in place instead of rescanning (or worse,
    dropping the indexes and repaying a full rebuild on the next probe).
    The scan-cost accounting stays honest because both the cardinality and
-   the per-column distinct counts advance with the row. *)
+   the per-column distinct counts advance with the row. Bitmaps are
+   fixed-width snapshots, so they are dropped rather than grown; the
+   sorted prefix is conservatively cleared (an appended row can break it,
+   and we no longer hold the previous last row to check). *)
 let note_insert t name tup =
   match Hashtbl.find_opt t name with
   | None -> ()
@@ -73,8 +108,10 @@ let note_insert t name tup =
     done;
     entry.stats <-
       { cardinality = entry.stats.cardinality + 1;
-        distinct_per_column = Array.map V_set.cardinal entry.value_sets };
-    List.iter (fun (_, ix) -> R.Index.add ix tup) entry.indexes
+        distinct_per_column = Array.map V_set.cardinal entry.value_sets;
+        sorted_prefix = (if entry.stats.cardinality = 0 then entry.stats.sorted_prefix else 0) };
+    List.iter (fun (_, ix) -> R.Index.add ix tup) entry.indexes;
+    entry.bitmaps <- []
 
 let index_on t name cols =
   match Hashtbl.find_opt t name with
@@ -92,12 +129,33 @@ let ensure_index t name rel cols =
        entry.indexes <- (cols, ix) :: entry.indexes;
        ix)
 
+let ensure_bitmap t name rel col =
+  let fresh () = R.Bitmap.build rel col in
+  match Hashtbl.find_opt t name with
+  | None -> fresh ()
+  | Some entry ->
+    (match List.assoc_opt col entry.bitmaps with
+     | Some bm when R.Bitmap.nrows bm = R.Relation.cardinality rel -> bm
+     | Some _ | None ->
+       let bm = fresh () in
+       entry.bitmaps <- (col, bm) :: List.remove_assoc col entry.bitmaps;
+       bm)
+
 let schema_of t name = Option.map (fun e -> e.schema) (Hashtbl.find_opt t name)
 let stats_of t name = Option.map (fun e -> e.stats) (Hashtbl.find_opt t name)
 let tables t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
 
 let cardinality t name =
   match stats_of t name with Some s -> s.cardinality | None -> 0
+
+let distinct_count t name col =
+  match stats_of t name with
+  | Some s when col >= 0 && col < Array.length s.distinct_per_column ->
+    s.distinct_per_column.(col)
+  | Some _ | None -> 0
+
+let sorted_prefix t name =
+  match stats_of t name with Some s -> s.sorted_prefix | None -> 0
 
 let eq_selectivity t name col =
   match stats_of t name with

@@ -7,6 +7,11 @@
 type table_stats = {
   cardinality : int;
   distinct_per_column : int array;  (** number of distinct values per column *)
+  sorted_prefix : int;
+      (** length of the longest column prefix on which the stored row order
+          is lexicographically sorted — lets the enumerator pick a merge
+          join on pre-sorted base tables without a modeled sort. 0 after
+          single-row inserts (conservative). *)
 }
 
 type t
@@ -38,12 +43,23 @@ val note_insert : t -> string -> Braid_relalg.Tuple.t -> unit
     tuple to the affected bucket of every persisted index — no index is
     dropped and no rescan is paid. *)
 
+val ensure_bitmap :
+  t -> string -> Braid_relalg.Relation.t -> int -> Braid_relalg.Bitmap.t
+(** Returns a bitmap index on the column, building (and persisting) it from
+    [rel] if missing or stale (row count changed since it was built). *)
+
 val schema_of : t -> string -> Braid_relalg.Schema.t option
 val stats_of : t -> string -> table_stats option
 val tables : t -> string list
 
 val cardinality : t -> string -> int
 (** 0 for unknown tables. *)
+
+val distinct_count : t -> string -> int -> int
+(** Distinct values in the column; 0 when unknown. *)
+
+val sorted_prefix : t -> string -> int
+(** [table_stats.sorted_prefix] of the table; 0 when unknown. *)
 
 val eq_selectivity : t -> string -> int -> float
 (** Estimated fraction of rows matching an equality predicate on the given

@@ -15,6 +15,16 @@ type t = {
   transfer_tuple_ms : float;  (** network cost per result tuple shipped *)
   cache_tuple_ms : float;  (** workstation (CMS) work per tuple processed *)
   ie_resolution_ms : float;  (** workstation (IE) work per inference step *)
+  hash_build_tuple_ms : float;
+      (** hash-join: inserting one build-side tuple into the hash table *)
+  probe_tuple_ms : float;
+      (** per input/output tuple streamed through a join operator *)
+  sort_tuple_ms : float;
+      (** sort-merge join: per tuple per [log2 n] comparison level *)
+  inlj_probe_ms : float;
+      (** index-nested-loop join: one index probe per outer tuple *)
+  filter_value_ms : float;
+      (** shipping one semi-join filter value to the server *)
 }
 
 val default : t

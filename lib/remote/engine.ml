@@ -1,10 +1,23 @@
 module R = Braid_relalg
 
-type t = { tables : (string, R.Relation.t) Hashtbl.t; catalog : Catalog.t }
+type t = {
+  tables : (string, R.Relation.t) Hashtbl.t;
+  catalog : Catalog.t;
+  counters : Qplan.counters;
+  mutable last_explain : Qplan.explain option;
+}
 
-let create () = { tables = Hashtbl.create 16; catalog = Catalog.create () }
+let create () =
+  {
+    tables = Hashtbl.create 16;
+    catalog = Catalog.create ();
+    counters = Qplan.fresh_counters ();
+    last_explain = None;
+  }
 
 let catalog t = t.catalog
+let plan_counters t = t.counters
+let last_explain t = t.last_explain
 
 let create_table t name schema =
   Hashtbl.replace t.tables name (R.Relation.create ~name schema);
@@ -26,165 +39,39 @@ let load t rel =
 let table t name =
   match Hashtbl.find_opt t.tables name with Some r -> r | None -> raise Not_found
 
-(* --- executor --- *)
+(* --- execution: plan with the enumerator, then run the chosen tree --- *)
 
-let col_name (c : Sql.col) = c.Sql.src ^ "." ^ c.Sql.attr
+let lookup t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some r -> r
+  | None -> invalid_arg ("Engine.execute: unknown table " ^ name)
 
-let scalar_operand schema (s : Sql.scalar) : R.Row_pred.operand option =
-  match s with
-  | Sql.Const v -> Some (R.Row_pred.Lit v)
-  | Sql.Col c ->
-    (match R.Schema.position_opt schema (col_name c) with
-     | Some i -> Some (R.Row_pred.Col i)
-     | None -> None)
-
-let cond_pred schema ((cmp, a, b) : Sql.cond) =
-  match scalar_operand schema a, scalar_operand schema b with
-  | Some oa, Some ob -> Some (R.Row_pred.Cmp (cmp, oa, ob))
-  | None, _ | _, None -> None
-
-(* A condition is local to a schema when all its columns resolve there. *)
-let scalar_local schema = function
-  | Sql.Const _ -> true
-  | Sql.Col c -> R.Schema.mem schema (col_name c)
-
-let cond_local schema (_, a, b) = scalar_local schema a && scalar_local schema b
-
-(* Equality condition joining [left] (already accumulated) to [right]. *)
-let join_cols left right ((cmp, a, b) : Sql.cond) =
-  if cmp <> R.Row_pred.Eq then None
-  else
-    match a, b with
-    | Sql.Col ca, Sql.Col cb ->
-      let la = R.Schema.position_opt left (col_name ca)
-      and lb = R.Schema.position_opt left (col_name cb)
-      and ra = R.Schema.position_opt right (col_name ca)
-      and rb = R.Schema.position_opt right (col_name cb) in
-      (match la, rb, lb, ra with
-       | Some l, Some r, _, _ -> Some (l, r)
-       | _, _, Some l, Some r -> Some (l, r)
-       | _, _, _, _ -> None)
-    | Sql.Const _, _ | _, Sql.Const _ -> None
-
-let execute t (q : Sql.select) =
-  if q.Sql.from = [] then invalid_arg "Engine.execute: empty FROM";
-  let scanned = ref 0 in
-  (* Load and qualify each source, pushing down conditions local to it.
-     Qualification is a zero-copy schema view, and equality-with-constant
-     conditions are routed through the catalog's persisted secondary
-     indexes, so [scanned] charges only the tuples actually touched. *)
-  let load_source (src : Sql.source) remaining =
-    let base =
-      match Hashtbl.find_opt t.tables src.Sql.table with
-      | Some r -> r
-      | None -> invalid_arg ("Engine.execute: unknown table " ^ src.Sql.table)
-    in
-    let rel = R.Relation.qualify src.Sql.alias base in
-    let schema = R.Relation.schema rel in
-    let local, rest = List.partition (cond_local schema) remaining in
-    (* Split the local conditions into indexable [col = const] probes and a
-       residual predicate. A column probed twice keeps one probe; the other
-       condition joins the residual. *)
-    let probes, residual_conds =
-      List.partition_map
-        (fun ((cmp, a, b) as c) ->
-          if cmp <> R.Row_pred.Eq then Either.Right c
-          else
-            match a, b with
-            | Sql.Col col, Sql.Const v | Sql.Const v, Sql.Col col ->
-              (match R.Schema.position_opt schema (col_name col) with
-               | Some i -> Either.Left (i, v)
-               | None -> Either.Right c)
-            | Sql.Col _, Sql.Col _ | Sql.Const _, Sql.Const _ -> Either.Right c)
-        local
-    in
-    let probes = List.sort (fun (i, _) (j, _) -> Int.compare i j) probes in
-    let probes, dup_preds =
-      List.fold_left
-        (fun (kept, dups) (i, v) ->
-          if List.mem_assoc i kept then (kept, R.Row_pred.Cmp (R.Row_pred.Eq, Col i, Lit v) :: dups)
-          else (kept @ [ (i, v) ], dups))
-        ([], []) probes
-    in
-    let residual_preds = List.filter_map (cond_pred schema) residual_conds @ dup_preds in
-    match probes with
-    | [] ->
-      scanned := !scanned + R.Relation.cardinality rel;
-      let rel =
-        if residual_preds = [] then rel else R.Ops.select (R.Row_pred.conj residual_preds) rel
-      in
-      (rel, rest)
-    | _ ->
-      let cols = List.map fst probes and key = List.map snd probes in
-      let ix = Catalog.ensure_index t.catalog src.Sql.table base cols in
-      let out, matched =
-        R.Ops.select_indexed_count ix key ~residual:(R.Row_pred.conj residual_preds) rel
-      in
-      scanned := !scanned + matched;
-      (out, rest)
+let execute_explained t (q : Sql.select) =
+  let lookup = lookup t in
+  let plan = Qplan.plan t.catalog ~lookup q in
+  let result, scanned, explain =
+    Qplan.run t.catalog ~lookup ~counters:t.counters plan q
   in
-  match q.Sql.from with
-  | [] -> assert false
-  | first :: others ->
-    let acc, remaining = load_source first q.Sql.where in
-    let acc, remaining =
-      List.fold_left
-        (fun (acc, remaining) src ->
-          let right, remaining = load_source src remaining in
-          let acc_schema = R.Relation.schema acc
-          and right_schema = R.Relation.schema right in
-          (* Split the remaining conditions into join conditions usable now,
-             conditions local to the combined schema, and later ones. *)
-          let joins, rest =
-            List.partition
-              (fun c -> Option.is_some (join_cols acc_schema right_schema c))
-              remaining
-          in
-          let joined =
-            match joins with
-            | [] -> R.Ops.product acc right
-            | _ ->
-              let pairs = List.filter_map (join_cols acc_schema right_schema) joins in
-              let left_cols = List.map fst pairs and right_cols = List.map snd pairs in
-              R.Ops.hash_join ~left_cols ~right_cols acc right
-          in
-          scanned := !scanned + R.Relation.cardinality joined;
-          let combined_schema = R.Relation.schema joined in
-          let now, later = List.partition (cond_local combined_schema) rest in
-          let preds = List.filter_map (cond_pred combined_schema) now in
-          let joined =
-            if preds = [] then joined else R.Ops.select (R.Row_pred.conj preds) joined
-          in
-          (joined, later))
-        (acc, remaining) others
-    in
-    (match remaining with
-     | [] -> ()
-     | (_, a, b) :: _ ->
-       let scalar_str = function
-         | Sql.Col c -> col_name c
-         | Sql.Const v -> R.Value.to_string v
-       in
-       invalid_arg
-         (Printf.sprintf "Engine.execute: unresolved condition on %s / %s" (scalar_str a)
-            (scalar_str b)));
-    let result =
-      match q.Sql.columns with
-      | [] -> acc
-      | cols ->
-        let schema = R.Relation.schema acc in
-        let positions =
-          List.map
-            (fun s ->
-              match s with
-              | Sql.Col c ->
-                (match R.Schema.position_opt schema (col_name c) with
-                 | Some i -> i
-                 | None -> invalid_arg ("Engine.execute: unknown column " ^ col_name c))
-              | Sql.Const _ -> invalid_arg "Engine.execute: constant in SELECT list")
-            cols
-        in
-        R.Ops.project positions acc
-    in
-    let result = if q.Sql.distinct then R.Relation.distinct result else result in
-    (result, !scanned)
+  t.last_explain <- Some explain;
+  (result, scanned, explain, plan)
+
+let execute t q =
+  let result, scanned, _, _ = execute_explained t q in
+  (result, scanned)
+
+(* The pre-enumerator FROM-order hash pipeline, kept as an executable
+   baseline for experiments and plan-equivalence tests. *)
+let execute_naive t q =
+  let lookup = lookup t in
+  let plan = Qplan.plan_naive t.catalog ~lookup q in
+  let result, scanned, _ = Qplan.run t.catalog ~lookup plan q in
+  (result, scanned)
+
+let explain t q =
+  let lookup = lookup t in
+  let plan = Qplan.plan t.catalog ~lookup q in
+  let _, _, explain = Qplan.run t.catalog ~lookup ~counters:t.counters plan q in
+  t.last_explain <- Some explain;
+  Printf.sprintf "plan: %s  (modeled cost %.2f ms)\n%s" (Qplan.plan_signature plan)
+    (Qplan.modeled_cost plan)
+    (Qplan.explain_to_string explain)

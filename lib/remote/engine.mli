@@ -1,7 +1,10 @@
 (** The remote DBMS's storage and query executor.
 
-    Executes the SQL subset over stored relations with a left-deep
-    hash-join pipeline, and reports how many tuples it touched so that the
+    Executes the SQL subset over stored relations through the cost-based
+    plan enumerator ([Qplan]): per-source access paths (sequential,
+    composite-index probe, covering index-only, bitmap), enumerated join
+    order, and per-join strategy (hash, sort-merge, index-nested-loop).
+    Reports how many tuples each chosen operator actually touched so the
     server can charge simulated cost for the work. *)
 
 type t
@@ -12,6 +15,7 @@ val catalog : t -> Catalog.t
 
 val create_table : t -> string -> Braid_relalg.Schema.t -> unit
 val insert : t -> string -> Braid_relalg.Tuple.t -> unit
+
 val load : t -> Braid_relalg.Relation.t -> unit
 (** Creates (or replaces) a table named after the relation and refreshes
     catalog statistics. *)
@@ -23,3 +27,23 @@ val execute : t -> Sql.select -> Braid_relalg.Relation.t * int
 (** [execute t q] is [(result, tuples_scanned)]. The result schema names
     attributes [alias.attr]. Raises [Invalid_argument] on unknown tables or
     columns. *)
+
+val execute_explained :
+  t -> Sql.select -> Braid_relalg.Relation.t * int * Qplan.explain * Qplan.t
+(** Like [execute], also returning the explain tree (actual cardinalities
+    filled in) and the chosen plan. *)
+
+val execute_naive : t -> Sql.select -> Braid_relalg.Relation.t * int
+(** The pre-enumerator pipeline: FROM-order left-deep hash joins with
+    index probes for [col = const] only. Baseline for experiments and
+    plan-equivalence tests. *)
+
+val explain : t -> Sql.select -> string
+(** Plans and runs the query, returning the rendered plan tree (signature,
+    modeled cost, estimated vs actual rows per operator). *)
+
+val plan_counters : t -> Qplan.counters
+(** Cumulative plan-choice counters across every execution on this engine
+    (deterministic; used by experiment gating). *)
+
+val last_explain : t -> Qplan.explain option

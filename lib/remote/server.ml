@@ -94,8 +94,11 @@ let exec t ?deadline_ms q =
       let sim_before = t.server_ms +. t.comm_ms in
       Obs.Metrics.incr "remote.requests";
       let latency_ms = injected_latency t q in
-      let result, scanned = Engine.execute t.engine q in
+      let result, scanned, _, plan = Engine.execute_explained t.engine q in
       let returned = R.Relation.cardinality result in
+      (* the chosen plan, so traces show how the enumerator answered *)
+      Obs.Trace.add_arg "plan" (Obs.Trace.Str (Qplan.plan_signature plan));
+      Obs.Trace.add_arg "plan_cost_ms" (Obs.Trace.Float (Qplan.modeled_cost plan));
       (match deadline_ms with
        | Some d
          when latency_ms

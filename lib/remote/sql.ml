@@ -16,9 +16,27 @@ type select = {
   columns : scalar list;
   from : source list;
   where : cond list;
+  semijoins : (col * V.t list) list;
+      (* per column: ship only rows whose value appears in the list — the
+         wire form of a semi-join filter built from the requester's local
+         side. Values are kept sorted so the printed form (and thus any
+         text-keyed caching of the request) is deterministic. *)
 }
 
-let select_all t = { distinct = false; columns = []; from = [ { table = t; alias = t } ]; where = [] }
+let select_all t =
+  { distinct = false; columns = []; from = [ { table = t; alias = t } ]; where = []; semijoins = [] }
+
+let compare_col a b =
+  match String.compare a.src b.src with 0 -> String.compare a.attr b.attr | c -> c
+
+let with_semijoins q filters =
+  let filters =
+    List.map (fun (c, vs) -> (c, List.sort_uniq V.compare vs)) filters
+    |> List.sort (fun (a, _) (b, _) -> compare_col a b)
+  in
+  { q with semijoins = filters }
+
+let has_semijoin q = q.semijoins <> []
 
 let pp_scalar ppf = function
   | Col { src; attr } -> Format.fprintf ppf "%s.%s" src attr
@@ -33,6 +51,14 @@ let pp_cond ppf (c, a, b) =
 
 let pp_sep s ppf () = Format.fprintf ppf "%s" s
 
+(* A semi-join filter can carry hundreds of values; print a deterministic
+   digest (count + order-sensitive hash of the sorted list) instead of the
+   list itself so request log / cache keys stay short but still distinguish
+   different filters. *)
+let pp_semijoin ppf ({ src; attr }, values) =
+  let h = List.fold_left (fun acc v -> (acc * 31) + V.hash v) 7 values in
+  Format.fprintf ppf "%s.%s IN ~%d#%x" src attr (List.length values) (h land 0xffffff)
+
 let pp ppf q =
   Format.fprintf ppf "SELECT %s" (if q.distinct then "DISTINCT " else "");
   (match q.columns with
@@ -43,8 +69,14 @@ let pp ppf q =
          if String.equal s.table s.alias then Format.pp_print_string ppf s.table
          else Format.fprintf ppf "%s %s" s.table s.alias))
     q.from;
-  match q.where with
+  (match q.where with
+   | [] -> ()
+   | conds -> Format.fprintf ppf " WHERE %a" (Format.pp_print_list ~pp_sep:(pp_sep " AND ") pp_cond) conds);
+  match q.semijoins with
   | [] -> ()
-  | conds -> Format.fprintf ppf " WHERE %a" (Format.pp_print_list ~pp_sep:(pp_sep " AND ") pp_cond) conds
+  | fs ->
+    Format.fprintf ppf " SEMIJOIN %a"
+      (Format.pp_print_list ~pp_sep:(pp_sep " AND ") pp_semijoin)
+      fs
 
 let to_string q = Format.asprintf "%a" pp q

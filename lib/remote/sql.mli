@@ -22,10 +22,21 @@ type select = {
   columns : scalar list;  (** empty means [SELECT *] *)
   from : source list;
   where : cond list;
+  semijoins : (col * Braid_relalg.Value.t list) list;
+      (** Semi-join filters: the server ships only rows whose column value
+          appears in the list. Built by the QPO from the already-local side
+          of a join so a fetch feeding that join transfers fewer tuples.
+          Always sorted (columns and values) — use [with_semijoins]. *)
 }
 
 val select_all : string -> select
 (** [SELECT * FROM t t]. *)
+
+val with_semijoins : select -> (col * Braid_relalg.Value.t list) list -> select
+(** Attaches semi-join filters, sorting columns and de-duplicating/sorting
+    each value list so equal filters always print identically. *)
+
+val has_semijoin : select -> bool
 
 val to_string : select -> string
 (** SQL text, e.g. for logging what would go over the wire. *)

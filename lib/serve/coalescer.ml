@@ -110,10 +110,15 @@ let fetch t (def : A.conj) sql =
       t.misses <- t.misses + 1;
       Obs.Metrics.incr "serve.coalesce.miss";
       let outcome = Rdi.exec t.rdi sql in
+      (* A semi-join-filtered request returns only a subset of its
+         definition's extension: it must never seed the window, or a later
+         unfiltered request could be answered from the subset. (Serving a
+         filtered request FROM an unfiltered entry remains safe — the
+         superset is cut down by the local join.) *)
       (match outcome with
-       | Rdi.Fresh _ | Rdi.Stale _ ->
+       | (Rdi.Fresh _ | Rdi.Stale _) when not (Sql.has_semijoin sql) ->
          t.window <- t.window @ [ { def; sql_text = text; outcome } ]
-       | Rdi.Failed _ -> ());
+       | Rdi.Fresh _ | Rdi.Stale _ | Rdi.Failed _ -> ());
       outcome
   end
 

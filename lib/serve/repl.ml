@@ -43,6 +43,7 @@ let commands_help =
    commands:\n\
   \  :caql <clause>                     run a CAQL query directly on the CMS\n\
   \  :explain <atom>                    justify the first solutions (proof trees)\n\
+  \  :explain <head> :- <body>          remote query plan with est vs actual rows\n\
   \  :load rules <file> | :load data <file.csv>\n\
   \  :system loose|bermuda|ceri|braid-sub|braid\n\
   \  :strategy interpretive|conjunction-N|compiled|adaptive\n\
@@ -208,6 +209,26 @@ let handle_caql t text =
     let result, plan = Cms.query_text (System.cms sys) text in
     render_answer result plan
 
+(* A conjunctive CAQL clause is explained as a shipped query plan: the
+   remote engine's enumerator renders the chosen tree with estimated vs
+   actual cardinalities. *)
+let explain_clause t text =
+  let sys = system t in
+  let server = Cms.server (System.cms sys) in
+  match Braid_caql.Parser.parse_program (text ^ ".") with
+  | [ (_, Braid_caql.Ast.Conj c) ] ->
+    let schema_of name =
+      Braid_remote.Catalog.schema_of (Braid_remote.Server.catalog server) name
+    in
+    (match Braid_caql.To_sql.translate ~schema_of c with
+     | Ok sql ->
+       Printf.sprintf "%s\n%s" (Braid_remote.Sql.to_string sql)
+         (Braid_remote.Engine.explain (Braid_remote.Server.engine server) sql)
+     | Error f -> "cannot ship this clause: " ^ Braid_caql.To_sql.failure_to_string f)
+  | _ -> "usage: :explain <atom> (proof trees) | :explain head :- body (query plan)"
+  | exception _ ->
+    "usage: :explain <atom> (proof trees) | :explain head :- body (query plan)"
+
 let handle_explain t text =
   let text = String.trim text in
   let text =
@@ -215,18 +236,27 @@ let handle_explain t text =
       String.sub text 0 (String.length text - 1)
     else text
   in
-  let query = Loader.parse_atomic_query text in
-  let sys = system t in
-  let proofs =
-    Braid_ie.Justify.explain (System.kb sys) (Cms.qpo (System.cms sys)) ~max_proofs:3 query
-  in
-  if proofs = [] then "no solutions"
-  else
-    String.concat "\n"
-      (List.map
-         (fun (tuple, proof) ->
-           Format.asprintf "%a@.%a" R.Tuple.pp tuple Braid_ie.Justify.pp_proof proof)
-         proofs)
+  if
+    (* a full clause: show the remote plan instead of proof trees *)
+    let rec has_neck i =
+      i + 2 <= String.length text && (String.sub text i 2 = ":-" || has_neck (i + 1))
+    in
+    has_neck 0
+  then explain_clause t text
+  else begin
+    let query = Loader.parse_atomic_query text in
+    let sys = system t in
+    let proofs =
+      Braid_ie.Justify.explain (System.kb sys) (Cms.qpo (System.cms sys)) ~max_proofs:3 query
+    in
+    if proofs = [] then "no solutions"
+    else
+      String.concat "\n"
+        (List.map
+           (fun (tuple, proof) ->
+             Format.asprintf "%a@.%a" R.Tuple.pp tuple Braid_ie.Justify.pp_proof proof)
+           proofs)
+  end
 
 let handle_load t what =
   match String.index_opt what ' ' with

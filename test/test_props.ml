@@ -479,7 +479,62 @@ let prop_zipf_in_range =
           k >= 0 && k < n)
         (List.init 50 Fun.id))
 
+(* --- plan enumerator vs the naive FROM-order pipeline --- *)
+
+module Sql = Braid_remote.Sql
+module REngine = Braid_remote.Engine
+
+(* Random multi-way join queries over random small relations: whatever
+   access paths, join order, and strategies the enumerator picks, the
+   answer must be bag-equal to the naive left-deep hash pipeline. *)
+let prop_enumerated_plan_equals_naive =
+  let gen =
+    let open QCheck.Gen in
+    let rows = list_size (int_range 0 20) (pair (int_range 0 5) (int_range 0 5)) in
+    triple (int_range 2 3) (list_repeat 3 rows) (int_range 0 1000)
+  in
+  QCheck.Test.make ~count:60 ~name:"enumerated plan equals naive pipeline"
+    (arb_of gen (fun (n, _, salt) -> Printf.sprintf "%d-way join, salt %d" n salt))
+    (fun (ntab, tables, salt) ->
+      let eng = REngine.create () in
+      List.iteri
+        (fun i rows ->
+          if i < ntab then
+            REngine.load eng
+              (R.Relation.of_tuples ~name:(Printf.sprintf "r%d" i)
+                 (R.Schema.make [ ("k", V.Tint); ("v", V.Tint) ])
+                 (List.map (fun (a, b) -> [| V.Int a; V.Int b |]) rows)))
+        tables;
+      let alias i = Printf.sprintf "a%d" i in
+      let col i attr = Sql.Col { Sql.src = alias i; attr } in
+      let from =
+        List.init ntab (fun i -> { Sql.table = Printf.sprintf "r%d" i; alias = alias i })
+      in
+      let joins = List.init (ntab - 1) (fun i -> (RP.Eq, col i "v", col (i + 1) "k")) in
+      let extra =
+        match salt mod 3 with
+        | 0 -> []
+        | 1 -> [ (RP.Eq, col 0 "k", Sql.Const (V.Int (salt mod 6))) ]
+        | _ -> [ (RP.Gt, col (ntab - 1) "v", Sql.Const (V.Int (salt mod 6))) ]
+      in
+      let q =
+        {
+          Sql.distinct = salt mod 2 = 0;
+          columns = [ col 0 "k"; col (ntab - 1) "v" ];
+          from;
+          where = joins @ extra;
+          semijoins = [];
+        }
+      in
+      let bag rel =
+        List.sort compare (R.Relation.fold (fun acc t -> Array.to_list t :: acc) [] rel)
+      in
+      let r1, _ = REngine.execute eng q in
+      let r2, _ = REngine.execute_naive eng q in
+      bag r1 = bag r2)
+
 let to_alcotest = List.map (QCheck_alcotest.to_alcotest ~verbose:false)
+
 
 let suites : unit Alcotest.test list =
   [
@@ -515,5 +570,6 @@ let suites : unit Alcotest.test list =
           prop_path_pp_parse_roundtrip;
           prop_prng_deterministic;
           prop_zipf_in_range;
+          prop_enumerated_plan_equals_naive;
         ] );
   ]

@@ -44,6 +44,7 @@ let test_where_and_projection () =
       columns = [ col "e" "name" ];
       from = [ { Sql.table = "emp"; alias = "e" } ];
       where = [ (R.Row_pred.Gt, col "e" "sal", Sql.Const (V.Int 45)) ];
+      semijoins = [];
     }
   in
   let r = Server.exec server q in
@@ -58,6 +59,7 @@ let test_join () =
       columns = [ col "e" "name"; col "d" "city" ];
       from = [ { Sql.table = "emp"; alias = "e" }; { Sql.table = "dept"; alias = "d" } ];
       where = [ (R.Row_pred.Eq, col "e" "dept", col "d" "id") ];
+      semijoins = [];
     }
   in
   let r = Server.exec server q in
@@ -75,6 +77,7 @@ let test_self_join () =
           (R.Row_pred.Eq, col "a" "dept", col "b" "dept");
           (R.Row_pred.Lt, col "a" "name", col "b" "name");
         ];
+      semijoins = [];
     }
   in
   let r = Server.exec server q in
@@ -89,6 +92,7 @@ let test_distinct () =
       columns = [ col "e" "dept" ];
       from = [ { Sql.table = "emp"; alias = "e" } ];
       where = [];
+      semijoins = [];
     }
   in
   check_int "two departments" 2 (R.Relation.cardinality (Server.exec server q))
@@ -106,6 +110,7 @@ let test_errors () =
       columns = [ col "e" "nocol" ];
       from = [ { Sql.table = "emp"; alias = "e" } ];
       where = [];
+      semijoins = [];
     }
   in
   check_bool "unknown column" true
@@ -121,6 +126,7 @@ let test_sql_printing () =
       columns = [ col "e" "name" ];
       from = [ { Sql.table = "emp"; alias = "e" } ];
       where = [ (R.Row_pred.Eq, col "e" "dept", Sql.Const (V.Str "sales")) ];
+      semijoins = [];
     }
   in
   Alcotest.(check string)
@@ -213,6 +219,7 @@ let test_condition_classes () =
           (R.Row_pred.Eq, col "d" "city", Sql.Const (V.Str "sf"));
           (R.Row_pred.Gt, col "e" "sal", Sql.Const (V.Int 65));
         ];
+      semijoins = [];
     }
   in
   let r = Server.exec server q in
@@ -229,6 +236,7 @@ let test_product_when_no_join_condition () =
       columns = [];
       from = [ { Sql.table = "emp"; alias = "e" }; { Sql.table = "dept"; alias = "d" } ];
       where = [];
+      semijoins = [];
     }
   in
   check_int "cartesian product" 8 (R.Relation.cardinality (Server.exec server q))
@@ -241,6 +249,7 @@ let test_unresolvable_condition_rejected () =
       columns = [];
       from = [ { Sql.table = "emp"; alias = "e" } ];
       where = [ (R.Row_pred.Eq, col "zz" "col", Sql.Const (V.Int 1)) ];
+      semijoins = [];
     }
   in
   check_bool "unknown alias rejected" true
@@ -258,6 +267,7 @@ let test_indexed_equality_scans_less () =
       columns = [];
       from = [ { Sql.table = "emp"; alias = "e" } ];
       where = [ (R.Row_pred.Eq, col "e" "dept", Sql.Const (V.Str "eng")) ];
+      semijoins = [];
     }
   in
   let r, scanned = Engine.execute eng q in
@@ -281,6 +291,7 @@ let test_insert_maintains_indexes () =
       columns = [];
       from = [ { Sql.table = "emp"; alias = "e" } ];
       where = [ (R.Row_pred.Eq, col "e" "dept", Sql.Const (V.Str "eng")) ];
+      semijoins = [];
     }
   in
   let r, _ = Engine.execute eng q in
@@ -311,4 +322,115 @@ let extra_cases =
 
 let suites = match suites with
   | [ (name, cases) ] -> [ (name, cases @ extra_cases) ]
+  | other -> other
+
+(* --- composite / covering indexes and semi-join filters --- *)
+
+module Qplan = Braid_remote.Qplan
+
+let test_composite_index_probe () =
+  let server = load_server () in
+  let eng = Server.engine server in
+  let q =
+    {
+      Sql.distinct = false;
+      columns = [];
+      from = [ { Sql.table = "emp"; alias = "e" } ];
+      where =
+        [
+          (R.Row_pred.Eq, col "e" "dept", Sql.Const (V.Str "eng"));
+          (R.Row_pred.Eq, col "e" "sal", Sql.Const (V.Int 70));
+        ];
+      semijoins = [];
+    }
+  in
+  let r, scanned = Engine.execute eng q in
+  check_int "carol only" 1 (R.Relation.cardinality r);
+  check_int "touches only the composite bucket" 1 scanned;
+  check_bool "composite index persisted" true
+    (Catalog.index_on (Server.catalog server) "emp" [ 1; 2 ] <> None)
+
+let test_covering_index_only_scan () =
+  let server = load_server () in
+  let eng = Server.engine server in
+  let q =
+    {
+      Sql.distinct = true;
+      columns = [ col "e" "dept" ];
+      from = [ { Sql.table = "emp"; alias = "e" } ];
+      where = [];
+      semijoins = [];
+    }
+  in
+  let r, scanned = Engine.execute eng q in
+  check_int "two departments" 2 (R.Relation.cardinality r);
+  check_int "touches one key per department" 2 scanned;
+  check_bool "index-only path chosen" true
+    ((Engine.plan_counters eng).Qplan.index_only_scans > 0);
+  (* bag semantics without DISTINCT: one output row per base row, still
+     answered from the key directory alone *)
+  let r', scanned' = Engine.execute eng { q with Sql.distinct = false } in
+  check_int "four rows" 4 (R.Relation.cardinality r');
+  check_int "still only the key directory" 2 scanned'
+
+let test_semijoin_filter_execution_and_printing () =
+  let server = load_server () in
+  let eng = Server.engine server in
+  let dept = { Sql.src = "e"; attr = "dept" } in
+  let q0 =
+    {
+      Sql.distinct = false;
+      columns = [];
+      from = [ { Sql.table = "emp"; alias = "e" } ];
+      where = [];
+      semijoins = [];
+    }
+  in
+  let q = Sql.with_semijoins q0 [ (dept, [ V.Str "eng" ]) ] in
+  check_bool "filter registered" true (Sql.has_semijoin q);
+  let r, scanned = Engine.execute eng q in
+  check_int "only eng rows survive the filter" 2 (R.Relation.cardinality r);
+  check_bool "filter also reduces scanning" true (scanned <= 2);
+  (* the printed filter is a digest over the sorted value set: the text is
+     deterministic and independent of the order values were gathered in *)
+  let a = Sql.with_semijoins q0 [ (dept, [ V.Str "eng"; V.Str "sales" ]) ] in
+  let b = Sql.with_semijoins q0 [ (dept, [ V.Str "sales"; V.Str "eng" ]) ] in
+  Alcotest.(check string) "order-insensitive text" (Sql.to_string a) (Sql.to_string b);
+  check_bool "filtered text differs from unfiltered" true
+    (Sql.to_string a <> Sql.to_string q0)
+
+let test_explain_reports_estimates_and_actuals () =
+  let server = load_server () in
+  let eng = Server.engine server in
+  let q =
+    {
+      Sql.distinct = false;
+      columns = [ col "e" "name"; col "d" "city" ];
+      from = [ { Sql.table = "emp"; alias = "e" }; { Sql.table = "dept"; alias = "d" } ];
+      where = [ (R.Row_pred.Eq, col "e" "dept", col "d" "id") ];
+      semijoins = [];
+    }
+  in
+  let text = Engine.explain eng q in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec at i = i + nl <= tl && (String.sub text i nl = needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "shows the plan signature" true (contains "plan:");
+  check_bool "shows estimates" true (contains "est=");
+  check_bool "shows actual cardinalities" true (contains "actual=4")
+
+let planner_cases =
+  [
+    Alcotest.test_case "composite index probe" `Quick test_composite_index_probe;
+    Alcotest.test_case "covering index-only scan" `Quick test_covering_index_only_scan;
+    Alcotest.test_case "semi-join filter execution and printing" `Quick
+      test_semijoin_filter_execution_and_printing;
+    Alcotest.test_case "explain reports estimates and actuals" `Quick
+      test_explain_reports_estimates_and_actuals;
+  ]
+
+let suites = match suites with
+  | [ (name, cases) ] -> [ (name, cases @ planner_cases) ]
   | other -> other

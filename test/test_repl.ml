@@ -52,6 +52,16 @@ let test_explain () =
   check_bool "mentions a rule" true (contains "[rule" out);
   check_bool "mentions a database fact" true (contains "[database]" out)
 
+let test_explain_clause_plan () =
+  let s = family_session () in
+  let out =
+    Braid_serve.Repl.exec_line s ":explain gp(X, Y) :- parent(X, Z) & parent(Z, Y)."
+  in
+  check_bool "shows the shipped SQL" true (contains "SELECT" out);
+  check_bool "shows the plan signature" true (contains "plan:" out);
+  check_bool "shows estimated rows" true (contains "est=" out);
+  check_bool "shows actual rows" true (contains "actual=" out)
+
 let test_caql_and_plan () =
   let s = family_session () in
   let out = Braid_serve.Repl.exec_line s ":caql gp(X, Y) :- parent(X, Z) & parent(Z, Y)." in
@@ -106,6 +116,7 @@ let suites : unit Alcotest.test list =
         Alcotest.test_case "query" `Quick test_query;
         Alcotest.test_case "live fact insertion invalidates" `Quick test_live_fact_insertion;
         Alcotest.test_case "explain" `Quick test_explain;
+        Alcotest.test_case "explain clause plan" `Quick test_explain_clause_plan;
         Alcotest.test_case "caql with plan" `Quick test_caql_and_plan;
         Alcotest.test_case "inspection commands" `Quick test_inspection_commands;
         Alcotest.test_case "lint flags typo" `Quick test_lint_flags_typo;
