@@ -374,6 +374,7 @@ let experiments_json ?seed () =
   let e13_rows, _ = Braid_experiments.Exp_faults.run ?seed () in
   let e14_rows, _ = Braid_experiments.Exp_serve.run ?seed () in
   let e15_rows, _ = Braid_experiments.Exp_join_planning.run ?seed () in
+  let (e16_mix, e16_soak, e16_avail), _ = Braid_experiments.Exp_sharding.run ?seed () in
   let table_card, result_rows, scanned = remote_scan_counters () in
   let pc = plan_choice_counters () in
   let b = Buffer.create 4096 in
@@ -430,6 +431,42 @@ let experiments_json ?seed () =
         (if i = List.length e15_rows - 1 then "" else ","))
     e15_rows;
   out "    ],\n";
+  out "    \"e16_sharding_mix\": [\n";
+  List.iteri
+    (fun i (r : Braid_experiments.Exp_sharding.row) ->
+      let open Braid_experiments.Exp_sharding in
+      out
+        "      {\"shards\": %d, \"queries\": %d, \"pinned\": %d, \"fanouts\": %d, \
+         \"gathers\": %d, \"shards_touched\": %d, \"shards_pruned\": %d, \
+         \"scanned\": %d, \"fresh\": %d, \"degraded\": %d}%s\n"
+        r.shards r.queries r.pinned r.fanouts r.gathers r.shards_touched
+        r.shards_pruned r.scanned r.fresh r.degraded
+        (if i = List.length e16_mix - 1 then "" else ","))
+    e16_mix;
+  out "    ],\n";
+  out "    \"e16_sharding_soak\": [\n";
+  List.iteri
+    (fun i (r : Braid_experiments.Exp_sharding.soak_row) ->
+      let open Braid_experiments.Exp_sharding in
+      out
+        "      {\"shards\": %d, \"answered\": %d, \"fresh\": %d, \"degraded\": %d, \
+         \"pinned\": %d, \"fanouts\": %d, \"gathers\": %d, \"shards_pruned\": %d, \
+         \"remote_requests\": %d}%s\n"
+        r.sk_shards r.sk_answered r.sk_fresh r.sk_degraded r.sk_pinned
+        r.sk_fanouts r.sk_gathers r.sk_pruned r.sk_remote_requests
+        (if i = List.length e16_soak - 1 then "" else ","))
+    e16_soak;
+  out "    ],\n";
+  (let a = e16_avail in
+   let open Braid_experiments.Exp_sharding in
+   out
+     "    \"e16_one_shard_down\": {\"shards\": %d, \"sick_shard\": %d, \
+      \"pinned_queries\": %d, \"healthy_fresh\": %d, \"healthy_degraded\": %d, \
+      \"sick_queries\": %d, \"sick_degraded\": %d, \"scatter_queries\": %d, \
+      \"scatter_degraded\": %d},\n"
+     a.av_shards a.sick_shard a.pinned_queries a.healthy_fresh
+     a.healthy_degraded a.sick_queries a.sick_degraded a.scatter_queries
+     a.scatter_degraded);
   out
     "    \"plan_choices\": {\"hash_joins\": %d, \"merge_joins\": %d, \"inlj_joins\": %d, \
      \"products\": %d, \"seq_scans\": %d, \"index_probes\": %d, \"index_only_scans\": %d, \
@@ -463,9 +500,115 @@ let write_json ?seed path =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* Flattens a JSON text into [(path, scalar-as-text)] pairs — e.g.
+   [("experiments.e13_faults[2].retries", "14")] — so --check can report
+   exactly which counters drifted instead of dumping the whole fragment.
+   Minimal recursive-descent parser covering the harness's own output
+   (objects, arrays, strings, numbers, null); raises [Failure] on anything
+   else, in which case the caller falls back to printing the fragment. *)
+let flatten_json text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "json: %s at offset %d" msg !pos) in
+  let peek () = if !pos < n then text.[!pos] else fail "unexpected end" in
+  let skip_ws () =
+    while
+      !pos < n && (match text.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let parse_string () =
+    let b = Buffer.create 16 in
+    incr pos;
+    let rec go () =
+      match peek () with
+      | '"' -> incr pos
+      | '\\' ->
+        Buffer.add_char b text.[!pos];
+        incr pos;
+        Buffer.add_char b (peek ());
+        incr pos;
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let out = ref [] in
+  let rec value path =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = '}' then incr pos
+      else
+        let rec members () =
+          skip_ws ();
+          if peek () <> '"' then fail "expected a key";
+          let k = parse_string () in
+          skip_ws ();
+          if peek () <> ':' then fail "expected ':'";
+          incr pos;
+          value (if path = "" then k else path ^ "." ^ k);
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            incr pos;
+            members ()
+          | '}' -> incr pos
+          | _ -> fail "expected ',' or '}'"
+        in
+        members ()
+    | '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = ']' then incr pos
+      else
+        let rec elems i =
+          value (Printf.sprintf "%s[%d]" path i);
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            incr pos;
+            elems (i + 1)
+          | ']' -> incr pos
+          | _ -> fail "expected ',' or ']'"
+        in
+        elems 0
+    | '"' -> out := (path, Printf.sprintf "%S" (parse_string ())) :: !out
+    | _ ->
+      let start = !pos in
+      while
+        !pos < n
+        && (match text.[!pos] with
+            | ',' | '}' | ']' | ' ' | '\n' | '\t' | '\r' -> false
+            | _ -> true)
+      do
+        incr pos
+      done;
+      if !pos = start then fail "expected a value";
+      out := (path, String.sub text start (!pos - start)) :: !out
+  in
+  value "";
+  List.rev !out
+
+let experiment_counters text =
+  List.filter
+    (fun (p, _) ->
+      String.length p >= 12 && String.sub p 0 12 = "experiments.")
+    (flatten_json text)
+
 (* CI gate: regenerate the deterministic experiment counters and require
    the committed snapshot to contain exactly that text. Timing estimates
-   drift with hardware and are deliberately not compared. *)
+   drift with hardware and are deliberately not compared. On a mismatch the
+   failure output lists only the drifted counters, one per line, as
+   path: snapshot vs regenerated — so the CI log pinpoints the drift
+   instead of burying it in the full fragment. *)
 let check_json ?seed path =
   let committed =
     let ic = open_in_bin path in
@@ -486,10 +629,47 @@ let check_json ?seed path =
   end
   else begin
     Printf.eprintf
-      "check FAILED: %s does not contain the regenerated experiment counters.\n\
-       Expected this fragment (regenerate the snapshot with --json if the \
-       change is intended):\n%s"
-      path expected;
+      "check FAILED: %s does not contain the regenerated experiment counters.\n"
+      path;
+    (match
+       ( experiment_counters committed,
+         experiment_counters ("{\n" ^ expected ^ "}\n") )
+     with
+     | exception Failure _ ->
+       (* Unparseable snapshot (or harness bug): fall back to the fragment. *)
+       Printf.eprintf
+         "Expected this fragment (regenerate the snapshot with --json if the \
+          change is intended):\n%s"
+         expected
+     | snapshot, regenerated ->
+       let drifted =
+         List.filter_map
+           (fun (p, want) ->
+             match List.assoc_opt p snapshot with
+             | Some got when got = want -> None
+             | Some got -> Some (Printf.sprintf "  %s: snapshot %s, regenerated %s" p got want)
+             | None -> Some (Printf.sprintf "  %s: missing from snapshot, regenerated %s" p want))
+           regenerated
+         @ List.filter_map
+             (fun (p, got) ->
+               if List.mem_assoc p regenerated then None
+               else
+                 Some
+                   (Printf.sprintf
+                      "  %s: snapshot %s, absent from the regenerated counters" p got))
+             snapshot
+       in
+       if drifted = [] then
+         Printf.eprintf
+           "Every counter agrees but the snapshot's experiments block is \
+            formatted differently; regenerate it with --json.\n"
+       else begin
+         Printf.eprintf "%d drifted counter(s) (of %d regenerated):\n"
+           (List.length drifted) (List.length regenerated);
+         List.iter prerr_endline drifted;
+         Printf.eprintf
+           "Regenerate the snapshot with --json if the change is intended.\n"
+       end);
     false
   end
 
@@ -589,6 +769,7 @@ let run_serve argv =
   let seed = ref 1
   and sessions = ref 8
   and waves = ref 400
+  and shards = ref 1
   and gate = ref false
   and report_path = ref "serve-report.txt"
   and journal_path = ref "serve-journal.txt"
@@ -607,6 +788,8 @@ let run_serve argv =
       int_arg "--sessions" n tl (fun v tl -> sessions := v; parse tl)
     | ("--waves" | "--steps") :: n :: tl ->
       int_arg "--waves" n tl (fun v tl -> waves := v; parse tl)
+    | "--shards" :: n :: tl ->
+      int_arg "--shards" n tl (fun v tl -> shards := v; parse tl)
     | "--check" :: tl ->
       gate := true;
       parse tl
@@ -619,20 +802,24 @@ let run_serve argv =
     | "--trace" :: p :: tl ->
       trace_path := Some p;
       parse tl
-    | [ ("--seed" | "--sessions" | "--waves" | "--steps" | "--report" | "--journal"
-        | "--trace") ] ->
+    | [ ("--seed" | "--sessions" | "--waves" | "--steps" | "--shards" | "--report"
+        | "--journal" | "--trace") ] ->
       prerr_endline
-        "--seed/--sessions/--waves require an integer, --report/--journal/--trace a path";
+        "--seed/--sessions/--waves/--shards require an integer, \
+         --report/--journal/--trace a path";
       exit 1
     | arg :: _ ->
       Printf.eprintf
         "unknown serve argument %S (expected --sessions N, --seed N, --waves N, \
-         --check, --report PATH, --journal PATH, --trace PATH)\n"
+         --shards N, --check, --report PATH, --journal PATH, --trace PATH)\n"
         arg;
       exit 1
   in
   parse argv;
-  let go () = Braid_serve.Soak.run ~sessions:!sessions ~seed:!seed ~waves:!waves () in
+  let go () =
+    Braid_serve.Soak.run ~shards:!shards ~sessions:!sessions ~seed:!seed
+      ~waves:!waves ()
+  in
   let report = with_trace !trace_path go in
   let text = Braid_serve.Soak.report_to_string report in
   print_string text;
@@ -643,6 +830,20 @@ let run_serve argv =
   in
   write !report_path (String.split_on_char '\n' text);
   write !journal_path report.Braid_serve.Soak.journal_dump;
+  (* One request journal per shard (CI uploads them on failure, so a sick
+     shard's exact fetch sequence is reconstructible from the artifacts). *)
+  List.iter
+    (fun (s : Braid_serve.Soak.shard_report) ->
+      let open Braid_serve.Soak in
+      write
+        (Printf.sprintf "%s.shard%d" !journal_path s.shard)
+        (Printf.sprintf
+           "# shard %d: %d requests, %d scanned, %d failures, %d stale serves, \
+            breaker %s"
+           s.shard s.sh_requests s.sh_scanned s.sh_failures s.sh_stale_serves
+           s.sh_breaker
+         :: s.sh_log))
+    report.Braid_serve.Soak.per_shard;
   Printf.printf "wrote %s, %s\n" !report_path !journal_path;
   if !gate then begin
     let text2 = Braid_serve.Soak.report_to_string (go ()) in

@@ -125,9 +125,9 @@ let caql data_files advice_file queries show_plan =
     (Braid.Cms.remote_stats cms).Braid_remote.Server.tuples_returned;
   0
 
-let repl () =
+let repl shards =
   print_endline Braid_serve.Repl.banner;
-  let session = Braid_serve.Repl.create () in
+  let session = Braid_serve.Repl.create ~shards () in
   let rec loop () =
     print_string "braid> ";
     match In_channel.input_line stdin with
@@ -220,8 +220,12 @@ let caql_cmd =
     Term.(const caql $ data $ advice $ queries $ show_plan)
 
 let repl_cmd =
+  let shards =
+    let doc = "Shard the remote DBMS across $(docv) partitions (1 = single server)." in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+  in
   Cmd.v (Cmd.info "repl" ~doc:"Interactive session (facts, rules, queries, cache inspection)")
-    Term.(const repl $ const ())
+    Term.(const repl $ shards)
 
 let experiments_cmd =
   let ids =

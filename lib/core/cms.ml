@@ -3,6 +3,7 @@ module CMgr = Braid_cache.Cache_manager
 module Journal = Braid_cache.Journal
 module Server = Braid_remote.Server
 module Rdi = Braid_remote.Rdi
+module Router = Braid_remote.Shard_router
 module TS = Braid_stream.Tuple_stream
 
 type t = {
@@ -12,16 +13,19 @@ type t = {
 }
 
 let create ?(config = Qpo.braid_config) ?(capacity_bytes = 8 * 1024 * 1024) ?rdi_policy
-    server =
+    ?router server =
   let cache = CMgr.create ~capacity_bytes () in
-  { qpo = Qpo.create ?rdi_policy config ~cache ~server; cache; server }
+  { qpo = Qpo.create ?rdi_policy ?router config ~cache ~server; cache; server }
 
 let qpo t = t.qpo
 let cache t = t.cache
 let server t = t.server
 let rdi t = Qpo.rdi t.qpo
-let rdi_stats t = Rdi.stats (rdi t)
-let set_rdi_policy t policy = Rdi.set_policy (rdi t) policy
+let router t = Qpo.router t.qpo
+let rdi_stats t = Qpo.rdi_stats t.qpo
+let set_rdi_policy t policy = Qpo.set_rdi_policy t.qpo policy
+let exec_remote t sql = Qpo.exec_remote t.qpo sql
+let route_signature t sql = Qpo.route_signature t.qpo sql
 
 let begin_session t advice = Qpo.set_advice t.qpo advice
 
@@ -57,7 +61,7 @@ type recovery_report = {
 }
 
 let recover ?(config = Qpo.braid_config) ?(capacity_bytes = 8 * 1024 * 1024) ?rdi_policy
-    ?(validate = fun _ -> true) ~journal:jnl server =
+    ?router ?(validate = fun _ -> true) ~journal:jnl server =
   let engine = Server.engine server in
   (* Generator content is volatile (only the memoized prefix ever existed in
      memory): recovered generators re-bind to ground-truth evaluation of
@@ -89,7 +93,7 @@ let recover ?(config = Qpo.braid_config) ?(capacity_bytes = 8 * 1024 * 1024) ?rd
       Braid_cache.Cache_model.remove model id)
     dropped;
   let cache = CMgr.create ~journal:jnl ~model ~capacity_bytes () in
-  let t = { qpo = Qpo.create ?rdi_policy config ~cache ~server; cache; server } in
+  let t = { qpo = Qpo.create ?rdi_policy ?router config ~cache ~server; cache; server } in
   ( t,
     {
       recovered;
@@ -100,7 +104,7 @@ let recover ?(config = Qpo.braid_config) ?(capacity_bytes = 8 * 1024 * 1024) ?rd
 
 let cache_summary t = Braid_cache.Cache_model.summary (CMgr.model t.cache)
 let metrics t = Qpo.metrics t.qpo
-let remote_stats t = Server.stats t.server
+let remote_stats t = Qpo.remote_stats t.qpo
 
 let set_trace t enabled = Qpo.set_trace t.qpo enabled
 let trace t = Qpo.trace t.qpo
@@ -110,4 +114,5 @@ let reset_metrics t =
   Qpo.reset_metrics t.qpo;
   Server.reset_stats t.server;
   Rdi.reset_stats (rdi t);
+  (match router t with Some r -> Router.reset_stats r | None -> ());
   CMgr.reset_stats t.cache

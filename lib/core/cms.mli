@@ -14,24 +14,42 @@ val create :
   ?config:Braid_planner.Qpo.config ->
   ?capacity_bytes:int ->
   ?rdi_policy:Braid_remote.Rdi.policy ->
+  ?router:Braid_remote.Shard_router.t ->
   Braid_remote.Server.t ->
   t
 (** [config] defaults to {!Braid_planner.Qpo.braid_config};
     [capacity_bytes] defaults to 8 MiB of cache; [rdi_policy] configures
     the resilient Remote DBMS Interface (retries, backoff, breaker,
-    degrade-to-cache). *)
+    degrade-to-cache). [router] shards the remote: fetches route through
+    {!Braid_remote.Shard_router.exec} with per-shard RDI instances, while
+    the server (the router's coordinator) stays the catalog authority. *)
 
 val qpo : t -> Braid_planner.Qpo.t
 val cache : t -> Braid_cache.Cache_manager.t
 val server : t -> Braid_remote.Server.t
 
 val rdi : t -> Braid_remote.Rdi.t
-(** The fault-tolerant interface all remote requests go through. *)
+(** The fault-tolerant interface all remote requests go through when the
+    remote is unsharded (see {!router}). *)
+
+val router : t -> Braid_remote.Shard_router.t option
+(** The shard router, when the remote is sharded. *)
 
 val rdi_stats : t -> Braid_remote.Rdi.stats
+(** RDI accounting on the fetch path — summed over shards when sharded. *)
+
 val set_rdi_policy : t -> Braid_remote.Rdi.policy -> unit
 (** Replaces the RDI policy; resets the breaker and the RDI's PRNG (so a
-    run under a new policy is reproducible from its seed). *)
+    run under a new policy is reproducible from its seed). When sharded,
+    every per-shard RDI gets the policy with its seed offset. *)
+
+val exec_remote : t -> Braid_remote.Sql.select -> Braid_remote.Rdi.outcome
+(** One resilient remote request on the fetch path (router or single RDI),
+    bypassing any installed fetcher hook. *)
+
+val route_signature : t -> Braid_remote.Sql.select -> string option
+(** Where the sharded remote would place this request; [None] when
+    unsharded. *)
 
 val begin_session : t -> Braid_advice.Ast.t -> unit
 (** Submit the session's advice (view specifications + path expression)
@@ -105,6 +123,7 @@ val recover :
   ?config:Braid_planner.Qpo.config ->
   ?capacity_bytes:int ->
   ?rdi_policy:Braid_remote.Rdi.policy ->
+  ?router:Braid_remote.Shard_router.t ->
   ?validate:(Braid_cache.Element.t -> bool) ->
   journal:Braid_cache.Journal.t ->
   Braid_remote.Server.t ->
@@ -113,8 +132,12 @@ val recover :
 val cache_summary : t -> Braid_cache.Cache_model.summary
 val metrics : t -> Braid_planner.Qpo.metrics
 val remote_stats : t -> Braid_remote.Server.stats
+(** Remote-side accounting on the fetch path: the single server, or the
+    field-wise sum over the shard fleet. *)
+
 val reset_metrics : t -> unit
-(** Resets planner and remote accounting; cache contents are kept. *)
+(** Resets planner and remote accounting (including per-shard servers and
+    router counters when sharded); cache contents are kept. *)
 
 val set_observer :
   t ->

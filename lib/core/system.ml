@@ -2,6 +2,7 @@ module L = Braid_logic
 module R = Braid_relalg
 module Qpo = Braid_planner.Qpo
 module Server = Braid_remote.Server
+module Router = Braid_remote.Shard_router
 module Engine = Braid_ie.Engine
 
 type t = {
@@ -11,7 +12,9 @@ type t = {
   server : Server.t;
 }
 
-let build ?cost ?config ?capacity_bytes ?strategy ?send_advice ~kb ~data () =
+let build ?cost ?config ?capacity_bytes ?strategy ?send_advice ?(shards = 1)
+    ?(partitioning = []) ~kb ~data () =
+  if shards < 1 then invalid_arg "System.build: shards must be >= 1";
   let server = Server.create ?cost () in
   List.iter
     (fun rel ->
@@ -20,7 +23,14 @@ let build ?cost ?config ?capacity_bytes ?strategy ?send_advice ~kb ~data () =
       if not (L.Kb.is_base kb name || L.Kb.is_derived kb name) then
         L.Kb.declare_base kb name ~arity:(R.Schema.arity (R.Relation.schema rel)))
     data;
-  let cms = Cms.create ?config ?capacity_bytes server in
+  List.iter
+    (fun (name, p) ->
+      Braid_remote.Catalog.set_partitioning (Server.catalog server) name (Some p))
+    partitioning;
+  let router =
+    if shards = 1 then None else Some (Router.create ~shards server)
+  in
+  let cms = Cms.create ?config ?capacity_bytes ?router server in
   let engine = Engine.create ?strategy ?send_advice kb (Cms.qpo cms) in
   { kb; cms; engine; server }
 
@@ -28,6 +38,7 @@ let kb t = t.kb
 let cms t = t.cms
 let engine t = t.engine
 let server t = t.server
+let router t = Cms.router t.cms
 
 let solve t query = Engine.solve t.engine query
 
@@ -44,8 +55,11 @@ let solve_text t text =
 
 let insert_remote t name tuple =
   (* [Engine.insert] maintains catalog stats and index buckets
-     incrementally ([Catalog.note_insert]); no rescan needed here. *)
-  Braid_remote.Engine.insert (Server.engine t.server) name tuple;
+     incrementally ([Catalog.note_insert]); no rescan needed here. When
+     sharded, the router also places the row on its owning shard. *)
+  (match router t with
+   | Some r -> Router.insert r name tuple
+   | None -> Braid_remote.Engine.insert (Server.engine t.server) name tuple);
   ignore (Cms.invalidate_table t.cms name)
 
 type metrics = {

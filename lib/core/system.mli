@@ -13,17 +13,29 @@ val build :
   ?capacity_bytes:int ->
   ?strategy:Braid_ie.Strategy.kind ->
   ?send_advice:bool ->
+  ?shards:int ->
+  ?partitioning:(string * Braid_remote.Catalog.partitioning) list ->
   kb:Braid_logic.Kb.t ->
   data:Braid_relalg.Relation.t list ->
   unit ->
   t
 (** Loads each relation into the remote DBMS (named after the relation) and
-    declares it in the knowledge base if not already declared. *)
+    declares it in the knowledge base if not already declared.
+
+    [shards] (default 1) > 1 puts a {!Braid_remote.Shard_router} between
+    the CMS and the remote: [partitioning] records each table's scheme in
+    the catalog first, then the loaded tables are sliced across the shards
+    (unpartitioned tables live whole on a deterministic home shard). *)
 
 val kb : t -> Braid_logic.Kb.t
 val cms : t -> Cms.t
 val engine : t -> Braid_ie.Engine.t
+
 val server : t -> Braid_remote.Server.t
+(** The remote server — the shard coordinator when sharded. *)
+
+val router : t -> Braid_remote.Shard_router.t option
+(** The shard router, when built with [shards > 1]. *)
 
 val solve : t -> Braid_logic.Atom.t -> Braid_stream.Tuple_stream.t * Braid_ie.Engine.report
 (** One session: advice generation + CAQL query sequence; solutions stream

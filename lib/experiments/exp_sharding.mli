@@ -1,0 +1,58 @@
+(** E16: sharded remote — partition pruning and per-shard fault isolation
+    (the {!Braid_remote.Shard_router} tentpole).
+
+    Three legs: the E13-style remote-bound query mix and the E14 serving
+    soak, each swept over 1/2/4/8 shards, plus a one-shard-down
+    availability run at 4 shards. All counters are deterministic — the
+    benchmark harness commits them to BENCH_relalg.json and CI gates on
+    byte-identity. *)
+
+(** One shard count of the loose-coupled query-mix sweep. *)
+type row = {
+  shards : int;
+  queries : int;
+  pinned : int;  (** requests the router answered from exactly one shard *)
+  fanouts : int;
+  gathers : int;
+  shards_touched : int;
+  shards_pruned : int;  (** shard-scans partition pruning avoided *)
+  scanned : int;  (** shard executor scans + the router's residual joins *)
+  fresh : int;
+  degraded : int;
+}
+
+(** One shard count of the serving-soak sweep (crash off). *)
+type soak_row = {
+  sk_shards : int;
+  sk_answered : int;
+  sk_fresh : int;
+  sk_degraded : int;
+  sk_pinned : int;
+  sk_fanouts : int;
+  sk_gathers : int;
+  sk_pruned : int;
+  sk_remote_requests : int;
+}
+
+(** The one-shard-down availability run: 4 shards, one poisoned at 100%
+    fault rate. [healthy_degraded] must be 0 — partition pruning confines
+    the brownout to the sick slice. *)
+type avail = {
+  av_shards : int;
+  sick_shard : int;
+  pinned_queries : int;
+  healthy_fresh : int;
+  healthy_degraded : int;
+  sick_queries : int;
+  sick_degraded : int;
+  scatter_queries : int;
+  scatter_degraded : int;
+}
+
+val run :
+  ?seed:int ->
+  ?size:int ->
+  ?distinct:int ->
+  ?waves:int ->
+  unit ->
+  (row list * soak_row list * avail) * Table.t

@@ -6,6 +6,7 @@ module CMgr = Braid_cache.Cache_manager
 module Elem = Braid_cache.Element
 module Server = Braid_remote.Server
 module Rdi = Braid_remote.Rdi
+module Router = Braid_remote.Shard_router
 module Catalog = Braid_remote.Catalog
 module CModel = Braid_remote.Cost_model
 module Sub = Braid_subsume.Subsumption
@@ -159,6 +160,10 @@ type t = {
   cache : CMgr.t;
   server : Server.t;
   rdi : Rdi.t;
+  router : Router.t option;
+      (* sharded remote: when present, fetches route through the shard
+         router's per-shard RDIs instead of [rdi], and remote accounting
+         aggregates over the shards *)
   default_session : session;
   mutable session_counter : int;
   stats : stats;
@@ -170,12 +175,16 @@ type t = {
 
 exception Unknown_relation = Braid_cache.Query_processor.Unknown_relation
 
-let create ?rdi_policy config ~cache ~server =
+let create ?rdi_policy ?router config ~cache ~server =
+  (match router with
+   | Some r -> (match rdi_policy with Some p -> Router.set_policy r p | None -> ())
+   | None -> ());
   {
     config;
     cache;
     server;
     rdi = Rdi.create ?policy:rdi_policy server;
+    router;
     default_session = fresh_session "main" { Braid_advice.Ast.specs = []; path = None };
     session_counter = 0;
     stats = fresh_stats ();
@@ -189,6 +198,29 @@ let config t = t.config
 let cache t = t.cache
 let server t = t.server
 let rdi t = t.rdi
+let router t = t.router
+
+(* Remote-side accounting: the single server, or the shard fleet summed. *)
+let remote_stats t =
+  match t.router with Some r -> Router.stats r | None -> Server.stats t.server
+
+let rdi_stats t =
+  match t.router with Some r -> Router.rdi_stats r | None -> Rdi.stats t.rdi
+
+let set_rdi_policy t p =
+  Rdi.set_policy t.rdi p;
+  match t.router with Some r -> Router.set_policy r p | None -> ()
+
+(* The resilient request primitive: per-shard RDIs behind the router when
+   sharded, the single RDI otherwise. The serving layer's coalescer calls
+   this as its fallback. *)
+let exec_remote t sql =
+  match t.router with Some r -> Router.exec r sql | None -> Rdi.exec t.rdi sql
+
+let route_signature t sql =
+  match t.router with
+  | Some r when Router.shard_count r > 1 -> Some (Router.route_signature r sql)
+  | Some _ | None -> None
 let advisor t = t.default_session.advisor
 
 let new_session t ?sid advice =
@@ -272,7 +304,7 @@ let uniq xs =
    identical/subsumed in-flight requests across concurrent sessions before
    falling back to the same RDI. *)
 let do_fetch t (def : A.conj) sql =
-  match t.fetcher with Some f -> f def sql | None -> Rdi.exec t.rdi sql
+  match t.fetcher with Some f -> f def sql | None -> exec_remote t sql
 
 (* One resilient remote request through the RDI. Always produces a
    relation: fresh, the RDI's last good response (stale), or — when the
@@ -960,7 +992,7 @@ let answer_conj_untraced t ses ?spec_id ?(prefer_lazy = false) (q : A.conj) =
   (* Pin predicted-next elements *before* this query's insertions can evict
      them (the replacement decision of §5.4 uses the tracker's position). *)
   update_pins t ses;
-  let before = Server.stats t.server in
+  let before = remote_stats t in
   let touched_before = (CMgr.stats t.cache).CMgr.tuples_touched in
   let stale_before = (CMgr.stats t.cache).CMgr.stale_touches in
   (* QPO step 1: possibly evaluate a generalization first. *)
@@ -1033,7 +1065,7 @@ let answer_conj_untraced t ses ?spec_id ?(prefer_lazy = false) (q : A.conj) =
   update_pins t ses;
   let pf_steps = prefetch_steps t ses (Option.map (fun s -> s.Braid_advice.Ast.id) spec) in
   (* Simulated timing with optional cache/remote overlap. *)
-  let after = Server.stats t.server in
+  let after = remote_stats t in
   let touched_total = (CMgr.stats t.cache).CMgr.tuples_touched - touched_before in
   let remote_ms =
     after.Server.server_ms -. before.Server.server_ms

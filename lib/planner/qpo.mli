@@ -62,13 +62,22 @@ type t
 
 val create :
   ?rdi_policy:Braid_remote.Rdi.policy ->
+  ?router:Braid_remote.Shard_router.t ->
   config ->
   cache:Braid_cache.Cache_manager.t ->
   server:Braid_remote.Server.t ->
   t
 (** [rdi_policy] configures the resilient Remote DBMS Interface the planner
     routes every remote request through (retries, backoff, breaker,
-    degrade-to-cache); defaults to {!Braid_remote.Rdi.default_policy}. *)
+    degrade-to-cache); defaults to {!Braid_remote.Rdi.default_policy}.
+
+    [router] shards the remote: when given (its coordinator should be
+    [server]), every fetch routes through
+    {!Braid_remote.Shard_router.exec} — partition-pruned to one shard or
+    scatter-gathered — under per-shard RDI instances carrying [rdi_policy]
+    (per-shard seed offsets), and {!remote_stats}/{!rdi_stats} aggregate
+    over the fleet. Without it the planner talks to the single [server]
+    exactly as before. *)
 
 val config : t -> config
 (** The configuration the planner was created with. *)
@@ -80,7 +89,32 @@ val server : t -> Braid_remote.Server.t
 (** The remote server behind {!rdi}. *)
 
 val rdi : t -> Braid_remote.Rdi.t
-(** The fault-tolerant remote interface all planner fetches go through. *)
+(** The fault-tolerant remote interface all planner fetches go through
+    when the remote is unsharded (see {!router}). *)
+
+val router : t -> Braid_remote.Shard_router.t option
+(** The shard router, when the remote is sharded. *)
+
+val remote_stats : t -> Braid_remote.Server.stats
+(** Remote-side accounting for this planner's fetch path: the single
+    server's stats, or the field-wise sum over the shard fleet. *)
+
+val rdi_stats : t -> Braid_remote.Rdi.stats
+(** The RDI accounting on the fetch path (summed over shards when
+    sharded). *)
+
+val set_rdi_policy : t -> Braid_remote.Rdi.policy -> unit
+(** Installs a new resilience policy on the fetch path — the single RDI
+    and, when sharded, every per-shard RDI (with its seed offset). *)
+
+val exec_remote : t -> Braid_remote.Sql.select -> Braid_remote.Rdi.outcome
+(** One resilient remote request on this planner's fetch path (router or
+    single RDI), bypassing any installed fetcher hook — the serving
+    layer's coalescer uses this as its miss fallback. *)
+
+val route_signature : t -> Braid_remote.Sql.select -> string option
+(** How the sharded remote would place this request (see
+    {!Braid_remote.Shard_router.route_signature}); [None] when unsharded. *)
 
 val advisor : t -> Braid_advice.Advisor.t
 (** The default session's advice manager (see {!new_session} for

@@ -6,6 +6,10 @@ type table_stats = {
   sorted_prefix : int;
 }
 
+type partitioning =
+  | Hash of { column : int }
+  | Range of { column : int; bounds : R.Value.t list }
+
 module V_set = Set.Make (struct
   type t = R.Value.t
 
@@ -14,6 +18,7 @@ end)
 
 type entry = {
   schema : R.Schema.t;
+  mutable partitioning : partitioning option;
   mutable stats : table_stats;
   mutable indexes : (int list * R.Index.t) list;
   mutable bitmaps : (int * R.Bitmap.t) list;
@@ -30,14 +35,53 @@ let create () = Hashtbl.create 16
 
 let register t name schema =
   let arity = R.Schema.arity schema in
+  (* Re-registering a table (e.g. a reload) keeps its partitioning scheme:
+     the scheme describes how the cluster stores the table, not one load. *)
+  let partitioning =
+    match Hashtbl.find_opt t name with Some e -> e.partitioning | None -> None
+  in
   Hashtbl.replace t name
     {
       schema;
+      partitioning;
       stats = { cardinality = 0; distinct_per_column = Array.make arity 0; sorted_prefix = arity };
       indexes = [];
       bitmaps = [];
       value_sets = Array.make arity V_set.empty;
     }
+
+let set_partitioning t name p =
+  match Hashtbl.find_opt t name with
+  | None -> invalid_arg ("Catalog.set_partitioning: unknown table " ^ name)
+  | Some entry ->
+    (match p with
+     | Some (Hash { column } | Range { column; _ })
+       when column < 0 || column >= R.Schema.arity entry.schema ->
+       invalid_arg ("Catalog.set_partitioning: column out of range for " ^ name)
+     | Some _ | None -> ());
+    entry.partitioning <- p
+
+let partitioning_of t name =
+  match Hashtbl.find_opt t name with
+  | None -> None
+  | Some entry -> entry.partitioning
+
+let partition_column = function Hash { column } | Range { column; _ } -> column
+
+(* Deterministic shard assignment — [Value.hash] is seed-free and
+   version-stable, so the same value lands on the same shard on every
+   machine (the property the CI counter gates rely on). *)
+let shard_of_value p ~shards v =
+  if shards <= 1 then 0
+  else
+    match p with
+    | Hash _ -> R.Value.hash v mod shards
+    | Range { bounds; _ } ->
+      let rec find i = function
+        | [] -> i
+        | b :: rest -> if R.Value.compare v b < 0 then i else find (i + 1) rest
+      in
+      Int.min (shards - 1) (find 0 bounds)
 
 (* Length of the longest column prefix on which the stored row order is
    lexicographically non-decreasing. The enumerator uses this to give

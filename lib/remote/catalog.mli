@@ -14,11 +14,33 @@ type table_stats = {
           single-row inserts (conservative). *)
 }
 
+type partitioning =
+  | Hash of { column : int }
+      (** row -> shard [Value.hash v mod shards] on the column's value *)
+  | Range of { column : int; bounds : Braid_relalg.Value.t list }
+      (** [bounds] are ascending split points: shard [i] holds rows whose
+          key is [< nth bounds i] (and the last shard the rest); with
+          fewer bounds than [shards - 1] the tail shards hold nothing *)
+
 type t
 
 val create : unit -> t
 
 val register : t -> string -> Braid_relalg.Schema.t -> unit
+
+val set_partitioning : t -> string -> partitioning option -> unit
+(** Records (or clears) how the sharded remote stores the table. Purely
+    declarative metadata — the {!Shard_router} consults it for routing and
+    slicing; a single unsharded server ignores it. Raises
+    [Invalid_argument] for unknown tables or out-of-range columns. *)
+
+val partitioning_of : t -> string -> partitioning option
+
+val partition_column : partitioning -> int
+
+val shard_of_value : partitioning -> shards:int -> Braid_relalg.Value.t -> int
+(** The shard a partition-key value belongs to, deterministic across runs
+    and machines (hash partitioning uses the seed-free {!Braid_relalg.Value.hash}). *)
 
 val refresh_stats : t -> string -> Braid_relalg.Relation.t -> unit
 (** Rescans the relation for cardinality/distinct counts and (re)builds the

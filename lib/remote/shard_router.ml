@@ -1,0 +1,544 @@
+module R = Braid_relalg
+module Obs = Braid_obs
+
+type route =
+  | Pinned of { shard : int; reason : [ `Key | `Home | `Colocated ] }
+  | Fanout of int list
+  | Gather of (Sql.source * int list) list
+
+type counters = {
+  requests : int;
+  pinned : int;
+  fanouts : int;
+  gathers : int;
+  shards_touched : int;
+  shards_pruned : int;
+  gather_scanned : int;
+}
+
+type t = {
+  coordinator : Server.t;
+  shards : Server.t array;
+  rdis : Rdi.t array;
+  mutable requests : int;
+  mutable pinned : int;
+  mutable fanouts : int;
+  mutable gathers : int;
+  mutable shards_touched : int;
+  mutable shards_pruned : int;
+  mutable gather_scanned : int;
+}
+
+let coordinator t = t.coordinator
+let catalog t = Server.catalog t.coordinator
+let cost_model t = Server.cost_model t.coordinator
+let shard_count t = Array.length t.shards
+let shard t i = t.shards.(i)
+let rdi t i = t.rdis.(i)
+let breakers t = Array.to_list (Array.map Rdi.breaker t.rdis)
+
+(* Each shard's RDI gets its own jitter stream: decorrelated backoff, and
+   — the point of per-shard policies — an independent breaker, so one sick
+   shard tripping open never fast-fails requests bound for healthy ones. *)
+let shard_policy policy i = { policy with Rdi.seed = policy.Rdi.seed + (101 * i) }
+
+(* Unpartitioned tables live whole on one deterministic home shard. *)
+let home t name =
+  if Array.length t.shards = 1 then 0
+  else R.Value.hash (R.Value.Str name) mod Array.length t.shards
+
+let owner_of_row t name tup =
+  match Catalog.partitioning_of (catalog t) name with
+  | None -> home t name
+  | Some p ->
+    let col = Catalog.partition_column p in
+    Catalog.shard_of_value p ~shards:(Array.length t.shards) (R.Tuple.get tup col)
+
+(* (Re)slice one coordinator table across the shards. Every shard gets the
+   table registered — possibly with an empty slice — so a fanned-out
+   request never hits an unknown-table error mid-scatter. *)
+let distribute t name =
+  let rel = Engine.table (Server.engine t.coordinator) name in
+  let schema = R.Relation.schema rel in
+  let n = Array.length t.shards in
+  let slices = Array.make n [] in
+  let add i tup = slices.(i) <- tup :: slices.(i) in
+  (match Catalog.partitioning_of (catalog t) name with
+   | None ->
+     let h = home t name in
+     R.Relation.iter (fun tup -> add h tup) rel
+   | Some p ->
+     let col = Catalog.partition_column p in
+     R.Relation.iter
+       (fun tup -> add (Catalog.shard_of_value p ~shards:n (R.Tuple.get tup col)) tup)
+       rel);
+  Array.iteri
+    (fun i rows ->
+      Engine.load (Server.engine t.shards.(i))
+        (R.Relation.of_tuples ~name schema (List.rev rows)))
+    slices
+
+let create ?(policy = Rdi.default_policy) ~shards coordinator =
+  if shards < 1 then invalid_arg "Shard_router.create: shards must be >= 1";
+  let cost = Server.cost_model coordinator in
+  let servers = Array.init shards (fun _ -> Server.create ~cost ()) in
+  let rdis =
+    Array.init shards (fun i -> Rdi.create ~policy:(shard_policy policy i) servers.(i))
+  in
+  let t =
+    {
+      coordinator;
+      shards = servers;
+      rdis;
+      requests = 0;
+      pinned = 0;
+      fanouts = 0;
+      gathers = 0;
+      shards_touched = 0;
+      shards_pruned = 0;
+      gather_scanned = 0;
+    }
+  in
+  List.iter (distribute t) (Catalog.tables (catalog t));
+  t
+
+let load t ?partitioning rel =
+  Engine.load (Server.engine t.coordinator) rel;
+  (match partitioning with
+   | Some _ as p -> Catalog.set_partitioning (catalog t) (R.Relation.name rel) p
+   | None -> ());
+  distribute t (R.Relation.name rel)
+
+let insert t name tup =
+  Engine.insert (Server.engine t.coordinator) name tup;
+  Engine.insert (Server.engine t.shards.(owner_of_row t name tup)) name tup
+
+(* --- routing --- *)
+
+let all_shards t = List.init (Array.length t.shards) Fun.id
+
+(* An equality in the WHERE clause pinning [alias.attr] to a constant. *)
+let pinned_const (q : Sql.select) alias attr =
+  List.find_map
+    (fun ((cmp, a, b) : Sql.cond) ->
+      if cmp <> R.Row_pred.Eq then None
+      else
+        match (a, b) with
+        | Sql.Col c, Sql.Const v when c.Sql.src = alias && c.Sql.attr = attr -> Some v
+        | Sql.Const v, Sql.Col c when c.Sql.src = alias && c.Sql.attr = attr -> Some v
+        | _ -> None)
+    q.Sql.where
+
+let semijoin_on (q : Sql.select) alias attr =
+  List.find_map
+    (fun ((c, vs) : Sql.col * R.Value.t list) ->
+      if c.Sql.src = alias && c.Sql.attr = attr then Some vs else None)
+    q.Sql.semijoins
+
+let sort_uniq_ints = List.sort_uniq Int.compare
+
+(* The shards that can hold rows of [s] relevant to [q]: the single home
+   shard for unpartitioned tables; the one shard a partition-key equality
+   pins; the value-mapped subset for a partition-key semi-join filter;
+   otherwise every shard. *)
+let source_targets t (q : Sql.select) (s : Sql.source) =
+  let cat = catalog t in
+  match Catalog.partitioning_of cat s.Sql.table with
+  | None -> [ home t s.Sql.table ]
+  | Some p ->
+    let shards = Array.length t.shards in
+    (match Catalog.schema_of cat s.Sql.table with
+     | None -> all_shards t
+     | Some schema ->
+       let attr = R.Schema.name_at schema (Catalog.partition_column p) in
+       (match pinned_const q s.Sql.alias attr with
+        | Some v -> [ Catalog.shard_of_value p ~shards v ]
+        | None ->
+          (match semijoin_on q s.Sql.alias attr with
+           | Some vs ->
+             (* an empty filter matches nothing — any one shard returns the
+                (empty) answer; pick shard 0 for determinism *)
+             (match sort_uniq_ints (List.map (Catalog.shard_of_value p ~shards) vs) with
+              | [] -> [ 0 ]
+              | is -> is)
+           | None -> all_shards t)))
+
+(* Are all sources co-partitioned on join keys the query equates? Then
+   every joinable pair of rows lives on the same shard and the join is
+   shard-local: scatter the whole query, union the slices. We require every
+   source partitioned by the same scheme kind (identical bounds for range)
+   and the partition columns pairwise connected through [a.x = b.y]
+   equality conditions. *)
+let colocated t (q : Sql.select) =
+  let cat = catalog t in
+  let keys =
+    List.map
+      (fun (s : Sql.source) ->
+        match Catalog.partitioning_of cat s.Sql.table with
+        | None -> None
+        | Some p ->
+          (match Catalog.schema_of cat s.Sql.table with
+           | None -> None
+           | Some schema ->
+             Some (s, p, (s.Sql.alias, R.Schema.name_at schema (Catalog.partition_column p)))))
+      q.Sql.from
+  in
+  if List.exists (fun k -> k = None) keys then None
+  else begin
+    let keys = List.filter_map Fun.id keys in
+    let compatible =
+      match keys with
+      | [] -> false
+      | (_, p0, _) :: rest ->
+        List.for_all
+          (fun (_, p, _) ->
+            match (p0, p) with
+            | Catalog.Hash _, Catalog.Hash _ -> true
+            | Catalog.Range { bounds = b0; _ }, Catalog.Range { bounds = b; _ } ->
+              List.length b0 = List.length b
+              && List.for_all2 (fun x y -> R.Value.compare x y = 0) b0 b
+            | (Catalog.Hash _ | Catalog.Range _), _ -> false)
+          rest
+    in
+    if not compatible then None
+    else begin
+      (* connectivity of partition keys under the query's col=col equalities *)
+      let eqs =
+        List.filter_map
+          (fun ((cmp, a, b) : Sql.cond) ->
+            match (cmp, a, b) with
+            | R.Row_pred.Eq, Sql.Col x, Sql.Col y ->
+              Some ((x.Sql.src, x.Sql.attr), (y.Sql.src, y.Sql.attr))
+            | _ -> None)
+          q.Sql.where
+      in
+      let closure cls =
+        let grow cls (x, y) =
+          let cx = List.exists (fun c -> List.mem x c) cls in
+          let cy = List.exists (fun c -> List.mem y c) cls in
+          match (cx, cy) with
+          | true, true ->
+            let a = List.find (fun c -> List.mem x c) cls in
+            let b = List.find (fun c -> List.mem y c) cls in
+            if a == b then cls else (a @ b) :: List.filter (fun c -> c != a && c != b) cls
+          | true, false ->
+            List.map (fun c -> if List.mem x c then y :: c else c) cls
+          | false, true ->
+            List.map (fun c -> if List.mem y c then x :: c else c) cls
+          | false, false -> [ x; y ] :: cls
+        in
+        List.fold_left grow cls eqs
+      in
+      let cls = closure (closure []) in
+      let same_class a b =
+        a = b || List.exists (fun c -> List.mem a c && List.mem b c) cls
+      in
+      match keys with
+      | [] -> None
+      | (_, _, k0) :: rest ->
+        if List.for_all (fun (_, _, k) -> same_class k0 k) rest then Some keys
+        else None
+    end
+  end
+
+let route t (q : Sql.select) =
+  if Array.length t.shards = 1 then Pinned { shard = 0; reason = `Home }
+  else
+    match q.Sql.from with
+    | [ s ] ->
+      (match source_targets t q s with
+       | [ i ] ->
+         let reason =
+           if Catalog.partitioning_of (catalog t) s.Sql.table = None then `Home
+           else `Key
+         in
+         Pinned { shard = i; reason }
+       | is -> Fanout is)
+    | sources ->
+      let per_source = List.map (fun s -> (s, source_targets t q s)) sources in
+      (match colocated t q with
+       | Some _ ->
+         (* shard-local join: intersect the per-source targets — a pinned
+            source prunes the scatter for every co-partitioned peer *)
+         let inter =
+           List.fold_left
+             (fun acc (_, is) -> List.filter (fun i -> List.mem i is) acc)
+             (all_shards t) per_source
+         in
+         (match inter with
+          | [ i ] -> Pinned { shard = i; reason = `Colocated }
+          | [] ->
+            (* conflicting pins on equated keys: provably empty; any pinned
+               shard evaluates to the empty answer *)
+            (match List.find_opt (fun (_, is) -> List.length is = 1) per_source with
+             | Some (_, [ i ]) -> Pinned { shard = i; reason = `Colocated }
+             | _ -> Fanout (all_shards t))
+          | is -> Fanout is)
+       | None ->
+         (* not co-partitioned, but if every source independently resolves
+            to the same single shard the join is still local to it *)
+         let singles =
+           List.map
+             (fun (_, is) -> match is with [ i ] -> Some i | _ -> None)
+             per_source
+         in
+         (match singles with
+          | Some i :: rest when List.for_all (fun s -> s = Some i) rest ->
+            Pinned { shard = i; reason = `Colocated }
+          | _ -> Gather per_source))
+
+let route_to_string = function
+  | Pinned { shard; reason } ->
+    Printf.sprintf "pinned:%d%s" shard
+      (match reason with `Key -> "" | `Home -> ":home" | `Colocated -> ":colocated")
+  | Fanout is ->
+    Printf.sprintf "fanout:%s" (String.concat "," (List.map string_of_int is))
+  | Gather srcs ->
+    Printf.sprintf "gather:%s"
+      (String.concat ";"
+         (List.map
+            (fun ((s : Sql.source), is) ->
+              Printf.sprintf "%s->%s" s.Sql.alias
+                (String.concat "," (List.map string_of_int is)))
+            srcs))
+
+let route_signature t q = route_to_string (route t q)
+
+(* --- execution --- *)
+
+let first_failure outcomes =
+  List.find_map
+    (function
+      | _, Rdi.Fresh _ -> None
+      | _, Rdi.Stale (_, f) -> Some f
+      | _, Rdi.Failed f -> Some f)
+    outcomes
+
+(* Union the per-shard slices, in shard order, into one relation. Hash and
+   range partitions hold disjoint rows, so the bag union is exact; a
+   DISTINCT request still needs a cross-shard re-distinct because each
+   shard de-duplicated only its own slice. *)
+let merge_outcomes (q : Sql.select) outcomes =
+  let rels =
+    List.filter_map
+      (function
+        | _, Rdi.Fresh rel -> Some rel
+        | _, Rdi.Stale (rel, _) -> Some rel
+        | _, Rdi.Failed _ -> None)
+      outcomes
+  in
+  match rels with
+  | [] ->
+    (match first_failure outcomes with
+     | Some f -> Rdi.Failed f
+     | None -> Rdi.Failed (Rdi.Remote_fault Fault.Transient))
+  | first :: rest ->
+    let merged = List.fold_left R.Ops.union_all first rest in
+    let merged = if q.Sql.distinct then R.Relation.distinct merged else merged in
+    (match first_failure outcomes with
+     | None -> Rdi.Fresh merged
+     | Some f -> Rdi.Stale (merged, f))
+
+let exec_fanout t (q : Sql.select) targets =
+  t.fanouts <- t.fanouts + 1;
+  t.shards_touched <- t.shards_touched + List.length targets;
+  t.shards_pruned <- t.shards_pruned + (Array.length t.shards - List.length targets);
+  Obs.Metrics.incr "shard.fanout";
+  Obs.Trace.instant ~cat:"shard" "shard.fanout"
+    ~args:
+      [
+        ("shards", Obs.Trace.Int (List.length targets));
+        ("sql", Obs.Trace.Str (Sql.to_string q));
+      ];
+  merge_outcomes q (List.map (fun i -> (i, Rdi.exec t.rdis.(i) q)) targets)
+
+let exec_pinned t (q : Sql.select) shard =
+  t.pinned <- t.pinned + 1;
+  t.shards_touched <- t.shards_touched + 1;
+  t.shards_pruned <- t.shards_pruned + (Array.length t.shards - 1);
+  Obs.Metrics.incr "shard.pinned";
+  Rdi.exec t.rdis.(shard) q
+
+(* Conditions a single-source sub-fetch can take with it: anything that
+   mentions only this source's columns and constants. *)
+let local_conds (q : Sql.select) alias =
+  let local = function
+    | Sql.Const _ -> true
+    | Sql.Col c -> c.Sql.src = alias
+  in
+  List.filter (fun ((_, a, b) : Sql.cond) -> local a && local b) q.Sql.where
+
+(* Scatter-gather for a join the shards cannot answer locally: fetch each
+   source's relevant slices (source-local predicates and semi-join filters
+   pushed down), union them per source, and run the residual join on a
+   scratch engine at the router. The per-shard scans are charged where
+   they happened; the router's own join work is reported in
+   [counters.gather_scanned]. *)
+let exec_gather t (q : Sql.select) per_source =
+  t.gathers <- t.gathers + 1;
+  Obs.Metrics.incr "shard.gather";
+  let scratch = Engine.create () in
+  let degraded = ref None in
+  let failed = ref None in
+  List.iter
+    (fun ((s : Sql.source), targets) ->
+      if !failed = None then begin
+        let sub =
+          {
+            Sql.distinct = false;
+            columns = [];
+            from = [ s ];
+            where = local_conds q s.Sql.alias;
+            semijoins =
+              List.filter (fun ((c, _) : Sql.col * _) -> c.Sql.src = s.Sql.alias)
+                q.Sql.semijoins;
+          }
+        in
+        t.shards_touched <- t.shards_touched + List.length targets;
+        t.shards_pruned <-
+          t.shards_pruned + (Array.length t.shards - List.length targets);
+        let outcome =
+          merge_outcomes sub (List.map (fun i -> (i, Rdi.exec t.rdis.(i) sub)) targets)
+        in
+        match outcome with
+        | Rdi.Failed f -> failed := Some f
+        | Rdi.Fresh rel | Rdi.Stale (rel, _) ->
+          (match outcome with
+           | Rdi.Stale (_, f) when !degraded = None -> degraded := Some f
+           | _ -> ());
+          (* the slice comes back with qualified attribute names; restore
+             the base schema and park it under the source's alias so the
+             residual join runs unchanged *)
+          let base =
+            match Catalog.schema_of (catalog t) s.Sql.table with
+            | Some schema -> schema
+            | None -> R.Relation.schema rel
+          in
+          Engine.load scratch
+            (R.Relation.with_name s.Sql.alias (R.Relation.with_schema base rel))
+      end)
+    per_source;
+  match !failed with
+  | Some f -> Rdi.Failed f
+  | None ->
+    let residual =
+      {
+        q with
+        Sql.from =
+          List.map
+            (fun (s : Sql.source) -> { Sql.table = s.Sql.alias; alias = s.Sql.alias })
+            q.Sql.from;
+      }
+    in
+    let rel, scanned = Engine.execute scratch residual in
+    t.gather_scanned <- t.gather_scanned + scanned;
+    (match !degraded with
+     | None -> Rdi.Fresh rel
+     | Some f -> Rdi.Stale (rel, f))
+
+let exec t (q : Sql.select) =
+  let r = route t q in
+  t.requests <- t.requests + 1;
+  Obs.Trace.with_span ~cat:"shard" "shard.route"
+    ~args:
+      [
+        ("route", Obs.Trace.Str (route_to_string r));
+        ("sql", Obs.Trace.Str (Sql.to_string q));
+      ]
+    (fun () ->
+      match r with
+      | Pinned { shard; _ } -> exec_pinned t q shard
+      | Fanout targets -> exec_fanout t q targets
+      | Gather per_source -> exec_gather t q per_source)
+
+(* --- faults, policies, accounting --- *)
+
+let set_faults t ~shard config =
+  if shard < 0 || shard >= Array.length t.shards then
+    invalid_arg "Shard_router.set_faults: shard out of range";
+  Server.set_faults t.shards.(shard) config
+
+let set_faults_all t config =
+  Array.iter (fun s -> Server.set_faults s config) t.shards
+
+let set_policy t policy =
+  Array.iteri (fun i r -> Rdi.set_policy r (shard_policy policy i)) t.rdis
+
+let stats t =
+  Array.fold_left
+    (fun (acc : Server.stats) s ->
+      let st = Server.stats s in
+      {
+        Server.requests = acc.Server.requests + st.Server.requests;
+        tuples_returned = acc.Server.tuples_returned + st.Server.tuples_returned;
+        tuples_scanned = acc.Server.tuples_scanned + st.Server.tuples_scanned;
+        server_ms = acc.Server.server_ms +. st.Server.server_ms;
+        comm_ms = acc.Server.comm_ms +. st.Server.comm_ms;
+        faults_injected = acc.Server.faults_injected + st.Server.faults_injected;
+        injected_ms = acc.Server.injected_ms +. st.Server.injected_ms;
+      })
+    {
+      Server.requests = 0;
+      tuples_returned = 0;
+      tuples_scanned = 0;
+      server_ms = 0.0;
+      comm_ms = 0.0;
+      faults_injected = 0;
+      injected_ms = 0.0;
+    }
+    t.shards
+
+let shard_stats t = Array.to_list (Array.map Server.stats t.shards)
+
+let rdi_stats t =
+  Array.fold_left
+    (fun (acc : Rdi.stats) r ->
+      let st = Rdi.stats r in
+      {
+        Rdi.requests = acc.Rdi.requests + st.Rdi.requests;
+        attempts = acc.Rdi.attempts + st.Rdi.attempts;
+        retries = acc.Rdi.retries + st.Rdi.retries;
+        failures = acc.Rdi.failures + st.Rdi.failures;
+        deadline_misses = acc.Rdi.deadline_misses + st.Rdi.deadline_misses;
+        trips = acc.Rdi.trips + st.Rdi.trips;
+        fast_fails = acc.Rdi.fast_fails + st.Rdi.fast_fails;
+        half_open_probes = acc.Rdi.half_open_probes + st.Rdi.half_open_probes;
+        stale_serves = acc.Rdi.stale_serves + st.Rdi.stale_serves;
+        backoff_ms = acc.Rdi.backoff_ms +. st.Rdi.backoff_ms;
+      })
+    {
+      Rdi.requests = 0;
+      attempts = 0;
+      retries = 0;
+      failures = 0;
+      deadline_misses = 0;
+      trips = 0;
+      fast_fails = 0;
+      half_open_probes = 0;
+      stale_serves = 0;
+      backoff_ms = 0.0;
+    }
+    t.rdis
+
+let counters t =
+  {
+    requests = t.requests;
+    pinned = t.pinned;
+    fanouts = t.fanouts;
+    gathers = t.gathers;
+    shards_touched = t.shards_touched;
+    shards_pruned = t.shards_pruned;
+    gather_scanned = t.gather_scanned;
+  }
+
+let reset_stats t =
+  Server.reset_stats t.coordinator;
+  Array.iter Server.reset_stats t.shards;
+  Array.iter Rdi.reset_stats t.rdis;
+  t.requests <- 0;
+  t.pinned <- 0;
+  t.fanouts <- 0;
+  t.gathers <- 0;
+  t.shards_touched <- 0;
+  t.shards_pruned <- 0;
+  t.gather_scanned <- 0

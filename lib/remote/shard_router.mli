@@ -1,0 +1,124 @@
+(** Scatter-gather router over a partitioned fleet of remote servers.
+
+    The ROADMAP's scale-out step: instead of one {!Server} absorbing every
+    fetch, the remote is split into [N] shards, each a full {!Server} with
+    its own fault injector and its own {!Rdi} policy instance (independent
+    circuit breaker, decorrelated jitter seed) — a sick shard degrades only
+    its slice of the data while healthy shards keep answering Fresh.
+
+    The {e coordinator} server passed to {!create} keeps the complete data
+    set and stays the catalog/statistics authority, the consistency
+    oracle's ground truth, and the recovery source — but its engine is
+    never executed for sharded fetches; all query traffic goes through
+    {!exec}, which routes per the {!Catalog.partitioning} metadata:
+
+    - {b pinned}: a single-source fetch whose WHERE clause pins the
+      partition key to a constant (or whose semi-join filter maps to one
+      shard), an unpartitioned table's home shard, or a multi-source fetch
+      whose sources all resolve to the same shard — exactly one shard is
+      charged;
+    - {b fan-out}: everything else over one source, and joins whose
+      partition keys the query equates (co-partitioned, shard-local) —
+      scatter to the relevant shards, union the slices in shard order,
+      re-[DISTINCT] when the request asked for it;
+    - {b gather}: a join the shards cannot answer locally — fetch each
+      source's slices with source-local predicates and semi-join filters
+      pushed down, then run the residual join on a scratch engine at the
+      router (its scan work reported in [counters.gather_scanned]).
+
+    Outcome merging is degradation-aware: all slices Fresh ⇒ Fresh; any
+    slice degraded or missing ⇒ [Stale] (the merged subset — compatible
+    with the oracle's subset rule); nothing at all ⇒ [Failed].
+    {!Fault.Injected}[ Crash] propagates unhandled, as with a single RDI.
+
+    Everything stays deterministic: {!Catalog.shard_of_value} is seed-free,
+    per-shard RDI seeds are fixed offsets of the base policy seed, and
+    merges happen in shard order — the E16 counters in BENCH_relalg.json
+    are byte-identical across runs. *)
+
+type t
+
+(** How {!exec} will place one request. *)
+type route =
+  | Pinned of { shard : int; reason : [ `Key | `Home | `Colocated ] }
+  | Fanout of int list
+  | Gather of (Sql.source * int list) list
+      (** per-source shard targets for a router-side join *)
+
+(** Cumulative routing decisions (reset by {!reset_stats}). *)
+type counters = {
+  requests : int;
+  pinned : int;  (** requests answered by exactly one shard *)
+  fanouts : int;
+  gathers : int;
+  shards_touched : int;  (** sum over requests of shards contacted *)
+  shards_pruned : int;  (** sum over requests of shards skipped *)
+  gather_scanned : int;  (** tuples the router's own residual joins scanned *)
+}
+
+val create : ?policy:Rdi.policy -> shards:int -> Server.t -> t
+(** Stands up [shards] servers (sharing the coordinator's cost model) and
+    slices every table currently loaded on the coordinator across them per
+    its {!Catalog.partitioning}; unpartitioned tables live whole on a
+    deterministic home shard. Each shard's RDI runs [policy] (default
+    {!Rdi.default_policy}) with a per-shard seed offset.
+    Raises [Invalid_argument] when [shards < 1]. *)
+
+val coordinator : t -> Server.t
+val catalog : t -> Catalog.t
+val cost_model : t -> Cost_model.t
+val shard_count : t -> int
+
+val shard : t -> int -> Server.t
+(** The i-th shard's server (fault injection, per-shard stats). *)
+
+val rdi : t -> int -> Rdi.t
+val breakers : t -> Rdi.breaker_state list
+
+val home : t -> string -> int
+(** The home shard of an unpartitioned table (hash of its name). *)
+
+val owner_of_row : t -> string -> Braid_relalg.Tuple.t -> int
+
+val load : t -> ?partitioning:Catalog.partitioning -> Braid_relalg.Relation.t -> unit
+(** Loads (or replaces) the table on the coordinator, records
+    [partitioning] when given, and (re)distributes the slices. *)
+
+val insert : t -> string -> Braid_relalg.Tuple.t -> unit
+(** Inserts into the coordinator (catalog authority) and the owning shard. *)
+
+val distribute : t -> string -> unit
+(** Reslices one coordinator table, e.g. after changing its partitioning. *)
+
+val route : t -> Sql.select -> route
+(** The routing decision alone — pure, no execution, no counters. *)
+
+val route_to_string : route -> string
+
+val route_signature : t -> Sql.select -> string
+(** [route_to_string (route t q)]; the coalescer keys in-flight windows on
+    it and [:explain] prints it. *)
+
+val exec : t -> Sql.select -> Rdi.outcome
+(** One routed request (see the routing/merging rules above). Emits a
+    [shard.route] span, [shard.fanout] instants, and [shard.*] metrics. *)
+
+val set_faults : t -> shard:int -> Fault.config option -> unit
+(** Per-shard brownout profile — the one-shard-down experiments poison a
+    single shard and assert the others stay Fresh. *)
+
+val set_faults_all : t -> Fault.config option -> unit
+
+val set_policy : t -> Rdi.policy -> unit
+(** Re-seeds every shard's RDI with its per-shard offset of [policy]. *)
+
+val stats : t -> Server.stats
+(** Field-wise sum over the shard servers (the coordinator, never executed
+    through {!exec}, is excluded). *)
+
+val shard_stats : t -> Server.stats list
+val rdi_stats : t -> Rdi.stats
+(** Field-wise sum over the per-shard RDIs. *)
+
+val counters : t -> counters
+val reset_stats : t -> unit

@@ -4,6 +4,7 @@ module Sub = Braid_subsume.Subsumption
 module Rdi = Braid_remote.Rdi
 module Sql = Braid_remote.Sql
 module CMgr = Braid_cache.Cache_manager
+module Cms = Braid.Cms
 module Obs = Braid_obs
 
 type stats = {
@@ -16,11 +17,18 @@ type stats = {
 
 (* One in-flight fetch of the current wave. [outcome] only ever holds
    [Fresh] or [Stale] — failures are not remembered (the RDI's breaker is
-   the right place to bound repeated failures). *)
-type entry = { def : A.conj; sql_text : string; outcome : Rdi.outcome }
+   the right place to bound repeated failures). [route] is where the
+   sharded remote placed the fetch ([None] when unsharded). *)
+type entry = {
+  def : A.conj;
+  sql_text : string;
+  route : string option;
+  outcome : Rdi.outcome;
+}
 
 type t = {
-  rdi : Rdi.t;
+  exec : Sql.select -> Rdi.outcome;
+  route_of : Sql.select -> string option;
   cache : CMgr.t;
   mutable window : entry list; (* oldest first: reuse prefers the earliest fetch *)
   mutable active : bool;
@@ -31,10 +39,11 @@ type t = {
   mutable rounds : int;
 }
 
-let create rdi cache =
+let create cms =
   {
-    rdi;
-    cache;
+    exec = Cms.exec_remote cms;
+    route_of = Cms.route_signature cms;
+    cache = Cms.cache cms;
     window = [];
     active = false;
     requests = 0;
@@ -62,21 +71,38 @@ let derive t cover (q : A.conj) rel =
   let rewritten = Sub.rewrite q cover in
   CMgr.eval t.cache ~extra:[ (cover.Sub.element_id, rel) ] (A.Conj rewritten)
 
-let try_window t (q : A.conj) text =
+let try_window t (q : A.conj) text route =
   let subsumes entry =
+    (* Shard-aware reuse gate: a Stale in-flight response means some shard
+       on ITS route degraded. Deriving from it is only faithful when the
+       new request would have touched the same shards — a request pinned
+       elsewhere (different route) would have come back Fresh, so it goes
+       to the remote instead of inheriting staleness. Fresh entries are a
+       true superset wherever they were fetched and reuse freely. *)
+    let route_ok =
+      match entry.outcome with
+      | Rdi.Fresh _ -> true
+      | Rdi.Stale _ | Rdi.Failed _ -> entry.route = route
+    in
     let rel =
       match entry.outcome with
       | Rdi.Fresh rel | Rdi.Stale (rel, _) -> Some rel
       | Rdi.Failed _ -> None
     in
     match rel with
-    | Some rel when R.Schema.arity (R.Relation.schema rel) = List.length entry.def.A.head ->
+    | Some rel
+      when route_ok
+           && R.Schema.arity (R.Relation.schema rel) = List.length entry.def.A.head ->
       (match Sub.full_cover { Sub.id = "__inflight"; def = entry.def } q with
        | Some cover -> Some (entry, cover, rel)
        | None -> None)
     | Some _ | None -> None
   in
-  match List.find_opt (fun e -> e.sql_text = text) t.window with
+  (* Identical reuse keys on (sql text, route): the route is a function of
+     the text, so this equals the old text key when unsharded — but keeping
+     the route in the key means a re-partitioned window (no such event
+     today) could never alias two placements. *)
+  match List.find_opt (fun e -> e.sql_text = text && e.route = route) t.window with
   | Some entry -> Some (`Identical entry.outcome)
   | None ->
     (match List.find_map subsumes t.window with
@@ -89,11 +115,12 @@ let try_window t (q : A.conj) text =
      | None -> None)
 
 let fetch t (def : A.conj) sql =
-  if not t.active then Rdi.exec t.rdi sql
+  if not t.active then t.exec sql
   else begin
     t.requests <- t.requests + 1;
     let text = Sql.to_string sql in
-    match try_window t def text with
+    let route = t.route_of sql in
+    match try_window t def text route with
     | Some (`Identical outcome) ->
       t.identical_hits <- t.identical_hits + 1;
       Obs.Metrics.incr "serve.coalesce.identical";
@@ -109,7 +136,7 @@ let fetch t (def : A.conj) sql =
     | None ->
       t.misses <- t.misses + 1;
       Obs.Metrics.incr "serve.coalesce.miss";
-      let outcome = Rdi.exec t.rdi sql in
+      let outcome = t.exec sql in
       (* A semi-join-filtered request returns only a subset of its
          definition's extension: it must never seed the window, or a later
          unfiltered request could be answered from the subset. (Serving a
@@ -117,7 +144,7 @@ let fetch t (def : A.conj) sql =
          superset is cut down by the local join.) *)
       (match outcome with
        | (Rdi.Fresh _ | Rdi.Stale _) when not (Sql.has_semijoin sql) ->
-         t.window <- t.window @ [ { def; sql_text = text; outcome } ]
+         t.window <- t.window @ [ { def; sql_text = text; route; outcome } ]
        | Rdi.Fresh _ | Rdi.Stale _ | Rdi.Failed _ -> ());
       outcome
   end

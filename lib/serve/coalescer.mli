@@ -19,7 +19,17 @@
     is valid {e only} within one wave: [begin_round]/[end_round] bracket
     it, and a fetch arriving outside any round bypasses the window
     entirely (a later single-session query must not read a response that
-    cache inserts may since have superseded). *)
+    cache inserts may since have superseded).
+
+    Over a {e sharded} remote ({!Braid.Cms.router}) the window keys are
+    shard-aware: entries record their
+    {!Braid_remote.Shard_router.route_signature}, identical reuse matches
+    on (SQL text, route), and a {e Stale} in-flight response is only
+    reused for a request with the same route — a request pinned to a
+    healthy shard must not inherit another placement's degradation (Fresh
+    entries, being true supersets, reuse freely). Misses go through
+    {!Braid.Cms.exec_remote}, i.e. the shard router when one is
+    installed. *)
 
 type stats = {
   requests : int;  (** fetches routed through the coalescer *)
@@ -31,10 +41,12 @@ type stats = {
 
 type t
 
-val create : Braid_remote.Rdi.t -> Braid_cache.Cache_manager.t -> t
-(** [cache] is only used to evaluate the compensating
-    selection/projection of subsumed reuse (its touched-tuple accounting
-    charges the derivation as local work). *)
+val create : Braid.Cms.t -> t
+(** Coalesces over the CMS's remote fetch path ({!Braid.Cms.exec_remote}:
+    the shard router when sharded, the single RDI otherwise). The CMS's
+    cache is only used to evaluate the compensating selection/projection
+    of subsumed reuse (its touched-tuple accounting charges the
+    derivation as local work). *)
 
 val begin_round : t -> unit
 (** Opens a wave: clears the window and starts coalescing. *)
@@ -46,7 +58,7 @@ val end_round : t -> unit
 val fetch : t -> Braid_caql.Ast.conj -> Braid_remote.Sql.select -> Braid_remote.Rdi.outcome
 (** The planner-facing fetch hook (install with
     {!Braid.Cms.set_fetcher}): answer from the wave's window when
-    possible, otherwise {!Braid_remote.Rdi.exec} and remember the outcome
+    possible, otherwise {!Braid.Cms.exec_remote} and remember the outcome
     for the rest of the wave. *)
 
 val stats : t -> stats

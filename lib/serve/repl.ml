@@ -11,6 +11,7 @@ module Baselines = Braid.Baselines
 type t = {
   mutable config : Qpo.config;
   mutable strategy : Braid_ie.Strategy.kind;
+  mutable shards : int; (* 1 = single-server remote *)
   mutable clauses : string list; (* rule clauses, oldest first *)
   facts : (string, R.Relation.t) Hashtbl.t; (* base relations typed in or loaded *)
   mutable sys : System.t option; (* rebuilt lazily after changes *)
@@ -19,10 +20,11 @@ type t = {
   mutable tracing : bool;
 }
 
-let create ?(config = Qpo.braid_config) () =
+let create ?(config = Qpo.braid_config) ?(shards = 1) () =
   {
     config;
     strategy = Braid_ie.Strategy.Interpretive;
+    shards = max 1 shards;
     clauses = [];
     facts = Hashtbl.create 16;
     sys = None;
@@ -51,6 +53,7 @@ let commands_help =
   \  :spans [N]                         last N recorded spans (default 15); needs :trace on\n\
   \  :journal [N]                       last N cache journal entries (default 20) + epoch\n\
   \  :sessions                          serving sessions (queued/running/shed per session)\n\
+  \  :shards [N]                        show or set the remote shard count (rebuilds the session)\n\
   \  :rules | :cache | :advice | :metrics | :lint | :help | :quit (or :q)"
 
 (* Every command the dispatcher accepts, for the :help audit test — keep in
@@ -67,6 +70,7 @@ let command_names =
     ":spans";
     ":journal";
     ":sessions";
+    ":shards";
     ":metrics";
     ":advice";
     ":caql";
@@ -99,8 +103,21 @@ let system t =
   | Some sys -> sys
   | None ->
     let data = Hashtbl.fold (fun _ rel acc -> rel :: acc) t.facts [] in
+    (* Sharded sessions hash-partition every base relation on its first
+       column — the column REPL facts most often pin. *)
+    let partitioning =
+      if t.shards <= 1 then []
+      else
+        List.map
+          (fun rel ->
+            (R.Relation.name rel, Braid_remote.Catalog.Hash { column = 0 }))
+          (List.sort
+             (fun a b -> String.compare (R.Relation.name a) (R.Relation.name b))
+             data)
+    in
     let sys =
-      System.build ~config:t.config ~strategy:t.strategy ~kb:(kb_of t) ~data ()
+      System.build ~config:t.config ~strategy:t.strategy ~shards:t.shards
+        ~partitioning ~kb:(kb_of t) ~data ()
     in
     Cms.set_trace (System.cms sys) t.tracing;
     t.sys <- Some sys;
@@ -222,7 +239,27 @@ let explain_clause t text =
     in
     (match Braid_caql.To_sql.translate ~schema_of c with
      | Ok sql ->
-       Printf.sprintf "%s\n%s" (Braid_remote.Sql.to_string sql)
+       (* Sharded remote: show where the router places the request —
+          pruned to one shard, fanned out, or gathered at the router. *)
+       let route_line =
+         match System.router sys with
+         | None -> ""
+         | Some r ->
+           let module Router = Braid_remote.Shard_router in
+           let n = Router.shard_count r in
+           (match Router.route r sql with
+            | Router.Pinned { shard; _ } ->
+              Printf.sprintf "route: pinned to shard %d (%d of %d pruned)\n" shard
+                (n - 1) n
+            | Router.Fanout targets ->
+              Printf.sprintf "route: fan-out to shards [%s] (%d of %d pruned)\n"
+                (String.concat "," (List.map string_of_int targets))
+                (n - List.length targets) n
+            | Router.Gather _ as g ->
+              Printf.sprintf "route: %s (router-side join over %d shards)\n"
+                (Router.route_to_string g) n)
+       in
+       Printf.sprintf "%s\n%s%s" (Braid_remote.Sql.to_string sql) route_line
          (Braid_remote.Engine.explain (Braid_remote.Server.engine server) sql)
      | Error f -> "cannot ship this clause: " ^ Braid_caql.To_sql.failure_to_string f)
   | _ -> "usage: :explain <atom> (proof trees) | :explain head :- body (query plan)"
@@ -472,6 +509,25 @@ let exec_line t line =
         (match int_of_string_opt n with
          | Some n when n > 0 -> handle_journal t n
          | Some _ | None -> "usage: :journal [N] with N a positive integer")
+      | None -> assert false
+    end
+    else if strip_prefix ":shards" line <> None then begin
+      match strip_prefix ":shards" line with
+      | Some "" ->
+        if t.shards = 1 then "remote is a single server"
+        else Printf.sprintf "remote is sharded %d ways" t.shards
+      | Some n ->
+        (match int_of_string_opt n with
+         | Some n when n >= 1 ->
+           t.shards <- n;
+           invalidate t;
+           if n = 1 then "remote back to a single server (session rebuilds on next query)"
+           else
+             Printf.sprintf
+               "remote sharded %d ways, base relations hash-partitioned on column 0 \
+                (session rebuilds on next query)"
+               n
+         | Some _ | None -> "usage: :shards [N] with N a positive integer")
       | None -> assert false
     end
     else if line = ":metrics" then begin

@@ -16,7 +16,10 @@
 
 type t
 
-val create : ?config:Braid_planner.Qpo.config -> unit -> t
+val create : ?config:Braid_planner.Qpo.config -> ?shards:int -> unit -> t
+(** [shards] (default 1) > 1 starts the session over a sharded remote —
+    base relations hash-partitioned on their first column behind a
+    {!Braid_remote.Shard_router} (changeable later with [:shards N]). *)
 
 val exec_line : t -> string -> string
 (** Executes one input line and returns the text to print (possibly

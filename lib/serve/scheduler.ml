@@ -44,7 +44,7 @@ type t = {
 }
 
 let create ?(policy = Admission.default_policy) ?(seed = 0) cms =
-  let co = Coalescer.create (Cms.rdi cms) (Cms.cache cms) in
+  let co = Coalescer.create cms in
   Cms.set_fetcher cms (Some (Coalescer.fetch co));
   {
     cms;

@@ -1,6 +1,8 @@
 module A = Braid_caql.Ast
 module Server = Braid_remote.Server
 module Fault = Braid_remote.Fault
+module Rdi = Braid_remote.Rdi
+module Router = Braid_remote.Shard_router
 module Qpo = Braid_planner.Qpo
 module Plan = Braid_planner.Plan
 module Prng = Braid_prng.Prng
@@ -11,6 +13,16 @@ module Oracle = Braid_check.Oracle
 module Obs = Braid_obs
 
 type divergence = { wave : int; sid : string; detail : string }
+
+type shard_report = {
+  shard : int;
+  sh_requests : int;
+  sh_scanned : int;
+  sh_failures : int;
+  sh_stale_serves : int;
+  sh_breaker : string;
+  sh_log : string list;
+}
 
 type session_report = {
   sid : string;
@@ -26,6 +38,7 @@ type report = {
   seed : int;
   sessions : int;
   waves : int;
+  shards : int;  (** 1 = the single-server remote *)
   submitted : int;
   answered : int;
   shed : int;
@@ -50,6 +63,11 @@ type report = {
   recovery_mismatch : string option;
   divergences : divergence list;
   per_session : session_report list;
+  route_pinned : int;  (** router: requests answered by exactly one shard *)
+  route_fanouts : int;
+  route_gathers : int;
+  shards_pruned : int;
+  per_shard : shard_report list;  (** [] when [shards = 1] *)
   journal_entries : int;
   journal_epoch : int;
   journal_dump : string list;
@@ -62,7 +80,8 @@ let ok r =
 let report_to_string r =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
-  line "serve soak seed=%d sessions=%d waves=%d: %s" r.seed r.sessions r.waves
+  line "serve soak seed=%d sessions=%d waves=%d%s: %s" r.seed r.sessions r.waves
+    (if r.shards > 1 then Printf.sprintf " shards=%d" r.shards else "")
     (if ok r then "OK" else "FAILED");
   line "  submitted:   %d (%d answered, %d shed, %d lost at crash)" r.submitted r.answered
     r.shed r.lost;
@@ -71,6 +90,15 @@ let report_to_string r =
     r.coalesce_requests r.coalesce_identical r.coalesce_subsumed r.coalesce_misses;
   line "  remote:      %d RDI requests, %.1f simulated ms elapsed" r.remote_requests
     r.elapsed_ms;
+  if r.shards > 1 then begin
+    line "  routing:     %d pinned (%d shard-scans pruned), %d fan-outs, %d gathers"
+      r.route_pinned r.shards_pruned r.route_fanouts r.route_gathers;
+    List.iter
+      (fun s ->
+        line "  shard %d:     %d requests, %d scanned, %d failures, %d stale serves, breaker %s"
+          s.shard s.sh_requests s.sh_scanned s.sh_failures s.sh_stale_serves s.sh_breaker)
+      r.per_shard
+  end;
   line "  mutations:   %d inserts (%d drop-invalidations, %d stale-marks)" r.inserts
     r.drops r.stale_marks;
   line "  checkpoints: %d (journal: %d entries, epoch %d)" r.checkpoints r.journal_entries
@@ -114,13 +142,12 @@ exception Stop
 let empty_advice = { Braid_advice.Ast.specs = []; path = None }
 
 let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy)
-    ~sessions:n_sessions ~seed ~waves () =
+    ?(shards = 1) ~sessions:n_sessions ~seed ~waves () =
   if n_sessions < 1 then invalid_arg "Serve.Soak.run: sessions must be >= 1";
+  if shards < 1 then invalid_arg "Serve.Soak.run: shards must be >= 1";
   let prng = Prng.create seed in
   let server = Server.create () in
   Workload.load server;
-  let base = Fault.flaky ~seed:(seed + 7919) ~error_rate () in
-  Server.set_faults server (Some base);
   (* An impatient RDI profile — no retries, per-attempt deadline — so that
      under the flaky link a visible fraction of fetches fail outright and
      come back degraded. Degraded results are never admitted to the cache
@@ -135,8 +162,29 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
       seed = seed + 13;
     }
   in
+  let router =
+    if shards = 1 then None
+    else begin
+      Workload.partition server;
+      Some (Router.create ~policy:rdi_policy ~shards server)
+    end
+  in
+  let base = Fault.flaky ~seed:(seed + 7919) ~error_rate () in
+  (* Per-shard brownout profiles: each shard's injector draws from its own
+     seed stream, so shard fates decorrelate the way independent machines'
+     would. [extra] piggybacks the crash trigger. *)
+  let set_faults ?(extra = fun c -> c) () =
+    match router with
+    | None -> Server.set_faults server (Some (extra base))
+    | Some r ->
+      for i = 0 to shards - 1 do
+        Router.set_faults r ~shard:i
+          (Some (extra { base with Fault.seed = base.Fault.seed + (997 * i) }))
+      done
+  in
+  set_faults ();
   let capacity_bytes = 48_000 in
-  let cms = ref (Cms.create ~capacity_bytes ~rdi_policy server) in
+  let cms = ref (Cms.create ~capacity_bytes ~rdi_policy ?router server) in
   let oracle = Oracle.create server in
   let per =
     Array.init n_sessions (fun i ->
@@ -228,13 +276,15 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
     let dead_model = CMgr.model (Cms.cache !cms) in
     elements_at_crash := List.length (Braid_cache.Cache_model.elements dead_model);
     let journal = Cms.journal !cms in
-    Server.set_faults server (Some base);
+    set_faults ();
     let validate e =
       let okv = Oracle.revalidate oracle e in
       if not okv then incr revalidation_failures;
       okv
     in
-    let recovered, rep = Cms.recover ~capacity_bytes ~rdi_policy ~validate ~journal server in
+    let recovered, rep =
+      Cms.recover ~capacity_bytes ~rdi_policy ?router ~validate ~journal server
+    in
     recovered_elements := rep.Cms.replayed;
     dropped_on_recovery := List.length rep.Cms.dropped;
     (match Oracle.same_state dead_model (CMgr.model (Cms.cache recovered)) with
@@ -254,7 +304,8 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
        end;
        (match crash_plan with
         | Some plan when !crash_wave = None && wave >= plan && live () >= 3 ->
-          Server.set_faults server (Some { base with Fault.crash_at = Some 1 })
+          (* arm every shard: whichever is touched next kills the CMS *)
+          set_faults ~extra:(fun c -> { c with Fault.crash_at = Some 1 }) ()
         | _ -> ());
        try
          (* The wave's hot view: sessions that draw low submit the same
@@ -282,7 +333,7 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
            done;
          if Prng.int prng 100 < 20 then begin
            incr inserts;
-           match Workload.gen_insert prng server !cms with
+           match Workload.gen_insert prng ?router server !cms with
            | `Drop -> incr drops
            | `Mark_stale -> incr stale_marks
          end;
@@ -314,10 +365,40 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
            })
   in
   let sum f = List.fold_left (fun acc s -> acc + f s) 0 per_session in
+  (* Router accounting survives crash/recovery (the fleet is connection
+     state, not cache state), so end-of-run totals need no folding. *)
+  let route_counters =
+    match router with
+    | None -> None
+    | Some r -> Some (Router.counters r)
+  in
+  let per_shard =
+    match router with
+    | None -> []
+    | Some r ->
+      List.mapi
+        (fun i (st : Server.stats) ->
+          let rs = Rdi.stats (Router.rdi r i) in
+          {
+            shard = i;
+            sh_requests = st.Server.requests;
+            sh_scanned = st.Server.tuples_scanned;
+            sh_failures = rs.Rdi.failures;
+            sh_stale_serves = rs.Rdi.stale_serves;
+            sh_breaker =
+              (match Rdi.breaker (Router.rdi r i) with
+               | Rdi.Closed -> "closed"
+               | Rdi.Open -> "open"
+               | Rdi.Half_open -> "half-open");
+            sh_log = Server.log (Router.shard r i);
+          })
+        (Router.shard_stats r)
+  in
   {
     seed;
     sessions = n_sessions;
     waves;
+    shards;
     submitted = sum (fun s -> s.submitted);
     answered = sum (fun s -> s.answered);
     shed = sum (fun s -> s.shed);
@@ -342,6 +423,12 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
     recovery_mismatch = !recovery_mismatch;
     divergences = List.rev !divergences;
     per_session;
+    route_pinned = (match route_counters with Some c -> c.Router.pinned | None -> 0);
+    route_fanouts = (match route_counters with Some c -> c.Router.fanouts | None -> 0);
+    route_gathers = (match route_counters with Some c -> c.Router.gathers | None -> 0);
+    shards_pruned =
+      (match route_counters with Some c -> c.Router.shards_pruned | None -> 0);
+    per_shard;
     journal_entries = Journal.length journal;
     journal_epoch = Journal.epoch journal;
     journal_dump = List.map Journal.entry_to_string (Journal.entries journal);

@@ -14,6 +14,21 @@
 
 type divergence = { wave : int; sid : string; detail : string }
 
+(** End-of-run accounting for one shard of a sharded soak. *)
+type shard_report = {
+  shard : int;
+  sh_requests : int;  (** server requests this shard absorbed *)
+  sh_scanned : int;  (** tuples its executor scanned *)
+  sh_failures : int;  (** RDI requests that exhausted retries here *)
+  sh_stale_serves : int;  (** degraded answers served for this shard *)
+  sh_breaker : string;  (** final breaker state: closed/open/half-open *)
+  sh_log : string list;
+      (** the SQL texts this shard served (oldest first) — the serve-soak CI
+          job writes one journal file per shard from these and uploads them
+          as artifacts on failure; deliberately not part of
+          {!report_to_string} (the rendered report stays compact) *)
+}
+
 type session_report = {
   sid : string;
   submitted : int;
@@ -28,6 +43,7 @@ type report = {
   seed : int;
   sessions : int;
   waves : int;
+  shards : int;  (** 1 = single-server remote (the default path) *)
   submitted : int;
   answered : int;
   shed : int;
@@ -52,6 +68,11 @@ type report = {
   recovery_mismatch : string option;
   divergences : divergence list;
   per_session : session_report list;
+  route_pinned : int;  (** requests the router pinned to exactly one shard *)
+  route_fanouts : int;
+  route_gathers : int;
+  shards_pruned : int;  (** shard-scans partition pruning avoided *)
+  per_shard : shard_report list;  (** [] when [shards = 1] *)
   journal_entries : int;
   journal_epoch : int;
   journal_dump : string list;
@@ -65,6 +86,7 @@ val run :
   ?error_rate:float ->
   ?crash:bool ->
   ?policy:Admission.policy ->
+  ?shards:int ->
   sessions:int ->
   seed:int ->
   waves:int ->
@@ -75,7 +97,14 @@ val run :
     third of the run. Each wave: every session may submit from the
     overlapping {!Workload} family (one hot view shared across sessions),
     the first session occasionally bursts past its admission cap, a
-    mutation may hit a base table, then one scheduler wave executes. *)
+    mutation may hit a base table, then one scheduler wave executes.
+
+    [shards] (default 1 — the single-server path, untouched) > 1 runs the
+    soak over a {!Braid_remote.Shard_router}: the workload tables are
+    hash-partitioned per {!Workload.partition_keys}, each shard gets its
+    own brownout fault profile (per-shard seed offsets) and RDI instance,
+    inserts route to the owning shard, and the crash arms every shard's
+    injector. The report gains routing counters and per-shard lines. *)
 
 val report_to_string : report -> string
 (** Deterministic rendering — byte-identical across runs for a seed. *)

@@ -5,6 +5,8 @@ module L = Braid_logic
 module T = L.Term
 module Server = Braid_remote.Server
 module Engine = Braid_remote.Engine
+module Catalog = Braid_remote.Catalog
+module Router = Braid_remote.Shard_router
 module Prng = Braid_prng.Prng
 module Cms = Braid.Cms
 
@@ -18,6 +20,21 @@ let load server =
   List.iter
     (Engine.load (Server.engine server))
     (Braid_workload.Datagen.paper_example ~size ())
+
+(* Hash-partition keys chosen so the workload exercises every route kind:
+   shape 0 pins b1's column 0 ("c1") and shape 4 pins b2's column 0 (an
+   x-key) — partition-key-pinned, one shard; shape 1 scans all of b2 —
+   fan-out; shapes 2/5 join b2.z against b3.z while b3 is partitioned on
+   its y column — a router-side gather join (with b3's y pinned by shape
+   2, only b3's one shard is touched for that source). *)
+let partition_keys = [ ("b1", 0); ("b2", 0); ("b3", 2) ]
+
+let partition server =
+  List.iter
+    (fun (name, column) ->
+      Catalog.set_partitioning (Server.catalog server) name
+        (Some (Catalog.Hash { column })))
+    partition_keys
 
 (* Constants come from pools far smaller than the tables' value universe
    (6 y-keys, 4 x-keys), so two sessions drawing independently in the same
@@ -53,7 +70,7 @@ let specialize prng (q : A.conj) =
       (A.conj [ v "Z" ] [ atom "b2" [ s (Printf.sprintf "x%d" (Prng.int prng 4)); v "Z" ] ])
   | _ -> None
 
-let gen_insert prng server cms =
+let gen_insert prng ?router server cms =
   let zi = Printf.sprintf "z%d" (Prng.int prng size) in
   let yi = Printf.sprintf "y%d" (Prng.int prng size) in
   let table, tup =
@@ -63,7 +80,9 @@ let gen_insert prng server cms =
     | _ ->
       ("b3", [| V.Str zi; V.Str (if Prng.bool prng 0.5 then "c2" else "c3"); V.Str yi |])
   in
-  Engine.insert (Server.engine server) table tup;
+  (match router with
+   | Some r -> Router.insert r table tup (* coordinator + owning shard *)
+   | None -> Engine.insert (Server.engine server) table tup);
   let mode = if Prng.bool prng 0.5 then `Drop else `Mark_stale in
   ignore (Cms.invalidate_table cms ~mode table);
   mode

@@ -11,6 +11,15 @@ val size : int
 val load : Braid_remote.Server.t -> unit
 (** Loads the paper-example tables ([b1]/[b2]/[b3]) into the server. *)
 
+val partition_keys : (string * int) list
+(** Hash-partition column per table for sharded runs: [b1]/[b2] on column
+    0 (the columns the selection shapes pin), [b3] on its y column — so
+    the six query shapes exercise pinned, fanned-out, and gather routes. *)
+
+val partition : Braid_remote.Server.t -> unit
+(** Records {!partition_keys} in the server's catalog (call between
+    {!load} and {!Braid_remote.Shard_router.create}). *)
+
 val gen_query : Braid_prng.Prng.t -> Braid_caql.Ast.conj
 (** One seeded query from the six-shape family (selections, joins, a
     three-way chain). Constants are drawn from small pools so repeats and
@@ -25,6 +34,13 @@ val specialize :
     exercise the coalescer's subsumption reuse. *)
 
 val gen_insert :
-  Braid_prng.Prng.t -> Braid_remote.Server.t -> Braid.Cms.t -> [ `Drop | `Mark_stale ]
+  Braid_prng.Prng.t ->
+  ?router:Braid_remote.Shard_router.t ->
+  Braid_remote.Server.t ->
+  Braid.Cms.t ->
+  [ `Drop | `Mark_stale ]
 (** A single-tuple insert into one base table followed by the matching
-    cache invalidation, randomly dropping or stale-marking dependents. *)
+    cache invalidation, randomly dropping or stale-marking dependents.
+    With [router], the row goes through {!Braid_remote.Shard_router.insert}
+    (coordinator + owning shard); the PRNG draw sequence is identical
+    either way. *)

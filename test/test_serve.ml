@@ -42,7 +42,7 @@ let b1_def = A.conj [ v "Z"; v "Y" ] [ atom "b1" [ v "Z"; v "Y" ] ]
 
 let test_coalescer_identical () =
   let _, cms = mk_cms () in
-  let co = Coalescer.create (Cms.rdi cms) (Cms.cache cms) in
+  let co = Coalescer.create cms in
   Coalescer.begin_round co;
   let o1 = Coalescer.fetch co b2_def (Sql.select_all "b2") in
   let o2 = Coalescer.fetch co b2_def (Sql.select_all "b2") in
@@ -57,7 +57,7 @@ let test_coalescer_identical () =
 
 let test_coalescer_subsumed () =
   let _, cms = mk_cms () in
-  let co = Coalescer.create (Cms.rdi cms) (Cms.cache cms) in
+  let co = Coalescer.create cms in
   Coalescer.begin_round co;
   let broad = Coalescer.fetch co b2_def (Sql.select_all "b2") in
   let narrow_def = A.conj [ v "Z" ] [ atom "b2" [ s "x1"; v "Z" ] ] in
@@ -79,7 +79,7 @@ let test_coalescer_subsumed () =
 
 let test_coalescer_disjoint () =
   let _, cms = mk_cms () in
-  let co = Coalescer.create (Cms.rdi cms) (Cms.cache cms) in
+  let co = Coalescer.create cms in
   Coalescer.begin_round co;
   ignore (Coalescer.fetch co b2_def (Sql.select_all "b2"));
   ignore (Coalescer.fetch co b1_def (Sql.select_all "b1"));
@@ -90,7 +90,7 @@ let test_coalescer_disjoint () =
 
 let test_coalescer_window_scope () =
   let _, cms = mk_cms () in
-  let co = Coalescer.create (Cms.rdi cms) (Cms.cache cms) in
+  let co = Coalescer.create cms in
   (* Outside any round: the window is bypassed entirely. *)
   ignore (Coalescer.fetch co b2_def (Sql.select_all "b2"));
   ignore (Coalescer.fetch co b2_def (Sql.select_all "b2"));
