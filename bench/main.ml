@@ -375,6 +375,7 @@ let experiments_json ?seed () =
   let e14_rows, _ = Braid_experiments.Exp_serve.run ?seed () in
   let e15_rows, _ = Braid_experiments.Exp_join_planning.run ?seed () in
   let (e16_mix, e16_soak, e16_avail), _ = Braid_experiments.Exp_sharding.run ?seed () in
+  let e17_rows, _ = Braid_experiments.Exp_replication.run ?seed () in
   let table_card, result_rows, scanned = remote_scan_counters () in
   let pc = plan_choice_counters () in
   let b = Buffer.create 4096 in
@@ -467,6 +468,22 @@ let experiments_json ?seed () =
      a.av_shards a.sick_shard a.pinned_queries a.healthy_fresh
      a.healthy_degraded a.sick_queries a.sick_degraded a.scatter_queries
      a.scatter_degraded);
+  out "    \"e17_replication\": [\n";
+  List.iteri
+    (fun i (r : Braid_experiments.Exp_replication.row) ->
+      let open Braid_experiments.Exp_replication in
+      out
+        "      {\"replicas\": %d, \"scenario\": \"%s\", \"down_replica\": %d, \
+         \"affected_queries\": %d, \"affected_fresh\": %d, \"healthy_queries\": %d, \
+         \"healthy_fresh\": %d, \"failovers\": %d, \"hinted\": %d, \
+         \"lag_before\": %d, \"repairs\": %d, \"lag_after\": %d}%s\n"
+        r.rp_replicas (json_escape r.rp_scenario) r.rp_down_replica
+        r.rp_affected_queries r.rp_affected_fresh r.rp_healthy_queries
+        r.rp_healthy_fresh r.rp_failovers r.rp_hinted r.rp_lag_before r.rp_repairs
+        r.rp_lag_after
+        (if i = List.length e17_rows - 1 then "" else ","))
+    e17_rows;
+  out "    ],\n";
   out
     "    \"plan_choices\": {\"hash_joins\": %d, \"merge_joins\": %d, \"inlj_joins\": %d, \
      \"products\": %d, \"seq_scans\": %d, \"index_probes\": %d, \"index_only_scans\": %d, \
@@ -770,6 +787,10 @@ let run_serve argv =
   and sessions = ref 8
   and waves = ref 400
   and shards = ref 1
+  and replicas = ref 1
+  and chaos = ref false
+  and heal_after = ref 600
+  and error_rate = ref None
   and gate = ref false
   and report_path = ref "serve-report.txt"
   and journal_path = ref "serve-journal.txt"
@@ -790,6 +811,21 @@ let run_serve argv =
       int_arg "--waves" n tl (fun v tl -> waves := v; parse tl)
     | "--shards" :: n :: tl ->
       int_arg "--shards" n tl (fun v tl -> shards := v; parse tl)
+    | "--replicas" :: n :: tl ->
+      int_arg "--replicas" n tl (fun v tl -> replicas := v; parse tl)
+    | "--chaos" :: tl ->
+      chaos := true;
+      parse tl
+    | "--heal-after" :: n :: tl ->
+      int_arg "--heal-after" n tl (fun v tl -> heal_after := v; parse tl)
+    | "--error-rate" :: x :: tl ->
+      (match float_of_string_opt x with
+       | Some v ->
+         error_rate := Some v;
+         parse tl
+       | None ->
+         Printf.eprintf "--error-rate requires a float, got %S\n" x;
+         exit 1)
     | "--check" :: tl ->
       gate := true;
       parse tl
@@ -802,22 +838,24 @@ let run_serve argv =
     | "--trace" :: p :: tl ->
       trace_path := Some p;
       parse tl
-    | [ ("--seed" | "--sessions" | "--waves" | "--steps" | "--shards" | "--report"
-        | "--journal" | "--trace") ] ->
+    | [ ("--seed" | "--sessions" | "--waves" | "--steps" | "--shards" | "--replicas"
+        | "--heal-after" | "--error-rate" | "--report" | "--journal" | "--trace") ] ->
       prerr_endline
-        "--seed/--sessions/--waves/--shards require an integer, \
-         --report/--journal/--trace a path";
+        "--seed/--sessions/--waves/--shards/--replicas/--heal-after require an \
+         integer, --error-rate a float, --report/--journal/--trace a path";
       exit 1
     | arg :: _ ->
       Printf.eprintf
         "unknown serve argument %S (expected --sessions N, --seed N, --waves N, \
-         --shards N, --check, --report PATH, --journal PATH, --trace PATH)\n"
+         --shards N, --replicas R, --chaos, --heal-after N, --error-rate X, \
+         --check, --report PATH, --journal PATH, --trace PATH)\n"
         arg;
       exit 1
   in
   parse argv;
   let go () =
-    Braid_serve.Soak.run ~shards:!shards ~sessions:!sessions ~seed:!seed
+    Braid_serve.Soak.run ?error_rate:!error_rate ~shards:!shards ~replicas:!replicas
+      ~chaos:!chaos ~heal_after:!heal_after ~sessions:!sessions ~seed:!seed
       ~waves:!waves ()
   in
   let report = with_trace !trace_path go in
@@ -830,8 +868,9 @@ let run_serve argv =
   in
   write !report_path (String.split_on_char '\n' text);
   write !journal_path report.Braid_serve.Soak.journal_dump;
-  (* One request journal per shard (CI uploads them on failure, so a sick
-     shard's exact fetch sequence is reconstructible from the artifacts). *)
+  (* One request journal per shard — and per replica when replicated (CI
+     uploads them on failure, so a sick copy's exact fetch sequence is
+     reconstructible from the artifacts). *)
   List.iter
     (fun (s : Braid_serve.Soak.shard_report) ->
       let open Braid_serve.Soak in
@@ -842,7 +881,17 @@ let run_serve argv =
             breaker %s"
            s.shard s.sh_requests s.sh_scanned s.sh_failures s.sh_stale_serves
            s.sh_breaker
-         :: s.sh_log))
+         :: s.sh_log);
+      List.iter
+        (fun rr ->
+          write
+            (Printf.sprintf "%s.shard%d.r%d" !journal_path s.shard rr.rr_replica)
+            (Printf.sprintf
+               "# shard %d replica %d (node %d): lag=%d hints=%d breaker=%s%s"
+               s.shard rr.rr_replica rr.rr_node rr.rr_lag rr.rr_hints rr.rr_breaker
+               (if rr.rr_partitioned then " partitioned" else "")
+             :: rr.rr_log))
+        s.sh_replicas)
     report.Braid_serve.Soak.per_shard;
   Printf.printf "wrote %s, %s\n" !report_path !journal_path;
   if !gate then begin
@@ -861,13 +910,47 @@ let run_serve argv =
       report.Braid_serve.Soak.coalesce_identical
       + report.Braid_serve.Soak.coalesce_subsumed
     in
-    if hits = 0 then begin
+    (* The coalescer only sees duplicates when fetches fail and stay hot;
+       a fault-free chaos leg legitimately produces none, and gates on the
+       replication invariants below instead. *)
+    if hits = 0 && not !chaos then begin
       prerr_endline
         "serve check FAILED: the overlapping-view workload produced no coalesce hits";
       exit 1
     end;
+    (* Chaos gate: the severed primary must actually force failovers and
+       hinted writes, the partition must heal and repair must hand the
+       hints off, and once healed + repaired nothing may serve stale. *)
+    if !chaos then begin
+      let r = report in
+      let fail msg =
+        prerr_endline ("serve check FAILED: " ^ msg);
+        exit 1
+      in
+      if r.Braid_serve.Soak.failovers = 0 then
+        fail "chaos run recorded no failovers (backup never served)";
+      if r.Braid_serve.Soak.hinted_writes = 0 then
+        fail "chaos run recorded no hinted writes (partition never blocked a write)";
+      if r.Braid_serve.Soak.handoffs = 0 then
+        fail "chaos run recorded no handoffs (repair never drained the hints)";
+      (match r.Braid_serve.Soak.heal_wave with
+       | None -> fail "the partition never healed (raise --heal-after headroom?)"
+       | Some _ -> ());
+      if r.Braid_serve.Soak.stale_after_heal <> 0 then
+        fail
+          (Printf.sprintf "%d stale serve(s) after heal + repair"
+             r.Braid_serve.Soak.stale_after_heal);
+      if r.Braid_serve.Soak.end_max_lag <> 0 then
+        fail
+          (Printf.sprintf "replica lag %d at end of run (repair incomplete)"
+             r.Braid_serve.Soak.end_max_lag)
+    end;
     Printf.printf
-      "serve check ok: deterministic report, clean oracle, %d coalesce hit(s)\n" hits
+      "serve check ok: deterministic report, clean oracle, %d coalesce hit(s)%s\n" hits
+      (if !chaos then
+         Printf.sprintf ", chaos: %d failover(s), %d handoff(s), healed, 0 stale after heal"
+           report.Braid_serve.Soak.failovers report.Braid_serve.Soak.handoffs
+       else "")
   end
 
 (* --- entry point --- *)

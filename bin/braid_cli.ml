@@ -125,9 +125,9 @@ let caql data_files advice_file queries show_plan =
     (Braid.Cms.remote_stats cms).Braid_remote.Server.tuples_returned;
   0
 
-let repl shards =
+let repl shards replicas =
   print_endline Braid_serve.Repl.banner;
-  let session = Braid_serve.Repl.create ~shards () in
+  let session = Braid_serve.Repl.create ~shards ~replicas () in
   let rec loop () =
     print_string "braid> ";
     match In_channel.input_line stdin with
@@ -224,8 +224,15 @@ let repl_cmd =
     let doc = "Shard the remote DBMS across $(docv) partitions (1 = single server)." in
     Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
   in
+  let replicas =
+    let doc =
+      "Keep $(docv) copies of every shard (primary/backup failover, \
+       anti-entropy repair; 1 = unreplicated)."
+    in
+    Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"R" ~doc)
+  in
   Cmd.v (Cmd.info "repl" ~doc:"Interactive session (facts, rules, queries, cache inspection)")
-    Term.(const repl $ shards)
+    Term.(const repl $ shards $ replicas)
 
 let experiments_cmd =
   let ids =

@@ -13,8 +13,9 @@ type t = {
 }
 
 let build ?cost ?config ?capacity_bytes ?strategy ?send_advice ?(shards = 1)
-    ?(partitioning = []) ~kb ~data () =
+    ?(replicas = 1) ?(partitioning = []) ~kb ~data () =
   if shards < 1 then invalid_arg "System.build: shards must be >= 1";
+  if replicas < 1 then invalid_arg "System.build: replicas must be >= 1";
   let server = Server.create ?cost () in
   List.iter
     (fun rel ->
@@ -28,7 +29,10 @@ let build ?cost ?config ?capacity_bytes ?strategy ?send_advice ?(shards = 1)
       Braid_remote.Catalog.set_partitioning (Server.catalog server) name (Some p))
     partitioning;
   let router =
-    if shards = 1 then None else Some (Router.create ~shards server)
+    (* replication without sharding is still a router job: one shard, R
+       copies — failover needs the replica groups either way *)
+    if shards = 1 && replicas = 1 then None
+    else Some (Router.create ~shards ~replicas server)
   in
   let cms = Cms.create ?config ?capacity_bytes ?router server in
   let engine = Engine.create ?strategy ?send_advice kb (Cms.qpo cms) in

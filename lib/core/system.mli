@@ -14,6 +14,7 @@ val build :
   ?strategy:Braid_ie.Strategy.kind ->
   ?send_advice:bool ->
   ?shards:int ->
+  ?replicas:int ->
   ?partitioning:(string * Braid_remote.Catalog.partitioning) list ->
   kb:Braid_logic.Kb.t ->
   data:Braid_relalg.Relation.t list ->
@@ -22,10 +23,12 @@ val build :
 (** Loads each relation into the remote DBMS (named after the relation) and
     declares it in the knowledge base if not already declared.
 
-    [shards] (default 1) > 1 puts a {!Braid_remote.Shard_router} between
-    the CMS and the remote: [partitioning] records each table's scheme in
-    the catalog first, then the loaded tables are sliced across the shards
-    (unpartitioned tables live whole on a deterministic home shard). *)
+    [shards] (default 1) > 1 — or [replicas] (default 1) > 1 — puts a
+    {!Braid_remote.Shard_router} between the CMS and the remote:
+    [partitioning] records each table's scheme in the catalog first, then
+    the loaded tables are sliced across the shards (unpartitioned tables
+    live whole on a deterministic home shard) with [replicas] copies per
+    shard (primary/backup failover, anti-entropy repair). *)
 
 val kb : t -> Braid_logic.Kb.t
 val cms : t -> Cms.t

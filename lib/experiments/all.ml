@@ -16,6 +16,7 @@ let experiments : (string * (?seed:int -> unit -> Table.t)) list =
     ("e14", fun ?seed () -> snd (Exp_serve.run ?seed ()));
     ("e15", fun ?seed () -> snd (Exp_join_planning.run ?seed ()));
     ("e16", fun ?seed () -> snd (Exp_sharding.run ?seed ()));
+    ("e17", fun ?seed () -> snd (Exp_replication.run ?seed ()));
   ]
 
 (* Bracket each experiment with a metrics-registry reset so the

@@ -1,0 +1,204 @@
+(* E17: replicated shards — availability under replica loss, R = 1/2/3.
+
+   The sweep severs one replica of the shard that owns b3's "y0" slice
+   (the "sick" shard) on a 4-shard router and measures, per replication
+   factor, what the query mix still gets answered Fresh:
+
+   - "primary-down": the sick shard's primary is partitioned away. At
+     R = 1 that is total replica loss — every read of the affected slice
+     degrades. At R >= 2 reads fail over to the most caught-up backup and
+     stay Fresh (the availability claim: the Fresh ratio on the affected
+     slice rises strictly with R).
+
+   - "backup-down": a backup is partitioned away. The primary keeps
+     serving, so every slice — affected included — stays 100% Fresh; the
+     only trace is the hinted writes queued for the missing copy.
+
+   Writes land while the replica is down, so the sick shard's replication
+   log grows past it (lag = hinted writes). After the partition heals,
+   one anti-entropy round must return the lag to zero — the repair claim.
+
+   Deterministic: fixed data/fault seeds, simulated cost model, chained
+   replica placement; byte-identical across runs. *)
+
+module L = Braid_logic
+module T = L.Term
+module R = Braid_relalg
+module V = Braid_relalg.Value
+module A = Braid_caql.Ast
+module Qpo = Braid_planner.Qpo
+module Plan = Braid_planner.Plan
+module TS = Braid_stream.Tuple_stream
+module Server = Braid_remote.Server
+module Catalog = Braid_remote.Catalog
+module Fault = Braid_remote.Fault
+module Router = Braid_remote.Shard_router
+
+type row = {
+  rp_replicas : int;
+  rp_scenario : string;  (** "primary-down" | "backup-down" *)
+  rp_down_replica : int;  (** the severed copy: 0 = primary *)
+  rp_affected_queries : int;  (** pinned queries owned by the sick shard *)
+  rp_affected_fresh : int;
+  rp_healthy_queries : int;  (** pinned queries on healthy-primary slices *)
+  rp_healthy_fresh : int;  (** must equal [rp_healthy_queries] *)
+  rp_failovers : int;  (** reads a backup served *)
+  rp_hinted : int;  (** writes queued for the severed copy *)
+  rp_lag_before : int;  (** sick shard's worst lag before repair *)
+  rp_repairs : int;  (** anti-entropy rounds that replayed the log *)
+  rp_lag_after : int;  (** must be 0: repair caught the replica up *)
+}
+
+let v x = T.Var x
+let s x = T.Const (V.Str x)
+let atom p args = L.Atom.make p args
+let y k = Printf.sprintf "y%d" k
+
+(* Same scheme as E16 / the serving workload: b3 hash-partitioned on its
+   third column, the one the paper's d2 family pins. *)
+let partition_keys = [ ("b1", 0); ("b2", 0); ("b3", 2) ]
+
+let pinned_q k = A.conj [ v "X" ] [ atom "b3" [ v "X"; s "c2"; s (y k) ] ]
+
+let make_router ~data_seed ~size ~shards ~replicas =
+  let server = Server.create () in
+  List.iter
+    (Braid_remote.Engine.load (Server.engine server))
+    (Braid_workload.Datagen.paper_example ~seed:data_seed ~size ());
+  List.iter
+    (fun (t, column) ->
+      Catalog.set_partitioning (Server.catalog server) t
+        (Some (Catalog.Hash { column })))
+    partition_keys;
+  Router.create ~shards ~replicas server
+
+let run_scenario ~data_seed ~fault_seed ~size ~distinct ~replicas ~down_replica
+    scenario =
+  let shards = 4 in
+  let router = make_router ~data_seed ~size ~shards ~replicas in
+  let p = Catalog.Hash { column = 2 } in
+  let owner k = Catalog.shard_of_value p ~shards (V.Str (y k)) in
+  let sick = owner 0 in
+  (* Sever the target copy; the partition outlives the read sweep (it is
+     healed explicitly below, not by clock progress). *)
+  Router.set_replica_faults router ~shard:sick ~replica:down_replica
+    (Some (Fault.severed ~seed:fault_seed ~heal_after:max_int ()));
+  (* Writes while the copy is down: the sick shard's log moves past it. *)
+  let writes = 6 in
+  for w = 1 to writes do
+    Router.insert router "b3"
+      (R.Tuple.make [ V.Str (Printf.sprintf "nz%d" w); V.Str "c2"; V.Str (y 0) ])
+  done;
+  let cms =
+    Braid.Cms.create ~config:Qpo.loose_coupling_config ~router
+      (Router.coordinator router)
+  in
+  let fresh_of q =
+    let a = Braid.Cms.query cms q in
+    ignore (TS.to_relation a.Qpo.stream);
+    match a.Qpo.provenance with Plan.Fresh -> true | Plan.Degraded -> false
+  in
+  let affected_queries = ref 0
+  and affected_fresh = ref 0
+  and healthy_queries = ref 0
+  and healthy_fresh = ref 0 in
+  for k = 0 to distinct - 1 do
+    let fresh = fresh_of (pinned_q k) in
+    if owner k = sick then begin
+      incr affected_queries;
+      if fresh then incr affected_fresh
+    end
+    else begin
+      incr healthy_queries;
+      if fresh then incr healthy_fresh
+    end
+  done;
+  let c = Router.counters router in
+  let worst_lag () =
+    List.fold_left
+      (fun acc (h : Router.replica_health) -> Int.max acc h.Router.rh_lag)
+      0
+      (Router.replica_health router sick)
+  in
+  let lag_before = worst_lag () in
+  (* Heal and run one anti-entropy round: the log replays from the severed
+     copy's applied offset and the hinted writes hand off. *)
+  Router.set_replica_faults router ~shard:sick ~replica:down_replica None;
+  let repairs = Router.tick_repair router in
+  {
+    rp_replicas = replicas;
+    rp_scenario = scenario;
+    rp_down_replica = down_replica;
+    rp_affected_queries = !affected_queries;
+    rp_affected_fresh = !affected_fresh;
+    rp_healthy_queries = !healthy_queries;
+    rp_healthy_fresh = !healthy_fresh;
+    rp_failovers = c.Router.failovers;
+    rp_hinted = c.Router.hinted_writes;
+    rp_lag_before = lag_before;
+    rp_repairs = repairs;
+    rp_lag_after = worst_lag ();
+  }
+
+let run ?(seed = 7) ?(size = 120) ?(distinct = 12) () =
+  let fault_seed = seed + 11 in
+  let scenario = run_scenario ~data_seed:46 ~fault_seed ~size ~distinct in
+  let rows =
+    [
+      scenario ~replicas:1 ~down_replica:0 "primary-down";
+      scenario ~replicas:2 ~down_replica:1 "backup-down";
+      scenario ~replicas:2 ~down_replica:0 "primary-down";
+      scenario ~replicas:3 ~down_replica:2 "backup-down";
+      scenario ~replicas:3 ~down_replica:0 "primary-down";
+    ]
+  in
+  let cells r =
+    [
+      Table.Int r.rp_replicas;
+      Table.Text r.rp_scenario;
+      Table.Int r.rp_down_replica;
+      Table.Text (Printf.sprintf "%d/%d" r.rp_affected_fresh r.rp_affected_queries);
+      Table.Text (Printf.sprintf "%d/%d" r.rp_healthy_fresh r.rp_healthy_queries);
+      Table.Int r.rp_failovers;
+      Table.Int r.rp_hinted;
+      Table.Int r.rp_lag_before;
+      Table.Int r.rp_repairs;
+      Table.Int r.rp_lag_after;
+    ]
+  in
+  let table =
+    Table.make
+      ~title:
+        "E17  replicated shards — availability under one-replica-down and \
+         primary-down, R = 1/2/3, with anti-entropy repair"
+      ~columns:
+        [
+          "replicas";
+          "scenario";
+          "down";
+          "affected fresh";
+          "healthy fresh";
+          "failovers";
+          "hinted";
+          "lag pre";
+          "repairs";
+          "lag post";
+        ]
+      ~notes:
+        [
+          "4 shards; the severed copy belongs to the shard owning b3's y0 \
+           slice; 6 writes land on that slice while the copy is down, then \
+           12 partition-key-pinned reads sweep every slice";
+          "primary-down at R=1 is total replica loss: every affected read \
+           degrades to the cache (here empty). At R>=2 the same reads fail \
+           over to the most caught-up backup and stay Fresh — the Fresh \
+           ratio on the affected slice rises strictly with R";
+          "backup-down never degrades anything: the primary serves, the \
+           missing copy just accumulates hinted writes (lag pre = hints)";
+          "after the partition heals, one anti-entropy round replays the \
+           replication log from the severed copy's applied offset: lag \
+           post = 0 in every row";
+        ]
+      (List.map cells rows)
+  in
+  (rows, table)

@@ -29,18 +29,37 @@ type entry = {
          so single-tuple inserts can maintain the counts incrementally *)
 }
 
-type t = (string, entry) Hashtbl.t
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  mutable replication : int;
+      (* copies of every shard slice, >= 1; declarative cluster metadata
+         like [partitioning], consulted by the Shard_router *)
+}
 
-let create () = Hashtbl.create 16
+let create () = { entries = Hashtbl.create 16; replication = 1 }
+
+let set_replication t r =
+  if r < 1 then invalid_arg "Catalog.set_replication: factor must be >= 1";
+  t.replication <- r
+
+let replication t = t.replication
+
+(* Chained replica placement: replica [r] of shard [s] lives on node
+   [(s + r) mod shards], so each node hosts its own primary slice plus
+   backups of its left neighbors. Pure arithmetic — no seed, no state —
+   which is what makes placement identical on every run and machine. *)
+let replica_nodes ~shards ~replicas s =
+  let shards = Int.max 1 shards in
+  List.init (Int.max 1 replicas) (fun r -> (s + r) mod shards)
 
 let register t name schema =
   let arity = R.Schema.arity schema in
   (* Re-registering a table (e.g. a reload) keeps its partitioning scheme:
      the scheme describes how the cluster stores the table, not one load. *)
   let partitioning =
-    match Hashtbl.find_opt t name with Some e -> e.partitioning | None -> None
+    match Hashtbl.find_opt t.entries name with Some e -> e.partitioning | None -> None
   in
-  Hashtbl.replace t name
+  Hashtbl.replace t.entries name
     {
       schema;
       partitioning;
@@ -51,7 +70,7 @@ let register t name schema =
     }
 
 let set_partitioning t name p =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.entries name with
   | None -> invalid_arg ("Catalog.set_partitioning: unknown table " ^ name)
   | Some entry ->
     (match p with
@@ -62,7 +81,7 @@ let set_partitioning t name p =
     entry.partitioning <- p
 
 let partitioning_of t name =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.entries name with
   | None -> None
   | Some entry -> entry.partitioning
 
@@ -104,7 +123,7 @@ let sorted_prefix_of rel arity =
   !limit
 
 let refresh_stats t name rel =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.entries name with
   | None -> ()
   | Some entry ->
     let arity = R.Schema.arity entry.schema in
@@ -128,7 +147,7 @@ let refresh_stats t name rel =
     entry.bitmaps <- []
 
 let invalidate_indexes t name =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.entries name with
   | None -> ()
   | Some entry ->
     entry.indexes <- [];
@@ -143,7 +162,7 @@ let invalidate_indexes t name =
    sorted prefix is conservatively cleared (an appended row can break it,
    and we no longer hold the previous last row to check). *)
 let note_insert t name tup =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.entries name with
   | None -> ()
   | Some entry ->
     let arity = R.Schema.arity entry.schema in
@@ -158,12 +177,12 @@ let note_insert t name tup =
     entry.bitmaps <- []
 
 let index_on t name cols =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.entries name with
   | None -> None
   | Some entry -> List.assoc_opt cols entry.indexes
 
 let ensure_index t name rel cols =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.entries name with
   | None -> R.Index.build rel cols
   | Some entry ->
     (match List.assoc_opt cols entry.indexes with
@@ -175,7 +194,7 @@ let ensure_index t name rel cols =
 
 let ensure_bitmap t name rel col =
   let fresh () = R.Bitmap.build rel col in
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.entries name with
   | None -> fresh ()
   | Some entry ->
     (match List.assoc_opt col entry.bitmaps with
@@ -185,9 +204,10 @@ let ensure_bitmap t name rel col =
        entry.bitmaps <- (col, bm) :: List.remove_assoc col entry.bitmaps;
        bm)
 
-let schema_of t name = Option.map (fun e -> e.schema) (Hashtbl.find_opt t name)
-let stats_of t name = Option.map (fun e -> e.stats) (Hashtbl.find_opt t name)
-let tables t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+let schema_of t name = Option.map (fun e -> e.schema) (Hashtbl.find_opt t.entries name)
+let stats_of t name = Option.map (fun e -> e.stats) (Hashtbl.find_opt t.entries name)
+let tables t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [] |> List.sort String.compare
 
 let cardinality t name =
   match stats_of t name with Some s -> s.cardinality | None -> 0

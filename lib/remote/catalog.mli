@@ -42,6 +42,23 @@ val shard_of_value : partitioning -> shards:int -> Braid_relalg.Value.t -> int
 (** The shard a partition-key value belongs to, deterministic across runs
     and machines (hash partitioning uses the seed-free {!Braid_relalg.Value.hash}). *)
 
+val set_replication : t -> int -> unit
+(** Records the cluster's replication factor: copies of every shard slice,
+    [>= 1] (1 = unreplicated, the default). Declarative metadata like
+    {!set_partitioning} — the {!Shard_router} builds its replica groups
+    from it. Raises [Invalid_argument] for factors below 1. *)
+
+val replication : t -> int
+(** The recorded replication factor. *)
+
+val replica_nodes : shards:int -> replicas:int -> int -> int list
+(** [replica_nodes ~shards ~replicas s] — the nodes hosting shard [s]'s
+    replicas, primary first: chained placement [(s + r) mod shards] for
+    [r < replicas], so each node carries its own primary slice plus
+    backups of its left neighbors. Pure arithmetic (no seed, no state):
+    placement is identical on every run and machine, the property the
+    replica fault seeds and CI gates rely on. *)
+
 val refresh_stats : t -> string -> Braid_relalg.Relation.t -> unit
 (** Rescans the relation for cardinality/distinct counts and (re)builds the
     per-column secondary indexes in the same pass. *)

@@ -1,14 +1,28 @@
 module Prng = Braid_prng.Prng
 
-type kind = Transient | Disconnect | Timeout | Crash
+type kind = Transient | Disconnect | Timeout | Crash | Partition
 
 let kind_to_string = function
   | Transient -> "transient"
   | Disconnect -> "disconnect"
   | Timeout -> "timeout"
   | Crash -> "crash"
+  | Partition -> "partition"
 
 exception Injected of kind
+
+(* A shared request clock: every roll (and every reachability probe) of
+   every injector wired to the same clock advances it, so a partition's
+   [heal_after] counts requests {e system-wide}, not just requests aimed at
+   the severed target. That matters under failover: once reads route around
+   a severed replica it stops seeing traffic, and only global progress can
+   heal it. One clock per run keeps re-runs byte-identical. *)
+type clock = { mutable ticks : int }
+
+let clock () = { ticks = 0 }
+let ticks c = c.ticks
+
+type partition = { heal_after : int }
 
 type config = {
   seed : int;
@@ -20,6 +34,8 @@ type config = {
   spike_ms : float;
   slow_tables : (string * float) list;
   crash_at : int option;
+  partition : partition option;
+  clock : clock option;
 }
 
 let none =
@@ -33,10 +49,13 @@ let none =
     spike_ms = 0.0;
     slow_tables = [];
     crash_at = None;
+    partition = None;
+    clock = None;
   }
 
 let flaky ?(seed = 1) ~error_rate () =
   {
+    none with
     seed;
     error_rate;
     disconnect_rate = error_rate /. 10.0;
@@ -44,28 +63,62 @@ let flaky ?(seed = 1) ~error_rate () =
     latency_jitter_ms = 10.0;
     spike_rate = 0.02;
     spike_ms = 120.0;
-    slow_tables = [];
-    crash_at = None;
   }
 
-type t = { config : config; prng : Prng.t; mutable requests : int }
+let severed ?(seed = 1) ~heal_after () =
+  { none with seed; partition = Some { heal_after } }
 
-let create config = { config; prng = Prng.create config.seed; requests = 0 }
+type t = {
+  config : config;
+  prng : Prng.t;
+  mutable requests : int;
+  born : int;  (* shared-clock reading when this injector was installed *)
+}
+
+let create config =
+  {
+    config;
+    prng = Prng.create config.seed;
+    requests = 0;
+    born = (match config.clock with Some c -> c.ticks | None -> 0);
+  }
 
 let config t = t.config
+
+(* Requests the partition has outlived: shared-clock ticks since install
+   when a clock is wired, this injector's own roll count otherwise. *)
+let elapsed t =
+  match t.config.clock with Some c -> c.ticks - t.born | None -> t.requests
+
+let partitioned t =
+  match t.config.partition with
+  | None -> false
+  | Some { heal_after } -> elapsed t < heal_after
+
+let tick t = match t.config.clock with Some c -> c.ticks <- c.ticks + 1 | None -> ()
+
+(* One heartbeat: advance the shared clock (a probe is itself a request the
+   system sends) and report whether the target is reachable. Without a
+   shared clock the probe costs nothing — healing then rides on [roll]s. *)
+let probe t =
+  tick t;
+  not (partitioned t)
 
 let roll t ~tables =
   let c = t.config in
   (* Fixed draw order and count: the schedule depends only on (seed, call
      index), never on which branch a draw selects. The crash check comes
      AFTER the four draws so a [crash_at] config shares its pre-crash
-     schedule with the same config minus the crash. *)
+     schedule with the same config minus the crash; the partition check
+     sits with it so a healed injector continues the same schedule. *)
   let u_err = Prng.float t.prng in
   let u_disc = Prng.float t.prng in
   let u_jitter = Prng.float t.prng in
   let u_spike = Prng.float t.prng in
   t.requests <- t.requests + 1;
+  tick t;
   if c.crash_at = Some t.requests then Error Crash
+  else if partitioned t then Error Partition
   else if u_err < c.error_rate then Error Transient
   else if u_disc < c.disconnect_rate then Error Disconnect
   else begin

@@ -4,6 +4,7 @@ module Obs = Braid_obs
 
 type policy = {
   deadline_ms : float option;
+  request_budget_ms : float option;
   max_retries : int;
   backoff_base_ms : float;
   backoff_multiplier : float;
@@ -16,6 +17,7 @@ type policy = {
 let default_policy =
   {
     deadline_ms = None;
+    request_budget_ms = None;
     max_retries = 3;
     backoff_base_ms = 25.0;
     backoff_multiplier = 2.0;
@@ -30,10 +32,12 @@ type breaker_state = Closed | Open | Half_open
 type failure =
   | Remote_fault of Fault.kind
   | Breaker_open
+  | Replica_lag of int
 
 let failure_to_string = function
   | Remote_fault k -> Fault.kind_to_string k
   | Breaker_open -> "breaker-open"
+  | Replica_lag n -> Printf.sprintf "replica-lag(%d)" n
 
 type outcome =
   | Fresh of R.Relation.t
@@ -191,41 +195,85 @@ let rec exec t sql =
     (fun () -> exec_traced t sql ~sql_text)
 
 and exec_traced t sql ~sql_text =
+  (* Simulated milliseconds this server has accumulated so far — deltas
+     around each attempt are what the request budget is charged with. *)
+  let sim_now () =
+    let s = Server.stats t.server in
+    s.Server.server_ms +. s.Server.comm_ms
+  in
   let run_attempts () =
     let max_tries =
       match t.state with Half_open -> 1 | Closed | Open -> 1 + t.policy.max_retries
     in
+    (* Cumulative simulated spend of THIS request: every attempt's server +
+       communication time plus every backoff wait. [deadline_ms] only bounds
+       one attempt; [request_budget_ms] bounds their sum, so retries can no
+       longer spend many multiples of the caller's budget. *)
+    let spent = ref 0.0 in
+    let over_budget () =
+      match t.policy.request_budget_ms with
+      | Some budget -> !spent > budget
+      | None -> false
+    in
+    let give_up kind =
+      t.failures <- t.failures + 1;
+      (match t.state with
+       | Half_open ->
+         (* The probe failed: reopen without counting more failures. *)
+         t.state <- Open;
+         t.cooldown_left <- t.policy.breaker_cooldown;
+         Obs.Trace.instant ~cat:"rdi" "rdi.reopen";
+         event t "reopen cooldown=%d" t.policy.breaker_cooldown
+       | Closed | Open -> ());
+      degrade t sql_text (Remote_fault kind)
+    in
     let rec go try_ =
+      let before = sim_now () in
       match attempt t sql ~try_ with
       | Ok rel -> Fresh rel
       | Error (kind, tripped) ->
-        if tripped || try_ >= max_tries - 1 then begin
-          t.failures <- t.failures + 1;
-          (match t.state with
-           | Half_open ->
-             (* The probe failed: reopen without counting more failures. *)
-             t.state <- Open;
-             t.cooldown_left <- t.policy.breaker_cooldown;
-             Obs.Trace.instant ~cat:"rdi" "rdi.reopen";
-             event t "reopen cooldown=%d" t.policy.breaker_cooldown
-           | Closed | Open -> ());
-          degrade t sql_text (Remote_fault kind)
+        spent := !spent +. (sim_now () -. before);
+        if tripped || try_ >= max_tries - 1 then give_up kind
+        else if over_budget () then begin
+          (* The attempts alone already blew the caller's budget: a
+             request-level deadline miss, distinct from the per-attempt
+             Timeout the injector may also have charged. *)
+          t.deadline_misses <- t.deadline_misses + 1;
+          Obs.Metrics.incr "rdi.deadline_misses";
+          Obs.Trace.instant ~cat:"rdi" "rdi.budget_stop"
+            ~args:[ ("spent_ms", Obs.Trace.Float !spent) ];
+          event t "budget-stop %.1fms try=%d" !spent try_;
+          give_up kind
         end
         else begin
           let delay = backoff_delay t ~attempt:try_ in
-          t.retries <- t.retries + 1;
-          t.backoff_ms <- t.backoff_ms +. delay;
-          Obs.Metrics.incr "rdi.retries";
-          Obs.Metrics.observe "rdi.backoff_ms" delay;
-          Obs.Trace.instant ~cat:"rdi" "rdi.retry"
-            ~args:
-              [
-                ("try", Obs.Trace.Int try_);
-                ("fault", Obs.Trace.Str (Fault.kind_to_string kind));
-                ("backoff_ms", Obs.Trace.Float delay);
-              ];
-          event t "backoff %.1fms try=%d" delay try_;
-          go (try_ + 1)
+          spent := !spent +. delay;
+          if over_budget () then begin
+            (* Waiting out this backoff would blow the budget: stop now
+               rather than sleep past it. The jitter draw stays spent, so
+               same-seed schedules remain aligned. *)
+            t.deadline_misses <- t.deadline_misses + 1;
+            Obs.Metrics.incr "rdi.deadline_misses";
+            Obs.Trace.instant ~cat:"rdi" "rdi.budget_stop"
+              ~args:[ ("spent_ms", Obs.Trace.Float !spent) ];
+            event t "budget-stop %.1fms try=%d" !spent try_;
+            give_up kind
+          end
+          else begin
+            t.retries <- t.retries + 1;
+            t.backoff_ms <- t.backoff_ms +. delay;
+            Obs.Metrics.incr "rdi.retries";
+            Obs.Metrics.observe "rdi.backoff_ms" delay;
+            Obs.Trace.instant ~cat:"rdi" "rdi.retry"
+              ~args:
+                [
+                  ("try", Obs.Trace.Int try_);
+                  ("fault", Obs.Trace.Str (Fault.kind_to_string kind));
+                  ("backoff_ms", Obs.Trace.Float delay);
+                ];
+            event t "backoff %.1fms try=%d" delay try_;
+            go (try_ + 1)
+          end
         end
     in
     go 0

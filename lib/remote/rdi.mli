@@ -15,6 +15,13 @@
 
 type policy = {
   deadline_ms : float option;  (** per-attempt deadline, [None] = wait forever *)
+  request_budget_ms : float option;
+      (** whole-request budget: the retry loop stops (counted as a
+          deadline miss) once the cumulative simulated spend — attempts'
+          server + communication time plus backoff waits — exceeds it.
+          [deadline_ms] bounds one attempt; this bounds their sum, so
+          retries + backoff can no longer spend many multiples of the
+          caller's budget. [None] = unbounded. *)
   max_retries : int;  (** retries after the first attempt *)
   backoff_base_ms : float;  (** delay before the first retry *)
   backoff_multiplier : float;  (** delay growth per retry *)
@@ -35,6 +42,10 @@ type breaker_state = Closed | Open | Half_open
 type failure =
   | Remote_fault of Fault.kind  (** the attempt(s) failed with this fault *)
   | Breaker_open  (** fast-failed without touching the server *)
+  | Replica_lag of int
+      (** answered by a backup replica that is [n] replication-log entries
+          behind its primary — an honestly-stale subset. Produced by
+          {!Shard_router}, never by this module. *)
 
 val failure_to_string : failure -> string
 

@@ -51,6 +51,14 @@ let set_faults t = function
 
 let fault_config t = Option.map Fault.config t.faults
 
+(* One reachability heartbeat against this server's injector: advances the
+   shared fault clock (a probe is itself a request). Always true without
+   an injector — an unfaulted server cannot be partitioned. *)
+let reachable t = match t.faults with None -> true | Some inj -> Fault.probe inj
+
+let partitioned t =
+  match t.faults with None -> false | Some inj -> Fault.partitioned inj
+
 let charge_request t q ~scanned =
   t.requests <- t.requests + 1;
   t.tuples_scanned <- t.tuples_scanned + scanned;

@@ -26,6 +26,16 @@ val set_faults : t -> Fault.config option -> unit
 
 val fault_config : t -> Fault.config option
 
+val reachable : t -> bool
+(** One reachability heartbeat: {!Fault.probe} against the installed
+    injector (advancing the shared fault clock), [true] when no injector
+    is installed. The replication layer calls this before shipping a
+    log entry to a replica. *)
+
+val partitioned : t -> bool
+(** Whether an installed injector's partition is currently active —
+    passive, no clock advance ({!Fault.partitioned}). *)
+
 val engine : t -> Engine.t
 (** Direct access for loading data; bulk loads are not charged as queries
     (the database pre-exists in the paper's setting). *)

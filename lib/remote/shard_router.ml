@@ -14,12 +14,51 @@ type counters = {
   shards_touched : int;
   shards_pruned : int;
   gather_scanned : int;
+  failovers : int;
+  hinted_writes : int;
+  handoffs : int;
+  repairs : int;
+}
+
+(* One copy of a shard's slice. [server]/[r_rdi] are mutable only because a
+   crash replaces the process ({!crash_replica}); [applied] is the durable
+   replication-log offset that survives it. *)
+type replica = {
+  node : int;
+  mutable server : Server.t;
+  mutable r_rdi : Rdi.t;
+  mutable applied : int;
+  mutable hints : int;
+  mutable repaired : int;
+}
+
+(* A shard's replica group: index 0 is the primary. The replication log is
+   the per-shard write stream — append-only inserts, newest first — and
+   doubles as the hint queue: an entry a replica missed stays in the log
+   until anti-entropy repair replays it from that replica's offset. *)
+type group = {
+  replicas : replica array;
+  mutable rlog_rev : (string * R.Tuple.t) list;
+  mutable rlog_len : int;
+  base : (string, R.Relation.t) Hashtbl.t;
+      (* per-table slice snapshots from the last distribute — with the log
+         prefix [0, applied), the durable state a crashed replica rebuilds *)
+}
+
+type replica_health = {
+  rh_replica : int;
+  rh_node : int;
+  rh_lag : int;
+  rh_partitioned : bool;
+  rh_breaker : Rdi.breaker_state;
+  rh_hints : int;
 }
 
 type t = {
   coordinator : Server.t;
-  shards : Server.t array;
-  rdis : Rdi.t array;
+  groups : group array;
+  clock : Fault.clock;
+  mutable base_policy : Rdi.policy;
   mutable requests : int;
   mutable pinned : int;
   mutable fanouts : int;
@@ -27,40 +66,73 @@ type t = {
   mutable shards_touched : int;
   mutable shards_pruned : int;
   mutable gather_scanned : int;
+  mutable failovers : int;
+  mutable hinted_writes : int;
+  mutable handoffs : int;
+  mutable repairs : int;
 }
 
 let coordinator t = t.coordinator
 let catalog t = Server.catalog t.coordinator
 let cost_model t = Server.cost_model t.coordinator
-let shard_count t = Array.length t.shards
-let shard t i = t.shards.(i)
-let rdi t i = t.rdis.(i)
-let breakers t = Array.to_list (Array.map Rdi.breaker t.rdis)
+let shard_count t = Array.length t.groups
+let replica_count t = Array.length t.groups.(0).replicas
+let shard t i = t.groups.(i).replicas.(0).server
+let rdi t i = t.groups.(i).replicas.(0).r_rdi
+let replica t ~shard r = t.groups.(shard).replicas.(r).server
+let replica_rdi t ~shard r = t.groups.(shard).replicas.(r).r_rdi
+let breakers t = Array.to_list (Array.map (fun g -> Rdi.breaker g.replicas.(0).r_rdi) t.groups)
+let clock t = t.clock
+let log_length t i = t.groups.(i).rlog_len
+let applied t ~shard ~replica = t.groups.(shard).replicas.(replica).applied
 
-(* Each shard's RDI gets its own jitter stream: decorrelated backoff, and
-   — the point of per-shard policies — an independent breaker, so one sick
-   shard tripping open never fast-fails requests bound for healthy ones. *)
-let shard_policy policy i = { policy with Rdi.seed = policy.Rdi.seed + (101 * i) }
+(* Each replica's RDI gets its own jitter stream: decorrelated backoff, and
+   — the point of per-replica policies — an independent breaker, so one
+   sick copy tripping open never fast-fails requests bound for healthy
+   ones. Replica 0 of shard [i] keeps PR 7's per-shard seed exactly, so an
+   unreplicated router is bit-identical to the pre-replication one. *)
+let replica_policy policy i r =
+  { policy with Rdi.seed = policy.Rdi.seed + (101 * i) + (10007 * r) }
 
 (* Unpartitioned tables live whole on one deterministic home shard. *)
 let home t name =
-  if Array.length t.shards = 1 then 0
-  else R.Value.hash (R.Value.Str name) mod Array.length t.shards
+  if Array.length t.groups = 1 then 0
+  else R.Value.hash (R.Value.Str name) mod Array.length t.groups
 
 let owner_of_row t name tup =
   match Catalog.partitioning_of (catalog t) name with
   | None -> home t name
   | Some p ->
     let col = Catalog.partition_column p in
-    Catalog.shard_of_value p ~shards:(Array.length t.shards) (R.Tuple.get tup col)
+    Catalog.shard_of_value p ~shards:(Array.length t.groups) (R.Tuple.get tup col)
 
-(* (Re)slice one coordinator table across the shards. Every shard gets the
-   table registered — possibly with an empty slice — so a fanned-out
-   request never hits an unknown-table error mid-scatter. *)
+(* Replication-log entries [from, rlog_len), oldest first. *)
+let log_suffix g ~from =
+  let todo = g.rlog_len - from in
+  if todo <= 0 then []
+  else List.rev (List.filteri (fun k _ -> k < todo) g.rlog_rev)
+
+(* Apply every outstanding log entry, reachability ignored: bulk admin
+   (reslicing) runs with the fleet quiesced, and skipping a down replica
+   here would strand its missed writes once the log resets below. *)
+let force_catch_up g =
+  Array.iter
+    (fun rep ->
+      List.iter
+        (fun (name, tup) -> Engine.insert (Server.engine rep.server) name tup)
+        (log_suffix g ~from:rep.applied);
+      rep.applied <- g.rlog_len)
+    g.replicas
+
+(* (Re)slice one coordinator table across the shards. Every replica gets
+   the table registered — possibly with an empty slice — so a fanned-out
+   request never hits an unknown-table error mid-scatter. A reslice
+   re-baselines the group: the snapshot absorbs the old log, which then
+   restarts empty with every replica at offset zero. *)
 let distribute t name =
   let rel = Engine.table (Server.engine t.coordinator) name in
   let schema = R.Relation.schema rel in
-  let n = Array.length t.shards in
+  let n = Array.length t.groups in
   let slices = Array.make n [] in
   let add i tup = slices.(i) <- tup :: slices.(i) in
   (match Catalog.partitioning_of (catalog t) name with
@@ -74,22 +146,63 @@ let distribute t name =
        rel);
   Array.iteri
     (fun i rows ->
-      Engine.load (Server.engine t.shards.(i))
-        (R.Relation.of_tuples ~name schema (List.rev rows)))
+      let g = t.groups.(i) in
+      force_catch_up g;
+      g.rlog_rev <- [];
+      g.rlog_len <- 0;
+      Array.iter (fun rep -> rep.applied <- 0; rep.hints <- 0) g.replicas;
+      let slice = R.Relation.of_tuples ~name schema (List.rev rows) in
+      Hashtbl.replace g.base name slice;
+      (* Each replica owns a private copy: [Engine.insert] mutates in
+         place, so sharing the slice would leak a primary's inline
+         applies into its backups (and into the snapshot), silently
+         hiding replication lag. The snapshot itself is never loaded
+         into an engine and stays pristine for crash recovery. *)
+      Array.iter
+        (fun rep -> Engine.load (Server.engine rep.server) (R.Relation.copy slice))
+        g.replicas)
     slices
 
-let create ?(policy = Rdi.default_policy) ~shards coordinator =
+let create ?(policy = Rdi.default_policy) ?replicas ~shards coordinator =
   if shards < 1 then invalid_arg "Shard_router.create: shards must be >= 1";
+  let cat = Server.catalog coordinator in
+  let replicas =
+    match replicas with
+    | Some r ->
+      Catalog.set_replication cat r;
+      r
+    | None -> Catalog.replication cat
+  in
   let cost = Server.cost_model coordinator in
-  let servers = Array.init shards (fun _ -> Server.create ~cost ()) in
-  let rdis =
-    Array.init shards (fun i -> Rdi.create ~policy:(shard_policy policy i) servers.(i))
+  let groups =
+    Array.init shards (fun i ->
+        let nodes = Catalog.replica_nodes ~shards ~replicas i in
+        {
+          replicas =
+            Array.of_list
+              (List.mapi
+                 (fun r node ->
+                   let server = Server.create ~cost () in
+                   {
+                     node;
+                     server;
+                     r_rdi = Rdi.create ~policy:(replica_policy policy i r) server;
+                     applied = 0;
+                     hints = 0;
+                     repaired = 0;
+                   })
+                 nodes);
+          rlog_rev = [];
+          rlog_len = 0;
+          base = Hashtbl.create 8;
+        })
   in
   let t =
     {
       coordinator;
-      shards = servers;
-      rdis;
+      groups;
+      clock = Fault.clock ();
+      base_policy = policy;
       requests = 0;
       pinned = 0;
       fanouts = 0;
@@ -97,6 +210,10 @@ let create ?(policy = Rdi.default_policy) ~shards coordinator =
       shards_touched = 0;
       shards_pruned = 0;
       gather_scanned = 0;
+      failovers = 0;
+      hinted_writes = 0;
+      handoffs = 0;
+      repairs = 0;
     }
   in
   List.iter (distribute t) (Catalog.tables (catalog t));
@@ -109,13 +226,35 @@ let load t ?partitioning rel =
    | None -> ());
   distribute t (R.Relation.name rel)
 
+(* Primary-path write: the coordinator (authority) takes the row, the
+   owning group's replication log appends it, and each replica applies it
+   inline only when it is reachable AND already at the log head — applying
+   out of order would diverge from a deterministic replay. Anything else
+   becomes a hinted write, drained by {!tick_repair} on rejoin. Each
+   (replica, write) pair costs one reachability heartbeat, which also
+   advances the shared clock partitions heal against. *)
 let insert t name tup =
   Engine.insert (Server.engine t.coordinator) name tup;
-  Engine.insert (Server.engine t.shards.(owner_of_row t name tup)) name tup
+  let g = t.groups.(owner_of_row t name tup) in
+  g.rlog_rev <- (name, tup) :: g.rlog_rev;
+  g.rlog_len <- g.rlog_len + 1;
+  Array.iter
+    (fun rep ->
+      let up = Server.reachable rep.server in
+      if up && rep.applied = g.rlog_len - 1 then begin
+        Engine.insert (Server.engine rep.server) name tup;
+        rep.applied <- g.rlog_len
+      end
+      else begin
+        rep.hints <- rep.hints + 1;
+        t.hinted_writes <- t.hinted_writes + 1;
+        Obs.Metrics.incr "shard.replica.hints"
+      end)
+    g.replicas
 
 (* --- routing --- *)
 
-let all_shards t = List.init (Array.length t.shards) Fun.id
+let all_shards t = List.init (Array.length t.groups) Fun.id
 
 (* An equality in the WHERE clause pinning [alias.attr] to a constant. *)
 let pinned_const (q : Sql.select) alias attr =
@@ -146,7 +285,7 @@ let source_targets t (q : Sql.select) (s : Sql.source) =
   match Catalog.partitioning_of cat s.Sql.table with
   | None -> [ home t s.Sql.table ]
   | Some p ->
-    let shards = Array.length t.shards in
+    let shards = Array.length t.groups in
     (match Catalog.schema_of cat s.Sql.table with
      | None -> all_shards t
      | Some schema ->
@@ -242,7 +381,7 @@ let colocated t (q : Sql.select) =
   end
 
 let route t (q : Sql.select) =
-  if Array.length t.shards = 1 then Pinned { shard = 0; reason = `Home }
+  if Array.length t.groups = 1 then Pinned { shard = 0; reason = `Home }
   else
     match q.Sql.from with
     | [ s ] ->
@@ -304,6 +443,104 @@ let route_to_string = function
 
 let route_signature t q = route_to_string (route t q)
 
+(* --- replica serving --- *)
+
+(* Serving preference: most caught-up replica first, the primary ahead of
+   equally caught-up backups (the stable sort keeps array order on ties). *)
+let serving_order g =
+  Array.to_list (Array.mapi (fun ri rep -> (ri, rep)) g.replicas)
+  |> List.stable_sort (fun (_, a) (_, b) -> Int.compare b.applied a.applied)
+
+let replica_health t i =
+  let g = t.groups.(i) in
+  Array.to_list
+    (Array.mapi
+       (fun ri rep ->
+         {
+           rh_replica = ri;
+           rh_node = rep.node;
+           rh_lag = g.rlog_len - rep.applied;
+           rh_partitioned = Server.partitioned rep.server;
+           rh_breaker = Rdi.breaker rep.r_rdi;
+           rh_hints = rep.hints;
+         })
+       g.replicas)
+
+(* The replica a read of shard [i] will be offered to first, with the
+   reason — pure (no execution, no clock), what [:explain] prints. The
+   dynamic path below can still move past it when its attempt fails. *)
+let replica_choice t i =
+  let g = t.groups.(i) in
+  let order = serving_order g in
+  let ri, rep =
+    match List.find_opt (fun (_, rep) -> Rdi.breaker rep.r_rdi <> Rdi.Open) order with
+    | Some x -> x
+    | None -> List.hd order
+  in
+  let lag = g.rlog_len - rep.applied in
+  let reason =
+    if ri = 0 then "primary"
+    else begin
+      let p = g.replicas.(0) in
+      let plag = g.rlog_len - p.applied in
+      let suffix = if lag > 0 then Printf.sprintf "; backup lags %d" lag else "" in
+      if Rdi.breaker p.r_rdi = Rdi.Open then "primary breaker open" ^ suffix
+      else Printf.sprintf "primary lags %d%s" plag suffix
+    end
+  in
+  (ri, reason)
+
+let note_failover t ~shard ~replica ~lag =
+  t.failovers <- t.failovers + 1;
+  Obs.Metrics.incr "shard.replica.failovers";
+  Obs.Trace.instant ~cat:"shard" "shard.replica.failover"
+    ~args:
+      [
+        ("shard", Obs.Trace.Int shard);
+        ("replica", Obs.Trace.Int replica);
+        ("lag", Obs.Trace.Int lag);
+      ]
+
+(* One replicated-shard read. Replicas are offered the request in serving
+   order, except that a replica whose breaker is open is demoted behind
+   every closed one — its RDI would only fast-fail or serve from its
+   response cache, so a healthy backup should be asked first (that demotion
+   IS the breaker-open failover; when every breaker is open the demoted
+   copies are still tried, which at R=1 makes this identical to the
+   unreplicated path). The first Fresh execution wins. A fully caught-up
+   copy serves Fresh; a lagging one is downgraded to an honestly-Stale
+   answer — inserts are append-only, so its data is a subset of the truth,
+   exactly what [Stale] promises. A serve by anyone but the primary counts
+   as a failover. Only when every replica fails does the read fall back to
+   the best degrade-to-cache outcome collected along the way. *)
+let exec_shard t i q =
+  let g = t.groups.(i) in
+  let rec go fallback = function
+    | [] ->
+      (match fallback with
+       | Some o -> o
+       | None -> Rdi.Failed (Rdi.Remote_fault Fault.Transient))
+    | (ri, rep) :: rest ->
+      (match Rdi.exec rep.r_rdi q with
+       | Rdi.Fresh rel ->
+         let lag = g.rlog_len - rep.applied in
+         if ri <> 0 then note_failover t ~shard:i ~replica:ri ~lag;
+         Obs.Trace.add_arg "replica" (Obs.Trace.Int ri);
+         if lag = 0 then Rdi.Fresh rel else Rdi.Stale (rel, Rdi.Replica_lag lag)
+       | (Rdi.Stale _ | Rdi.Failed _) as o ->
+         let fallback =
+           match (fallback, o) with
+           | None, _ -> Some o
+           | Some (Rdi.Failed _), Rdi.Stale _ -> Some o
+           | Some _, _ -> fallback
+         in
+         go fallback rest)
+  in
+  let closed, open_ =
+    List.partition (fun (_, rep) -> Rdi.breaker rep.r_rdi <> Rdi.Open) (serving_order g)
+  in
+  go None (closed @ open_)
+
 (* --- execution --- *)
 
 let first_failure outcomes =
@@ -342,7 +579,7 @@ let merge_outcomes (q : Sql.select) outcomes =
 let exec_fanout t (q : Sql.select) targets =
   t.fanouts <- t.fanouts + 1;
   t.shards_touched <- t.shards_touched + List.length targets;
-  t.shards_pruned <- t.shards_pruned + (Array.length t.shards - List.length targets);
+  t.shards_pruned <- t.shards_pruned + (Array.length t.groups - List.length targets);
   Obs.Metrics.incr "shard.fanout";
   Obs.Trace.instant ~cat:"shard" "shard.fanout"
     ~args:
@@ -350,14 +587,14 @@ let exec_fanout t (q : Sql.select) targets =
         ("shards", Obs.Trace.Int (List.length targets));
         ("sql", Obs.Trace.Str (Sql.to_string q));
       ];
-  merge_outcomes q (List.map (fun i -> (i, Rdi.exec t.rdis.(i) q)) targets)
+  merge_outcomes q (List.map (fun i -> (i, exec_shard t i q)) targets)
 
 let exec_pinned t (q : Sql.select) shard =
   t.pinned <- t.pinned + 1;
   t.shards_touched <- t.shards_touched + 1;
-  t.shards_pruned <- t.shards_pruned + (Array.length t.shards - 1);
+  t.shards_pruned <- t.shards_pruned + (Array.length t.groups - 1);
   Obs.Metrics.incr "shard.pinned";
-  Rdi.exec t.rdis.(shard) q
+  exec_shard t shard q
 
 (* Conditions a single-source sub-fetch can take with it: anything that
    mentions only this source's columns and constants. *)
@@ -396,9 +633,9 @@ let exec_gather t (q : Sql.select) per_source =
         in
         t.shards_touched <- t.shards_touched + List.length targets;
         t.shards_pruned <-
-          t.shards_pruned + (Array.length t.shards - List.length targets);
+          t.shards_pruned + (Array.length t.groups - List.length targets);
         let outcome =
-          merge_outcomes sub (List.map (fun i -> (i, Rdi.exec t.rdis.(i) sub)) targets)
+          merge_outcomes sub (List.map (fun i -> (i, exec_shard t i sub)) targets)
         in
         match outcome with
         | Rdi.Failed f -> failed := Some f
@@ -451,61 +688,170 @@ let exec t (q : Sql.select) =
       | Fanout targets -> exec_fanout t q targets
       | Gather per_source -> exec_gather t q per_source)
 
+(* --- anti-entropy repair --- *)
+
+(* Replay the replication log into one replica from its applied offset.
+   Returns true when a repair ran (the replica was lagging and reachable —
+   the reachability heartbeat also advances the shared clock). *)
+let repair_replica t i ri =
+  let g = t.groups.(i) in
+  let rep = g.replicas.(ri) in
+  let lag = g.rlog_len - rep.applied in
+  if lag > 0 && Server.reachable rep.server then begin
+    Obs.Trace.with_span ~cat:"shard" "shard.replica.repair"
+      ~args:
+        [
+          ("shard", Obs.Trace.Int i);
+          ("replica", Obs.Trace.Int ri);
+          ("lag", Obs.Trace.Int lag);
+        ]
+      (fun () ->
+        List.iter
+          (fun (name, tup) -> Engine.insert (Server.engine rep.server) name tup)
+          (log_suffix g ~from:rep.applied);
+        rep.applied <- g.rlog_len;
+        (* hinted writes queued while the replica was down are handed off *)
+        t.handoffs <- t.handoffs + rep.hints;
+        if rep.hints > 0 then Obs.Metrics.incr ~by:rep.hints "shard.replica.handoffs";
+        rep.hints <- 0;
+        rep.repaired <- rep.repaired + 1;
+        t.repairs <- t.repairs + 1;
+        Obs.Metrics.incr "shard.replica.repairs");
+    true
+  end
+  else false
+
+(* One anti-entropy round: every reachable replica whose lag exceeds
+   [max_lag] replays the log to the head. Returns the number of repairs. *)
+let tick_repair ?(max_lag = 0) t =
+  let repaired = ref 0 in
+  Array.iteri
+    (fun i g ->
+      Array.iteri
+        (fun ri rep ->
+          if g.rlog_len - rep.applied > max_lag && repair_replica t i ri then
+            incr repaired)
+        g.replicas)
+    t.groups;
+  !repaired
+
+(* Crash-and-recover one replica: the process dies, its in-memory engine
+   is lost, and recovery rebuilds the durable state — the base snapshot
+   plus the replication-log prefix [0, applied) (the cache WAL's
+   checkpoint-and-replay idiom: [applied] is the offset the replica had
+   persisted). Breaker and jitter state restart with the process; the
+   fault profile stays — it models the environment, not the process. *)
+let crash_replica t ~shard ~replica =
+  if shard < 0 || shard >= Array.length t.groups then
+    invalid_arg "Shard_router.crash_replica: shard out of range";
+  let g = t.groups.(shard) in
+  if replica < 0 || replica >= Array.length g.replicas then
+    invalid_arg "Shard_router.crash_replica: replica out of range";
+  let rep = g.replicas.(replica) in
+  let fresh = Server.create ~cost:(Server.cost_model t.coordinator) () in
+  Hashtbl.fold (fun name rel acc -> (name, rel) :: acc) g.base []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (_, rel) -> Engine.load (Server.engine fresh) (R.Relation.copy rel));
+  List.iter
+    (fun (name, tup) -> Engine.insert (Server.engine fresh) name tup)
+    (List.filteri (fun k _ -> k < rep.applied) (log_suffix g ~from:0));
+  Server.set_faults fresh (Server.fault_config rep.server);
+  rep.server <- fresh;
+  rep.r_rdi <- Rdi.create ~policy:(replica_policy t.base_policy shard replica) fresh
+
 (* --- faults, policies, accounting --- *)
 
+(* Every injector installed through the router shares its fault clock, so
+   partitions heal on system-wide progress (see {!Fault.clock}). *)
+let wire_clock t config =
+  Option.map
+    (fun (c : Fault.config) ->
+      match c.Fault.clock with
+      | None -> { c with Fault.clock = Some t.clock }
+      | Some _ -> c)
+    config
+
+let set_replica_faults t ~shard ~replica config =
+  if shard < 0 || shard >= Array.length t.groups then
+    invalid_arg "Shard_router.set_replica_faults: shard out of range";
+  let g = t.groups.(shard) in
+  if replica < 0 || replica >= Array.length g.replicas then
+    invalid_arg "Shard_router.set_replica_faults: replica out of range";
+  Server.set_faults g.replicas.(replica).server (wire_clock t config)
+
 let set_faults t ~shard config =
-  if shard < 0 || shard >= Array.length t.shards then
+  if shard < 0 || shard >= Array.length t.groups then
     invalid_arg "Shard_router.set_faults: shard out of range";
-  Server.set_faults t.shards.(shard) config
+  set_replica_faults t ~shard ~replica:0 config
 
 let set_faults_all t config =
-  Array.iter (fun s -> Server.set_faults s config) t.shards
+  Array.iter
+    (fun g ->
+      Array.iter (fun rep -> Server.set_faults rep.server (wire_clock t config)) g.replicas)
+    t.groups
 
 let set_policy t policy =
-  Array.iteri (fun i r -> Rdi.set_policy r (shard_policy policy i)) t.rdis
+  t.base_policy <- policy;
+  Array.iteri
+    (fun i g ->
+      Array.iteri (fun r rep -> Rdi.set_policy rep.r_rdi (replica_policy policy i r)) g.replicas)
+    t.groups
+
+let sum_server_stats acc (st : Server.stats) =
+  {
+    Server.requests = acc.Server.requests + st.Server.requests;
+    tuples_returned = acc.Server.tuples_returned + st.Server.tuples_returned;
+    tuples_scanned = acc.Server.tuples_scanned + st.Server.tuples_scanned;
+    server_ms = acc.Server.server_ms +. st.Server.server_ms;
+    comm_ms = acc.Server.comm_ms +. st.Server.comm_ms;
+    faults_injected = acc.Server.faults_injected + st.Server.faults_injected;
+    injected_ms = acc.Server.injected_ms +. st.Server.injected_ms;
+  }
+
+let zero_server_stats =
+  {
+    Server.requests = 0;
+    tuples_returned = 0;
+    tuples_scanned = 0;
+    server_ms = 0.0;
+    comm_ms = 0.0;
+    faults_injected = 0;
+    injected_ms = 0.0;
+  }
 
 let stats t =
   Array.fold_left
-    (fun (acc : Server.stats) s ->
-      let st = Server.stats s in
-      {
-        Server.requests = acc.Server.requests + st.Server.requests;
-        tuples_returned = acc.Server.tuples_returned + st.Server.tuples_returned;
-        tuples_scanned = acc.Server.tuples_scanned + st.Server.tuples_scanned;
-        server_ms = acc.Server.server_ms +. st.Server.server_ms;
-        comm_ms = acc.Server.comm_ms +. st.Server.comm_ms;
-        faults_injected = acc.Server.faults_injected + st.Server.faults_injected;
-        injected_ms = acc.Server.injected_ms +. st.Server.injected_ms;
-      })
-    {
-      Server.requests = 0;
-      tuples_returned = 0;
-      tuples_scanned = 0;
-      server_ms = 0.0;
-      comm_ms = 0.0;
-      faults_injected = 0;
-      injected_ms = 0.0;
-    }
-    t.shards
+    (fun acc g ->
+      Array.fold_left (fun acc rep -> sum_server_stats acc (Server.stats rep.server)) acc g.replicas)
+    zero_server_stats t.groups
 
-let shard_stats t = Array.to_list (Array.map Server.stats t.shards)
+let shard_stats t =
+  Array.to_list (Array.map (fun g -> Server.stats g.replicas.(0).server) t.groups)
+
+let replica_stats t i =
+  Array.to_list (Array.map (fun rep -> Server.stats rep.server) t.groups.(i).replicas)
+
+let replica_log t ~shard ~replica = Server.log t.groups.(shard).replicas.(replica).server
 
 let rdi_stats t =
   Array.fold_left
-    (fun (acc : Rdi.stats) r ->
-      let st = Rdi.stats r in
-      {
-        Rdi.requests = acc.Rdi.requests + st.Rdi.requests;
-        attempts = acc.Rdi.attempts + st.Rdi.attempts;
-        retries = acc.Rdi.retries + st.Rdi.retries;
-        failures = acc.Rdi.failures + st.Rdi.failures;
-        deadline_misses = acc.Rdi.deadline_misses + st.Rdi.deadline_misses;
-        trips = acc.Rdi.trips + st.Rdi.trips;
-        fast_fails = acc.Rdi.fast_fails + st.Rdi.fast_fails;
-        half_open_probes = acc.Rdi.half_open_probes + st.Rdi.half_open_probes;
-        stale_serves = acc.Rdi.stale_serves + st.Rdi.stale_serves;
-        backoff_ms = acc.Rdi.backoff_ms +. st.Rdi.backoff_ms;
-      })
+    (fun acc g ->
+      Array.fold_left
+        (fun (acc : Rdi.stats) rep ->
+          let st = Rdi.stats rep.r_rdi in
+          {
+            Rdi.requests = acc.Rdi.requests + st.Rdi.requests;
+            attempts = acc.Rdi.attempts + st.Rdi.attempts;
+            retries = acc.Rdi.retries + st.Rdi.retries;
+            failures = acc.Rdi.failures + st.Rdi.failures;
+            deadline_misses = acc.Rdi.deadline_misses + st.Rdi.deadline_misses;
+            trips = acc.Rdi.trips + st.Rdi.trips;
+            fast_fails = acc.Rdi.fast_fails + st.Rdi.fast_fails;
+            half_open_probes = acc.Rdi.half_open_probes + st.Rdi.half_open_probes;
+            stale_serves = acc.Rdi.stale_serves + st.Rdi.stale_serves;
+            backoff_ms = acc.Rdi.backoff_ms +. st.Rdi.backoff_ms;
+          })
+        acc g.replicas)
     {
       Rdi.requests = 0;
       attempts = 0;
@@ -518,7 +864,7 @@ let rdi_stats t =
       stale_serves = 0;
       backoff_ms = 0.0;
     }
-    t.rdis
+    t.groups
 
 let counters t =
   {
@@ -529,16 +875,30 @@ let counters t =
     shards_touched = t.shards_touched;
     shards_pruned = t.shards_pruned;
     gather_scanned = t.gather_scanned;
+    failovers = t.failovers;
+    hinted_writes = t.hinted_writes;
+    handoffs = t.handoffs;
+    repairs = t.repairs;
   }
 
 let reset_stats t =
   Server.reset_stats t.coordinator;
-  Array.iter Server.reset_stats t.shards;
-  Array.iter Rdi.reset_stats t.rdis;
+  Array.iter
+    (fun g ->
+      Array.iter
+        (fun rep ->
+          Server.reset_stats rep.server;
+          Rdi.reset_stats rep.r_rdi)
+        g.replicas)
+    t.groups;
   t.requests <- 0;
   t.pinned <- 0;
   t.fanouts <- 0;
   t.gathers <- 0;
   t.shards_touched <- 0;
   t.shards_pruned <- 0;
-  t.gather_scanned <- 0
+  t.gather_scanned <- 0;
+  t.failovers <- 0;
+  t.hinted_writes <- 0;
+  t.handoffs <- 0;
+  t.repairs <- 0

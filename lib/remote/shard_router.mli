@@ -1,10 +1,13 @@
-(** Scatter-gather router over a partitioned fleet of remote servers.
+(** Scatter-gather router over a partitioned, replicated fleet of remote
+    servers.
 
     The ROADMAP's scale-out step: instead of one {!Server} absorbing every
-    fetch, the remote is split into [N] shards, each a full {!Server} with
-    its own fault injector and its own {!Rdi} policy instance (independent
-    circuit breaker, decorrelated jitter seed) — a sick shard degrades only
-    its slice of the data while healthy shards keep answering Fresh.
+    fetch, the remote is split into [N] shards, each held by a {e replica
+    group} of [R] full {!Server}s — the primary plus [R - 1] backups, each
+    with its own fault injector and its own {!Rdi} policy instance
+    (independent circuit breaker, decorrelated jitter seed). A sick shard
+    degrades only its slice of the data, and with [R >= 2] a sick {e copy}
+    costs a failover, not freshness.
 
     The {e coordinator} server passed to {!create} keeps the complete data
     set and stays the catalog/statistics authority, the consistency
@@ -26,15 +29,38 @@
       pushed down, then run the residual join on a scratch engine at the
       router (its scan work reported in [counters.gather_scanned]).
 
+    {2 Replication}
+
+    Placement is {!Catalog.replica_nodes}: replica [r] of shard [s] lives
+    on node [(s + r) mod shards], pure arithmetic, identical on every run.
+    Writes ({!insert}) go to the coordinator and append to the owning
+    shard's {e replication log}; each replica applies the entry inline only
+    when reachable and already at the log head — otherwise the write is
+    {e hinted} (queued in the log) and handed off when {!tick_repair}
+    replays the log from the replica's applied offset (the cache WAL's
+    checkpoint-and-replay idiom; {!crash_replica} rebuilds a dead replica
+    the same way).
+
+    Reads are offered to replicas most-caught-up-first (primary ahead on
+    ties); the first Fresh execution wins. A fully caught-up copy serves
+    Fresh, a lagging one is downgraded to an honestly-[Stale] answer
+    ([Rdi.Replica_lag] — inserts are append-only, so its data is a subset
+    of the truth), and a serve by anyone but the primary counts as a
+    failover ([shard.replica.failovers]). Only total replica loss falls
+    back to the RDI's degrade-to-cache.
+
     Outcome merging is degradation-aware: all slices Fresh ⇒ Fresh; any
     slice degraded or missing ⇒ [Stale] (the merged subset — compatible
     with the oracle's subset rule); nothing at all ⇒ [Failed].
     {!Fault.Injected}[ Crash] propagates unhandled, as with a single RDI.
 
     Everything stays deterministic: {!Catalog.shard_of_value} is seed-free,
-    per-shard RDI seeds are fixed offsets of the base policy seed, and
-    merges happen in shard order — the E16 counters in BENCH_relalg.json
-    are byte-identical across runs. *)
+    per-replica RDI seeds are fixed offsets of the base policy seed,
+    merges happen in shard order, and injectors installed through the
+    router share one {!Fault.clock} so partitions heal on system-wide
+    request progress — the E16/E17 counters in BENCH_relalg.json are
+    byte-identical across runs. An [R = 1] router behaves bit-for-bit like
+    the pre-replication one. *)
 
 type t
 
@@ -45,7 +71,7 @@ type route =
   | Gather of (Sql.source * int list) list
       (** per-source shard targets for a router-side join *)
 
-(** Cumulative routing decisions (reset by {!reset_stats}). *)
+(** Cumulative routing and replication decisions (reset by {!reset_stats}). *)
 type counters = {
   requests : int;
   pinned : int;  (** requests answered by exactly one shard *)
@@ -54,26 +80,73 @@ type counters = {
   shards_touched : int;  (** sum over requests of shards contacted *)
   shards_pruned : int;  (** sum over requests of shards skipped *)
   gather_scanned : int;  (** tuples the router's own residual joins scanned *)
+  failovers : int;  (** reads served by a backup instead of the primary *)
+  hinted_writes : int;  (** log entries a replica missed at write time *)
+  handoffs : int;  (** hinted entries delivered by anti-entropy repair *)
+  repairs : int;  (** repair runs that caught a lagging replica up *)
 }
 
-val create : ?policy:Rdi.policy -> shards:int -> Server.t -> t
-(** Stands up [shards] servers (sharing the coordinator's cost model) and
-    slices every table currently loaded on the coordinator across them per
-    its {!Catalog.partitioning}; unpartitioned tables live whole on a
-    deterministic home shard. Each shard's RDI runs [policy] (default
-    {!Rdi.default_policy}) with a per-shard seed offset.
-    Raises [Invalid_argument] when [shards < 1]. *)
+(** One replica's health, as [:shards] displays it. *)
+type replica_health = {
+  rh_replica : int;  (** replica index within the group; 0 = primary *)
+  rh_node : int;  (** hosting node per {!Catalog.replica_nodes} *)
+  rh_lag : int;  (** replication-log entries behind the head *)
+  rh_partitioned : bool;  (** severed right now ({!Server.partitioned}) *)
+  rh_breaker : Rdi.breaker_state;
+  rh_hints : int;  (** writes queued for it since its last repair *)
+}
+
+val create : ?policy:Rdi.policy -> ?replicas:int -> shards:int -> Server.t -> t
+(** Stands up [shards] replica groups of [replicas] servers each (sharing
+    the coordinator's cost model) and slices every table currently loaded
+    on the coordinator across them per its {!Catalog.partitioning};
+    unpartitioned tables live whole on a deterministic home shard. Each
+    replica's RDI runs [policy] (default {!Rdi.default_policy}) with a
+    per-replica seed offset. [replicas] defaults to the catalog's recorded
+    {!Catalog.replication} (and records it when given). Raises
+    [Invalid_argument] when [shards < 1] or [replicas < 1]. *)
 
 val coordinator : t -> Server.t
 val catalog : t -> Catalog.t
 val cost_model : t -> Cost_model.t
 val shard_count : t -> int
 
+val replica_count : t -> int
+(** Replicas per shard ([R]); 1 = unreplicated. *)
+
 val shard : t -> int -> Server.t
-(** The i-th shard's server (fault injection, per-shard stats). *)
+(** The i-th shard's {e primary} server (fault injection, per-shard stats). *)
 
 val rdi : t -> int -> Rdi.t
+(** The i-th shard's primary RDI. *)
+
+val replica : t -> shard:int -> int -> Server.t
+(** [replica t ~shard r] — replica [r]'s server (0 = primary). *)
+
+val replica_rdi : t -> shard:int -> int -> Rdi.t
 val breakers : t -> Rdi.breaker_state list
+(** Primary breaker per shard, in shard order. *)
+
+val clock : t -> Fault.clock
+(** The shared fault clock every injector installed through the router is
+    wired to; partitions heal against its system-wide request count. *)
+
+val log_length : t -> int -> int
+(** Length of shard [i]'s replication log (entries since the last
+    distribute). *)
+
+val applied : t -> shard:int -> replica:int -> int
+(** The replica's applied replication-log offset; [log_length - applied]
+    is its lag. *)
+
+val replica_health : t -> int -> replica_health list
+(** Shard [i]'s replicas, primary first. Passive — no clock advance. *)
+
+val replica_choice : t -> int -> int * string
+(** The replica a read of shard [i] would be offered to first, and why
+    (["primary"], ["primary lags n"], ["primary breaker open"]...). Pure —
+    no execution, no counters; [:explain] prints it. The dynamic path can
+    still move past the choice when its attempt fails. *)
 
 val home : t -> string -> int
 (** The home shard of an unpartitioned table (hash of its name). *)
@@ -85,10 +158,17 @@ val load : t -> ?partitioning:Catalog.partitioning -> Braid_relalg.Relation.t ->
     [partitioning] when given, and (re)distributes the slices. *)
 
 val insert : t -> string -> Braid_relalg.Tuple.t -> unit
-(** Inserts into the coordinator (catalog authority) and the owning shard. *)
+(** Inserts into the coordinator (catalog authority), appends to the owning
+    shard's replication log, and applies the entry inline on every replica
+    that is reachable and caught up — anyone else gets it as a hinted
+    write, delivered by {!tick_repair}. Costs one reachability heartbeat
+    per replica. *)
 
 val distribute : t -> string -> unit
-(** Reslices one coordinator table, e.g. after changing its partitioning. *)
+(** Reslices one coordinator table, e.g. after changing its partitioning.
+    Re-baselines the affected groups: outstanding log entries are applied
+    first (reachability ignored — bulk admin), then the log restarts empty
+    with every replica at offset zero. *)
 
 val route : t -> Sql.select -> route
 (** The routing decision alone — pure, no execution, no counters. *)
@@ -100,25 +180,58 @@ val route_signature : t -> Sql.select -> string
     it and [:explain] prints it. *)
 
 val exec : t -> Sql.select -> Rdi.outcome
-(** One routed request (see the routing/merging rules above). Emits a
-    [shard.route] span, [shard.fanout] instants, and [shard.*] metrics. *)
+(** One routed request (see the routing/merging/replica-serving rules
+    above). Emits a [shard.route] span, [shard.fanout] instants,
+    [shard.replica.failover] instants, and [shard.*] metrics. *)
+
+val tick_repair : ?max_lag:int -> t -> int
+(** One anti-entropy round: every reachable replica whose lag exceeds
+    [max_lag] (default 0) replays the replication log from its applied
+    offset to the head, draining its hinted writes. Returns the number of
+    replicas repaired. Emits [shard.replica.repair] spans and bumps the
+    [repairs]/[handoffs] counters. The serving soak ticks this every
+    wave — the lag bound of steady-state operation. *)
+
+val crash_replica : t -> shard:int -> replica:int -> unit
+(** Crash-and-recover one replica: its in-memory engine is lost and
+    rebuilt from durable state — the base slice snapshots plus the
+    replication-log prefix below its [applied] offset (checkpoint +
+    replay, the cache WAL idiom). Breaker and jitter state restart with
+    the process; the fault profile persists (it models the environment).
+    The replica rejoins lagging; {!tick_repair} catches it up. *)
 
 val set_faults : t -> shard:int -> Fault.config option -> unit
-(** Per-shard brownout profile — the one-shard-down experiments poison a
-    single shard and assert the others stay Fresh. *)
+(** Fault profile for the shard's {e primary} — the one-shard-down
+    experiments poison a single copy and watch reads fail over. The
+    config is wired to the router's shared {!Fault.clock} when it carries
+    none. *)
+
+val set_replica_faults : t -> shard:int -> replica:int -> Fault.config option -> unit
+(** Per-replica fault profile (chaos runs sever exactly one copy). Also
+    wired to the shared clock. *)
 
 val set_faults_all : t -> Fault.config option -> unit
+(** The same profile on every replica of every shard. *)
 
 val set_policy : t -> Rdi.policy -> unit
-(** Re-seeds every shard's RDI with its per-shard offset of [policy]. *)
+(** Re-seeds every replica's RDI with its per-replica offset of [policy]. *)
 
 val stats : t -> Server.stats
-(** Field-wise sum over the shard servers (the coordinator, never executed
-    through {!exec}, is excluded). *)
+(** Field-wise sum over every replica server (the coordinator, never
+    executed through {!exec}, is excluded). *)
 
 val shard_stats : t -> Server.stats list
+(** Per-shard {e primary} stats, in shard order. *)
+
+val replica_stats : t -> int -> Server.stats list
+(** Shard [i]'s per-replica stats, primary first. *)
+
+val replica_log : t -> shard:int -> replica:int -> string list
+(** The replica server's request log, oldest first — the per-replica
+    journals the chaos soak uploads on failure. *)
+
 val rdi_stats : t -> Rdi.stats
-(** Field-wise sum over the per-shard RDIs. *)
+(** Field-wise sum over every replica's RDI. *)
 
 val counters : t -> counters
 val reset_stats : t -> unit

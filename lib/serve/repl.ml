@@ -12,6 +12,7 @@ type t = {
   mutable config : Qpo.config;
   mutable strategy : Braid_ie.Strategy.kind;
   mutable shards : int; (* 1 = single-server remote *)
+  mutable replicas : int; (* copies per shard; 1 = unreplicated *)
   mutable clauses : string list; (* rule clauses, oldest first *)
   facts : (string, R.Relation.t) Hashtbl.t; (* base relations typed in or loaded *)
   mutable sys : System.t option; (* rebuilt lazily after changes *)
@@ -20,11 +21,12 @@ type t = {
   mutable tracing : bool;
 }
 
-let create ?(config = Qpo.braid_config) ?(shards = 1) () =
+let create ?(config = Qpo.braid_config) ?(shards = 1) ?(replicas = 1) () =
   {
     config;
     strategy = Braid_ie.Strategy.Interpretive;
     shards = max 1 shards;
+    replicas = max 1 replicas;
     clauses = [];
     facts = Hashtbl.create 16;
     sys = None;
@@ -53,7 +55,8 @@ let commands_help =
   \  :spans [N]                         last N recorded spans (default 15); needs :trace on\n\
   \  :journal [N]                       last N cache journal entries (default 20) + epoch\n\
   \  :sessions                          serving sessions (queued/running/shed per session)\n\
-  \  :shards [N]                        show or set the remote shard count (rebuilds the session)\n\
+  \  :shards [N]                        show shards + per-replica health, or set the shard count\n\
+  \  :replicas [N]                      show or set copies per shard (rebuilds the session)\n\
   \  :rules | :cache | :advice | :metrics | :lint | :help | :quit (or :q)"
 
 (* Every command the dispatcher accepts, for the :help audit test — keep in
@@ -71,6 +74,7 @@ let command_names =
     ":journal";
     ":sessions";
     ":shards";
+    ":replicas";
     ":metrics";
     ":advice";
     ":caql";
@@ -117,7 +121,7 @@ let system t =
     in
     let sys =
       System.build ~config:t.config ~strategy:t.strategy ~shards:t.shards
-        ~partitioning ~kb:(kb_of t) ~data ()
+        ~replicas:t.replicas ~partitioning ~kb:(kb_of t) ~data ()
     in
     Cms.set_trace (System.cms sys) t.tracing;
     t.sys <- Some sys;
@@ -247,17 +251,32 @@ let explain_clause t text =
          | Some r ->
            let module Router = Braid_remote.Shard_router in
            let n = Router.shard_count r in
+           (* With replication, also say which copy of each target shard
+              the read will be offered to first, and why. *)
+           let replica_line targets =
+             if Router.replica_count r = 1 then ""
+             else
+               String.concat ""
+                 (List.map
+                    (fun i ->
+                      let ri, why = Router.replica_choice r i in
+                      Printf.sprintf "replica: shard %d -> r%d (%s)\n" i ri why)
+                    targets)
+           in
            (match Router.route r sql with
             | Router.Pinned { shard; _ } ->
-              Printf.sprintf "route: pinned to shard %d (%d of %d pruned)\n" shard
-                (n - 1) n
+              Printf.sprintf "route: pinned to shard %d (%d of %d pruned)\n%s" shard
+                (n - 1) n (replica_line [ shard ])
             | Router.Fanout targets ->
-              Printf.sprintf "route: fan-out to shards [%s] (%d of %d pruned)\n"
+              Printf.sprintf "route: fan-out to shards [%s] (%d of %d pruned)\n%s"
                 (String.concat "," (List.map string_of_int targets))
-                (n - List.length targets) n
-            | Router.Gather _ as g ->
-              Printf.sprintf "route: %s (router-side join over %d shards)\n"
-                (Router.route_to_string g) n)
+                (n - List.length targets) n (replica_line targets)
+            | Router.Gather srcs as g ->
+              let targets =
+                List.sort_uniq Int.compare (List.concat_map snd srcs)
+              in
+              Printf.sprintf "route: %s (router-side join over %d shards)\n%s"
+                (Router.route_to_string g) n (replica_line targets))
        in
        Printf.sprintf "%s\n%s%s" (Braid_remote.Sql.to_string sql) route_line
          (Braid_remote.Engine.explain (Braid_remote.Server.engine server) sql)
@@ -514,8 +533,43 @@ let exec_line t line =
     else if strip_prefix ":shards" line <> None then begin
       match strip_prefix ":shards" line with
       | Some "" ->
-        if t.shards = 1 then "remote is a single server"
-        else Printf.sprintf "remote is sharded %d ways" t.shards
+        let base =
+          if t.shards = 1 && t.replicas = 1 then "remote is a single server"
+          else
+            Printf.sprintf "remote is sharded %d ways x %d replica%s" t.shards
+              t.replicas
+              (if t.replicas = 1 then "" else "s")
+        in
+        (* Per-replica health of the live router, when a session exists. *)
+        let health =
+          match t.sys with
+          | None -> ""
+          | Some sys ->
+            (match System.router sys with
+             | None -> ""
+             | Some r ->
+               let module Router = Braid_remote.Shard_router in
+               let buf = Buffer.create 256 in
+               for i = 0 to Router.shard_count r - 1 do
+                 Buffer.add_string buf
+                   (Printf.sprintf "\nshard %d (log %d):" i (Router.log_length r i));
+                 List.iter
+                   (fun (h : Router.replica_health) ->
+                     Buffer.add_string buf
+                       (Printf.sprintf "\n  r%d@node%d %s lag=%d hints=%d breaker=%s%s"
+                          h.Router.rh_replica h.Router.rh_node
+                          (if h.Router.rh_replica = 0 then "primary" else "backup ")
+                          h.Router.rh_lag h.Router.rh_hints
+                          (match h.Router.rh_breaker with
+                           | Braid_remote.Rdi.Closed -> "closed"
+                           | Braid_remote.Rdi.Open -> "open"
+                           | Braid_remote.Rdi.Half_open -> "half-open")
+                          (if h.Router.rh_partitioned then " PARTITIONED" else "")))
+                   (Router.replica_health r i)
+               done;
+               Buffer.contents buf)
+        in
+        base ^ health
       | Some n ->
         (match int_of_string_opt n with
          | Some n when n >= 1 ->
@@ -528,6 +582,26 @@ let exec_line t line =
                 (session rebuilds on next query)"
                n
          | Some _ | None -> "usage: :shards [N] with N a positive integer")
+      | None -> assert false
+    end
+    else if strip_prefix ":replicas" line <> None then begin
+      match strip_prefix ":replicas" line with
+      | Some "" ->
+        if t.replicas = 1 then "shards are unreplicated (1 copy each)"
+        else Printf.sprintf "each shard keeps %d replicas (primary + %d backups)"
+               t.replicas (t.replicas - 1)
+      | Some n ->
+        (match int_of_string_opt n with
+         | Some n when n >= 1 ->
+           t.replicas <- n;
+           invalidate t;
+           if n = 1 then "replication off (session rebuilds on next query)"
+           else
+             Printf.sprintf
+               "each shard now keeps %d replicas with primary/backup failover \
+                (session rebuilds on next query)"
+               n
+         | Some _ | None -> "usage: :replicas [N] with N a positive integer")
       | None -> assert false
     end
     else if line = ":metrics" then begin

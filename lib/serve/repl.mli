@@ -16,10 +16,13 @@
 
 type t
 
-val create : ?config:Braid_planner.Qpo.config -> ?shards:int -> unit -> t
+val create : ?config:Braid_planner.Qpo.config -> ?shards:int -> ?replicas:int -> unit -> t
 (** [shards] (default 1) > 1 starts the session over a sharded remote —
     base relations hash-partitioned on their first column behind a
-    {!Braid_remote.Shard_router} (changeable later with [:shards N]). *)
+    {!Braid_remote.Shard_router} (changeable later with [:shards N]).
+    [replicas] (default 1) > 1 keeps that many copies of every shard with
+    primary/backup failover ([:replicas N] later; [:shards] shows
+    per-replica health). *)
 
 val exec_line : t -> string -> string
 (** Executes one input line and returns the text to print (possibly

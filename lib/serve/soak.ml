@@ -14,6 +14,16 @@ module Obs = Braid_obs
 
 type divergence = { wave : int; sid : string; detail : string }
 
+type replica_report = {
+  rr_replica : int;
+  rr_node : int;
+  rr_lag : int;
+  rr_hints : int;
+  rr_partitioned : bool;
+  rr_breaker : string;
+  rr_log : string list;
+}
+
 type shard_report = {
   shard : int;
   sh_requests : int;
@@ -22,6 +32,7 @@ type shard_report = {
   sh_stale_serves : int;
   sh_breaker : string;
   sh_log : string list;
+  sh_replicas : replica_report list;  (** [] when [replicas = 1] *)
 }
 
 type session_report = {
@@ -39,6 +50,7 @@ type report = {
   sessions : int;
   waves : int;
   shards : int;  (** 1 = the single-server remote *)
+  replicas : int;  (** copies per shard; 1 = unreplicated *)
   submitted : int;
   answered : int;
   shed : int;
@@ -67,7 +79,15 @@ type report = {
   route_fanouts : int;
   route_gathers : int;
   shards_pruned : int;
-  per_shard : shard_report list;  (** [] when [shards = 1] *)
+  failovers : int;  (** replicated-shard reads served by a backup *)
+  hinted_writes : int;
+  handoffs : int;
+  repairs : int;
+  partition_wave : int option;  (** chaos: the wave the primary was severed *)
+  heal_wave : int option;  (** chaos: first wave the partition was observed healed *)
+  stale_after_heal : int;  (** RDI stale serves after heal + repair (chaos gate) *)
+  end_max_lag : int;  (** worst replica lag at end of run — 0 after repair *)
+  per_shard : shard_report list;  (** [] when the remote is a single server *)
   journal_entries : int;
   journal_epoch : int;
   journal_dump : string list;
@@ -75,13 +95,15 @@ type report = {
 
 let ok r =
   r.divergences = [] && r.recovery_mismatch = None && r.revalidation_failures = 0
-  && r.dropped_on_recovery = 0
+  && r.dropped_on_recovery = 0 && r.end_max_lag = 0
+  && (r.partition_wave = None || r.heal_wave <> None)
 
 let report_to_string r =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
-  line "serve soak seed=%d sessions=%d waves=%d%s: %s" r.seed r.sessions r.waves
+  line "serve soak seed=%d sessions=%d waves=%d%s%s: %s" r.seed r.sessions r.waves
     (if r.shards > 1 then Printf.sprintf " shards=%d" r.shards else "")
+    (if r.replicas > 1 then Printf.sprintf " replicas=%d" r.replicas else "")
     (if ok r then "OK" else "FAILED");
   line "  submitted:   %d (%d answered, %d shed, %d lost at crash)" r.submitted r.answered
     r.shed r.lost;
@@ -90,15 +112,33 @@ let report_to_string r =
     r.coalesce_requests r.coalesce_identical r.coalesce_subsumed r.coalesce_misses;
   line "  remote:      %d RDI requests, %.1f simulated ms elapsed" r.remote_requests
     r.elapsed_ms;
-  if r.shards > 1 then begin
+  if r.shards > 1 then
     line "  routing:     %d pinned (%d shard-scans pruned), %d fan-outs, %d gathers"
       r.route_pinned r.shards_pruned r.route_fanouts r.route_gathers;
-    List.iter
-      (fun s ->
-        line "  shard %d:     %d requests, %d scanned, %d failures, %d stale serves, breaker %s"
-          s.shard s.sh_requests s.sh_scanned s.sh_failures s.sh_stale_serves s.sh_breaker)
-      r.per_shard
+  if r.replicas > 1 then begin
+    line "  replication: %d failovers, %d hinted writes, %d handoffs, %d repairs; end lag %d"
+      r.failovers r.hinted_writes r.handoffs r.repairs r.end_max_lag;
+    match r.partition_wave with
+    | None -> ()
+    | Some pw ->
+      line "  partition:   shard 0 primary severed @wave %d, %s, %d stale after heal" pw
+        (match r.heal_wave with
+         | Some hw -> Printf.sprintf "healed @wave %d" hw
+         | None -> "NOT HEALED")
+        r.stale_after_heal
   end;
+  List.iter
+    (fun s ->
+      line "  shard %d:     %d requests, %d scanned, %d failures, %d stale serves, breaker %s"
+        s.shard s.sh_requests s.sh_scanned s.sh_failures s.sh_stale_serves s.sh_breaker;
+      List.iter
+        (fun rr ->
+          line "    r%d@node%d   %s lag=%d hints=%d breaker=%s%s" rr.rr_replica rr.rr_node
+            (if rr.rr_replica = 0 then "primary" else "backup ")
+            rr.rr_lag rr.rr_hints rr.rr_breaker
+            (if rr.rr_partitioned then " PARTITIONED" else ""))
+        s.sh_replicas)
+    r.per_shard;
   line "  mutations:   %d inserts (%d drop-invalidations, %d stale-marks)" r.inserts
     r.drops r.stale_marks;
   line "  checkpoints: %d (journal: %d entries, epoch %d)" r.checkpoints r.journal_entries
@@ -142,44 +182,61 @@ exception Stop
 let empty_advice = { Braid_advice.Ast.specs = []; path = None }
 
 let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy)
-    ?(shards = 1) ~sessions:n_sessions ~seed ~waves () =
+    ?(shards = 1) ?(replicas = 1) ?(chaos = false) ?(heal_after = 600)
+    ~sessions:n_sessions ~seed ~waves () =
   if n_sessions < 1 then invalid_arg "Serve.Soak.run: sessions must be >= 1";
   if shards < 1 then invalid_arg "Serve.Soak.run: shards must be >= 1";
+  if replicas < 1 then invalid_arg "Serve.Soak.run: replicas must be >= 1";
+  if chaos && replicas < 2 then
+    invalid_arg "Serve.Soak.run: chaos needs replicas >= 2 (it severs the primary)";
+  (* The CMS crash and the replica partition are separate failure stories;
+     mixing them would have the crash-recovery fault reset also wipe the
+     partition mid-heal. The chaos leg owns the partition. *)
+  let crash = crash && not chaos in
   let prng = Prng.create seed in
   let server = Server.create () in
   Workload.load server;
-  (* An impatient RDI profile — no retries, per-attempt deadline — so that
-     under the flaky link a visible fraction of fetches fail outright and
-     come back degraded. Degraded results are never admitted to the cache
-     (Qpo caches only [`Fresh]), so a view whose fetch degrades stays hot:
-     sessions re-fetch it until a fetch succeeds, and same-wave duplicates
-     are exactly what the coalescer window absorbs. *)
+  (* A brownout RDI profile: per-attempt deadline, nominally one retry,
+     but a 20 ms request budget smaller than the first backoff (25 ms+)
+     — so every failed fetch budget-stops instead of retrying and is
+     counted as a request-level deadline miss. Under the flaky link a
+     visible fraction of fetches therefore come back degraded. Degraded
+     results are never admitted to the cache (Qpo caches only [`Fresh]),
+     so a view whose fetch degrades stays hot: sessions re-fetch it
+     until a fetch succeeds, and same-wave duplicates are exactly what
+     the coalescer window absorbs. *)
   let rdi_policy =
     {
       Braid_remote.Rdi.default_policy with
       Braid_remote.Rdi.deadline_ms = Some 250.0;
-      max_retries = 0;
+      max_retries = 1;
+      request_budget_ms = Some 20.0;
       seed = seed + 13;
     }
   in
   let router =
-    if shards = 1 then None
+    if shards = 1 && replicas = 1 then None
     else begin
       Workload.partition server;
-      Some (Router.create ~policy:rdi_policy ~shards server)
+      Some (Router.create ~policy:rdi_policy ~shards ~replicas server)
     end
   in
   let base = Fault.flaky ~seed:(seed + 7919) ~error_rate () in
-  (* Per-shard brownout profiles: each shard's injector draws from its own
-     seed stream, so shard fates decorrelate the way independent machines'
-     would. [extra] piggybacks the crash trigger. *)
+  (* Per-replica brownout profiles: every copy's injector draws from its
+     own seed stream, so replica (and shard) fates decorrelate the way
+     independent machines' would. [extra] piggybacks the crash trigger. *)
   let set_faults ?(extra = fun c -> c) () =
     match router with
     | None -> Server.set_faults server (Some (extra base))
     | Some r ->
       for i = 0 to shards - 1 do
-        Router.set_faults r ~shard:i
-          (Some (extra { base with Fault.seed = base.Fault.seed + (997 * i) }))
+        for rp = 0 to replicas - 1 do
+          let cfg =
+            extra { base with Fault.seed = base.Fault.seed + (997 * i) + (7717 * rp) }
+          in
+          if rp = 0 then Router.set_faults r ~shard:i (Some cfg)
+          else Router.set_replica_faults r ~shard:i ~replica:rp (Some cfg)
+        done
       done
   in
   set_faults ();
@@ -266,6 +323,15 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
     if crash && waves >= 3 then Some ((waves / 3) + 1 + Prng.int prng (max 1 (waves / 3)))
     else None
   in
+  let partition_plan = if chaos then Some (max 2 (waves / 3)) else None in
+  let partition_wave = ref None
+  and heal_wave = ref None
+  and stale_at_heal = ref None in
+  let router_stale () =
+    match router with
+    | None -> 0
+    | Some r -> (Router.rdi_stats r).Braid_remote.Rdi.stale_serves
+  in
   let live () =
     List.length (Braid_cache.Cache_model.elements (CMgr.model (Cms.cache !cms)))
   in
@@ -307,6 +373,17 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
           (* arm every shard: whichever is touched next kills the CMS *)
           set_faults ~extra:(fun c -> { c with Fault.crash_at = Some 1 }) ()
         | _ -> ());
+       (match (partition_plan, router) with
+        | Some pw, Some r when wave = pw ->
+          (* chaos: sever shard 0's primary. Reads fail over to the most
+             caught-up backup; writes to the primary become hints. The
+             partition heals on the shared clock after [heal_after]
+             system-wide requests, and anti-entropy repair (below) then
+             replays the hinted writes. *)
+          partition_wave := Some wave;
+          Router.set_replica_faults r ~shard:0 ~replica:0
+            (Some (Fault.severed ~seed:(seed + 4242) ~heal_after ()))
+        | _ -> ());
        try
          (* The wave's hot view: sessions that draw low submit the same
             query, lighting up the coalescer window; a middle band submits
@@ -337,7 +414,28 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
            | `Drop -> incr drops
            | `Mark_stale -> incr stale_marks
          end;
-         ignore (Scheduler.step !sched)
+         ignore (Scheduler.step !sched);
+         (* One anti-entropy round per wave: reachable lagging replicas
+            replay the replication log, hinted writes hand off. *)
+         (match router with
+          | Some r when replicas > 1 ->
+            ignore (Router.tick_repair r);
+            (match (!partition_wave, !heal_wave) with
+             | Some _, None ->
+               let healed =
+                 List.for_all
+                   (fun h -> not h.Router.rh_partitioned)
+                   (Router.replica_health r 0)
+               in
+               if healed then begin
+                 heal_wave := Some wave;
+                 (* snapshot after the first post-heal repair: from here on
+                    every replica is at the log head, so any further stale
+                    serve is a bug the chaos gate catches *)
+                 stale_at_heal := Some (router_stale ())
+               end
+             | _ -> ())
+          | _ -> ())
        with Fault.Injected Fault.Crash -> handle_crash wave
      done;
      (* Drain the backlog (the crash may also land here, on a queued
@@ -372,6 +470,11 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
     | None -> None
     | Some r -> Some (Router.counters r)
   in
+  let breaker_str = function
+    | Rdi.Closed -> "closed"
+    | Rdi.Open -> "open"
+    | Rdi.Half_open -> "half-open"
+  in
   let per_shard =
     match router with
     | None -> []
@@ -385,20 +488,40 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
             sh_scanned = st.Server.tuples_scanned;
             sh_failures = rs.Rdi.failures;
             sh_stale_serves = rs.Rdi.stale_serves;
-            sh_breaker =
-              (match Rdi.breaker (Router.rdi r i) with
-               | Rdi.Closed -> "closed"
-               | Rdi.Open -> "open"
-               | Rdi.Half_open -> "half-open");
+            sh_breaker = breaker_str (Rdi.breaker (Router.rdi r i));
             sh_log = Server.log (Router.shard r i);
+            sh_replicas =
+              (if replicas = 1 then []
+               else
+                 List.map
+                   (fun (h : Router.replica_health) ->
+                     {
+                       rr_replica = h.Router.rh_replica;
+                       rr_node = h.Router.rh_node;
+                       rr_lag = h.Router.rh_lag;
+                       rr_hints = h.Router.rh_hints;
+                       rr_partitioned = h.Router.rh_partitioned;
+                       rr_breaker = breaker_str h.Router.rh_breaker;
+                       rr_log = Router.replica_log r ~shard:i ~replica:h.Router.rh_replica;
+                     })
+                   (Router.replica_health r i));
           })
         (Router.shard_stats r)
+  in
+  let end_max_lag =
+    List.fold_left
+      (fun acc s -> List.fold_left (fun acc rr -> Int.max acc rr.rr_lag) acc s.sh_replicas)
+      0 per_shard
+  in
+  let stale_after_heal =
+    match !stale_at_heal with Some s -> router_stale () - s | None -> 0
   in
   {
     seed;
     sessions = n_sessions;
     waves;
     shards;
+    replicas;
     submitted = sum (fun s -> s.submitted);
     answered = sum (fun s -> s.answered);
     shed = sum (fun s -> s.shed);
@@ -428,6 +551,15 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
     route_gathers = (match route_counters with Some c -> c.Router.gathers | None -> 0);
     shards_pruned =
       (match route_counters with Some c -> c.Router.shards_pruned | None -> 0);
+    failovers = (match route_counters with Some c -> c.Router.failovers | None -> 0);
+    hinted_writes =
+      (match route_counters with Some c -> c.Router.hinted_writes | None -> 0);
+    handoffs = (match route_counters with Some c -> c.Router.handoffs | None -> 0);
+    repairs = (match route_counters with Some c -> c.Router.repairs | None -> 0);
+    partition_wave = !partition_wave;
+    heal_wave = !heal_wave;
+    stale_after_heal;
+    end_max_lag;
     per_shard;
     journal_entries = Journal.length journal;
     journal_epoch = Journal.epoch journal;

@@ -14,19 +14,33 @@
 
 type divergence = { wave : int; sid : string; detail : string }
 
+(** End-of-run health of one replica of a shard. *)
+type replica_report = {
+  rr_replica : int;  (** 0 = primary *)
+  rr_node : int;  (** placement node id (see {!Braid_remote.Catalog.replica_nodes}) *)
+  rr_lag : int;  (** replication-log entries not yet applied *)
+  rr_hints : int;  (** hinted writes still queued for it *)
+  rr_partitioned : bool;
+  rr_breaker : string;
+  rr_log : string list;
+      (** the SQL texts this replica served — the chaos CI leg writes one
+          journal file per replica from these on failure *)
+}
+
 (** End-of-run accounting for one shard of a sharded soak. *)
 type shard_report = {
   shard : int;
-  sh_requests : int;  (** server requests this shard absorbed *)
+  sh_requests : int;  (** server requests this shard's primary absorbed *)
   sh_scanned : int;  (** tuples its executor scanned *)
   sh_failures : int;  (** RDI requests that exhausted retries here *)
   sh_stale_serves : int;  (** degraded answers served for this shard *)
-  sh_breaker : string;  (** final breaker state: closed/open/half-open *)
+  sh_breaker : string;  (** final primary breaker state: closed/open/half-open *)
   sh_log : string list;
-      (** the SQL texts this shard served (oldest first) — the serve-soak CI
-          job writes one journal file per shard from these and uploads them
-          as artifacts on failure; deliberately not part of
+      (** the SQL texts this shard's primary served (oldest first) — the
+          serve-soak CI job writes one journal file per shard from these and
+          uploads them as artifacts on failure; deliberately not part of
           {!report_to_string} (the rendered report stays compact) *)
+  sh_replicas : replica_report list;  (** [] when [replicas = 1] *)
 }
 
 type session_report = {
@@ -44,6 +58,7 @@ type report = {
   sessions : int;
   waves : int;
   shards : int;  (** 1 = single-server remote (the default path) *)
+  replicas : int;  (** copies per shard; 1 = unreplicated *)
   submitted : int;
   answered : int;
   shed : int;
@@ -72,7 +87,17 @@ type report = {
   route_fanouts : int;
   route_gathers : int;
   shards_pruned : int;  (** shard-scans partition pruning avoided *)
-  per_shard : shard_report list;  (** [] when [shards = 1] *)
+  failovers : int;  (** replicated-shard reads served by a backup *)
+  hinted_writes : int;  (** writes queued for an unreachable/lagging replica *)
+  handoffs : int;  (** hinted writes delivered by anti-entropy repair *)
+  repairs : int;  (** anti-entropy log replays *)
+  partition_wave : int option;  (** chaos: the wave the primary was severed *)
+  heal_wave : int option;  (** chaos: first wave the partition was seen healed *)
+  stale_after_heal : int;
+      (** RDI stale serves recorded after heal + the first post-heal repair
+          round — the chaos gate requires 0 under a fault-free link *)
+  end_max_lag : int;  (** worst replica lag at the end — 0 once repair caught up *)
+  per_shard : shard_report list;  (** [] when the remote is a single server *)
   journal_entries : int;
   journal_epoch : int;
   journal_dump : string list;
@@ -80,13 +105,17 @@ type report = {
 
 val ok : report -> bool
 (** No oracle divergence, byte-identical recovery, every recovered
-    element re-validated. *)
+    element re-validated, every replica repaired back to the log head,
+    and — when chaos severed a primary — the partition healed. *)
 
 val run :
   ?error_rate:float ->
   ?crash:bool ->
   ?policy:Admission.policy ->
   ?shards:int ->
+  ?replicas:int ->
+  ?chaos:bool ->
+  ?heal_after:int ->
   sessions:int ->
   seed:int ->
   waves:int ->
@@ -101,10 +130,22 @@ val run :
 
     [shards] (default 1 — the single-server path, untouched) > 1 runs the
     soak over a {!Braid_remote.Shard_router}: the workload tables are
-    hash-partitioned per {!Workload.partition_keys}, each shard gets its
-    own brownout fault profile (per-shard seed offsets) and RDI instance,
-    inserts route to the owning shard, and the crash arms every shard's
-    injector. The report gains routing counters and per-shard lines. *)
+    hash-partitioned per {!Workload.partition_keys}, each replica gets its
+    own brownout fault profile (per-shard and per-replica seed offsets)
+    and RDI instance, inserts route to the owning shard, and the crash
+    arms every injector. The report gains routing counters and per-shard
+    lines.
+
+    [replicas] (default 1) > 1 keeps that many copies of every shard
+    behind the router — reads fail over, writes hint, and one
+    anti-entropy repair round runs after every wave.
+
+    [chaos] (default false; requires [replicas >= 2], forces [crash]
+    off) severs shard 0's primary at wave [waves/3] with a
+    {!Braid_remote.Fault.severed} profile healing after [heal_after]
+    (default 600) system-wide requests on the router's shared fault
+    clock. The report records partition/heal waves, stale serves after
+    heal and the end-of-run lag. *)
 
 val report_to_string : report -> string
 (** Deterministic rendering — byte-identical across runs for a seed. *)

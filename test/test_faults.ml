@@ -58,6 +58,93 @@ let test_injector_aligned_draws () =
   check_bool "still aligned" true
     (Fault.roll a ~tables:[ "b1" ] = Fault.roll b ~tables:[ "b1" ])
 
+(* --- partitions: fail-fast, deterministic healing, shared clock --- *)
+
+let test_partition_fails_fast_then_heals () =
+  (* A solo injector (no shared clock) heals on its own rolls: with
+     [heal_after = 6], rolls 1..5 fail fast with [Partition] and roll 6
+     onward is clean — and two injectors from the same config agree
+     bit-for-bit on the whole schedule. *)
+  let cfg = Fault.severed ~seed:29 ~heal_after:6 () in
+  let a = Fault.create cfg and b = Fault.create cfg in
+  for i = 1 to 12 do
+    let ra = Fault.roll a ~tables:[ "b2" ] in
+    check_bool
+      (Printf.sprintf "roll %d identical" i)
+      true
+      (ra = Fault.roll b ~tables:[ "b2" ]);
+    match ra with
+    | Error Fault.Partition ->
+      check_bool (Printf.sprintf "roll %d severed only before healing" i) true (i < 6)
+    | Error k -> Alcotest.failf "severed link injected %s" (Fault.kind_to_string k)
+    | Ok _ -> check_bool (Printf.sprintf "roll %d clean only after healing" i) true (i >= 6)
+  done
+
+let test_partition_heals_on_shared_clock () =
+  let clk = Fault.clock () in
+  let sick =
+    Fault.create
+      { (Fault.severed ~seed:31 ~heal_after:4 ()) with Fault.clock = Some clk }
+  in
+  let healthy = Fault.create { Fault.none with Fault.clock = Some clk } in
+  (* [partitioned] is passive: watching the link never advances the clock,
+     so health displays cannot heal a partition by themselves. *)
+  for _ = 1 to 10 do
+    check_bool "severed while the system is idle" true (Fault.partitioned sick)
+  done;
+  check_int "watching spends no requests" 0 (Fault.ticks clk);
+  (* Traffic routed AWAY from the sick target still heals it: any wired
+     injector's rolls advance the shared clock. *)
+  for i = 1 to 4 do
+    check_bool (Printf.sprintf "still severed before request %d" i) true
+      (Fault.partitioned sick);
+    ignore (Fault.roll healthy ~tables:[ "b2" ])
+  done;
+  check_int "four system-wide requests" 4 (Fault.ticks clk);
+  check_bool "healed on system-wide progress" true (not (Fault.partitioned sick));
+  (* A reachability probe is itself a request: it ticks the clock too. *)
+  ignore (Fault.probe healthy);
+  check_int "probe ticked the clock" 5 (Fault.ticks clk);
+  match Fault.roll sick ~tables:[ "b2" ] with
+  | Ok _ -> ()
+  | Error k -> Alcotest.failf "healed link injected %s" (Fault.kind_to_string k)
+
+(* --- request budget: a whole-request ceiling on retries + backoff --- *)
+
+let run_budget_sequence budget =
+  let server = load_server () in
+  Server.set_faults server (Some always_fail);
+  let rdi =
+    Rdi.create
+      ~policy:
+        {
+          Rdi.default_policy with
+          Rdi.seed = 9;
+          request_budget_ms = budget;
+          breaker_threshold = 100;
+        }
+      server
+  in
+  for _ = 1 to 5 do
+    ignore (Rdi.exec rdi all_b2)
+  done;
+  Rdi.stats rdi
+
+let test_request_budget_stops_spend () =
+  let free = run_budget_sequence None in
+  let capped = run_budget_sequence (Some 60.0) in
+  (* Unbudgeted, every request retries to exhaustion: 1 + max_retries
+     attempts each. The 60 ms budget cannot survive the second backoff
+     (25 ms then 50 ms base, both + jitter), so every budgeted request
+     stops early and is counted as a request-level deadline miss. *)
+  check_int "unbudgeted run retries to exhaustion" 20 free.Rdi.attempts;
+  check_int "no deadline misses without a budget" 0 free.Rdi.deadline_misses;
+  check_bool "budget cuts attempts" true (capped.Rdi.attempts < free.Rdi.attempts);
+  check_bool "budget cuts retries" true (capped.Rdi.retries < free.Rdi.retries);
+  check_int "every budget stop is a deadline miss" 5 capped.Rdi.deadline_misses;
+  check_int "budgeted requests still end in failures" free.Rdi.failures
+    capped.Rdi.failures
+
 (* --- RDI determinism: same seeds => byte-identical retry/trip trace --- *)
 
 let run_sequence () =
@@ -96,7 +183,7 @@ let test_backoff_bounds () =
   let rdi = Rdi.create ~policy server in
   (match Rdi.exec rdi all_b2 with
    | Rdi.Failed (Rdi.Remote_fault _) -> ()
-   | Rdi.Failed Rdi.Breaker_open | Rdi.Fresh _ | Rdi.Stale _ ->
+   | Rdi.Failed _ | Rdi.Fresh _ | Rdi.Stale _ ->
      Alcotest.fail "expected the request to fail through its retries");
   let backoffs =
     List.filter_map
@@ -178,7 +265,7 @@ let test_stale_serve () =
        (R.Relation.cardinality rel);
      check_bool "same tuples" true
        (List.for_all (R.Relation.mem fresh) (R.Relation.to_list rel))
-   | Rdi.Stale (_, Rdi.Breaker_open) | Rdi.Fresh _ | Rdi.Failed _ ->
+   | Rdi.Stale _ | Rdi.Fresh _ | Rdi.Failed _ ->
      Alcotest.fail "expected a stale serve from the response cache");
   (* nothing ever fetched for b3: no degraded substitute exists *)
   (match Rdi.exec rdi all_b3 with
@@ -329,6 +416,12 @@ let suites =
       [
         Alcotest.test_case "injector determinism" `Quick test_injector_determinism;
         Alcotest.test_case "injector draw alignment" `Quick test_injector_aligned_draws;
+        Alcotest.test_case "partition fails fast then heals" `Quick
+          test_partition_fails_fast_then_heals;
+        Alcotest.test_case "partition heals on the shared clock" `Quick
+          test_partition_heals_on_shared_clock;
+        Alcotest.test_case "request budget stops runaway spend" `Quick
+          test_request_budget_stops_spend;
         Alcotest.test_case "rdi determinism" `Quick test_rdi_determinism;
         Alcotest.test_case "backoff bounds" `Quick test_backoff_bounds;
         Alcotest.test_case "breaker transitions" `Quick test_breaker_transitions;

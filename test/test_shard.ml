@@ -19,7 +19,7 @@ let check_string = Alcotest.(check string)
    on its third. *)
 let partition_keys = [ ("b1", 0); ("b2", 0); ("b3", 2) ]
 
-let make_router ?(size = 60) ?policy shards =
+let make_router ?(size = 60) ?policy ?replicas shards =
   let server = Server.create () in
   List.iter
     (Braid_remote.Engine.load (Server.engine server))
@@ -29,7 +29,7 @@ let make_router ?(size = 60) ?policy shards =
       Catalog.set_partitioning (Server.catalog server) t
         (Some (Catalog.Hash { column })))
     partition_keys;
-  Router.create ?policy ~shards server
+  Router.create ?policy ?replicas ~shards server
 
 let col src attr = Sql.Col { Sql.src; attr }
 let const v = Sql.Const v
@@ -320,6 +320,174 @@ let test_breaker_independence () =
       else check_bool (Printf.sprintf "shard %d breaker closed" i) true (state = Rdi.Closed))
     (Router.breakers r)
 
+(* --- replication: failover, provenance honesty, anti-entropy --- *)
+
+let test_property_replicated_equals_unreplicated () =
+  List.iter
+    (fun (shards, replicas) ->
+      let r = make_router ~size:80 ~replicas shards in
+      let queries =
+        List.concat_map
+          (fun k ->
+            let y = Printf.sprintf "y%d" k in
+            [ pinned_b3 y; fanout_b1 y; gather_join y ])
+          [ 0; 1; 2; 3 ]
+        @ [ colocated_join; Sql.select_all "b2"; Sql.select_all "b3" ]
+      in
+      List.iteri
+        (fun i q ->
+          match Router.exec r q with
+          | Rdi.Fresh rel ->
+            check_bool
+              (Printf.sprintf "shards=%d R=%d query %d equivalent" shards
+                 replicas i)
+              true
+              (sorted_rows rel = sorted_rows (unsharded r q))
+          | _ ->
+            Alcotest.failf "shards=%d R=%d query %d: fault-free read not Fresh"
+              shards replicas i)
+        queries;
+      check_int
+        (Printf.sprintf "shards=%d R=%d fault-free reads never fail over"
+           shards replicas)
+        0 (Router.counters r).Router.failovers;
+      (* Fault-free writes apply inline on every copy: no lag anywhere. *)
+      Router.insert r "b3" [| V.Str "zz"; V.Str "c2"; V.Str "y1" |];
+      List.iter
+        (fun i ->
+          List.iter
+            (fun (h : Router.replica_health) ->
+              check_int
+                (Printf.sprintf "shards=%d R=%d shard %d r%d lag-free" shards
+                   replicas i h.Router.rh_replica)
+                0 h.Router.rh_lag)
+            (Router.replica_health r i))
+        (List.init shards Fun.id))
+    [ (1, 2); (2, 2); (4, 2); (4, 3) ]
+
+let test_failover_when_breaker_open () =
+  let policy =
+    { Rdi.default_policy with Rdi.breaker_threshold = 2; max_retries = 0 }
+  in
+  let r = make_router ~policy ~replicas:2 1 in
+  Router.set_replica_faults r ~shard:0 ~replica:0
+    (Some { Fault.none with Fault.error_rate = 1.0; seed = 3 });
+  (* Every read stays Fresh: the first two fail over after the primary's
+     error; once its breaker opens the serving order demotes it and the
+     backup is offered the read outright. *)
+  for i = 1 to 4 do
+    match Router.exec r (pinned_b3 "y0") with
+    | Rdi.Fresh _ -> ()
+    | _ -> Alcotest.failf "exec %d not Fresh despite a healthy backup" i
+  done;
+  let primary = List.hd (Router.replica_health r 0) in
+  check_bool "primary breaker open" true (primary.Router.rh_breaker = Rdi.Open);
+  let choice, why = Router.replica_choice r 0 in
+  check_int "reads offered to the backup first" 1 choice;
+  check_string "explained by the open breaker" "primary breaker open" why;
+  check_int "every read cost a failover" 4 (Router.counters r).Router.failovers
+
+let test_lagging_backup_serves_stale_subset () =
+  let policy = { Rdi.default_policy with Rdi.max_retries = 0 } in
+  let r = make_router ~policy ~replicas:2 1 in
+  let full = R.Relation.cardinality (unsharded r (Sql.select_all "b3")) in
+  (* Sever the backup and land writes: the replication log moves past it. *)
+  Router.set_replica_faults r ~shard:0 ~replica:1
+    (Some (Fault.severed ~seed:5 ~heal_after:max_int ()));
+  let writes = 3 in
+  for w = 1 to writes do
+    Router.insert r "b3"
+      [| V.Str (Printf.sprintf "zz%d" w); V.Str "c2"; V.Str "y0" |]
+  done;
+  (* Rejoin without repair (still lagging), then fail the primary: the
+     read falls back to the lagging backup, which must answer honestly. *)
+  Router.set_replica_faults r ~shard:0 ~replica:1 None;
+  Router.set_replica_faults r ~shard:0 ~replica:0
+    (Some { Fault.none with Fault.error_rate = 1.0; seed = 3 });
+  (match Router.exec r (Sql.select_all "b3") with
+   | Rdi.Stale (rel, Rdi.Replica_lag lag) ->
+     check_int "declared lag equals the missed writes" writes lag;
+     check_int "subset misses exactly the lagged writes" full
+       (R.Relation.cardinality rel)
+   | Rdi.Stale (_, f) ->
+     Alcotest.failf "stale for the wrong reason: %s" (Rdi.failure_to_string f)
+   | Rdi.Fresh _ -> Alcotest.fail "a lagging backup cannot serve Fresh"
+   | Rdi.Failed _ -> Alcotest.fail "the reachable backup should have served");
+  (* One anti-entropy round catches the backup up; the same read is Fresh
+     again — still served by the backup, the primary is still down. *)
+  check_int "one replica repaired" 1 (Router.tick_repair r);
+  match Router.exec r (Sql.select_all "b3") with
+  | Rdi.Fresh rel ->
+    check_int "caught-up backup serves the full slice" (full + writes)
+      (R.Relation.cardinality rel)
+  | _ -> Alcotest.fail "a caught-up backup must serve Fresh"
+
+let test_hinted_handoff_drains_on_rejoin () =
+  let r = make_router ~replicas:2 1 in
+  Router.set_replica_faults r ~shard:0 ~replica:1
+    (Some (Fault.severed ~seed:5 ~heal_after:max_int ()));
+  let writes = 4 in
+  for w = 1 to writes do
+    Router.insert r "b3"
+      [| V.Str (Printf.sprintf "hh%d" w); V.Str "c2"; V.Str "y0" |]
+  done;
+  let c = Router.counters r in
+  check_int "every missed write was hinted" writes c.Router.hinted_writes;
+  let backup () = List.nth (Router.replica_health r 0) 1 in
+  check_int "hints queued for the severed copy" writes (backup ()).Router.rh_hints;
+  check_int "lag equals the hints" writes (backup ()).Router.rh_lag;
+  (* While severed, anti-entropy cannot reach it. *)
+  check_int "no repair across the partition" 0 (Router.tick_repair r);
+  (* Rejoin: one round replays the log suffix and hands the hints off. *)
+  Router.set_replica_faults r ~shard:0 ~replica:1 None;
+  check_int "one replica repaired on rejoin" 1 (Router.tick_repair r);
+  let c = Router.counters r in
+  check_int "hints became handoffs" writes c.Router.handoffs;
+  check_int "one repair recorded" 1 c.Router.repairs;
+  check_int "no hints left" 0 (backup ()).Router.rh_hints;
+  check_int "no lag left" 0 (backup ()).Router.rh_lag;
+  let card rep =
+    R.Relation.cardinality
+      (Braid_remote.Engine.table (Server.engine (Router.replica r ~shard:0 rep)) "b3")
+  in
+  check_int "backup holds the primary's rows" (card 0) (card 1)
+
+let test_crash_recovers_applied_offset () =
+  let r = make_router ~replicas:2 1 in
+  let card rep =
+    R.Relation.cardinality
+      (Braid_remote.Engine.table (Server.engine (Router.replica r ~shard:0 rep)) "b3")
+  in
+  (* Phase 1: fault-free writes — both copies apply inline. *)
+  for w = 1 to 2 do
+    Router.insert r "b3"
+      [| V.Str (Printf.sprintf "ck%d" w); V.Str "c2"; V.Str "y0" |]
+  done;
+  check_int "backup applied the replicated writes" 2
+    (Router.applied r ~shard:0 ~replica:1);
+  (* Phase 2: sever the backup — further writes are log-only for it. *)
+  Router.set_replica_faults r ~shard:0 ~replica:1
+    (Some (Fault.severed ~seed:5 ~heal_after:max_int ()));
+  for w = 3 to 5 do
+    Router.insert r "b3"
+      [| V.Str (Printf.sprintf "ck%d" w); V.Str "c2"; V.Str "y0" |]
+  done;
+  let before = card 1 in
+  check_int "applied offset stops at the partition" 2
+    (Router.applied r ~shard:0 ~replica:1);
+  (* Crash: the engine is rebuilt from the base snapshot plus the log
+     prefix below the applied offset — exactly the pre-partition state. *)
+  Router.crash_replica r ~shard:0 ~replica:1;
+  check_int "applied offset survives the crash" 2
+    (Router.applied r ~shard:0 ~replica:1);
+  check_int "recovered state = snapshot + applied log prefix" before (card 1);
+  check_int "still lagging the unreplayed suffix" 3
+    (List.nth (Router.replica_health r 0) 1).Router.rh_lag;
+  (* Heal + repair: replay from the recovered offset catches it up. *)
+  Router.set_replica_faults r ~shard:0 ~replica:1 None;
+  check_int "one replica repaired" 1 (Router.tick_repair r);
+  check_int "fully caught up" (card 0) (card 1)
+
 let suites : unit Alcotest.test list =
   [
     ( "shard router",
@@ -346,5 +514,18 @@ let suites : unit Alcotest.test list =
         Alcotest.test_case "one shard down degrades only its slice" `Quick
           test_one_shard_down_isolation;
         Alcotest.test_case "breakers trip independently" `Quick test_breaker_independence;
+      ] );
+    ( "replication",
+      [
+        Alcotest.test_case "replicated == unreplicated when fault-free" `Quick
+          test_property_replicated_equals_unreplicated;
+        Alcotest.test_case "open breaker fails reads over to the backup" `Quick
+          test_failover_when_breaker_open;
+        Alcotest.test_case "lagging backup serves an honest Stale subset" `Quick
+          test_lagging_backup_serves_stale_subset;
+        Alcotest.test_case "hinted writes hand off on rejoin" `Quick
+          test_hinted_handoff_drains_on_rejoin;
+        Alcotest.test_case "crash recovery replays to the applied offset" `Quick
+          test_crash_recovers_applied_offset;
       ] );
   ]
