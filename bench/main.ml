@@ -376,6 +376,7 @@ let experiments_json ?seed () =
   let e15_rows, _ = Braid_experiments.Exp_join_planning.run ?seed () in
   let (e16_mix, e16_soak, e16_avail), _ = Braid_experiments.Exp_sharding.run ?seed () in
   let e17_rows, _ = Braid_experiments.Exp_replication.run ?seed () in
+  let (e18_rows, e18_rec), _ = Braid_experiments.Exp_ivm.run ?seed () in
   let table_card, result_rows, scanned = remote_scan_counters () in
   let pc = plan_choice_counters () in
   let b = Buffer.create 4096 in
@@ -484,6 +485,26 @@ let experiments_json ?seed () =
         (if i = List.length e17_rows - 1 then "" else ","))
     e17_rows;
   out "    ],\n";
+  out "    \"e18_ivm\": [\n";
+  List.iteri
+    (fun i (r : Braid_experiments.Exp_ivm.row) ->
+      let open Braid_experiments.Exp_ivm in
+      out
+        "      {\"mode\": \"%s\", \"rate\": %d, \"inserts\": %d, \"deletes\": %d, \
+         \"queries\": %d, \"cache_fresh\": %d, \"refetches\": %d, \"maintained\": %d, \
+         \"fallbacks\": %d, \"oracle_mismatches\": %d}%s\n"
+        (json_escape r.iv_mode) r.iv_rate r.iv_inserts r.iv_deletes r.iv_queries
+        r.iv_cache_fresh r.iv_refetches r.iv_maintained r.iv_fallbacks
+        r.iv_oracle_mismatches
+        (if i = List.length e18_rows - 1 then "" else ","))
+    e18_rows;
+  out "    ],\n";
+  (let r = e18_rec in
+   let open Braid_experiments.Exp_ivm in
+   out
+     "    \"e18_recovery\": {\"deltas\": %d, \"epoch\": %d, \"elements\": %d, \
+      \"replayed\": %d, \"byte_identical\": %b},\n"
+     r.rc_deltas r.rc_epoch r.rc_elements r.rc_replayed r.rc_byte_identical);
   out
     "    \"plan_choices\": {\"hash_joins\": %d, \"merge_joins\": %d, \"inlj_joins\": %d, \
      \"products\": %d, \"seq_scans\": %d, \"index_probes\": %d, \"index_only_scans\": %d, \
@@ -790,6 +811,7 @@ let run_serve argv =
   and replicas = ref 1
   and chaos = ref false
   and heal_after = ref 600
+  and write_heavy = ref false
   and error_rate = ref None
   and gate = ref false
   and report_path = ref "serve-report.txt"
@@ -815,6 +837,9 @@ let run_serve argv =
       int_arg "--replicas" n tl (fun v tl -> replicas := v; parse tl)
     | "--chaos" :: tl ->
       chaos := true;
+      parse tl
+    | "--write-heavy" :: tl ->
+      write_heavy := true;
       parse tl
     | "--heal-after" :: n :: tl ->
       int_arg "--heal-after" n tl (fun v tl -> heal_after := v; parse tl)
@@ -847,16 +872,16 @@ let run_serve argv =
     | arg :: _ ->
       Printf.eprintf
         "unknown serve argument %S (expected --sessions N, --seed N, --waves N, \
-         --shards N, --replicas R, --chaos, --heal-after N, --error-rate X, \
-         --check, --report PATH, --journal PATH, --trace PATH)\n"
+         --shards N, --replicas R, --chaos, --heal-after N, --write-heavy, \
+         --error-rate X, --check, --report PATH, --journal PATH, --trace PATH)\n"
         arg;
       exit 1
   in
   parse argv;
   let go () =
     Braid_serve.Soak.run ?error_rate:!error_rate ~shards:!shards ~replicas:!replicas
-      ~chaos:!chaos ~heal_after:!heal_after ~sessions:!sessions ~seed:!seed
-      ~waves:!waves ()
+      ~chaos:!chaos ~heal_after:!heal_after ~write_heavy:!write_heavy
+      ~sessions:!sessions ~seed:!seed ~waves:!waves ()
   in
   let report = with_trace !trace_path go in
   let text = Braid_serve.Soak.report_to_string report in
@@ -912,11 +937,30 @@ let run_serve argv =
     in
     (* The coalescer only sees duplicates when fetches fail and stay hot;
        a fault-free chaos leg legitimately produces none, and gates on the
-       replication invariants below instead. *)
-    if hits = 0 && not !chaos then begin
+       replication invariants below instead. Likewise the write-heavy leg:
+       delta maintenance keeps elements Fresh, so re-fetches — the
+       coalescer's food — all but disappear; it gates on the maintenance
+       invariants instead. *)
+    if hits = 0 && not !chaos && not !write_heavy then begin
       prerr_endline
         "serve check FAILED: the overlapping-view workload produced no coalesce hits";
       exit 1
+    end;
+    (* Write-heavy gate: delta maintenance must actually run — elements
+       kept Fresh by delta propagation, rows moved in both directions, and
+       deletes exercised (the consistency model's hard case). *)
+    if !write_heavy then begin
+      let r = report in
+      let fail msg =
+        prerr_endline ("serve check FAILED: " ^ msg);
+        exit 1
+      in
+      if r.Braid_serve.Soak.delta_maintained = 0 then
+        fail "write-heavy run delta-maintained no element (cache.delta.applied = 0)";
+      if r.Braid_serve.Soak.delta_rows_added = 0 then
+        fail "write-heavy run added no delta rows";
+      if r.Braid_serve.Soak.deletes = 0 then
+        fail "write-heavy run issued no deletes";
     end;
     (* Chaos gate: the severed primary must actually force failovers and
        hinted writes, the partition must heal and repair must hand the
@@ -946,10 +990,17 @@ let run_serve argv =
              r.Braid_serve.Soak.end_max_lag)
     end;
     Printf.printf
-      "serve check ok: deterministic report, clean oracle, %d coalesce hit(s)%s\n" hits
+      "serve check ok: deterministic report, clean oracle, %d coalesce hit(s)%s%s\n" hits
       (if !chaos then
          Printf.sprintf ", chaos: %d failover(s), %d handoff(s), healed, 0 stale after heal"
            report.Braid_serve.Soak.failovers report.Braid_serve.Soak.handoffs
+       else "")
+      (if !write_heavy then
+         Printf.sprintf
+           ", maintenance: %d element(s) delta-maintained (+%d/-%d rows) over %d delete(s)"
+           report.Braid_serve.Soak.delta_maintained
+           report.Braid_serve.Soak.delta_rows_added
+           report.Braid_serve.Soak.delta_rows_removed report.Braid_serve.Soak.deletes
        else "")
   end
 

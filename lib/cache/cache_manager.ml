@@ -46,7 +46,10 @@ let snapshot_of = function
 let journal_admit t (e : Element.t) =
   Journal.log_admit t.journal ~id:e.Element.id ~def:e.Element.def
     ~snap:(snapshot_of e.Element.repr) ~stale:e.Element.stale
-    ~pinned:e.Element.pinned ~at:e.Element.created_at
+    ~pinned:e.Element.pinned ~at:e.Element.created_at;
+  (* The journal now holds this extension by reference: the next delta
+     applied to the element must copy-on-write (see Element.delta_private). *)
+  e.Element.delta_private <- false
 
 let insert t ?id ~def repr =
   let id = match id with Some id -> id | None -> Cache_model.fresh_id t.model in
@@ -185,6 +188,20 @@ let mark_stale_pred t pred =
         Some e.Element.id
       end)
     (Cache_model.candidates_for_pred t.model pred)
+
+(* Per-element variants used by incremental maintenance when one dependent
+   of a written predicate falls back while others are delta-maintained. *)
+let mark_stale_element t (e : Element.t) ~pred =
+  if not e.Element.stale then begin
+    e.Element.stale <- true;
+    Journal.log_mark_stale t.journal ~id:e.Element.id ~pred;
+    Obs.Metrics.incr "cache.stale_marks"
+  end
+
+let remove_element t (e : Element.t) ~pred =
+  Journal.log_remove t.journal ~id:e.Element.id ~pred;
+  Cache_model.remove t.model e.Element.id;
+  Obs.Metrics.incr "cache.invalidations"
 
 (* A checkpoint is the marker followed by a full re-admission of the live
    state in insertion order: replay can then start from the marker instead

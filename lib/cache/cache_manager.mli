@@ -61,6 +61,17 @@ val mark_stale_pred : t -> string -> string list
     is unreachable. Answers touching them are flagged degraded. Returns
     the ids newly marked. *)
 
+val mark_stale_element : t -> Element.t -> pred:string -> unit
+(** Per-element stale-mark (journaled), used by {!Maintain} when one
+    dependent of a written predicate is not delta-maintainable but its
+    siblings are. No-op when already stale. *)
+
+val remove_element : t -> Element.t -> pred:string -> unit
+(** Per-element drop (journaled), used by {!Maintain} on deletes: a stale
+    element is only an honest {e subset} of ground truth under insert-only
+    writes, so a non-maintainable dependent of a delete must be dropped
+    rather than stale-marked (see docs/CONSISTENCY.md). *)
+
 type stats = {
   insertions : int;
   evictions : int;

@@ -15,6 +15,7 @@ type t = {
   mutable last_used : int;
   mutable pinned : bool;
   mutable stale : bool;
+  mutable delta_private : bool;
   created_at : int;
   mutable on_materialize : string -> R.Relation.t -> unit;
 }
@@ -30,6 +31,7 @@ let make ~id ~def ~now repr =
     last_used = now;
     pinned = false;
     stale = false;
+    delta_private = false;
     created_at = now;
     on_materialize = (fun _ _ -> ());
   }

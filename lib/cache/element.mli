@@ -26,6 +26,14 @@ type t = {
       (** the backing remote table changed (or could not be revalidated)
           since this extension was fetched; still servable, but answers
           built from it are flagged {e degraded} *)
+  mutable delta_private : bool;
+      (** [true] once this element's extension is a private copy that delta
+          maintenance may mutate in place. The journal snapshots extensions
+          {e by reference} (admit, materialize, checkpoint re-admit), so the
+          first delta applied after any snapshot must copy-on-write; the flag
+          is cleared by every journal snapshot event and set by
+          {!Maintain}'s first subsequent apply. Replay follows the same
+          rule, keeping recovery byte-identical. *)
   created_at : int;
   mutable on_materialize : string -> Braid_relalg.Relation.t -> unit;
       (** invoked when a generator is forced into an extension, with the

@@ -21,6 +21,8 @@ type entry =
   | Remove of { seq : int; id : string; pred : string; by : string }
   | Mark_stale of { seq : int; id : string; pred : string; by : string }
   | Pin of { seq : int; id : string; flag : bool; by : string }
+  | Delta_insert of { seq : int; id : string; pred : string; rows : R.Tuple.t list; by : string }
+  | Delta_delete of { seq : int; id : string; pred : string; rows : R.Tuple.t list; by : string }
   | Checkpoint of { seq : int; epoch : int }
 
 type t = {
@@ -60,6 +62,12 @@ let log_mark_stale t ~id ~pred =
 
 let log_pin t ~id ~flag = push t (Pin { seq = next_seq t; id; flag; by = t.context })
 
+let log_delta_insert t ~id ~pred ~rows =
+  push t (Delta_insert { seq = next_seq t; id; pred; rows; by = t.context })
+
+let log_delta_delete t ~id ~pred ~rows =
+  push t (Delta_delete { seq = next_seq t; id; pred; rows; by = t.context })
+
 let log_checkpoint t =
   t.epoch <- t.epoch + 1;
   push t (Checkpoint { seq = next_seq t; epoch = t.epoch });
@@ -77,6 +85,8 @@ let entry_seq = function
   | Remove { seq; _ }
   | Mark_stale { seq; _ }
   | Pin { seq; _ }
+  | Delta_insert { seq; _ }
+  | Delta_delete { seq; _ }
   | Checkpoint { seq; _ } -> seq
 
 let entry_by = function
@@ -85,7 +95,9 @@ let entry_by = function
   | Evict { by; _ }
   | Remove { by; _ }
   | Mark_stale { by; _ }
-  | Pin { by; _ } -> by
+  | Pin { by; _ }
+  | Delta_insert { by; _ }
+  | Delta_delete { by; _ } -> by
   | Checkpoint _ -> ""
 
 let by_suffix by = if by = "" then "" else Printf.sprintf " (by %s)" by
@@ -112,6 +124,12 @@ let entry_to_string = function
     Printf.sprintf "#%d stale %s on %s%s" seq id pred (by_suffix by)
   | Pin { seq; id; flag; by } ->
     Printf.sprintf "#%d pin %s %s%s" seq id (if flag then "on" else "off") (by_suffix by)
+  | Delta_insert { seq; id; pred; rows; by } ->
+    Printf.sprintf "#%d delta+ %s on %s (%d rows)%s" seq id pred (List.length rows)
+      (by_suffix by)
+  | Delta_delete { seq; id; pred; rows; by } ->
+    Printf.sprintf "#%d delta- %s on %s (%d rows)%s" seq id pred (List.length rows)
+      (by_suffix by)
   | Checkpoint { seq; epoch } -> Printf.sprintf "#%d checkpoint epoch=%d" seq epoch
 
 let pp_entry ppf e = Format.pp_print_string ppf (entry_to_string e)
@@ -126,7 +144,8 @@ let max_id_counter t =
       | Admit { id; _ } ->
         (try Scanf.sscanf id "e%d%!" (fun n -> max acc n) with
          | Scanf.Scan_failure _ | Failure _ | End_of_file -> acc)
-      | Materialize _ | Evict _ | Remove _ | Mark_stale _ | Pin _ | Checkpoint _ -> acc)
+      | Materialize _ | Evict _ | Remove _ | Mark_stale _ | Pin _ | Delta_insert _
+      | Delta_delete _ | Checkpoint _ -> acc)
     0 t.log
 
 let max_clock t =
@@ -145,6 +164,18 @@ let replay_suffix t =
   in
   cut [] t.log
 
+(* Journaled extension snapshots are shared by reference: before replay may
+   mutate an element's extension (delta application), it must switch to a
+   private copy — exactly the copy-on-first-delta rule live maintenance
+   follows — so the journal itself stays immutable and re-replayable. *)
+let privatize (e : Element.t) =
+  if not e.Element.delta_private then begin
+    (match e.Element.repr with
+     | Element.Extension r -> e.Element.repr <- Element.Extension (R.Relation.copy r)
+     | Element.Generator _ -> ());
+    e.Element.delta_private <- true
+  end
+
 let replay ~capacity_bytes ~rebuild_generator t =
   let model = Cache_model.create ~capacity_bytes in
   let apply = function
@@ -161,8 +192,28 @@ let replay ~capacity_bytes ~rebuild_generator t =
       Cache_model.add model e
     | Materialize { id; rel; _ } ->
       (match Cache_model.find model id with
-       | Some e -> e.Element.repr <- Element.Extension rel
+       | Some e ->
+         e.Element.repr <- Element.Extension rel;
+         e.Element.delta_private <- false
        | None -> ())
+    | Delta_insert { id; rows; _ } ->
+      (match Cache_model.find model id with
+       | Some e when Element.is_materialized e ->
+         privatize e;
+         let ext = Element.extension e in
+         List.iter (R.Relation.add ext) rows;
+         e.Element.indexes <- [];
+         e.Element.sorted <- []
+       | Some _ | None -> ())
+    | Delta_delete { id; rows; _ } ->
+      (match Cache_model.find model id with
+       | Some e when Element.is_materialized e ->
+         privatize e;
+         let ext = Element.extension e in
+         List.iter (fun row -> ignore (R.Relation.remove_once ext row)) rows;
+         e.Element.indexes <- [];
+         e.Element.sorted <- []
+       | Some _ | None -> ())
     | Evict { id; _ } | Remove { id; _ } -> Cache_model.remove model id
     | Mark_stale { id; _ } ->
       (match Cache_model.find model id with

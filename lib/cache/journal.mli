@@ -7,11 +7,14 @@
     a {!Braid_remote.Fault.Crash} kills the CMS mid-run, {!replay} rebuilds
     the cache model from the last checkpoint so the recovered CMS resumes
     with byte-identical element ids, representations and stale flags.
-    Extension snapshots share the admitted relation (extensions are
-    immutable after admission); generator content is volatile — only the
+    Extension snapshots share the admitted relation by reference; delta
+    maintenance therefore copies-on-first-write before mutating an
+    extension (see {!Element.t.delta_private}) and journals every applied
+    delta ([Delta_insert]/[Delta_delete]) so replay reproduces the
+    maintained state exactly. Generator content is volatile — only the
     definition is durable, and recovery re-binds it to a fresh stream over
-    ground truth (see docs/ARCHITECTURE.md, "Consistency model &
-    recovery"). *)
+    ground truth (see docs/CONSISTENCY.md and docs/ARCHITECTURE.md,
+    "Consistency model & recovery"). *)
 
 type snapshot =
   | Extension of Braid_relalg.Relation.t
@@ -38,6 +41,25 @@ type entry =
       (** [`Drop] invalidation triggered by a change to [pred] *)
   | Mark_stale of { seq : int; id : string; pred : string; by : string }
   | Pin of { seq : int; id : string; flag : bool; by : string }
+  | Delta_insert of {
+      seq : int;
+      id : string;
+      pred : string;  (** the written base predicate that produced the delta *)
+      rows : Braid_relalg.Tuple.t list;
+      by : string;
+    }
+      (** incremental maintenance appended these rows to the element's
+          extension (see {!Maintain}); replay re-applies them against a
+          private copy of the journaled snapshot *)
+  | Delta_delete of {
+      seq : int;
+      id : string;
+      pred : string;
+      rows : Braid_relalg.Tuple.t list;
+      by : string;
+    }
+      (** incremental maintenance removed one occurrence of each row from
+          the element's extension (bag semantics) *)
   | Checkpoint of { seq : int; epoch : int }
       (** marker; immediately followed by re-admissions of every element
           live at the checkpoint, carrying current flags and
@@ -73,6 +95,17 @@ val log_remove : t -> id:string -> pred:string -> unit
 val log_mark_stale : t -> id:string -> pred:string -> unit
 val log_pin : t -> id:string -> flag:bool -> unit
 
+val log_delta_insert :
+  t -> id:string -> pred:string -> rows:Braid_relalg.Tuple.t list -> unit
+(** Journals rows appended to an element's extension by incremental
+    maintenance (the write to base predicate [pred] produced them). Written
+    {e before} the in-memory apply, WAL-style. *)
+
+val log_delta_delete :
+  t -> id:string -> pred:string -> rows:Braid_relalg.Tuple.t list -> unit
+(** Journals rows removed (one occurrence each) from an element's extension
+    by incremental maintenance. *)
+
 val log_checkpoint : t -> int
 (** Writes the checkpoint marker and returns the new epoch. The caller
     (the Cache Manager) must follow it with [log_admit] for every live
@@ -95,6 +128,13 @@ val entry_by : entry -> string
 
 val entry_to_string : entry -> string
 val pp_entry : Format.formatter -> entry -> unit
+
+val privatize : Element.t -> unit
+(** Copy-on-first-delta: if the element's extension is still shared with a
+    journal snapshot ([delta_private = false]), replace it with a private
+    copy and set the flag. Both live maintenance ({!Maintain}) and {!replay}
+    call this before mutating an extension, so the journaled snapshots stay
+    immutable and the log re-replayable. *)
 
 val replay :
   capacity_bytes:int ->

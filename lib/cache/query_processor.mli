@@ -5,7 +5,14 @@
     Queries given to this module are CAQL expressions whose relation
     occurrences name {e cache element ids} (the Query Planner/Optimizer
     rewrites user queries into this form); [extra] supplies scratch
-    relations such as buffers just received from the remote DBMS. *)
+    relations such as buffers just received from the remote DBMS.
+
+    Evaluation is under bag semantics, like {!Braid_caql.Eval} — which is
+    what makes single-tuple delta maintenance exact ({!Maintain}): an
+    element patched by append/remove-once stays interchangeable with a
+    from-scratch recomputation of its definition. Reading a {e stale}
+    element is legal but reported ([stale_hook]); the planner downgrades
+    any answer it contributed to [Degraded] (docs/CONSISTENCY.md). *)
 
 exception Unknown_relation of string
 

@@ -1,6 +1,7 @@
 module Qpo = Braid_planner.Qpo
 module CMgr = Braid_cache.Cache_manager
 module Journal = Braid_cache.Journal
+module Maintain = Braid_cache.Maintain
 module Server = Braid_remote.Server
 module Rdi = Braid_remote.Rdi
 module Router = Braid_remote.Shard_router
@@ -10,12 +11,54 @@ type t = {
   qpo : Qpo.t;
   cache : CMgr.t;
   server : Server.t;
+  maintain : bool;
+  mutable delta_totals : Maintain.report;
 }
 
+let add_report (a : Maintain.report) (b : Maintain.report) =
+  {
+    Maintain.maintained = a.Maintain.maintained + b.Maintain.maintained;
+    fallbacks = a.Maintain.fallbacks + b.Maintain.fallbacks;
+    dropped = a.Maintain.dropped + b.Maintain.dropped;
+    rows_added = a.Maintain.rows_added + b.Maintain.rows_added;
+    rows_removed = a.Maintain.rows_removed + b.Maintain.rows_removed;
+  }
+
+let schema_of t = Braid_remote.Catalog.schema_of (Server.catalog t.server)
+
+let note_write t w =
+  let r = Maintain.on_write t.cache ~schema_of:(schema_of t) w in
+  t.delta_totals <- add_report t.delta_totals r
+
+(* With a router, maintenance taps its write stream so writes issued
+   directly against the router (not through [apply_insert]) are propagated
+   too; replication-log re-applies do not re-fire (see
+   {!Braid_remote.Shard_router.set_write_observer}). *)
+let wire_maintenance t =
+  if t.maintain then
+    match Qpo.router t.qpo with
+    | Some r ->
+      Router.set_write_observer r
+        (Some
+           (function
+             | Router.W_insert (name, tup) -> note_write t (Maintain.Insert (name, tup))
+             | Router.W_delete (name, tup) -> note_write t (Maintain.Delete (name, tup))))
+    | None -> ()
+
 let create ?(config = Qpo.braid_config) ?(capacity_bytes = 8 * 1024 * 1024) ?rdi_policy
-    ?router server =
+    ?router ?(maintain = false) server =
   let cache = CMgr.create ~capacity_bytes () in
-  { qpo = Qpo.create ?rdi_policy ?router config ~cache ~server; cache; server }
+  let t =
+    {
+      qpo = Qpo.create ?rdi_policy ?router config ~cache ~server;
+      cache;
+      server;
+      maintain;
+      delta_totals = Maintain.empty_report;
+    }
+  in
+  wire_maintenance t;
+  t
 
 let qpo t = t.qpo
 let cache t = t.cache
@@ -48,6 +91,40 @@ let invalidate_table t ?(mode = `Drop) name =
   | `Drop -> CMgr.invalidate_pred t.cache name
   | `Mark_stale -> CMgr.mark_stale_pred t.cache name
 
+(* --- the write path --- *)
+
+let maintain_enabled t = t.maintain
+let delta_totals t = t.delta_totals
+let reset_delta_totals t = t.delta_totals <- Maintain.empty_report
+
+let apply_insert t name tup =
+  match Qpo.router t.qpo with
+  | Some r ->
+    Router.insert r name tup;
+    (* maintenance (when on) ran via the router's write observer *)
+    if not t.maintain then ignore (CMgr.mark_stale_pred t.cache name)
+  | None ->
+    Braid_remote.Engine.insert (Server.engine t.server) name tup;
+    if t.maintain then note_write t (Maintain.Insert (name, tup))
+    else ignore (CMgr.mark_stale_pred t.cache name)
+
+let apply_delete t name tup =
+  match Qpo.router t.qpo with
+  | Some r ->
+    let removed = Router.delete r name tup in
+    if removed && not t.maintain then ignore (CMgr.invalidate_pred t.cache name);
+    removed
+  | None ->
+    let removed = Braid_remote.Engine.delete (Server.engine t.server) name tup in
+    if removed then begin
+      (* degrade-to-cache snapshots are honest subsets only while writes
+         are insert-only; a delete invalidates them (docs/CONSISTENCY.md) *)
+      Rdi.flush_response_cache (rdi t);
+      if t.maintain then note_write t (Maintain.Delete (name, tup))
+      else ignore (CMgr.invalidate_pred t.cache name)
+    end;
+    removed
+
 (* --- crash consistency --- *)
 
 let journal t = CMgr.journal t.cache
@@ -61,7 +138,7 @@ type recovery_report = {
 }
 
 let recover ?(config = Qpo.braid_config) ?(capacity_bytes = 8 * 1024 * 1024) ?rdi_policy
-    ?router ?(validate = fun _ -> true) ~journal:jnl server =
+    ?router ?(maintain = false) ?(validate = fun _ -> true) ~journal:jnl server =
   let engine = Server.engine server in
   (* Generator content is volatile (only the memoized prefix ever existed in
      memory): recovered generators re-bind to ground-truth evaluation of
@@ -93,7 +170,16 @@ let recover ?(config = Qpo.braid_config) ?(capacity_bytes = 8 * 1024 * 1024) ?rd
       Braid_cache.Cache_model.remove model id)
     dropped;
   let cache = CMgr.create ~journal:jnl ~model ~capacity_bytes () in
-  let t = { qpo = Qpo.create ?rdi_policy ?router config ~cache ~server; cache; server } in
+  let t =
+    {
+      qpo = Qpo.create ?rdi_policy ?router config ~cache ~server;
+      cache;
+      server;
+      maintain;
+      delta_totals = Maintain.empty_report;
+    }
+  in
+  wire_maintenance t;
   ( t,
     {
       recovered;

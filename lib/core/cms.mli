@@ -15,6 +15,7 @@ val create :
   ?capacity_bytes:int ->
   ?rdi_policy:Braid_remote.Rdi.policy ->
   ?router:Braid_remote.Shard_router.t ->
+  ?maintain:bool ->
   Braid_remote.Server.t ->
   t
 (** [config] defaults to {!Braid_planner.Qpo.braid_config};
@@ -22,7 +23,12 @@ val create :
     the resilient Remote DBMS Interface (retries, backoff, breaker,
     degrade-to-cache). [router] shards the remote: fetches route through
     {!Braid_remote.Shard_router.exec} with per-shard RDI instances, while
-    the server (the router's coordinator) stays the catalog authority. *)
+    the server (the router's coordinator) stays the catalog authority.
+    [maintain] (default [false]) turns on incremental view maintenance:
+    writes through {!apply_insert}/{!apply_delete} — and, when sharded,
+    any write through the router — delta-propagate into dependent cache
+    elements via {!Braid_cache.Maintain} instead of stale-marking them
+    (see docs/CONSISTENCY.md). *)
 
 val qpo : t -> Braid_planner.Qpo.t
 val cache : t -> Braid_cache.Cache_manager.t
@@ -97,6 +103,30 @@ val invalidate_table : t -> ?mode:[ `Drop | `Mark_stale ] -> string -> string li
     but flags them, so queries can still be answered — degraded — while
     the remote is unreachable. *)
 
+val maintain_enabled : t -> bool
+(** Whether incremental view maintenance is on for this CMS. *)
+
+val apply_insert : t -> string -> Braid_relalg.Tuple.t -> unit
+(** One single-tuple insert on the write path: applied to the remote
+    (router when sharded, engine otherwise), then propagated into the
+    cache — delta-maintained when [maintain] is on, [`Mark_stale] of
+    dependents otherwise. *)
+
+val apply_delete : t -> string -> Braid_relalg.Tuple.t -> bool
+(** One single-tuple delete on the write path (bag semantics: one
+    occurrence). When the remote held the tuple: delta-maintained when
+    [maintain] is on, otherwise dependents are {e dropped} — a stale
+    element is only an honest subset under insert-only writes, so deletes
+    cannot stale-mark (see docs/CONSISTENCY.md). [false] when the tuple
+    was absent (nothing changes anywhere). *)
+
+val delta_totals : t -> Braid_cache.Maintain.report
+(** Cumulative delta-maintenance outcomes since creation (or the last
+    {!reset_delta_totals}): elements maintained, fallbacks, drops, rows
+    added/removed. All zeros when [maintain] is off. *)
+
+val reset_delta_totals : t -> unit
+
 val journal : t -> Braid_cache.Journal.t
 (** The cache's write-ahead log — the durable artifact a simulated crash
     leaves behind. *)
@@ -124,6 +154,7 @@ val recover :
   ?capacity_bytes:int ->
   ?rdi_policy:Braid_remote.Rdi.policy ->
   ?router:Braid_remote.Shard_router.t ->
+  ?maintain:bool ->
   ?validate:(Braid_cache.Element.t -> bool) ->
   journal:Braid_cache.Journal.t ->
   Braid_remote.Server.t ->

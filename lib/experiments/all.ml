@@ -17,6 +17,7 @@ let experiments : (string * (?seed:int -> unit -> Table.t)) list =
     ("e15", fun ?seed () -> snd (Exp_join_planning.run ?seed ()));
     ("e16", fun ?seed () -> snd (Exp_sharding.run ?seed ()));
     ("e17", fun ?seed () -> snd (Exp_replication.run ?seed ()));
+    ("e18", fun ?seed () -> snd (Exp_ivm.run ?seed ()));
   ]
 
 (* Bracket each experiment with a metrics-registry reset so the

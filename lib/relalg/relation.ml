@@ -20,6 +20,22 @@ let of_tuples ?name schema tuples =
 
 let unsafe_of_rows ?(name = "") schema rows = { name; schema; rows }
 
+let remove_once r t =
+  let n = Vec.length r.rows in
+  let rec find i =
+    if i >= n then None
+    else if Tuple.equal t (Vec.get r.rows i) then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> false
+  | Some i ->
+    for j = i to n - 2 do
+      Vec.set r.rows j (Vec.get r.rows (j + 1))
+    done;
+    ignore (Vec.pop r.rows);
+    true
+
 let get r i = Vec.get r.rows i
 let iter f r = Vec.iter f r.rows
 let fold f acc r = Vec.fold f acc r.rows

@@ -22,6 +22,11 @@ val cardinality : t -> int
 val add : t -> Tuple.t -> unit
 (** Raises [Invalid_argument] on arity mismatch. *)
 
+val remove_once : t -> Tuple.t -> bool
+(** Remove the first occurrence of a tuple (bag semantics: one occurrence
+    only), preserving the order of the remaining rows. Returns [false]
+    when the tuple is absent. The delta-maintenance primitive. *)
+
 val get : t -> int -> Tuple.t
 val iter : (Tuple.t -> unit) -> t -> unit
 val fold : ('acc -> Tuple.t -> 'acc) -> 'acc -> t -> 'acc

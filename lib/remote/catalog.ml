@@ -176,6 +176,21 @@ let note_insert t name tup =
     List.iter (fun (_, ix) -> R.Index.add ix tup) entry.indexes;
     entry.bitmaps <- []
 
+(* A single-row delete cannot maintain the secondary indexes in place
+   (Index has no removal — a stale bucket would resurrect the deleted row
+   on the next probe), so indexes and bitmaps are dropped for lazy rebuild.
+   Value sets are kept: distinct counts are estimates, and removing a value
+   would require per-value reference counts for little planning benefit. *)
+let note_delete t name tup =
+  ignore tup;
+  match Hashtbl.find_opt t.entries name with
+  | None -> ()
+  | Some entry ->
+    entry.stats <-
+      { entry.stats with cardinality = Int.max 0 (entry.stats.cardinality - 1) };
+    entry.indexes <- [];
+    entry.bitmaps <- []
+
 let index_on t name cols =
   match Hashtbl.find_opt t.entries name with
   | None -> None

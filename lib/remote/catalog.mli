@@ -82,6 +82,13 @@ val note_insert : t -> string -> Braid_relalg.Tuple.t -> unit
     tuple to the affected bucket of every persisted index — no index is
     dropped and no rescan is paid. *)
 
+val note_delete : t -> string -> Braid_relalg.Tuple.t -> unit
+(** Incremental maintenance for a single-tuple delete: decrements the
+    cardinality and drops the table's indexes and bitmaps (indexes have no
+    removal operation — a stale bucket would resurrect the deleted row).
+    Distinct-count value sets are kept: they are planning estimates, and
+    exact decrement would need per-value reference counting. *)
+
 val ensure_bitmap :
   t -> string -> Braid_relalg.Relation.t -> int -> Braid_relalg.Bitmap.t
 (** Returns a bitmap index on the column, building (and persisting) it from

@@ -30,6 +30,14 @@ let insert t name tup =
     Catalog.note_insert t.catalog name tup
   | None -> invalid_arg ("Engine.insert: unknown table " ^ name)
 
+let delete t name tup =
+  match Hashtbl.find_opt t.tables name with
+  | Some rel ->
+    let removed = R.Relation.remove_once rel tup in
+    if removed then Catalog.note_delete t.catalog name tup;
+    removed
+  | None -> invalid_arg ("Engine.delete: unknown table " ^ name)
+
 let load t rel =
   let name = R.Relation.name rel in
   Hashtbl.replace t.tables name rel;

@@ -16,6 +16,11 @@ val catalog : t -> Catalog.t
 val create_table : t -> string -> Braid_relalg.Schema.t -> unit
 val insert : t -> string -> Braid_relalg.Tuple.t -> unit
 
+val delete : t -> string -> Braid_relalg.Tuple.t -> bool
+(** Removes one occurrence of the tuple (bag semantics) and maintains the
+    catalog ({!Catalog.note_delete}). [false] when the tuple is absent.
+    Raises [Invalid_argument] on unknown tables. *)
+
 val load : t -> Braid_relalg.Relation.t -> unit
 (** Creates (or replaces) a table named after the relation and refreshes
     catalog statistics. *)

@@ -103,6 +103,8 @@ let create ?(policy = default_policy) server =
 let server t = t.server
 let policy t = t.policy
 
+let flush_response_cache t = Hashtbl.reset t.last_good
+
 let set_policy t policy =
   t.policy <- policy;
   t.prng <- Prng.create policy.seed;

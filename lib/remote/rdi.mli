@@ -99,6 +99,14 @@ val reset_stats : t -> unit
 (** Clears counters and the event trace; breaker state and the response
     cache survive (they are connection state, not accounting). *)
 
+val flush_response_cache : t -> unit
+(** Drops every degrade-to-cache snapshot. The write path calls this on
+    every accepted {e delete}: a last-good response is only an honest
+    subset of the truth under insert-only writes, so once a row is gone a
+    retained snapshot could serve it back as phantom "extra" rows (the
+    consistency oracle's subset rule would flag exactly that — see
+    docs/CONSISTENCY.md). Inserts never flush. *)
+
 val trace : t -> string list
 (** Human-readable event log (attempts, faults, backoffs, trips, probes,
     stale serves), oldest first. Deterministic given the seeds — asserted

@@ -32,13 +32,20 @@ type replica = {
   mutable repaired : int;
 }
 
+(* A single-tuple write, as carried by the replication log and reported to
+   the write observer (the CMS taps this stream for incremental cache
+   maintenance). *)
+type write =
+  | W_insert of string * R.Tuple.t
+  | W_delete of string * R.Tuple.t
+
 (* A shard's replica group: index 0 is the primary. The replication log is
-   the per-shard write stream — append-only inserts, newest first — and
-   doubles as the hint queue: an entry a replica missed stays in the log
-   until anti-entropy repair replays it from that replica's offset. *)
+   the per-shard write stream — append-only op-typed writes, newest first —
+   and doubles as the hint queue: an entry a replica missed stays in the
+   log until anti-entropy repair replays it from that replica's offset. *)
 type group = {
   replicas : replica array;
-  mutable rlog_rev : (string * R.Tuple.t) list;
+  mutable rlog_rev : write list;
   mutable rlog_len : int;
   base : (string, R.Relation.t) Hashtbl.t;
       (* per-table slice snapshots from the last distribute — with the log
@@ -59,6 +66,7 @@ type t = {
   groups : group array;
   clock : Fault.clock;
   mutable base_policy : Rdi.policy;
+  mutable on_write : (write -> unit) option;
   mutable requests : int;
   mutable pinned : int;
   mutable fanouts : int;
@@ -112,6 +120,13 @@ let log_suffix g ~from =
   if todo <= 0 then []
   else List.rev (List.filteri (fun k _ -> k < todo) g.rlog_rev)
 
+(* Replay one log entry into a replica's engine. A delete that finds no
+   matching row (already absent in a rebuilt copy) is a no-op — replay is
+   idempotent in that direction, which is what crash rebuild relies on. *)
+let apply_write engine = function
+  | W_insert (name, tup) -> Engine.insert engine name tup
+  | W_delete (name, tup) -> ignore (Engine.delete engine name tup)
+
 (* Apply every outstanding log entry, reachability ignored: bulk admin
    (reslicing) runs with the fleet quiesced, and skipping a down replica
    here would strand its missed writes once the log resets below. *)
@@ -119,7 +134,7 @@ let force_catch_up g =
   Array.iter
     (fun rep ->
       List.iter
-        (fun (name, tup) -> Engine.insert (Server.engine rep.server) name tup)
+        (fun w -> apply_write (Server.engine rep.server) w)
         (log_suffix g ~from:rep.applied);
       rep.applied <- g.rlog_len)
     g.replicas
@@ -214,6 +229,7 @@ let create ?(policy = Rdi.default_policy) ?replicas ~shards coordinator =
       hinted_writes = 0;
       handoffs = 0;
       repairs = 0;
+      on_write = None;
     }
   in
   List.iter (distribute t) (Catalog.tables (catalog t));
@@ -226,23 +242,25 @@ let load t ?partitioning rel =
    | None -> ());
   distribute t (R.Relation.name rel)
 
-(* Primary-path write: the coordinator (authority) takes the row, the
-   owning group's replication log appends it, and each replica applies it
-   inline only when it is reachable AND already at the log head — applying
-   out of order would diverge from a deterministic replay. Anything else
-   becomes a hinted write, drained by {!tick_repair} on rejoin. Each
-   (replica, write) pair costs one reachability heartbeat, which also
-   advances the shared clock partitions heal against. *)
-let insert t name tup =
-  Engine.insert (Server.engine t.coordinator) name tup;
-  let g = t.groups.(owner_of_row t name tup) in
-  g.rlog_rev <- (name, tup) :: g.rlog_rev;
+let set_write_observer t f = t.on_write <- f
+
+let notify_write t w = match t.on_write with Some f -> f w | None -> ()
+
+(* Replicate one logical write through the owning group: the replication
+   log appends it, and each replica applies it inline only when it is
+   reachable AND already at the log head — applying out of order would
+   diverge from a deterministic replay. Anything else becomes a hinted
+   write, drained by {!tick_repair} on rejoin. Each (replica, write) pair
+   costs one reachability heartbeat, which also advances the shared clock
+   partitions heal against. *)
+let replicate t g w =
+  g.rlog_rev <- w :: g.rlog_rev;
   g.rlog_len <- g.rlog_len + 1;
   Array.iter
     (fun rep ->
       let up = Server.reachable rep.server in
       if up && rep.applied = g.rlog_len - 1 then begin
-        Engine.insert (Server.engine rep.server) name tup;
+        apply_write (Server.engine rep.server) w;
         rep.applied <- g.rlog_len
       end
       else begin
@@ -251,6 +269,32 @@ let insert t name tup =
         Obs.Metrics.incr "shard.replica.hints"
       end)
     g.replicas
+
+(* Primary-path write: the coordinator (authority) takes the row, then the
+   owning group replicates it. The write observer fires exactly once per
+   logical write — replication-log applies (inline, repair, crash rebuild)
+   are re-executions of the same write on other copies, not new writes. *)
+let insert t name tup =
+  Engine.insert (Server.engine t.coordinator) name tup;
+  replicate t t.groups.(owner_of_row t name tup) (W_insert (name, tup));
+  notify_write t (W_insert (name, tup))
+
+(* A delete the coordinator does not hold is a no-op everywhere: the
+   coordinator is the authority, so nothing is logged, replicated or
+   observed. *)
+let delete t name tup =
+  let removed = Engine.delete (Server.engine t.coordinator) name tup in
+  if removed then begin
+    replicate t t.groups.(owner_of_row t name tup) (W_delete (name, tup));
+    (* A degrade-to-cache snapshot is only an honest subset under
+       insert-only writes: once a row is gone, every replica's retained
+       last-good response could serve it back as phantom rows. *)
+    Array.iter
+      (fun g -> Array.iter (fun r -> Rdi.flush_response_cache r.r_rdi) g.replicas)
+      t.groups;
+    notify_write t (W_delete (name, tup))
+  end;
+  removed
 
 (* --- routing --- *)
 
@@ -707,7 +751,7 @@ let repair_replica t i ri =
         ]
       (fun () ->
         List.iter
-          (fun (name, tup) -> Engine.insert (Server.engine rep.server) name tup)
+          (fun w -> apply_write (Server.engine rep.server) w)
           (log_suffix g ~from:rep.applied);
         rep.applied <- g.rlog_len;
         (* hinted writes queued while the replica was down are handed off *)
@@ -753,7 +797,7 @@ let crash_replica t ~shard ~replica =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   |> List.iter (fun (_, rel) -> Engine.load (Server.engine fresh) (R.Relation.copy rel));
   List.iter
-    (fun (name, tup) -> Engine.insert (Server.engine fresh) name tup)
+    (fun w -> apply_write (Server.engine fresh) w)
     (List.filteri (fun k _ -> k < rep.applied) (log_suffix g ~from:0));
   Server.set_faults fresh (Server.fault_config rep.server);
   rep.server <- fresh;

@@ -64,6 +64,12 @@
 
 type t
 
+(** A single-tuple write as carried by the replication log and reported to
+    the write observer ({!set_write_observer}). *)
+type write =
+  | W_insert of string * Braid_relalg.Tuple.t
+  | W_delete of string * Braid_relalg.Tuple.t
+
 (** How {!exec} will place one request. *)
 type route =
   | Pinned of { shard : int; reason : [ `Key | `Home | `Colocated ] }
@@ -162,7 +168,22 @@ val insert : t -> string -> Braid_relalg.Tuple.t -> unit
     shard's replication log, and applies the entry inline on every replica
     that is reachable and caught up — anyone else gets it as a hinted
     write, delivered by {!tick_repair}. Costs one reachability heartbeat
-    per replica. *)
+    per replica. Fires the write observer once. *)
+
+val delete : t -> string -> Braid_relalg.Tuple.t -> bool
+(** Removes one occurrence of the tuple from the coordinator and, when it
+    was present, replicates the delete through the owning shard's log
+    exactly like {!insert} (inline apply or hint) and fires the write
+    observer. [false] — and no log entry, no observation — when the
+    coordinator does not hold the tuple. *)
+
+val set_write_observer : t -> (write -> unit) option -> unit
+(** Installs (or clears) the write-stream tap: called exactly once per
+    logical write accepted by the coordinator, {e after} the write is
+    applied and replicated. Replication-log re-applies (inline replica
+    apply, anti-entropy repair, crash rebuild) are re-executions of the
+    same logical write and do not fire it. The CMS hooks incremental cache
+    maintenance here ({!Braid_cache.Maintain}). *)
 
 val distribute : t -> string -> unit
 (** Reslices one coordinator table, e.g. after changing its partitioning.

@@ -51,6 +51,7 @@ type report = {
   waves : int;
   shards : int;  (** 1 = the single-server remote *)
   replicas : int;  (** copies per shard; 1 = unreplicated *)
+  write_heavy : bool;  (** maintenance-on profile: more writes, incl. deletes *)
   submitted : int;
   answered : int;
   shed : int;
@@ -58,8 +59,14 @@ type report = {
   fresh : int;
   degraded : int;
   inserts : int;
+  deletes : int;  (** write-heavy profile only; 0 otherwise *)
   drops : int;
   stale_marks : int;
+  delta_maintained : int;  (** elements kept Fresh by delta propagation *)
+  delta_fallbacks : int;  (** dependents that fell back to stale/drop *)
+  delta_dropped : int;  (** dependents dropped on delete fallback *)
+  delta_rows_added : int;
+  delta_rows_removed : int;
   checkpoints : int;
   coalesce_requests : int;
   coalesce_identical : int;
@@ -97,13 +104,15 @@ let ok r =
   r.divergences = [] && r.recovery_mismatch = None && r.revalidation_failures = 0
   && r.dropped_on_recovery = 0 && r.end_max_lag = 0
   && (r.partition_wave = None || r.heal_wave <> None)
+  && ((not r.write_heavy) || r.delta_maintained > 0)
 
 let report_to_string r =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
-  line "serve soak seed=%d sessions=%d waves=%d%s%s: %s" r.seed r.sessions r.waves
+  line "serve soak seed=%d sessions=%d waves=%d%s%s%s: %s" r.seed r.sessions r.waves
     (if r.shards > 1 then Printf.sprintf " shards=%d" r.shards else "")
     (if r.replicas > 1 then Printf.sprintf " replicas=%d" r.replicas else "")
+    (if r.write_heavy then " write-heavy" else "")
     (if ok r then "OK" else "FAILED");
   line "  submitted:   %d (%d answered, %d shed, %d lost at crash)" r.submitted r.answered
     r.shed r.lost;
@@ -139,8 +148,12 @@ let report_to_string r =
             (if rr.rr_partitioned then " PARTITIONED" else ""))
         s.sh_replicas)
     r.per_shard;
-  line "  mutations:   %d inserts (%d drop-invalidations, %d stale-marks)" r.inserts
-    r.drops r.stale_marks;
+  line "  mutations:   %d inserts, %d deletes (%d drop-invalidations, %d stale-marks)"
+    r.inserts r.deletes r.drops r.stale_marks;
+  if r.write_heavy then
+    line "  maintenance: %d elements delta-maintained (+%d/-%d rows), %d fallbacks, %d dropped"
+      r.delta_maintained r.delta_rows_added r.delta_rows_removed r.delta_fallbacks
+      r.delta_dropped;
   line "  checkpoints: %d (journal: %d entries, epoch %d)" r.checkpoints r.journal_entries
     r.journal_epoch;
   (match r.crash_wave with
@@ -183,12 +196,17 @@ let empty_advice = { Braid_advice.Ast.specs = []; path = None }
 
 let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy)
     ?(shards = 1) ?(replicas = 1) ?(chaos = false) ?(heal_after = 600)
-    ~sessions:n_sessions ~seed ~waves () =
+    ?(write_heavy = false) ~sessions:n_sessions ~seed ~waves () =
   if n_sessions < 1 then invalid_arg "Serve.Soak.run: sessions must be >= 1";
   if shards < 1 then invalid_arg "Serve.Soak.run: shards must be >= 1";
   if replicas < 1 then invalid_arg "Serve.Soak.run: replicas must be >= 1";
   if chaos && replicas < 2 then
     invalid_arg "Serve.Soak.run: chaos needs replicas >= 2 (it severs the primary)";
+  (* Delta maintenance under a lagging backup breaks the replica-lag
+     Stale-subset story for deletes (docs/CONSISTENCY.md §replication), so
+     the write-heavy profile runs against the single-server remote only. *)
+  if write_heavy && (shards > 1 || replicas > 1) then
+    invalid_arg "Serve.Soak.run: write_heavy needs shards = 1 and replicas = 1";
   (* The CMS crash and the replica partition are separate failure stories;
      mixing them would have the crash-recovery fault reset also wipe the
      partition mid-heal. The chaos leg owns the partition. *)
@@ -241,7 +259,10 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
   in
   set_faults ();
   let capacity_bytes = 48_000 in
-  let cms = ref (Cms.create ~capacity_bytes ~rdi_policy ?router server) in
+  let cms =
+    ref (Cms.create ~capacity_bytes ~rdi_policy ?router ~maintain:write_heavy server)
+  in
+  let ws = Workload.new_write_stream () in
   let oracle = Oracle.create server in
   let per =
     Array.init n_sessions (fun i ->
@@ -264,6 +285,7 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
   in
   let sched = ref (new_scheduler !cms) in
   let inserts = ref 0
+  and deletes = ref 0
   and drops = ref 0
   and stale_marks = ref 0
   and checkpoints = ref 0
@@ -283,6 +305,7 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
   and co_misses = ref 0
   and remote_requests = ref 0
   and elapsed_ms = ref 0.0 in
+  let deltas = ref Braid_cache.Maintain.empty_report in
   let fold_incarnation () =
     let c = Coalescer.stats (Scheduler.coalescer !sched) in
     co_requests := !co_requests + c.Coalescer.requests;
@@ -290,7 +313,18 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
     co_subsumed := !co_subsumed + c.Coalescer.subsumed_hits;
     co_misses := !co_misses + c.Coalescer.misses;
     remote_requests := !remote_requests + (Cms.rdi_stats !cms).Braid_remote.Rdi.requests;
-    elapsed_ms := !elapsed_ms +. (Cms.metrics !cms).Qpo.elapsed_ms
+    elapsed_ms := !elapsed_ms +. (Cms.metrics !cms).Qpo.elapsed_ms;
+    let d = Cms.delta_totals !cms and a = !deltas in
+    deltas :=
+      {
+        Braid_cache.Maintain.maintained =
+          a.Braid_cache.Maintain.maintained + d.Braid_cache.Maintain.maintained;
+        fallbacks = a.Braid_cache.Maintain.fallbacks + d.Braid_cache.Maintain.fallbacks;
+        dropped = a.Braid_cache.Maintain.dropped + d.Braid_cache.Maintain.dropped;
+        rows_added = a.Braid_cache.Maintain.rows_added + d.Braid_cache.Maintain.rows_added;
+        rows_removed =
+          a.Braid_cache.Maintain.rows_removed + d.Braid_cache.Maintain.rows_removed;
+      }
   in
   let cur_wave = ref 0 in
   let install_observer () =
@@ -349,7 +383,8 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
       okv
     in
     let recovered, rep =
-      Cms.recover ~capacity_bytes ~rdi_policy ?router ~validate ~journal server
+      Cms.recover ~capacity_bytes ~rdi_policy ?router ~maintain:write_heavy ~validate
+        ~journal server
     in
     recovered_elements := rep.Cms.replayed;
     dropped_on_recovery := List.length rep.Cms.dropped;
@@ -408,7 +443,18 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
            for _ = 1 to policy.Admission.per_session_queue + 2 do
              submit per.(0).a_sid hot
            done;
-         if Prng.int prng 100 < 20 then begin
+         if write_heavy then begin
+           (* The maintenance profile: a write burst most waves — inserts
+              and deletes through the CMS write path, delta-propagated into
+              dependent elements instead of invalidating them. *)
+           for _ = 1 to 3 do
+             if Prng.int prng 100 < 70 then
+               match Workload.gen_write prng ws !cms with
+               | `Insert -> incr inserts
+               | `Delete -> incr deletes
+           done
+         end
+         else if Prng.int prng 100 < 20 then begin
            incr inserts;
            match Workload.gen_insert prng ?router server !cms with
            | `Drop -> incr drops
@@ -522,6 +568,7 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
     waves;
     shards;
     replicas;
+    write_heavy;
     submitted = sum (fun s -> s.submitted);
     answered = sum (fun s -> s.answered);
     shed = sum (fun s -> s.shed);
@@ -529,8 +576,14 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
     fresh = sum (fun s -> s.fresh);
     degraded = sum (fun s -> s.degraded);
     inserts = !inserts;
+    deletes = !deletes;
     drops = !drops;
     stale_marks = !stale_marks;
+    delta_maintained = !deltas.Braid_cache.Maintain.maintained;
+    delta_fallbacks = !deltas.Braid_cache.Maintain.fallbacks;
+    delta_dropped = !deltas.Braid_cache.Maintain.dropped;
+    delta_rows_added = !deltas.Braid_cache.Maintain.rows_added;
+    delta_rows_removed = !deltas.Braid_cache.Maintain.rows_removed;
     checkpoints = !checkpoints;
     coalesce_requests = !co_requests;
     coalesce_identical = !co_identical;

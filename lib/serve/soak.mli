@@ -59,6 +59,7 @@ type report = {
   waves : int;
   shards : int;  (** 1 = single-server remote (the default path) *)
   replicas : int;  (** copies per shard; 1 = unreplicated *)
+  write_heavy : bool;  (** maintenance-on profile: write bursts, incl. deletes *)
   submitted : int;
   answered : int;
   shed : int;
@@ -66,8 +67,15 @@ type report = {
   fresh : int;
   degraded : int;
   inserts : int;
+  deletes : int;  (** write-heavy profile only; 0 otherwise *)
   drops : int;
   stale_marks : int;
+  delta_maintained : int;
+      (** elements kept Fresh by delta propagation, across crash incarnations *)
+  delta_fallbacks : int;  (** dependents that fell back to stale-mark/drop *)
+  delta_dropped : int;  (** dependents dropped on a delete fallback *)
+  delta_rows_added : int;
+  delta_rows_removed : int;
   checkpoints : int;
   coalesce_requests : int;
   coalesce_identical : int;
@@ -106,7 +114,8 @@ type report = {
 val ok : report -> bool
 (** No oracle divergence, byte-identical recovery, every recovered
     element re-validated, every replica repaired back to the log head,
-    and — when chaos severed a primary — the partition healed. *)
+    when chaos severed a primary — the partition healed, and — on the
+    write-heavy profile — at least one element was delta-maintained. *)
 
 val run :
   ?error_rate:float ->
@@ -116,6 +125,7 @@ val run :
   ?replicas:int ->
   ?chaos:bool ->
   ?heal_after:int ->
+  ?write_heavy:bool ->
   sessions:int ->
   seed:int ->
   waves:int ->
@@ -145,7 +155,16 @@ val run :
     {!Braid_remote.Fault.severed} profile healing after [heal_after]
     (default 600) system-wide requests on the router's shared fault
     clock. The report records partition/heal waves, stale serves after
-    heal and the end-of-run lag. *)
+    heal and the end-of-run lag.
+
+    [write_heavy] (default false; requires the single-server remote —
+    see docs/CONSISTENCY.md on deletes under replication lag) creates the
+    CMS with [~maintain:true] and replaces the occasional insert with a
+    per-wave burst of {!Workload.gen_write} inserts {e and deletes}:
+    dependent cache elements are delta-maintained instead of invalidated,
+    every answer still oracle-checked, and the crash replays the
+    journaled deltas byte-identically. The report gains the [delta_*]
+    counters. *)
 
 val report_to_string : report -> string
 (** Deterministic rendering — byte-identical across runs for a seed. *)

@@ -70,6 +70,38 @@ let specialize prng (q : A.conj) =
       (A.conj [ v "Z" ] [ atom "b2" [ s (Printf.sprintf "x%d" (Prng.int prng 4)); v "Z" ] ])
   | _ -> None
 
+(* The maintained write stream tracks what it inserted so deletes always
+   name a row the remote really holds (bag semantics: one occurrence). *)
+type write_stream = { mutable ws_rows : (string * R.Tuple.t) list; mutable ws_n : int }
+
+let new_write_stream () = { ws_rows = []; ws_n = 0 }
+
+let gen_row prng =
+  let zi = Printf.sprintf "z%d" (Prng.int prng size) in
+  let yi = Printf.sprintf "y%d" (Prng.int prng size) in
+  match Prng.int prng 3 with
+  | 0 -> ("b1", [| V.Str zi; V.Str yi |])
+  | 1 -> ("b2", [| V.Str (Printf.sprintf "x%d" (Prng.int prng 4)); V.Str zi |])
+  | _ ->
+    ("b3", [| V.Str zi; V.Str (if Prng.bool prng 0.5 then "c2" else "c3"); V.Str yi |])
+
+let gen_write prng ws cms =
+  if ws.ws_n > 0 && Prng.bool prng 0.3 then begin
+    let i = Prng.int prng ws.ws_n in
+    let table, tup = List.nth ws.ws_rows i in
+    ws.ws_rows <- List.filteri (fun j _ -> j <> i) ws.ws_rows;
+    ws.ws_n <- ws.ws_n - 1;
+    ignore (Cms.apply_delete cms table tup);
+    `Delete
+  end
+  else begin
+    let table, tup = gen_row prng in
+    Cms.apply_insert cms table tup;
+    ws.ws_rows <- (table, tup) :: ws.ws_rows;
+    ws.ws_n <- ws.ws_n + 1;
+    `Insert
+  end
+
 let gen_insert prng ?router server cms =
   let zi = Printf.sprintf "z%d" (Prng.int prng size) in
   let yi = Printf.sprintf "y%d" (Prng.int prng size) in

@@ -33,6 +33,22 @@ val specialize :
     otherwise. Waves that pair a broad hot query with its specialization
     exercise the coalescer's subsumption reuse. *)
 
+type write_stream
+(** Mutable history of the rows {!gen_write} has inserted and not yet
+    deleted — the pool its deletes draw from, so every delete names a row
+    the remote really holds. *)
+
+val new_write_stream : unit -> write_stream
+
+val gen_write :
+  Braid_prng.Prng.t -> write_stream -> Braid.Cms.t -> [ `Insert | `Delete ]
+(** One write on the CMS write path ({!Braid.Cms.apply_insert} /
+    {!Braid.Cms.apply_delete}): ~70% inserts drawn from {!gen_insert}'s
+    value pools, ~30% deletes of a previously inserted row. Cache
+    propagation is whatever the CMS is configured for — delta maintenance
+    when it was created with [~maintain:true], stale-marking/dropping
+    otherwise — so the same seeded stream drives both arms of E18. *)
+
 val gen_insert :
   Braid_prng.Prng.t ->
   ?router:Braid_remote.Shard_router.t ->

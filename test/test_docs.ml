@@ -15,7 +15,8 @@ let contains needle hay =
    stanza lists these files as deps so edits retrigger the tests. When the
    cwd differs (`dune exec test/test_main.exe`), fall back to resolving
    against the executable's own directory, which is always that test dir. *)
-let doc_files = [ "../README.md"; "../docs/CAQL.md"; "../docs/ADVICE.md" ]
+let doc_files =
+  [ "../README.md"; "../docs/CAQL.md"; "../docs/ADVICE.md"; "../docs/CONSISTENCY.md" ]
 
 let read_file path =
   let path =

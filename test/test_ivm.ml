@@ -1,0 +1,305 @@
+(* Incremental view maintenance (Braid_cache.Maintain): delta propagation
+   through PSJ cache elements on the CMS write path, the fallback decision
+   table, bag semantics, and crash recovery mid-delta.
+
+   The invariant under test everywhere: a non-stale materialized element
+   must hold exactly what re-evaluating its definition against the
+   remote's current tables produces — maintenance is allowed to keep an
+   element Fresh only by keeping it exact. *)
+
+module L = Braid_logic
+module T = L.Term
+module R = Braid_relalg
+module V = R.Value
+module A = Braid_caql.Ast
+module TS = Braid_stream.Tuple_stream
+module Qpo = Braid_planner.Qpo
+module Server = Braid_remote.Server
+module Engine = Braid_remote.Engine
+module Cms = Braid.Cms
+module CMgr = Braid_cache.Cache_manager
+module Elem = Braid_cache.Element
+module Maintain = Braid_cache.Maintain
+module Oracle = Braid_check.Oracle
+module Prng = Braid_prng.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let v x = T.Var x
+let s x = T.Const (V.Str x)
+let atom p args = L.Atom.make p args
+
+let str_schema cols = R.Schema.make (List.map (fun c -> (c, V.Tstr)) cols)
+let row xs = Array.of_list (List.map (fun x -> V.Str x) xs)
+
+(* Three tiny tables the tests control exactly. *)
+let load_server () =
+  let server = Server.create () in
+  let eng = Server.engine server in
+  Engine.load eng
+    (R.Relation.of_tuples ~name:"t1" (str_schema [ "a"; "b" ])
+       [ row [ "c1"; "y1" ]; row [ "c1"; "y2" ]; row [ "d"; "y3" ] ]);
+  Engine.load eng
+    (R.Relation.of_tuples ~name:"t2" (str_schema [ "x"; "z" ])
+       [ row [ "x0"; "z1" ]; row [ "x1"; "z2" ] ]);
+  Engine.load eng
+    (R.Relation.of_tuples ~name:"t3" (str_schema [ "z"; "c"; "y" ])
+       [ row [ "z1"; "c2"; "y1" ]; row [ "z2"; "c2"; "y2" ]; row [ "z2"; "c3"; "y1" ] ]);
+  server
+
+let q_sel1 = A.conj [ v "Y" ] [ atom "t1" [ s "c1"; v "Y" ] ]
+let q_full2 = A.conj [ v "X"; v "Z" ] [ atom "t2" [ v "X"; v "Z" ] ]
+
+let q_join =
+  A.conj [ v "X"; v "Z" ] [ atom "t2" [ v "X"; v "Z" ]; atom "t3" [ v "Z"; s "c2"; v "Y" ] ]
+
+let q_sel3 = A.conj [ v "Z" ] [ atom "t3" [ v "Z"; s "c2"; s "y1" ] ]
+
+let eager = { Qpo.braid_config with Qpo.allow_lazy = false }
+
+let make_cms ?(maintain = true) server = Cms.create ~config:eager ~maintain server
+
+let warm cms qs = List.iter (fun q -> ignore (TS.to_relation (Cms.query cms q).Qpo.stream)) qs
+
+let elements cms = Braid_cache.Cache_model.elements (CMgr.model (Cms.cache cms))
+
+(* The cached element admitted for [q], by definition shape. *)
+let element_of cms q =
+  List.find
+    (fun (e : Elem.t) -> A.variant_equal e.Elem.def q)
+    (elements cms)
+
+let ground server def =
+  Braid_caql.Eval.conj
+    ~source:(fun (a : L.Atom.t) -> Engine.table (Server.engine server) a.L.Atom.pred)
+    ~schema_of:(Braid_remote.Catalog.schema_of (Server.catalog server))
+    def
+
+let norm r = List.sort compare (R.Relation.to_list r)
+
+let check_exact server (e : Elem.t) what =
+  check_bool (what ^ " ≡ recompute-from-scratch") true
+    (norm (Elem.extension e) = norm (ground server e.Elem.def))
+
+(* Every non-stale materialized element must be exact — the global
+   maintenance invariant the property test sweeps. *)
+let check_all_fresh_exact server cms =
+  List.iter
+    (fun (e : Elem.t) ->
+      if (not e.Elem.stale) && Elem.is_materialized e then check_exact server e "element")
+    (elements cms)
+
+(* --- selections and projections --- *)
+
+let test_insert_selection () =
+  let server = load_server () in
+  let cms = make_cms server in
+  warm cms [ q_sel1 ];
+  (* matching row: the delta passes the selection, projected to the head *)
+  Cms.apply_insert cms "t1" (row [ "c1"; "y9" ]);
+  (* non-matching row: the delta dies in the selection — still maintained *)
+  Cms.apply_insert cms "t1" (row [ "nope"; "y1" ]);
+  let e = element_of cms q_sel1 in
+  check_bool "element still fresh" false e.Elem.stale;
+  check_exact server e "selection after inserts";
+  let d = Cms.delta_totals cms in
+  check_int "both writes maintained" 2 d.Maintain.maintained;
+  check_int "one projected row added" 1 d.Maintain.rows_added;
+  check_int "no fallbacks" 0 d.Maintain.fallbacks
+
+let test_delete_bag_semantics () =
+  let server = load_server () in
+  let cms = make_cms server in
+  warm cms [ q_sel1 ];
+  (* two occurrences of the same row, then one delete: exactly one left *)
+  Cms.apply_insert cms "t1" (row [ "c1"; "dup" ]);
+  Cms.apply_insert cms "t1" (row [ "c1"; "dup" ]);
+  check_bool "delete of a held row" true (Cms.apply_delete cms "t1" (row [ "c1"; "dup" ]));
+  let e = element_of cms q_sel1 in
+  check_bool "element still fresh" false e.Elem.stale;
+  check_exact server e "selection after bag delete";
+  let occurrences =
+    List.length (List.filter (fun t -> t = [| V.Str "dup" |]) (R.Relation.to_list (Elem.extension e)))
+  in
+  check_int "one of two occurrences survives" 1 occurrences;
+  (* an absent tuple is a no-op everywhere: no journal entry, no delta *)
+  let d_before = Cms.delta_totals cms in
+  check_bool "absent tuple refused" false (Cms.apply_delete cms "t1" (row [ "ghost"; "gone" ]));
+  check_bool "no-op left totals untouched" true (Cms.delta_totals cms = d_before)
+
+(* --- joins: the other side must come from a covering Fresh element --- *)
+
+let test_join_maintained_via_cached_side () =
+  let server = load_server () in
+  let cms = make_cms server in
+  warm cms [ q_full2; q_join ];
+  (* a t3 write: the join semi-joins the delta against the cached t2 *)
+  Cms.apply_insert cms "t3" (row [ "z2"; "c2"; "y7" ]);
+  let j = element_of cms q_join in
+  check_bool "join still fresh" false j.Elem.stale;
+  check_exact server j "join after t3 insert";
+  (* and the delete of the same row rolls it back exactly *)
+  ignore (Cms.apply_delete cms "t3" (row [ "z2"; "c2"; "y7" ]));
+  let j = element_of cms q_join in
+  check_bool "join fresh after delete" false j.Elem.stale;
+  check_exact server j "join after t3 delete";
+  check_bool "no fallbacks on the covered side" true
+    ((Cms.delta_totals cms).Maintain.fallbacks = 0)
+
+let test_join_fallback_without_cover () =
+  let server = load_server () in
+  let cms = make_cms server in
+  warm cms [ q_join ];
+  (* a t2 write: the join's other side (t3) has no covering element, so
+     the decision table says fall back — insert marks stale *)
+  Cms.apply_insert cms "t2" (row [ "x9"; "z1" ]);
+  let j = element_of cms q_join in
+  check_bool "insert fallback marks stale" true j.Elem.stale;
+  let d = Cms.delta_totals cms in
+  check_int "fallback counted" 1 d.Maintain.fallbacks;
+  check_int "nothing dropped yet" 0 d.Maintain.dropped;
+  (* a delete cannot stale-mark (a stale element is only an honest subset
+     under insert-only writes): the stale dependent is dropped *)
+  ignore (Cms.apply_delete cms "t3" (row [ "z1"; "c2"; "y1" ]));
+  check_bool "delete fallback drops the element" true
+    (not (List.exists (fun (e : Elem.t) -> A.variant_equal e.Elem.def q_join) (elements cms)));
+  check_int "drop counted" 1 (Cms.delta_totals cms).Maintain.dropped
+
+let test_maintain_off_unchanged () =
+  let server = load_server () in
+  let cms = make_cms ~maintain:false server in
+  warm cms [ q_sel1; q_sel3 ];
+  Cms.apply_insert cms "t1" (row [ "c1"; "y9" ]);
+  let e = element_of cms q_sel1 in
+  check_bool "insert stale-marks without maintenance" true e.Elem.stale;
+  ignore (Cms.apply_delete cms "t3" (row [ "z1"; "c2"; "y1" ]));
+  check_bool "delete drops dependents without maintenance" true
+    (not (List.exists (fun (e : Elem.t) -> A.variant_equal e.Elem.def q_sel3) (elements cms)));
+  check_bool "no deltas ran" true (Cms.delta_totals cms = Maintain.empty_report)
+
+(* --- the property: maintained ≡ recomputed, under any write stream --- *)
+
+let prop_maintained_equals_recompute =
+  QCheck.Test.make ~name:"delta-maintained elements ≡ recompute after every write"
+    ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let server = load_server () in
+      let cms = make_cms server in
+      warm cms [ q_sel1; q_full2; q_join; q_sel3 ];
+      let prng = Prng.create seed in
+      let inserted = ref [] in
+      for _ = 1 to 25 do
+        (if !inserted <> [] && Prng.bool prng 0.3 then begin
+           let rows = !inserted in
+           let i = Prng.int prng (List.length rows) in
+           let table, tup = List.nth rows i in
+           inserted := List.filteri (fun j _ -> j <> i) rows;
+           ignore (Cms.apply_delete cms table tup)
+         end
+         else begin
+           let zi = Printf.sprintf "z%d" (Prng.int prng 4) in
+           let yi = Printf.sprintf "y%d" (Prng.int prng 4) in
+           let table, tup =
+             match Prng.int prng 3 with
+             | 0 -> ("t1", row [ (if Prng.bool prng 0.5 then "c1" else "d"); yi ])
+             | 1 -> ("t2", row [ Printf.sprintf "x%d" (Prng.int prng 3); zi ])
+             | _ -> ("t3", row [ zi; (if Prng.bool prng 0.5 then "c2" else "c3"); yi ])
+           in
+           Cms.apply_insert cms table tup;
+           inserted := (table, tup) :: !inserted
+         end);
+        check_all_fresh_exact server cms
+      done;
+      true)
+
+(* --- crash recovery mid-delta --- *)
+
+let write_burst cms prng inserted n =
+  for _ = 1 to n do
+    if !inserted <> [] && Prng.bool prng 0.3 then begin
+      let rows = !inserted in
+      let i = Prng.int prng (List.length rows) in
+      let table, tup = List.nth rows i in
+      inserted := List.filteri (fun j _ -> j <> i) rows;
+      ignore (Cms.apply_delete cms table tup)
+    end
+    else begin
+      let table, tup =
+        match Prng.int prng 3 with
+        | 0 -> ("t1", row [ "c1"; Printf.sprintf "y%d" (Prng.int prng 5) ])
+        | 1 -> ("t2", row [ Printf.sprintf "x%d" (Prng.int prng 3); "z1" ])
+        | _ -> ("t3", row [ "z2"; "c2"; Printf.sprintf "y%d" (Prng.int prng 5) ])
+      in
+      Cms.apply_insert cms table tup;
+      inserted := (table, tup) :: !inserted
+    end
+  done
+
+let test_crash_mid_delta_recovery () =
+  let server = load_server () in
+  let cms = make_cms server in
+  let oracle = Oracle.create server in
+  warm cms [ q_sel1; q_full2; q_join; q_sel3 ];
+  let prng = Prng.create 42 in
+  let inserted = ref [] in
+  (* deltas land on both sides of a checkpoint: replay must cross it *)
+  write_burst cms prng inserted 8;
+  ignore (Cms.checkpoint cms);
+  write_burst cms prng inserted 8;
+  let dead = CMgr.model (Cms.cache cms) in
+  let journal = Cms.journal cms in
+  let deltas =
+    List.length
+      (List.filter
+         (function
+           | Braid_cache.Journal.Delta_insert _ | Braid_cache.Journal.Delta_delete _ ->
+             true
+           | _ -> false)
+         (Braid_cache.Journal.entries journal))
+  in
+  check_bool "deltas were journaled" true (deltas > 0);
+  let recovered, rep =
+    Cms.recover ~config:eager ~maintain:true ~validate:(Oracle.revalidate oracle)
+      ~journal server
+  in
+  check_int "nothing dropped by revalidation" 0 (List.length rep.Cms.dropped);
+  (match Oracle.same_state dead (CMgr.model (Cms.cache recovered)) with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "recovered model diverged: %s" msg);
+  (* and the recovered CMS keeps maintaining: another burst stays exact *)
+  write_burst recovered prng inserted 4;
+  check_all_fresh_exact server recovered
+
+(* --- the relalg primitive --- *)
+
+let test_remove_once () =
+  let r =
+    R.Relation.of_tuples ~name:"r" (str_schema [ "a" ])
+      [ row [ "p" ]; row [ "q" ]; row [ "p" ] ]
+  in
+  check_bool "removes a present tuple" true (R.Relation.remove_once r (row [ "p" ]));
+  check_int "one occurrence of two removed" 3 (R.Relation.cardinality r + 1);
+  check_bool "second occurrence still present" true (R.Relation.mem r (row [ "p" ]));
+  check_bool "absent tuple refused" false (R.Relation.remove_once r (row [ "absent" ]));
+  check_int "refusal leaves the relation alone" 2 (R.Relation.cardinality r)
+
+let suites =
+  [
+    ( "ivm",
+      [
+        Alcotest.test_case "insert through a selection" `Quick test_insert_selection;
+        Alcotest.test_case "bag-semantics delete" `Quick test_delete_bag_semantics;
+        Alcotest.test_case "join maintained via cached side" `Quick
+          test_join_maintained_via_cached_side;
+        Alcotest.test_case "join falls back without cover" `Quick
+          test_join_fallback_without_cover;
+        Alcotest.test_case "maintain off: stale-mark/drop unchanged" `Quick
+          test_maintain_off_unchanged;
+        QCheck_alcotest.to_alcotest prop_maintained_equals_recompute;
+        Alcotest.test_case "crash mid-delta recovers byte-identically" `Quick
+          test_crash_mid_delta_recovery;
+        Alcotest.test_case "Relation.remove_once" `Quick test_remove_once;
+      ] );
+  ]
