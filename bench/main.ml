@@ -377,6 +377,7 @@ let experiments_json ?seed () =
   let (e16_mix, e16_soak, e16_avail), _ = Braid_experiments.Exp_sharding.run ?seed () in
   let e17_rows, _ = Braid_experiments.Exp_replication.run ?seed () in
   let (e18_rows, e18_rec), _ = Braid_experiments.Exp_ivm.run ?seed () in
+  let (e19_rows, e19_set), _ = Braid_experiments.Exp_set_oriented.run ?seed () in
   let table_card, result_rows, scanned = remote_scan_counters () in
   let pc = plan_choice_counters () in
   let b = Buffer.create 4096 in
@@ -505,6 +506,25 @@ let experiments_json ?seed () =
      "    \"e18_recovery\": {\"deltas\": %d, \"epoch\": %d, \"elements\": %d, \
       \"replayed\": %d, \"byte_identical\": %b},\n"
      r.rc_deltas r.rc_epoch r.rc_elements r.rc_replayed r.rc_byte_identical);
+  out "    \"e19_set_oriented\": [\n";
+  List.iteri
+    (fun i (r : Braid_experiments.Exp_set_oriented.row) ->
+      let open Braid_experiments.Exp_set_oriented in
+      out
+        "      {\"strategy\": \"%s\", \"remote_requests\": %d, \"caql_queries\": %d, \
+         \"resolutions\": %d, \"tuples_moved\": %d, \"solutions\": %d, \
+         \"identical\": %b}%s\n"
+        (json_escape r.strategy) r.requests r.caql_queries r.resolutions
+        r.tuples_moved r.solutions r.identical
+        (if i = List.length e19_rows - 1 then "" else ","))
+    e19_rows;
+  out "    ],\n";
+  (let s = e19_set in
+   let open Braid_experiments.Exp_set_oriented in
+   out
+     "    \"e19_set_counters\": {\"rounds\": %d, \"fetches\": %d, \
+      \"fetched_tuples\": %d, \"magic_tuples\": %d},\n"
+     s.rounds s.fetches s.fetched_tuples s.magic_tuples);
   out
     "    \"plan_choices\": {\"hash_joins\": %d, \"merge_joins\": %d, \"inlj_joins\": %d, \
      \"products\": %d, \"seq_scans\": %d, \"index_probes\": %d, \"index_only_scans\": %d, \
@@ -812,6 +832,7 @@ let run_serve argv =
   and chaos = ref false
   and heal_after = ref 600
   and write_heavy = ref false
+  and recursive = ref false
   and error_rate = ref None
   and gate = ref false
   and report_path = ref "serve-report.txt"
@@ -840,6 +861,9 @@ let run_serve argv =
       parse tl
     | "--write-heavy" :: tl ->
       write_heavy := true;
+      parse tl
+    | "--recursive" :: tl ->
+      recursive := true;
       parse tl
     | "--heal-after" :: n :: tl ->
       int_arg "--heal-after" n tl (fun v tl -> heal_after := v; parse tl)
@@ -872,7 +896,7 @@ let run_serve argv =
     | arg :: _ ->
       Printf.eprintf
         "unknown serve argument %S (expected --sessions N, --seed N, --waves N, \
-         --shards N, --replicas R, --chaos, --heal-after N, --write-heavy, \
+         --shards N, --replicas R, --chaos, --heal-after N, --write-heavy, --recursive, \
          --error-rate X, --check, --report PATH, --journal PATH, --trace PATH)\n"
         arg;
       exit 1
@@ -881,6 +905,7 @@ let run_serve argv =
   let go () =
     Braid_serve.Soak.run ?error_rate:!error_rate ~shards:!shards ~replicas:!replicas
       ~chaos:!chaos ~heal_after:!heal_after ~write_heavy:!write_heavy
+      ~recursive:!recursive
       ~sessions:!sessions ~seed:!seed ~waves:!waves ()
   in
   let report = with_trace !trace_path go in
@@ -961,6 +986,26 @@ let run_serve argv =
         fail "write-heavy run added no delta rows";
       if r.Braid_serve.Soak.deletes = 0 then
         fail "write-heavy run issued no deletes";
+    end;
+    (* Recursive gate: the goal leg must actually drive the set-oriented
+       IE tier — goals answered via multi-round fixpoints, at least one
+       answer complete against ground truth, and the magic-restricted
+       fetch count staying far below the goal count times the rule count
+       (the CMS absorbs repeats). *)
+    if !recursive then begin
+      let r = report in
+      let fail msg =
+        prerr_endline ("serve check FAILED: " ^ msg);
+        exit 1
+      in
+      if r.Braid_serve.Soak.goal_answered = 0 then
+        fail "recursive run answered no goals";
+      if r.Braid_serve.Soak.goal_complete = 0 then
+        fail "recursive run completed no goal against ground truth";
+      if r.Braid_serve.Soak.goal_rounds < 2 * r.Braid_serve.Soak.goal_answered then
+        fail "goals did not drive multi-round fixpoints (ie.set.rounds too low)";
+      if r.Braid_serve.Soak.goal_fetches = 0 then
+        fail "recursive run issued no set-oriented fetches"
     end;
     (* Chaos gate: the severed primary must actually force failovers and
        hinted writes, the partition must heal and repair must hand the

@@ -33,6 +33,7 @@ let config_of_label label =
 let strategy_of_label = function
   | "interpretive" -> Braid_ie.Strategy.Interpretive
   | "compiled" -> Braid_ie.Strategy.Fully_compiled
+  | "set-oriented" -> Braid_ie.Strategy.Set_oriented
   | "adaptive" -> Braid_ie.Strategy.Adaptive
   | s ->
     (match String.index_opt s '-' with
@@ -161,7 +162,9 @@ let system_arg =
   Arg.(value & opt string "braid" & info [ "system" ] ~docv:"SYSTEM" ~doc)
 
 let strategy_arg =
-  let doc = "Inference strategy: interpretive, conjunction-N, compiled or adaptive." in
+  let doc =
+    "Inference strategy: interpretive, conjunction-N, compiled, set-oriented or adaptive."
+  in
   Arg.(value & opt string "interpretive" & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
 
 let query_arg =

@@ -18,6 +18,7 @@ let experiments : (string * (?seed:int -> unit -> Table.t)) list =
     ("e16", fun ?seed () -> snd (Exp_sharding.run ?seed ()));
     ("e17", fun ?seed () -> snd (Exp_replication.run ?seed ()));
     ("e18", fun ?seed () -> snd (Exp_ivm.run ?seed ()));
+    ("e19", fun ?seed () -> snd (Exp_set_oriented.run ?seed ()));
   ]
 
 (* Bracket each experiment with a metrics-registry reset so the

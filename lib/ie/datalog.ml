@@ -6,7 +6,19 @@ type outcome = {
   result : R.Relation.t;
   iterations : int;
   tuples_produced : int;
+  fetches : int;
+  fetched_tuples : int;
+  derived_sizes : (string * int) list;
 }
+
+type source =
+  | Extensions of (string -> R.Relation.t option)
+  | Conj_fetch of {
+      fetch : A.conj -> R.Relation.t;
+      schema : string -> R.Schema.t option;
+    }
+
+exception Unknown_base_relation of string
 
 let body_atoms (r : L.Rule.t) =
   List.filter_map
@@ -49,27 +61,218 @@ let rule_query_with_delta (r : L.Rule.t) j =
   in
   { q with A.atoms }
 
-let empty_for (a : L.Atom.t) =
-  let attrs = List.mapi (fun i _ -> (Printf.sprintf "a%d" i, R.Value.Tstr)) a.L.Atom.args in
+(* A predicate that is neither derived nor declared base fails (empty), as
+   in Prolog. The placeholder schema is never joined against a tuple — the
+   relation is empty by construction — so its types are immaterial. *)
+let prolog_fail (a : L.Atom.t) =
+  let attrs =
+    List.mapi (fun i _ -> (Printf.sprintf "a%d" i, R.Value.Tstr)) a.L.Atom.args
+  in
   R.Relation.create ~name:a.L.Atom.pred (R.Schema.make attrs)
 
-let solve kb ?(skip_rules = []) ?(algorithm = `Semi_naive) ~base query =
-  let rules_for p =
-    List.filter
-      (fun (r : L.Rule.t) -> not (List.mem r.L.Rule.id skip_rules))
-      (L.Kb.rules_for kb p)
+(* --- set-oriented base access: one conjunctive fetch per component --- *)
+
+(* φ$<rule>$<k> — pseudo-relations standing for a fetched base component.
+   The prefix cannot collide with user predicates or the Δ marker. *)
+let fetch_marker = "\xcf\x86$"
+
+let cmp_vars (_, a, b) = L.Literal.expr_vars a @ L.Literal.expr_vars b
+
+(* Split a rule body into maximal variable-connected groups of base atoms
+   (each becomes one conjunctive fetch, carrying the comparisons it covers
+   as shipped selections) and a local residue: derived atoms, unshippable
+   comparisons, and one pseudo-atom per group over the group's variables.
+   Ground base atoms stay local and resolve through a whole-extension
+   fetch, as do base atoms reached outside any prepared rule. *)
+let componentize kb (r : L.Rule.t) =
+  let indexed = List.mapi (fun i l -> (i, l)) r.L.Rule.body in
+  let base_atoms =
+    List.filter_map
+      (fun (i, l) ->
+        match l with
+        | L.Literal.Rel a when L.Kb.is_base kb a.L.Atom.pred && L.Atom.vars a <> [] ->
+          Some (i, a)
+        | _ -> None)
+      indexed
   in
+  let groups =
+    List.fold_left
+      (fun groups (i, a) ->
+        let avars = L.Atom.vars a in
+        let touches group =
+          List.exists
+            (fun (_, b) -> List.exists (fun v -> List.mem v avars) (L.Atom.vars b))
+            group
+        in
+        let touching, rest = List.partition touches groups in
+        (List.concat touching @ [ (i, a) ]) :: rest)
+      [] base_atoms
+  in
+  let groups =
+    List.map (List.sort (fun (i, _) (j, _) -> compare i j)) groups
+    |> List.sort (fun g1 g2 -> compare (fst (List.hd g1)) (fst (List.hd g2)))
+  in
+  let group_vars group =
+    let seen = Hashtbl.create 8 in
+    List.concat_map (fun (_, a) -> L.Atom.vars a) group
+    |> List.filter (fun v ->
+           if Hashtbl.mem seen v then false
+           else begin
+             Hashtbl.add seen v ();
+             true
+           end)
+  in
+  let cmps =
+    List.filter_map
+      (fun (i, l) ->
+        match l with
+        | L.Literal.Cmp (op, a, b) -> Some (i, (op, a, b))
+        | L.Literal.Rel _ -> None)
+      indexed
+  in
+  let shipped = Hashtbl.create 8 in
+  let built =
+    List.mapi
+      (fun k group ->
+        let vars = group_vars group in
+        let covered =
+          List.filter
+            (fun (i, c) ->
+              let cv = cmp_vars c in
+              cv <> []
+              && (not (Hashtbl.mem shipped i))
+              && List.for_all (fun v -> List.mem v vars) cv)
+            cmps
+        in
+        List.iter (fun (i, _) -> Hashtbl.replace shipped i ()) covered;
+        let pseudo = fetch_marker ^ r.L.Rule.id ^ "$" ^ string_of_int k in
+        let head = List.map (fun v -> L.Term.Var v) vars in
+        let conj = A.conj ~cmps:(List.map snd covered) head (List.map snd group) in
+        (group, pseudo, vars, conj))
+      groups
+  in
+  let replacement = Hashtbl.create 8 in
+  List.iter
+    (fun (group, pseudo, vars, _) ->
+      List.iteri
+        (fun pos (i, _) ->
+          if pos = 0 then
+            Hashtbl.replace replacement i
+              (`First (L.Atom.make pseudo (List.map (fun v -> L.Term.Var v) vars)))
+          else Hashtbl.replace replacement i `Drop)
+        group)
+    built;
+  let body' =
+    List.filter_map
+      (fun (i, l) ->
+        match Hashtbl.find_opt replacement i with
+        | Some (`First pa) -> Some (L.Literal.Rel pa)
+        | Some `Drop -> None
+        | None -> if Hashtbl.mem shipped i then None else Some l)
+      indexed
+  in
+  ({ r with L.Rule.body = body' }, List.map (fun (_, p, _, c) -> (p, c)) built)
+
+let run kb ?(skip_rules = []) ?(algorithm = `Semi_naive) ~source:src query =
+  let skip = Hashtbl.create (max 4 (List.length skip_rules)) in
+  List.iter (fun id -> Hashtbl.replace skip id ()) skip_rules;
   let derived = reachable kb query in
-  let is_derived p = List.mem p derived in
+  let derived_set = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace derived_set p ()) derived;
+  let is_derived p = Hashtbl.mem derived_set p in
+  let fetches = ref 0 in
+  let fetched_tuples = ref 0 in
+  (* Rules are prepared once per predicate: skip-filtered, and in fetch
+     mode componentized so each base group is one pseudo-atom. *)
+  let pseudo_defs : (string, A.conj) Hashtbl.t = Hashtbl.create 16 in
+  let prepared : (string, L.Rule.t list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let rs =
+        List.filter
+          (fun (r : L.Rule.t) -> not (Hashtbl.mem skip r.L.Rule.id))
+          (L.Kb.rules_for kb p)
+      in
+      let rs =
+        match src with
+        | Extensions _ -> rs
+        | Conj_fetch _ ->
+          List.map
+            (fun r ->
+              let r', comps = componentize kb r in
+              List.iter (fun (pseudo, c) -> Hashtbl.replace pseudo_defs pseudo c) comps;
+              r')
+            rs
+      in
+      Hashtbl.replace prepared p rs)
+    derived;
+  let rules_for p = Option.value ~default:[] (Hashtbl.find_opt prepared p) in
+  (* Fail loudly up front when a componentized base relation has no catalog
+     schema — fetching it could only silently type-mismatch. *)
+  (match src with
+   | Extensions _ -> ()
+   | Conj_fetch { schema; _ } ->
+     Hashtbl.iter
+       (fun _ (c : A.conj) ->
+         List.iter
+           (fun (a : L.Atom.t) ->
+             if schema a.L.Atom.pred = None then
+               raise (Unknown_base_relation a.L.Atom.pred))
+           c.A.atoms)
+       pseudo_defs);
+  let base_schema p =
+    match src with
+    | Extensions base -> Option.map R.Relation.schema (base p)
+    | Conj_fetch { schema; _ } -> schema p
+  in
+  (* Pseudo-relation schemas are static: derivable from the base schemas
+     before anything is fetched. *)
+  let pseudo_schema = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun pseudo c ->
+      Hashtbl.replace pseudo_schema pseudo (Braid_caql.Analyze.schema_of_conj base_schema c))
+    pseudo_defs;
   let total : (string, R.Relation.t) Hashtbl.t = Hashtbl.create 16 in
   let delta : (string, R.Relation.t) Hashtbl.t = Hashtbl.create 16 in
   let schema_of name =
     match Hashtbl.find_opt total name with
     | Some r -> Some (R.Relation.schema r)
-    | None -> Option.map R.Relation.schema (base name)
+    | None ->
+      (match Hashtbl.find_opt pseudo_schema name with
+       | Some s -> Some s
+       | None -> base_schema name)
+  in
+  (* Fetches are memoized on the canonical conjunct: base extensions are
+     immutable during a fixpoint, so each distinct body fetch is issued
+     once and reused across rounds (rounds after the first would be exact
+     cache hits anyway). *)
+  let fetch_memo : (string, R.Relation.t) Hashtbl.t = Hashtbl.create 16 in
+  let do_fetch name (c : A.conj) =
+    let key = A.conj_to_string (A.canonical c) in
+    match Hashtbl.find_opt fetch_memo key with
+    | Some r -> R.Relation.with_name name r
+    | None ->
+      (match src with
+       | Extensions _ -> assert false
+       | Conj_fetch { fetch; _ } ->
+         incr fetches;
+         let r = fetch c in
+         fetched_tuples := !fetched_tuples + R.Relation.cardinality r;
+         Hashtbl.replace fetch_memo key r;
+         R.Relation.with_name name r)
+  in
+  let whole_base p =
+    match L.Kb.base_arity kb p with
+    | None -> None
+    | Some arity ->
+      let vars = List.init arity (fun i -> L.Term.Var (Printf.sprintf "V%d" i)) in
+      Some (do_fetch p (A.conj vars [ L.Atom.make p vars ]))
   in
   (* sources: [source] resolves derived predicates to their running totals;
-     delta markers to the previous round's delta. *)
+     delta markers to the previous round's delta; pseudo-atoms to their
+     (memoized) fetched components. A predicate declared base but absent
+     from the supplied extensions fails loudly — an empty all-[Tstr]
+     placeholder would silently type-mismatch an int-keyed join. *)
   let source (a : L.Atom.t) =
     let p = a.L.Atom.pred in
     match Hashtbl.find_opt total p with
@@ -77,7 +280,25 @@ let solve kb ?(skip_rules = []) ?(algorithm = `Semi_naive) ~base query =
     | None ->
       (match Hashtbl.find_opt delta p with
        | Some r -> r
-       | None -> (match base p with Some r -> r | None -> empty_for a))
+       | None ->
+         (match src with
+          | Extensions base ->
+            (match base p with
+             | Some r -> r
+             | None ->
+               if L.Kb.is_base kb p then raise (Unknown_base_relation p)
+               else prolog_fail a)
+          | Conj_fetch { schema; _ } ->
+            (match Hashtbl.find_opt pseudo_defs p with
+             | Some c -> do_fetch p c
+             | None ->
+               if L.Kb.is_base kb p then begin
+                 if schema p = None then raise (Unknown_base_relation p);
+                 match whole_base p with
+                 | Some r -> r
+                 | None -> raise (Unknown_base_relation p)
+               end
+               else prolog_fail a)))
   in
   (* Pre-create empty extensions so recursive references resolve in round
      one; schema inferred from the first defining rule. *)
@@ -197,4 +418,23 @@ let solve kb ?(skip_rules = []) ?(algorithm = `Semi_naive) ~base query =
     Braid_caql.Eval.conj ~source ~schema_of
       (A.conj (List.map (fun v -> L.Term.Var v) (L.Atom.vars query)) [ query ])
   in
-  { result = answer; iterations = !iterations; tuples_produced = !tuples_produced }
+  let derived_sizes =
+    List.map
+      (fun p ->
+        ( p,
+          match Hashtbl.find_opt total p with
+          | Some r -> R.Relation.cardinality r
+          | None -> 0 ))
+      derived
+  in
+  {
+    result = answer;
+    iterations = !iterations;
+    tuples_produced = !tuples_produced;
+    fetches = !fetches;
+    fetched_tuples = !fetched_tuples;
+    derived_sizes;
+  }
+
+let solve kb ?skip_rules ?algorithm ~base query =
+  run kb ?skip_rules ?algorithm ~source:(Extensions base) query

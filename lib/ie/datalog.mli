@@ -5,7 +5,8 @@
     specialized operators), because the remote DBMS of the paper's era
     cannot evaluate recursion. The fully compiled strategy fetches base
     extensions set-at-a-time through the CMS and runs this fixpoint on the
-    workstation.
+    workstation; the set-oriented strategy goes one step further and lets
+    the fixpoint itself drive conjunctive fetches (see {!source}).
 
     Two algorithms, with set semantics (results are identical):
 
@@ -21,7 +22,51 @@ type outcome = {
   result : Braid_relalg.Relation.t;  (** bindings for the query's variables *)
   iterations : int;
   tuples_produced : int;  (** total tuples materialized across rounds *)
+  fetches : int;  (** conjunctive fetches issued ([Conj_fetch] mode; else 0) *)
+  fetched_tuples : int;  (** tuples returned by those fetches *)
+  derived_sizes : (string * int) list;
+      (** fixpoint cardinality of every derived predicate evaluated —
+          includes magic predicates when the program was magic-transformed,
+          which is what the selectivity accounting reads *)
 }
+
+(** How base relations are obtained.
+
+    - [Extensions]: extensions are supplied locally (the fully compiled
+      strategy pre-fetches them; tests pass them directly).
+    - [Conj_fetch]: the evaluator requests base data itself, one
+      conjunctive CAQL query per maximal variable-connected group of base
+      atoms in a rule body (with the comparisons the group covers shipped
+      as selections). Routed through the QPO these fetches become ordinary
+      PSJ cache elements — subsumption, advice, sharded routing, and IVM
+      all see them. [schema] resolves base relation schemas statically
+      (normally the remote catalog). *)
+type source =
+  | Extensions of (string -> Braid_relalg.Relation.t option)
+  | Conj_fetch of {
+      fetch : Braid_caql.Ast.conj -> Braid_relalg.Relation.t;
+      schema : string -> Braid_relalg.Schema.t option;
+    }
+
+exception Unknown_base_relation of string
+(** Raised when a predicate {e declared} base has no extension: absent from
+    [Extensions], or without a catalog schema in [Conj_fetch] mode. (An
+    all-[Tstr] empty placeholder here would silently type-mismatch an
+    int-keyed join.) Predicates that are neither derived nor declared
+    still fail softly — empty, as in Prolog. *)
+
+val run :
+  Braid_logic.Kb.t ->
+  ?skip_rules:string list ->
+  ?algorithm:[ `Naive | `Semi_naive ] ->
+  source:source ->
+  Braid_logic.Atom.t ->
+  outcome
+(** Evaluates all derived predicates reachable from the query to a fixpoint
+    over the base extensions obtained per [source], then answers the query
+    atom. The result schema names the query's distinct variables in order;
+    constants in the query act as selections. Raises
+    [Braid_caql.Eval.Unsafe] on non-range-restricted rules. *)
 
 val solve :
   Braid_logic.Kb.t ->
@@ -30,9 +75,4 @@ val solve :
   base:(string -> Braid_relalg.Relation.t option) ->
   Braid_logic.Atom.t ->
   outcome
-(** Evaluates all derived predicates reachable from the query to a fixpoint
-    over the supplied base extensions, then answers the query atom. The
-    result schema names the query's distinct variables in order; constants
-    in the query act as selections. Raises [Braid_caql.Eval.Unsafe] on
-    non-range-restricted rules. Predicates that are neither derived nor
-    supplied by [base] fail (empty), as in Prolog. *)
+(** [run] with [source = Extensions base]. *)

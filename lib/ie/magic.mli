@@ -1,0 +1,46 @@
+(** The magic-set transform for the set-oriented strategy tier.
+
+    Bottom-up evaluation computes {e all} solutions of every reachable
+    predicate; a selective query ([ancestor("p0", Y)]) would still derive
+    the whole closure. The transform rewrites the reachable fragment of the
+    knowledge base so bottom-up derivation is restricted to the tuples the
+    query actually demands:
+
+    - every derived predicate is split per {b adornment} — a [b]/[f] string
+      recording which argument positions arrive bound — and renamed
+      [p$ad];
+    - a {b magic predicate} [m$p$ad] collects the bound-argument tuples
+      demanded of [p$ad]; each adorned rule is guarded by its magic atom,
+      so a rule fires only for demanded bindings;
+    - demand propagates {b sideways} through each rule body in the shaper's
+      conjunct order ([orderings], the same order the interpretive
+      controller evaluates), emitting one magic rule per bound derived
+      occurrence;
+    - the query's own constants seed the demand as a magic fact.
+
+    Derived occurrences whose adornment is all-free get no magic predicate
+    (their full extension is demanded — guarding is pure overhead), and
+    [transform] returns [None] when the query itself binds nothing or is
+    not a derived predicate: the untransformed program is already optimal
+    there. *)
+
+type t = {
+  kb : Braid_logic.Kb.t;  (** the adorned + magic program *)
+  query : Braid_logic.Atom.t;  (** the query renamed to its adorned predicate *)
+  adornment : string;  (** the query's adornment, e.g. ["bf"] *)
+}
+
+val transform :
+  Braid_logic.Kb.t ->
+  ?orderings:(string * int list) list ->
+  ?skip_rules:string list ->
+  Braid_logic.Atom.t ->
+  t option
+(** [skip_rules] (rules the problem-graph shaper culled) are excluded from
+    the transformed program, so the caller must not re-apply them. Answers
+    of [t.query] over [t.kb] equal answers of the original query over the
+    original program (soundness of magic sets for definite programs). *)
+
+val is_magic : string -> bool
+(** Recognizes magic predicate names ([m$...]) — used to account the magic
+    filter's size separately from real derived predicates. *)

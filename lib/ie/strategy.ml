@@ -3,11 +3,13 @@ module R = Braid_relalg
 module A = Braid_caql.Ast
 module TS = Braid_stream.Tuple_stream
 module Qpo = Braid_planner.Qpo
+module Obs = Braid_obs
 
 type kind =
   | Interpretive
   | Conjunction_compiled of int
   | Fully_compiled
+  | Set_oriented
   | Adaptive
 
 type counters = {
@@ -164,6 +166,59 @@ let solve_compiled kb qpo ~counters ~skip_rules query =
   counters.resolutions <- counters.resolutions + outcome.Datalog.tuples_produced;
   TS.of_relation outcome.Datalog.result
 
+(* --- the set-oriented endpoint of the range --- *)
+
+let solve_set_oriented kb qpo ~orderings ~counters ~skip_rules query =
+  Obs.Trace.with_span ~cat:"ie" "ie.set.solve"
+    ~args:[ ("query", Obs.Trace.Str (L.Atom.to_string query)) ]
+    (fun () ->
+      Obs.Metrics.incr "ie.set.solves";
+      let catalog = Braid_remote.Server.catalog (Qpo.server qpo) in
+      let schema p = Braid_remote.Catalog.schema_of catalog p in
+      let fetch c =
+        counters.db_goal_queries <- counters.db_goal_queries + 1;
+        Obs.Metrics.incr "ie.set.fetches";
+        let answer = Qpo.answer_conj qpo c in
+        let rel = TS.to_relation answer.Qpo.stream in
+        Obs.Metrics.incr ~by:(R.Relation.cardinality rel) "ie.set.fetched_tuples";
+        rel
+      in
+      if L.Kb.is_base kb query.L.Atom.pred then begin
+        (* a base goal is itself one set-oriented fetch *)
+        let vars = L.Atom.vars query in
+        let q = A.conj (List.map (fun v -> L.Term.Var v) vars) [ query ] in
+        TS.of_relation (fetch q)
+      end
+      else begin
+        let transformed = Magic.transform kb ~orderings ~skip_rules query in
+        let kb', query', skip' =
+          match transformed with
+          | Some m -> (m.Magic.kb, m.Magic.query, [])
+          | None -> (kb, query, skip_rules)
+        in
+        let outcome =
+          Datalog.run kb' ~skip_rules:skip'
+            ~source:(Datalog.Conj_fetch { fetch; schema })
+            query'
+        in
+        counters.resolutions <- counters.resolutions + outcome.Datalog.tuples_produced;
+        Obs.Metrics.incr ~by:outcome.Datalog.iterations "ie.set.rounds";
+        let magic_tuples =
+          List.fold_left
+            (fun acc (p, n) -> if Magic.is_magic p then acc + n else acc)
+            0 outcome.Datalog.derived_sizes
+        in
+        Obs.Metrics.incr ~by:magic_tuples "ie.set.magic_tuples";
+        if Option.is_some transformed && outcome.Datalog.fetched_tuples > 0 then
+          Obs.Metrics.observe "ie.set.magic.selectivity"
+            (float_of_int magic_tuples /. float_of_int outcome.Datalog.fetched_tuples);
+        Obs.Trace.add_arg "rounds" (Obs.Trace.Int outcome.Datalog.iterations);
+        Obs.Trace.add_arg "fetches" (Obs.Trace.Int outcome.Datalog.fetches);
+        Obs.Trace.add_arg "fetched_tuples" (Obs.Trace.Int outcome.Datalog.fetched_tuples);
+        Obs.Trace.add_arg "magic_tuples" (Obs.Trace.Int magic_tuples);
+        TS.of_relation outcome.Datalog.result
+      end)
+
 (* Heuristic choice for the adaptive suite: compare the whole-base
    transfer cost of compiling against an interpretive estimate driven by
    the query's selectivity. *)
@@ -205,6 +260,7 @@ let solve kind kb qpo ~orderings ~counters ?(max_depth = 50_000) ?(skip_rules = 
     if k < 1 then invalid_arg "Strategy.solve: conjunction size must be >= 1";
     solve_sld k kb qpo ~orderings ~counters ~max_depth ~skip_rules query
   | Fully_compiled -> solve_compiled kb qpo ~counters ~skip_rules query
+  | Set_oriented -> solve_set_oriented kb qpo ~orderings ~counters ~skip_rules query
   | Adaptive ->
     (match adaptive_choice kb qpo query with
      | `Interpretive -> solve_sld 1 kb qpo ~orderings ~counters ~max_depth ~skip_rules query

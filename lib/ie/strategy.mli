@@ -14,13 +14,22 @@
       query (partial compilation / conjunction compilation, §2).
     - {!Fully_compiled}: set-at-a-time, all-solutions. Base extensions are
       fetched through the CMS and a local fixpoint (see {!Datalog})
-      evaluates the relevant rules bottom-up — the compiled end of the
-      range, including recursion via the fixpoint operator. *)
+      evaluates the relevant rules bottom-up — including recursion via the
+      fixpoint operator.
+    - {!Set_oriented}: the range extended to its logical endpoint. The
+      reachable fragment is first magic-set transformed (see {!Magic}) so
+      bottom-up derivation touches only query-relevant tuples, then the
+      {!Datalog} fixpoint runs in [Conj_fetch] mode: each rule body's base
+      component is requested as {e one} conjunctive CAQL query through the
+      QPO/CMS (not a whole-extension dump, and not one query per binding),
+      so every fetch is a PSJ cache element that subsumption, advice,
+      sharded routing, and IVM all see. *)
 
 type kind =
   | Interpretive
   | Conjunction_compiled of int
   | Fully_compiled
+  | Set_oriented
   | Adaptive
       (** the paper's long-run goal ("a step toward ... an inference system
           capable of adapting its choice of inference search strategy to

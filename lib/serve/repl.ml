@@ -50,7 +50,7 @@ let commands_help =
   \  :explain <head> :- <body>          remote query plan with est vs actual rows\n\
   \  :load rules <file> | :load data <file.csv>\n\
   \  :system loose|bermuda|ceri|braid-sub|braid\n\
-  \  :strategy interpretive|conjunction-N|compiled|adaptive\n\
+  \  :strategy interpretive|conjunction-N|compiled|set-oriented|adaptive\n\
   \  :trace on|off                      record plans and observability spans; :trace shows plans\n\
   \  :spans [N]                         last N recorded spans (default 15); needs :trace on\n\
   \  :journal [N]                       last N cache journal entries (default 20) + epoch\n\
@@ -224,6 +224,7 @@ let handle_caql t text =
     (match !result with
      | Some (Scheduler.Answered a) | Some (Scheduler.Shed (Some a)) ->
        render_answer (Braid_stream.Tuple_stream.to_relation a.Qpo.stream) a.Qpo.plan
+     | Some (Scheduler.Goal_answered rel) -> render_solutions rel
      | Some (Scheduler.Shed None) -> "shed: the serving layer had no cached cover"
      | None -> "error: the serving layer returned no reply")
   | _ ->
@@ -355,6 +356,7 @@ let handle_strategy t label =
   match label with
   | "interpretive" -> set Braid_ie.Strategy.Interpretive
   | "compiled" -> set Braid_ie.Strategy.Fully_compiled
+  | "set-oriented" -> set Braid_ie.Strategy.Set_oriented
   | "adaptive" -> set Braid_ie.Strategy.Adaptive
   | _ ->
     (match strip_prefix "conjunction-" label with
@@ -362,7 +364,9 @@ let handle_strategy t label =
        (match int_of_string_opt n with
         | Some k when k >= 1 -> set (Braid_ie.Strategy.Conjunction_compiled k)
         | _ -> "error: conjunction-N needs N >= 1")
-     | None -> "unknown strategy; expected interpretive, conjunction-N, compiled or adaptive")
+     | None ->
+       "unknown strategy; expected interpretive, conjunction-N, compiled, set-oriented \
+        or adaptive")
 
 let handle_cache t =
   match t.sys with

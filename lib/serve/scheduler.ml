@@ -8,7 +8,10 @@ module Prng = Braid_prng.Prng
 module Obs = Braid_obs
 module Cms = Braid.Cms
 
-type outcome = Answered of Qpo.answer | Shed of Qpo.answer option
+type outcome =
+  | Answered of Qpo.answer
+  | Goal_answered of R.Relation.t
+  | Shed of Qpo.answer option
 
 type session_view = {
   sid : string;
@@ -19,7 +22,13 @@ type session_view = {
   p95_ms : float;
 }
 
-type job = { query : A.conj; prefer_lazy : bool; on_reply : outcome -> unit }
+type payload = Caql of A.conj | Goal of Braid_logic.Atom.t
+
+type job = { payload : payload; prefer_lazy : bool; on_reply : outcome -> unit }
+
+let payload_to_string = function
+  | Caql q -> A.conj_to_string q
+  | Goal g -> Braid_logic.Atom.to_string g
 
 type sess = {
   s_sid : string;
@@ -41,6 +50,8 @@ type t = {
   mutable current : string; (* sid executing right now; "" when idle *)
   mutable observer :
     (sid:string -> A.conj -> Plan.provenance -> R.Relation.t -> unit) option;
+  mutable engine : Braid_ie.Engine.t option;
+      (* goal jobs resolve through this IE over the shared CMS *)
 }
 
 let create ?(policy = Admission.default_policy) ?(seed = 0) cms =
@@ -55,11 +66,14 @@ let create ?(policy = Admission.default_policy) ?(seed = 0) cms =
     shed_total = 0;
     current = "";
     observer = None;
+    engine = None;
   }
 
 let cms t = t.cms
 let policy t = t.policy
 let coalescer t = t.co
+let set_engine t engine = t.engine <- engine
+let engine t = t.engine
 
 let find t sid = List.find_opt (fun s -> s.s_sid = sid) t.sess
 
@@ -90,7 +104,7 @@ let set_observer t f =
   | Some f ->
     Cms.set_observer t.cms (Some (fun q prov rel -> f ~sid:t.current q prov rel))
 
-let shed t s (q : A.conj) on_reply decision =
+let shed t s payload on_reply decision =
   s.shed <- s.shed + 1;
   t.shed_total <- t.shed_total + 1;
   Obs.Metrics.incr "serve.shed";
@@ -100,15 +114,21 @@ let shed t s (q : A.conj) on_reply decision =
         ("sid", Obs.Trace.Str s.s_sid);
         ("reason", Obs.Trace.Str (Admission.decision_to_string decision));
       ];
-  let substitute = Admission.cached_only (Cms.cache t.cms) q in
-  (match substitute with
-   | Some a ->
+  (* A goal answer is a fixpoint, not one cache element: no degraded
+     cached-only substitute exists for it. *)
+  let substitute =
+    match payload with
+    | Caql q -> Admission.cached_only (Cms.cache t.cms) q
+    | Goal _ -> None
+  in
+  (match (substitute, payload) with
+   | Some a, Caql q ->
      observe_answer t ~sid:s.s_sid q a.Qpo.provenance (TS.to_relation a.Qpo.stream)
-   | None -> ());
+   | _ -> ());
   on_reply (Shed substitute);
   `Shed
 
-let submit t ~sid ?(prefer_lazy = false) ?(on_reply = fun _ -> ()) (q : A.conj) =
+let submit_payload t ~sid ~prefer_lazy ~on_reply payload =
   match find t sid with
   | None -> invalid_arg (Printf.sprintf "Scheduler.submit: unknown session %S" sid)
   | Some s ->
@@ -118,10 +138,18 @@ let submit t ~sid ?(prefer_lazy = false) ?(on_reply = fun _ -> ()) (q : A.conj) 
          ~session_queued:(Queue.length s.queue)
      with
      | Admission.Admit ->
-       Queue.add { query = q; prefer_lazy; on_reply } s.queue;
+       Queue.add { payload; prefer_lazy; on_reply } s.queue;
        `Queued
      | (Admission.Shed_queue_full | Admission.Shed_session_cap) as d ->
-       shed t s q on_reply d)
+       shed t s payload on_reply d)
+
+let submit t ~sid ?(prefer_lazy = false) ?(on_reply = fun _ -> ()) (q : A.conj) =
+  submit_payload t ~sid ~prefer_lazy ~on_reply (Caql q)
+
+let submit_goal t ~sid ?(on_reply = fun _ -> ()) goal =
+  if t.engine = None then
+    invalid_arg "Scheduler.submit_goal: no inference engine installed (set_engine)";
+  submit_payload t ~sid ~prefer_lazy:false ~on_reply (Goal goal)
 
 let run_job t s (job : job) =
   t.current <- s.s_sid;
@@ -130,19 +158,31 @@ let run_job t s (job : job) =
     ~args:
       [
         ("sid", Obs.Trace.Str s.s_sid);
-        ("query", Obs.Trace.Str (A.conj_to_string job.query));
+        ("query", Obs.Trace.Str (payload_to_string job.payload));
       ]
     (fun () ->
       let before = (Cms.metrics t.cms).Qpo.elapsed_ms in
-      let a =
-        Cms.query t.cms ~session:s.qses ~prefer_lazy:job.prefer_lazy job.query
+      let outcome =
+        match job.payload with
+        | Caql q ->
+          Answered (Cms.query t.cms ~session:s.qses ~prefer_lazy:job.prefer_lazy q)
+        | Goal g ->
+          let engine =
+            match t.engine with
+            | Some e -> e
+            | None ->
+              invalid_arg "Scheduler: goal job but no inference engine installed"
+          in
+          Obs.Metrics.incr "serve.goals";
+          let stream, _report = Braid_ie.Engine.solve engine g in
+          Goal_answered (TS.to_relation stream)
       in
       let elapsed = (Cms.metrics t.cms).Qpo.elapsed_ms -. before in
       Obs.Histogram.observe s.hist elapsed;
       Obs.Metrics.observe "serve.session_ms" elapsed;
       Obs.Trace.add_arg "elapsed_ms" (Obs.Trace.Float elapsed);
       s.answered <- s.answered + 1;
-      job.on_reply (Answered a))
+      job.on_reply outcome)
 
 let step t =
   if queued t = 0 then 0

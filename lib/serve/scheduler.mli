@@ -22,9 +22,13 @@
 
 type outcome =
   | Answered of Braid_planner.Qpo.answer  (** executed by the planner *)
+  | Goal_answered of Braid_relalg.Relation.t
+      (** a {!submit_goal} job: the IE's fixpoint answer, forced *)
   | Shed of Braid_planner.Qpo.answer option
       (** load-shed at admission: [Some] = degraded-to-cache substitute
-          ({!Admission.cached_only}), [None] = refused outright *)
+          ({!Admission.cached_only}), [None] = refused outright (always
+          [None] for goal jobs — a fixpoint has no single cached
+          substitute) *)
 
 type session_view = {
   sid : string;
@@ -45,6 +49,15 @@ val create : ?policy:Admission.policy -> ?seed:int -> Braid.Cms.t -> t
 val cms : t -> Braid.Cms.t
 val policy : t -> Admission.policy
 val coalescer : t -> Coalescer.t
+
+val set_engine : t -> Braid_ie.Engine.t option -> unit
+(** Installs the inference engine goal jobs resolve through. Build it over
+    this scheduler's CMS ({!Braid_ie.Engine.create} on [Braid.Cms.qpo
+    (cms t)]) so every set-oriented fetch flows through the shared cache,
+    the coalescer window, and the journal's session context. Rebuild (and
+    re-install) it when the CMS is rebuilt after a crash. *)
+
+val engine : t -> Braid_ie.Engine.t option
 
 val add_session : t -> ?sid:string -> ?hist:Braid_obs.Histogram.t -> Braid_advice.Ast.t -> string
 (** Opens a session with its own advice epoch and returns its id ([sid]
@@ -68,6 +81,20 @@ val submit :
     [Shed] (and the shed substitute is reported to the observer).
     Queued jobs get their [on_reply] when a later {!step} executes them.
     Raises [Invalid_argument] for an unknown [sid]. *)
+
+val submit_goal :
+  t ->
+  sid:string ->
+  ?on_reply:(outcome -> unit) ->
+  Braid_logic.Atom.t ->
+  [ `Queued | `Shed ]
+(** Like {!submit} but for an AI goal (a recursive query the CMS alone
+    cannot answer): when executed, the installed engine solves it — one
+    IE–CMS session whose CAQL fetches share the wave's coalescer window —
+    and [on_reply] fires with [Goal_answered]. Admission treats goals
+    exactly like CAQL jobs, but a shed goal gets no cached substitute.
+    Raises [Invalid_argument] for an unknown [sid] or when no engine is
+    installed ({!set_engine}). *)
 
 val queued : t -> int
 (** Jobs currently queued across all sessions. *)

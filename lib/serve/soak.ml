@@ -52,6 +52,7 @@ type report = {
   shards : int;  (** 1 = the single-server remote *)
   replicas : int;  (** copies per shard; 1 = unreplicated *)
   write_heavy : bool;  (** maintenance-on profile: more writes, incl. deletes *)
+  recursive : bool;  (** goal jobs solved by the set-oriented IE tier *)
   submitted : int;
   answered : int;
   shed : int;
@@ -68,6 +69,13 @@ type report = {
   delta_rows_added : int;
   delta_rows_removed : int;
   checkpoints : int;
+  goal_submitted : int;  (** recursive profile only; 0 otherwise *)
+  goal_answered : int;
+  goal_shed : int;
+  goal_solutions : int;  (** fixpoint tuples across all goal answers *)
+  goal_complete : int;  (** goal answers set-equal to current ground truth *)
+  goal_rounds : int;  (** ie.set.rounds accumulated by goal jobs *)
+  goal_fetches : int;  (** ie.set.fetches — conjunctive fetches issued *)
   coalesce_requests : int;
   coalesce_identical : int;
   coalesce_subsumed : int;
@@ -105,18 +113,26 @@ let ok r =
   && r.dropped_on_recovery = 0 && r.end_max_lag = 0
   && (r.partition_wave = None || r.heal_wave <> None)
   && ((not r.write_heavy) || r.delta_maintained > 0)
+  && ((not r.recursive) || (r.goal_answered > 0 && r.goal_complete > 0))
 
 let report_to_string r =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
-  line "serve soak seed=%d sessions=%d waves=%d%s%s%s: %s" r.seed r.sessions r.waves
+  line "serve soak seed=%d sessions=%d waves=%d%s%s%s%s: %s" r.seed r.sessions r.waves
     (if r.shards > 1 then Printf.sprintf " shards=%d" r.shards else "")
     (if r.replicas > 1 then Printf.sprintf " replicas=%d" r.replicas else "")
     (if r.write_heavy then " write-heavy" else "")
+    (if r.recursive then " recursive" else "")
     (if ok r then "OK" else "FAILED");
   line "  submitted:   %d (%d answered, %d shed, %d lost at crash)" r.submitted r.answered
     r.shed r.lost;
   line "  answers:     %d fresh, %d degraded" r.fresh r.degraded;
+  if r.recursive then
+    line
+      "  goals:       %d submitted, %d answered (%d complete, %d solutions), %d shed; \
+       %d fixpoint rounds, %d set fetches"
+      r.goal_submitted r.goal_answered r.goal_complete r.goal_solutions r.goal_shed
+      r.goal_rounds r.goal_fetches;
   line "  coalescer:   %d in-flight requests: %d identical + %d subsumed reused, %d to the RDI"
     r.coalesce_requests r.coalesce_identical r.coalesce_subsumed r.coalesce_misses;
   line "  remote:      %d RDI requests, %.1f simulated ms elapsed" r.remote_requests
@@ -196,7 +212,7 @@ let empty_advice = { Braid_advice.Ast.specs = []; path = None }
 
 let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy)
     ?(shards = 1) ?(replicas = 1) ?(chaos = false) ?(heal_after = 600)
-    ?(write_heavy = false) ~sessions:n_sessions ~seed ~waves () =
+    ?(write_heavy = false) ?(recursive = false) ~sessions:n_sessions ~seed ~waves () =
   if n_sessions < 1 then invalid_arg "Serve.Soak.run: sessions must be >= 1";
   if shards < 1 then invalid_arg "Serve.Soak.run: shards must be >= 1";
   if replicas < 1 then invalid_arg "Serve.Soak.run: replicas must be >= 1";
@@ -207,6 +223,11 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
      the write-heavy profile runs against the single-server remote only. *)
   if write_heavy && (shards > 1 || replicas > 1) then
     invalid_arg "Serve.Soak.run: write_heavy needs shards = 1 and replicas = 1";
+  (* The goal-soundness gate (a fixpoint answer never invents tuples)
+     leans on monotonicity plus insert-only staleness; the write-heavy
+     profile's deletes break the stale-subset premise. *)
+  if recursive && write_heavy then
+    invalid_arg "Serve.Soak.run: recursive and write_heavy are separate profiles";
   (* The CMS crash and the replica partition are separate failure stories;
      mixing them would have the crash-recovery fault reset also wipe the
      partition mid-heal. The chaos leg owns the partition. *)
@@ -281,6 +302,13 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
     Array.iter
       (fun a -> ignore (Scheduler.add_session sched ~sid:a.a_sid ~hist:a.hist empty_advice))
       per;
+    (* The goal engine is rebuilt with each CMS incarnation: its fetches
+       must flow through the incarnation's cache and journal. *)
+    if recursive then
+      Scheduler.set_engine sched
+        (Some
+           (Braid_ie.Engine.create ~strategy:Braid_ie.Strategy.Set_oriented
+              ~send_advice:false (Workload.recursive_kb ()) (Cms.qpo c)));
     sched
   in
   let sched = ref (new_scheduler !cms) in
@@ -350,8 +378,55 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
          | Plan.Fresh -> a.a_fresh <- a.a_fresh + 1
          | Plan.Degraded -> a.a_degraded <- a.a_degraded + 1)
       | Scheduler.Shed _ -> a.a_shed <- a.a_shed + 1
+      | Scheduler.Goal_answered _ -> ()
     in
     ignore (Scheduler.submit !sched ~sid ~on_reply q)
+  in
+  let goal_submitted = ref 0
+  and goal_answered = ref 0
+  and goal_shed = ref 0
+  and goal_solutions = ref 0
+  and goal_complete = ref 0 in
+  let goal_rounds0 = Obs.Metrics.counter_value "ie.set.rounds"
+  and goal_fetches0 = Obs.Metrics.counter_value "ie.set.fetches" in
+  let goal_kb = Workload.recursive_kb () in
+  (* Ground truth for a goal: a fault-free fixpoint straight over the
+     coordinator engine's current tables (inserts land there too), read at
+     reply time. Under insert-only staleness and monotone rules the served
+     fixpoint may miss tuples (degraded fetches) but must never invent
+     one — extras are divergences. *)
+  let goal_truth g =
+    let eng = Server.engine server in
+    let base p = Some (Braid_remote.Engine.table eng p) in
+    (Braid_ie.Datalog.solve goal_kb ~base g).Braid_ie.Datalog.result
+  in
+  let submit_goal sid g =
+    let a = acc_of sid in
+    a.a_submitted <- a.a_submitted + 1;
+    incr goal_submitted;
+    let on_reply = function
+      | Scheduler.Goal_answered rel ->
+        a.a_answered <- a.a_answered + 1;
+        incr goal_answered;
+        goal_solutions := !goal_solutions + Braid_relalg.Relation.cardinality rel;
+        let missing, extra = Oracle.diff_relations ~expected:(goal_truth g) ~actual:rel in
+        if extra <> [] then
+          divergences :=
+            {
+              wave = !cur_wave;
+              sid;
+              detail =
+                Printf.sprintf "goal %s: %d tuple(s) not in ground truth"
+                  (Braid_logic.Atom.to_string g) (List.length extra);
+            }
+            :: !divergences
+        else if missing = [] then incr goal_complete
+      | Scheduler.Shed _ ->
+        a.a_shed <- a.a_shed + 1;
+        incr goal_shed
+      | Scheduler.Answered _ -> ()
+    in
+    ignore (Scheduler.submit_goal !sched ~sid ~on_reply g)
   in
   let crash_plan =
     if crash && waves >= 3 then Some ((waves / 3) + 1 + Prng.int prng (max 1 (waves / 3)))
@@ -443,6 +518,13 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
            for _ = 1 to policy.Admission.per_session_queue + 2 do
              submit per.(0).a_sid hot
            done;
+         (* Recursive leg: a few sessions per wave pose an AI goal; the
+            scheduler resolves it through the set-oriented IE tier in the
+            same wave, sharing the coalescer window with the CAQL jobs. *)
+         if recursive then
+           Array.iter
+             (fun a -> if Prng.int prng 100 < 30 then submit_goal a.a_sid (Workload.gen_goal prng))
+             per;
          if write_heavy then begin
            (* The maintenance profile: a write burst most waves — inserts
               and deletes through the CMS write path, delta-propagated into
@@ -569,6 +651,7 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
     shards;
     replicas;
     write_heavy;
+    recursive;
     submitted = sum (fun s -> s.submitted);
     answered = sum (fun s -> s.answered);
     shed = sum (fun s -> s.shed);
@@ -585,6 +668,13 @@ let run ?(error_rate = 0.35) ?(crash = true) ?(policy = Admission.default_policy
     delta_rows_added = !deltas.Braid_cache.Maintain.rows_added;
     delta_rows_removed = !deltas.Braid_cache.Maintain.rows_removed;
     checkpoints = !checkpoints;
+    goal_submitted = !goal_submitted;
+    goal_answered = !goal_answered;
+    goal_shed = !goal_shed;
+    goal_solutions = !goal_solutions;
+    goal_complete = !goal_complete;
+    goal_rounds = Obs.Metrics.counter_value "ie.set.rounds" - goal_rounds0;
+    goal_fetches = Obs.Metrics.counter_value "ie.set.fetches" - goal_fetches0;
     coalesce_requests = !co_requests;
     coalesce_identical = !co_identical;
     coalesce_subsumed = !co_subsumed;

@@ -60,6 +60,7 @@ type report = {
   shards : int;  (** 1 = single-server remote (the default path) *)
   replicas : int;  (** copies per shard; 1 = unreplicated *)
   write_heavy : bool;  (** maintenance-on profile: write bursts, incl. deletes *)
+  recursive : bool;  (** goal jobs solved by the set-oriented IE tier *)
   submitted : int;
   answered : int;
   shed : int;
@@ -77,6 +78,15 @@ type report = {
   delta_rows_added : int;
   delta_rows_removed : int;
   checkpoints : int;
+  goal_submitted : int;  (** recursive profile only; 0 otherwise *)
+  goal_answered : int;
+  goal_shed : int;
+  goal_solutions : int;  (** fixpoint tuples across all goal answers *)
+  goal_complete : int;
+      (** goal answers set-equal to current ground truth (the rest are
+          honest subsets — degraded fetches under monotone rules) *)
+  goal_rounds : int;  (** ie.set.rounds accumulated by goal jobs *)
+  goal_fetches : int;  (** ie.set.fetches — conjunctive fetches issued *)
   coalesce_requests : int;
   coalesce_identical : int;
   coalesce_subsumed : int;
@@ -114,8 +124,11 @@ type report = {
 val ok : report -> bool
 (** No oracle divergence, byte-identical recovery, every recovered
     element re-validated, every replica repaired back to the log head,
-    when chaos severed a primary — the partition healed, and — on the
-    write-heavy profile — at least one element was delta-maintained. *)
+    when chaos severed a primary — the partition healed, on the
+    write-heavy profile — at least one element was delta-maintained, and
+    on the recursive profile — goals were answered and at least one was
+    complete (no goal answer may ever contain a tuple outside ground
+    truth; such an answer is a divergence). *)
 
 val run :
   ?error_rate:float ->
@@ -126,6 +139,7 @@ val run :
   ?chaos:bool ->
   ?heal_after:int ->
   ?write_heavy:bool ->
+  ?recursive:bool ->
   sessions:int ->
   seed:int ->
   waves:int ->
@@ -164,7 +178,18 @@ val run :
     dependent cache elements are delta-maintained instead of invalidated,
     every answer still oracle-checked, and the crash replays the
     journaled deltas byte-identically. The report gains the [delta_*]
-    counters. *)
+    counters.
+
+    [recursive] (default false; excludes [write_heavy]) installs a
+    set-oriented inference engine on the scheduler over
+    {!Workload.recursive_kb} and has sessions pose [zreach] goals
+    alongside their CAQL jobs: each goal is one magic-set fixpoint whose
+    conjunctive base fetches flow through the shared cache, the wave's
+    coalescer window and the journal, under the same faults and crash.
+    Every goal answer is diffed against a fault-free fixpoint over the
+    coordinator's current tables: extras are divergences (monotone rules
+    + insert-only staleness mean a degraded answer may only miss
+    tuples). The report gains the [goal_*] counters. *)
 
 val report_to_string : report -> string
 (** Deterministic rendering — byte-identical across runs for a seed. *)

@@ -59,6 +59,30 @@ let gen_query prng =
         atom "b1" [ v "W"; v "Y" ];
       ]
 
+(* The recursive-goal leg's knowledge base, over the same tables: [b3] and
+   [b1] both map a z-key to a y-key, so joining them on the shared y gives
+   z-to-z edges — a genuine graph over the z namespace whose transitive
+   closure takes several fixpoint rounds. *)
+let recursive_kb () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "b1" ~arity:2;
+  L.Kb.declare_base kb "b3" ~arity:3;
+  let rule id head body = L.Kb.add_rule kb (L.Rule.make ~id head body) in
+  let r p args = L.Literal.Rel (atom p args) in
+  rule "Z1"
+    (atom "zlink" [ v "X"; v "Y" ])
+    [ r "b3" [ v "X"; v "C"; v "W" ]; r "b1" [ v "Y"; v "W" ] ];
+  rule "ZR1" (atom "zreach" [ v "X"; v "Y" ]) [ r "zlink" [ v "X"; v "Y" ] ];
+  rule "ZR2"
+    (atom "zreach" [ v "X"; v "Y" ])
+    [ r "zlink" [ v "X"; v "Z" ]; r "zreach" [ v "Z"; v "Y" ] ];
+  kb
+
+(* Goals draw their bound z-key from a pool much smaller than [size], so
+   sessions repeat goals and the magic-restricted base fetches overlap —
+   the same locality story as the CAQL shapes. *)
+let gen_goal prng = atom "zreach" [ s (Printf.sprintf "z%d" (Prng.int prng 8)); v "Y" ]
+
 (* A strictly narrower variant of [q], when the family has one: all of
    [b2] narrows to a single x-key (shape 1 ⊒ shape 4). When the broad
    fetch is in the coalescer's in-flight window, the narrow one is

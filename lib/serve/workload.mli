@@ -26,6 +26,17 @@ val gen_query : Braid_prng.Prng.t -> Braid_caql.Ast.conj
     subsumed pairs — e.g. all of [b2] vs a selection of [b2] — are
     frequent across sessions. *)
 
+val recursive_kb : unit -> Braid_logic.Kb.t
+(** The recursive-goal leg's knowledge base over the same tables:
+    [zlink(X,Y) <- b3(X,C,W), b1(Y,W)] (z-to-z edges via the shared
+    y-key) and [zreach] its transitive closure — a fixpoint the CMS alone
+    cannot answer, so goal jobs exercise the set-oriented IE tier under
+    the scheduler. *)
+
+val gen_goal : Braid_prng.Prng.t -> Braid_logic.Atom.t
+(** One seeded goal [zreach(z_k, Y)] with the bound z-key drawn from a
+    small pool (repeats across sessions are frequent). *)
+
 val specialize :
   Braid_prng.Prng.t -> Braid_caql.Ast.conj -> Braid_caql.Ast.conj option
 (** [specialize prng q] is a strictly narrower variant of [q] when the

@@ -422,6 +422,117 @@ let test_sorted_representations_coexist () =
   check_bool "bytes grow with copies" true
     (Braid_cache.Element.bytes_estimate e > R.Relation.bytes_estimate rel)
 
+(* --- magic sets + the set-oriented tier --- *)
+
+module Datalog = Braid_ie.Datalog
+module Magic = Braid_ie.Magic
+
+let norm_rel rel =
+  List.sort_uniq compare (List.map R.Tuple.to_list (R.Relation.to_list rel))
+
+let test_magic_soundness () =
+  let kb = Braid_workload.Kbgen.ancestor () in
+  let base = family_base () in
+  let q = atom "ancestor" [ s "p20"; v "Y" ] in
+  match Magic.transform kb q with
+  | None -> Alcotest.fail "expected a transform for a bound query"
+  | Some m ->
+    Alcotest.(check string) "adornment" "bf" m.Magic.adornment;
+    let plain = Datalog.solve kb ~base q in
+    let magic = Datalog.solve m.Magic.kb ~base m.Magic.query in
+    check_bool "magic answer = unrestricted answer" true
+      (norm_rel plain.Datalog.result = norm_rel magic.Datalog.result);
+    check_bool "magic restricts derivation" true
+      (magic.Datalog.tuples_produced < plain.Datalog.tuples_produced)
+
+let test_magic_identity_on_free_query () =
+  let kb = Braid_workload.Kbgen.ancestor () in
+  check_bool "all-free query not transformed" true
+    (Magic.transform kb (atom "ancestor" [ v "X"; v "Y" ]) = None);
+  check_bool "base query not transformed" true
+    (Magic.transform kb (atom "parent" [ s "p0"; v "Y" ]) = None)
+
+let test_conj_fetch_ships_selections () =
+  (* AA1's body is ancestor(X,Y), person(X,A), A >= 40: the person atom and
+     its covered comparison become one conjunctive fetch, so the age
+     selection runs remotely. *)
+  let kb = Braid_workload.Kbgen.ancestor () in
+  let base = family_base () in
+  let schema n = Option.map R.Relation.schema (base n) in
+  let fetched = ref [] in
+  let fetch c =
+    let r =
+      Braid_caql.Eval.conj
+        ~source:(fun a -> Option.get (base a.L.Atom.pred))
+        ~schema_of:schema c
+    in
+    fetched := (c, R.Relation.cardinality r) :: !fetched;
+    r
+  in
+  let q = atom "adult_ancestor" [ v "X"; v "Y" ] in
+  let out = Datalog.run kb ~source:(Datalog.Conj_fetch { fetch; schema }) q in
+  let plain = Datalog.solve kb ~base q in
+  check_bool "same answers" true (norm_rel out.Datalog.result = norm_rel plain.Datalog.result);
+  check_bool "nonempty" true (R.Relation.cardinality out.Datalog.result > 0);
+  check_int "fetch accounting" (List.length !fetched) out.Datalog.fetches;
+  let person_total = R.Relation.cardinality (Option.get (base "person")) in
+  (match
+     List.find_opt
+       (fun ((c : A.conj), _) ->
+         List.exists (fun (a : L.Atom.t) -> a.L.Atom.pred = "person") c.A.atoms)
+       !fetched
+   with
+   | Some (_, n) -> check_bool "age selection shipped with the fetch" true (n < person_total)
+   | None -> Alcotest.fail "expected a person fetch")
+
+let test_missing_declared_base_fails_loudly () =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "missing" ~arity:2;
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"r" (atom "p" [ v "X" ]) [ L.Literal.rel (atom "missing" [ v "X"; v "Y" ]) ]);
+  check_bool "Extensions mode raises" true
+    (try
+       ignore (Datalog.solve kb ~base:(fun _ -> None) (atom "p" [ v "X" ]));
+       false
+     with Datalog.Unknown_base_relation "missing" -> true);
+  check_bool "Conj_fetch mode raises without a catalog schema" true
+    (try
+       ignore
+         (Datalog.run kb
+            ~source:
+              (Datalog.Conj_fetch
+                 { fetch = (fun _ -> Alcotest.fail "must not fetch"); schema = (fun _ -> None) })
+            (atom "p" [ v "X" ]));
+       false
+     with Datalog.Unknown_base_relation "missing" -> true)
+
+let test_set_oriented_matches_interpretive () =
+  let q = atom "ancestor" [ s "p0"; v "Y" ] in
+  let run strategy =
+    let sys = make_system Braid_planner.Qpo.braid_config strategy in
+    let stream, report = Braid.System.solve sys q in
+    (norm_rel (Braid_stream.Tuple_stream.to_relation stream), report)
+  in
+  let interp, ireport = run Strategy.Interpretive in
+  let set, sreport = run Strategy.Set_oriented in
+  check_bool "nonempty" true (interp <> []);
+  check_bool "same answers" true (interp = set);
+  check_bool "an order of magnitude fewer CAQL queries" true
+    (sreport.Braid_ie.Engine.counters.Strategy.db_goal_queries * 10
+     <= ireport.Braid_ie.Engine.counters.Strategy.db_goal_queries)
+
+let test_set_oriented_all_free_and_base_queries () =
+  let sys = make_system Braid_planner.Qpo.braid_config Strategy.Set_oriented in
+  let full, _ = Braid.System.solve sys (atom "ancestor" [ v "X"; v "Y" ]) in
+  let full = norm_rel (Braid_stream.Tuple_stream.to_relation full) in
+  let sys' = make_system Braid_planner.Qpo.braid_config Strategy.Fully_compiled in
+  let full', _ = Braid.System.solve sys' (atom "ancestor" [ v "X"; v "Y" ]) in
+  let full' = norm_rel (Braid_stream.Tuple_stream.to_relation full') in
+  check_bool "all-free query matches fully compiled" true (full = full');
+  let b, _ = Braid.System.solve sys (atom "parent" [ s "p0"; v "Y" ]) in
+  let b = norm_rel (Braid_stream.Tuple_stream.to_relation b) in
+  check_bool "base query answered by one fetch" true (List.length b >= 1)
+
 let extra_cases =
   [
     Alcotest.test_case "semi-naive = naive (ancestor)" `Quick test_semi_naive_equals_naive;
@@ -430,6 +541,17 @@ let extra_cases =
     Alcotest.test_case "merge join on sorted inputs" `Quick test_merge_join_support;
     Alcotest.test_case "co-existing sorted representations" `Quick
       test_sorted_representations_coexist;
+    Alcotest.test_case "magic transform soundness" `Quick test_magic_soundness;
+    Alcotest.test_case "magic transform identity cases" `Quick
+      test_magic_identity_on_free_query;
+    Alcotest.test_case "conjunctive fetches ship selections" `Quick
+      test_conj_fetch_ships_selections;
+    Alcotest.test_case "missing declared base fails loudly" `Quick
+      test_missing_declared_base_fails_loudly;
+    Alcotest.test_case "set-oriented = interpretive answers" `Quick
+      test_set_oriented_matches_interpretive;
+    Alcotest.test_case "set-oriented free + base queries" `Quick
+      test_set_oriented_all_free_and_base_queries;
   ]
 
 let suites = match suites with

@@ -533,6 +533,121 @@ let prop_enumerated_plan_equals_naive =
       let r2, _ = REngine.execute_naive eng q in
       bag r1 = bag r2)
 
+(* --- datalog algorithms + magic sets over random linear-recursive KBs --- *)
+
+module Datalog = Braid_ie.Datalog
+module Magic = Braid_ie.Magic
+
+let tc_kb dir =
+  let kb = L.Kb.create () in
+  L.Kb.declare_base kb "edge" ~arity:2;
+  let atom p args = L.Atom.make p args in
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"T1"
+       (atom "tc" [ T.Var "X"; T.Var "Y" ])
+       [ L.Literal.rel (atom "edge" [ T.Var "X"; T.Var "Y" ]) ]);
+  L.Kb.add_rule kb
+    (L.Rule.make ~id:"T2"
+       (atom "tc" [ T.Var "X"; T.Var "Y" ])
+       (match dir with
+        | `Left ->
+          [
+            L.Literal.rel (atom "edge" [ T.Var "X"; T.Var "Z" ]);
+            L.Literal.rel (atom "tc" [ T.Var "Z"; T.Var "Y" ]);
+          ]
+        | `Right ->
+          [
+            L.Literal.rel (atom "tc" [ T.Var "X"; T.Var "Z" ]);
+            L.Literal.rel (atom "edge" [ T.Var "Z"; T.Var "Y" ]);
+          ]));
+  kb
+
+let edge_rel edges =
+  R.Relation.of_tuples ~name:"edge"
+    (R.Schema.make [ ("x", V.Tint); ("y", V.Tint) ])
+    (List.map (fun (a, b) -> [| V.Int a; V.Int b |]) edges)
+
+let gen_tc_instance =
+  let open QCheck.Gen in
+  triple
+    (list_size (int_range 0 25) (pair (int_range 0 6) (int_range 0 6)))
+    (oneofl [ `Left; `Right ])
+    (opt (int_range 0 6))
+
+let print_tc_instance (edges, dir, qc) =
+  Printf.sprintf "edges=%s dir=%s q=%s"
+    (String.concat ","
+       (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) edges))
+    (match dir with `Left -> "left" | `Right -> "right")
+    (match qc with Some c -> string_of_int c | None -> "free")
+
+let norm_rel rel =
+  List.sort_uniq compare (List.map R.Tuple.to_list (R.Relation.to_list rel))
+
+let prop_datalog_algorithms_agree =
+  QCheck.Test.make ~count:150 ~name:"naive = semi-naive = set-oriented fixpoint"
+    (arb_of gen_tc_instance print_tc_instance)
+    (fun (edges, dir, qc) ->
+      let kb = tc_kb dir in
+      let rel = edge_rel edges in
+      let base n = if n = "edge" then Some rel else None in
+      let q =
+        L.Atom.make "tc"
+          [
+            (match qc with Some c -> T.Const (V.Int c) | None -> T.Var "X");
+            T.Var "Y";
+          ]
+      in
+      let naive = Datalog.solve kb ~algorithm:`Naive ~base q in
+      let semi = Datalog.solve kb ~algorithm:`Semi_naive ~base q in
+      (* the set-oriented path: conjunctive fetches (against a local
+         evaluator) over the magic-transformed program *)
+      let schema n = Option.map R.Relation.schema (base n) in
+      let fetch c =
+        Braid_caql.Eval.conj
+          ~source:(fun a -> Option.get (base a.L.Atom.pred))
+          ~schema_of:schema c
+      in
+      let kb', q' =
+        match Magic.transform kb q with
+        | Some m -> (m.Magic.kb, m.Magic.query)
+        | None -> (kb, q)
+      in
+      let set = Datalog.run kb' ~source:(Datalog.Conj_fetch { fetch; schema }) q' in
+      norm_rel naive.Datalog.result = norm_rel semi.Datalog.result
+      && norm_rel semi.Datalog.result = norm_rel set.Datalog.result)
+
+let prop_magic_sound =
+  QCheck.Test.make ~count:150 ~name:"magic answer = full answer restricted to query"
+    (arb_of
+       (QCheck.Gen.triple
+          (QCheck.Gen.list_size (QCheck.Gen.int_range 0 25)
+             (QCheck.Gen.pair (QCheck.Gen.int_range 0 6) (QCheck.Gen.int_range 0 6)))
+          (QCheck.Gen.oneofl [ `Left; `Right ])
+          (QCheck.Gen.int_range 0 6))
+       (fun (e, d, c) -> print_tc_instance (e, d, Some c)))
+    (fun (edges, dir, c) ->
+      let kb = tc_kb dir in
+      let rel = edge_rel edges in
+      let base n = if n = "edge" then Some rel else None in
+      let q_free = L.Atom.make "tc" [ T.Var "X"; T.Var "Y" ] in
+      let q_bound = L.Atom.make "tc" [ T.Const (V.Int c); T.Var "Y" ] in
+      match Magic.transform kb q_bound with
+      | None -> false (* a bound query must transform *)
+      | Some m ->
+        let full = Datalog.solve kb ~base q_free in
+        let restricted =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun t ->
+                 match R.Tuple.to_list t with
+                 | [ x; y ] when V.equal x (V.Int c) -> Some [ y ]
+                 | _ -> None)
+               (R.Relation.to_list full.Datalog.result))
+        in
+        let magic = Datalog.solve m.Magic.kb ~base m.Magic.query in
+        norm_rel magic.Datalog.result = restricted)
+
 let to_alcotest = List.map (QCheck_alcotest.to_alcotest ~verbose:false)
 
 
@@ -571,5 +686,7 @@ let suites : unit Alcotest.test list =
           prop_prng_deterministic;
           prop_zipf_in_range;
           prop_enumerated_plan_equals_naive;
+          prop_datalog_algorithms_agree;
+          prop_magic_sound;
         ] );
   ]

@@ -219,6 +219,53 @@ let test_scheduler_journal_attribution () =
   check_bool "context cleared between waves" true
     (Journal.context (Cms.journal cms) = "")
 
+let test_scheduler_goal_jobs () =
+  let server, cms = mk_cms () in
+  let sched = Scheduler.create ~seed:5 cms in
+  let sid = Scheduler.add_session sched ~sid:"g1" no_advice in
+  let kb = Workload.recursive_kb () in
+  let eng = Braid_remote.Engine.table (Server.engine server) in
+  let truth g =
+    (Braid_ie.Datalog.solve kb ~base:(fun p -> Some (eng p)) g)
+      .Braid_ie.Datalog.result
+  in
+  (* Pick a z-key whose closure is non-empty (the generated graph leaves
+     some keys without outgoing edges). *)
+  let goal =
+    List.init 8 (fun k -> atom "zreach" [ s (Printf.sprintf "z%d" k); v "Y" ])
+    |> List.find (fun g -> R.Relation.cardinality (truth g) > 0)
+  in
+  (* No engine installed: goals are refused outright. *)
+  (try
+     ignore (Scheduler.submit_goal sched ~sid goal);
+     Alcotest.fail "expected Invalid_argument without an engine"
+   with Invalid_argument _ -> ());
+  Scheduler.set_engine sched
+    (Some
+       (Braid_ie.Engine.create ~strategy:Braid_ie.Strategy.Set_oriented
+          ~send_advice:false kb (Cms.qpo cms)));
+  let result = ref None in
+  ignore (Scheduler.submit_goal sched ~sid ~on_reply:(fun o -> result := Some o) goal);
+  ignore (Scheduler.drain sched);
+  let rel =
+    match !result with
+    | Some (Scheduler.Goal_answered rel) -> rel
+    | _ -> Alcotest.fail "expected a goal answer"
+  in
+  (* The scheduler's answer equals a fault-free local fixpoint over the
+     server's tables. *)
+  let missing, extra =
+    Braid_check.Oracle.diff_relations ~expected:(truth goal) ~actual:rel
+  in
+  check_bool "fixpoint non-empty" true (R.Relation.cardinality rel > 0);
+  check_bool "set-equal to the reference fixpoint" true (missing = [] && extra = []);
+  (match Scheduler.session_view sched "g1" with
+   | Some view -> check_int "goal counted as answered" 1 view.Scheduler.answered
+   | None -> Alcotest.fail "unknown session");
+  (* The goal's base fetches became cache elements in the shared CMS. *)
+  check_bool "goal fetches populated the shared cache" true
+    ((Cms.cache_summary cms).Braid_cache.Cache_model.element_count > 0)
+
 (* --- the multi-session soak --- *)
 
 let test_soak_deterministic () =
@@ -237,6 +284,15 @@ let test_soak_multi_session () =
   check_bool "admission shed under burst load" true (r.Soak.shed > 0);
   check_bool "every session answered" true
     (List.for_all (fun (s : Soak.session_report) -> s.Soak.answered > 0) r.Soak.per_session)
+
+let test_soak_recursive () =
+  let r = Soak.run ~recursive:true ~sessions:6 ~seed:3 ~waves:120 () in
+  check_bool "no divergences (no goal invented a tuple)" true (Soak.ok r);
+  check_bool "goals answered" true (r.Soak.goal_answered > 0);
+  check_bool "some goals complete against ground truth" true (r.Soak.goal_complete > 0);
+  check_bool "multi-round fixpoints" true
+    (r.Soak.goal_rounds >= 2 * r.Soak.goal_answered);
+  check_bool "set-oriented fetches issued" true (r.Soak.goal_fetches > 0)
 
 let suites =
   [
@@ -257,7 +313,10 @@ let suites =
           test_scheduler_session_isolation;
         Alcotest.test_case "journal attribution" `Quick
           test_scheduler_journal_attribution;
+        Alcotest.test_case "goal jobs through the set-oriented tier" `Quick
+          test_scheduler_goal_jobs;
         Alcotest.test_case "soak determinism" `Slow test_soak_deterministic;
         Alcotest.test_case "soak multi-session" `Slow test_soak_multi_session;
+        Alcotest.test_case "soak recursive goals" `Slow test_soak_recursive;
       ] );
   ]
